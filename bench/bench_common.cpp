@@ -1,0 +1,142 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace oa::bench {
+
+std::vector<std::string> quick_variants() {
+  return {"GEMM-NN", "GEMM-TN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"};
+}
+
+FigureOptions parse_figure_args(int argc, char** argv,
+                                FigureOptions defaults) {
+  FigureOptions out = std::move(defaults);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      out.variants = quick_variants();
+    } else if (arg == "--size" && i + 1 < argc) {
+      out.problem_size = std::atoll(argv[++i]);
+    } else if (arg == "--tuning-size" && i + 1 < argc) {
+      out.tuning_size = std::atoll(argv[++i]);
+    } else if (arg == "--variants" && i + 1 < argc) {
+      out.variants = split(argv[++i], ',', /*skip_empty=*/true);
+    } else if (arg == "--csv" && i + 1 < argc) {
+      out.csv_path = argv[++i];
+    } else if (arg == "--help") {
+      std::printf(
+          "options: --quick | --size N | --tuning-size N | "
+          "--variants a,b,c | --csv path\n");
+      std::exit(0);
+    }
+  }
+  return out;
+}
+
+std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
+                                   const FigureOptions& options) {
+  OaOptions oa_options;
+  oa_options.tuning_size = options.tuning_size;
+  OaFramework framework(device, oa_options);
+
+  std::vector<std::string> names = options.variants;
+  if (names.empty()) {
+    for (const auto& v : blas3::all_variants()) names.push_back(v.name());
+  }
+
+  std::vector<RoutineRow> rows;
+  for (const std::string& name : names) {
+    const blas3::Variant* v = blas3::find_variant(name);
+    if (v == nullptr) {
+      OA_LOG(kError) << "unknown variant " << name;
+      continue;
+    }
+    RoutineRow row;
+    row.name = name;
+
+    auto tuned = framework.generate(*v);
+    if (tuned.is_ok()) {
+      auto g = framework.measure_gflops(*tuned, *v, options.problem_size);
+      if (g.is_ok()) row.oa_gflops = *g;
+    } else {
+      OA_LOG(kError) << name << ": OA generation failed: "
+                     << tuned.status().to_string();
+    }
+
+    auto cublas = baseline::cublas_like(*v, device);
+    if (cublas.is_ok()) {
+      auto g = framework.measure_baseline_gflops(*cublas, *v,
+                                                 options.problem_size);
+      if (g.is_ok()) row.cublas_gflops = *g;
+    }
+    if (options.with_magma) {
+      auto magma = baseline::magma_like(*v, device);
+      if (magma.is_ok()) {
+        auto g = framework.measure_baseline_gflops(*magma, *v,
+                                                   options.problem_size);
+        if (g.is_ok()) row.magma_gflops = *g;
+      }
+    }
+    OA_LOG(kInfo) << name << ": OA " << row.oa_gflops << " / CUBLAS-like "
+                  << row.cublas_gflops << " GFLOPS";
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void report_figure(const std::string& title,
+                   const std::vector<RoutineRow>& rows,
+                   const FigureOptions& options) {
+  std::printf("== %s (N = %lld) ==\n\n", title.c_str(),
+              static_cast<long long>(options.problem_size));
+  const bool magma =
+      std::any_of(rows.begin(), rows.end(),
+                  [](const RoutineRow& r) { return r.magma_gflops > 0; });
+  std::vector<std::string> header = {"routine", "OA GFLOPS",
+                                     "CUBLAS-like GFLOPS"};
+  if (magma) header.push_back("MAGMA-like GFLOPS");
+  header.push_back("speedup over CUBLAS");
+  TextTable table(header);
+  double max_speedup = 0.0;
+  std::string max_name;
+  for (const RoutineRow& r : rows) {
+    std::vector<std::string> row = {r.name, str_format("%.1f", r.oa_gflops),
+                                    str_format("%.1f", r.cublas_gflops)};
+    if (magma) {
+      row.push_back(r.magma_gflops > 0
+                        ? str_format("%.1f", r.magma_gflops)
+                        : std::string("-"));
+    }
+    row.push_back(str_format("%.2fx", r.speedup()));
+    table.add_row(std::move(row));
+    if (r.speedup() > max_speedup) {
+      max_speedup = r.speedup();
+      max_name = r.name;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("maximum speedup over CUBLAS-like: %.2fx (%s)\n\n",
+              max_speedup, max_name.c_str());
+
+  std::vector<std::pair<std::string, double>> bars;
+  for (const RoutineRow& r : rows) bars.emplace_back(r.name, r.speedup());
+  std::printf("speedup over CUBLAS-like\n%s\n",
+              ascii_bar_chart(bars, std::max(1.0, max_speedup)).c_str());
+
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    csv << table.to_csv();
+    std::printf("wrote %s\n", options.csv_path.c_str());
+  }
+}
+
+std::vector<int64_t> fig13_sizes() {
+  return {512, 1024, 1536, 2048, 2560, 3072, 3584, 4096};
+}
+
+}  // namespace oa::bench

@@ -1,0 +1,55 @@
+// Shared harness for the figure/table benches: generates the OA library
+// for a device, measures OA vs the baselines at the paper's problem
+// size, and prints paper-style rows (plus CSV files next to the
+// binary's working directory).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "oa/oa.hpp"
+#include "support/table.hpp"
+
+namespace oa::bench {
+
+struct RoutineRow {
+  std::string name;
+  double oa_gflops = 0.0;
+  double cublas_gflops = 0.0;
+  double magma_gflops = 0.0;  // 0 = not available
+  double speedup() const {
+    return cublas_gflops > 0 ? oa_gflops / cublas_gflops : 0.0;
+  }
+};
+
+struct FigureOptions {
+  int64_t problem_size = 4096;
+  /// Subset of variant names; empty = all 24.
+  std::vector<std::string> variants;
+  bool with_magma = false;
+  int64_t tuning_size = 512;
+  std::string csv_path;  // empty = no CSV
+};
+
+/// Parse --size N / --quick / --variants a,b,c from argv.
+FigureOptions parse_figure_args(int argc, char** argv,
+                                FigureOptions defaults);
+
+/// Run the OA generation + baseline comparison for every requested
+/// variant on `device`.
+std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
+                                   const FigureOptions& options);
+
+/// Print the rows as a table + speedup bar chart, and write the CSV.
+void report_figure(const std::string& title,
+                   const std::vector<RoutineRow>& rows,
+                   const FigureOptions& options);
+
+/// Problem sizes of the paper's Fig 13 sweep.
+std::vector<int64_t> fig13_sizes();
+
+/// The "quick" subset used by --quick and the default CI runs: one
+/// representative per family.
+std::vector<std::string> quick_variants();
+
+}  // namespace oa::bench

@@ -1,0 +1,15 @@
+// Figure 10: performance of the 24 BLAS3 variants on GeForce 9800,
+// OA-generated kernels vs the CUBLAS-3.2-like baseline, problem size
+// 4096 (paper §V-A). Run with --quick for one representative per
+// family, or --variants a,b,c / --size N.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oa::bench;
+  FigureOptions options;
+  options.csv_path = "fig10_geforce9800.csv";
+  options = parse_figure_args(argc, argv, options);
+  auto rows = run_figure(oa::gpusim::geforce_9800(), options);
+  report_figure("Fig 10: BLAS3 on GeForce 9800", rows, options);
+  return 0;
+}

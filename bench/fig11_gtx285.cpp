@@ -1,0 +1,16 @@
+// Figure 11: performance of the 24 BLAS3 variants on GTX285 vs the
+// CUBLAS-3.2-like baseline, plus MAGMA-v0.2-like for the GEMM/TRSM
+// variants (SYMM/TRMM are absent from MAGMA v0.2, as in the paper).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oa::bench;
+  FigureOptions options;
+  options.with_magma = true;
+  options.csv_path = "fig11_gtx285.csv";
+  options = parse_figure_args(argc, argv, options);
+  auto rows = run_figure(oa::gpusim::gtx285(), options);
+  report_figure("Fig 11: BLAS3 on GTX285 (incl. MAGMA-like)", rows,
+                options);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 12: performance of the 24 BLAS3 variants on Fermi Tesla C2050
+// vs the CUBLAS-3.2-like baseline (paper §V-A).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oa::bench;
+  FigureOptions options;
+  options.csv_path = "fig12_fermi.csv";
+  options = parse_figure_args(argc, argv, options);
+  auto rows = run_figure(oa::gpusim::fermi_c2050(), options);
+  report_figure("Fig 12: BLAS3 on Fermi Tesla C2050", rows, options);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 14: the best-performing EPOD scripts the search selects for
+// GEMM-TN, SYMM-LL, TRMM-LL-N and TRSM-LL-N (the paper's SYMM-LN is our
+// SYMM-LL naming). Also narrates the composer's §IV-B.2 filter example:
+// 9 mixed sequences -> 7 semi-output sequences.
+#include <cstdio>
+
+#include "adl/adaptor.hpp"
+#include "bench_common.hpp"
+#include "composer/composer.hpp"
+#include "blas3/source_ir.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+void print_filter_example() {
+  using namespace oa;
+  std::printf(
+      "-- Composer filter example (paper §IV-B.2): Adaptor_Triangular x "
+      "GEMM-NN script on TRMM-LL-N --\n\n");
+  ir::Program src =
+      blas3::make_source_program(*blas3::find_variant("TRMM-LL-N"));
+  transforms::TransformContext ctx;
+  composer::SplitSequence base =
+      composer::split(epod::gemm_nn_script().invocations);
+  const adl::Adaptor bound = adl::adaptor_triangular().bind("A");
+
+  int mixed_count = 0;
+  std::vector<std::vector<transforms::Invocation>> semi;
+  for (const adl::AdaptorRule& rule : bound.rules) {
+    composer::SplitSequence rs = composer::split(rule.sequence);
+    for (const auto& seq : composer::mix(base.polyhedral, rs.polyhedral)) {
+      ++mixed_count;
+      std::vector<std::string> names;
+      for (const auto& inv : seq) names.push_back(inv.component);
+      composer::FilterOutcome out =
+          composer::filter_sequence(src, seq, ctx);
+      std::vector<std::string> surv;
+      for (const auto& inv : out.surviving) surv.push_back(inv.component);
+      std::printf("  %2d) %-70s -> %s\n", mixed_count,
+                  join(names, ", ").c_str(), join(surv, ", ").c_str());
+      if (std::find(semi.begin(), semi.end(), out.surviving) ==
+          semi.end()) {
+        semi.push_back(out.surviving);
+      }
+    }
+  }
+  std::printf("\n  mixed sequences: %d, semi-output after the filter: %zu "
+              "(paper: 9 -> 7)\n\n",
+              mixed_count, semi.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oa;
+  using namespace oa::bench;
+  FigureOptions options;
+  options = parse_figure_args(argc, argv, options);
+
+  print_filter_example();
+
+  std::printf("-- Fig 14: best-performing EPOD scripts (per device) --\n\n");
+  for (const gpusim::DeviceModel* device :
+       {&gpusim::geforce_9800(), &gpusim::gtx285()}) {
+    OaOptions oa_options;
+    oa_options.tuning_size = options.tuning_size;
+    OaFramework framework(*device, oa_options);
+    std::printf("=== %s ===\n\n", device->name.c_str());
+    for (const char* name :
+         {"GEMM-TN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"}) {
+      const blas3::Variant v = *blas3::find_variant(name);
+      auto tuned = framework.generate(v);
+      if (!tuned.is_ok()) {
+        std::printf("%s: generation failed (%s)\n\n", name,
+                    tuned.status().to_string().c_str());
+        continue;
+      }
+      std::printf("%s  (params %s)\n%s\n", name,
+                  tuned->params.to_string().c_str(),
+                  tuned->candidate.script.to_string().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks for the simulator substrate itself:
+// kernel compilation, warp-level block interpretation (ghost and
+// functional), and the dependence tester. These guard the costs that
+// the tuner's search multiplies by thousands.
+#include <benchmark/benchmark.h>
+
+#include "blas3/matrix.hpp"
+#include "blas3/source_ir.hpp"
+#include "deps/dependence.hpp"
+#include "epod/script.hpp"
+#include "gpusim/simulator.hpp"
+#include "support/rng.hpp"
+#include "transforms/transform.hpp"
+
+namespace {
+
+using namespace oa;
+
+ir::Program tuned_gemm() {
+  ir::Program p =
+      blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  auto mask = epod::apply_script_lenient(p, epod::gemm_nn_script(), ctx);
+  if (!mask.is_ok()) std::abort();
+  return p;
+}
+
+void BM_CompileKernel(benchmark::State& state) {
+  ir::Program p = tuned_gemm();
+  ir::Env params{{"M", 1024}, {"N", 1024}, {"K", 1024}};
+  for (auto _ : state) {
+    auto compiled =
+        gpusim::compile_kernel(p, p.main_kernel(), params, {});
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileKernel);
+
+void BM_BlockSimGhost(benchmark::State& state) {
+  ir::Program p = tuned_gemm();
+  ir::Env params{{"M", 256}, {"N", 256}, {"K", 256}};
+  auto compiled = gpusim::compile_kernel(p, p.main_kernel(), params, {});
+  if (!compiled.is_ok()) std::abort();
+  const auto& dev = gpusim::gtx285();
+  int64_t flops = 0;
+  for (auto _ : state) {
+    gpusim::BlockSim sim(*compiled, dev, /*functional=*/false, nullptr);
+    gpusim::Counters c;
+    if (!sim.run(0, 0, 0, static_cast<int>(
+                              compiled->launch.threads_per_block()),
+                 c)
+             .is_ok()) {
+      std::abort();
+    }
+    flops += c.flops;
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(flops);
+}
+BENCHMARK(BM_BlockSimGhost);
+
+void BM_FunctionalGemm64(benchmark::State& state) {
+  ir::Program p = tuned_gemm();
+  gpusim::Simulator sim(gpusim::gtx285());
+  gpusim::RunOptions opts;
+  opts.int_params = {{"M", 64}, {"N", 64}, {"K", 64}};
+  Rng rng(1);
+  blas3::Matrix a(64, 64), b(64, 64), c(64, 64);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  for (auto _ : state) {
+    gpusim::GlobalBuffers buffers = gpusim::make_buffers(
+        p, opts.int_params, {{"A", &a}, {"B", &b}, {"C", &c}});
+    auto result = sim.run_functional(p, opts, buffers);
+    if (!result.is_ok()) std::abort();
+    benchmark::DoNotOptimize(buffers);
+  }
+}
+BENCHMARK(BM_FunctionalGemm64);
+
+void BM_PerformanceGemm1024(benchmark::State& state) {
+  ir::Program p = tuned_gemm();
+  gpusim::Simulator sim(gpusim::gtx285());
+  gpusim::RunOptions opts;
+  opts.int_params = {{"M", 1024}, {"N", 1024}, {"K", 1024}};
+  for (auto _ : state) {
+    auto result = sim.run_performance(p, opts);
+    if (!result.is_ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PerformanceGemm1024);
+
+void BM_DependenceTest(benchmark::State& state) {
+  ir::Program p =
+      blas3::make_source_program(*blas3::find_variant("TRSM-LL-N"));
+  const ir::Node* li = p.main_kernel().find("Li");
+  ir::Env params{{"M", 256}, {"N", 256}};
+  for (auto _ : state) {
+    bool carried = deps::carries_dependence(p.main_kernel(), *li, params,
+                                            deps::Mode::kStrict);
+    benchmark::DoNotOptimize(carried);
+  }
+}
+BENCHMARK(BM_DependenceTest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

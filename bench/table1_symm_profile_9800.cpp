@@ -1,0 +1,11 @@
+// Table I: profiles of SYMM for OA and CUBLAS 3.2 on GeForce 9800.
+// Expected relationships (paper §V-A.1): OA halves the dynamic
+// instruction count and completely removes gld_incoherent.
+#include "table_symm_profile.hpp"
+
+int main(int argc, char** argv) {
+  return oa::bench::run_symm_profile_table(
+      oa::gpusim::geforce_9800(),
+      "Table I: SYMM profile on GeForce 9800 (OA vs CUBLAS-like)",
+      /*fermi_style=*/false, argc, argv);
+}

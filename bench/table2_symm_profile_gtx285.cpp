@@ -1,0 +1,13 @@
+// Table II: profiles of SYMM for OA and CUBLAS 3.2 on GTX285.
+// Expected relationships (paper §V-A.1): no incoherent accesses on
+// either side (CC 1.3 coalescing), but the CUBLAS-like baseline issues
+// ~4x the coherent load transactions (127M vs 33M in the paper) and
+// ~2x the instructions.
+#include "table_symm_profile.hpp"
+
+int main(int argc, char** argv) {
+  return oa::bench::run_symm_profile_table(
+      oa::gpusim::gtx285(),
+      "Table II: SYMM profile on GTX285 (OA vs CUBLAS-like)",
+      /*fermi_style=*/false, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Table III: profiles of SYMM for OA and CUBLAS 3.2 on Fermi Tesla
+// C2050. Expected relationships (paper §V-A.1): the improvement comes
+// from reductions in both executed instructions and global load
+// requests.
+#include "table_symm_profile.hpp"
+
+int main(int argc, char** argv) {
+  return oa::bench::run_symm_profile_table(
+      oa::gpusim::fermi_c2050(),
+      "Table III: SYMM profile on Fermi C2050 (OA vs CUBLAS-like)",
+      /*fermi_style=*/true, argc, argv);
+}

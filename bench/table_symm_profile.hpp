@@ -1,0 +1,79 @@
+// Shared implementation for Tables I-III: cuda_profile-style counter
+// comparison of OA vs the CUBLAS-like SYMM at size 4096 (per-SM counts,
+// as the paper's profiler reports).
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "support/strings.hpp"
+
+namespace oa::bench {
+
+inline int run_symm_profile_table(const gpusim::DeviceModel& device,
+                                  const char* title, bool fermi_style,
+                                  int argc, char** argv) {
+  FigureOptions options;
+  options.problem_size = 4096;
+  options = parse_figure_args(argc, argv, options);
+
+  OaOptions oa_options;
+  oa_options.tuning_size = options.tuning_size;
+  OaFramework framework(device, oa_options);
+  const blas3::Variant v = *blas3::find_variant("SYMM-LL");
+
+  auto tuned = framework.generate(v);
+  if (!tuned.is_ok()) {
+    std::printf("OA generation failed: %s\n",
+                tuned.status().to_string().c_str());
+    return 1;
+  }
+  auto cublas = baseline::cublas_like(v, device);
+  if (!cublas.is_ok()) {
+    std::printf("baseline failed: %s\n",
+                cublas.status().to_string().c_str());
+    return 1;
+  }
+  auto oa_prof = framework.profile(tuned->program, v, options.problem_size,
+                                   tuner::bools_for(tuned->candidate));
+  auto cu_prof = framework.profile(*cublas, v, options.problem_size);
+  if (!oa_prof.is_ok() || !cu_prof.is_ok()) {
+    std::printf("profiling failed\n");
+    return 1;
+  }
+
+  std::printf("== %s ==\n(SYMM-LL, N = %lld, per-SM profiler counts)\n\n",
+              title, static_cast<long long>(options.problem_size));
+  TextTable table({"Events", "CUBLAS-like", "OA"});
+  auto add = [&](const char* name, int64_t cu, int64_t oa) {
+    table.add_row({name, format_millions(cu), format_millions(oa)});
+  };
+  if (fermi_style) {
+    add("gld_request", cu_prof->gld_request, oa_prof->gld_request);
+    add("gst_request", cu_prof->gst_request, oa_prof->gst_request);
+    add("local_read", cu_prof->local_read, oa_prof->local_read);
+    add("local_store", cu_prof->local_store, oa_prof->local_store);
+    add("inst_executed", cu_prof->instructions, oa_prof->instructions);
+  } else {
+    add("gld_incoherent", cu_prof->gld_incoherent, oa_prof->gld_incoherent);
+    add("gld_coherent", cu_prof->gld_coherent, oa_prof->gld_coherent);
+    add("gst_incoherent", cu_prof->gst_incoherent, oa_prof->gst_incoherent);
+    add("gst_coherent", cu_prof->gst_coherent, oa_prof->gst_coherent);
+    add("instructions", cu_prof->instructions, oa_prof->instructions);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double inst_ratio =
+      oa_prof->instructions > 0
+          ? static_cast<double>(cu_prof->instructions) /
+                static_cast<double>(oa_prof->instructions)
+          : 0.0;
+  std::printf("instruction ratio (CUBLAS-like / OA): %.2fx\n", inst_ratio);
+  if (!fermi_style) {
+    std::printf("OA non-coalesced loads: %lld (paper: completely removed)\n",
+                static_cast<long long>(oa_prof->gld_incoherent));
+  }
+  return 0;
+}
+
+}  // namespace oa::bench

@@ -1,0 +1,50 @@
+// A guided tour of the optimization components: applies the GEMM-NN
+// EPOD script to the labeled source one component at a time, printing
+// the kernel after every step — the transformation story of the
+// paper's §III, made visible.
+#include <cstdio>
+
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "ir/printer.hpp"
+#include "transforms/transform.hpp"
+
+int main() {
+  using namespace oa;
+  const blas3::Variant v = *blas3::find_variant("GEMM-NN");
+  ir::Program p = blas3::make_source_program(v);
+
+  transforms::TransformContext ctx;
+  ctx.params.block_tile_y = 32;
+  ctx.params.block_tile_x = 16;
+  ctx.params.threads_y = 32;
+  ctx.params.threads_x = 1;
+  ctx.params.k_tile = 8;
+  ctx.params.unroll = 4;
+
+  std::printf("=== labeled source (paper Fig 3, top) ===\n%s\n",
+              ir::to_string(p.main_kernel()).c_str());
+
+  const epod::Script& script = epod::gemm_nn_script();
+  for (const transforms::Invocation& inv : script.invocations) {
+    Status s = transforms::apply(p, inv, ctx);
+    std::printf("=== after %s ===\n", inv.to_string().c_str());
+    if (!s.is_ok()) {
+      std::printf("(failed: %s)\n\n", s.to_string().c_str());
+      continue;
+    }
+    std::printf("%s\n", ir::to_string(p.main_kernel()).c_str());
+  }
+
+  std::printf(
+      "note how:\n"
+      " * thread_grouping split i/j into block, thread and point "
+      "levels;\n"
+      " * loop_tiling hoisted the kk loop and placed the reduction "
+      "between the\n   register-block point loops (Volkov order);\n"
+      " * SM_alloc staged the transposed B tile with a padded leading\n"
+      "   dimension (bank conflicts) and barriers;\n"
+      " * reg_alloc gave each thread a private C block with a guarded "
+      "flush.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "adl/adaptor.hpp"
+
+#include <sstream>
+
+#include "epod/script.hpp"
+#include "support/strings.hpp"
+
+namespace oa::adl {
+
+using transforms::Invocation;
+
+Adaptor Adaptor::bind(const std::string& actual) const {
+  Adaptor out = *this;
+  for (AdaptorRule& rule : out.rules) {
+    for (Invocation& inv : rule.sequence) {
+      for (std::string& arg : inv.args) {
+        if (arg == formal) arg = actual;
+      }
+    }
+    // Conditions mention the formal too: blank(X).zero -> blank(A).zero.
+    size_t pos;
+    const std::string pat = "(" + formal + ")";
+    while ((pos = rule.condition.find(pat)) != std::string::npos) {
+      rule.condition.replace(pos, pat.size(), "(" + actual + ")");
+    }
+  }
+  out.formal = actual;
+  return out;
+}
+
+std::string Adaptor::to_string() const {
+  std::ostringstream os;
+  os << "adaptor " << name << "(" << formal << "):\n";
+  for (const AdaptorRule& rule : rules) {
+    os << "  |";
+    for (size_t i = 0; i < rule.sequence.size(); ++i) {
+      os << ' ' << rule.sequence[i].to_string() << ';';
+    }
+    if (!rule.condition.empty()) {
+      os << " {cond(" << rule.condition << ")}";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+StatusOr<Adaptor> parse_adaptor(std::string_view text) {
+  Adaptor out;
+  // Header: "adaptor NAME(FORMAL):".
+  size_t pos = text.find("adaptor");
+  if (pos == std::string_view::npos) {
+    return invalid_argument("missing 'adaptor' keyword");
+  }
+  size_t open = text.find('(', pos);
+  size_t close = text.find(')', pos);
+  size_t colon = text.find(':', pos);
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      colon == std::string_view::npos || close < open || colon < close) {
+    return invalid_argument("malformed adaptor header");
+  }
+  out.name = std::string(trim(text.substr(pos + 7, open - pos - 7)));
+  out.formal = std::string(trim(text.substr(open + 1, close - open - 1)));
+  if (out.name.empty() || out.formal.empty()) {
+    return invalid_argument("adaptor needs a name and a formal parameter");
+  }
+
+  // Rules: '|'-separated; the segment before the first '|' is dropped
+  // (whitespace), every later segment is one rule — an empty segment is
+  // the "keep X unchanged" rule.
+  std::string_view body = text.substr(colon + 1);
+  std::vector<std::string> segments = split(body, '|');
+  if (segments.size() < 2) {
+    return invalid_argument("adaptor '" + out.name + "' has no rules");
+  }
+  for (size_t seg = 1; seg < segments.size(); ++seg) {
+    std::string_view rt = trim(segments[seg]);
+    AdaptorRule rule;
+    // Optional {cond(...)} suffix.
+    const size_t cond_pos = rt.find("{cond(");
+    if (cond_pos != std::string_view::npos) {
+      const size_t cond_end = rt.rfind(")}");
+      if (cond_end == std::string_view::npos || cond_end < cond_pos) {
+        return invalid_argument("malformed cond(...) clause");
+      }
+      rule.condition =
+          std::string(trim(rt.substr(cond_pos + 6, cond_end - cond_pos - 6)));
+      rt = trim(rt.substr(0, cond_pos));
+    }
+    if (!rt.empty()) {
+      OA_ASSIGN_OR_RETURN(epod::Script seq, epod::parse_script(rt));
+      rule.sequence = std::move(seq.invocations);
+    }
+    out.rules.push_back(std::move(rule));
+  }
+  if (out.rules.empty()) {
+    return invalid_argument("adaptor '" + out.name + "' has no rules");
+  }
+  return out;
+}
+
+namespace {
+
+Adaptor parse_builtin(const char* text) {
+  auto parsed = parse_adaptor(text);
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+const Adaptor& adaptor_transpose() {
+  static const Adaptor a = parse_builtin(R"(
+    adaptor Adaptor_Transpose(X):
+      |
+      | GM_map(X, Transpose);
+      | SM_alloc(X, Transpose);
+  )");
+  return a;
+}
+
+const Adaptor& adaptor_symmetry() {
+  static const Adaptor a = parse_builtin(R"(
+    adaptor Adaptor_Symmetry(X):
+      |
+      | GM_map(X, Symmetry); format_iteration(X, Symmetry);
+      | format_iteration(X, Symmetry); SM_alloc(X, Symmetry);
+  )");
+  return a;
+}
+
+const Adaptor& adaptor_triangular() {
+  static const Adaptor a = parse_builtin(R"(
+    adaptor Adaptor_Triangular(X):
+      |
+      | peel_triangular(X);
+      | padding_triangular(X); {cond(blank(X).zero = true)}
+  )");
+  return a;
+}
+
+const Adaptor& adaptor_solver() {
+  static const Adaptor a = parse_builtin(R"(
+    adaptor Adaptor_Solver(X):
+      | peel_triangular(X); binding_triangular(X, 0);
+  )");
+  return a;
+}
+
+const Adaptor* find_adaptor(std::string_view name) {
+  for (const Adaptor* a :
+       {&adaptor_transpose(), &adaptor_symmetry(), &adaptor_triangular(),
+        &adaptor_solver()}) {
+    if (a->name == name) return a;
+  }
+  return nullptr;
+}
+
+}  // namespace oa::adl

@@ -1,0 +1,56 @@
+// The Adaptor Definition Language (paper §IV-A): an adaptor relates a
+// new routine to an existing optimization scheme by listing alternative
+// component sequences for one matrix argument:
+//
+//   adaptor Adaptor_Transpose(X):
+//     |
+//     | GM_map(X, Transpose);
+//     | SM_alloc(X, Transpose);
+//
+// Each '|' starts one rule; an empty rule keeps X unchanged. A rule may
+// carry a condition, e.g. {cond(blank(X).zero = true)}, which makes the
+// composer emit multi-versioned code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::adl {
+
+struct AdaptorRule {
+  std::vector<transforms::Invocation> sequence;  // may be empty
+  /// Raw condition text ("blank(X).zero = true"); empty when absent.
+  std::string condition;
+
+  bool operator==(const AdaptorRule&) const = default;
+};
+
+struct Adaptor {
+  std::string name;    // "Adaptor_Transpose"
+  std::string formal;  // formal parameter, usually "X"
+  std::vector<AdaptorRule> rules;
+
+  /// Substitute the formal parameter with an actual matrix name
+  /// ("A", "B"): returns the bound adaptor ready for composition.
+  Adaptor bind(const std::string& actual) const;
+
+  /// ADL-syntax rendering.
+  std::string to_string() const;
+};
+
+/// Parse an ADL definition.
+StatusOr<Adaptor> parse_adaptor(std::string_view text);
+
+/// The four built-in adaptors of the paper (§IV-A.1 - §IV-A.4).
+const Adaptor& adaptor_transpose();
+const Adaptor& adaptor_symmetry();
+const Adaptor& adaptor_triangular();
+const Adaptor& adaptor_solver();
+
+/// Look up a built-in by name (nullptr when unknown).
+const Adaptor* find_adaptor(std::string_view name);
+
+}  // namespace oa::adl

@@ -1,0 +1,203 @@
+#include "baseline/baseline.hpp"
+
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::baseline {
+
+using blas3::Family;
+using blas3::Variant;
+using gpusim::DeviceModel;
+using transforms::TransformContext;
+using transforms::TuningParams;
+
+namespace {
+
+/// Volkov-style fixed schedule parameters: one thread per row, 16-wide
+/// column strip in registers, 16-deep k tiles.
+TuningParams volkov_params() {
+  TuningParams p;
+  p.block_tile_y = 64;
+  p.block_tile_x = 16;
+  p.threads_y = 64;
+  p.threads_x = 1;
+  p.k_tile = 16;
+  p.unroll = 4;
+  return p;
+}
+
+StatusOr<ir::Program> apply_fixed(const Variant& v,
+                                  const std::string& script_text,
+                                  const TuningParams& params) {
+  ir::Program p = blas3::make_source_program(v);
+  OA_ASSIGN_OR_RETURN(epod::Script script, epod::parse_script(script_text));
+  TransformContext ctx;
+  ctx.params = params;
+  // Baselines use filter semantics too: loop_unroll legitimately fails
+  // on the divergent triangular bounds (that *is* the baseline's
+  // weakness).
+  OA_ASSIGN_OR_RETURN(uint64_t applied,
+                      epod::apply_script_lenient(p, script, ctx));
+  if (applied == 0) {
+    return internal_error("baseline schedule failed to apply for " +
+                          v.name());
+  }
+  return p;
+}
+
+constexpr const char* kGemmSchedule = R"(
+  (Lii, Ljj) = thread_grouping(Li, Lj);
+  (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+  loop_unroll(Ljjj, Lkkk);
+  SM_alloc(B, Transpose);
+  reg_alloc(C);
+)";
+
+// Transposed-A GEMM: CUBLAS stages the A tile through shared memory so
+// the transposed traversal stays coalesced (a fixed schedule, not the
+// searched variants OA generates).
+constexpr const char* kGemmTransASchedule = R"(
+  (Lii, Ljj) = thread_grouping(Li, Lj);
+  (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+  loop_unroll(Ljjj, Lkkk);
+  SM_alloc(A, Transpose);
+  SM_alloc(B, Transpose);
+  reg_alloc(C);
+)";
+
+// Mixed-mode SYMM: fission the triangle (format_iteration without a
+// preceding GM_map cannot fuse), then the GEMM schedule. The shadow
+// loop keeps its transposed-orientation global reads.
+constexpr const char* kSymmSchedule = R"(
+  format_iteration(A, Symmetry);
+  (Lii, Ljj) = thread_grouping(Li, Lj);
+  (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+  loop_unroll(Ljjj, Lkkk);
+  SM_alloc(B, Transpose);
+  reg_alloc(C);
+)";
+
+// Right-side SYMM: the mixed-mode traversal reads A[j][k]/A[k][j] as a
+// per-iteration broadcast, which CC 1.0 would serialize into oblivion;
+// like the real library, the baseline stages the symmetric tile in
+// shared memory (the instruction-count penalty of the unfused loops
+// remains).
+constexpr const char* kSymmScheduleRight = R"(
+  format_iteration(A, Symmetry);
+  (Lii, Ljj) = thread_grouping(Li, Lj);
+  (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+  loop_unroll(Ljjj, Lkkk);
+  SM_alloc(B, Transpose);
+  SM_alloc(A, Symmetry);
+  reg_alloc(C);
+)";
+
+constexpr const char* kTrsmSchedule = R"(
+  (Lii, Ljj) = thread_grouping(Li, Lj);
+  (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+  peel_triangular(A);
+  binding_triangular(A, 0);
+  loop_unroll(Ljjj, Lkkk);
+  SM_alloc(B, Transpose);
+  reg_alloc(B);
+)";
+
+constexpr const char* kTrsmScheduleRight = R"(
+  (Ljj, Lii) = thread_grouping(Lj, Li);
+  (Ljjj, Liii, Lkkk) = loop_tiling(Ljj, Lii, Lk);
+  peel_triangular(A);
+  binding_triangular(A, 0);
+  loop_unroll(Liii, Lkkk);
+  SM_alloc(B, Transpose);
+  reg_alloc(B);
+)";
+
+bool is_right_side(const Variant& v) {
+  return (v.family == Family::kTrsm || v.family == Family::kTrmm ||
+          v.family == Family::kSymm) &&
+         v.side == blas3::Side::kRight;
+}
+
+}  // namespace
+
+StatusOr<ir::Program> cublas_like(const Variant& v,
+                                  const DeviceModel& device) {
+  switch (v.family) {
+    case Family::kGemm:
+      return apply_fixed(v,
+                         v.trans_a == blas3::Trans::kT
+                             ? kGemmTransASchedule
+                             : kGemmSchedule,
+                         volkov_params());
+    case Family::kSymm:
+      return apply_fixed(
+          v, is_right_side(v) ? kSymmScheduleRight : kSymmSchedule,
+          volkov_params());
+    case Family::kTrmm:
+      // GEMM schedule straight onto the triangular bounds: no peeling,
+      // no padding — the divergent k bounds defeat loop_unroll. The
+      // transposed and right-side variants read A strided/broadcast, so
+      // (like the real library) A is staged through shared memory.
+      return apply_fixed(v,
+                         v.trans == blas3::Trans::kT || is_right_side(v)
+                             ? kGemmTransASchedule
+                             : kGemmSchedule,
+                         volkov_params());
+    case Family::kTrsm: {
+      // Small tiles and shallow unrolling: many serialized waves. The
+      // Fermi build of CUBLAS 3.2 shipped a better 32-row solver.
+      TuningParams p;
+      const bool fermi =
+          device.coalescing == gpusim::CoalescingModel::kFermi;
+      p.block_tile_y = fermi ? 64 : 16;
+      p.block_tile_x = 16;
+      p.threads_y = fermi ? 16 : 16;
+      p.threads_x = fermi ? 4 : 1;
+      p.k_tile = 16;
+      p.unroll = fermi ? 4 : 1;
+      return apply_fixed(
+          v, is_right_side(v) ? kTrsmScheduleRight : kTrsmSchedule, p);
+    }
+    case Family::kSyrk:
+      return not_found(
+          "no CUBLAS-3.2-like SYRK baseline: SYRK is a post-paper "
+          "extension routine");
+  }
+  return internal_error("unhandled family");
+}
+
+StatusOr<ir::Program> magma_like(const Variant& v,
+                                 const DeviceModel& device) {
+  if (device.name != gpusim::gtx285().name) {
+    return not_found(
+        "MAGMA v0.2 comparison is only available on GTX285 (the paper "
+        "reports it performs no better than CUBLAS elsewhere)");
+  }
+  switch (v.family) {
+    case Family::kGemm: {
+      TuningParams p = volkov_params();
+      p.unroll = 16;  // deeper unrolling than the CUBLAS build
+      return apply_fixed(v, kGemmSchedule, p);
+    }
+    case Family::kTrsm: {
+      TuningParams p;
+      p.block_tile_y = 32;
+      p.block_tile_x = 16;
+      p.threads_y = 32;
+      p.threads_x = 1;
+      p.k_tile = 16;
+      p.unroll = 1;
+      return apply_fixed(
+          v, is_right_side(v) ? kTrsmScheduleRight : kTrsmSchedule, p);
+    }
+    case Family::kSymm:
+    case Family::kTrmm:
+    case Family::kSyrk:
+      return not_found("MAGMA v0.2 has no " +
+                       std::string(blas3::family_name(v.family)));
+  }
+  return internal_error("unhandled family");
+}
+
+}  // namespace oa::baseline

@@ -1,0 +1,43 @@
+// Baseline vendor libraries for the paper's comparisons.
+//
+// The paper compares against CUBLAS 3.2 (all 24 variants) and MAGMA
+// v0.2 (GEMM and TRSM variants, GTX285 only). Neither ships source we
+// can run here, so DESIGN.md's substitution applies: each baseline is a
+// *fixed* kernel schedule in the same IR, synthesized from the
+// documented behaviour of those libraries and run through the same
+// simulator:
+//
+//  * cublas-like GEMM: the Volkov & Demmel schedule [2] (CUBLAS 1.x-3.x
+//    shipped descendants of that code): one thread per row, B tile in
+//    shared memory, register C strip, fixed tile sizes.
+//  * cublas-like SYMM: the mixed-mode triangle traversal of
+//    ssymm_main_hw_lo_left_fulltile — the stored triangle is read in
+//    both orientations from global memory and the real/shadow loops
+//    stay unfused: ~2x dynamic instructions, and the shadow-orientation
+//    access is non-coalesced on CC 1.0 (Table I), segment-inflated on
+//    CC 1.3 (Table II) and line-inflated on Fermi (Table III).
+//  * cublas-like TRMM: the GEMM schedule on the triangular bounds,
+//    without peel/padding (divergent bounds, no unrolling).
+//  * cublas-like TRSM: wave-serialized solver with a small 16-wide
+//    block tile (many waves, per-wave launch overhead).
+//  * magma-like (GTX285): a stronger GEMM (deeper unroll) and a
+//    moderate blocked TRSM; SYMM/TRMM are absent, as in MAGMA v0.2.
+#pragma once
+
+#include "blas3/routine.hpp"
+#include "gpusim/device.hpp"
+#include "ir/kernel.hpp"
+#include "support/status.hpp"
+
+namespace oa::baseline {
+
+/// The CUBLAS-3.2-like implementation of `v` for `device`.
+StatusOr<ir::Program> cublas_like(const blas3::Variant& v,
+                                  const gpusim::DeviceModel& device);
+
+/// The MAGMA-v0.2-like implementation: only GEMM and TRSM variants, and
+/// only on GTX285 (kNotFound otherwise) — matching the paper's Fig 11.
+StatusOr<ir::Program> magma_like(const blas3::Variant& v,
+                                 const gpusim::DeviceModel& device);
+
+}  // namespace oa::baseline

@@ -1,0 +1,62 @@
+#include "blas3/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace oa::blas3 {
+
+void Matrix::make_triangular(Uplo uplo) {
+  for (int64_t c = 0; c < cols_; ++c) {
+    for (int64_t r = 0; r < rows_; ++r) {
+      const bool keep =
+          uplo == Uplo::kLower ? r >= c : r <= c;
+      if (!keep) at(r, c) = 0.0f;
+    }
+  }
+}
+
+void Matrix::set_unit_diagonal() {
+  const int64_t n = std::min(rows_, cols_);
+  for (int64_t i = 0; i < n; ++i) at(i, i) = 1.0f;
+}
+
+void Matrix::scale_off_diagonal(float factor) {
+  for (int64_t c = 0; c < cols_; ++c) {
+    for (int64_t r = 0; r < rows_; ++r) {
+      if (r != c) at(r, c) *= factor;
+    }
+  }
+}
+
+void Matrix::make_symmetric_from(Uplo uplo) {
+  assert(rows_ == cols_);
+  for (int64_t c = 0; c < cols_; ++c) {
+    for (int64_t r = 0; r < c; ++r) {
+      // (r, c) is in the upper triangle, (c, r) in the lower.
+      if (uplo == Uplo::kLower) {
+        at(r, c) = at(c, r);
+      } else {
+        at(c, r) = at(r, c);
+      }
+    }
+  }
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  float worst = 0.0f;
+  auto da = a.data();
+  auto db = b.data();
+  for (size_t i = 0; i < da.size(); ++i) {
+    worst = std::max(worst, std::fabs(da[i] - db[i]));
+  }
+  return worst;
+}
+
+float accumulation_tolerance(int64_t k) {
+  // Inputs are in [-1, 1); a length-k float accumulation keeps error
+  // well under k * eps with a generous constant.
+  return 32.0f * static_cast<float>(k) * 1.19e-7f + 1e-5f;
+}
+
+}  // namespace oa::blas3

@@ -1,0 +1,67 @@
+// Column-major float matrices for host-side references and the
+// simulator's global-memory buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blas3/routine.hpp"
+#include "support/rng.hpp"
+
+namespace oa::blas3 {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  float& at(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r + c * rows_)];
+  }
+  float at(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r + c * rows_)];
+  }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  void fill_random(Rng& rng) { rng.fill(data_); }
+
+  /// Keep only the `uplo` triangle (diagonal included); the other
+  /// triangle is zeroed — the "blank area" of the paper's Fig 6, which
+  /// padding_triangular's multi-versioned code requires to be zero.
+  void make_triangular(Uplo uplo);
+
+  /// Make unit-diagonal (for TRSM's unit triangular solves).
+  void set_unit_diagonal();
+
+  /// Scale every off-diagonal element by `factor`. Triangular solves
+  /// amplify rounding error exponentially in the magnitude of the
+  /// off-diagonal entries; verification inputs use a small factor so
+  /// absolute tolerances stay meaningful.
+  void scale_off_diagonal(float factor);
+
+  /// Mirror the `uplo` triangle onto the other so the matrix is
+  /// symmetric; storage still holds the full matrix (references read
+  /// only the stored triangle).
+  void make_symmetric_from(Uplo uplo);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// max |a - b| over all elements (matrices must have equal shape).
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Relative error bound suitable for float accumulation of length k.
+float accumulation_tolerance(int64_t k);
+
+}  // namespace oa::blas3

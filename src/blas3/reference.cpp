@@ -1,0 +1,185 @@
+#include "blas3/reference.hpp"
+
+#include <cassert>
+
+namespace oa::blas3 {
+namespace {
+
+void ref_gemm(const Variant& v, const Matrix& a, const Matrix& b,
+              Matrix& c) {
+  const int64_t m = c.rows();
+  const int64_t n = c.cols();
+  const int64_t k_extent =
+      v.trans_a == Trans::kN ? a.cols() : a.rows();
+  auto a_at = [&](int64_t i, int64_t k) {
+    return v.trans_a == Trans::kN ? a.at(i, k) : a.at(k, i);
+  };
+  auto b_at = [&](int64_t k, int64_t j) {
+    return v.trans_b == Trans::kN ? b.at(k, j) : b.at(j, k);
+  };
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t i = 0; i < m; ++i) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < k_extent; ++k) acc += a_at(i, k) * b_at(k, j);
+      c.at(i, j) += acc;
+    }
+  }
+}
+
+void ref_symm(const Variant& v, const Matrix& a, const Matrix& b,
+              Matrix& c) {
+  const int64_t m = c.rows();
+  const int64_t n = c.cols();
+  if (v.side == Side::kLeft) {
+    assert(a.rows() == m && a.cols() == m);
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < m; ++i) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < m; ++k) {
+          acc += sym_at(a, i, k, v.uplo) * b.at(k, j);
+        }
+        c.at(i, j) += acc;
+      }
+    }
+  } else {
+    assert(a.rows() == n && a.cols() == n);
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < m; ++i) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < n; ++k) {
+          acc += b.at(i, k) * sym_at(a, k, j, v.uplo);
+        }
+        c.at(i, j) += acc;
+      }
+    }
+  }
+}
+
+void ref_trmm(const Variant& v, const Matrix& a, const Matrix& b,
+              Matrix& c) {
+  const int64_t m = c.rows();
+  const int64_t n = c.cols();
+  auto opa = [&](int64_t r, int64_t col) {
+    return v.trans == Trans::kN ? tri_at(a, r, col, v.uplo)
+                                : tri_at(a, col, r, v.uplo);
+  };
+  if (v.side == Side::kLeft) {
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < m; ++i) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < m; ++k) acc += opa(i, k) * b.at(k, j);
+        c.at(i, j) += acc;
+      }
+    }
+  } else {
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < m; ++i) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < n; ++k) acc += b.at(i, k) * opa(k, j);
+        c.at(i, j) += acc;
+      }
+    }
+  }
+}
+
+void ref_trsm(const Variant& v, const Matrix& a, Matrix& b) {
+  const int64_t m = b.rows();
+  const int64_t n = b.cols();
+  // Unit-diagonal solve; op(A) element (r, c) with zero outside triangle
+  // and an implicit 1 on the diagonal.
+  auto opa = [&](int64_t r, int64_t c) {
+    return v.trans == Trans::kN ? tri_at(a, r, c, v.uplo)
+                                : tri_at(a, c, r, v.uplo);
+  };
+  // Effective triangle of op(A): transposition flips it.
+  const Uplo eff =
+      v.trans == Trans::kN
+          ? v.uplo
+          : (v.uplo == Uplo::kLower ? Uplo::kUpper : Uplo::kLower);
+  if (v.side == Side::kLeft) {
+    // Solve op(A) X = B. Lower effective triangle: forward substitution.
+    if (eff == Uplo::kLower) {
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t k = 0; k < i; ++k) acc += opa(i, k) * b.at(k, j);
+          b.at(i, j) -= acc;
+        }
+      }
+    } else {
+      for (int64_t i = m - 1; i >= 0; --i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t k = i + 1; k < m; ++k) acc += opa(i, k) * b.at(k, j);
+          b.at(i, j) -= acc;
+        }
+      }
+    }
+  } else {
+    // Solve X op(A) = B. Lower effective triangle: backward in j.
+    if (eff == Uplo::kLower) {
+      for (int64_t j = n - 1; j >= 0; --j) {
+        for (int64_t i = 0; i < m; ++i) {
+          float acc = 0.0f;
+          for (int64_t k = j + 1; k < n; ++k) acc += b.at(i, k) * opa(k, j);
+          b.at(i, j) -= acc;
+        }
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        for (int64_t i = 0; i < m; ++i) {
+          float acc = 0.0f;
+          for (int64_t k = 0; k < j; ++k) acc += b.at(i, k) * opa(k, j);
+          b.at(i, j) -= acc;
+        }
+      }
+    }
+  }
+}
+
+void ref_syrk(const Variant& v, const Matrix& a, Matrix& c) {
+  const int64_t m = c.rows();
+  const int64_t k_extent = v.trans == Trans::kN ? a.cols() : a.rows();
+  auto opa = [&](int64_t r, int64_t kk) {
+    return v.trans == Trans::kN ? a.at(r, kk) : a.at(kk, r);
+  };
+  for (int64_t j = 0; j < m; ++j) {
+    for (int64_t i = 0; i < m; ++i) {
+      const bool stored = v.uplo == Uplo::kLower ? i >= j : i <= j;
+      if (!stored) continue;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k_extent; ++kk) {
+        acc += opa(i, kk) * opa(j, kk);
+      }
+      c.at(i, j) += acc;
+    }
+  }
+}
+
+}  // namespace
+
+void run_reference(const Variant& v, const Matrix& a, Matrix& b, Matrix* c) {
+  switch (v.family) {
+    case Family::kGemm:
+      assert(c != nullptr);
+      ref_gemm(v, a, b, *c);
+      break;
+    case Family::kSymm:
+      assert(c != nullptr);
+      ref_symm(v, a, b, *c);
+      break;
+    case Family::kTrmm:
+      assert(c != nullptr);
+      ref_trmm(v, a, b, *c);
+      break;
+    case Family::kTrsm:
+      ref_trsm(v, a, b);
+      break;
+    case Family::kSyrk:
+      assert(c != nullptr);
+      ref_syrk(v, a, *c);
+      break;
+  }
+}
+
+}  // namespace oa::blas3

@@ -1,0 +1,29 @@
+// Straightforward CPU reference implementations of the 24 BLAS3
+// variants; the oracle every simulated kernel is verified against.
+#pragma once
+
+#include "blas3/matrix.hpp"
+#include "blas3/routine.hpp"
+
+namespace oa::blas3 {
+
+/// Run variant `v` on host. For GEMM/SYMM/TRMM, accumulates into `c`
+/// (C += op(A) * op(B)); `c` must be pre-sized M x N. For TRSM, solves
+/// in place into `b` and ignores `c` (may be null for TRSM only).
+/// Shapes: see routine.hpp conventions. `m`/`n`/`k` are taken from the
+/// matrix shapes.
+void run_reference(const Variant& v, const Matrix& a, Matrix& b, Matrix* c);
+
+/// Element accessor of a symmetric matrix stored in triangle `uplo`.
+inline float sym_at(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
+  const bool stored = uplo == Uplo::kLower ? r >= c : r <= c;
+  return stored ? a.at(r, c) : a.at(c, r);
+}
+
+/// Element accessor of a triangular matrix: zero outside the triangle.
+inline float tri_at(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
+  const bool stored = uplo == Uplo::kLower ? r >= c : r <= c;
+  return stored ? a.at(r, c) : 0.0f;
+}
+
+}  // namespace oa::blas3

@@ -1,0 +1,131 @@
+#include "blas3/routine.hpp"
+
+namespace oa::blas3 {
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kGemm: return "GEMM";
+    case Family::kSymm: return "SYMM";
+    case Family::kTrmm: return "TRMM";
+    case Family::kTrsm: return "TRSM";
+    case Family::kSyrk: return "SYRK";
+  }
+  return "?";
+}
+
+std::string Variant::name() const {
+  std::string out = family_name(family);
+  out += '-';
+  switch (family) {
+    case Family::kGemm:
+      out += trans_a == Trans::kN ? 'N' : 'T';
+      out += trans_b == Trans::kN ? 'N' : 'T';
+      break;
+    case Family::kSymm:
+      out += side == Side::kLeft ? 'L' : 'R';
+      out += uplo == Uplo::kLower ? 'L' : 'U';
+      break;
+    case Family::kTrmm:
+    case Family::kTrsm:
+      out += side == Side::kLeft ? 'L' : 'R';
+      out += uplo == Uplo::kLower ? 'L' : 'U';
+      out += '-';
+      out += trans == Trans::kN ? 'N' : 'T';
+      break;
+    case Family::kSyrk:
+      out += uplo == Uplo::kLower ? 'L' : 'U';
+      out += trans == Trans::kN ? 'N' : 'T';
+      break;
+  }
+  return out;
+}
+
+const std::vector<Variant>& all_variants() {
+  static const std::vector<Variant> variants = [] {
+    std::vector<Variant> v;
+    for (Trans ta : {Trans::kN, Trans::kT}) {
+      for (Trans tb : {Trans::kN, Trans::kT}) {
+        Variant g;
+        g.family = Family::kGemm;
+        g.trans_a = ta;
+        g.trans_b = tb;
+        v.push_back(g);
+      }
+    }
+    for (Side s : {Side::kLeft, Side::kRight}) {
+      for (Uplo u : {Uplo::kLower, Uplo::kUpper}) {
+        Variant m;
+        m.family = Family::kSymm;
+        m.side = s;
+        m.uplo = u;
+        v.push_back(m);
+      }
+    }
+    for (Family f : {Family::kTrmm, Family::kTrsm}) {
+      for (Side s : {Side::kLeft, Side::kRight}) {
+        for (Uplo u : {Uplo::kLower, Uplo::kUpper}) {
+          for (Trans t : {Trans::kN, Trans::kT}) {
+            Variant m;
+            m.family = f;
+            m.side = s;
+            m.uplo = u;
+            m.trans = t;
+            v.push_back(m);
+          }
+        }
+      }
+    }
+    return v;
+  }();
+  return variants;
+}
+
+const std::vector<Variant>& extension_variants() {
+  static const std::vector<Variant> variants = [] {
+    std::vector<Variant> v;
+    for (Uplo u : {Uplo::kLower, Uplo::kUpper}) {
+      for (Trans t : {Trans::kN, Trans::kT}) {
+        Variant m;
+        m.family = Family::kSyrk;
+        m.uplo = u;
+        m.trans = t;
+        v.push_back(m);
+      }
+    }
+    return v;
+  }();
+  return variants;
+}
+
+const Variant* find_variant(const std::string& name) {
+  for (const Variant& v : all_variants()) {
+    if (v.name() == name) return &v;
+  }
+  for (const Variant& v : extension_variants()) {
+    if (v.name() == name) return &v;
+  }
+  return nullptr;
+}
+
+double nominal_flops(const Variant& v, int64_t m, int64_t n, int64_t k) {
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  switch (v.family) {
+    case Family::kGemm:
+      return 2.0 * dm * dn * dk;
+    case Family::kSymm:
+      // Full symmetric multiply: 2*M*N*(M or N) depending on side.
+      return 2.0 * dm * dn * (v.side == Side::kLeft ? dm : dn);
+    case Family::kTrmm:
+    case Family::kTrsm:
+      // Triangular operand: half the multiply-adds of the square case.
+      return dm * dn * (v.side == Side::kLeft ? dm : dn);
+    case Family::kSyrk:
+      // Triangular output: M*(M+1)*K multiply-adds.
+      return dm * (dm + 1.0) * dk;
+  }
+  return 0.0;
+}
+
+}  // namespace oa::blas3

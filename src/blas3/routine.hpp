@@ -1,0 +1,65 @@
+// The BLAS3 routine catalog: the 24 single-precision variants the paper
+// evaluates (Figures 10-12): GEMM x4 transpose combinations, SYMM x4
+// side/uplo, TRMM x8 and TRSM x8 side/uplo/trans.
+//
+// Conventions (matching the paper's source listings):
+//  * column-major storage;
+//  * GEMM/SYMM/TRMM compute C += op(A)*op(B) into a separate C
+//    (alpha = beta = 1, as in the paper's labeled source code);
+//  * TRSM solves op(A) * X = B (left) or X * op(A) = B (right) in place
+//    with a *unit* triangular A — the paper's TRSM source
+//    (`B[i][j] -= A[i][k] * B[k][j]`, k < i) has no diagonal division,
+//    i.e. unit diagonal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oa::blas3 {
+
+enum class Family { kGemm, kSymm, kTrmm, kTrsm, kSyrk };
+enum class Trans { kN, kT };
+enum class Side { kLeft, kRight };
+enum class Uplo { kLower, kUpper };
+
+const char* family_name(Family f);
+
+/// Identity of one routine variant (e.g. TRSM-LL-N).
+struct Variant {
+  Family family = Family::kGemm;
+  // GEMM: transposition of A and B.
+  Trans trans_a = Trans::kN;
+  Trans trans_b = Trans::kN;
+  // SYMM / TRMM / TRSM: side and triangle of the structured matrix A.
+  Side side = Side::kLeft;
+  Uplo uplo = Uplo::kLower;
+  // TRMM / TRSM: transposition of A.
+  Trans trans = Trans::kN;
+
+  /// Paper-style name: "GEMM-NN", "SYMM-LL", "TRSM-LL-N", ...
+  std::string name() const;
+
+  bool operator==(const Variant&) const = default;
+};
+
+/// All 24 variants in the order the paper's figures list them
+/// (GEMM, SYMM, TRMM, TRSM).
+const std::vector<Variant>& all_variants();
+
+/// Extension routines beyond the paper's 24 (its stated future work:
+/// "extend our method to more routines"): SYRK, the symmetric rank-k
+/// update C_tri += op(A) * op(A)^T, whose *output* index space is
+/// triangular — a shape none of the original 24 exercises.
+const std::vector<Variant>& extension_variants();
+
+/// Look a variant up by its paper-style name (searches the paper's 24
+/// and the extensions); returns nullptr when the name is unknown.
+const Variant* find_variant(const std::string& name);
+
+/// Nominal useful FLOPs for problem size (m, n) with square structured
+/// matrices (GEMM uses k = m). Used to convert measured time to GFLOPS
+/// the way the paper does.
+double nominal_flops(const Variant& v, int64_t m, int64_t n, int64_t k);
+
+}  // namespace oa::blas3

@@ -1,0 +1,205 @@
+#include "composer/composer.hpp"
+
+#include <algorithm>
+
+#include "ir/validate.hpp"
+#include "support/log.hpp"
+
+namespace oa::composer {
+
+SplitSequence split(const std::vector<Invocation>& sequence) {
+  SplitSequence out;
+  for (const Invocation& inv : sequence) {
+    if (transforms::is_memory_component(inv.component)) {
+      out.memory.push_back(inv);
+    } else {
+      out.polyhedral.push_back(inv);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void mix_rec(const std::vector<Invocation>& a, size_t ia,
+             const std::vector<Invocation>& b, size_t ib,
+             std::vector<Invocation>& cur,
+             std::vector<std::vector<Invocation>>& out) {
+  if (ia == a.size() && ib == b.size()) {
+    out.push_back(cur);
+    return;
+  }
+  // Location constraint: a must-be-first component may only be placed
+  // at position 0 — prune the branch otherwise.
+  auto placeable = [&](const Invocation& inv) {
+    return !transforms::must_be_first(inv.component) || cur.empty();
+  };
+  if (ia < a.size() && placeable(a[ia])) {
+    cur.push_back(a[ia]);
+    mix_rec(a, ia + 1, b, ib, cur, out);
+    cur.pop_back();
+  }
+  if (ib < b.size() && placeable(b[ib])) {
+    cur.push_back(b[ib]);
+    mix_rec(a, ia, b, ib + 1, cur, out);
+    cur.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Invocation>> mix(
+    const std::vector<Invocation>& a, const std::vector<Invocation>& b) {
+  std::vector<std::vector<Invocation>> out;
+  std::vector<Invocation> cur;
+  mix_rec(a, 0, b, 0, cur, out);
+  // Drop duplicates (possible when a or b is empty).
+  std::vector<std::vector<Invocation>> unique;
+  for (auto& seq : out) {
+    if (std::find(unique.begin(), unique.end(), seq) == unique.end()) {
+      unique.push_back(std::move(seq));
+    }
+  }
+  return unique;
+}
+
+FilterOutcome filter_sequence(const ir::Program& source,
+                              const std::vector<Invocation>& sequence,
+                              const transforms::TransformContext& ctx) {
+  FilterOutcome out;
+  out.program = source;  // deep copy (Kernel has deep copy semantics)
+  for (const Invocation& inv : sequence) {
+    ir::Program backup = out.program;
+    Status s = transforms::apply(out.program, inv, ctx);
+    if (s.is_ok()) {
+      out.surviving.push_back(inv);
+    } else {
+      // Component omitted: the sequence degenerates (paper §IV-B.2).
+      out.program = std::move(backup);
+    }
+  }
+  out.valid = ir::validate(out.program).is_ok();
+  return out;
+}
+
+namespace {
+
+transforms::AllocMode compose_modes(transforms::AllocMode script_mode,
+                                    transforms::AllocMode adaptor_mode) {
+  using transforms::AllocMode;
+  if (script_mode == AllocMode::kNoChange) return adaptor_mode;
+  if (adaptor_mode == AllocMode::kNoChange) return script_mode;
+  if (script_mode == AllocMode::kTranspose &&
+      adaptor_mode == AllocMode::kTranspose) {
+    // The adaptor says the matrix is already stored transposed: two
+    // transpositions cancel (the paper's C = alpha*A*B^T + beta*C
+    // example yields SM_alloc(B, NoChange)).
+    return AllocMode::kNoChange;
+  }
+  // Symmetry composed with anything keeps the symmetric staging.
+  return AllocMode::kSymmetry;
+}
+
+}  // namespace
+
+std::vector<Invocation> merge_allocations(
+    const std::vector<Invocation>& base,
+    const std::vector<Invocation>& adaptor) {
+  std::vector<Invocation> out = base;
+  for (const Invocation& inv : adaptor) {
+    if (inv.component == "SM_alloc" && inv.args.size() == 2) {
+      auto same = std::find_if(out.begin(), out.end(),
+                               [&](const Invocation& o) {
+                                 return o.component == "SM_alloc" &&
+                                        !o.args.empty() &&
+                                        o.args[0] == inv.args[0];
+                               });
+      if (same != out.end()) {
+        auto m1 = transforms::parse_alloc_mode(same->args[1]);
+        auto m2 = transforms::parse_alloc_mode(inv.args[1]);
+        if (m1.is_ok() && m2.is_ok()) {
+          same->args[1] =
+              transforms::alloc_mode_name(compose_modes(*m1, *m2));
+          continue;
+        }
+      }
+    }
+    // reg_alloc / new-array SM_alloc: keep both unless identical.
+    if (std::find(out.begin(), out.end(), inv) == out.end()) {
+      out.push_back(inv);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<Candidate>> compose(
+    const epod::Script& base, const std::vector<adl::Adaptor>& adaptors,
+    const ir::Program& source, const transforms::TransformContext& ctx) {
+  const SplitSequence base_split = split(base.invocations);
+
+  // Enumerate the cartesian product of adaptor rules.
+  std::vector<std::vector<const adl::AdaptorRule*>> combos{{}};
+  for (const adl::Adaptor& a : adaptors) {
+    std::vector<std::vector<const adl::AdaptorRule*>> next;
+    for (const auto& combo : combos) {
+      for (const adl::AdaptorRule& rule : a.rules) {
+        auto extended = combo;
+        extended.push_back(&rule);
+        next.push_back(std::move(extended));
+      }
+    }
+    combos = std::move(next);
+  }
+
+  std::vector<Candidate> candidates;
+  for (const auto& combo : combos) {
+    // Mix the polyhedral parts of all rules into the base, in order.
+    std::vector<std::vector<Invocation>> mixed{base_split.polyhedral};
+    std::vector<Invocation> memory = base_split.memory;
+    std::vector<std::string> conditions;
+    for (const adl::AdaptorRule* rule : combo) {
+      SplitSequence rule_split = split(rule->sequence);
+      memory = merge_allocations(memory, rule_split.memory);
+      if (!rule->condition.empty()) conditions.push_back(rule->condition);
+      if (rule_split.polyhedral.empty()) continue;
+      std::vector<std::vector<Invocation>> next;
+      for (const auto& seq : mixed) {
+        for (auto& m : mix(seq, rule_split.polyhedral)) {
+          next.push_back(std::move(m));
+        }
+      }
+      mixed = std::move(next);
+    }
+
+    // Filter every mixed sequence; deduplicate the semi-output.
+    std::vector<std::vector<Invocation>> semi_output;
+    for (const auto& seq : mixed) {
+      FilterOutcome outcome = filter_sequence(source, seq, ctx);
+      if (!outcome.valid) continue;
+      if (std::find(semi_output.begin(), semi_output.end(),
+                    outcome.surviving) == semi_output.end()) {
+        semi_output.push_back(outcome.surviving);
+      }
+    }
+
+    // Generator: polyhedral survivors + merged memory part.
+    for (const auto& poly : semi_output) {
+      Candidate c;
+      c.script.routine = source.name;
+      c.script.invocations = poly;
+      c.script.invocations.insert(c.script.invocations.end(),
+                                  memory.begin(), memory.end());
+      c.conditions = conditions;
+      if (std::find(candidates.begin(), candidates.end(), c) ==
+          candidates.end()) {
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return failed_precondition("composition produced no legal script");
+  }
+  return candidates;
+}
+
+}  // namespace oa::composer

@@ -1,0 +1,81 @@
+// The Composer (paper §IV-B, Fig 8): takes an existing EPOD script plus
+// user-defined adaptors and derives the candidate EPOD scripts for a
+// new routine.
+//
+//   splitter  — separates a sequence into its polyhedral part and its
+//               memory-allocation part (SM_alloc / reg_alloc);
+//   mixer     — order-preserving interleavings of the base and adaptor
+//               polyhedral sequences, honouring location constraints
+//               (GM_map must come first), Fig 9;
+//   filter    — tries every mixed sequence component-by-component on
+//               the routine's source IR; failing components are
+//               omitted (sequences degenerate, §IV-B.2) and duplicate
+//               survivors are merged (the "semi-output");
+//   allocator — merges the memory-allocation declarations (two nested
+//               Transpose allocations cancel to NoChange — the paper's
+//               C = A * B^T example);
+//   generator — emits the final scripts (+ rule conditions for
+//               multi-versioned code).
+#pragma once
+
+#include <vector>
+
+#include "adl/adaptor.hpp"
+#include "epod/script.hpp"
+#include "ir/kernel.hpp"
+
+namespace oa::composer {
+
+using transforms::Invocation;
+
+/// Result of the splitter.
+struct SplitSequence {
+  std::vector<Invocation> polyhedral;
+  std::vector<Invocation> memory;
+};
+
+SplitSequence split(const std::vector<Invocation>& sequence);
+
+/// Order-preserving interleavings of `a` and `b`; sequences violating a
+/// location constraint (must_be_first component not first) are not
+/// generated.
+std::vector<std::vector<Invocation>> mix(
+    const std::vector<Invocation>& a, const std::vector<Invocation>& b);
+
+/// Filter one sequence: apply component-by-component to a copy of
+/// `source`; a failing component is omitted. Returns the surviving
+/// subsequence and the transformed program.
+struct FilterOutcome {
+  std::vector<Invocation> surviving;
+  ir::Program program;
+  bool valid = false;  // final structural/dependence check passed
+};
+
+FilterOutcome filter_sequence(const ir::Program& source,
+                              const std::vector<Invocation>& sequence,
+                              const transforms::TransformContext& ctx);
+
+/// The allocator: merge the base script's memory declarations with the
+/// adaptors'. Same-array SM_alloc modes compose (Transpose ∘ Transpose
+/// = NoChange).
+std::vector<Invocation> merge_allocations(
+    const std::vector<Invocation>& base,
+    const std::vector<Invocation>& adaptor);
+
+/// One generated candidate.
+struct Candidate {
+  epod::Script script;
+  /// Conditions from the adaptor rules used (e.g. "blank(A).zero =
+  /// true") — the tuner runs the multi-versioned code accordingly.
+  std::vector<std::string> conditions;
+
+  bool operator==(const Candidate&) const = default;
+};
+
+/// Full composition: base script x all rule combinations of the bound
+/// adaptors, mixed, filtered on `source`, allocations merged.
+StatusOr<std::vector<Candidate>> compose(
+    const epod::Script& base, const std::vector<adl::Adaptor>& adaptors,
+    const ir::Program& source, const transforms::TransformContext& ctx);
+
+}  // namespace oa::composer

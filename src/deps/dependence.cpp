@@ -1,0 +1,229 @@
+#include "deps/dependence.hpp"
+
+#include <optional>
+#include <string>
+
+namespace oa::deps {
+
+using ir::AffineExpr;
+using ir::ArrayRef;
+using ir::Interval;
+using ir::Node;
+using ir::NodePtr;
+using ir::RangeEnv;
+
+namespace {
+
+void collect_node(const Node& n, std::vector<const Node*>& chain,
+                  std::vector<Access>& out) {
+  switch (n.kind) {
+    case Node::Kind::kLoop:
+      chain.push_back(&n);
+      for (const auto& m : n.body) collect_node(*m, chain, out);
+      chain.pop_back();
+      break;
+    case Node::Kind::kAssign: {
+      const bool accum = n.op != ir::AssignOp::kAssign;
+      out.push_back({&n, n.lhs, /*is_write=*/true, accum, chain});
+      if (accum) {
+        // Read-modify-write: the lhs is also read.
+        out.push_back({&n, n.lhs, /*is_write=*/false, accum, chain});
+      }
+      n.rhs->visit_refs([&](const ArrayRef& r) {
+        out.push_back({&n, r, /*is_write=*/false, false, chain});
+      });
+      break;
+    }
+    case Node::Kind::kSync:
+      break;
+    case Node::Kind::kIf:
+      for (const auto& m : n.then_body) collect_node(*m, chain, out);
+      for (const auto& m : n.else_body) collect_node(*m, chain, out);
+      break;
+  }
+}
+
+// Instance suffixes / pivot names use \x01 so they can never collide with
+// user-visible variable names.
+constexpr const char* kPivot1 = "\x01v1";
+constexpr const char* kPivot2 = "\x01v2";
+constexpr const char* kSuffix1 = "\x01a";
+constexpr const char* kSuffix2 = "\x01b";
+
+/// Rename the private variables of an access instance: the tested loop's
+/// variable becomes `pivot`, variables of loops nested inside the tested
+/// loop get the instance suffix. Variables of loops *outside* the tested
+/// loop stay shared between both instances.
+AffineExpr instance_expr(const AffineExpr& e, std::string_view loop_var,
+                         const std::string& pivot, const Access& acc,
+                         const std::string& suffix) {
+  AffineExpr out = e.renamed(loop_var, pivot);
+  for (const Node* l : acc.loops) {
+    out = out.renamed(l->var, l->var + suffix);
+  }
+  return out;
+}
+
+/// Resolve an instance-suffixed symbol back to its base range.
+std::optional<Interval> instance_range(const std::string& name,
+                                       std::string_view loop_var,
+                                       const RangeEnv& ranges) {
+  std::string base = name;
+  for (const char* suffix : {kSuffix1, kSuffix2}) {
+    const std::string s(suffix);
+    if (base.size() > s.size() &&
+        base.compare(base.size() - s.size(), s.size(), s) == 0) {
+      base.resize(base.size() - s.size());
+    }
+  }
+  if (base == kPivot1 || base == kPivot2) base = std::string(loop_var);
+  auto it = ranges.find(base);
+  if (it == ranges.end()) return std::nullopt;
+  return it->second;
+}
+
+enum class DimVerdict {
+  kUnconstraining,  // consistent with any v1, v2
+  kForcesEqual,     // only solvable with v1 == v2
+  kIndependent,     // never solvable -> no dependence for the pair
+  kFeasible,        // solvable with v1 != v2 (or unknown: conservative)
+};
+
+/// Direction requirement between the two instances: kAny tests for any
+/// v1 != v2; kSecondLater only counts solutions with v2 > v1 (what
+/// fission legality needs).
+enum class Direction { kAny, kSecondLater };
+
+DimVerdict test_dim(const AffineExpr& f, std::string_view loop_var,
+                    const RangeEnv& ranges, Direction dir) {
+  if (f.is_constant()) {
+    return f.constant_term() == 0 ? DimVerdict::kUnconstraining
+                                  : DimVerdict::kIndependent;
+  }
+  const int64_t c1 = f.coeff(kPivot1);
+  const int64_t c2 = f.coeff(kPivot2);
+  bool only_pivots = true;
+  for (const auto& s : f.symbols()) {
+    if (s != kPivot1 && s != kPivot2) only_pivots = false;
+  }
+  if (only_pivots && c1 == -c2 && c1 != 0) {
+    // f = c*(v1 - v2) + k  ==>  v1 - v2 = -k/c.
+    const int64_t k = f.constant_term();
+    if (k % c1 != 0) return DimVerdict::kIndependent;
+    const int64_t dist = -k / c1;  // dist = v1 - v2
+    if (dist == 0) return DimVerdict::kForcesEqual;
+    if (dir == Direction::kSecondLater && dist > 0) {
+      // Only solvable with v2 = v1 - dist < v1: harmless for fission.
+      return DimVerdict::kIndependent;
+    }
+    auto vr = ranges.find(loop_var);
+    if (vr != ranges.end() &&
+        std::abs(dist) > vr->second.hi - vr->second.lo) {
+      return DimVerdict::kIndependent;  // distance exceeds the range
+    }
+    return DimVerdict::kFeasible;
+  }
+  // General case: interval test on f = 0.
+  RangeEnv env;
+  bool complete = true;
+  for (const auto& s : f.symbols()) {
+    auto r = instance_range(s, loop_var, ranges);
+    if (!r) {
+      complete = false;
+      break;
+    }
+    env[s] = *r;
+  }
+  if (complete) {
+    auto r = ir::range_of(f, env);
+    if (r && !r->contains(0)) return DimVerdict::kIndependent;
+  }
+  return DimVerdict::kFeasible;  // conservative
+}
+
+bool pair_carries(const Access& a, const Access& b, const ir::Node& loop,
+                  const RangeEnv& ranges,
+                  Direction dir = Direction::kAny) {
+  if (a.ref.array != b.ref.array) return false;
+  if (a.ref.index.size() != b.ref.index.size()) return true;  // conservative
+  bool forces_equal = false;
+  for (size_t d = 0; d < a.ref.index.size(); ++d) {
+    AffineExpr ea =
+        instance_expr(a.ref.index[d], loop.var, kPivot1, a, kSuffix1);
+    AffineExpr eb =
+        instance_expr(b.ref.index[d], loop.var, kPivot2, b, kSuffix2);
+    switch (test_dim(ea - eb, loop.var, ranges, dir)) {
+      case DimVerdict::kIndependent: return false;
+      case DimVerdict::kForcesEqual: forces_equal = true; break;
+      case DimVerdict::kUnconstraining:
+      case DimVerdict::kFeasible: break;
+    }
+  }
+  // If some dimension pins v1 == v2 the dependence is loop-independent,
+  // not carried by `loop`.
+  return !forces_equal;
+}
+
+bool reduction_pair(const Access& a, const Access& b) {
+  return a.is_reduction && b.is_reduction;
+}
+
+}  // namespace
+
+std::vector<Access> collect_accesses(const std::vector<NodePtr>& body) {
+  std::vector<Access> out;
+  std::vector<const Node*> chain;
+  for (const auto& n : body) collect_node(*n, chain, out);
+  return out;
+}
+
+bool carries_dependence(const ir::Node& loop, const RangeEnv& ranges,
+                        Mode mode) {
+  const std::vector<Access> accesses = collect_accesses(loop.body);
+  for (const Access& a : accesses) {
+    if (!a.is_write) continue;  // pairs need at least one write; iterate
+                                // writes as `a` against everything
+    for (const Access& b : accesses) {
+      if (mode == Mode::kReductionAware && reduction_pair(a, b)) continue;
+      if (pair_carries(a, b, loop, ranges)) return true;
+    }
+  }
+  return false;
+}
+
+bool carries_dependence(const ir::Kernel& kernel, const ir::Node& loop,
+                        const ir::Env& params, Mode mode) {
+  RangeEnv ranges = ir::loop_var_ranges(kernel, params);
+  for (const auto& [p, v] : params) ranges[p] = Interval{v, v};
+  return carries_dependence(loop, ranges, mode);
+}
+
+bool fission_legal(const ir::Node& loop, size_t split,
+                   const RangeEnv& ranges) {
+  if (split == 0 || split >= loop.body.size()) return true;
+  auto slice_accesses = [&](size_t lo, size_t hi) {
+    std::vector<Access> out;
+    std::vector<const Node*> chain;
+    for (size_t i = lo; i < hi; ++i) collect_node(*loop.body[i], chain, out);
+    return out;
+  };
+  const std::vector<Access> first = slice_accesses(0, split);
+  const std::vector<Access> second =
+      slice_accesses(split, loop.body.size());
+  // Fission reverses the order between instances of (second group, outer
+  // iteration v1) and (first group, later iteration v2 > v1). Any
+  // non-reduction dependence carried by `loop` between the two groups is
+  // conservatively illegal.
+  for (const Access& a : second) {
+    for (const Access& b : first) {
+      if (!a.is_write && !b.is_write) continue;
+      if (reduction_pair(a, b)) continue;
+      if (pair_carries(a, b, loop, ranges, Direction::kSecondLater)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace oa::deps

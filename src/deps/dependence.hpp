@@ -1,0 +1,65 @@
+// Dependence analysis on the affine loop IR — the stand-in for the
+// PolyDeps tool [8] the paper uses to reject illegal transformation
+// sequences.
+//
+// The central query is: does loop L carry a dependence? thread_grouping
+// refuses to map a dependence-carrying loop across threads (it would be a
+// data race); for TRSM it instead maps the carrying loop to serialized
+// grid waves (Adaptor_Solver, Fig 7). Sequential reordering
+// (fission/fusion/interchange inside format_iteration) uses the
+// reduction-aware mode, which permits reassociating pure accumulations
+// (`C[..] += expr`) — the same licence every BLAS auto-tuner takes.
+#pragma once
+
+#include <vector>
+
+#include "ir/interval.hpp"
+#include "ir/kernel.hpp"
+
+namespace oa::deps {
+
+/// One array access with its enclosing loop chain.
+struct Access {
+  const ir::Node* stmt = nullptr;
+  ir::ArrayRef ref;
+  bool is_write = false;
+  /// Access is the read-modify-write of an accumulation statement
+  /// (`+=` / `-=`); a pair of reduction accesses to the same array may be
+  /// reordered in reduction-aware mode.
+  bool is_reduction = false;
+  /// Loop nodes enclosing the statement, outermost first (only loops
+  /// within the analyzed region).
+  std::vector<const ir::Node*> loops;
+};
+
+/// Collect all accesses in `body` (including the implicit read of
+/// accumulation lhs).
+std::vector<Access> collect_accesses(const std::vector<ir::NodePtr>& body);
+
+enum class Mode {
+  /// Full dependences (thread-mapping legality; races forbidden).
+  kStrict,
+  /// Accumulation pairs to the same array are reorderable.
+  kReductionAware,
+};
+
+/// Does `loop` carry a dependence between different iterations of its
+/// own variable? `ranges` must bound every loop variable occurring in
+/// subscripts under `loop` (use ir::loop_var_ranges). Conservative:
+/// answers true when independence cannot be proven.
+bool carries_dependence(const ir::Node& loop, const ir::RangeEnv& ranges,
+                        Mode mode);
+
+/// Convenience wrapper: build ranges from the kernel with `params`
+/// bound, then test.
+bool carries_dependence(const ir::Kernel& kernel, const ir::Node& loop,
+                        const ir::Env& params, Mode mode);
+
+/// Would it be legal to distribute (fission) the statements of `loop`'s
+/// body at position `split` into two separate loops over the same
+/// domain? Legal iff there is no dependence from the first group to the
+/// second that fission would reverse. Reduction-aware.
+bool fission_legal(const ir::Node& loop, size_t split,
+                   const ir::RangeEnv& ranges);
+
+}  // namespace oa::deps

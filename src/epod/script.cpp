@@ -1,0 +1,143 @@
+#include "epod/script.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace oa::epod {
+
+using transforms::Invocation;
+
+std::string Script::to_string() const {
+  std::ostringstream os;
+  if (!routine.empty()) os << "// EPOD script for " << routine << "\n";
+  for (const Invocation& inv : invocations) {
+    os << inv.to_string() << ";\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Strip //-comments and collapse whitespace.
+std::string strip_comments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_comment = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (in_comment) {
+      if (text[i] == '\n') in_comment = false;
+      continue;
+    }
+    if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      in_comment = true;
+      ++i;
+      continue;
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+StatusOr<Invocation> parse_statement(std::string_view stmt) {
+  Invocation inv;
+  std::string_view rest = trim(stmt);
+
+  // Optional result list before '='. Careful: args contain no '='.
+  const size_t eq = rest.find('=');
+  if (eq != std::string_view::npos) {
+    std::string_view lhs = trim(rest.substr(0, eq));
+    if (!lhs.empty() && lhs.front() == '(') {
+      if (lhs.back() != ')') {
+        return invalid_argument("unbalanced result list in '" +
+                                std::string(stmt) + "'");
+      }
+      lhs = trim(lhs.substr(1, lhs.size() - 2));
+    }
+    inv.results = split(lhs, ',', /*skip_empty=*/true);
+    rest = trim(rest.substr(eq + 1));
+  }
+
+  const size_t open = rest.find('(');
+  if (open == std::string_view::npos || rest.back() != ')') {
+    return invalid_argument("expected 'name(args)' in '" +
+                            std::string(stmt) + "'");
+  }
+  inv.component = std::string(trim(rest.substr(0, open)));
+  // Tolerate the paper's doubled parentheses: thread_grouping((Li, Lj)).
+  std::string_view args = rest.substr(open + 1, rest.size() - open - 2);
+  args = trim(args);
+  if (!args.empty() && args.front() == '(' && args.back() == ')') {
+    args = trim(args.substr(1, args.size() - 2));
+  }
+  inv.args = split(args, ',', /*skip_empty=*/true);
+
+  if (!transforms::is_known_component(inv.component)) {
+    return invalid_argument("unknown optimization component '" +
+                            inv.component + "'");
+  }
+  return inv;
+}
+
+}  // namespace
+
+StatusOr<Script> parse_script(std::string_view text) {
+  Script script;
+  const std::string clean = strip_comments(text);
+  for (const std::string& stmt : split(clean, ';')) {
+    std::string_view s = trim(stmt);
+    if (s.empty()) continue;
+    OA_ASSIGN_OR_RETURN(Invocation inv, parse_statement(s));
+    script.invocations.push_back(std::move(inv));
+  }
+  return script;
+}
+
+Status apply_script(ir::Program& program, const Script& script,
+                    const transforms::TransformContext& ctx) {
+  for (const Invocation& inv : script.invocations) {
+    Status s = transforms::apply(program, inv, ctx);
+    if (!s.is_ok()) {
+      return Status(s.code(),
+                    inv.to_string() + " failed: " + s.message());
+    }
+  }
+  return Status::ok();
+}
+
+StatusOr<uint64_t> apply_script_lenient(
+    ir::Program& program, const Script& script,
+    const transforms::TransformContext& ctx) {
+  if (script.invocations.size() > 64) {
+    return invalid_argument("script too long for the applied-mask");
+  }
+  uint64_t applied = 0;
+  for (size_t i = 0; i < script.invocations.size(); ++i) {
+    ir::Program backup = program;
+    Status s = transforms::apply(program, script.invocations[i], ctx);
+    if (s.is_ok()) {
+      applied |= uint64_t{1} << i;
+    } else {
+      program = std::move(backup);
+    }
+  }
+  return applied;
+}
+
+const Script& gemm_nn_script() {
+  static const Script script = [] {
+    auto parsed = parse_script(R"(
+      (Lii, Ljj) = thread_grouping(Li, Lj);
+      (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+      loop_unroll(Ljjj, Lkkk);
+      SM_alloc(B, Transpose);
+      reg_alloc(C);
+    )");
+    Script s = std::move(parsed).value();
+    s.routine = "GEMM-NN";
+    return s;
+  }();
+  return script;
+}
+
+}  // namespace oa::epod

@@ -1,0 +1,65 @@
+// EPOD scripts (paper §III): an optimization scheme is an ordered list
+// of component invocations over a labeled code region. Developers write
+// them to encapsulate tuning experience (Fig 3); the composer generates
+// new ones from adaptors (Fig 14 shows the best performers).
+//
+// Grammar (one invocation per ';'-terminated statement):
+//   script      := { statement }
+//   statement   := [ results "=" ] name "(" args ")" ";"
+//   results     := label | "(" label { "," label } ")"
+//   args        := [ arg { "," arg } ]
+//   comments    := "//" to end of line
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "support/status.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::epod {
+
+struct Script {
+  /// Optional routine name the script was written for (informational).
+  std::string routine;
+  std::vector<transforms::Invocation> invocations;
+
+  bool operator==(const Script&) const = default;
+
+  /// Paper-style rendering, one invocation per line.
+  std::string to_string() const;
+};
+
+/// Parse the textual form. Unknown component names are rejected here so
+/// a typo fails fast rather than at application time.
+StatusOr<Script> parse_script(std::string_view text);
+
+/// The EPOD translator: apply the script's components, in order, to the
+/// program. The first failing component aborts with its status (the
+/// composer's filter uses apply_prefix semantics instead — see
+/// composer/).
+Status apply_script(ir::Program& program, const Script& script,
+                    const transforms::TransformContext& ctx);
+
+/// Filter-semantics application: a failing component is *omitted* (the
+/// sequence degenerates) instead of aborting. Returns a bitmask of the
+/// invocations that actually applied (bit i = invocation i); used when
+/// re-applying composer-generated scripts under different tuning
+/// parameters — two parameter points with different masks are different
+/// kernels and must be re-verified separately.
+StatusOr<uint64_t> apply_script_lenient(
+    ir::Program& program, const Script& script,
+    const transforms::TransformContext& ctx);
+
+/// The paper's Fig 3 script for GEMM-NN — the tuning experience every
+/// adaptor extends:
+///   (Lii, Ljj) = thread_grouping(Li, Lj);
+///   (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+///   loop_unroll(Ljjj, Lkkk);
+///   SM_alloc(B, Transpose);
+///   reg_alloc(C);
+const Script& gemm_nn_script();
+
+}  // namespace oa::epod

@@ -1,0 +1,488 @@
+#include "gpusim/block_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/strings.hpp"
+
+namespace oa::gpusim {
+
+BlockSim::BlockSim(const CompiledKernel& kernel, const DeviceModel& device,
+                   bool functional, GlobalBuffers* buffers)
+    : k_(kernel), dev_(device), functional_(functional), buffers_(buffers) {
+  global_ptr_.resize(k_.arrays.size(), nullptr);
+  shared_.resize(k_.arrays.size());
+  registers_.resize(k_.arrays.size());
+}
+
+Status BlockSim::run(int64_t by, int64_t bx, int lane_begin, int lane_end,
+                     Counters& out) {
+  nlanes_ = lane_end - lane_begin;
+  lane_begin_ = lane_begin;
+  const int64_t threads = k_.launch.threads_per_block();
+  if (functional_ && (lane_begin != 0 || lane_end != threads)) {
+    return internal_error("functional runs must simulate the whole block");
+  }
+
+  slots_.assign(static_cast<size_t>(nlanes_) * k_.num_slots, 0);
+  reuse_addr_.assign(
+      static_cast<size_t>(k_.num_sites) * static_cast<size_t>(nlanes_), -1);
+  if (dev_.coalescing == CoalescingModel::kFermi) {
+    line_addr_.assign(
+        static_cast<size_t>(k_.num_sites) * static_cast<size_t>(nlanes_),
+        -1);
+  }
+  scratch_addr_.assign(static_cast<size_t>(nlanes_), 0);
+  counters_ = Counters{};
+
+  // Bind array storage.
+  for (size_t a = 0; a < k_.arrays.size(); ++a) {
+    const CArray& arr = k_.arrays[a];
+    switch (arr.space) {
+      case ir::MemSpace::kGlobal:
+        if (functional_) {
+          std::vector<float>* buf =
+              buffers_ != nullptr ? buffers_->find(arr.name) : nullptr;
+          if (buf == nullptr ||
+              buf->size() < static_cast<size_t>(arr.elements)) {
+            return internal_error("global buffer '" + arr.name +
+                                  "' missing or undersized");
+          }
+          global_ptr_[a] = buf->data();
+        }
+        break;
+      case ir::MemSpace::kShared:
+        if (functional_) {
+          shared_[a].assign(static_cast<size_t>(arr.elements), 0.0f);
+        }
+        break;
+      case ir::MemSpace::kRegister:
+        if (functional_) {
+          registers_[a].assign(
+              static_cast<size_t>(arr.elements) * nlanes_, 0.0f);
+        }
+        break;
+    }
+  }
+
+  // Bind block / thread index slots per lane.
+  for (int lane = 0; lane < nlanes_; ++lane) {
+    int64_t* s = lane_slots(lane);
+    const int64_t abs_lane = lane_begin_ + lane;
+    const int64_t tx = abs_lane % k_.launch.block_x;
+    const int64_t ty = abs_lane / k_.launch.block_x;
+    if (k_.block_y_slot >= 0) s[k_.block_y_slot] = by;
+    if (k_.block_x_slot >= 0) s[k_.block_x_slot] = bx;
+    if (k_.thread_y_slot >= 0) s[k_.thread_y_slot] = ty;
+    if (k_.thread_x_slot >= 0) s[k_.thread_x_slot] = tx;
+  }
+
+  std::vector<uint8_t> mask(static_cast<size_t>(nlanes_), 1);
+  OA_RETURN_IF_ERROR(exec(k_.body, mask));
+  out += counters_;
+  return Status::ok();
+}
+
+int64_t BlockSim::addr_of(const CRef& ref, int lane, Status& status) const {
+  const int64_t* s = lane_slots(lane);
+  const int64_t r = ref.row.eval(s);
+  const int64_t c = ref.col.eval(s);
+  const CArray& arr = k_.arrays[static_cast<size_t>(ref.array)];
+  if (r < 0 || r >= arr.rows || c < 0 || c >= arr.cols) {
+    if (status.is_ok()) {
+      status = internal_error(str_format(
+          "out-of-bounds access to %s: (%lld, %lld) not in %lldx%lld",
+          arr.name.c_str(), static_cast<long long>(r),
+          static_cast<long long>(c), static_cast<long long>(arr.rows),
+          static_cast<long long>(arr.cols)));
+    }
+    return 0;
+  }
+  return r + c * arr.ld;
+}
+
+float BlockSim::load_value(const CRef& ref, int lane, int64_t addr) const {
+  const CArray& arr = k_.arrays[static_cast<size_t>(ref.array)];
+  switch (arr.space) {
+    case ir::MemSpace::kGlobal:
+      return global_ptr_[static_cast<size_t>(ref.array)][addr];
+    case ir::MemSpace::kShared:
+      return shared_[static_cast<size_t>(ref.array)]
+                    [static_cast<size_t>(addr)];
+    case ir::MemSpace::kRegister:
+      return registers_[static_cast<size_t>(ref.array)]
+                       [static_cast<size_t>(addr) * nlanes_ + lane];
+  }
+  return 0.0f;
+}
+
+float BlockSim::eval_val(const CVal& v, int lane, Status& status) {
+  switch (v.kind) {
+    case CVal::Kind::kConst:
+      return v.constant;
+    case CVal::Kind::kRef: {
+      const int64_t addr = addr_of(v.ref, lane, status);
+      if (!status.is_ok()) return 0.0f;
+      return load_value(v.ref, lane, addr);
+    }
+    case CVal::Kind::kNeg:
+      return -eval_val(*v.a, lane, status);
+    case CVal::Kind::kAdd:
+      return eval_val(*v.a, lane, status) + eval_val(*v.b, lane, status);
+    case CVal::Kind::kSub:
+      return eval_val(*v.a, lane, status) - eval_val(*v.b, lane, status);
+    case CVal::Kind::kMul:
+      return eval_val(*v.a, lane, status) * eval_val(*v.b, lane, status);
+    case CVal::Kind::kDiv:
+      return eval_val(*v.a, lane, status) / eval_val(*v.b, lane, status);
+  }
+  return 0.0f;
+}
+
+int64_t BlockSim::distinct_chunks(const std::vector<uint8_t>& mask, int g0,
+                                  int g1, int chunk_bytes, int site) const {
+  // Distinct chunk_bytes-sized chunks touched by the active lanes of one
+  // group (group size <= 32: linear scan over a stack array). When
+  // `site` >= 0, a lane whose chunk equals its previous chunk at this
+  // reference site is served by the cache (Fermi L1 line reuse) and
+  // contributes nothing.
+  int64_t chunks[32];
+  int n = 0;
+  for (int l = g0; l < g1; ++l) {
+    if (!mask[static_cast<size_t>(l)]) continue;
+    const int64_t chunk =
+        scratch_addr_[static_cast<size_t>(l)] * 4 / chunk_bytes;
+    if (site >= 0) {
+      int64_t& last =
+          line_addr_[static_cast<size_t>(site) * nlanes_ + l];
+      if (last == chunk) continue;  // line still cached for this lane
+      last = chunk;
+    }
+    bool seen = false;
+    for (int i = 0; i < n; ++i) {
+      if (chunks[i] == chunk) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) chunks[n++] = chunk;
+  }
+  return n;
+}
+
+Status BlockSim::process_ref(const CRef& ref, bool is_store,
+                             const std::vector<uint8_t>& mask,
+                             bool count_inst) {
+  const CArray& arr = k_.arrays[static_cast<size_t>(ref.array)];
+  Status status = Status::ok();
+
+  // Collect addresses; apply the register-caching model for loads
+  // (a lane whose address at this site is unchanged since the previous
+  // execution costs nothing, like a value kept in a register by the
+  // backend compiler).
+  bool all_reused = !is_store;
+  for (int lane = 0; lane < nlanes_; ++lane) {
+    if (!mask[static_cast<size_t>(lane)]) continue;
+    const int64_t addr = addr_of(ref, lane, status);
+    scratch_addr_[static_cast<size_t>(lane)] = addr;
+    if (!is_store) {
+      int64_t& last =
+          reuse_addr_[static_cast<size_t>(ref.site) * nlanes_ + lane];
+      if (last != addr) {
+        all_reused = false;
+        last = addr;
+      }
+    }
+  }
+  OA_RETURN_IF_ERROR(status);
+  if (all_reused) return Status::ok();  // register-cached
+
+  const int group = arr.space == ir::MemSpace::kShared
+                        ? dev_.shared_banks
+                        : (dev_.coalescing == CoalescingModel::kFermi
+                               ? dev_.warp_size
+                               : dev_.warp_size / 2);
+
+  for (int g0 = 0; g0 < nlanes_; g0 += group) {
+    const int g1 = std::min(g0 + group, nlanes_);
+    int active = 0;
+    for (int l = g0; l < g1; ++l) active += mask[static_cast<size_t>(l)];
+    if (active == 0) continue;
+
+    switch (arr.space) {
+      case ir::MemSpace::kRegister: {
+        if (arr.spilled) {
+          // Spilled register block: local-memory traffic.
+          (is_store ? counters_.local_store : counters_.local_read) += 1;
+          counters_.global_bytes += dev_.transaction_bytes;
+        }
+        break;
+      }
+      case ir::MemSpace::kShared: {
+        // Bank-conflict analysis over the group; identical addresses
+        // broadcast.
+        (is_store ? counters_.shared_store : counters_.shared_load) += 1;
+        int64_t bank_addr[32];
+        int bank_count[32];
+        for (int i = 0; i < dev_.shared_banks; ++i) {
+          bank_addr[i] = -1;
+          bank_count[i] = 0;
+        }
+        int degree = 1;
+        for (int l = g0; l < g1; ++l) {
+          if (!mask[static_cast<size_t>(l)]) continue;
+          const int64_t addr = scratch_addr_[static_cast<size_t>(l)];
+          const int b = static_cast<int>(addr % dev_.shared_banks);
+          if (bank_count[b] == 0 || bank_addr[b] != addr) {
+            // Distinct address on the same bank: serialized replay.
+            bank_count[b] += 1;
+            bank_addr[b] = addr;
+          }
+          degree = std::max(degree, bank_count[b]);
+        }
+        counters_.shared_bank_conflict_replays += degree - 1;
+        break;
+      }
+      case ir::MemSpace::kGlobal: {
+        switch (dev_.coalescing) {
+          case CoalescingModel::kStrict: {
+            // CC 1.0: lanes must access base + lane_offset in order,
+            // 64B-aligned, all lanes of the half-warp participating.
+            bool perfect = active == g1 - g0;
+            int64_t base =
+                scratch_addr_[static_cast<size_t>(g0)];
+            if (perfect && base % (dev_.transaction_bytes / 4) != 0) {
+              perfect = false;
+            }
+            for (int l = g0; perfect && l < g1; ++l) {
+              if (scratch_addr_[static_cast<size_t>(l)] !=
+                  base + (l - g0)) {
+                perfect = false;
+              }
+            }
+            if (perfect) {
+              (is_store ? counters_.gst_coherent : counters_.gld_coherent) +=
+                  1;
+              counters_.global_bytes += dev_.transaction_bytes;
+            } else {
+              // Serialized: one transaction per participating thread.
+              (is_store ? counters_.gst_incoherent
+                        : counters_.gld_incoherent) += active;
+              counters_.global_bytes += active * dev_.transaction_bytes;
+            }
+            break;
+          }
+          case CoalescingModel::kSegmented: {
+            // CC 1.2/1.3: minimal set of 64B segments, but the hardware
+            // shrinks half-used segments to 32B transfers — traffic is
+            // counted at 32B granularity.
+            const int64_t segs =
+                distinct_chunks(mask, g0, g1, dev_.transaction_bytes, -1);
+            (is_store ? counters_.gst_coherent : counters_.gld_coherent) +=
+                segs;
+            counters_.global_bytes +=
+                32 * distinct_chunks(mask, g0, g1, 32, -1);
+            break;
+          }
+          case CoalescingModel::kFermi: {
+            (is_store ? counters_.gst_request : counters_.gld_request) += 1;
+            // L1-cached 128B lines: a lane re-touching its previous line
+            // (streaming along a column) hits in cache.
+            const int64_t lines = distinct_chunks(
+                mask, g0, g1, dev_.transaction_bytes,
+                is_store ? -1 : ref.site);
+            counters_.global_bytes += lines * dev_.transaction_bytes;
+            break;
+          }
+        }
+        // Memory instruction issue cost: one per warp per access.
+        if (count_inst && (g0 % dev_.warp_size) == 0) {
+          counters_.instructions += 1;
+        }
+        break;
+      }
+    }
+  }
+  // For sub-warp groups (half-warps) the instruction was counted on the
+  // first group only; shared/register accesses fold into the arithmetic
+  // instruction (no separate issue cost).
+  return Status::ok();
+}
+
+Status BlockSim::exec_assign(const CNode& n,
+                             const std::vector<uint8_t>& mask) {
+  // Arithmetic issue cost + flop accounting per warp.
+  int active_total = 0;
+  for (int w = 0; w < nlanes_; w += dev_.warp_size) {
+    int active = 0;
+    const int we = std::min(w + dev_.warp_size, nlanes_);
+    for (int l = w; l < we; ++l) active += mask[static_cast<size_t>(l)];
+    if (active > 0) {
+      counters_.instructions += n.arith_instructions;
+      // Stores to shared/global cost an instruction; register stores
+      // fold into the arithmetic.
+      const CArray& lhs_arr = k_.arrays[static_cast<size_t>(n.lhs.array)];
+      if (lhs_arr.space != ir::MemSpace::kRegister) {
+        counters_.instructions += 1;
+      }
+    }
+    active_total += active;
+  }
+  counters_.flops += static_cast<int64_t>(n.flops) * active_total;
+
+  // Loads (rhs + read-modify-write of the lhs), then the store.
+  for (const CRef& ref : n.loads) {
+    OA_RETURN_IF_ERROR(process_ref(ref, /*is_store=*/false, mask,
+                                   /*count_inst=*/true));
+  }
+  if (n.rmw_load) {
+    OA_RETURN_IF_ERROR(process_ref(n.lhs, /*is_store=*/false, mask,
+                                   /*count_inst=*/true));
+  }
+  OA_RETURN_IF_ERROR(process_ref(n.lhs, /*is_store=*/true, mask,
+                                 /*count_inst=*/false));
+
+  if (!functional_) return Status::ok();
+
+  // Functional update.
+  Status status = Status::ok();
+  const CArray& arr = k_.arrays[static_cast<size_t>(n.lhs.array)];
+  for (int lane = 0; lane < nlanes_; ++lane) {
+    if (!mask[static_cast<size_t>(lane)]) continue;
+    const float value = eval_val(*n.rhs, lane, status);
+    const int64_t addr = addr_of(n.lhs, lane, status);
+    OA_RETURN_IF_ERROR(status);
+    float* cell = nullptr;
+    switch (arr.space) {
+      case ir::MemSpace::kGlobal:
+        cell = &global_ptr_[static_cast<size_t>(n.lhs.array)][addr];
+        break;
+      case ir::MemSpace::kShared:
+        cell = &shared_[static_cast<size_t>(n.lhs.array)]
+                       [static_cast<size_t>(addr)];
+        break;
+      case ir::MemSpace::kRegister:
+        cell = &registers_[static_cast<size_t>(n.lhs.array)]
+                          [static_cast<size_t>(addr) * nlanes_ + lane];
+        break;
+    }
+    switch (n.op) {
+      case ir::AssignOp::kAssign: *cell = value; break;
+      case ir::AssignOp::kAddAssign: *cell += value; break;
+      case ir::AssignOp::kSubAssign: *cell -= value; break;
+      case ir::AssignOp::kDivAssign: *cell /= value; break;
+    }
+  }
+  return Status::ok();
+}
+
+Status BlockSim::exec(const std::vector<CNode>& body,
+                      std::vector<uint8_t>& mask) {
+  for (const CNode& n : body) {
+    switch (n.kind) {
+      case CNode::Kind::kLoop: {
+        // Per-lane bounds; lockstep iteration with divergence masking.
+        std::vector<int64_t> v(static_cast<size_t>(nlanes_), 0);
+        std::vector<int64_t> hi(static_cast<size_t>(nlanes_), 0);
+        bool any = false;
+        for (int lane = 0; lane < nlanes_; ++lane) {
+          if (!mask[static_cast<size_t>(lane)]) continue;
+          const int64_t* s = lane_slots(lane);
+          v[static_cast<size_t>(lane)] = n.lb.eval_max(s);
+          hi[static_cast<size_t>(lane)] = n.ub.eval_min(s);
+          any = true;
+        }
+        if (!any) break;
+        std::vector<uint8_t> sub(static_cast<size_t>(nlanes_), 0);
+        int64_t warp_iterations = 0;
+        for (;;) {
+          bool alive = false;
+          for (int lane = 0; lane < nlanes_; ++lane) {
+            const size_t l = static_cast<size_t>(lane);
+            sub[l] = mask[l] && v[l] < hi[l];
+            alive |= sub[l] != 0;
+          }
+          if (!alive) break;
+          for (int w = 0; w < nlanes_; w += dev_.warp_size) {
+            const int we = std::min(w + dev_.warp_size, nlanes_);
+            for (int l = w; l < we; ++l) {
+              if (sub[static_cast<size_t>(l)]) {
+                ++warp_iterations;
+                break;
+              }
+            }
+          }
+          for (int lane = 0; lane < nlanes_; ++lane) {
+            if (sub[static_cast<size_t>(lane)]) {
+              lane_slots(lane)[n.var_slot] = v[static_cast<size_t>(lane)];
+            }
+          }
+          OA_RETURN_IF_ERROR(exec(n.body, sub));
+          for (int lane = 0; lane < nlanes_; ++lane) {
+            v[static_cast<size_t>(lane)] += n.step;
+          }
+        }
+        // Loop maintenance (increment + branch), amortized by unroll.
+        counters_.instructions +=
+            (2 * warp_iterations + n.unroll - 1) / n.unroll;
+        break;
+      }
+      case CNode::Kind::kAssign:
+        OA_RETURN_IF_ERROR(exec_assign(n, mask));
+        break;
+      case CNode::Kind::kSync: {
+        for (int lane = 0; lane < nlanes_; ++lane) {
+          if (!mask[static_cast<size_t>(lane)]) {
+            return internal_error(
+                "__syncthreads() under divergent control flow");
+          }
+        }
+        counters_.barriers += 1;
+        counters_.instructions += (nlanes_ + dev_.warp_size - 1) /
+                                  dev_.warp_size;
+        break;
+      }
+      case CNode::Kind::kIf: {
+        if (n.preds.empty()) {
+          // Compile-time selected branch.
+          OA_RETURN_IF_ERROR(exec(n.then_body, mask));
+          break;
+        }
+        std::vector<uint8_t> t(static_cast<size_t>(nlanes_), 0);
+        std::vector<uint8_t> e(static_cast<size_t>(nlanes_), 0);
+        bool any_t = false, any_e = false;
+        for (int lane = 0; lane < nlanes_; ++lane) {
+          const size_t l = static_cast<size_t>(lane);
+          if (!mask[l]) continue;
+          bool pass = true;
+          for (const CPred& p : n.preds) {
+            if (!p.eval(lane_slots(lane))) {
+              pass = false;
+              break;
+            }
+          }
+          t[l] = pass;
+          e[l] = !pass;
+          any_t |= pass;
+          any_e |= !pass;
+        }
+        for (int w = 0; w < nlanes_; w += dev_.warp_size) {
+          const int we = std::min(w + dev_.warp_size, nlanes_);
+          for (int l = w; l < we; ++l) {
+            if (mask[static_cast<size_t>(l)]) {
+              counters_.instructions += 1;  // predicate evaluation
+              break;
+            }
+          }
+          (void)we;
+        }
+        if (any_t) OA_RETURN_IF_ERROR(exec(n.then_body, t));
+        if (any_e) OA_RETURN_IF_ERROR(exec(n.else_body, e));
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace oa::gpusim

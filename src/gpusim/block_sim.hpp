@@ -1,0 +1,86 @@
+// Lockstep SIMT interpretation of one thread block (or a warp slice of
+// it). All simulated lanes advance statement-by-statement with an
+// active mask, which is exactly the execution model of the hardware the
+// paper targets: divergent loop bounds mask lanes off, barriers require
+// full convergence, and per-access coalescing / bank-conflict analysis
+// happens on the lanes of a (half-)warp.
+//
+// Two modes:
+//  * functional: lane values are computed and written to the bound
+//    global buffers (used to verify every generated kernel against the
+//    CPU reference);
+//  * ghost: subscripts only — loop bounds in the affine IR never depend
+//    on data, so performance counters are exact without touching data.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/compiled.hpp"
+#include "gpusim/counters.hpp"
+
+namespace oa::gpusim {
+
+/// Named global-memory buffers (column-major float).
+struct GlobalBuffers {
+  std::map<std::string, std::vector<float>, std::less<>> data;
+
+  std::vector<float>* find(std::string_view name) {
+    auto it = data.find(name);
+    return it == data.end() ? nullptr : &it->second;
+  }
+};
+
+class BlockSim {
+ public:
+  /// `buffers` may be null in ghost mode. The buffers must outlive the
+  /// simulator and match the compiled array shapes.
+  BlockSim(const CompiledKernel& kernel, const DeviceModel& device,
+           bool functional, GlobalBuffers* buffers);
+
+  /// Execute lanes [lane_begin, lane_end) of block (by, bx) in
+  /// lockstep; accumulate counters into `out`. Functional runs must
+  /// cover the whole block (barrier + shared-memory semantics).
+  Status run(int64_t by, int64_t bx, int lane_begin, int lane_end,
+             Counters& out);
+
+ private:
+  Status exec(const std::vector<CNode>& body, std::vector<uint8_t>& mask);
+  Status exec_assign(const CNode& n, const std::vector<uint8_t>& mask);
+  /// Transaction analysis + optional functional load of one reference.
+  Status process_ref(const CRef& ref, bool is_store,
+                     const std::vector<uint8_t>& mask, bool count_inst);
+  float load_value(const CRef& ref, int lane, int64_t addr) const;
+  float eval_val(const CVal& v, int lane, Status& status);
+
+  int64_t addr_of(const CRef& ref, int lane, Status& status) const;
+  int64_t distinct_chunks(const std::vector<uint8_t>& mask, int g0, int g1,
+                          int chunk_bytes, int site) const;
+
+  const CompiledKernel& k_;
+  const DeviceModel& dev_;
+  bool functional_;
+  GlobalBuffers* buffers_;
+
+  int nlanes_ = 0;
+  int lane_begin_ = 0;
+  std::vector<int64_t> slots_;          // nlanes x num_slots
+  std::vector<float*> global_ptr_;      // per array (globals only)
+  std::vector<std::vector<float>> shared_;    // per shared array
+  std::vector<std::vector<float>> registers_; // per register array
+                                              // (elements x nlanes)
+  std::vector<int64_t> reuse_addr_;     // num_sites x nlanes
+  mutable std::vector<int64_t> line_addr_;  // Fermi L1 line cache
+  std::vector<int64_t> scratch_addr_;   // per lane
+  Counters counters_;
+
+  int64_t* lane_slots(int lane) {
+    return slots_.data() + static_cast<size_t>(lane) * k_.num_slots;
+  }
+  const int64_t* lane_slots(int lane) const {
+    return slots_.data() + static_cast<size_t>(lane) * k_.num_slots;
+  }
+};
+
+}  // namespace oa::gpusim

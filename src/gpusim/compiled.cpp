@@ -1,0 +1,312 @@
+#include "gpusim/compiled.hpp"
+
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace oa::gpusim {
+
+namespace {
+
+struct CompileState {
+  const ir::Program* program = nullptr;
+  const ir::Env* params = nullptr;
+  const std::map<std::string, bool>* bools = nullptr;
+  std::map<std::string, int, std::less<>> slots;
+  std::map<std::string, int, std::less<>> array_ids;
+  CompiledKernel* out = nullptr;
+
+  int slot_for(const std::string& name) {
+    auto it = slots.find(name);
+    if (it != slots.end()) return it->second;
+    const int id = out->num_slots++;
+    slots.emplace(name, id);
+    return id;
+  }
+};
+
+StatusOr<CExpr> compile_expr(const ir::AffineExpr& e, CompileState& st) {
+  CExpr out;
+  out.constant = e.constant_term();
+  for (const std::string& s : e.symbols()) {
+    auto p = st.params->find(s);
+    if (p != st.params->end()) {
+      out.constant += e.coeff(s) * p->second;
+      continue;
+    }
+    out.terms.emplace_back(st.slot_for(s), e.coeff(s));
+  }
+  return out;
+}
+
+StatusOr<CBound> compile_bound(const ir::Bound& b, CompileState& st) {
+  CBound out;
+  for (const auto& t : b.terms()) {
+    OA_ASSIGN_OR_RETURN(CExpr e, compile_expr(t, st));
+    out.terms.push_back(std::move(e));
+  }
+  if (out.terms.empty()) return internal_error("empty bound");
+  return out;
+}
+
+StatusOr<CRef> compile_ref(const ir::ArrayRef& r, CompileState& st) {
+  CRef out;
+  auto it = st.array_ids.find(r.array);
+  if (it == st.array_ids.end()) {
+    return internal_error("reference to unknown array '" + r.array + "'");
+  }
+  out.array = it->second;
+  out.site = st.out->num_sites++;
+  if (r.index.size() != 2) {
+    return internal_error("non-2D reference to '" + r.array + "'");
+  }
+  OA_ASSIGN_OR_RETURN(out.row, compile_expr(r.index[0], st));
+  OA_ASSIGN_OR_RETURN(out.col, compile_expr(r.index[1], st));
+  return out;
+}
+
+StatusOr<std::unique_ptr<CVal>> compile_val(const ir::Expr& e,
+                                            CompileState& st,
+                                            std::vector<CRef>& loads) {
+  auto out = std::make_unique<CVal>();
+  switch (e.kind) {
+    case ir::Expr::Kind::kConst:
+      out->kind = CVal::Kind::kConst;
+      out->constant = static_cast<float>(e.value);
+      return out;
+    case ir::Expr::Kind::kScalar:
+      // Scalars (alpha/beta) are not used by the BLAS3 sources in this
+      // reproduction; treat unknown scalars as 1.0.
+      out->kind = CVal::Kind::kConst;
+      out->constant = 1.0f;
+      return out;
+    case ir::Expr::Kind::kRef: {
+      out->kind = CVal::Kind::kRef;
+      OA_ASSIGN_OR_RETURN(out->ref, compile_ref(e.ref, st));
+      loads.push_back(out->ref);
+      return out;
+    }
+    case ir::Expr::Kind::kNeg: {
+      out->kind = CVal::Kind::kNeg;
+      OA_ASSIGN_OR_RETURN(out->a, compile_val(*e.a, st, loads));
+      return out;
+    }
+    case ir::Expr::Kind::kAdd:
+    case ir::Expr::Kind::kSub:
+    case ir::Expr::Kind::kMul:
+    case ir::Expr::Kind::kDiv: {
+      switch (e.kind) {
+        case ir::Expr::Kind::kAdd: out->kind = CVal::Kind::kAdd; break;
+        case ir::Expr::Kind::kSub: out->kind = CVal::Kind::kSub; break;
+        case ir::Expr::Kind::kMul: out->kind = CVal::Kind::kMul; break;
+        default: out->kind = CVal::Kind::kDiv; break;
+      }
+      OA_ASSIGN_OR_RETURN(out->a, compile_val(*e.a, st, loads));
+      OA_ASSIGN_OR_RETURN(out->b, compile_val(*e.b, st, loads));
+      return out;
+    }
+  }
+  return internal_error("unhandled expression kind");
+}
+
+StatusOr<std::vector<CNode>> compile_body(
+    const std::vector<ir::NodePtr>& body, CompileState& st);
+
+StatusOr<CNode> compile_node(const ir::Node& n, CompileState& st) {
+  CNode out;
+  switch (n.kind) {
+    case ir::Node::Kind::kLoop: {
+      out.kind = CNode::Kind::kLoop;
+      out.var_slot = st.slot_for(n.var);
+      OA_ASSIGN_OR_RETURN(out.lb, compile_bound(n.lb, st));
+      OA_ASSIGN_OR_RETURN(out.ub, compile_bound(n.ub, st));
+      out.step = n.step;
+      out.unroll = n.unroll;
+      OA_ASSIGN_OR_RETURN(out.body, compile_body(n.body, st));
+      return out;
+    }
+    case ir::Node::Kind::kAssign: {
+      out.kind = CNode::Kind::kAssign;
+      OA_ASSIGN_OR_RETURN(out.lhs, compile_ref(n.lhs, st));
+      out.op = n.op;
+      OA_ASSIGN_OR_RETURN(out.rhs, compile_val(*n.rhs, st, out.loads));
+      out.rmw_load = n.op != ir::AssignOp::kAssign;
+      const int arith = n.rhs->count_arith_ops() +
+                        (n.op != ir::AssignOp::kAssign ? 1 : 0);
+      // A fused multiply-add issues as one instruction.
+      const bool mad = (n.op == ir::AssignOp::kAddAssign ||
+                        n.op == ir::AssignOp::kSubAssign) &&
+                       n.rhs->kind == ir::Expr::Kind::kMul &&
+                       n.rhs->count_arith_ops() == 1;
+      out.arith_instructions = mad ? 1 : std::max(1, arith);
+      out.flops = arith;
+      return out;
+    }
+    case ir::Node::Kind::kSync:
+      out.kind = CNode::Kind::kSync;
+      return out;
+    case ir::Node::Kind::kIf: {
+      // Runtime booleans are resolved now: the launcher effectively
+      // picks a kernel version.
+      if (!n.bool_param.empty()) {
+        auto it = st.bools->find(n.bool_param);
+        const bool value = it != st.bools->end() && it->second;
+        OA_ASSIGN_OR_RETURN(
+            std::vector<CNode> chosen,
+            compile_body(value ? n.then_body : n.else_body, st));
+        if (!n.conds.empty()) {
+          return internal_error(
+              "mixed bool-param and affine guard unsupported");
+        }
+        // Splice: represent the selected branch as an unconditional If.
+        out.kind = CNode::Kind::kIf;
+        out.then_body = std::move(chosen);
+        return out;
+      }
+      out.kind = CNode::Kind::kIf;
+      for (const auto& p : n.conds) {
+        OA_ASSIGN_OR_RETURN(CExpr e, compile_expr(p.expr, st));
+        out.preds.push_back(CPred{std::move(e), p.op});
+      }
+      OA_ASSIGN_OR_RETURN(out.then_body, compile_body(n.then_body, st));
+      OA_ASSIGN_OR_RETURN(out.else_body, compile_body(n.else_body, st));
+      return out;
+    }
+  }
+  return internal_error("unhandled node kind");
+}
+
+StatusOr<std::vector<CNode>> compile_body(
+    const std::vector<ir::NodePtr>& body, CompileState& st) {
+  std::vector<CNode> out;
+  out.reserve(body.size());
+  for (const auto& n : body) {
+    OA_ASSIGN_OR_RETURN(CNode c, compile_node(*n, st));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void signature_walk(const std::vector<CNode>& body, int64_t* slots,
+                    int64_t& hash) {
+  for (const CNode& n : body) {
+    switch (n.kind) {
+      case CNode::Kind::kLoop: {
+        const int64_t lo = n.lb.eval_max(slots);
+        const int64_t hi = n.ub.eval_min(slots);
+        const int64_t extent = hi > lo ? hi - lo : 0;
+        hash = hash * 1000003 + extent;
+        slots[n.var_slot] = lo;
+        signature_walk(n.body, slots, hash);
+        break;
+      }
+      case CNode::Kind::kAssign:
+      case CNode::Kind::kSync:
+        break;
+      case CNode::Kind::kIf:
+        signature_walk(n.then_body, slots, hash);
+        signature_walk(n.else_body, slots, hash);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int64_t CompiledKernel::signature(int64_t by, int64_t bx) const {
+  std::vector<int64_t> slots(static_cast<size_t>(num_slots), 0);
+  if (block_y_slot >= 0) slots[static_cast<size_t>(block_y_slot)] = by;
+  if (block_x_slot >= 0) slots[static_cast<size_t>(block_x_slot)] = bx;
+  int64_t hash = 1469598103;
+  signature_walk(body, slots.data(), hash);
+  return hash;
+}
+
+StatusOr<CompiledKernel> compile_kernel(
+    const ir::Program& program, const ir::Kernel& kernel,
+    const ir::Env& int_params,
+    const std::map<std::string, bool>& bool_params) {
+  CompiledKernel out;
+  out.name = kernel.name;
+  OA_ASSIGN_OR_RETURN(out.launch, ir::launch_config(kernel, int_params));
+
+  CompileState st;
+  st.program = &program;
+  st.params = &int_params;
+  st.bools = &bool_params;
+  st.out = &out;
+
+  // Array table: globals then kernel locals.
+  Status array_error = Status::ok();
+  auto add_array = [&](const ir::ArrayDecl& d) {
+    CArray a;
+    a.name = d.name;
+    a.space = d.space;
+    a.rows = d.num_rows(int_params);
+    a.cols = d.num_cols(int_params);
+    a.ld = d.leading_dim(int_params);
+    a.elements = a.ld * a.cols;
+    if (a.rows <= 0 || a.cols <= 0 ||
+        a.elements > (int64_t{1} << 34)) {
+      if (array_error.is_ok()) {
+        array_error = internal_error(
+            "array '" + d.name + "' has degenerate shape " +
+            std::to_string(a.rows) + "x" + std::to_string(a.cols));
+      }
+    }
+    st.array_ids.emplace(d.name, static_cast<int>(out.arrays.size()));
+    out.arrays.push_back(a);
+  };
+  for (const auto& d : program.globals) add_array(d);
+  for (const auto& d : kernel.local_arrays) {
+    add_array(d);
+    if (d.space == ir::MemSpace::kShared) {
+      out.shared_bytes += d.num_elements(int_params) * 4;
+    } else if (d.space == ir::MemSpace::kRegister) {
+      out.regs_per_thread += d.num_elements(int_params);
+    }
+  }
+
+  OA_RETURN_IF_ERROR(array_error);
+
+  // Descend through the mapped loops to the executed region.
+  const std::vector<ir::NodePtr>* region = &kernel.body;
+  while (region->size() == 1 && (*region)[0]->is_loop() &&
+         (*region)[0]->map != ir::LoopMap::kNone) {
+    const ir::Node& loop = *(*region)[0];
+    const int slot = st.slot_for(loop.var);
+    switch (loop.map) {
+      case ir::LoopMap::kBlockY:
+      case ir::LoopMap::kBlockYSerial:
+        out.block_y_slot = slot;
+        break;
+      case ir::LoopMap::kBlockX:
+        out.block_x_slot = slot;
+        break;
+      case ir::LoopMap::kThreadY:
+        out.thread_y_slot = slot;
+        break;
+      case ir::LoopMap::kThreadX:
+        out.thread_x_slot = slot;
+        break;
+      case ir::LoopMap::kNone:
+        break;
+    }
+    region = &loop.body;
+  }
+  // A mapped loop below unmapped structure is unsupported.
+  bool bad_nesting = false;
+  ir::walk_const(*region, [&](const ir::Node& n) {
+    if (n.is_loop() && n.map != ir::LoopMap::kNone) bad_nesting = true;
+    return true;
+  });
+  if (bad_nesting) {
+    return internal_error("mapped loop below sequential structure in '" +
+                          kernel.name + "'");
+  }
+
+  OA_ASSIGN_OR_RETURN(out.body, compile_body(*region, st));
+  return out;
+}
+
+}  // namespace oa::gpusim

@@ -1,0 +1,141 @@
+// Kernel "compilation" for the simulator: the IR is lowered once per
+// (kernel, parameter binding) into a slot-indexed form so the hot
+// interpreter loop never touches strings or maps. Integer parameters
+// and runtime booleans are resolved to constants here; multi-versioned
+// branches (padding_triangular's blank_zero) are selected at compile
+// time, exactly as a driver would pick the kernel version to launch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "support/status.hpp"
+
+namespace oa::gpusim {
+
+/// Compiled affine expression: constant + sum(coeff * slot).
+struct CExpr {
+  int64_t constant = 0;
+  std::vector<std::pair<int, int64_t>> terms;  // (slot, coeff)
+
+  int64_t eval(const int64_t* slots) const {
+    int64_t v = constant;
+    for (const auto& [slot, c] : terms) v += c * slots[slot];
+    return v;
+  }
+  bool is_constant() const { return terms.empty(); }
+};
+
+struct CBound {
+  std::vector<CExpr> terms;
+  int64_t eval_min(const int64_t* slots) const {
+    int64_t v = terms[0].eval(slots);
+    for (size_t i = 1; i < terms.size(); ++i) {
+      v = std::min(v, terms[i].eval(slots));
+    }
+    return v;
+  }
+  int64_t eval_max(const int64_t* slots) const {
+    int64_t v = terms[0].eval(slots);
+    for (size_t i = 1; i < terms.size(); ++i) {
+      v = std::max(v, terms[i].eval(slots));
+    }
+    return v;
+  }
+};
+
+struct CArray {
+  std::string name;
+  ir::MemSpace space = ir::MemSpace::kGlobal;
+  int64_t rows = 0, cols = 0, ld = 0;  // resolved with parameters
+  int64_t elements = 0;                // ld * cols
+  bool spilled = false;  // register array demoted to local memory
+};
+
+struct CRef {
+  int array = -1;           // index into CompiledKernel::arrays
+  int site = -1;            // static reference site id (load-reuse cache)
+  CExpr row, col;
+};
+
+/// Compiled value expression (functional evaluation).
+struct CVal {
+  enum class Kind { kConst, kRef, kNeg, kAdd, kSub, kMul, kDiv };
+  Kind kind = Kind::kConst;
+  float constant = 0.0f;
+  CRef ref;
+  std::unique_ptr<CVal> a, b;
+};
+
+struct CPred {
+  CExpr expr;
+  ir::Pred::Op op = ir::Pred::Op::kGe;
+  bool eval(const int64_t* slots) const {
+    const int64_t v = expr.eval(slots);
+    switch (op) {
+      case ir::Pred::Op::kEq: return v == 0;
+      case ir::Pred::Op::kGe: return v >= 0;
+      case ir::Pred::Op::kLt: return v < 0;
+    }
+    return false;
+  }
+};
+
+struct CNode {
+  enum class Kind { kLoop, kAssign, kSync, kIf };
+  Kind kind = Kind::kLoop;
+
+  // kLoop
+  int var_slot = -1;
+  CBound lb, ub;
+  int64_t step = 1;
+  int unroll = 1;
+  std::vector<CNode> body;
+
+  // kAssign
+  CRef lhs;
+  ir::AssignOp op = ir::AssignOp::kAssign;
+  std::unique_ptr<CVal> rhs;
+  std::vector<CRef> loads;   // global/shared/register loads in the rhs
+  bool rmw_load = false;     // += / -= / /= also reads lhs
+  int arith_instructions = 0;  // issue cost of the arithmetic (MAD-fused)
+  int flops = 0;             // arithmetic ops per executed lane
+
+  // kIf
+  std::vector<CPred> preds;
+  std::vector<CNode> then_body;
+  std::vector<CNode> else_body;
+
+  CNode() = default;
+  CNode(CNode&&) = default;
+  CNode& operator=(CNode&&) = default;
+};
+
+struct CompiledKernel {
+  std::string name;
+  ir::LaunchConfig launch;
+  std::vector<CArray> arrays;
+  std::vector<CNode> body;     // the region inside block/thread loops
+  int num_slots = 0;
+  int num_sites = 0;           // static reference sites
+  // Slots pre-bound by the launcher / lane setup.
+  int block_y_slot = -1, block_x_slot = -1;
+  int thread_y_slot = -1, thread_x_slot = -1;
+  int64_t shared_bytes = 0;    // per block
+  int64_t regs_per_thread = 0; // including register arrays (pre-spill)
+  /// Signature loops: sequential loops whose (lb, ub) the launcher
+  /// evaluates (threadIdx = 0, enclosing vars at lb) to classify block
+  /// workloads.
+  int64_t signature(int64_t by, int64_t bx) const;
+};
+
+/// Lower `kernel` with all integer/bool parameters resolved.
+StatusOr<CompiledKernel> compile_kernel(
+    const ir::Program& program, const ir::Kernel& kernel,
+    const ir::Env& int_params,
+    const std::map<std::string, bool>& bool_params);
+
+}  // namespace oa::gpusim

@@ -1,0 +1,81 @@
+#include "gpusim/counters.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace oa::gpusim {
+
+Counters& Counters::operator+=(const Counters& o) {
+  gld_coherent += o.gld_coherent;
+  gld_incoherent += o.gld_incoherent;
+  gst_coherent += o.gst_coherent;
+  gst_incoherent += o.gst_incoherent;
+  gld_request += o.gld_request;
+  gst_request += o.gst_request;
+  local_read += o.local_read;
+  local_store += o.local_store;
+  instructions += o.instructions;
+  shared_load += o.shared_load;
+  shared_store += o.shared_store;
+  shared_bank_conflict_replays += o.shared_bank_conflict_replays;
+  global_bytes += o.global_bytes;
+  flops += o.flops;
+  barriers += o.barriers;
+  return *this;
+}
+
+Counters Counters::scaled(int64_t k) const {
+  Counters c = *this;
+  c.gld_coherent *= k;
+  c.gld_incoherent *= k;
+  c.gst_coherent *= k;
+  c.gst_incoherent *= k;
+  c.gld_request *= k;
+  c.gst_request *= k;
+  c.local_read *= k;
+  c.local_store *= k;
+  c.instructions *= k;
+  c.shared_load *= k;
+  c.shared_store *= k;
+  c.shared_bank_conflict_replays *= k;
+  c.global_bytes *= k;
+  c.flops *= k;
+  c.barriers *= k;
+  return c;
+}
+
+std::string Counters::to_string() const {
+  std::ostringstream os;
+  os << "insts=" << format_millions(instructions)
+     << " gld_coh=" << format_millions(gld_coherent)
+     << " gld_incoh=" << format_millions(gld_incoherent)
+     << " gst_coh=" << format_millions(gst_coherent)
+     << " gst_incoh=" << format_millions(gst_incoherent)
+     << " bytes=" << format_millions(global_bytes)
+     << " flops=" << format_millions(flops);
+  return os.str();
+}
+
+Counters report_per_sm(const Counters& total, const DeviceModel& device) {
+  Counters c = total;
+  const int64_t n = device.sm_count;
+  c.gld_coherent /= n;
+  c.gld_incoherent /= n;
+  c.gst_coherent /= n;
+  c.gst_incoherent /= n;
+  c.gld_request /= n;
+  c.gst_request /= n;
+  c.local_read /= n;
+  c.local_store /= n;
+  c.instructions /= n;
+  c.shared_load /= n;
+  c.shared_store /= n;
+  c.shared_bank_conflict_replays /= n;
+  c.global_bytes /= n;
+  c.flops /= n;
+  c.barriers /= n;
+  return c;
+}
+
+}  // namespace oa::gpusim

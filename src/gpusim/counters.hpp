@@ -1,0 +1,49 @@
+// Profiler counters emulating cuda_profile's events (Tables I-III of
+// the paper). Like the real profiler, the paper's tables report events
+// observed on one SM; report_per_sm() applies the same normalization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace oa::gpusim {
+
+struct Counters {
+  // CC 1.x style (GeForce 9800 / GTX285 tables).
+  int64_t gld_coherent = 0;    // coalesced global load transactions
+  int64_t gld_incoherent = 0;  // serialized (non-coalesced) global loads
+  int64_t gst_coherent = 0;
+  int64_t gst_incoherent = 0;
+  // Fermi style (Table III).
+  int64_t gld_request = 0;     // per-warp global load requests
+  int64_t gst_request = 0;
+  int64_t local_read = 0;      // register-spill (local memory) traffic
+  int64_t local_store = 0;
+  // Common.
+  int64_t instructions = 0;    // dynamic warp instructions
+  int64_t shared_load = 0;
+  int64_t shared_store = 0;
+  int64_t shared_bank_conflict_replays = 0;
+  int64_t global_bytes = 0;    // total DRAM traffic
+  int64_t flops = 0;           // arithmetic ops actually executed
+  int64_t barriers = 0;
+
+  Counters& operator+=(const Counters& o);
+  friend Counters operator+(Counters a, const Counters& b) {
+    a += b;
+    return a;
+  }
+  /// Scale every event count by k (class-size scaling in the sampled
+  /// performance simulation).
+  Counters scaled(int64_t k) const;
+
+  std::string to_string() const;
+};
+
+/// The paper's tables show per-SM profiler samples: divide the
+/// device-wide totals by the SM count.
+Counters report_per_sm(const Counters& total, const DeviceModel& device);
+
+}  // namespace oa::gpusim

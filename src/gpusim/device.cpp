@@ -1,0 +1,81 @@
+#include "gpusim/device.hpp"
+
+namespace oa::gpusim {
+
+const DeviceModel& geforce_9800() {
+  static const DeviceModel d = [] {
+    DeviceModel m;
+    m.name = "GeForce 9800";
+    m.sm_count = 16;        // paper: 16 SMs x 8 SPs
+    m.sps_per_sm = 8;
+    m.registers_per_sm = 8192;
+    m.shared_mem_per_sm = 16 * 1024;
+    m.max_threads_per_sm = 768;
+    m.max_blocks_per_sm = 8;
+    m.clock_ghz = 1.674;    // 429 GFLOPS peak over 128 SPs x 2 flops
+    m.mem_bandwidth_gbs = 70.4;
+    m.peak_gflops = 429.0;  // paper
+    m.coalescing = CoalescingModel::kStrict;
+    m.shared_banks = 16;
+    m.transaction_bytes = 64;
+    m.issue_efficiency = 0.66;
+    m.latency_hiding_warps = 8;
+    return m;
+  }();
+  return d;
+}
+
+const DeviceModel& gtx285() {
+  static const DeviceModel d = [] {
+    DeviceModel m;
+    m.name = "GTX285";
+    m.sm_count = 30;        // paper: 30 SMs x 8 SPs
+    m.sps_per_sm = 8;
+    m.registers_per_sm = 16384;
+    m.shared_mem_per_sm = 16 * 1024;
+    m.max_threads_per_sm = 1024;
+    m.max_blocks_per_sm = 8;
+    m.clock_ghz = 1.476;
+    m.mem_bandwidth_gbs = 159.0;
+    m.peak_gflops = 709.0;  // paper (MAD+MUL dual issue)
+    m.coalescing = CoalescingModel::kSegmented;
+    m.shared_banks = 16;
+    m.transaction_bytes = 64;
+    m.issue_efficiency = 0.88;
+    m.latency_hiding_warps = 10;
+    return m;
+  }();
+  return d;
+}
+
+const DeviceModel& fermi_c2050() {
+  static const DeviceModel d = [] {
+    DeviceModel m;
+    m.name = "Fermi Tesla C2050";
+    m.sm_count = 14;        // paper: 14 SMs x 32 SPs
+    m.sps_per_sm = 32;
+    m.registers_per_sm = 32768;
+    m.shared_mem_per_sm = 48 * 1024;  // paper: configured to 48KB
+    m.max_threads_per_sm = 1536;
+    m.max_blocks_per_sm = 8;
+    m.max_threads_per_block = 1024;
+    m.clock_ghz = 1.15;
+    m.mem_bandwidth_gbs = 144.0;
+    m.peak_gflops = 1030.0;  // paper: "over a Tera FLOPS"
+    m.coalescing = CoalescingModel::kFermi;
+    m.shared_banks = 32;
+    m.transaction_bytes = 128;
+    m.issue_efficiency = 0.72;
+    m.latency_hiding_warps = 18;
+    return m;
+  }();
+  return d;
+}
+
+const std::vector<const DeviceModel*>& all_devices() {
+  static const std::vector<const DeviceModel*> v = {
+      &geforce_9800(), &gtx285(), &fermi_c2050()};
+  return v;
+}
+
+}  // namespace oa::gpusim

@@ -1,0 +1,76 @@
+// Device models for the three GPUs of the paper's evaluation (§V).
+// Parameters follow the paper's hardware descriptions; derived numbers
+// (clocks, bandwidth) come from the public specifications of the same
+// boards. `issue_efficiency` is the single calibration constant per
+// device, chosen so that the tuned GEMM-NN lands in the paper's
+// reported GFLOPS band (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oa::gpusim {
+
+/// How global-memory accesses turn into transactions.
+enum class CoalescingModel {
+  /// CC 1.0/1.1 (GeForce 9800): a half-warp must access a contiguous,
+  /// aligned, in-order segment; otherwise the access serializes into
+  /// one transaction per thread (gld_incoherent).
+  kStrict,
+  /// CC 1.2/1.3 (GTX285): the hardware coalesces into the minimal set
+  /// of 64B segments touched by the half-warp; nothing is counted
+  /// incoherent, but scattered accesses still cost many transactions.
+  kSegmented,
+  /// Fermi (C2050): per-warp requests served through the L1 in 128B
+  /// cache lines; profiler exposes gld_request/gst_request.
+  kFermi,
+};
+
+struct DeviceModel {
+  std::string name;
+  int sm_count = 0;
+  int sps_per_sm = 0;
+  int warp_size = 32;
+  int64_t registers_per_sm = 0;
+  int64_t shared_mem_per_sm = 0;   // bytes
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 8;
+  int max_threads_per_block = 512;
+  double clock_ghz = 0.0;          // SP (shader) clock
+  double mem_bandwidth_gbs = 0.0;  // GB/s
+  double peak_gflops = 0.0;        // single precision
+  CoalescingModel coalescing = CoalescingModel::kStrict;
+  int shared_banks = 16;
+  /// Transaction granularity in bytes (64 for CC1.x segments, 128 for
+  /// Fermi cache lines).
+  int transaction_bytes = 64;
+  /// Fraction of the theoretical issue rate real kernels reach
+  /// (calibration constant).
+  double issue_efficiency = 0.65;
+  /// Warps an SM needs in flight to hide global-memory latency.
+  int latency_hiding_warps = 8;
+  /// Fixed per-kernel-launch overhead (seconds); serialized TRSM waves
+  /// pay it once per wave.
+  double launch_overhead_s = 5e-6;
+  /// Baseline register cost per thread before register-array blocks.
+  int base_regs_per_thread = 14;
+
+  /// Cycles an SM needs to issue one instruction for a full warp
+  /// (warp_size / sps_per_sm for single-issue CC1.x, 1 for Fermi's two
+  /// 16-wide pipelines).
+  double cycles_per_warp_instruction() const {
+    const double c = static_cast<double>(warp_size) / sps_per_sm;
+    return c < 1.0 ? 1.0 : c;
+  }
+};
+
+/// The three evaluation platforms of the paper.
+const DeviceModel& geforce_9800();
+const DeviceModel& gtx285();
+const DeviceModel& fermi_c2050();
+
+/// All three, in the paper's order.
+const std::vector<const DeviceModel*>& all_devices();
+
+}  // namespace oa::gpusim

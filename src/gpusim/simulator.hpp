@@ -1,0 +1,98 @@
+// Program-level simulation: launches every kernel of a Program in
+// order, models occupancy and timing, and aggregates profiler counters.
+//
+// Performance runs use *sampled* simulation: thread blocks are
+// classified by their workload signature (triangular routines have one
+// class per block row); representative blocks are interpreted in detail
+// and the rest interpolated — exact for the affine kernels here, and
+// validated against full functional simulation in the test suite
+// (see bench/ablation_sampling for the accuracy/ speed trade-off).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "blas3/matrix.hpp"
+#include "gpusim/block_sim.hpp"
+#include "gpusim/compiled.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+
+namespace oa::gpusim {
+
+struct RunOptions {
+  ir::Env int_params;                       // M, N, K bindings
+  std::map<std::string, bool> bool_params;  // blank_zero etc.
+  /// Detailed-simulate at most this many block classes per kernel;
+  /// beyond it, classes are interpolated along the sorted class axis.
+  int max_sampled_classes = 16;
+  /// Warps sampled per representative block in performance mode
+  /// (first/last); 0 = all warps.
+  int warps_per_block_sample = 2;
+};
+
+struct KernelStats {
+  std::string name;
+  ir::LaunchConfig launch;
+  int64_t blocks_per_sm = 0;  // occupancy
+  Counters counters;
+  double seconds = 0.0;
+};
+
+struct RunResult {
+  Counters counters;        // device-wide totals
+  double seconds = 0.0;     // all kernels + launch overheads
+  std::vector<KernelStats> kernels;
+
+  double gflops(double useful_flops) const {
+    return seconds > 0 ? useful_flops / seconds / 1e9 : 0.0;
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const DeviceModel& device) : dev_(device) {}
+
+  const DeviceModel& device() const { return dev_; }
+
+  /// Functional execution: every block of every kernel runs with data;
+  /// `buffers` holds the global arrays (inputs and outputs). Counters
+  /// and timing are also produced (exact).
+  StatusOr<RunResult> run_functional(const ir::Program& program,
+                                     const RunOptions& options,
+                                     GlobalBuffers& buffers) const;
+
+  /// Data-free performance estimation via block sampling.
+  StatusOr<RunResult> run_performance(const ir::Program& program,
+                                      const RunOptions& options) const;
+
+ private:
+  StatusOr<KernelStats> run_kernel(const ir::Program& program,
+                                   const ir::Kernel& kernel,
+                                   const RunOptions& options,
+                                   bool functional,
+                                   GlobalBuffers* buffers) const;
+
+  /// Occupancy: concurrent blocks per SM (0 = unlaunchable).
+  int64_t blocks_per_sm(const CompiledKernel& k) const;
+
+  /// Convert wave counters to seconds.
+  double wave_time(const Counters& c, int64_t blocks,
+                   int64_t warps_per_block, int64_t occupancy) const;
+
+  const DeviceModel& dev_;
+};
+
+/// Allocate the global buffers a program needs: named inputs copied from
+/// matrices, every other global (GM_map outputs) zero-initialized.
+GlobalBuffers make_buffers(
+    const ir::Program& program, const ir::Env& int_params,
+    const std::map<std::string, const blas3::Matrix*>& inputs);
+
+/// Copy a named buffer back into a Matrix (shape from the program's
+/// array declaration; must match the matrix).
+Status read_back(const GlobalBuffers& buffers, const ir::Program& program,
+                 const ir::Env& int_params, const std::string& name,
+                 blas3::Matrix& out);
+
+}  // namespace oa::gpusim

@@ -1,0 +1,174 @@
+#include "ir/affine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace oa::ir {
+
+AffineExpr AffineExpr::sym(std::string name, int64_t coeff) {
+  AffineExpr e;
+  if (coeff != 0) e.coeffs_[std::move(name)] = coeff;
+  return e;
+}
+
+AffineExpr& AffineExpr::operator+=(const AffineExpr& o) {
+  for (const auto& [name, c] : o.coeffs_) {
+    auto it = coeffs_.find(name);
+    if (it == coeffs_.end()) {
+      coeffs_.emplace(name, c);
+    } else {
+      it->second += c;
+      if (it->second == 0) coeffs_.erase(it);
+    }
+  }
+  constant_ += o.constant_;
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator-=(const AffineExpr& o) {
+  AffineExpr neg = o;
+  neg *= -1;
+  return *this += neg;
+}
+
+AffineExpr& AffineExpr::operator*=(int64_t k) {
+  if (k == 0) {
+    coeffs_.clear();
+    constant_ = 0;
+    return *this;
+  }
+  for (auto& [_, c] : coeffs_) c *= k;
+  constant_ *= k;
+  return *this;
+}
+
+int64_t AffineExpr::coeff(std::string_view name) const {
+  auto it = coeffs_.find(name);
+  return it == coeffs_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> AffineExpr::symbols() const {
+  std::vector<std::string> out;
+  out.reserve(coeffs_.size());
+  for (const auto& [name, _] : coeffs_) out.push_back(name);
+  return out;
+}
+
+int64_t AffineExpr::eval(const Env& env) const {
+  int64_t v = constant_;
+  for (const auto& [name, c] : coeffs_) {
+    auto it = env.find(name);
+    assert(it != env.end() && "unbound symbol in AffineExpr::eval");
+    v += c * it->second;
+  }
+  return v;
+}
+
+AffineExpr AffineExpr::substituted(std::string_view name,
+                                   const AffineExpr& replacement) const {
+  auto it = coeffs_.find(name);
+  if (it == coeffs_.end()) return *this;
+  int64_t c = it->second;
+  AffineExpr out = *this;
+  out.coeffs_.erase(std::string(name));
+  AffineExpr scaled = replacement;
+  scaled *= c;
+  out += scaled;
+  return out;
+}
+
+AffineExpr AffineExpr::renamed(std::string_view from,
+                               const std::string& to) const {
+  return substituted(from, AffineExpr::sym(to));
+}
+
+std::string AffineExpr::to_string() const {
+  if (coeffs_.empty()) return std::to_string(constant_);
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, c] : coeffs_) {
+    if (first) {
+      if (c == -1) {
+        os << '-';
+      } else if (c != 1) {
+        os << c << '*';
+      }
+      os << name;
+      first = false;
+      continue;
+    }
+    if (c < 0) {
+      os << " - ";
+      if (c != -1) os << -c << '*';
+    } else {
+      os << " + ";
+      if (c != 1) os << c << '*';
+    }
+    os << name;
+  }
+  if (constant_ > 0) os << " + " << constant_;
+  if (constant_ < 0) os << " - " << -constant_;
+  return os.str();
+}
+
+int64_t Bound::eval_min(const Env& env) const {
+  assert(!terms_.empty());
+  int64_t v = terms_[0].eval(env);
+  for (size_t i = 1; i < terms_.size(); ++i) {
+    v = std::min(v, terms_[i].eval(env));
+  }
+  return v;
+}
+
+int64_t Bound::eval_max(const Env& env) const {
+  assert(!terms_.empty());
+  int64_t v = terms_[0].eval(env);
+  for (size_t i = 1; i < terms_.size(); ++i) {
+    v = std::max(v, terms_[i].eval(env));
+  }
+  return v;
+}
+
+Bound Bound::substituted(std::string_view name, const AffineExpr& repl) const {
+  Bound out;
+  out.terms_.reserve(terms_.size());
+  for (const auto& t : terms_) out.terms_.push_back(t.substituted(name, repl));
+  return out;
+}
+
+Bound Bound::renamed(std::string_view from, const std::string& to) const {
+  Bound out;
+  out.terms_.reserve(terms_.size());
+  for (const auto& t : terms_) out.terms_.push_back(t.renamed(from, to));
+  return out;
+}
+
+bool Bound::depends_on(std::string_view name) const {
+  return std::any_of(terms_.begin(), terms_.end(),
+                     [&](const AffineExpr& t) { return t.depends_on(name); });
+}
+
+std::string Bound::to_string(bool is_upper) const {
+  if (terms_.size() == 1) return terms_[0].to_string();
+  std::ostringstream os;
+  os << (is_upper ? "min(" : "max(");
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i) os << ", ";
+    os << terms_[i].to_string();
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string Pred::to_string() const {
+  std::string rel;
+  switch (op) {
+    case Op::kEq: rel = " == 0"; break;
+    case Op::kGe: rel = " >= 0"; break;
+    case Op::kLt: rel = " < 0"; break;
+  }
+  return expr.to_string() + rel;
+}
+
+}  // namespace oa::ir

@@ -1,0 +1,143 @@
+// Affine expressions over named symbols (loop variables, kernel
+// parameters, block/thread indices). The whole IR keeps subscripts and
+// loop bounds affine, which is what makes dependence testing, footprint
+// computation and data-free performance simulation exact — the same
+// property the paper gets from its polyhedral representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace oa::ir {
+
+/// Environment binding symbol names to concrete values at simulation /
+/// evaluation time.
+using Env = std::map<std::string, int64_t, std::less<>>;
+
+/// sum_i coeff_i * sym_i + constant.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+  explicit AffineExpr(int64_t constant) : constant_(constant) {}
+
+  /// The expression consisting of a single symbol.
+  static AffineExpr sym(std::string name, int64_t coeff = 1);
+  static AffineExpr constant(int64_t c) { return AffineExpr(c); }
+
+  AffineExpr& operator+=(const AffineExpr& o);
+  AffineExpr& operator-=(const AffineExpr& o);
+  AffineExpr& operator*=(int64_t k);
+
+  friend AffineExpr operator+(AffineExpr a, const AffineExpr& b) {
+    a += b;
+    return a;
+  }
+  friend AffineExpr operator-(AffineExpr a, const AffineExpr& b) {
+    a -= b;
+    return a;
+  }
+  friend AffineExpr operator*(AffineExpr a, int64_t k) {
+    a *= k;
+    return a;
+  }
+  friend AffineExpr operator+(AffineExpr a, int64_t c) {
+    a += AffineExpr(c);
+    return a;
+  }
+  friend AffineExpr operator-(AffineExpr a, int64_t c) {
+    a -= AffineExpr(c);
+    return a;
+  }
+
+  bool operator==(const AffineExpr& o) const = default;
+
+  int64_t constant_term() const { return constant_; }
+  int64_t coeff(std::string_view name) const;
+  bool depends_on(std::string_view name) const { return coeff(name) != 0; }
+  bool is_constant() const { return coeffs_.empty(); }
+
+  /// All symbols with non-zero coefficient.
+  std::vector<std::string> symbols() const;
+
+  /// Evaluate under `env`; every referenced symbol must be bound.
+  int64_t eval(const Env& env) const;
+
+  /// Replace symbol `name` by `replacement` (affine substitution).
+  AffineExpr substituted(std::string_view name,
+                         const AffineExpr& replacement) const;
+
+  /// Rename symbol `from` to `to` (no-op if absent).
+  AffineExpr renamed(std::string_view from, const std::string& to) const;
+
+  /// e.g. "16*i + k - 1" ("0" for the zero expression).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, int64_t, std::less<>> coeffs_;  // name -> coeff != 0
+  int64_t constant_ = 0;
+};
+
+/// A loop bound: max (for lower bounds) or min (for upper bounds) over a
+/// set of affine terms. Tiling / peeling / triangular domains introduce
+/// the extra terms: e.g. `k < min(K, kk + KT, i + 1)`.
+class Bound {
+ public:
+  Bound() = default;
+  Bound(AffineExpr e) { terms_.push_back(std::move(e)); }  // NOLINT
+  Bound(int64_t c) { terms_.emplace_back(c); }             // NOLINT
+
+  static Bound min_of(std::vector<AffineExpr> terms) {
+    Bound b;
+    b.terms_ = std::move(terms);
+    return b;
+  }
+
+  bool operator==(const Bound& o) const = default;
+
+  const std::vector<AffineExpr>& terms() const { return terms_; }
+  std::vector<AffineExpr>& terms() { return terms_; }
+  bool is_single() const { return terms_.size() == 1; }
+
+  /// Evaluate as a min (`is_upper`) or max (lower bound) of the terms.
+  int64_t eval_min(const Env& env) const;
+  int64_t eval_max(const Env& env) const;
+
+  void add_term(AffineExpr e) { terms_.push_back(std::move(e)); }
+
+  Bound substituted(std::string_view name, const AffineExpr& repl) const;
+  Bound renamed(std::string_view from, const std::string& to) const;
+  bool depends_on(std::string_view name) const;
+
+  /// "min(K, kk+16)" / single term prints bare.
+  std::string to_string(bool is_upper) const;
+
+ private:
+  std::vector<AffineExpr> terms_;
+};
+
+/// Affine predicate for guards: `expr OP 0`.
+struct Pred {
+  enum class Op { kEq, kGe, kLt };
+  AffineExpr expr;
+  Op op = Op::kGe;
+
+  bool operator==(const Pred&) const = default;
+
+  bool eval(const Env& env) const {
+    int64_t v = expr.eval(env);
+    switch (op) {
+      case Op::kEq: return v == 0;
+      case Op::kGe: return v >= 0;
+      case Op::kLt: return v < 0;
+    }
+    return false;
+  }
+  std::string to_string() const;
+};
+
+}  // namespace oa::ir

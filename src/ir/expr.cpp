@@ -1,0 +1,173 @@
+#include "ir/expr.hpp"
+
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+namespace oa::ir {
+
+ArrayRef ArrayRef::renamed(std::string_view from, const std::string& to) const {
+  ArrayRef out{array, {}};
+  out.index.reserve(index.size());
+  for (const auto& e : index) out.index.push_back(e.renamed(from, to));
+  return out;
+}
+
+ArrayRef ArrayRef::substituted(std::string_view name,
+                               const AffineExpr& repl) const {
+  ArrayRef out{array, {}};
+  out.index.reserve(index.size());
+  for (const auto& e : index) out.index.push_back(e.substituted(name, repl));
+  return out;
+}
+
+std::string ArrayRef::to_string() const {
+  std::ostringstream os;
+  os << array;
+  for (const auto& e : index) os << '[' << e.to_string() << ']';
+  return os.str();
+}
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->value = value;
+  out->scalar = scalar;
+  out->ref = ref;
+  if (a) out->a = a->clone();
+  if (b) out->b = b->clone();
+  return out;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kConst: {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+    case Kind::kScalar: return scalar;
+    case Kind::kRef: return ref.to_string();
+    case Kind::kNeg: return "-(" + a->to_string() + ")";
+    case Kind::kAdd: return "(" + a->to_string() + " + " + b->to_string() + ")";
+    case Kind::kSub: return "(" + a->to_string() + " - " + b->to_string() + ")";
+    case Kind::kMul: return a->to_string() + " * " + b->to_string();
+    case Kind::kDiv: return a->to_string() + " / " + b->to_string();
+  }
+  return "?";
+}
+
+int Expr::count_arith_ops() const {
+  switch (kind) {
+    case Kind::kConst:
+    case Kind::kScalar:
+    case Kind::kRef: return 0;
+    case Kind::kNeg: return 1 + a->count_arith_ops();
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+    case Kind::kDiv:
+      return 1 + a->count_arith_ops() + b->count_arith_ops();
+  }
+  return 0;
+}
+
+int Expr::count_loads() const {
+  switch (kind) {
+    case Kind::kConst:
+    case Kind::kScalar: return 0;
+    case Kind::kRef: return 1;
+    case Kind::kNeg: return a->count_loads();
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+    case Kind::kDiv: return a->count_loads() + b->count_loads();
+  }
+  return 0;
+}
+
+void Expr::for_each_ref(const std::function<void(ArrayRef&)>& fn) {
+  if (kind == Kind::kRef) fn(ref);
+  if (a) a->for_each_ref(fn);
+  if (b) b->for_each_ref(fn);
+}
+
+void Expr::visit_refs(const std::function<void(const ArrayRef&)>& fn) const {
+  if (kind == Kind::kRef) fn(ref);
+  if (a) a->visit_refs(fn);
+  if (b) b->visit_refs(fn);
+}
+
+void Expr::rename_var(std::string_view from, const std::string& to) {
+  for_each_ref([&](ArrayRef& r) { r = r.renamed(from, to); });
+}
+
+void Expr::substitute_var(std::string_view name, const AffineExpr& repl) {
+  for_each_ref([&](ArrayRef& r) { r = r.substituted(name, repl); });
+}
+
+bool Expr::equals(const Expr& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case Kind::kConst: return value == o.value;
+    case Kind::kScalar: return scalar == o.scalar;
+    case Kind::kRef: return ref == o.ref;
+    default: break;
+  }
+  if (static_cast<bool>(a) != static_cast<bool>(o.a)) return false;
+  if (static_cast<bool>(b) != static_cast<bool>(o.b)) return false;
+  if (a && !a->equals(*o.a)) return false;
+  if (b && !b->equals(*o.b)) return false;
+  return true;
+}
+
+namespace {
+ExprPtr make_node(Expr::Kind kind) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr make_const(double v) {
+  auto e = make_node(Expr::Kind::kConst);
+  e->value = v;
+  return e;
+}
+
+ExprPtr make_scalar(std::string name) {
+  auto e = make_node(Expr::Kind::kScalar);
+  e->scalar = std::move(name);
+  return e;
+}
+
+ExprPtr make_ref(ArrayRef ref) {
+  auto e = make_node(Expr::Kind::kRef);
+  e->ref = std::move(ref);
+  return e;
+}
+
+ExprPtr make_ref(std::string array, std::vector<AffineExpr> index) {
+  return make_ref(ArrayRef{std::move(array), std::move(index)});
+}
+
+ExprPtr make_neg(ExprPtr a) {
+  auto e = make_node(Expr::Kind::kNeg);
+  e->a = std::move(a);
+  return e;
+}
+
+#define OA_BINOP(name, kind_)                 \
+  ExprPtr name(ExprPtr a, ExprPtr b) {        \
+    auto e = make_node(Expr::Kind::kind_);    \
+    e->a = std::move(a);                      \
+    e->b = std::move(b);                      \
+    return e;                                 \
+  }
+OA_BINOP(make_add, kAdd)
+OA_BINOP(make_sub, kSub)
+OA_BINOP(make_mul, kMul)
+OA_BINOP(make_div, kDiv)
+#undef OA_BINOP
+
+}  // namespace oa::ir

@@ -1,0 +1,71 @@
+// Scalar expression trees for statement right-hand sides:
+//   C[i][j] += alpha * A[i][k] * B[k][j]
+// Subscripts stay affine (ir/affine.hpp); the value computation is a small
+// tree of +,-,*,/ over array references, scalar parameters and constants.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+
+namespace oa::ir {
+
+/// Reference to one element of a (logically 2-D) array.
+struct ArrayRef {
+  std::string array;
+  std::vector<AffineExpr> index;  // one affine expr per dimension
+
+  bool operator==(const ArrayRef&) const = default;
+
+  ArrayRef renamed(std::string_view from, const std::string& to) const;
+  ArrayRef substituted(std::string_view name, const AffineExpr& repl) const;
+  std::string to_string() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kConst, kScalar, kRef, kNeg, kAdd, kSub, kMul, kDiv };
+
+  Kind kind;
+  double value = 0.0;   // kConst
+  std::string scalar;   // kScalar: named scalar parameter (alpha, beta)
+  ArrayRef ref;         // kRef
+  ExprPtr a, b;         // operands (kNeg uses a only)
+
+  ExprPtr clone() const;
+  std::string to_string() const;
+
+  /// Number of arithmetic operations in the tree (for FLOP accounting).
+  int count_arith_ops() const;
+  /// Number of array-element loads in the tree.
+  int count_loads() const;
+
+  /// Apply fn to every ArrayRef in the tree (including nested).
+  void for_each_ref(const std::function<void(ArrayRef&)>& fn);
+  /// Const traversal (distinct name: const-overloading std::function
+  /// parameters is ambiguous).
+  void visit_refs(const std::function<void(const ArrayRef&)>& fn) const;
+
+  void rename_var(std::string_view from, const std::string& to);
+  void substitute_var(std::string_view name, const AffineExpr& repl);
+
+  /// Structural equality.
+  bool equals(const Expr& o) const;
+};
+
+ExprPtr make_const(double v);
+ExprPtr make_scalar(std::string name);
+ExprPtr make_ref(ArrayRef ref);
+ExprPtr make_ref(std::string array, std::vector<AffineExpr> index);
+ExprPtr make_neg(ExprPtr a);
+ExprPtr make_add(ExprPtr a, ExprPtr b);
+ExprPtr make_sub(ExprPtr a, ExprPtr b);
+ExprPtr make_mul(ExprPtr a, ExprPtr b);
+ExprPtr make_div(ExprPtr a, ExprPtr b);
+
+}  // namespace oa::ir

@@ -1,0 +1,75 @@
+#include "ir/interval.hpp"
+
+#include <algorithm>
+
+namespace oa::ir {
+
+std::optional<Interval> range_of(const AffineExpr& e, const RangeEnv& env) {
+  Interval out{e.constant_term(), e.constant_term()};
+  for (const auto& name : e.symbols()) {
+    auto it = env.find(name);
+    if (it == env.end()) return std::nullopt;
+    out = out + it->second.scaled(e.coeff(name));
+  }
+  return out;
+}
+
+namespace {
+
+void collect_ranges(const std::vector<NodePtr>& body, RangeEnv& env,
+                    const Env& params) {
+  for (const auto& n : body) {
+    if (n->is_loop()) {
+      // Bound the loop variable: evaluate lb/ub with parameters bound and
+      // loop variables replaced by their (already collected) ranges.
+      Interval lo{0, 0};
+      Interval hi{0, 0};
+      bool first = true;
+      for (const auto& t : n->lb.terms()) {
+        auto r = range_of(t, env);
+        if (!r) {
+          // Substitute parameters and retry.
+          AffineExpr s = t;
+          for (const auto& [p, v] : params) {
+            s = s.substituted(p, AffineExpr::constant(v));
+          }
+          r = range_of(s, env);
+        }
+        if (r) lo = first ? *r : Interval{std::max(lo.lo, r->lo),
+                                          std::max(lo.hi, r->hi)};
+        first = false;
+      }
+      first = true;
+      for (const auto& t : n->ub.terms()) {
+        AffineExpr s = t;
+        for (const auto& [p, v] : params) {
+          s = s.substituted(p, AffineExpr::constant(v));
+        }
+        auto r = range_of(s, env);
+        if (r) hi = first ? *r : Interval{std::min(hi.lo, r->lo),
+                                          std::min(hi.hi, r->hi)};
+        first = false;
+      }
+      int64_t hi_val = hi.hi;
+      if (n->ub_div > 1) {
+        // Block loops iterate ceil(ub / ub_div) times over [0, trips).
+        hi_val = (hi_val + n->ub_div - 1) / n->ub_div;
+      }
+      Interval var_range{lo.lo, std::max(lo.lo, hi_val - 1)};
+      env[n->var] = var_range;
+    }
+    collect_ranges(n->body, env, params);
+    collect_ranges(n->then_body, env, params);
+    collect_ranges(n->else_body, env, params);
+  }
+}
+
+}  // namespace
+
+RangeEnv loop_var_ranges(const Kernel& kernel, const Env& params) {
+  RangeEnv env;
+  collect_ranges(kernel.body, env, params);
+  return env;
+}
+
+}  // namespace oa::ir

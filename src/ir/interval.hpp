@@ -1,0 +1,48 @@
+// Interval analysis over affine expressions: given (possibly symbolic)
+// ranges of loop variables, bound the values a subscript can take. Used
+// for shared-memory footprint checks and structural validation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/affine.hpp"
+#include "ir/kernel.hpp"
+
+namespace oa::ir {
+
+/// Closed integer interval [lo, hi].
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool operator==(const Interval&) const = default;
+
+  int64_t width() const { return hi - lo + 1; }
+  bool contains(int64_t v) const { return v >= lo && v <= hi; }
+
+  Interval operator+(const Interval& o) const {
+    return {lo + o.lo, hi + o.hi};
+  }
+  Interval scaled(int64_t k) const {
+    return k >= 0 ? Interval{lo * k, hi * k} : Interval{hi * k, lo * k};
+  }
+  Interval hull(const Interval& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+};
+
+/// Map from variable name to the interval of values it takes.
+using RangeEnv = std::map<std::string, Interval, std::less<>>;
+
+/// Bound `e` given ranges for its symbols. Returns nullopt when a symbol
+/// is unbound.
+std::optional<Interval> range_of(const AffineExpr& e, const RangeEnv& env);
+
+/// Ranges of all loop variables in a kernel, with integer parameters
+/// bound by `params` (needed to evaluate bounds like min(M, kk+16)).
+/// Block/thread-mapped loops contribute their full extent.
+RangeEnv loop_var_ranges(const Kernel& kernel, const Env& params);
+
+}  // namespace oa::ir

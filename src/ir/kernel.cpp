@@ -1,0 +1,110 @@
+#include "ir/kernel.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace oa::ir {
+
+const char* mem_space_name(MemSpace space) {
+  switch (space) {
+    case MemSpace::kGlobal: return "global";
+    case MemSpace::kShared: return "shared";
+    case MemSpace::kRegister: return "register";
+  }
+  return "?";
+}
+
+Kernel& Kernel::operator=(const Kernel& o) {
+  if (this == &o) return *this;
+  name = o.name;
+  local_arrays = o.local_arrays;
+  body = clone_body(o.body);
+  tiling = o.tiling;
+  return *this;
+}
+
+ArrayDecl* Kernel::find_local_array(std::string_view name) {
+  for (auto& a : local_arrays) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Kernel::mapped_loops() const {
+  std::vector<const Node*> out;
+  walk_const(body, [&](const Node& n) {
+    if (n.is_loop() && n.map != LoopMap::kNone) out.push_back(&n);
+    return true;
+  });
+  return out;
+}
+
+StatusOr<LaunchConfig> launch_config(const Kernel& kernel, const Env& env) {
+  LaunchConfig cfg;
+  bool seen_thread = false;
+  for (const Node* loop : kernel.mapped_loops()) {
+    if (loop->step != 1) {
+      return internal_error("mapped loop '" + loop->label +
+                            "' has non-unit step");
+    }
+    const int64_t lo = loop->lb.eval_max(env);
+    const int64_t hi = loop->ub.eval_min(env);
+    int64_t extent = std::max<int64_t>(0, hi - lo);
+    if (loop->ub_div > 1) extent = (extent + loop->ub_div - 1) / loop->ub_div;
+    switch (loop->map) {
+      case LoopMap::kBlockX:
+        if (seen_thread) {
+          return internal_error("block loop nested inside thread loop");
+        }
+        cfg.grid_x = extent;
+        break;
+      case LoopMap::kBlockYSerial:
+        cfg.serial_grid_y = true;
+        [[fallthrough]];
+      case LoopMap::kBlockY:
+        if (seen_thread) {
+          return internal_error("block loop nested inside thread loop");
+        }
+        cfg.grid_y = extent;
+        break;
+      case LoopMap::kThreadX:
+        seen_thread = true;
+        cfg.block_x = extent;
+        break;
+      case LoopMap::kThreadY:
+        seen_thread = true;
+        cfg.block_y = extent;
+        break;
+      case LoopMap::kNone:
+        break;
+    }
+  }
+  if (cfg.num_blocks() <= 0 || cfg.threads_per_block() <= 0) {
+    return internal_error(
+        str_format("degenerate launch config for kernel '%s'",
+                   kernel.name.c_str()));
+  }
+  return cfg;
+}
+
+ArrayDecl* Program::find_global(std::string_view name) {
+  for (auto& a : globals) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const ArrayDecl* Program::find_global(std::string_view name) const {
+  for (const auto& a : globals) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+bool Program::has_bool_param(std::string_view name) const {
+  return std::find(bool_params.begin(), bool_params.end(), name) !=
+         bool_params.end();
+}
+
+}  // namespace oa::ir

@@ -1,0 +1,145 @@
+// Kernel / Program containers. A Program is what the EPOD translator
+// produces and the GPU simulator executes: one or more kernels launched
+// in order over a set of global arrays (GM_map-style data-layout
+// pre-passes become their own kernels, as in the paper's Step 2 of
+// Adaptor_Transpose).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/node.hpp"
+#include "support/status.hpp"
+
+namespace oa::ir {
+
+enum class MemSpace { kGlobal, kShared, kRegister };
+const char* mem_space_name(MemSpace space);
+
+/// A (logically 2-D) array. Storage is column-major to match BLAS:
+/// offset(r, c) = r + c * (rows + pad_rows). `pad_rows` is the padding
+/// SM_alloc inserts automatically to avoid shared-memory bank conflicts
+/// ((16,16) -> (16,17) in the paper).
+struct ArrayDecl {
+  std::string name;
+  MemSpace space = MemSpace::kGlobal;
+  AffineExpr rows;      // in terms of kernel int params (constants for
+                        // shared / register arrays)
+  AffineExpr cols;
+  int64_t pad_rows = 0;
+  /// Value-symmetric (X[a][b] == X[b][a]); set by GM_map(X, Symmetry) on
+  /// the reformatted copy so fusion may canonicalize subscript order.
+  bool symmetric = false;
+
+  int64_t num_rows(const Env& env) const { return rows.eval(env); }
+  int64_t num_cols(const Env& env) const { return cols.eval(env); }
+  int64_t leading_dim(const Env& env) const {
+    return rows.eval(env) + pad_rows;
+  }
+  int64_t num_elements(const Env& env) const {
+    return leading_dim(env) * num_cols(env);
+  }
+  int64_t offset(int64_t r, int64_t c, const Env& env) const {
+    return r + c * leading_dim(env);
+  }
+};
+
+/// Per-source-variable tiling metadata recorded by thread_grouping and
+/// loop_tiling so that downstream memory components (SM_alloc, Reg_alloc)
+/// can compute footprints without re-deriving them from subscripts.
+struct VarTiling {
+  // Block level: the range of the source variable covered by one thread
+  // block starts at `block_base` (affine in block-index vars) and spans
+  // `block_extent` values. block_extent == 0 means the axis is not
+  // partitioned across blocks (e.g. the k axis).
+  std::string block_var;
+  AffineExpr block_base;
+  int64_t block_extent = 0;
+  LoopMap block_map = LoopMap::kNone;
+  /// Upper bound of the source variable's full range (e.g. M), used to
+  /// clamp block-widened / padded bounds at boundary blocks. Empty
+  /// (default AffineExpr, constant 0) means unknown.
+  AffineExpr axis_extent;
+
+  // Thread level: range covered by one thread within the block.
+  std::string thread_var;
+  AffineExpr thread_base;
+  int64_t thread_extent = 0;
+  LoopMap thread_map = LoopMap::kNone;
+
+  // Sequential tiling (loop_tiling): `tile_var` iterates tile origins in
+  // steps of `tile_extent` (the kk loop for the k axis).
+  std::string tile_var;
+  std::string tile_label;
+  int64_t tile_extent = 0;
+
+  // Label of the innermost (point) loop that iterates this variable.
+  std::string point_label;
+};
+
+struct Kernel {
+  std::string name;
+  /// Shared and register arrays private to this kernel.
+  std::vector<ArrayDecl> local_arrays;
+  std::vector<NodePtr> body;
+  /// Tiling metadata keyed by source variable name ("i", "j", "k").
+  std::map<std::string, VarTiling, std::less<>> tiling;
+
+  Kernel() = default;
+  Kernel(const Kernel& o) { *this = o; }
+  Kernel& operator=(const Kernel& o);
+  Kernel(Kernel&&) = default;
+  Kernel& operator=(Kernel&&) = default;
+
+  Node* find(std::string_view label) { return find_loop(body, label); }
+  const Node* find(std::string_view label) const {
+    return find_loop(body, label);
+  }
+
+  ArrayDecl* find_local_array(std::string_view name);
+
+  /// Mapped loops in nesting order (block loops before thread loops) —
+  /// used to derive the launch configuration.
+  std::vector<const Node*> mapped_loops() const;
+};
+
+struct LaunchConfig {
+  int64_t grid_x = 1, grid_y = 1;
+  int64_t block_x = 1, block_y = 1;
+  bool serial_grid_y = false;  // waves along grid Y run in order
+  int64_t threads_per_block() const { return block_x * block_y; }
+  int64_t num_blocks() const { return grid_x * grid_y; }
+};
+
+/// Derive the launch configuration of `kernel` under `env`. Fails when
+/// mapped loops are malformed (non-unit step after normalization, a
+/// thread loop outside a block loop, data-dependent extents).
+StatusOr<LaunchConfig> launch_config(const Kernel& kernel, const Env& env);
+
+struct Program {
+  std::string name;
+  /// Integer size parameters (M, N, K) — bound at run time.
+  std::vector<std::string> int_params;
+  /// Scalar (float) parameters (alpha, beta).
+  std::vector<std::string> real_params;
+  /// Runtime boolean parameters introduced by multi-versioning
+  /// ("blank_zero" for Adaptor_Triangular's padded version).
+  std::vector<std::string> bool_params;
+  /// Global arrays, shared by all kernels (inputs, outputs, and
+  /// GM_map-created reformatted copies).
+  std::vector<ArrayDecl> globals;
+  /// Kernels launched in order; the last one is the "main" computation.
+  std::vector<Kernel> kernels;
+
+  Kernel& main_kernel() { return kernels.back(); }
+  const Kernel& main_kernel() const { return kernels.back(); }
+
+  ArrayDecl* find_global(std::string_view name);
+  const ArrayDecl* find_global(std::string_view name) const;
+  bool has_bool_param(std::string_view name) const;
+};
+
+}  // namespace oa::ir

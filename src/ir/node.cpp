@@ -1,0 +1,228 @@
+#include "ir/node.hpp"
+
+#include <cassert>
+
+namespace oa::ir {
+
+const char* loop_map_name(LoopMap map) {
+  switch (map) {
+    case LoopMap::kNone: return "seq";
+    case LoopMap::kBlockX: return "blockIdx.x";
+    case LoopMap::kBlockY: return "blockIdx.y";
+    case LoopMap::kThreadX: return "threadIdx.x";
+    case LoopMap::kThreadY: return "threadIdx.y";
+    case LoopMap::kBlockYSerial: return "blockIdx.y(serial)";
+  }
+  return "?";
+}
+
+NodePtr Node::clone() const {
+  auto out = std::make_unique<Node>(kind);
+  out->label = label;
+  out->var = var;
+  out->orig_var = orig_var;
+  out->lb = lb;
+  out->ub = ub;
+  out->step = step;
+  out->ub_div = ub_div;
+  out->map = map;
+  out->unroll = unroll;
+  out->body = clone_body(body);
+  out->lhs = lhs;
+  out->op = op;
+  out->staging_copy = staging_copy;
+  if (rhs) out->rhs = rhs->clone();
+  out->conds = conds;
+  out->bool_param = bool_param;
+  out->then_body = clone_body(then_body);
+  out->else_body = clone_body(else_body);
+  return out;
+}
+
+void Node::rename_uses(std::string_view from, const std::string& to) {
+  substitute_uses(from, AffineExpr::sym(to));
+}
+
+void Node::substitute_uses(std::string_view name, const AffineExpr& repl) {
+  switch (kind) {
+    case Kind::kLoop:
+      lb = lb.substituted(name, repl);
+      ub = ub.substituted(name, repl);
+      for (auto& n : body) n->substitute_uses(name, repl);
+      break;
+    case Kind::kAssign:
+      lhs = lhs.substituted(name, repl);
+      if (rhs) rhs->substitute_var(name, repl);
+      break;
+    case Kind::kSync:
+      break;
+    case Kind::kIf:
+      for (auto& p : conds) p.expr = p.expr.substituted(name, repl);
+      for (auto& n : then_body) n->substitute_uses(name, repl);
+      for (auto& n : else_body) n->substitute_uses(name, repl);
+      break;
+  }
+}
+
+namespace {
+bool bodies_equal(const std::vector<NodePtr>& a,
+                  const std::vector<NodePtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]->equals(*b[i])) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool Node::equals(const Node& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case Kind::kLoop:
+      return label == o.label && var == o.var && lb == o.lb && ub == o.ub &&
+             step == o.step && ub_div == o.ub_div && map == o.map &&
+             unroll == o.unroll && bodies_equal(body, o.body);
+    case Kind::kAssign: {
+      if (!(lhs == o.lhs) || op != o.op || staging_copy != o.staging_copy) {
+        return false;
+      }
+      if (static_cast<bool>(rhs) != static_cast<bool>(o.rhs)) return false;
+      return !rhs || rhs->equals(*o.rhs);
+    }
+    case Kind::kSync:
+      return true;
+    case Kind::kIf:
+      return conds == o.conds && bool_param == o.bool_param &&
+             bodies_equal(then_body, o.then_body) &&
+             bodies_equal(else_body, o.else_body);
+  }
+  return false;
+}
+
+NodePtr make_loop(std::string label, std::string var, Bound lb, Bound ub,
+                  int64_t step) {
+  auto n = std::make_unique<Node>(Node::Kind::kLoop);
+  n->label = std::move(label);
+  n->var = std::move(var);
+  n->orig_var = n->var;
+  n->lb = std::move(lb);
+  n->ub = std::move(ub);
+  n->step = step;
+  return n;
+}
+
+NodePtr make_assign(ArrayRef lhs, AssignOp op, ExprPtr rhs) {
+  auto n = std::make_unique<Node>(Node::Kind::kAssign);
+  n->lhs = std::move(lhs);
+  n->op = op;
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+NodePtr make_sync() { return std::make_unique<Node>(Node::Kind::kSync); }
+
+NodePtr make_if(std::vector<Pred> conds, std::vector<NodePtr> then_body,
+                std::vector<NodePtr> else_body) {
+  auto n = std::make_unique<Node>(Node::Kind::kIf);
+  n->conds = std::move(conds);
+  n->then_body = std::move(then_body);
+  n->else_body = std::move(else_body);
+  return n;
+}
+
+NodePtr clone_body_node(const Node& n) { return n.clone(); }
+
+std::vector<NodePtr> clone_body(const std::vector<NodePtr>& body) {
+  std::vector<NodePtr> out;
+  out.reserve(body.size());
+  for (const auto& n : body) out.push_back(n->clone());
+  return out;
+}
+
+void walk(std::vector<NodePtr>& body, const std::function<bool(Node&)>& fn) {
+  for (auto& n : body) {
+    if (!fn(*n)) continue;
+    walk(n->body, fn);
+    walk(n->then_body, fn);
+    walk(n->else_body, fn);
+  }
+}
+
+void walk_const(const std::vector<NodePtr>& body,
+                const std::function<bool(const Node&)>& fn) {
+  for (const auto& n : body) {
+    if (!fn(*n)) continue;
+    walk_const(n->body, fn);
+    walk_const(n->then_body, fn);
+    walk_const(n->else_body, fn);
+  }
+}
+
+Node* find_loop(std::vector<NodePtr>& body, std::string_view label) {
+  Node* found = nullptr;
+  walk(body, [&](Node& n) {
+    if (found) return false;
+    if (n.is_loop() && n.label == label) {
+      found = &n;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+const Node* find_loop(const std::vector<NodePtr>& body,
+                      std::string_view label) {
+  const Node* found = nullptr;
+  walk_const(body, [&](const Node& n) {
+    if (found) return false;
+    if (n.is_loop() && n.label == label) {
+      found = &n;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+namespace {
+LoopLocation locate_in(std::vector<NodePtr>& body, std::string_view label) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    Node& n = *body[i];
+    if (n.is_loop() && n.label == label) return {&body, i, &n};
+    for (auto* sub : {&n.body, &n.then_body, &n.else_body}) {
+      LoopLocation loc = locate_in(*sub, label);
+      if (loc.loop) return loc;
+    }
+  }
+  return {};
+}
+}  // namespace
+
+LoopLocation locate_loop(std::vector<NodePtr>& body, std::string_view label) {
+  return locate_in(body, label);
+}
+
+void for_each_ref(std::vector<NodePtr>& body,
+                  const std::function<void(ArrayRef&)>& fn) {
+  walk(body, [&](Node& n) {
+    if (n.is_assign()) {
+      fn(n.lhs);
+      if (n.rhs) n.rhs->for_each_ref(fn);
+    }
+    return true;
+  });
+}
+
+void visit_refs(const std::vector<NodePtr>& body,
+                const std::function<void(const ArrayRef&)>& fn) {
+  walk_const(body, [&](const Node& n) {
+    if (n.is_assign()) {
+      fn(n.lhs);
+      if (n.rhs) n.rhs->visit_refs(fn);
+    }
+    return true;
+  });
+}
+
+}  // namespace oa::ir

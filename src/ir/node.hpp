@@ -1,0 +1,133 @@
+// Statement / loop tree of a kernel. Loops carry the labels the EPOD
+// scripts refer to (Li, Lj, Lk, ...) plus GPU mapping attributes
+// (blockIdx / threadIdx) attached by thread_grouping.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "ir/expr.hpp"
+
+namespace oa::ir {
+
+/// GPU dimension a loop is mapped to. Unmapped loops execute
+/// sequentially (per thread).
+enum class LoopMap {
+  kNone,
+  kBlockX,
+  kBlockY,
+  kThreadX,
+  kThreadY,
+  /// Mapped across thread blocks along grid Y, but the waves must run in
+  /// launch order (models the inter-block dependence of TRSM: block row
+  /// b may only start once rows < b finished). Set by thread_grouping
+  /// when dependence analysis finds a carried dependence on the loop.
+  kBlockYSerial,
+};
+
+const char* loop_map_name(LoopMap map);
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+enum class AssignOp { kAssign, kAddAssign, kSubAssign, kDivAssign };
+
+struct Node {
+  enum class Kind { kLoop, kAssign, kSync, kIf };
+
+  explicit Node(Kind k) : kind(k) {}
+  Kind kind;
+
+  // ---- kLoop ------------------------------------------------------
+  std::string label;     // EPOD-visible loop label ("Li", "Lkkk", ...)
+  std::string var;       // iteration variable name (unique in kernel)
+  std::string orig_var;  // which source-loop identity this loop derives
+                         // from ("i","j","k"); preserved by tiling etc.
+  Bound lb;              // lower bound: max over terms (inclusive)
+  Bound ub;              // upper bound: min over terms (exclusive)
+  int64_t step = 1;
+  /// Effective upper bound is ceil(eval_min(ub) / ub_div): block-mapped
+  /// loops produced by thread_grouping use this to express
+  /// ceil(M / tile) grid extents while keeping bound terms affine.
+  int64_t ub_div = 1;
+  LoopMap map = LoopMap::kNone;
+  int unroll = 1;        // unroll factor attached by loop_unroll
+  std::vector<NodePtr> body;
+
+  // ---- kAssign ----------------------------------------------------
+  ArrayRef lhs;
+  AssignOp op = AssignOp::kAssign;
+  ExprPtr rhs;
+  /// Set by SM_alloc on its copy statements: the global reads here
+  /// stage a footprint that is disjoint from any output tile by
+  /// construction (reg_alloc relies on this to promote an output that
+  /// is also a staged input, as in TRSM).
+  bool staging_copy = false;
+
+  // ---- kIf --------------------------------------------------------
+  std::vector<Pred> conds;        // conjunction
+  std::string bool_param;         // optional runtime boolean parameter
+                                  // ("blank_zero"): empty means unused
+  std::vector<NodePtr> then_body;
+  std::vector<NodePtr> else_body;
+
+  NodePtr clone() const;
+
+  bool is_loop() const { return kind == Kind::kLoop; }
+  bool is_assign() const { return kind == Kind::kAssign; }
+  bool is_sync() const { return kind == Kind::kSync; }
+  bool is_if() const { return kind == Kind::kIf; }
+
+  /// Rename variable `from` to `to` in bounds, conditions, refs (does not
+  /// touch loop `var` declarations).
+  void rename_uses(std::string_view from, const std::string& to);
+
+  /// Substitute `name` -> affine expr everywhere it is *used*.
+  void substitute_uses(std::string_view name, const AffineExpr& repl);
+
+  /// Structural equality (labels/vars included).
+  bool equals(const Node& o) const;
+};
+
+NodePtr make_loop(std::string label, std::string var, Bound lb, Bound ub,
+                  int64_t step = 1);
+NodePtr make_assign(ArrayRef lhs, AssignOp op, ExprPtr rhs);
+NodePtr make_sync();
+NodePtr make_if(std::vector<Pred> conds, std::vector<NodePtr> then_body,
+                std::vector<NodePtr> else_body = {});
+
+NodePtr clone_body_node(const Node& n);
+std::vector<NodePtr> clone_body(const std::vector<NodePtr>& body);
+
+/// Pre-order walk over a node forest. Return false from fn to skip the
+/// subtree below a node.
+void walk(std::vector<NodePtr>& body,
+          const std::function<bool(Node&)>& fn);
+void walk_const(const std::vector<NodePtr>& body,
+                const std::function<bool(const Node&)>& fn);
+
+/// Find the loop with the given label (nullptr if absent).
+Node* find_loop(std::vector<NodePtr>& body, std::string_view label);
+const Node* find_loop(const std::vector<NodePtr>& body,
+                      std::string_view label);
+
+/// Find the parent body vector + index of the loop with `label`.
+/// Returns {nullptr, 0} when not found; parent_body is the vector that
+/// directly contains the loop node.
+struct LoopLocation {
+  std::vector<NodePtr>* parent_body = nullptr;
+  size_t index = 0;
+  Node* loop = nullptr;
+};
+LoopLocation locate_loop(std::vector<NodePtr>& body, std::string_view label);
+
+/// Apply fn to every ArrayRef in the subtree (lhs and rhs).
+void for_each_ref(std::vector<NodePtr>& body,
+                  const std::function<void(ArrayRef&)>& fn);
+void visit_refs(const std::vector<NodePtr>& body,
+                const std::function<void(const ArrayRef&)>& fn);
+
+}  // namespace oa::ir

@@ -1,0 +1,125 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace oa::ir {
+namespace {
+
+const char* op_text(AssignOp op) {
+  switch (op) {
+    case AssignOp::kAssign: return "=";
+    case AssignOp::kAddAssign: return "+=";
+    case AssignOp::kSubAssign: return "-=";
+    case AssignOp::kDivAssign: return "/=";
+  }
+  return "?";
+}
+
+void print_body(const std::vector<NodePtr>& body, int indent,
+                std::ostringstream& os);
+
+void print_node(const Node& n, int indent, std::ostringstream& os) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (n.kind) {
+    case Node::Kind::kLoop: {
+      os << pad << n.label << ": for (" << n.var << " = "
+         << n.lb.to_string(false) << "; " << n.var << " < ";
+      if (n.ub_div > 1) os << "ceil(" << n.ub.to_string(true) << ", "
+                           << n.ub_div << ")";
+      else os << n.ub.to_string(true);
+      os << "; " << n.var;
+      if (n.step == 1) {
+        os << "++";
+      } else {
+        os << " += " << n.step;
+      }
+      os << ")";
+      if (n.map != LoopMap::kNone) os << "  // " << loop_map_name(n.map);
+      if (n.unroll > 1) os << "  // unroll x" << n.unroll;
+      os << " {\n";
+      print_body(n.body, indent + 1, os);
+      os << pad << "}\n";
+      break;
+    }
+    case Node::Kind::kAssign:
+      os << pad << n.lhs.to_string() << ' ' << op_text(n.op) << ' '
+         << n.rhs->to_string() << ";\n";
+      break;
+    case Node::Kind::kSync:
+      os << pad << "__syncthreads();\n";
+      break;
+    case Node::Kind::kIf: {
+      os << pad << "if (";
+      bool first = true;
+      if (!n.bool_param.empty()) {
+        os << n.bool_param;
+        first = false;
+      }
+      for (const auto& p : n.conds) {
+        if (!first) os << " && ";
+        os << p.to_string();
+        first = false;
+      }
+      os << ") {\n";
+      print_body(n.then_body, indent + 1, os);
+      if (!n.else_body.empty()) {
+        os << pad << "} else {\n";
+        print_body(n.else_body, indent + 1, os);
+      }
+      os << pad << "}\n";
+      break;
+    }
+  }
+}
+
+void print_body(const std::vector<NodePtr>& body, int indent,
+                std::ostringstream& os) {
+  for (const auto& n : body) print_node(*n, indent, os);
+}
+
+void print_array(const ArrayDecl& a, std::ostringstream& os) {
+  os << "  " << mem_space_name(a.space) << " float " << a.name << '['
+     << a.rows.to_string();
+  if (a.pad_rows) os << '+' << a.pad_rows;
+  os << "][" << a.cols.to_string() << "];  // column-major\n";
+}
+
+}  // namespace
+
+std::string to_string(const Node& node, int indent) {
+  std::ostringstream os;
+  print_node(node, indent, os);
+  return os.str();
+}
+
+std::string to_string(const Kernel& kernel) {
+  std::ostringstream os;
+  os << "kernel " << kernel.name << " {\n";
+  for (const auto& a : kernel.local_arrays) print_array(a, os);
+  print_body(kernel.body, 1, os);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_string(const Program& program) {
+  std::ostringstream os;
+  os << "program " << program.name << "(";
+  for (size_t i = 0; i < program.int_params.size(); ++i) {
+    if (i) os << ", ";
+    os << "int " << program.int_params[i];
+  }
+  for (const auto& p : program.real_params) os << ", float " << p;
+  for (const auto& p : program.bool_params) os << ", bool " << p;
+  os << ") {\n";
+  for (const auto& a : program.globals) print_array(a, os);
+  os << "\n";
+  for (const auto& k : program.kernels) {
+    std::istringstream is(to_string(k));
+    std::string line;
+    while (std::getline(is, line)) os << "  " << line << '\n';
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace oa::ir

@@ -1,0 +1,15 @@
+// Pretty-printer: renders a Program as annotated pseudo-CUDA, used in
+// examples, debugging, and the Fig-14 bench output.
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace oa::ir {
+
+std::string to_string(const Node& node, int indent = 0);
+std::string to_string(const Kernel& kernel);
+std::string to_string(const Program& program);
+
+}  // namespace oa::ir

@@ -1,0 +1,174 @@
+#include "ir/validate.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace oa::ir {
+namespace {
+
+struct Scope {
+  const Program* program;
+  const Kernel* kernel;
+  std::set<std::string, std::less<>> vars;  // in-scope symbols
+};
+
+const ArrayDecl* find_array(const Scope& s, std::string_view name) {
+  for (const auto& a : s.kernel->local_arrays) {
+    if (a.name == name) return &a;
+  }
+  return s.program->find_global(name);
+}
+
+Status check_expr_symbols(const AffineExpr& e, const Scope& s,
+                          std::string_view where) {
+  for (const auto& sym : e.symbols()) {
+    if (!s.vars.contains(sym)) {
+      return internal_error(str_format(
+          "symbol '%s' used out of scope in %s", sym.c_str(),
+          std::string(where).c_str()));
+    }
+  }
+  return Status::ok();
+}
+
+Status check_ref(const ArrayRef& r, const Scope& s) {
+  const ArrayDecl* decl = find_array(s, r.array);
+  if (decl == nullptr) {
+    return internal_error("reference to undeclared array '" + r.array + "'");
+  }
+  if (r.index.size() != 2) {
+    return internal_error(str_format("array '%s' referenced with rank %zu",
+                                     r.array.c_str(), r.index.size()));
+  }
+  for (const auto& e : r.index) {
+    OA_RETURN_IF_ERROR(check_expr_symbols(e, s, "subscript of " + r.array));
+  }
+  return Status::ok();
+}
+
+Status check_rhs(const Expr& e, const Scope& s) {
+  Status status = Status::ok();
+  e.visit_refs([&](const ArrayRef& r) {
+    if (status.is_ok()) {
+      Status rs = check_ref(r, s);
+      if (!rs.is_ok()) status = rs;
+    }
+  });
+  return status;
+}
+
+Status check_body(const std::vector<NodePtr>& body, Scope& s,
+                  bool inside_thread);
+
+Status check_node(const Node& n, Scope& s, bool inside_thread) {
+  switch (n.kind) {
+    case Node::Kind::kLoop: {
+      if (n.var.empty() || n.label.empty()) {
+        return internal_error("loop with empty var or label");
+      }
+      if (s.vars.contains(n.var)) {
+        return internal_error("loop variable '" + n.var +
+                              "' shadows an in-scope symbol");
+      }
+      if (n.step == 0) return internal_error("loop with zero step");
+      for (const auto& t : n.lb.terms()) {
+        OA_RETURN_IF_ERROR(check_expr_symbols(t, s, "lb of " + n.label));
+      }
+      for (const auto& t : n.ub.terms()) {
+        OA_RETURN_IF_ERROR(check_expr_symbols(t, s, "ub of " + n.label));
+      }
+      const bool is_thread = n.map == LoopMap::kThreadX ||
+                             n.map == LoopMap::kThreadY;
+      const bool is_block = n.map == LoopMap::kBlockX ||
+                            n.map == LoopMap::kBlockY ||
+                            n.map == LoopMap::kBlockYSerial;
+      if (is_block && inside_thread) {
+        return internal_error("block-mapped loop '" + n.label +
+                              "' nested inside a thread-mapped loop");
+      }
+      s.vars.insert(n.var);
+      Status st = check_body(n.body, s, inside_thread || is_thread);
+      s.vars.erase(n.var);
+      return st;
+    }
+    case Node::Kind::kAssign: {
+      OA_RETURN_IF_ERROR(check_ref(n.lhs, s));
+      if (!n.rhs) return internal_error("assignment without rhs");
+      return check_rhs(*n.rhs, s);
+    }
+    case Node::Kind::kSync:
+      return Status::ok();
+    case Node::Kind::kIf: {
+      for (const auto& p : n.conds) {
+        OA_RETURN_IF_ERROR(check_expr_symbols(p.expr, s, "if-cond"));
+      }
+      if (!n.bool_param.empty() &&
+          !s.program->has_bool_param(n.bool_param)) {
+        return internal_error("undeclared bool param '" + n.bool_param + "'");
+      }
+      OA_RETURN_IF_ERROR(check_body(n.then_body, s, inside_thread));
+      return check_body(n.else_body, s, inside_thread);
+    }
+  }
+  return Status::ok();
+}
+
+Status check_body(const std::vector<NodePtr>& body, Scope& s,
+                  bool inside_thread) {
+  for (const auto& n : body) {
+    OA_RETURN_IF_ERROR(check_node(*n, s, inside_thread));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate_kernel(const Program& program, const Kernel& kernel) {
+  Scope scope{&program, &kernel, {}};
+  for (const auto& p : program.int_params) scope.vars.insert(p);
+  // Unique labels within the kernel.
+  std::set<std::string, std::less<>> labels;
+  Status dup = Status::ok();
+  walk_const(kernel.body, [&](const Node& n) {
+    if (n.is_loop() && !labels.insert(n.label).second && dup.is_ok()) {
+      dup = internal_error("duplicate loop label '" + n.label + "' in '" +
+                           kernel.name + "'");
+    }
+    return true;
+  });
+  OA_RETURN_IF_ERROR(dup);
+  return check_body(kernel.body, scope, false);
+}
+
+Status validate(const Program& program) {
+  if (program.kernels.empty()) {
+    return internal_error("program '" + program.name + "' has no kernels");
+  }
+  std::set<std::string, std::less<>> names;
+  for (const auto& a : program.globals) {
+    if (!names.insert(a.name).second) {
+      return internal_error("duplicate global array '" + a.name + "'");
+    }
+    if (a.space != MemSpace::kGlobal) {
+      return internal_error("global array '" + a.name +
+                            "' not in global space");
+    }
+  }
+  for (const auto& k : program.kernels) {
+    for (const auto& a : k.local_arrays) {
+      if (a.space == MemSpace::kGlobal) {
+        return internal_error("kernel-local array '" + a.name +
+                              "' in global space");
+      }
+      if (!a.rows.is_constant() || !a.cols.is_constant()) {
+        return internal_error("kernel-local array '" + a.name +
+                              "' with non-constant shape");
+      }
+    }
+    OA_RETURN_IF_ERROR(validate_kernel(program, k));
+  }
+  return Status::ok();
+}
+
+}  // namespace oa::ir

@@ -1,0 +1,15 @@
+// Structural validation of a Program: every array referenced is
+// declared with matching rank, loop variables are unique along each
+// path, mapped loops are well-nested, subscripts only use in-scope
+// symbols. Run by tests after every transformation.
+#pragma once
+
+#include "ir/kernel.hpp"
+#include "support/status.hpp"
+
+namespace oa::ir {
+
+Status validate(const Program& program);
+Status validate_kernel(const Program& program, const Kernel& kernel);
+
+}  // namespace oa::ir

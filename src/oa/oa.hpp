@@ -1,0 +1,86 @@
+// The public entry point of the library: the OA (Optimization Adaptor)
+// framework of the paper, Fig 1. Given a routine and a device, it
+//   1. picks the adaptors that relate the routine to GEMM-NN
+//      (Adaptor_Transpose / _Symmetry / _Triangular / _Solver),
+//   2. composes them with the GEMM-NN EPOD script (composer/),
+//   3. searches the generated variants and tuning parameters (tuner/),
+// returning the best verified kernel for the simulated device.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   oa::OaFramework oa(oa::gpusim::gtx285());
+//   auto tuned = oa.generate(*oa::blas3::find_variant("SYMM-LL"));
+//   auto result = oa.run(*tuned, a, b, &c);   // functional execution
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "adl/adaptor.hpp"
+#include "baseline/baseline.hpp"
+#include "blas3/matrix.hpp"
+#include "composer/composer.hpp"
+#include "gpusim/simulator.hpp"
+#include "tuner/tuner.hpp"
+
+namespace oa {
+
+struct OaOptions {
+  /// Problem size the tuner times candidates at.
+  int64_t tuning_size = 1024;
+  /// Functional-verification size (0 disables verification — not
+  /// recommended).
+  int64_t verify_size = 72;
+  /// Exhaustive parameter sweep instead of orthogonal line search.
+  bool exhaustive_search = false;
+  /// Base script to extend. Defaults to the paper's Fig 3 GEMM-NN
+  /// script.
+  epod::Script base_script = epod::gemm_nn_script();
+};
+
+class OaFramework {
+ public:
+  explicit OaFramework(const gpusim::DeviceModel& device,
+                       OaOptions options = {});
+
+  const gpusim::DeviceModel& device() const { return sim_.device(); }
+  const gpusim::Simulator& simulator() const { return sim_; }
+
+  /// Bound adaptors relating `v` to GEMM-NN (empty for GEMM-NN itself).
+  static std::vector<adl::Adaptor> adaptors_for(const blas3::Variant& v);
+
+  /// Candidate EPOD scripts for `v` (composer output).
+  StatusOr<std::vector<composer::Candidate>> candidates_for(
+      const blas3::Variant& v) const;
+
+  /// Full generation: compose + search. Results are cached per variant.
+  StatusOr<tuner::TunedVariant> generate(const blas3::Variant& v);
+
+  /// Performance of a tuned variant at problem size n (GFLOPS).
+  StatusOr<double> measure_gflops(const tuner::TunedVariant& tuned,
+                                  const blas3::Variant& v, int64_t n) const;
+
+  /// Performance of a baseline program at size n.
+  StatusOr<double> measure_baseline_gflops(const ir::Program& program,
+                                           const blas3::Variant& v,
+                                           int64_t n) const;
+
+  /// Profiler counters (per-SM, like the paper's tables) at size n.
+  StatusOr<gpusim::Counters> profile(const ir::Program& program,
+                                     const blas3::Variant& v, int64_t n,
+                                     const std::map<std::string, bool>&
+                                         bool_params = {}) const;
+
+  /// Functional execution of any program (tuned or baseline) on real
+  /// matrices; the output array is written back into `b` (TRSM) or `c`.
+  Status run(const ir::Program& program, const blas3::Variant& v,
+             const blas3::Matrix& a, blas3::Matrix& b, blas3::Matrix* c,
+             const std::map<std::string, bool>& bool_params = {}) const;
+
+ private:
+  gpusim::Simulator sim_;
+  OaOptions options_;
+  std::map<std::string, tuner::TunedVariant> cache_;
+};
+
+}  // namespace oa

@@ -1,0 +1,38 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace oa {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_io_mu;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* /*file*/, int /*line*/)
+    : enabled_(level >= g_level.load()), level_(level) {}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level_), stream_.str().c_str());
+}
+
+}  // namespace detail
+}  // namespace oa

@@ -1,0 +1,37 @@
+// Minimal leveled logging. Benches and the tuner use INFO to narrate the
+// search; tests silence everything below WARNING via set_log_level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace oa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define OA_LOG(level) \
+  ::oa::detail::LogLine(::oa::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace oa

@@ -1,0 +1,63 @@
+// Deterministic PRNG for test matrices. xoshiro256** — fast, seedable,
+// reproducible across platforms (unlike std::uniform_real_distribution,
+// whose output is implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace oa {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ull;
+      w = (w ^ (w >> 27)) * 0x94D049BB133111EBull;
+      s = w ^ (w >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t next_below(uint64_t n) { return next_u64() % n; }
+
+  /// Fill a buffer with small values in [-1, 1) — keeps float GEMM sums
+  /// well-conditioned so correctness checks can use tight tolerances.
+  void fill(std::span<float> out) {
+    for (float& x : out) x = next_float(-1.0f, 1.0f);
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace oa

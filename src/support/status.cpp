@@ -1,0 +1,26 @@
+#include "support/status.hpp"
+
+namespace oa {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kIllegal: return "illegal";
+    case ErrorCode::kUnimplemented: return "unimplemented";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = error_code_name(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace oa

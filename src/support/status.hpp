@@ -1,0 +1,131 @@
+// Lightweight Status / StatusOr error propagation for the OA framework.
+//
+// Optimization components signal recoverable failure (e.g. "no trapezoid
+// area detected", "fusion illegal") through Status rather than exceptions:
+// the composer's filter treats a failed component as "omit and degenerate"
+// (paper §IV-B.2), so failure is an expected, frequent control-flow path.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace oa {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad script text, bad label)
+  kNotFound,          // label/array/loop not present in the kernel
+  kFailedPrecondition,// component constraint unsatisfied (filter omits it)
+  kIllegal,           // dependence analysis rejects the transformation
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("ok", "invalid_argument", ...).
+const char* error_code_name(ErrorCode code);
+
+/// Result of an operation that can fail without a payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status() for success");
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status illegal(std::string msg) {
+  return {ErrorCode::kIllegal, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Result of an operation returning T on success, Status on failure.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}           // NOLINT implicit
+  StatusOr(Status status) : rep_(std::move(status)) {     // NOLINT implicit
+    assert(!std::get<Status>(rep_).is_ok() &&
+           "StatusOr must not hold an OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-OK Status from an expression to the caller.
+#define OA_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::oa::Status oa_status_ = (expr);             \
+    if (!oa_status_.is_ok()) return oa_status_;   \
+  } while (0)
+
+// Evaluate a StatusOr expression; on failure return its status, otherwise
+// bind the value to `lhs`.
+#define OA_CONCAT_INNER_(a, b) a##b
+#define OA_CONCAT_(a, b) OA_CONCAT_INNER_(a, b)
+#define OA_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto OA_CONCAT_(oa_sor_, __LINE__) = (expr);             \
+  if (!OA_CONCAT_(oa_sor_, __LINE__).is_ok())              \
+    return OA_CONCAT_(oa_sor_, __LINE__).status();         \
+  lhs = std::move(OA_CONCAT_(oa_sor_, __LINE__)).value()
+
+}  // namespace oa

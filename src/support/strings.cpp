@@ -1,0 +1,74 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace oa {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      std::string_view piece = trim(s.substr(start, i - start));
+      if (!piece.empty() || !skip_empty) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_millions(long long count) {
+  if (count == 0) return "0";
+  double m = static_cast<double>(count) / 1e6;
+  if (m >= 100.0) return str_format("%.0fM", m);
+  if (m >= 10.0) return str_format("%.0fM", m);
+  if (m >= 1.0) return str_format("%.1fM", m);
+  return str_format("%.2fM", m);
+}
+
+}  // namespace oa

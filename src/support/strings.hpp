@@ -1,0 +1,34 @@
+// Small string utilities shared across the parser/printers.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oa {
+
+/// Remove leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split `s` on `sep`, trimming each piece; empty pieces are kept unless
+/// `skip_empty` is set.
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool skip_empty = false);
+
+/// Join pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string (gcc 12 lacks <format>).
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Format a count with engineering suffix the way cuda_profile tables in
+/// the paper do: 804000000 -> "804M", 420000 -> "0.42M".
+std::string format_millions(long long count);
+
+}  // namespace oa

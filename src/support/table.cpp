@@ -1,0 +1,87 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace oa {
+
+void TextTable::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      os << (c + 1 == row.size() ? "" : "  ");
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      if (c) os << ',';
+      if (cell.find(',') != std::string::npos) {
+        os << '"' << cell << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+std::string ascii_bar_chart(
+    const std::vector<std::pair<std::string, double>>& data,
+    double max_value, int width) {
+  size_t label_width = 0;
+  for (const auto& [label, _] : data) {
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, value] : data) {
+    int bar = 0;
+    if (max_value > 0) {
+      bar = static_cast<int>(value / max_value * width + 0.5);
+      bar = std::clamp(bar, 0, width);
+    }
+    os << label << std::string(label_width - label.size(), ' ') << " |"
+       << std::string(static_cast<size_t>(bar), '#')
+       << str_format(" %.2f", value) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace oa

@@ -1,0 +1,40 @@
+// Column-aligned text tables and CSV emission for the bench harnesses,
+// so every figure/table binary prints paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oa {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render as a column-aligned table with a header separator.
+  std::string to_string() const;
+
+  /// Render as CSV (no escaping beyond quoting cells with commas).
+  std::string to_csv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+/// Render a simple ASCII horizontal bar chart (used by the figure benches
+/// to make "speedup over CUBLAS" visually comparable to the paper's bars).
+std::string ascii_bar_chart(const std::vector<std::pair<std::string, double>>& data,
+                            double max_value, int width = 50);
+
+}  // namespace oa

@@ -1,0 +1,89 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace oa {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(size_t n,
+                              const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = size();
+  if (n == 1 || workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Chunked dynamic scheduling: workers pull chunks off a shared counter.
+  const size_t chunk = std::max<size_t>(1, n / (workers * 8));
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<size_t>>(n);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  auto body = [next, remaining, chunk, n, &fn, &done_mu, &done_cv, &done] {
+    for (;;) {
+      const size_t begin = next->fetch_add(chunk);
+      if (begin >= n) return;
+      const size_t end = std::min(begin + chunk, n);
+      for (size_t i = begin; i < end; ++i) fn(i);
+      if (remaining->fetch_sub(end - begin) == end - begin) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done = true;
+        done_cv.notify_one();
+      }
+    }
+  };
+
+  const size_t tasks = std::min(workers, (n + chunk - 1) / chunk);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Reserve one lane for the calling thread, which also executes.
+    for (size_t t = 1; t < tasks; ++t) tasks_.push(body);
+  }
+  cv_.notify_all();
+  body();  // caller participates
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&done] { return done; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace oa

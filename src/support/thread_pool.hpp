@@ -1,0 +1,45 @@
+// Fixed-size thread pool with a blocking parallel_for, used by the GPU
+// simulator to execute independent thread blocks concurrently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oa {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool; returns when all
+  /// iterations completed. fn must be safe to call concurrently for
+  /// distinct i. Falls back to inline execution for tiny n.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace oa

@@ -1,0 +1,228 @@
+// oagen — command-line driver for the OA framework.
+//
+//   oagen --list                                   list routines/devices
+//   oagen --routine SYMM-LL [--device gtx285]      generate + report
+//   oagen --routine GEMM-TN --show-candidates      composer output only
+//   oagen --routine TRMM-LL-N --script file.epod   apply a user script
+//   oagen --routine SYMM-LL --adaptor file.adl     use a custom adaptor
+//   oagen --routine SYMM-LL --size 4096            performance at size N
+//
+// Scripts and adaptors use the syntax documented in docs/LANGUAGES.md.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "oa/oa.hpp"
+#include "ir/printer.hpp"
+#include "support/log.hpp"
+#include "tuner/tuner.hpp"
+
+namespace {
+
+using namespace oa;
+
+const gpusim::DeviceModel* device_by_name(const std::string& name) {
+  if (name == "geforce9800" || name == "9800") {
+    return &gpusim::geforce_9800();
+  }
+  if (name == "gtx285" || name == "285") return &gpusim::gtx285();
+  if (name == "fermi" || name == "c2050") return &gpusim::fermi_c2050();
+  return nullptr;
+}
+
+StatusOr<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return not_found("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::printf(
+      "usage: oagen --routine NAME [options]\n"
+      "       oagen --list\n\n"
+      "options:\n"
+      "  --device geforce9800|gtx285|fermi   target GPU (default gtx285)\n"
+      "  --size N                            measure GFLOPS at N "
+      "(default 1024)\n"
+      "  --tuning-size N                     search problem size "
+      "(default 512)\n"
+      "  --show-candidates                   print the composer output "
+      "and exit\n"
+      "  --show-kernel                       print the generated kernel "
+      "IR\n"
+      "  --script FILE                       apply an EPOD script "
+      "instead of searching\n"
+      "  --adaptor FILE                      compose a custom ADL "
+      "adaptor (bound to A)\n"
+      "  --exhaustive                        exhaustive parameter sweep\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarning);
+  std::string routine, device_name = "gtx285", script_path, adaptor_path;
+  int64_t size = 1024, tuning_size = 512;
+  bool list = false, show_candidates = false, show_kernel = false,
+       exhaustive = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--routine") {
+      routine = next();
+    } else if (arg == "--device") {
+      device_name = next();
+    } else if (arg == "--size") {
+      size = std::atoll(next());
+    } else if (arg == "--tuning-size") {
+      tuning_size = std::atoll(next());
+    } else if (arg == "--script") {
+      script_path = next();
+    } else if (arg == "--adaptor") {
+      adaptor_path = next();
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--show-candidates") {
+      show_candidates = true;
+    } else if (arg == "--show-kernel") {
+      show_kernel = true;
+    } else if (arg == "--exhaustive") {
+      exhaustive = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (list) {
+    std::printf("devices: geforce9800, gtx285, fermi\nroutines:\n");
+    for (const auto& v : blas3::all_variants()) {
+      std::printf("  %s\n", v.name().c_str());
+    }
+    return 0;
+  }
+  if (routine.empty()) return usage();
+  const blas3::Variant* variant = blas3::find_variant(routine);
+  if (variant == nullptr) {
+    std::printf("unknown routine '%s' (try --list)\n", routine.c_str());
+    return 1;
+  }
+  const gpusim::DeviceModel* device = device_by_name(device_name);
+  if (device == nullptr) {
+    std::printf("unknown device '%s'\n", device_name.c_str());
+    return 1;
+  }
+
+  OaOptions options;
+  options.tuning_size = tuning_size;
+  options.exhaustive_search = exhaustive;
+  OaFramework framework(*device, options);
+
+  // --- show composer output ------------------------------------------
+  if (show_candidates) {
+    StatusOr<std::vector<composer::Candidate>> candidates =
+        framework.candidates_for(*variant);
+    if (!adaptor_path.empty()) {
+      auto text = read_file(adaptor_path);
+      if (!text.is_ok()) {
+        std::printf("%s\n", text.status().to_string().c_str());
+        return 1;
+      }
+      auto adaptor = adl::parse_adaptor(*text);
+      if (!adaptor.is_ok()) {
+        std::printf("ADL error: %s\n",
+                    adaptor.status().to_string().c_str());
+        return 1;
+      }
+      ir::Program source = blas3::make_source_program(*variant);
+      transforms::TransformContext ctx;
+      candidates = composer::compose(epod::gemm_nn_script(),
+                                     {adaptor->bind("A")}, source, ctx);
+    }
+    if (!candidates.is_ok()) {
+      std::printf("%s\n", candidates.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%zu candidate script(s) for %s:\n\n", candidates->size(),
+                variant->name().c_str());
+    for (size_t i = 0; i < candidates->size(); ++i) {
+      std::printf("--- %zu ---\n%s\n", i + 1,
+                  (*candidates)[i].script.to_string().c_str());
+    }
+    return 0;
+  }
+
+  // --- user-provided script ------------------------------------------
+  if (!script_path.empty()) {
+    auto text = read_file(script_path);
+    if (!text.is_ok()) {
+      std::printf("%s\n", text.status().to_string().c_str());
+      return 1;
+    }
+    auto script = epod::parse_script(*text);
+    if (!script.is_ok()) {
+      std::printf("script error: %s\n",
+                  script.status().to_string().c_str());
+      return 1;
+    }
+    ir::Program program = blas3::make_source_program(*variant);
+    transforms::TransformContext ctx;
+    auto mask = epod::apply_script_lenient(program, *script, ctx);
+    if (!mask.is_ok()) {
+      std::printf("apply failed: %s\n", mask.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("applied %d of %zu component(s)\n",
+                __builtin_popcountll(*mask), script->invocations.size());
+    Status verified =
+        tuner::verify_program(framework.simulator(), *variant, program, 72,
+                              {{"blank_zero", true}});
+    std::printf("verification: %s\n", verified.to_string().c_str());
+    auto gflops =
+        framework.measure_baseline_gflops(program, *variant, size);
+    if (gflops.is_ok()) {
+      std::printf("performance at N=%lld on %s: %.1f GFLOPS\n",
+                  static_cast<long long>(size), device->name.c_str(),
+                  *gflops);
+    }
+    if (show_kernel) std::printf("\n%s\n", ir::to_string(program).c_str());
+    return verified.is_ok() ? 0 : 1;
+  }
+
+  // --- full generation -----------------------------------------------
+  auto tuned = framework.generate(*variant);
+  if (!tuned.is_ok()) {
+    std::printf("generation failed: %s\n",
+                tuned.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("best EPOD script for %s on %s (params %s):\n\n%s\n",
+              variant->name().c_str(), device->name.c_str(),
+              tuned->params.to_string().c_str(),
+              tuned->candidate.script.to_string().c_str());
+  auto gflops = framework.measure_gflops(*tuned, *variant, size);
+  if (gflops.is_ok()) {
+    std::printf("performance at N=%lld: %.1f GFLOPS\n",
+                static_cast<long long>(size), *gflops);
+  }
+  auto cublas = baseline::cublas_like(*variant, *device);
+  if (cublas.is_ok()) {
+    auto base = framework.measure_baseline_gflops(*cublas, *variant, size);
+    if (base.is_ok() && *base > 0 && gflops.is_ok()) {
+      std::printf("CUBLAS-like baseline: %.1f GFLOPS (speedup %.2fx)\n",
+                  *base, *gflops / *base);
+    }
+  }
+  if (show_kernel) {
+    std::printf("\n%s\n", ir::to_string(tuned->program).c_str());
+  }
+  return 0;
+}

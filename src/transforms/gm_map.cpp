@@ -1,0 +1,148 @@
+// GM_map(X, mode): reformat X in global memory before the computation
+// (paper §IV-A.1). A new global array NewX is created, a
+// thread-distributed reformat kernel is *prepended* to the program
+// (Steps 1-2 of the paper: generate the mapping statements, distribute
+// them across blocks/threads), and the main kernel's subscripts are
+// rewritten (Step 3). GM_map is only valid as the first component of an
+// optimization sequence — the mixer enforces the location constraint,
+// and this implementation re-checks it.
+
+#include "support/strings.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::transforms {
+
+using ir::AffineExpr;
+using ir::ArrayDecl;
+using ir::ArrayRef;
+using ir::AssignOp;
+using ir::Bound;
+using ir::Kernel;
+using ir::LoopMap;
+using ir::Node;
+using ir::NodePtr;
+using ir::Pred;
+
+namespace {
+
+constexpr int64_t kReformatTile = 16;  // 16x16 blocks for the pre-pass
+
+/// Build the thread-distributed reformat kernel writing `dst[i][j]`.
+/// `body_builder(i, j)` returns the statements computing one element.
+Kernel make_reformat_kernel(
+    const std::string& name, const ArrayDecl& dst,
+    const std::function<std::vector<NodePtr>(const AffineExpr&,
+                                             const AffineExpr&)>& builder) {
+  const AffineExpr i = AffineExpr::sym("mi_b", kReformatTile) +
+                       AffineExpr::sym("mi_t");
+  const AffineExpr j = AffineExpr::sym("mj_b", kReformatTile) +
+                       AffineExpr::sym("mj_t");
+
+  // Guard against the ragged edge when shape % 16 != 0.
+  std::vector<Pred> guards;
+  guards.push_back(Pred{dst.rows - i - 1, Pred::Op::kGe});
+  guards.push_back(Pred{dst.cols - j - 1, Pred::Op::kGe});
+  auto guard = ir::make_if(std::move(guards), builder(i, j));
+
+  auto tx = ir::make_loop("Lmap_tx", "mj_t", Bound(0),
+                          Bound(AffineExpr(kReformatTile)));
+  tx->map = LoopMap::kThreadX;
+  tx->body.push_back(std::move(guard));
+  auto ty = ir::make_loop("Lmap_ty", "mi_t", Bound(0),
+                          Bound(AffineExpr(kReformatTile)));
+  ty->map = LoopMap::kThreadY;
+  ty->body.push_back(std::move(tx));
+  auto bx = ir::make_loop("Lmap_bx", "mj_b", Bound(0), Bound(dst.cols));
+  bx->ub_div = kReformatTile;
+  bx->map = LoopMap::kBlockX;
+  bx->body.push_back(std::move(ty));
+  auto by = ir::make_loop("Lmap_by", "mi_b", Bound(0), Bound(dst.rows));
+  by->ub_div = kReformatTile;
+  by->map = LoopMap::kBlockY;
+  by->body.push_back(std::move(bx));
+
+  Kernel k;
+  k.name = name;
+  k.body.push_back(std::move(by));
+  return k;
+}
+
+}  // namespace
+
+Status gm_map(ir::Program& program, const std::string& array,
+              AllocMode mode, const TransformContext& ctx) {
+  (void)ctx;
+  const ArrayDecl* src = program.find_global(array);
+  if (src == nullptr) {
+    return not_found("GM_map: global array '" + array + "' not found");
+  }
+  const std::string new_name = "New" + array;
+  if (program.find_global(new_name) != nullptr) {
+    return failed_precondition("GM_map: '" + array + "' already mapped");
+  }
+  // Location constraint: must be the first transformation — the main
+  // kernel is still the untouched source nest.
+  const Kernel& main = program.main_kernel();
+  if (!main.tiling.empty() || !main.mapped_loops().empty()) {
+    return failed_precondition(
+        "GM_map must be the first component of a sequence");
+  }
+  if (mode == AllocMode::kNoChange) {
+    return Status::ok();  // identity mapping: nothing to do
+  }
+  if (mode == AllocMode::kSymmetry && !(src->rows == src->cols)) {
+    return failed_precondition("GM_map(Symmetry) requires a square matrix");
+  }
+
+  ArrayDecl dst;
+  dst.name = new_name;
+  dst.space = ir::MemSpace::kGlobal;
+  if (mode == AllocMode::kTranspose) {
+    dst.rows = src->cols;
+    dst.cols = src->rows;
+  } else {
+    dst.rows = src->rows;
+    dst.cols = src->cols;
+    dst.symmetric = true;  // lets format_iteration canonicalize refs
+  }
+  program.globals.push_back(dst);
+
+  Kernel reformat = make_reformat_kernel(
+      "gm_map_" + array, dst,
+      [&](const AffineExpr& i, const AffineExpr& j) {
+        std::vector<NodePtr> out;
+        ArrayRef d{new_name, {i, j}};
+        if (mode == AllocMode::kTranspose) {
+          out.push_back(ir::make_assign(d, AssignOp::kAssign,
+                                        ir::make_ref(array, {j, i})));
+        } else {
+          // dest = src + src^T - diag(src): sum both triangles (the
+          // blank one is stored as zeros), then overwrite the diagonal.
+          out.push_back(ir::make_assign(
+              d, AssignOp::kAssign,
+              ir::make_add(ir::make_ref(array, {i, j}),
+                           ir::make_ref(array, {j, i}))));
+          std::vector<NodePtr> fix;
+          fix.push_back(ir::make_assign(d, AssignOp::kAssign,
+                                        ir::make_ref(array, {i, j})));
+          out.push_back(
+              ir::make_if({Pred{i - j, Pred::Op::kEq}}, std::move(fix)));
+        }
+        return out;
+      });
+  program.kernels.insert(program.kernels.begin(), std::move(reformat));
+
+  // Step 3: rewrite subscripts in the main kernel.
+  Kernel& k = program.main_kernel();
+  ir::for_each_ref(k.body, [&](ArrayRef& r) {
+    if (r.array != array || r.index.size() != 2) return;
+    if (mode == AllocMode::kTranspose) {
+      r = ArrayRef{new_name, {r.index[1], r.index[0]}};
+    } else {
+      r = ArrayRef{new_name, r.index};
+    }
+  });
+  return Status::ok();
+}
+
+}  // namespace oa::transforms

@@ -1,0 +1,230 @@
+// thread_grouping: expose two-level GPU parallelism by distributing two
+// loops across thread blocks and threads (paper §III-B). Polyhedral
+// mechanics follow Baskaran et al. [7]: tile each mapped loop into
+// (block, thread, point) levels; block/thread levels become
+// blockIdx/threadIdx, the point loop keeps the original variable so all
+// subscripts remain valid.
+//
+// When one of the loops carries a dependence (TRSM's solve dimension,
+// found via deps::carries_dependence), that loop is mapped to grid Y
+// with *serialized waves* (LoopMap::kBlockYSerial) — the Adaptor_Solver
+// workload distribution of Fig 7 — and the other loop takes the X
+// dimensions.
+
+#include <algorithm>
+#include <map>
+
+#include "deps/dependence.hpp"
+#include "support/strings.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::transforms {
+
+using ir::AffineExpr;
+using ir::Bound;
+using ir::Kernel;
+using ir::LoopMap;
+using ir::Node;
+using ir::NodePtr;
+
+namespace {
+
+Status check_groupable(const Node& loop) {
+  if (loop.map != LoopMap::kNone) {
+    return failed_precondition("loop '" + loop.label + "' already mapped");
+  }
+  if (loop.step != 1) {
+    return failed_precondition("loop '" + loop.label + "' has non-unit step");
+  }
+  return Status::ok();
+}
+
+struct AxisParams {
+  int64_t block_tile;
+  int64_t threads;
+  LoopMap block_map;
+  LoopMap thread_map;
+};
+
+}  // namespace
+
+Status thread_grouping(ir::Program& program,
+                       const std::vector<std::string>& labels,
+                       const std::vector<std::string>& out_labels,
+                       const TransformContext& ctx) {
+  OA_RETURN_IF_ERROR(ctx.params.check());
+  if (labels.size() != 2 || out_labels.size() != 2) {
+    return invalid_argument("thread_grouping expects exactly two loops");
+  }
+  Kernel& kernel = program.main_kernel();
+  Node* l0 = kernel.find(labels[0]);
+  Node* l1 = kernel.find(labels[1]);
+  if (l0 == nullptr || l1 == nullptr) {
+    return not_found("thread_grouping: loop label not found");
+  }
+  OA_RETURN_IF_ERROR(check_groupable(*l0));
+  OA_RETURN_IF_ERROR(check_groupable(*l1));
+
+  // Structural requirement: one target is the kernel's top loop, the
+  // other is its only child loop.
+  if (kernel.body.size() != 1 || !kernel.body[0]->is_loop()) {
+    return failed_precondition("kernel body is not a single loop nest");
+  }
+  Node* outer = kernel.body[0].get();
+  if (outer != l0 && outer != l1) {
+    return failed_precondition(
+        "thread_grouping targets must start at the outermost loop");
+  }
+  Node* inner = outer == l0 ? l1 : l0;
+  if (outer->body.size() != 1 || outer->body[0].get() != inner) {
+    return failed_precondition(
+        "thread_grouping targets must be perfectly nested");
+  }
+
+  // Choose the Y (row) loop: a dependence-carrying loop must be
+  // serialized along grid Y; both carrying is not parallelizable.
+  const bool carries0 = deps::carries_dependence(
+      kernel, *l0, ctx.nominal_sizes, deps::Mode::kStrict);
+  const bool carries1 = deps::carries_dependence(
+      kernel, *l1, ctx.nominal_sizes, deps::Mode::kStrict);
+  if (carries0 && carries1) {
+    return illegal("both loops carry dependences; cannot thread-group");
+  }
+  Node* y_loop = carries1 ? l1 : l0;
+  Node* x_loop = carries1 ? l0 : l1;
+  const bool serial_y = carries0 || carries1;
+
+  const AxisParams y_params{ctx.params.block_tile_y, ctx.params.threads_y,
+                            serial_y ? LoopMap::kBlockYSerial
+                                     : LoopMap::kBlockY,
+                            LoopMap::kThreadY};
+  const AxisParams x_params{ctx.params.block_tile_x, ctx.params.threads_x,
+                            LoopMap::kBlockX, LoopMap::kThreadX};
+
+  // Build block/thread/point levels for one axis. The point loop reuses
+  // the original node (bounds rewritten), so the loop body moves along.
+  // A bound referencing the *other* grouped variable (a triangular
+  // output space like SYRK's j <= i) is widened to that variable's full
+  // range for the grid extent — the out-of-range blocks simply find an
+  // empty point range — while the point loop keeps the exact bound.
+  std::map<std::string, AffineExpr> full_range;  // var -> original ub term
+  for (const Node* l : {outer, inner}) {
+    if (l->ub.is_single()) full_range[l->var] = l->ub.terms()[0];
+  }
+  struct AxisPieces {
+    NodePtr block_loop;
+    NodePtr thread_loop;
+  };
+  Status axis_error = Status::ok();
+  auto build_axis = [&](Node& loop, const AxisParams& p,
+                        const std::string& out_label) -> AxisPieces {
+    const std::string vb = loop.var + "_b";
+    const std::string vt = loop.var + "_t";
+    const int64_t per_thread = p.block_tile / p.threads;
+
+    // Grid extent: bounds with cross-variable terms widened.
+    std::vector<AffineExpr> grid_ub;
+    for (const AffineExpr& term : loop.ub.terms()) {
+      AffineExpr w = term;
+      for (const auto& [var, full] : full_range) {
+        if (var != loop.var && w.depends_on(var)) {
+          w = w.substituted(var, full);
+        }
+      }
+      for (const std::string& sym : w.symbols()) {
+        const bool is_param =
+            std::find(program.int_params.begin(), program.int_params.end(),
+                      sym) != program.int_params.end();
+        if (!is_param && axis_error.is_ok()) {
+          axis_error = failed_precondition(
+              "thread_grouping: bound of '" + loop.label +
+              "' uses non-parameter symbol '" + sym + "'");
+        }
+      }
+      grid_ub.push_back(std::move(w));
+    }
+    const AffineExpr axis_extent =
+        grid_ub.size() == 1 ? grid_ub[0] : AffineExpr();
+
+    auto block = ir::make_loop(loop.label + "b", vb, Bound(0),
+                               Bound::min_of(grid_ub));
+    block->ub_div = p.block_tile;
+    block->map = p.block_map;
+    block->orig_var = loop.orig_var;
+
+    auto thread =
+        ir::make_loop(loop.label + "t", vt, Bound(0),
+                      Bound(AffineExpr::constant(p.threads)));
+    thread->map = p.thread_map;
+    thread->orig_var = loop.orig_var;
+
+    // Rewrite the original loop into the point loop:
+    //   v in [max(orig_lb, vb*BT + vt*R), min(orig_ub, vb*BT + vt*R + R)).
+    const AffineExpr base = AffineExpr::sym(vb, p.block_tile) +
+                            AffineExpr::sym(vt, per_thread);
+    std::vector<AffineExpr> ub_terms = loop.ub.terms();
+    ub_terms.push_back(base + per_thread);
+    std::vector<AffineExpr> lb_terms = loop.lb.terms();
+    // Drop a redundant constant-zero lower term; keep triangular lbs.
+    std::erase_if(lb_terms, [](const AffineExpr& t) {
+      return t == AffineExpr::constant(0);
+    });
+    lb_terms.push_back(base);
+    loop.lb = Bound::min_of(std::move(lb_terms));  // max-eval container
+    loop.ub = Bound::min_of(std::move(ub_terms));
+    loop.label = out_label;
+
+    ir::VarTiling& t = kernel.tiling[loop.var];
+    t.axis_extent = axis_extent;
+    t.block_var = vb;
+    t.block_base = AffineExpr::sym(vb, p.block_tile);
+    t.block_extent = p.block_tile;
+    t.block_map = p.block_map;
+    t.thread_var = vt;
+    t.thread_base = base;
+    t.thread_extent = per_thread;
+    t.thread_map = p.thread_map;
+    t.point_label = out_label;
+
+    AxisPieces pieces;
+    pieces.block_loop = std::move(block);
+    pieces.thread_loop = std::move(thread);
+    return pieces;
+  };
+
+  // out_labels correspond positionally to `labels`.
+  const std::string& out_outer =
+      outer == l0 ? out_labels[0] : out_labels[1];
+  const std::string& out_inner =
+      outer == l0 ? out_labels[1] : out_labels[0];
+
+  AxisPieces outer_pieces =
+      build_axis(*outer, outer == y_loop ? y_params : x_params, out_outer);
+  AxisPieces inner_pieces =
+      build_axis(*inner, inner == y_loop ? y_params : x_params, out_inner);
+  OA_RETURN_IF_ERROR(axis_error);
+  (void)x_loop;
+
+  // Assemble: Yb { Xb { Yt { Xt { point_outer { point_inner { ... }}}}}}.
+  // Point loops stay in their original nesting order; block/thread
+  // levels are ordered Y-then-X for a deterministic launch shape.
+  NodePtr& yb = outer == y_loop ? outer_pieces.block_loop
+                                : inner_pieces.block_loop;
+  NodePtr& xb = outer == y_loop ? inner_pieces.block_loop
+                                : outer_pieces.block_loop;
+  NodePtr& yt = outer == y_loop ? outer_pieces.thread_loop
+                                : inner_pieces.thread_loop;
+  NodePtr& xt = outer == y_loop ? inner_pieces.thread_loop
+                                : outer_pieces.thread_loop;
+
+  NodePtr nest = std::move(kernel.body[0]);  // point_outer { point_inner }
+  xt->body.push_back(std::move(nest));
+  yt->body.push_back(std::move(xt));
+  xb->body.push_back(std::move(yt));
+  yb->body.push_back(std::move(xb));
+  kernel.body.clear();
+  kernel.body.push_back(std::move(yb));
+  return Status::ok();
+}
+
+}  // namespace oa::transforms

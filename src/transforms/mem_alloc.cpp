@@ -1,0 +1,759 @@
+// SM_alloc and Reg_alloc (paper §III-B, traditional-pool memory
+// components, data-movement generation after Baskaran et al. [9]).
+//
+// SM_alloc(X, mode) stages the per-(k-)tile footprint of X into a shared
+// array: it derives the footprint from the tiling metadata recorded by
+// thread_grouping/loop_tiling, emits a cooperative, thread-distributed
+// copy nest plus __syncthreads barriers at the top of every k-tile loop,
+// pads the leading dimension to dodge bank conflicts ((16,16)->(16,17)),
+// and remaps the matching references. Modes: NoChange, Transpose
+// (shared tile stores the transpose — stride-1 inner-loop accesses),
+// Symmetry (shared tile holds src + src^T - diag(src), serving both the
+// real-area and shadow-area references of a symmetric matrix).
+//
+// Reg_alloc(X) gives each thread a register block covering its private
+// tile of the output: accumulation statements retarget the register
+// block, which is flushed with guarded global updates after the
+// reduction. It fails (filter: omitted) when some reference to X falls
+// outside the calling thread's tile — e.g. inside the
+// binding_triangular region of TRSM, where one thread walks the whole
+// block tile.
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <set>
+
+#include "ir/interval.hpp"
+#include "support/strings.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::transforms {
+
+using ir::AffineExpr;
+using ir::ArrayDecl;
+using ir::ArrayRef;
+using ir::AssignOp;
+using ir::Bound;
+using ir::Interval;
+using ir::Kernel;
+using ir::Node;
+using ir::NodePtr;
+using ir::Pred;
+using ir::VarTiling;
+
+namespace {
+
+constexpr int64_t kBanks = 16;
+
+/// Identify the tiled axis variable a subscript expression depends on.
+/// Exactly one tiled variable may occur (parameters like M are fine).
+StatusOr<std::string> axis_of(const AffineExpr& e, const Kernel& kernel,
+                              const ir::Program& program) {
+  std::string axis;
+  for (const std::string& s : e.symbols()) {
+    if (kernel.tiling.contains(s)) {
+      if (!axis.empty() && axis != s) {
+        return failed_precondition("subscript '" + e.to_string() +
+                                   "' mixes tiled axes");
+      }
+      axis = s;
+      continue;
+    }
+    const bool is_param =
+        std::find(program.int_params.begin(), program.int_params.end(), s) !=
+        program.int_params.end();
+    if (!is_param) {
+      return failed_precondition("subscript '" + e.to_string() +
+                                 "' uses unknown symbol '" + s + "'");
+    }
+  }
+  if (axis.empty()) {
+    return failed_precondition("subscript '" + e.to_string() +
+                               "' touches no tiled axis");
+  }
+  return axis;
+}
+
+/// Footprint of one axis at a given staging level.
+struct AxisFootprint {
+  std::string axis;       // source variable ("i", "j", "k")
+  AffineExpr base_of_expr;  // for a given subscript expr: min value over
+                            // the axis range (depends on coeff sign)
+  int64_t extent = 0;
+  bool tile_level = false;  // true: per k-tile; false: per block
+};
+
+/// Base (minimum) and extent of subscript `e` when its axis variable
+/// ranges over [range_base, range_base + range_extent).
+AxisFootprint footprint_for(const AffineExpr& e, const std::string& axis,
+                            const AffineExpr& range_base,
+                            int64_t range_extent, bool tile_level) {
+  const int64_t c = e.coeff(axis);
+  AffineExpr lo_sub = range_base;
+  if (c < 0) lo_sub += AffineExpr::constant(range_extent - 1);
+  AxisFootprint f;
+  f.axis = axis;
+  f.base_of_expr = e.substituted(axis, lo_sub);
+  f.extent = std::abs(c) * (range_extent - 1) + 1;
+  f.tile_level = tile_level;
+  return f;
+}
+
+StatusOr<AxisFootprint> axis_footprint(const AffineExpr& e,
+                                       const Kernel& kernel,
+                                       const ir::Program& program) {
+  OA_ASSIGN_OR_RETURN(std::string axis, axis_of(e, kernel, program));
+  const VarTiling& t = kernel.tiling.at(axis);
+  if (t.tile_extent > 0) {
+    return footprint_for(e, axis, AffineExpr::sym(t.tile_var),
+                         t.tile_extent, /*tile_level=*/true);
+  }
+  if (t.block_extent > 0) {
+    return footprint_for(e, axis, t.block_base, t.block_extent,
+                         /*tile_level=*/false);
+  }
+  return failed_precondition("axis '" + axis + "' has no tiling extents");
+}
+
+/// True when an affine expression could evaluate negative (conservative:
+/// any negative coefficient or constant).
+bool may_be_negative(const AffineExpr& e) {
+  if (e.constant_term() < 0) return true;
+  for (const std::string& s : e.symbols()) {
+    if (e.coeff(s) < 0) return true;
+  }
+  return false;
+}
+
+/// Find the thread-distribution variables (threadIdx.y / threadIdx.x).
+struct ThreadVars {
+  std::string ty, tx;
+  int64_t ny = 0, nx = 0;
+};
+
+StatusOr<ThreadVars> thread_vars(const Kernel& kernel) {
+  ThreadVars tv;
+  for (const auto& [var, t] : kernel.tiling) {
+    if (t.thread_map == ir::LoopMap::kThreadY) {
+      tv.ty = t.thread_var;
+      tv.ny = t.block_extent / t.thread_extent;
+    } else if (t.thread_map == ir::LoopMap::kThreadX) {
+      tv.tx = t.thread_var;
+      tv.nx = t.block_extent / t.thread_extent;
+    }
+  }
+  if (tv.ty.empty() || tv.tx.empty()) {
+    return failed_precondition("SM_alloc requires thread_grouping first");
+  }
+  return tv;
+}
+
+/// Build X[...] source ref from the tile coordinates: for each source
+/// dim, index = base + tile offset of the dim's axis.
+ArrayRef source_ref(const std::string& array,
+                    const std::vector<AxisFootprint>& dims,
+                    const std::vector<AffineExpr>& offsets) {
+  ArrayRef r{array, {}};
+  for (size_t d = 0; d < dims.size(); ++d) {
+    r.index.push_back(dims[d].base_of_expr + offsets[d]);
+  }
+  return r;
+}
+
+}  // namespace
+
+// ===================================================================
+// SM_alloc
+// ===================================================================
+
+Status sm_alloc(ir::Program& program, const std::string& array,
+                AllocMode mode, const TransformContext& ctx) {
+  (void)ctx;
+  Kernel& kernel = program.main_kernel();
+  const ArrayDecl* decl = program.find_global(array);
+  if (decl == nullptr) {
+    return not_found("SM_alloc: global array '" + array + "' not found");
+  }
+  OA_ASSIGN_OR_RETURN(ThreadVars tv, thread_vars(kernel));
+
+  // Collect candidate read references (rhs only; outputs stay global)
+  // outside thread-predicated regions, and note whether any exists.
+  struct Candidate {
+    std::vector<AxisFootprint> dims;
+  };
+  StatusOr<Candidate> proto = failed_precondition("no stageable reference");
+  Status scan_error = Status::ok();
+  {
+    std::function<void(const std::vector<NodePtr>&, bool)> scan =
+        [&](const std::vector<NodePtr>& body, bool guarded) {
+          for (const auto& n : body) {
+            switch (n->kind) {
+              case Node::Kind::kLoop:
+                scan(n->body, guarded);
+                break;
+              case Node::Kind::kAssign:
+                if (!guarded && n->rhs) {
+                  n->rhs->visit_refs([&](const ArrayRef& r) {
+                    if (r.array != array || proto.is_ok()) return;
+                    Candidate c;
+                    bool ok = true;
+                    for (const auto& e : r.index) {
+                      auto f = axis_footprint(e, kernel, program);
+                      if (!f.is_ok()) {
+                        scan_error = f.status();
+                        ok = false;
+                        break;
+                      }
+                      c.dims.push_back(std::move(f).value());
+                    }
+                    if (ok) proto = std::move(c);
+                  });
+                }
+                break;
+              case Node::Kind::kSync:
+                break;
+              case Node::Kind::kIf: {
+                const bool thread_guard = !n->conds.empty();
+                scan(n->then_body, guarded || thread_guard);
+                scan(n->else_body, guarded || thread_guard);
+                break;
+              }
+            }
+          }
+        };
+    scan(kernel.body, false);
+  }
+  if (!proto.is_ok()) {
+    return scan_error.is_ok() ? proto.status() : scan_error;
+  }
+  const std::vector<AxisFootprint>& dims = proto->dims;
+  if (dims.size() != 2) {
+    return failed_precondition("SM_alloc supports 2-D arrays");
+  }
+  // Staging happens per iteration of the (unique) tile-level axis.
+  std::string tile_axis;
+  for (const auto& d : dims) {
+    if (d.tile_level) tile_axis = d.axis;
+  }
+  if (tile_axis.empty()) {
+    return failed_precondition(
+        "SM_alloc: no k-tile footprint; apply loop_tiling first");
+  }
+  const VarTiling& tile_info = kernel.tiling.at(tile_axis);
+
+  // Shared tile layout: (row axis, col axis) of the shared array.
+  //   NoChange: same orientation as the source dims.
+  //   Transpose: swapped.
+  //   Symmetry: rows = block axis, cols = tile axis (canonical), the
+  //   tile holds src + src^T - diag(src) restricted to the footprint.
+  int row_dim = 0, col_dim = 1;
+  if (mode == AllocMode::kTranspose) {
+    row_dim = 1;
+    col_dim = 0;
+  } else if (mode == AllocMode::kSymmetry) {
+    row_dim = dims[0].tile_level ? 1 : 0;
+    col_dim = dims[0].tile_level ? 0 : 1;
+  }
+  const AxisFootprint& row_fp = dims[static_cast<size_t>(row_dim)];
+  const AxisFootprint& col_fp = dims[static_cast<size_t>(col_dim)];
+
+  const std::string shared_name = array + "_s";
+  if (kernel.find_local_array(shared_name) != nullptr) {
+    return failed_precondition("array '" + array + "' already staged");
+  }
+  ArrayDecl shared;
+  shared.name = shared_name;
+  shared.space = ir::MemSpace::kShared;
+  shared.rows = AffineExpr::constant(row_fp.extent);
+  shared.cols = AffineExpr::constant(col_fp.extent);
+  shared.pad_rows = (row_fp.extent % kBanks == 0) ? 1 : 0;
+  kernel.local_arrays.push_back(shared);
+
+  // --- Copy nest builder (one per staging loop instance) ------------
+  // The copy iterates *source* coordinates: s0 walks the source leading
+  // dimension and is distributed over threadIdx.x, so consecutive
+  // threads read consecutive global elements (coalesced) regardless of
+  // the shared-tile orientation.
+  const std::string ov0 = "c0_" + array;  // offset along source dim 0
+  const std::string ov1 = "c1_" + array;  // offset along source dim 1
+  int copy_instance = 0;
+  auto make_copy_nest = [&]() -> NodePtr {
+    const std::string tag = array + "_" + std::to_string(copy_instance++);
+
+    std::vector<AffineExpr> offs = {AffineExpr::sym(ov0),
+                                    AffineExpr::sym(ov1)};
+    ArrayRef src = source_ref(array, dims, offs);
+    // Destination indices: the source dim matching the shared row axis
+    // supplies the row offset.
+    const size_t rd = static_cast<size_t>(row_dim);
+    const size_t cd = static_cast<size_t>(col_dim);
+    ArrayRef dst{shared_name, {offs[rd], offs[cd]}};
+
+    NodePtr stmt;
+    if (mode == AllocMode::kSymmetry) {
+      // dst = src + src^T; then overwrite the diagonal with src alone
+      // (dest = src + src^T - diag(src)).
+      ArrayRef mirrored{array, {src.index[1], src.index[0]}};
+      stmt = ir::make_assign(
+          dst, AssignOp::kAssign,
+          ir::make_add(ir::make_ref(src), ir::make_ref(mirrored)));
+    } else {
+      stmt = ir::make_assign(dst, AssignOp::kAssign, ir::make_ref(src));
+    }
+    stmt->staging_copy = true;
+
+    std::vector<NodePtr> copy_stmts;
+    copy_stmts.push_back(std::move(stmt));
+    if (mode == AllocMode::kSymmetry) {
+      // Diagonal fix-up: where global row == global col, keep src only.
+      Pred diag{src.index[0] - src.index[1], Pred::Op::kEq};
+      std::vector<NodePtr> fix;
+      fix.push_back(ir::make_assign(dst, AssignOp::kAssign,
+                                    ir::make_ref(src)));
+      fix.back()->staging_copy = true;
+      copy_stmts.push_back(ir::make_if({diag}, std::move(fix)));
+    }
+    // Guard against out-of-range source rows/cols (reversed subscripts
+    // at boundary blocks).
+    std::vector<Pred> guards;
+    for (const auto& e : {src.index[0], src.index[1]}) {
+      if (may_be_negative(e)) guards.push_back(Pred{e, Pred::Op::kGe});
+    }
+    if (!guards.empty()) {
+      std::vector<NodePtr> body = std::move(copy_stmts);
+      copy_stmts.clear();
+      copy_stmts.push_back(ir::make_if(std::move(guards), std::move(body)));
+    }
+
+    // Inner loop: source leading dim, distributed over the *linear*
+    // thread id (tid = tx + ty*TX) so a (half-)warp reads consecutive
+    // global elements — the classic coalesced staging idiom.
+    const AffineExpr tid =
+        AffineExpr::sym(tv.tx) + AffineExpr::sym(tv.ty, tv.nx);
+    auto inner = ir::make_loop(
+        "Lcp0_" + tag, ov0, Bound(tid),
+        Bound::min_of({AffineExpr::constant(dims[0].extent),
+                       decl->rows - dims[0].base_of_expr}),
+        tv.nx * tv.ny);
+    // Symmetry also reads the mirrored element: clamp against cols too.
+    if (mode == AllocMode::kSymmetry) {
+      inner->ub.add_term(decl->cols - dims[0].base_of_expr);
+    }
+    inner->body = std::move(copy_stmts);
+    auto outer = ir::make_loop(
+        "Lcp1_" + tag, ov1, Bound(0),
+        Bound::min_of({AffineExpr::constant(dims[1].extent),
+                       decl->cols - dims[1].base_of_expr}),
+        1);
+    if (mode == AllocMode::kSymmetry) {
+      outer->ub.add_term(decl->rows - dims[1].base_of_expr);
+    }
+    outer->body.push_back(std::move(inner));
+    return outer;
+  };
+
+  // --- Apply to every staging loop (var == tile var), remap refs ----
+  // `guarded` tracks thread-divergent context: staging under a thread
+  // predicate or inside a loop whose trip depends on threadIdx would
+  // put the barrier behind divergent control flow, so such loops are
+  // skipped (the references there keep reading global memory).
+  auto divergent_loop = [&](const Node& l) {
+    for (const auto& [var, t] : kernel.tiling) {
+      if (t.thread_extent == 0 || t.thread_var.empty()) continue;
+      if (l.lb.depends_on(t.thread_var) || l.ub.depends_on(t.thread_var)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  int staged = 0;
+  std::function<Status(std::vector<NodePtr>&, bool)> visit =
+      [&](std::vector<NodePtr>& body, bool guarded) -> Status {
+    for (auto& n : body) {
+      if (n->is_if()) {
+        // Thread predicates create divergent regions; bool-param
+        // selection (multi-versioning) is uniform across the block.
+        const bool g = guarded || !n->conds.empty();
+        OA_RETURN_IF_ERROR(visit(n->then_body, g));
+        OA_RETURN_IF_ERROR(visit(n->else_body, g));
+        continue;
+      }
+      if (!n->is_loop()) continue;
+      if (n->var != tile_info.tile_var || guarded) {
+        OA_RETURN_IF_ERROR(
+            visit(n->body, guarded || (n->map == ir::LoopMap::kNone &&
+                                       divergent_loop(*n))));
+        continue;
+      }
+      // This is a staging loop executed by all threads: inject the copy
+      // nest + barriers and remap matching *read* references below it.
+      // Writes and reads with a non-matching footprint (e.g. TRSM's
+      // B[i][j] output next to the staged B[k][j] input tile) stay in
+      // global memory.
+      int remapped = 0;
+      auto remap_ref = [&](ArrayRef& r) {
+        if (r.array != array || r.index.size() != 2) return;
+        std::array<std::string, 2> axes;
+        for (size_t d = 0; d < 2; ++d) {
+          auto axis = axis_of(r.index[d], kernel, program);
+          if (!axis.is_ok()) return;
+          axes[d] = std::move(*axis);
+        }
+        if (mode == AllocMode::kSymmetry) {
+          // The symmetric tile serves both orientations: match each dim
+          // by axis.
+          AffineExpr row_idx, col_idx;
+          for (size_t d = 0; d < 2; ++d) {
+            if (axes[d] == row_fp.axis) {
+              row_idx = r.index[d] - row_fp.base_of_expr;
+            } else if (axes[d] == col_fp.axis) {
+              col_idx = r.index[d] - col_fp.base_of_expr;
+            } else {
+              return;
+            }
+          }
+          if (axes[0] == axes[1]) return;  // degenerate (diagonal ref)
+          r = ArrayRef{shared_name, {row_idx, col_idx}};
+        } else {
+          // Positional match against the staged footprint.
+          for (size_t d = 0; d < 2; ++d) {
+            if (axes[d] != dims[d].axis) return;
+          }
+          const size_t rd = static_cast<size_t>(row_dim);
+          const size_t cd = static_cast<size_t>(col_dim);
+          r = ArrayRef{shared_name,
+                       {r.index[rd] - row_fp.base_of_expr,
+                        r.index[cd] - col_fp.base_of_expr}};
+        }
+        ++remapped;
+      };
+      ir::walk(n->body, [&](Node& m) {
+        if (m.is_assign() && m.rhs) m.rhs->for_each_ref(remap_ref);
+        return true;
+      });
+      if (remapped == 0) {
+        OA_RETURN_IF_ERROR(visit(n->body, guarded));
+        continue;  // nothing staged in this loop; no copy overhead
+      }
+      n->body.insert(n->body.begin(), ir::make_sync());
+      n->body.insert(n->body.begin(), make_copy_nest());
+      n->body.push_back(ir::make_sync());
+      ++staged;
+    }
+    return Status::ok();
+  };
+  OA_RETURN_IF_ERROR(visit(kernel.body, false));
+  if (staged == 0) {
+    kernel.local_arrays.pop_back();
+    return failed_precondition("SM_alloc: no staging loop found for '" +
+                               array + "'");
+  }
+  return Status::ok();
+}
+
+// ===================================================================
+// Reg_alloc
+// ===================================================================
+
+Status reg_alloc(ir::Program& program, const std::string& array,
+                 const TransformContext& ctx) {
+  Kernel& kernel = program.main_kernel();
+  const ArrayDecl* decl = program.find_global(array);
+  if (decl == nullptr) {
+    return not_found("reg_alloc: global array '" + array + "' not found");
+  }
+
+  // The register block covers the calling thread's private tile: both
+  // axes must be thread-partitioned. References inside thread-guarded
+  // regions (binding_triangular) are left in global memory; the
+  // register block is flushed before the first such region, so the
+  // bound thread observes every accumulated value (TRSM's rectangular
+  // part promotes, its trapezoid solve stays global).
+  //
+  // Collect every *unguarded* reference to X and derive per-dim
+  // footprints at the thread level.
+  struct DimInfo {
+    std::string axis;
+    AffineExpr base;
+    int64_t extent = 0;
+  };
+  std::vector<DimInfo> dims(2);
+  bool have_proto = false;
+  bool has_guarded_refs = false;
+  Status fail = Status::ok();
+  auto inspect_ref = [&](const ArrayRef& r) {
+    if (r.array != array || !fail.is_ok()) return;
+    if (r.index.size() != 2) {
+      fail = failed_precondition("reg_alloc supports 2-D arrays");
+      return;
+    }
+    for (size_t d = 0; d < 2; ++d) {
+      auto axis = axis_of(r.index[d], kernel, program);
+      if (!axis.is_ok()) {
+        fail = axis.status();
+        return;
+      }
+      const VarTiling& t = kernel.tiling.at(*axis);
+      if (t.thread_extent <= 0) {
+        fail = failed_precondition(
+            "reg_alloc: axis '" + *axis + "' of '" + array +
+            "' is not thread-partitioned");
+        return;
+      }
+      AxisFootprint f = footprint_for(r.index[d], *axis, t.thread_base,
+                                      t.thread_extent, false);
+      if (!have_proto) {
+        dims[d] = DimInfo{*axis, f.base_of_expr, f.extent};
+      } else if (dims[d].axis != *axis || !(dims[d].base == f.base_of_expr) ||
+                 dims[d].extent != f.extent) {
+        fail = failed_precondition(
+            "reg_alloc: references to '" + array +
+            "' disagree on the thread tile");
+      }
+    }
+    have_proto = true;
+  };
+  std::function<void(const std::vector<NodePtr>&, bool)> scan =
+      [&](const std::vector<NodePtr>& body, bool guarded) {
+        for (const auto& n : body) {
+          switch (n->kind) {
+            case Node::Kind::kLoop:
+              scan(n->body, guarded);
+              break;
+            case Node::Kind::kAssign: {
+              if (n->staging_copy) break;  // disjoint staged footprint
+              bool touches = n->lhs.array == array;
+              if (n->rhs) {
+                n->rhs->visit_refs([&](const ArrayRef& r) {
+                  touches |= r.array == array;
+                });
+              }
+              if (!touches) break;
+              if (guarded) {
+                has_guarded_refs = true;
+                break;
+              }
+              inspect_ref(n->lhs);
+              if (n->rhs) n->rhs->visit_refs(inspect_ref);
+              break;
+            }
+            case Node::Kind::kSync:
+              break;
+            case Node::Kind::kIf: {
+              const bool g = guarded || !n->conds.empty();
+              scan(n->then_body, g);
+              scan(n->else_body, g);
+              break;
+            }
+          }
+        }
+      };
+  scan(kernel.body, false);
+  OA_RETURN_IF_ERROR(fail);
+  if (!have_proto) {
+    return not_found("reg_alloc: no unguarded reference to '" + array +
+                     "'");
+  }
+
+  // Verify the accumulation pattern: every unguarded statement writing
+  // X is += or -= (so zero-init + final "+=" flush preserves
+  // semantics). Uses another guarded-aware walk.
+  bool pattern_ok = true;
+  std::function<void(const std::vector<NodePtr>&)> check_ops =
+      [&](const std::vector<NodePtr>& body) {
+        for (const auto& n : body) {
+          if (n->is_if()) {
+            if (n->conds.empty()) {  // uniform multi-version branch
+              check_ops(n->then_body);
+              check_ops(n->else_body);
+            }
+            continue;  // thread-guarded regions stay global
+          }
+          if (n->is_loop()) check_ops(n->body);
+          if (n->is_assign() && n->lhs.array == array &&
+              n->op != AssignOp::kAddAssign &&
+              n->op != AssignOp::kSubAssign) {
+            pattern_ok = false;
+          }
+        }
+      };
+  check_ops(kernel.body);
+  if (!pattern_ok) {
+    return failed_precondition(
+        "reg_alloc: '" + array + "' is not a pure accumulation target");
+  }
+
+  // Verify containment: each subscript, rewritten with its axis variable
+  // expressed as thread_base + delta (delta in [0, thread_extent)), must
+  // land in [0, extent) with the block/thread symbols cancelling. Plain
+  // interval analysis on the raw loop ranges would lose the correlation
+  // between a point variable and its thread base.
+  Status contained = Status::ok();
+  auto check_contained = [&](const ArrayRef& r) {
+    if (r.array != array || !contained.is_ok()) return;
+    for (size_t d = 0; d < 2; ++d) {
+      const std::string& axis = dims[d].axis;
+      const VarTiling& t = kernel.tiling.at(axis);
+      AffineExpr off = (r.index[d] - dims[d].base)
+                           .substituted(axis, t.thread_base +
+                                                  AffineExpr::sym("\x01d"));
+      ir::RangeEnv env{{"\x01d", Interval{0, t.thread_extent - 1}}};
+      for (const auto& [p, v] : ctx.nominal_sizes) {
+        env[p] = Interval{v, v};
+      }
+      auto range = ir::range_of(off, env);
+      if (!range || range->lo < 0 || range->hi >= dims[d].extent) {
+        contained = failed_precondition(
+            "reg_alloc: reference " + r.to_string() +
+            " escapes the thread tile");
+        return;
+      }
+    }
+  };
+  std::function<void(const std::vector<NodePtr>&)> walk_unguarded =
+      [&](const std::vector<NodePtr>& body) {
+        for (const auto& n : body) {
+          switch (n->kind) {
+            case Node::Kind::kLoop:
+              walk_unguarded(n->body);
+              break;
+            case Node::Kind::kAssign:
+              if (n->staging_copy) break;
+              check_contained(n->lhs);
+              if (n->rhs) n->rhs->visit_refs(check_contained);
+              break;
+            case Node::Kind::kSync:
+              break;
+            case Node::Kind::kIf:
+              if (n->conds.empty()) {
+                // bool-param selection is thread-uniform: promote inside.
+                walk_unguarded(n->then_body);
+                walk_unguarded(n->else_body);
+              }
+              break;
+          }
+        }
+      };
+  walk_unguarded(kernel.body);
+  OA_RETURN_IF_ERROR(contained);
+
+  // Declare the register block.
+  const std::string reg_name = array + "_r";
+  if (kernel.find_local_array(reg_name) != nullptr) {
+    return failed_precondition("array '" + array + "' already in registers");
+  }
+  ArrayDecl reg;
+  reg.name = reg_name;
+  reg.space = ir::MemSpace::kRegister;
+  reg.rows = AffineExpr::constant(dims[0].extent);
+  reg.cols = AffineExpr::constant(dims[1].extent);
+  kernel.local_arrays.push_back(reg);
+
+  // Remap the unguarded references; thread-guarded regions keep their
+  // global accesses and see the flushed values.
+  auto remap = [&](ArrayRef& r) {
+    if (r.array != array || r.index.size() != 2) return;
+    r = ArrayRef{reg_name,
+                 {r.index[0] - dims[0].base, r.index[1] - dims[1].base}};
+  };
+  std::function<void(std::vector<NodePtr>&)> remap_unguarded =
+      [&](std::vector<NodePtr>& body) {
+        for (auto& n : body) {
+          switch (n->kind) {
+            case Node::Kind::kLoop:
+              remap_unguarded(n->body);
+              break;
+            case Node::Kind::kAssign:
+              if (n->staging_copy) break;
+              remap(n->lhs);
+              if (n->rhs) n->rhs->for_each_ref(remap);
+              break;
+            case Node::Kind::kSync:
+              break;
+            case Node::Kind::kIf:
+              if (n->conds.empty()) {
+                remap_unguarded(n->then_body);
+                remap_unguarded(n->else_body);
+              }
+              break;
+          }
+        }
+      };
+  remap_unguarded(kernel.body);
+
+  // Init / flush loops around the innermost thread-mapped loop's body.
+  Node* host = nullptr;
+  ir::walk(kernel.body, [&](Node& n) {
+    if (n.is_loop() && (n.map == ir::LoopMap::kThreadX ||
+                        n.map == ir::LoopMap::kThreadY)) {
+      host = &n;  // keep the innermost (last in pre-order nesting)
+    }
+    return true;
+  });
+  if (host == nullptr) {
+    return failed_precondition("reg_alloc requires thread_grouping first");
+  }
+  const std::string r0 = "r0_" + array;
+  const std::string r1 = "r1_" + array;
+  auto make_rr_nest = [&](NodePtr stmt, const char* tag) {
+    auto inner = ir::make_loop(std::string("Lrg0") + tag + "_" + array, r0,
+                               Bound(0), Bound(AffineExpr(dims[0].extent)));
+    inner->body.push_back(std::move(stmt));
+    auto outer = ir::make_loop(std::string("Lrg1") + tag + "_" + array, r1,
+                               Bound(0), Bound(AffineExpr(dims[1].extent)));
+    outer->body.push_back(std::move(inner));
+    return outer;
+  };
+  ArrayRef rref{reg_name, {AffineExpr::sym(r0), AffineExpr::sym(r1)}};
+  // Init: Xr = 0.
+  auto init = make_rr_nest(
+      ir::make_assign(rref, AssignOp::kAssign, ir::make_const(0.0)), "i");
+  // Flush: X[base0 + r0][base1 + r1] += Xr[r0][r1], guarded against the
+  // array bounds.
+  ArrayRef gref{array,
+                {dims[0].base + AffineExpr::sym(r0),
+                 dims[1].base + AffineExpr::sym(r1)}};
+  std::vector<Pred> guards;
+  guards.push_back(Pred{decl->rows - gref.index[0] - 1, Pred::Op::kGe});
+  guards.push_back(Pred{decl->cols - gref.index[1] - 1, Pred::Op::kGe});
+  if (may_be_negative(gref.index[0])) {
+    guards.push_back(Pred{gref.index[0], Pred::Op::kGe});
+  }
+  if (may_be_negative(gref.index[1])) {
+    guards.push_back(Pred{gref.index[1], Pred::Op::kGe});
+  }
+  std::vector<NodePtr> flush_body;
+  flush_body.push_back(ir::make_assign(gref, AssignOp::kAddAssign,
+                                       ir::make_ref(rref)));
+  auto flush = make_rr_nest(
+      ir::make_if(std::move(guards), std::move(flush_body)), "f");
+
+  // Flush before the first thread-guarded region that touches X (the
+  // bound solve of TRSM reads the accumulated values from global
+  // memory); otherwise at the very end.
+  size_t flush_at = host->body.size();
+  for (size_t i = 0; i < host->body.size(); ++i) {
+    const Node& n = *host->body[i];
+    if (!n.is_if() || n.conds.empty()) continue;
+    bool touches = false;
+    ir::visit_refs(n.then_body, [&](const ArrayRef& r) {
+      touches |= r.array == array;
+    });
+    if (touches) {
+      flush_at = i;
+      // The flush must precede the barrier that orders it before the
+      // guarded region's reads.
+      while (flush_at > 0 && host->body[flush_at - 1]->is_sync()) {
+        --flush_at;
+      }
+      break;
+    }
+  }
+  host->body.insert(host->body.begin() + static_cast<long>(flush_at),
+                    std::move(flush));
+  host->body.insert(host->body.begin(), std::move(init));
+  return Status::ok();
+}
+
+}  // namespace oa::transforms

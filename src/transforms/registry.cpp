@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <array>
+
+#include "support/strings.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::transforms {
+
+const char* alloc_mode_name(AllocMode mode) {
+  switch (mode) {
+    case AllocMode::kNoChange: return "NoChange";
+    case AllocMode::kTranspose: return "Transpose";
+    case AllocMode::kSymmetry: return "Symmetry";
+  }
+  return "?";
+}
+
+StatusOr<AllocMode> parse_alloc_mode(const std::string& text) {
+  if (text == "NoChange") return AllocMode::kNoChange;
+  if (text == "Transpose") return AllocMode::kTranspose;
+  if (text == "Symmetry") return AllocMode::kSymmetry;
+  return invalid_argument("unknown allocation mode '" + text + "'");
+}
+
+Status TuningParams::check() const {
+  if (block_tile_y <= 0 || block_tile_x <= 0 || threads_y <= 0 ||
+      threads_x <= 0 || k_tile <= 0 || unroll <= 0) {
+    return invalid_argument("tuning parameters must be positive");
+  }
+  if (block_tile_y % threads_y != 0 || block_tile_x % threads_x != 0) {
+    return invalid_argument(
+        "block tile must be divisible by the thread counts");
+  }
+  return Status::ok();
+}
+
+std::string TuningParams::to_string() const {
+  return str_format(
+      "{bt=(%lld,%lld) threads=(%lld,%lld) kt=%lld unroll=%d}",
+      static_cast<long long>(block_tile_y),
+      static_cast<long long>(block_tile_x),
+      static_cast<long long>(threads_y), static_cast<long long>(threads_x),
+      static_cast<long long>(k_tile), unroll);
+}
+
+std::string Invocation::to_string() const {
+  std::string out;
+  if (!results.empty()) {
+    if (results.size() > 1) out += '(';
+    out += join(results, ", ");
+    if (results.size() > 1) out += ')';
+    out += " = ";
+  }
+  out += component;
+  out += '(';
+  out += join(args, ", ");
+  out += ')';
+  return out;
+}
+
+bool is_memory_component(const std::string& component) {
+  return component == "SM_alloc" || component == "reg_alloc";
+}
+
+bool must_be_first(const std::string& component) {
+  return component == "GM_map";
+}
+
+bool is_known_component(const std::string& component) {
+  static constexpr std::array<const char*, 10> kNames = {
+      "thread_grouping", "loop_tiling",        "loop_unroll",
+      "SM_alloc",        "reg_alloc",          "GM_map",
+      "format_iteration", "peel_triangular",   "padding_triangular",
+      "binding_triangular"};
+  return std::any_of(kNames.begin(), kNames.end(),
+                     [&](const char* n) { return component == n; });
+}
+
+namespace {
+
+Status expect_args(const Invocation& inv, size_t n) {
+  if (inv.args.size() != n) {
+    return invalid_argument(str_format("%s expects %zu argument(s), got %zu",
+                                       inv.component.c_str(), n,
+                                       inv.args.size()));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status apply(ir::Program& program, const Invocation& inv,
+             const TransformContext& ctx) {
+  const std::string& c = inv.component;
+  if (c == "thread_grouping") {
+    if (inv.results.size() != inv.args.size()) {
+      return invalid_argument(
+          "thread_grouping needs one result label per input label");
+    }
+    return thread_grouping(program, inv.args, inv.results, ctx);
+  }
+  if (c == "loop_tiling") {
+    if (inv.results.size() != inv.args.size()) {
+      return invalid_argument(
+          "loop_tiling needs one result label per input label");
+    }
+    return loop_tiling(program, inv.args, inv.results, ctx);
+  }
+  if (c == "loop_unroll") {
+    if (inv.args.empty()) {
+      return invalid_argument("loop_unroll expects at least one label");
+    }
+    return loop_unroll(program, inv.args, ctx);
+  }
+  if (c == "SM_alloc") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 2));
+    OA_ASSIGN_OR_RETURN(AllocMode mode, parse_alloc_mode(inv.args[1]));
+    return sm_alloc(program, inv.args[0], mode, ctx);
+  }
+  if (c == "reg_alloc") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 1));
+    return reg_alloc(program, inv.args[0], ctx);
+  }
+  if (c == "GM_map") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 2));
+    OA_ASSIGN_OR_RETURN(AllocMode mode, parse_alloc_mode(inv.args[1]));
+    return gm_map(program, inv.args[0], mode, ctx);
+  }
+  if (c == "format_iteration") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 2));
+    OA_ASSIGN_OR_RETURN(AllocMode mode, parse_alloc_mode(inv.args[1]));
+    return format_iteration(program, inv.args[0], mode, ctx);
+  }
+  if (c == "peel_triangular") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 1));
+    return peel_triangular(program, inv.args[0], ctx);
+  }
+  if (c == "padding_triangular") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 1));
+    return padding_triangular(program, inv.args[0], ctx);
+  }
+  if (c == "binding_triangular") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 2));
+    return binding_triangular(program, inv.args[0],
+                              std::atoi(inv.args[1].c_str()), ctx);
+  }
+  return invalid_argument("unknown optimization component '" + c + "'");
+}
+
+}  // namespace oa::transforms

@@ -1,0 +1,420 @@
+// loop_tiling and loop_unroll (paper §III-B, components from the
+// polyhedral pool).
+//
+// loop_tiling(L0, ..., Lr) -> (L0', ..., Lr') strip-mines the reduction
+// loop Lr by k_tile and hoists the resulting tile loop above the listed
+// point loops (the classic GEMM schedule: the kk loop wraps the
+// register-blocked i/j/k point loops, so SM_alloc can stage per k-tile).
+// Hoisting widens any bound term of the k loop that references a point
+// variable to that variable's block-level range — this is what turns a
+// triangular iteration space into the per-block trapezoids that
+// peel/padding_triangular later detect (Fig 6).
+//
+// loop_unroll(L...) attaches an unroll factor. It *fails* when a loop's
+// trip count is not uniform across the threads of a block (bound terms
+// referencing other point variables) — exactly the filter behaviour in
+// §IV-B.2 where loop_unroll fails on non-rectangular areas.
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::transforms {
+
+using ir::AffineExpr;
+using ir::Bound;
+using ir::Kernel;
+using ir::Node;
+using ir::NodePtr;
+
+namespace {
+
+/// Substitute point-variable references in a bound term by the extreme
+/// value of the variable's block range. `want_max` picks the upper end.
+StatusOr<AffineExpr> widen_term(const AffineExpr& term, const Kernel& kernel,
+                                const std::vector<std::string>& point_vars,
+                                bool want_max) {
+  AffineExpr out = term;
+  for (const std::string& v : point_vars) {
+    const int64_t c = out.coeff(v);
+    if (c == 0) continue;
+    auto it = kernel.tiling.find(v);
+    if (it == kernel.tiling.end() || it->second.block_extent == 0) {
+      return failed_precondition(
+          "cannot widen bound: variable '" + v + "' has no block tiling");
+    }
+    const ir::VarTiling& t = it->second;
+    // coefficient sign flips which extreme maximizes the term.
+    const bool use_high = (c > 0) == want_max;
+    AffineExpr repl = t.block_base;
+    if (use_high) repl += AffineExpr::constant(t.block_extent - 1);
+    out = out.substituted(v, repl);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status loop_tiling(ir::Program& program,
+                   const std::vector<std::string>& labels,
+                   const std::vector<std::string>& out_labels,
+                   const TransformContext& ctx) {
+  OA_RETURN_IF_ERROR(ctx.params.check());
+  if (labels.size() < 2) {
+    return invalid_argument("loop_tiling expects at least two loops");
+  }
+  Kernel& kernel = program.main_kernel();
+
+  // All listed loops must exist; the leading ones are simply relabeled
+  // (they are already intra-tile point loops after thread_grouping).
+  std::vector<Node*> loops;
+  for (const std::string& label : labels) {
+    Node* l = kernel.find(label);
+    if (l == nullptr) {
+      return not_found("loop_tiling: label '" + label + "' not found");
+    }
+    loops.push_back(l);
+  }
+  for (size_t i = 0; i + 1 < loops.size(); ++i) {
+    if (loops[i]->map != ir::LoopMap::kNone) {
+      return failed_precondition("loop_tiling target '" + labels[i] +
+                                 "' is mapped");
+    }
+    loops[i]->label = out_labels[i];
+    if (!loops[i]->orig_var.empty()) {
+      auto it = kernel.tiling.find(loops[i]->var);
+      if (it != kernel.tiling.end()) it->second.point_label = out_labels[i];
+    }
+  }
+
+  // Reorder the point-loop prefix by actual nesting depth: scripts list
+  // labels in (row, column) order, but after thread_grouping the point
+  // loops keep the source nesting, which differs for right-side
+  // routines (Lj outermost). The chain/hoist logic below needs
+  // outermost-first.
+  std::sort(loops.begin(), loops.end() - 1, [&](Node* a, Node* b) {
+    return ir::find_loop(a->body, b->label) != nullptr;
+  });
+
+  // Strip-mine the reduction loop by k_tile.
+  Node* red = loops.back();
+  if (red->map != ir::LoopMap::kNone || red->step != 1) {
+    return failed_precondition("reduction loop is mapped or strided");
+  }
+  const int64_t kt = ctx.params.k_tile;
+  const std::string kk_var = red->var + red->var;  // "k" -> "kk"
+  const std::string kk_label = red->label;         // tile loop keeps label
+
+  // Point variables the tile loop may be hoisted above.
+  std::vector<std::string> point_vars;
+  for (size_t i = 0; i + 1 < loops.size(); ++i) {
+    point_vars.push_back(loops[i]->var);
+  }
+
+  // Widened tile-loop bounds (block-uniform). A widened upper term can
+  // exceed the cross variable's full range on boundary blocks
+  // (block_base + tile > M), so the axis extent is added as a clamp.
+  std::vector<AffineExpr> tile_lb, tile_ub;
+  for (const AffineExpr& t : red->lb.terms()) {
+    OA_ASSIGN_OR_RETURN(AffineExpr w,
+                        widen_term(t, kernel, point_vars, /*want_max=*/false));
+    tile_lb.push_back(std::move(w));
+  }
+  for (const AffineExpr& t : red->ub.terms()) {
+    const AffineExpr before = t;
+    OA_ASSIGN_OR_RETURN(AffineExpr w,
+                        widen_term(t, kernel, point_vars, /*want_max=*/true));
+    for (const std::string& v : point_vars) {
+      if (before.coeff(v) == 0) continue;
+      auto it = kernel.tiling.find(v);
+      if (it != kernel.tiling.end() &&
+          !(it->second.axis_extent == AffineExpr())) {
+        AffineExpr clamp = it->second.axis_extent;
+        if (before.coeff(v) > 0) {
+          // k < i + c with i < extent implies k < extent + c - 1;
+          // conservatively clamp at extent + max(c, 0).
+          const int64_t c = std::max<int64_t>(before.constant_term(), 0);
+          clamp += AffineExpr::constant(c);
+        }
+        if (std::find(tile_ub.begin(), tile_ub.end(), clamp) ==
+            tile_ub.end()) {
+          tile_ub.push_back(std::move(clamp));
+        }
+      }
+    }
+    tile_ub.push_back(std::move(w));
+  }
+
+  // Turn one reduction loop into its point loop:
+  //   k in [max(orig_lb, kk), min(orig_ub, kk + KT)).
+  auto strip_mine = [&](Node& loop) {
+    std::vector<AffineExpr> plb = loop.lb.terms();
+    plb.push_back(AffineExpr::sym(kk_var));
+    std::vector<AffineExpr> pub = loop.ub.terms();
+    pub.push_back(AffineExpr::sym(kk_var) + kt);
+    loop.lb = Bound::min_of(std::move(plb));  // container; max-eval for lb
+    loop.ub = Bound::min_of(std::move(pub));
+  };
+  red->label = out_labels.back();
+
+  // Record tiling metadata for the reduction axis.
+  ir::VarTiling& t = kernel.tiling[red->var];
+  t.tile_var = kk_var;
+  t.tile_label = kk_label;
+  t.tile_extent = kt;
+  t.point_label = out_labels.back();
+
+  // The tile loop.
+  auto tile = ir::make_loop(kk_label, kk_var,
+                            tile_lb.size() == 1
+                                ? Bound(tile_lb[0])
+                                : Bound::min_of(std::move(tile_lb)),
+                            Bound::min_of(std::move(tile_ub)), kt);
+  tile->orig_var = red->orig_var;
+
+  // Is the point-loop prefix a single-child chain down to the reduction
+  // loop's parent body?
+  bool chain = loops.size() >= 2;
+  for (size_t i = 0; i + 2 < loops.size(); ++i) {
+    if (loops[i]->body.size() != 1 || loops[i]->body[0].get() != loops[i + 1]) {
+      chain = false;
+      break;
+    }
+  }
+  Node* last_point = loops.size() >= 2 ? loops[loops.size() - 2] : nullptr;
+  const bool red_in_last_point =
+      last_point != nullptr &&
+      std::any_of(last_point->body.begin(), last_point->body.end(),
+                  [&](const NodePtr& n) { return n.get() == red; });
+  if (!chain || !red_in_last_point) {
+    // Fallback: in-place strip-mine around the reduction loop itself.
+    strip_mine(*red);
+    ir::LoopLocation loc = ir::locate_loop(kernel.body, out_labels.back());
+    if (loc.loop == nullptr) {
+      return internal_error("reduction loop vanished during tiling");
+    }
+    NodePtr point = std::move((*loc.parent_body)[loc.index]);
+    tile->body.push_back(std::move(point));
+    (*loc.parent_body)[loc.index] = std::move(tile);
+    return Status::ok();
+  }
+
+  if (last_point->body.size() == 1) {
+    // Classic case: hoist the tile loop above the first point loop, and
+    // (when the bounds permit) interchange the reduction point loop
+    // with the innermost listed point loop. The resulting intra-tile
+    // order (i, k, j) is the Volkov GEMM schedule: the A operand is
+    // loaded once per k and kept in a register across the j-strip of
+    // fused multiply-adds.
+    strip_mine(*red);
+    const bool can_interchange =
+        loops.size() >= 3 && !red->lb.depends_on(last_point->var) &&
+        !red->ub.depends_on(last_point->var);
+    if (can_interchange) {
+      NodePtr red_owned = std::move(last_point->body[0]);
+      last_point->body = std::move(red_owned->body);
+      Node* above = loops[loops.size() - 3];
+      NodePtr lp_owned = std::move(above->body[0]);
+      red_owned->body.clear();
+      red_owned->body.push_back(std::move(lp_owned));
+      above->body.clear();
+      above->body.push_back(std::move(red_owned));
+    }
+    ir::LoopLocation head = ir::locate_loop(kernel.body, loops[0]->label);
+    if (head.loop == nullptr) {
+      return internal_error("point chain head vanished during tiling");
+    }
+    NodePtr point_chain = std::move((*head.parent_body)[head.index]);
+    tile->body.push_back(std::move(point_chain));
+    (*head.parent_body)[head.index] = std::move(tile);
+    return Status::ok();
+  }
+
+  // Group hoist: the reduction loop has siblings — the fissioned family
+  // of format_iteration's rule 3 (real-area loop, shadow-area loop,
+  // diagonal statement). Strip-mine every sibling loop over the same
+  // variable under ONE hoisted tile loop spanning the union of their
+  // ranges; the remaining statements move into a cloned point nest that
+  // runs after all tiles (legal: the statements are accumulations).
+  //   - The union tile range must have a parameter-only upper bound
+  //     (e.g. M); per-loop point bounds clamp the empty tiles away.
+  std::vector<AffineExpr> union_ub;
+  for (const AffineExpr& term : tile->ub.terms()) {
+    bool params_only = true;
+    for (const std::string& s : term.symbols()) {
+      if (std::find(program.int_params.begin(), program.int_params.end(),
+                    s) == program.int_params.end()) {
+        params_only = false;
+      }
+    }
+    if (params_only) union_ub.push_back(term);
+  }
+  for (const auto& sib : last_point->body) {
+    if (sib->is_loop() && sib->var == red->var && sib.get() != red) {
+      for (const AffineExpr& term : sib->ub.terms()) {
+        bool params_only = true;
+        for (const std::string& s : term.symbols()) {
+          if (std::find(program.int_params.begin(), program.int_params.end(),
+                        s) == program.int_params.end()) {
+            params_only = false;
+          }
+        }
+        if (params_only) union_ub.push_back(term);
+      }
+    }
+  }
+  if (union_ub.empty()) {
+    return failed_precondition(
+        "loop_tiling: cannot bound the union of the reduction family");
+  }
+  // Dedupe identical terms.
+  std::vector<AffineExpr> dedup;
+  for (const AffineExpr& term : union_ub) {
+    if (std::find(dedup.begin(), dedup.end(), term) == dedup.end()) {
+      dedup.push_back(term);
+    }
+  }
+  tile->lb = Bound(0);
+  tile->ub = Bound::min_of(std::move(dedup));
+
+  // Partition the parent body: family loops (strip-mined, stay under the
+  // tile loop) vs remainder (moved to a fresh point nest).
+  std::vector<NodePtr> family;
+  std::vector<NodePtr> remainder;
+  for (auto& sib : last_point->body) {
+    if (sib->is_loop() && sib->var == red->var) {
+      strip_mine(*sib);
+      family.push_back(std::move(sib));
+    } else {
+      remainder.push_back(std::move(sib));
+    }
+  }
+
+  // Build the remainder nest from the point-chain headers before the
+  // structure below them changes.
+  auto make_shell = [](const Node& proto, const std::string& label) {
+    NodePtr shell = ir::make_loop(label, proto.var, proto.lb, proto.ub,
+                                  proto.step);
+    shell->orig_var = proto.orig_var;
+    shell->unroll = proto.unroll;
+    return shell;
+  };
+  NodePtr tail;
+  if (!remainder.empty()) {
+    for (size_t i = loops.size() - 1; i-- > 0;) {
+      NodePtr shell = make_shell(*loops[i], loops[i]->label + "_d");
+      if (tail) {
+        shell->body.push_back(std::move(tail));
+      } else {
+        shell->body = std::move(remainder);
+      }
+      tail = std::move(shell);
+    }
+  }
+
+  // Interchange: when the family bounds do not depend on the innermost
+  // listed point variable, distribute that loop *into* each family
+  // member (so the per-k operand stays register-cached across the
+  // strip, as in the classic path).
+  bool can_distribute = loops.size() >= 3;
+  for (const auto& f : family) {
+    if (f->lb.depends_on(last_point->var) ||
+        f->ub.depends_on(last_point->var)) {
+      can_distribute = false;
+    }
+  }
+  if (can_distribute) {
+    int idx = 0;
+    for (auto& f : family) {
+      NodePtr shell = make_shell(
+          *last_point, idx == 0 ? last_point->label
+                                : last_point->label + "_s" +
+                                      std::to_string(idx + 1));
+      shell->body = std::move(f->body);
+      f->body.clear();
+      f->body.push_back(std::move(shell));
+      ++idx;
+    }
+    Node* above = loops[loops.size() - 3];
+    above->body = std::move(family);
+  } else {
+    last_point->body = std::move(family);
+  }
+
+  // Hoist the tile loop above the chain head and append the tail nest.
+  ir::LoopLocation head = ir::locate_loop(kernel.body, loops[0]->label);
+  if (head.loop == nullptr) {
+    return internal_error("point chain head vanished during tiling");
+  }
+  NodePtr point_chain = std::move((*head.parent_body)[head.index]);
+  tile->body.push_back(std::move(point_chain));
+  (*head.parent_body)[head.index] = std::move(tile);
+  if (tail) {
+    head.parent_body->insert(
+        head.parent_body->begin() + static_cast<long>(head.index + 1),
+        std::move(tail));
+  }
+  return Status::ok();
+}
+
+Status loop_unroll(ir::Program& program,
+                   const std::vector<std::string>& labels,
+                   const TransformContext& ctx) {
+  Kernel& kernel = program.main_kernel();
+  for (const std::string& label : labels) {
+    Node* l = kernel.find(label);
+    if (l == nullptr) {
+      return not_found("loop_unroll: label '" + label + "' not found");
+    }
+    if (l->map != ir::LoopMap::kNone) {
+      return failed_precondition("cannot unroll mapped loop '" + label + "'");
+    }
+    // The trip count must be uniform across the threads of a block:
+    // every (ub - lb) combination must be constant, except benign
+    // whole-problem boundary clamps that involve only kernel parameters.
+    int64_t trip = -1;
+    for (const AffineExpr& ub : l->ub.terms()) {
+      for (const AffineExpr& lb : l->lb.terms()) {
+        AffineExpr d = ub - lb;
+        if (d.is_constant()) {
+          const int64_t t = (d.constant_term() + l->step - 1) / l->step;
+          trip = trip < 0 ? t : std::min(trip, t);
+          continue;
+        }
+        // Non-constant difference: benign iff it only references
+        // parameters and tile/block variables (a boundary clamp uniform
+        // across the threads of a block); point variables of other axes
+        // make the bounds non-rectangular -> unroll fails.
+        for (const std::string& s : d.symbols()) {
+          const bool is_param =
+              std::find(program.int_params.begin(), program.int_params.end(),
+                        s) != program.int_params.end();
+          if (is_param) continue;
+          bool benign = false;
+          for (const auto& [var, t2] : kernel.tiling) {
+            if (s == t2.block_var || s == t2.thread_var || s == t2.tile_var) {
+              benign = true;
+              break;
+            }
+          }
+          if (!benign) {
+            return failed_precondition(
+                str_format("loop '%s' has non-rectangular bounds (term "
+                           "depends on '%s'); unroll fails",
+                           label.c_str(), s.c_str()));
+          }
+        }
+      }
+    }
+    if (trip < 0) {
+      return failed_precondition("loop '" + label +
+                                 "' has no constant-trip bound term");
+    }
+    l->unroll = static_cast<int>(
+        std::max<int64_t>(1, std::min<int64_t>(trip, ctx.params.unroll)));
+  }
+  return Status::ok();
+}
+
+}  // namespace oa::transforms

@@ -1,0 +1,118 @@
+// The optimization-component pools of the EPOD translator (paper §III):
+// each component is invoked by name from an EPOD script and applied to
+// the current Program. Components return Status: a non-OK status is an
+// *expected* outcome — the composer's filter responds by omitting the
+// component and letting the sequence degenerate (§IV-B.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "support/status.hpp"
+
+namespace oa::transforms {
+
+/// Allocation / mapping modes shared by SM_alloc and GM_map (paper
+/// §III-B): NoChange (dest = src), Transpose (dest = src^T), Symmetry
+/// (dest = src + src^T - diag(src)).
+enum class AllocMode { kNoChange, kTranspose, kSymmetry };
+
+const char* alloc_mode_name(AllocMode mode);
+StatusOr<AllocMode> parse_alloc_mode(const std::string& text);
+
+/// Numeric tuning parameters — the values the paper's search of [4]
+/// explores. thread_grouping / loop_tiling / loop_unroll read them.
+struct TuningParams {
+  int64_t block_tile_y = 32;  // rows of the output tile per thread block
+  int64_t block_tile_x = 32;  // cols of the output tile per thread block
+  int64_t threads_y = 8;      // blockDim.y
+  int64_t threads_x = 8;      // blockDim.x
+  int64_t k_tile = 16;        // reduction tile (loop_tiling)
+  int unroll = 4;             // max unroll factor (loop_unroll)
+
+  int64_t thread_extent_y() const { return block_tile_y / threads_y; }
+  int64_t thread_extent_x() const { return block_tile_x / threads_x; }
+
+  Status check() const;
+  std::string to_string() const;
+};
+
+/// Context every component invocation receives.
+struct TransformContext {
+  TuningParams params;
+  /// Nominal problem sizes used for dependence analysis and footprint
+  /// range checks (results do not depend on the exact values for the
+  /// affine programs in BLAS3; they just need to be "large enough").
+  ir::Env nominal_sizes{{"M", 256}, {"N", 256}, {"K", 256}};
+};
+
+/// One component invocation as written in an EPOD script:
+///   (Lii, Ljj) = thread_grouping(Li, Lj);
+///   SM_alloc(B, Transpose);
+struct Invocation {
+  std::string component;             // e.g. "thread_grouping"
+  std::vector<std::string> args;     // loop labels / array names / modes
+  std::vector<std::string> results;  // labels bound on the left-hand side
+
+  std::string to_string() const;
+  bool operator==(const Invocation&) const = default;
+};
+
+/// Dispatch an invocation to the matching component. Unknown component
+/// names are kInvalidArgument; component-specific failures use
+/// kFailedPrecondition / kIllegal (the filter omits those).
+Status apply(ir::Program& program, const Invocation& inv,
+             const TransformContext& ctx);
+
+/// Classification used by the composer's splitter: memory-allocation
+/// components are handled by the allocator and applied after the
+/// polyhedral part.
+bool is_memory_component(const std::string& component);
+
+/// Location constraint used by the mixer: GM_map must be the first
+/// component of a sequence (it rewrites global data layout).
+bool must_be_first(const std::string& component);
+
+/// True for names present in either optimization pool.
+bool is_known_component(const std::string& component);
+
+// --- Individual components (documented in their own headers) ---------
+
+Status thread_grouping(ir::Program& program,
+                       const std::vector<std::string>& labels,
+                       const std::vector<std::string>& out_labels,
+                       const TransformContext& ctx);
+
+Status loop_tiling(ir::Program& program,
+                   const std::vector<std::string>& labels,
+                   const std::vector<std::string>& out_labels,
+                   const TransformContext& ctx);
+
+Status loop_unroll(ir::Program& program,
+                   const std::vector<std::string>& labels,
+                   const TransformContext& ctx);
+
+Status sm_alloc(ir::Program& program, const std::string& array,
+                AllocMode mode, const TransformContext& ctx);
+
+Status reg_alloc(ir::Program& program, const std::string& array,
+                 const TransformContext& ctx);
+
+Status gm_map(ir::Program& program, const std::string& array,
+              AllocMode mode, const TransformContext& ctx);
+
+Status format_iteration(ir::Program& program, const std::string& array,
+                        AllocMode mode, const TransformContext& ctx);
+
+Status peel_triangular(ir::Program& program, const std::string& array,
+                       const TransformContext& ctx);
+
+Status padding_triangular(ir::Program& program, const std::string& array,
+                          const TransformContext& ctx);
+
+Status binding_triangular(ir::Program& program, const std::string& array,
+                          int thread, const TransformContext& ctx);
+
+}  // namespace oa::transforms

@@ -1,0 +1,404 @@
+// The triangular-matrix components (paper §IV-A.3/4, Fig 6/7):
+//
+//  * peel_triangular(X): split the reduction loop at the diagonal into a
+//    rectangular part (uniform bounds — loop_unroll succeeds there) and
+//    a trapezoid part.
+//  * padding_triangular(X): pad the trapezoid iteration space to full
+//    rectangles. The padded iterations read the blank area of X, so the
+//    generated code is multi-versioned on the runtime flag `blank_zero`
+//    (cond(blank(X).zero = true) in the ADL).
+//  * binding_triangular(X, t): force the trapezoid part to run on a
+//    single thread of the block (threadIdx == t), serializing the
+//    diagonal-block solve of TRSM while the rectangular part stays
+//    parallel (Fig 7's workload distribution).
+//
+// Trapezoid detection needs block-level structure: it works on the
+// k-tile loop after loop_tiling, or directly on the reduction loop once
+// thread_grouping has established block tiles (the paper's
+// thread_grouping tiles internally, which is how its filter example
+// applies peel_triangular between thread_grouping and loop_tiling).
+// Before any grouping, "the detection will fail" (paper §IV-A.3).
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::transforms {
+
+using ir::AffineExpr;
+using ir::Bound;
+using ir::Kernel;
+using ir::Node;
+using ir::NodePtr;
+using ir::Pred;
+using ir::VarTiling;
+
+namespace {
+
+/// Description of the per-block trapezoid of a triangular loop.
+struct Trapezoid {
+  Node* split_loop = nullptr;   // loop to peel/pad (kk loop, or the
+                                // reduction loop itself when untiled)
+  Node* bound_loop = nullptr;   // loop carrying the cross-variable term
+                                // (the k point loop; == split_loop when
+                                // untiled)
+  std::string cross_var;        // the other axis variable (w)
+  bool cross_in_ub = false;     // k bounded above by w (lower tri)
+  AffineExpr block_base;        // block range of w: [base, base+extent)
+  int64_t block_extent = 0;
+  bool tiled = false;
+};
+
+bool find_cross(const Kernel& kernel, const Node& loop,
+                std::string_view own_var, Trapezoid& tz) {
+  for (const auto& [var, t] : kernel.tiling) {
+    if (var == own_var || t.block_extent == 0) continue;
+    if (loop.ub.depends_on(var)) {
+      tz.cross_var = var;
+      tz.cross_in_ub = true;
+      tz.block_base = t.block_base;
+      tz.block_extent = t.block_extent;
+      return true;
+    }
+    if (loop.lb.depends_on(var)) {
+      tz.cross_var = var;
+      tz.cross_in_ub = false;
+      tz.block_base = t.block_base;
+      tz.block_extent = t.block_extent;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Locate the trapezoid: prefer the k-tile structure from loop_tiling;
+/// otherwise look for a sequential reduction loop with a cross-variable
+/// bound (valid once thread_grouping recorded block tiles).
+StatusOr<Trapezoid> detect_trapezoid(Kernel& kernel) {
+  Trapezoid tz;
+  // Tiled case.
+  for (const auto& [var, t] : kernel.tiling) {
+    if (t.tile_extent == 0) continue;
+    Node* tile_loop = kernel.find(t.tile_label);
+    if (tile_loop == nullptr) continue;
+    Node* point = ir::find_loop(tile_loop->body, t.point_label);
+    if (point == nullptr) continue;
+    if (find_cross(kernel, *point, var, tz)) {
+      tz.split_loop = tile_loop;
+      tz.bound_loop = point;
+      tz.tiled = true;
+      return tz;
+    }
+  }
+  // Untiled case: any sequential loop whose bounds reference a
+  // block-partitioned variable of another axis.
+  bool has_blocks = false;
+  for (const auto& [var, t] : kernel.tiling) {
+    has_blocks |= t.block_extent > 0;
+  }
+  if (!has_blocks) {
+    return failed_precondition(
+        "no trapezoid detected: no block-level tiling yet");
+  }
+  Node* found = nullptr;
+  ir::walk(kernel.body, [&](Node& n) {
+    if (found != nullptr) return false;
+    if (n.is_loop() && n.map == ir::LoopMap::kNone &&
+        find_cross(kernel, n, n.var, tz)) {
+      // Do not re-peel an already peeled loop.
+      if (!ends_with(n.label, "_tri")) {
+        found = &n;
+        return false;
+      }
+    }
+    return true;
+  });
+  if (found == nullptr) {
+    return failed_precondition("no trapezoid detected: bounds are uniform");
+  }
+  tz.split_loop = found;
+  tz.bound_loop = found;
+  tz.tiled = false;
+  return tz;
+}
+
+/// Remove bound terms referencing `var` from a Bound (the rectangular
+/// part implies them). A bound must keep at least one term; `extra` (if
+/// non-null) is appended.
+Status rebuild_bound(Bound& b, const std::string& var,
+                     const AffineExpr* extra) {
+  std::vector<AffineExpr> kept;
+  for (const AffineExpr& t : b.terms()) {
+    if (!t.depends_on(var)) kept.push_back(t);
+  }
+  if (extra != nullptr) kept.push_back(*extra);
+  if (kept.empty()) {
+    return failed_precondition("cannot strip the only bound term");
+  }
+  b = Bound::min_of(std::move(kept));
+  return Status::ok();
+}
+
+void relabel_subtree(Node& root, const std::string& suffix) {
+  root.label += suffix;
+  ir::walk(root.body, [&](Node& n) {
+    if (n.is_loop()) n.label += suffix;
+    return true;
+  });
+}
+
+}  // namespace
+
+Status peel_triangular(ir::Program& program, const std::string& array,
+                       const TransformContext& ctx) {
+  (void)array;  // the trapezoid is a property of the nest, detected below
+  Kernel& kernel = program.main_kernel();
+  OA_ASSIGN_OR_RETURN(Trapezoid tz, detect_trapezoid(kernel));
+
+  if (tz.tiled && tz.block_extent % ctx.params.k_tile != 0) {
+    return failed_precondition(
+        "peel_triangular: block tile not aligned to the k tile");
+  }
+
+  ir::LoopLocation loc = ir::locate_loop(kernel.body, tz.split_loop->label);
+  if (loc.loop != tz.split_loop) {
+    return internal_error("peel_triangular lost the split loop");
+  }
+  const std::string bound_label = tz.bound_loop->label;
+
+  NodePtr rect = tz.split_loop->clone();
+  NodePtr tri = tz.split_loop->clone();
+  relabel_subtree(*tri, "_tri");
+
+  const AffineExpr band_lo = tz.block_base;
+  const AffineExpr band_hi = tz.block_base + tz.block_extent;
+  Node* rect_bound = rect->label == bound_label
+                         ? rect.get()
+                         : ir::find_loop(rect->body, bound_label);
+  if (rect_bound == nullptr) {
+    return internal_error("peel: rectangular bound loop missing");
+  }
+  if (tz.cross_in_ub) {
+    // Rectangle below the diagonal band: k in [lb, band_lo); the cross
+    // terms become redundant and are stripped.
+    if (rect.get() == rect_bound) {
+      OA_RETURN_IF_ERROR(rebuild_bound(rect->ub, tz.cross_var, &band_lo));
+    } else {
+      rect->ub = Bound(band_lo);
+      OA_RETURN_IF_ERROR(
+          rebuild_bound(rect_bound->ub, tz.cross_var, nullptr));
+    }
+    tri->lb.add_term(band_lo);
+  } else {
+    // Rectangle above the band: k in [band_hi, ub).
+    if (rect.get() == rect_bound) {
+      std::vector<AffineExpr> kept;
+      for (const AffineExpr& t : rect->lb.terms()) {
+        if (!t.depends_on(tz.cross_var)) kept.push_back(t);
+      }
+      kept.push_back(band_hi);
+      rect->lb = Bound::min_of(std::move(kept));
+    } else {
+      rect->lb = Bound(band_hi);
+      OA_RETURN_IF_ERROR(
+          rebuild_bound(rect_bound->lb, tz.cross_var, nullptr));
+    }
+    tri->ub.add_term(band_hi);
+  }
+
+  // Order the pieces so iterations still execute in increasing k:
+  // rectangle first for lower-triangular shapes, trapezoid first for
+  // upper ones (required for TRSM's in-block solve order).
+  std::vector<NodePtr>& parent = *loc.parent_body;
+  parent.erase(parent.begin() + static_cast<long>(loc.index));
+  if (tz.cross_in_ub) {
+    parent.insert(parent.begin() + static_cast<long>(loc.index),
+                  std::move(tri));
+    parent.insert(parent.begin() + static_cast<long>(loc.index),
+                  std::move(rect));
+  } else {
+    parent.insert(parent.begin() + static_cast<long>(loc.index),
+                  std::move(rect));
+    parent.insert(parent.begin() + static_cast<long>(loc.index),
+                  std::move(tri));
+  }
+  return Status::ok();
+}
+
+Status padding_triangular(ir::Program& program, const std::string& array,
+                          const TransformContext& ctx) {
+  (void)ctx;
+  (void)array;
+  Kernel& kernel = program.main_kernel();
+  OA_ASSIGN_OR_RETURN(Trapezoid tz, detect_trapezoid(kernel));
+
+  ir::LoopLocation loc = ir::locate_loop(kernel.body, tz.split_loop->label);
+  if (loc.loop != tz.split_loop) {
+    return internal_error("padding_triangular lost the split loop");
+  }
+  const std::string bound_label = tz.bound_loop->label;
+
+  // Padded version: uniform bounds (cross terms replaced by the block
+  // band edge). The extra iterations multiply by the blank (zero) area
+  // of X.
+  NodePtr padded = tz.split_loop->clone();
+  Node* padded_bound = padded->label == bound_label
+                           ? padded.get()
+                           : ir::find_loop(padded->body, bound_label);
+  if (padded_bound == nullptr) {
+    return internal_error("padding: bound loop missing");
+  }
+  if (tz.cross_in_ub) {
+    // Pad k up to the block band edge (uniform across threads), never
+    // past the cross axis's full range (boundary blocks).
+    const AffineExpr band_hi = tz.block_base + tz.block_extent;
+    const AffineExpr* extra =
+        padded_bound == padded.get() ? &band_hi : nullptr;
+    OA_RETURN_IF_ERROR(
+        rebuild_bound(padded_bound->ub, tz.cross_var, extra));
+    auto it = kernel.tiling.find(tz.cross_var);
+    if (it != kernel.tiling.end() &&
+        !(it->second.axis_extent == AffineExpr())) {
+      padded_bound->ub.add_term(it->second.axis_extent);
+    }
+  } else {
+    const AffineExpr* extra =
+        padded_bound == padded.get() ? &tz.block_base : nullptr;
+    OA_RETURN_IF_ERROR(
+        rebuild_bound(padded_bound->lb, tz.cross_var, extra));
+  }
+
+  // Unpadded fallback keeps the original loop (relabeled for
+  // uniqueness).
+  NodePtr original = std::move((*loc.parent_body)[loc.index]);
+  relabel_subtree(*original, "_np");
+
+  // Multi-versioned code on the runtime blank_zero flag:
+  //   if (blank_zero) { padded } else { original }.
+  if (!program.has_bool_param("blank_zero")) {
+    program.bool_params.push_back("blank_zero");
+  }
+  std::vector<NodePtr> then_body;
+  then_body.push_back(std::move(padded));
+  std::vector<NodePtr> else_body;
+  else_body.push_back(std::move(original));
+  auto guard = ir::make_if({}, std::move(then_body), std::move(else_body));
+  guard->bool_param = "blank_zero";
+  (*loc.parent_body)[loc.index] = std::move(guard);
+  return Status::ok();
+}
+
+Status binding_triangular(ir::Program& program, const std::string& array,
+                          int thread, const TransformContext& ctx) {
+  (void)ctx;
+  (void)array;
+  Kernel& kernel = program.main_kernel();
+  if (thread != 0) {
+    return unimplemented("binding_triangular supports thread 0 only");
+  }
+  // Requires a peeled trapezoid (a loop with the _tri suffix) sitting
+  // at thread-uniform level: binding wraps it in a barrier + single-
+  // thread guard, which is only legal when every thread reaches it the
+  // same number of times.
+  auto divergent = [&](const Node& l) {
+    for (const auto& [var, t] : kernel.tiling) {
+      if (t.thread_var.empty()) continue;
+      if (l.lb.depends_on(t.thread_var) || l.ub.depends_on(t.thread_var)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ir::LoopLocation loc{};
+  bool found_divergent = false;
+  {
+    std::function<ir::LoopLocation(std::vector<NodePtr>&, bool)> search =
+        [&](std::vector<NodePtr>& body, bool div) -> ir::LoopLocation {
+      for (size_t i = 0; i < body.size(); ++i) {
+        Node& n = *body[i];
+        if (n.is_loop() && ends_with(n.label, "_tri")) {
+          if (div) {
+            found_divergent = true;
+            continue;
+          }
+          return {&body, i, &n};
+        }
+        const bool sub_div =
+            div || (n.is_loop() && n.map == ir::LoopMap::kNone &&
+                    divergent(n)) ||
+            (n.is_if() && (!n.conds.empty() || !n.bool_param.empty()));
+        for (auto* sub : {&n.body, &n.then_body, &n.else_body}) {
+          ir::LoopLocation r = search(*sub, sub_div);
+          if (r.loop != nullptr) return r;
+        }
+      }
+      return {};
+    };
+    loc = search(kernel.body, false);
+  }
+  if (loc.loop == nullptr) {
+    if (found_divergent) {
+      return failed_precondition(
+          "binding_triangular: trapezoid is under divergent control flow "
+          "(apply loop_tiling before peel_triangular)");
+    }
+    return failed_precondition(
+        "binding_triangular requires peel_triangular first");
+  }
+
+  // Widen thread-partitioned point loops in the trapezoid to the whole
+  // block tile: the bound thread walks every row/column of the block.
+  ir::walk(loc.loop->body, [&](Node& n) {
+    if (!n.is_loop()) return true;
+    auto it = kernel.tiling.find(n.var);
+    if (it == kernel.tiling.end() || it->second.thread_extent == 0) {
+      return true;
+    }
+    const VarTiling& t = it->second;
+    std::vector<AffineExpr> ub_terms;
+    for (const AffineExpr& term : n.ub.terms()) {
+      if (!term.depends_on(t.thread_var) && !term.depends_on(t.block_var)) {
+        ub_terms.push_back(term);  // e.g. the M clamp
+      }
+    }
+    ub_terms.push_back(t.block_base + t.block_extent);
+    n.lb = Bound(t.block_base);
+    n.ub = Bound::min_of(std::move(ub_terms));
+    return true;
+  });
+  // The trapezoid loop itself may also be thread-widened (untiled case
+  // where the _tri loop is the k loop): handled above only for nested
+  // loops, so repeat for the root.
+  {
+    Node& n = *loc.loop;
+    auto it = kernel.tiling.find(n.var);
+    if (it != kernel.tiling.end() && it->second.thread_extent > 0) {
+      const VarTiling& t = it->second;
+      n.lb = Bound(t.block_base);
+      n.ub = Bound::min_of({n.ub.terms()[0], t.block_base + t.block_extent});
+    }
+  }
+
+  // Guard with threadIdx == 0 and fence with barriers on both sides.
+  std::vector<Pred> preds;
+  for (const auto& [var, t] : kernel.tiling) {
+    if (t.thread_extent > 0 && !t.thread_var.empty()) {
+      preds.push_back(Pred{AffineExpr::sym(t.thread_var), Pred::Op::kEq});
+    }
+  }
+  NodePtr tri = std::move((*loc.parent_body)[loc.index]);
+  std::vector<NodePtr> body;
+  body.push_back(std::move(tri));
+  auto guard = ir::make_if(std::move(preds), std::move(body));
+  (*loc.parent_body)[loc.index] = std::move(guard);
+  (*loc.parent_body)
+      .insert(loc.parent_body->begin() + static_cast<long>(loc.index),
+              ir::make_sync());
+  loc.parent_body->insert(
+      loc.parent_body->begin() + static_cast<long>(loc.index + 2),
+      ir::make_sync());
+  return Status::ok();
+}
+
+}  // namespace oa::transforms

@@ -1,0 +1,313 @@
+#include "tuner/tuner.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace oa::tuner {
+
+using blas3::Variant;
+using composer::Candidate;
+using gpusim::RunOptions;
+using transforms::TransformContext;
+using transforms::TuningParams;
+
+const ParameterSpace& ParameterSpace::default_space() {
+  static const ParameterSpace space = [] {
+    ParameterSpace s;
+    s.block_shapes = {{64, 16}, {32, 32}, {64, 32}, {32, 16}, {16, 16},
+                      {64, 64}};
+    s.thread_shapes = {{64, 1}, {32, 1}, {16, 1}, {16, 4}, {8, 8},
+                       {16, 16}};
+    s.k_tiles = {8, 16, 32};
+    s.unrolls = {1, 4, 16};
+    return s;
+  }();
+  return space;
+}
+
+size_t ParameterSpace::total_points() const {
+  return block_shapes.size() * thread_shapes.size() * k_tiles.size() *
+         unrolls.size();
+}
+
+std::map<std::string, bool> bools_for(const Candidate& c) {
+  std::map<std::string, bool> out;
+  for (const std::string& cond : c.conditions) {
+    // "blank(X).zero = true" enables the padded version; the benches
+    // guarantee the blank triangle is stored as zeros.
+    if (cond.find(".zero") != std::string::npos) out["blank_zero"] = true;
+  }
+  return out;
+}
+
+namespace {
+
+/// Build the problem-size bindings for an n x n problem.
+ir::Env params_for(const Variant& v, int64_t n) {
+  if (v.family == blas3::Family::kGemm ||
+      v.family == blas3::Family::kSyrk) {
+    return {{"M", n}, {"N", n}, {"K", n}};
+  }
+  return {{"M", n}, {"N", n}};
+}
+
+/// Valid (params, variant) combinations only: thread shapes must divide
+/// the block shape.
+bool compatible(const TuningParams& p) { return p.check().is_ok(); }
+
+}  // namespace
+
+Status verify_program(const gpusim::Simulator& sim, const Variant& variant,
+                      const ir::Program& program, int64_t n,
+                      const std::map<std::string, bool>& bool_params) {
+  Rng rng(0xC0FFEE ^ static_cast<uint64_t>(n));
+  blas3::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  if (variant.family == blas3::Family::kTrmm ||
+      variant.family == blas3::Family::kTrsm ||
+      variant.family == blas3::Family::kSymm) {
+    a.make_triangular(variant.uplo);
+  }
+  if (variant.family == blas3::Family::kTrsm) {
+    a.set_unit_diagonal();
+    // Keep the solve well-conditioned so the absolute tolerance holds.
+    a.scale_off_diagonal(1.0f / 16.0f);
+  }
+
+  RunOptions opts;
+  opts.int_params = params_for(variant, n);
+  opts.bool_params = bool_params;
+  gpusim::GlobalBuffers buffers = gpusim::make_buffers(
+      program, opts.int_params, {{"A", &a}, {"B", &b}, {"C", &c}});
+  auto run = sim.run_functional(program, opts, buffers);
+  OA_RETURN_IF_ERROR(run.status());
+
+  blas3::Matrix ref_b = b;
+  blas3::Matrix ref_c = c;
+  blas3::run_reference(variant, a, ref_b, &ref_c);
+  const char* out_name = blas3::output_array(variant);
+  blas3::Matrix out(n, n);
+  OA_RETURN_IF_ERROR(
+      gpusim::read_back(buffers, program, opts.int_params, out_name, out));
+  const blas3::Matrix& expected =
+      variant.family == blas3::Family::kTrsm ? ref_b : ref_c;
+  const float err = blas3::max_abs_diff(out, expected);
+  if (err > blas3::accumulation_tolerance(n)) {
+    return illegal(str_format("functional verification failed: err=%g",
+                              static_cast<double>(err)));
+  }
+  return Status::ok();
+}
+
+StatusOr<TunedVariant> Tuner::evaluate(
+    const Variant& variant, const Candidate& candidate,
+    const TuningParams& params, std::set<uint64_t>* verified_masks) const {
+  if (!compatible(params)) {
+    return failed_precondition("incompatible tuning parameters");
+  }
+  TransformContext ctx;
+  ctx.params = params;
+  ir::Program program = blas3::make_source_program(variant);
+  OA_ASSIGN_OR_RETURN(
+      uint64_t applied,
+      epod::apply_script_lenient(program, candidate.script, ctx));
+  if (applied == 0) {
+    return failed_precondition("no component of the script applied");
+  }
+  const std::map<std::string, bool> bools = bools_for(candidate);
+
+  // Re-verify whenever this parameter point degenerated the script into
+  // a component set not seen before (a dropped peel/binding changes the
+  // kernel's semantics, not just its speed).
+  const bool need_verify =
+      verified_masks == nullptr || !verified_masks->contains(applied);
+  if (need_verify && options_.verify_size > 0) {
+    OA_RETURN_IF_ERROR(verify_program(sim_, variant, program,
+                                      options_.verify_size, bools));
+    if (verified_masks != nullptr) verified_masks->insert(applied);
+  }
+
+  RunOptions opts = options_.run_options;
+  opts.int_params = params_for(variant, options_.target_size);
+  opts.bool_params = bools;
+  OA_ASSIGN_OR_RETURN(gpusim::RunResult perf,
+                      sim_.run_performance(program, opts));
+
+  TunedVariant out;
+  out.candidate = candidate;
+  out.params = params;
+  out.applied_mask = applied;
+  out.program = std::move(program);
+  out.seconds = perf.seconds;
+  out.counters = perf.counters;
+  out.gflops = perf.gflops(blas3::nominal_flops(
+      variant, options_.target_size, options_.target_size,
+      options_.target_size));
+  return out;
+}
+
+StatusOr<TunedVariant> Tuner::line_search(const Variant& variant,
+                                          const Candidate& candidate) const {
+  const ParameterSpace& space = ParameterSpace::default_space();
+  TuningParams cur;
+  cur.block_tile_y = 64;
+  cur.block_tile_x = 16;
+  cur.threads_y = 64;
+  cur.threads_x = 1;
+  cur.k_tile = 16;
+  cur.unroll = 4;
+
+  std::optional<TunedVariant> best;
+  std::set<uint64_t> verified_masks;
+  std::set<std::string> tried;
+  auto try_point = [&](const TuningParams& p) {
+    if (!tried.insert(p.to_string()).second) return Status::ok();
+    auto result = evaluate(variant, candidate, p, &verified_masks);
+    if (!result.is_ok()) {
+      // A point whose degenerated kernel fails verification is skipped;
+      // other parameter points of the same script may still be valid.
+      return Status::ok();
+    }
+    if (!best || result->seconds < best->seconds) {
+      best = std::move(result).value();
+      cur = best->params;
+    }
+    return Status::ok();
+  };
+
+  OA_RETURN_IF_ERROR(try_point(cur));
+  // One round of orthogonal line search over the four axes (the probe
+  // stage already seeded `cur` near the optimum; a second round is
+  // available through TuneOptions::exhaustive for the ablation bench).
+  for (int round = 0; round < 1; ++round) {
+    for (const auto& [bty, btx] : space.block_shapes) {
+      TuningParams p = cur;
+      p.block_tile_y = bty;
+      p.block_tile_x = btx;
+      // Keep the thread shape feasible.
+      p.threads_y = std::min(p.threads_y, bty);
+      p.threads_x = std::min(p.threads_x, btx);
+      OA_RETURN_IF_ERROR(try_point(p));
+    }
+    for (const auto& [ty, tx] : space.thread_shapes) {
+      TuningParams p = cur;
+      p.threads_y = ty;
+      p.threads_x = tx;
+      OA_RETURN_IF_ERROR(try_point(p));
+    }
+    for (int64_t kt : space.k_tiles) {
+      TuningParams p = cur;
+      p.k_tile = kt;
+      OA_RETURN_IF_ERROR(try_point(p));
+    }
+    for (int u : space.unrolls) {
+      TuningParams p = cur;
+      p.unroll = u;
+      OA_RETURN_IF_ERROR(try_point(p));
+    }
+  }
+  if (!best) {
+    return failed_precondition("no feasible parameter point");
+  }
+  return *std::move(best);
+}
+
+StatusOr<TunedVariant> Tuner::sweep(const Variant& variant,
+                                    const Candidate& candidate) const {
+  const ParameterSpace& space = ParameterSpace::default_space();
+  std::optional<TunedVariant> best;
+  std::set<uint64_t> verified_masks;
+  for (const auto& [bty, btx] : space.block_shapes) {
+    for (const auto& [ty, tx] : space.thread_shapes) {
+      for (int64_t kt : space.k_tiles) {
+        for (int u : space.unrolls) {
+          TuningParams p;
+          p.block_tile_y = bty;
+          p.block_tile_x = btx;
+          p.threads_y = ty;
+          p.threads_x = tx;
+          p.k_tile = kt;
+          p.unroll = u;
+          if (!compatible(p)) continue;
+          auto result = evaluate(variant, candidate, p, &verified_masks);
+          if (!result.is_ok()) continue;
+          if (!best || result->seconds < best->seconds) {
+            best = std::move(result).value();
+          }
+        }
+      }
+    }
+  }
+  if (!best) return failed_precondition("no feasible parameter point");
+  return *std::move(best);
+}
+
+StatusOr<TunedVariant> Tuner::tune(
+    const Variant& variant,
+    const std::vector<Candidate>& candidates) const {
+  // Stage 1: score every candidate script at the default parameter
+  // point (verifying each functionally once); stage 2: full parameter
+  // search on the most promising scripts only.
+  TuningParams probe;
+  probe.block_tile_y = 64;
+  probe.block_tile_x = 16;
+  probe.threads_y = 64;
+  probe.threads_x = 1;
+  probe.k_tile = 16;
+  probe.unroll = 4;
+
+  struct Scored {
+    const Candidate* candidate;
+    double seconds;
+  };
+  std::vector<Scored> scored;
+  Status last_error = Status::ok();
+  for (const Candidate& candidate : candidates) {
+    auto result = evaluate(variant, candidate, probe, nullptr);
+    if (!result.is_ok()) {
+      last_error = result.status();
+      OA_LOG(kDebug) << variant.name() << ": candidate rejected ("
+                     << last_error.to_string() << ")";
+      continue;
+    }
+    scored.push_back({&candidate, result->seconds});
+  }
+  if (scored.empty()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "no candidate for " + variant.name() + " survived (" +
+                      last_error.to_string() + ")");
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.seconds < b.seconds;
+            });
+  const size_t searched = std::min<size_t>(scored.size(), 2);
+
+  std::optional<TunedVariant> best;
+  for (size_t i = 0; i < searched; ++i) {
+    auto result = options_.exhaustive
+                      ? sweep(variant, *scored[i].candidate)
+                      : line_search(variant, *scored[i].candidate);
+    if (!result.is_ok()) continue;
+    if (!best || result->seconds < best->seconds) {
+      best = std::move(result).value();
+    }
+  }
+  if (!best) {
+    return failed_precondition("parameter search failed for " +
+                               variant.name());
+  }
+  OA_LOG(kInfo) << variant.name() << ": best " << best->gflops
+                << " GFLOPS with " << best->params.to_string();
+  return *std::move(best);
+}
+
+}  // namespace oa::tuner

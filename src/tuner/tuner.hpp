@@ -1,0 +1,112 @@
+// The search stage of the OA framework (paper §II: "Our OA framework
+// will generate a set of code variants according to the composed EPOD
+// scripts obtained. The best among the set is searched for.
+// Optimization parameters, such as tile size, are automatically tuned
+// with the method in [4]").
+//
+// For every candidate script the tuner:
+//   1. re-applies the script (filter semantics) to the routine source;
+//   2. verifies the variant *functionally* against the CPU reference at
+//      a small problem size — candidates whose degenerated sequence is
+//      no longer semantics-preserving (e.g. a Solver sequence that lost
+//      binding_triangular) are rejected here, playing the role of the
+//      paper's final PolyDeps legality check;
+//   3. estimates performance at the target size on the simulator.
+// Tile/thread/unroll parameters are tuned per script with orthogonal
+// line search (the method of Tiwari et al. [4]) over a curated
+// parameter grid; an exhaustive sweep is available for the ablation
+// bench.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "blas3/routine.hpp"
+#include "composer/composer.hpp"
+#include "gpusim/simulator.hpp"
+
+namespace oa::tuner {
+
+struct TuneOptions {
+  /// Problem size used for the performance estimate.
+  int64_t target_size = 1024;
+  /// Problem size for functional verification (0 disables — only for
+  /// benches that re-verify elsewhere).
+  int64_t verify_size = 72;
+  /// Use exhaustive parameter sweep instead of orthogonal line search.
+  bool exhaustive = false;
+  /// Extra simulator knobs.
+  gpusim::RunOptions run_options;
+};
+
+struct TunedVariant {
+  composer::Candidate candidate;
+  transforms::TuningParams params;
+  ir::Program program;      // transformed, ready to simulate
+  double seconds = 0.0;     // at target_size
+  double gflops = 0.0;
+  gpusim::Counters counters;
+  /// Which script invocations applied under `params` (filter
+  /// semantics): parameter points with different masks are different
+  /// kernels.
+  uint64_t applied_mask = 0;
+};
+
+/// Parameter axes explored by the search.
+struct ParameterSpace {
+  std::vector<std::pair<int64_t, int64_t>> block_shapes;  // (bty, btx)
+  std::vector<std::pair<int64_t, int64_t>> thread_shapes; // (ty, tx)
+  std::vector<int64_t> k_tiles;
+  std::vector<int> unrolls;
+
+  /// Default space: Volkov-style skinny shapes through square 2-D
+  /// blocks.
+  static const ParameterSpace& default_space();
+  size_t total_points() const;
+};
+
+class Tuner {
+ public:
+  Tuner(const gpusim::Simulator& simulator, TuneOptions options)
+      : sim_(simulator), options_(std::move(options)) {}
+
+  /// Tune one candidate set for a routine; returns the best verified
+  /// variant. Fails when no candidate both verifies and launches.
+  StatusOr<TunedVariant> tune(const blas3::Variant& variant,
+                              const std::vector<composer::Candidate>&
+                                  candidates) const;
+
+  /// Evaluate one (candidate, params) point: apply + verify + time.
+  /// `verified_masks` (optional) caches applied-component masks that
+  /// already passed functional verification; a point whose degenerated
+  /// script matches a verified mask skips re-verification. Exposed for
+  /// the ablation benches.
+  StatusOr<TunedVariant> evaluate(
+      const blas3::Variant& variant, const composer::Candidate& candidate,
+      const transforms::TuningParams& params,
+      std::set<uint64_t>* verified_masks = nullptr) const;
+
+ private:
+  StatusOr<TunedVariant> line_search(const blas3::Variant& variant,
+                                     const composer::Candidate& candidate)
+      const;
+  StatusOr<TunedVariant> sweep(const blas3::Variant& variant,
+                               const composer::Candidate& candidate) const;
+
+  const gpusim::Simulator& sim_;
+  TuneOptions options_;
+};
+
+/// Functional verification helper shared with tests/benches: run
+/// `program` at size (n x n) and compare against the CPU reference.
+Status verify_program(const gpusim::Simulator& sim,
+                      const blas3::Variant& variant,
+                      const ir::Program& program, int64_t n,
+                      const std::map<std::string, bool>& bool_params);
+
+/// Runtime bool parameters implied by adaptor conditions ("blank(A)
+/// .zero = true" -> blank_zero = true).
+std::map<std::string, bool> bools_for(const composer::Candidate& c);
+
+}  // namespace oa::tuner

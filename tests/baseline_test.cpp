@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hpp"
+#include "blas3/routine.hpp"
+#include "gpusim/simulator.hpp"
+#include "ir/validate.hpp"
+#include "tuner/tuner.hpp"
+
+namespace oa::baseline {
+namespace {
+
+using blas3::Variant;
+
+// Every CUBLAS-like baseline must be numerically correct: it is the
+// denominator of every figure.
+class CublasBaseline : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(CublasBaseline, BuildsValidatesAndVerifies) {
+  const Variant& v = GetParam();
+  auto program = cublas_like(v, gpusim::gtx285());
+  ASSERT_TRUE(program.is_ok()) << v.name() << ": "
+                               << program.status().to_string();
+  Status valid = ir::validate(*program);
+  EXPECT_TRUE(valid.is_ok()) << v.name() << ": " << valid.to_string();
+
+  gpusim::Simulator sim(gpusim::gtx285());
+  Status verified = tuner::verify_program(sim, v, *program, 48, {});
+  EXPECT_TRUE(verified.is_ok()) << v.name() << ": " << verified.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All24, CublasBaseline, ::testing::ValuesIn(blas3::all_variants()),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string n = info.param.name();
+      for (char& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+TEST(MagmaBaseline, OnlyOnGtx285) {
+  const Variant gemm = *blas3::find_variant("GEMM-NN");
+  EXPECT_TRUE(magma_like(gemm, gpusim::gtx285()).is_ok());
+  EXPECT_EQ(magma_like(gemm, gpusim::geforce_9800()).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(magma_like(gemm, gpusim::fermi_c2050()).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(MagmaBaseline, NoSymmOrTrmm) {
+  // "SYMM and TRMM variants are not compared due to their absence in
+  // MAGMA library" (paper §V-A).
+  EXPECT_EQ(magma_like(*blas3::find_variant("SYMM-LL"), gpusim::gtx285())
+                .status()
+                .code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(magma_like(*blas3::find_variant("TRMM-LL-N"), gpusim::gtx285())
+                .status()
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(MagmaBaseline, GemmAndTrsmVerify) {
+  gpusim::Simulator sim(gpusim::gtx285());
+  for (const char* name : {"GEMM-NN", "GEMM-TN", "TRSM-LL-N", "TRSM-RU-N"}) {
+    const Variant v = *blas3::find_variant(name);
+    auto program = magma_like(v, gpusim::gtx285());
+    ASSERT_TRUE(program.is_ok()) << name;
+    Status verified = tuner::verify_program(sim, v, *program, 48, {});
+    EXPECT_TRUE(verified.is_ok()) << name << ": " << verified.to_string();
+  }
+}
+
+TEST(BaselineShape, SymmSlowerThanGemmOnEveryDevice) {
+  // The paper's motivating observation: CUBLAS SYMM is far below CUBLAS
+  // GEMM (420 vs 155 GFLOPS on GTX285).
+  for (const gpusim::DeviceModel* dev : gpusim::all_devices()) {
+    gpusim::Simulator sim(*dev);
+    auto measure = [&](const char* name) -> double {
+      const Variant v = *blas3::find_variant(name);
+      auto program = cublas_like(v, *dev);
+      if (!program.is_ok()) return 0.0;
+      gpusim::RunOptions opts;
+      opts.int_params = v.family == blas3::Family::kGemm
+                            ? ir::Env{{"M", 1024}, {"N", 1024}, {"K", 1024}}
+                            : ir::Env{{"M", 1024}, {"N", 1024}};
+      auto r = sim.run_performance(*program, opts);
+      if (!r.is_ok()) return 0.0;
+      return r->gflops(blas3::nominal_flops(v, 1024, 1024, 1024));
+    };
+    const double gemm = measure("GEMM-NN");
+    const double symm = measure("SYMM-LL");
+    EXPECT_GT(gemm, symm * 1.5) << dev->name;
+  }
+}
+
+TEST(BaselineShape, SymmHasIncoherentLoadsOnlyOnStrictDevice) {
+  // Table I vs Table II: the CC 1.0 device serializes the mixed-mode
+  // SYMM reads (gld_incoherent > 0); CC 1.3 coalesces them into
+  // segments (gld_incoherent == 0).
+  const Variant v = *blas3::find_variant("SYMM-LL");
+  auto run = [&](const gpusim::DeviceModel& dev) {
+    auto program = cublas_like(v, dev);
+    gpusim::Simulator sim(dev);
+    gpusim::RunOptions opts;
+    opts.int_params = {{"M", 512}, {"N", 512}};
+    auto r = sim.run_performance(*program, opts);
+    return r->counters;
+  };
+  EXPECT_GT(run(gpusim::geforce_9800()).gld_incoherent, 0);
+  EXPECT_EQ(run(gpusim::gtx285()).gld_incoherent, 0);
+}
+
+}  // namespace
+}  // namespace oa::baseline

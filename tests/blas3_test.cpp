@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "blas3/matrix.hpp"
+#include "blas3/reference.hpp"
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "support/rng.hpp"
+
+namespace oa::blas3 {
+namespace {
+
+// ---------------------------------------------------------------- catalog
+
+TEST(Catalog, Has24Variants) {
+  EXPECT_EQ(all_variants().size(), 24u);
+}
+
+TEST(Catalog, NamesMatchPaperStyle) {
+  std::vector<std::string> names;
+  for (const auto& v : all_variants()) names.push_back(v.name());
+  EXPECT_NE(std::find(names.begin(), names.end(), "GEMM-NN"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "GEMM-TN"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "SYMM-LL"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "TRMM-LL-N"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "TRSM-LL-N"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "TRSM-RU-T"), names.end());
+}
+
+TEST(Catalog, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& v : all_variants()) {
+    EXPECT_TRUE(names.insert(v.name()).second) << v.name();
+  }
+}
+
+TEST(Catalog, FindVariantRoundTrips) {
+  for (const auto& v : all_variants()) {
+    const Variant* found = find_variant(v.name());
+    ASSERT_NE(found, nullptr) << v.name();
+    EXPECT_EQ(*found, v);
+  }
+  EXPECT_EQ(find_variant("GEMM-XX"), nullptr);
+}
+
+TEST(Catalog, NominalFlops) {
+  Variant gemm = *find_variant("GEMM-NN");
+  EXPECT_DOUBLE_EQ(nominal_flops(gemm, 64, 32, 16), 2.0 * 64 * 32 * 16);
+  Variant symm = *find_variant("SYMM-LL");
+  EXPECT_DOUBLE_EQ(nominal_flops(symm, 64, 32, 0), 2.0 * 64 * 32 * 64);
+  Variant trsm = *find_variant("TRSM-RL-N");
+  EXPECT_DOUBLE_EQ(nominal_flops(trsm, 64, 32, 0), 64.0 * 32 * 32);
+}
+
+// ----------------------------------------------------------------- matrix
+
+TEST(MatrixHelper, TriangularZeroesBlank) {
+  Rng rng(1);
+  Matrix a(8, 8);
+  a.fill_random(rng);
+  a.make_triangular(Uplo::kLower);
+  for (int64_t c = 0; c < 8; ++c) {
+    for (int64_t r = 0; r < c; ++r) EXPECT_EQ(a.at(r, c), 0.0f);
+  }
+  EXPECT_NE(a.at(5, 2), 0.0f);
+}
+
+TEST(MatrixHelper, SymmetricMirror) {
+  Rng rng(2);
+  Matrix a(6, 6);
+  a.fill_random(rng);
+  a.make_symmetric_from(Uplo::kLower);
+  for (int64_t c = 0; c < 6; ++c) {
+    for (int64_t r = 0; r < 6; ++r) EXPECT_EQ(a.at(r, c), a.at(c, r));
+  }
+}
+
+TEST(MatrixHelper, UnitDiagonal) {
+  Matrix a(4, 4);
+  a.set_unit_diagonal();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(a.at(i, i), 1.0f);
+}
+
+TEST(MatrixHelper, MaxAbsDiff) {
+  Matrix a(2, 2), b(2, 2);
+  b.at(1, 0) = 0.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+}
+
+// ------------------------------------------------------------- references
+
+constexpr int64_t kM = 13, kN = 9;
+
+struct Problem {
+  Matrix a, b, c;
+};
+
+Problem make_problem(const Variant& v, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t dim = v.side == Side::kLeft ? kM : kN;
+  Problem p;
+  switch (v.family) {
+    case Family::kGemm: {
+      const int64_t kk = 7;
+      p.a = Matrix(v.trans_a == Trans::kN ? kM : kk,
+                   v.trans_a == Trans::kN ? kk : kM);
+      p.b = Matrix(v.trans_b == Trans::kN ? kk : kN,
+                   v.trans_b == Trans::kN ? kN : kk);
+      break;
+    }
+    default:
+      p.a = Matrix(dim, dim);
+      p.b = Matrix(kM, kN);
+      break;
+  }
+  p.a.fill_random(rng);
+  p.b.fill_random(rng);
+  if (v.family == Family::kTrmm || v.family == Family::kTrsm) {
+    p.a.make_triangular(v.uplo);
+  }
+  if (v.family == Family::kTrsm) p.a.set_unit_diagonal();
+  p.c = Matrix(kM, kN);
+  return p;
+}
+
+TEST(Reference, GemmNnIdentity) {
+  // A = I  =>  C = B.
+  Variant v = *find_variant("GEMM-NN");
+  Matrix a(4, 4);
+  a.set_unit_diagonal();
+  Rng rng(3);
+  Matrix b(4, 5);
+  b.fill_random(rng);
+  Matrix c(4, 5);
+  run_reference(v, a, b, &c);
+  EXPECT_LT(max_abs_diff(c, b), 1e-6f);
+}
+
+TEST(Reference, GemmTransposesAgree) {
+  // GEMM-TN with A' = A^T equals GEMM-NN with A.
+  Rng rng(4);
+  Matrix a(kM, 7), b(7, kN);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Matrix at(7, kM);
+  for (int64_t r = 0; r < kM; ++r) {
+    for (int64_t c = 0; c < 7; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Matrix c1(kM, kN), c2(kM, kN);
+  run_reference(*find_variant("GEMM-NN"), a, b, &c1);
+  run_reference(*find_variant("GEMM-TN"), at, b, &c2);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-5f);
+}
+
+TEST(Reference, GemmNtAgrees) {
+  Rng rng(5);
+  Matrix a(kM, 7), b(7, kN);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Matrix bt(kN, 7);
+  for (int64_t r = 0; r < 7; ++r) {
+    for (int64_t c = 0; c < kN; ++c) bt.at(c, r) = b.at(r, c);
+  }
+  Matrix c1(kM, kN), c2(kM, kN);
+  run_reference(*find_variant("GEMM-NN"), a, b, &c1);
+  run_reference(*find_variant("GEMM-NT"), a, bt, &c2);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-5f);
+}
+
+class SymmVsGemm : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SymmVsGemm, MatchesExplicitSymmetricGemm) {
+  const Variant v = *find_variant(GetParam());
+  Problem p = make_problem(v, 10);
+  // Explicitly symmetrize A and compute with GEMM.
+  Matrix full = p.a;
+  full.make_symmetric_from(v.uplo);
+  Matrix expected(kM, kN);
+  if (v.side == Side::kLeft) {
+    Variant g = *find_variant("GEMM-NN");
+    run_reference(g, full, p.b, &expected);
+  } else {
+    Variant g = *find_variant("GEMM-NN");
+    run_reference(g, p.b, full, &expected);
+  }
+  run_reference(v, p.a, p.b, &p.c);
+  EXPECT_LT(max_abs_diff(p.c, expected), accumulation_tolerance(kM + kN));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSymm, SymmVsGemm,
+                         ::testing::Values("SYMM-LL", "SYMM-LU", "SYMM-RL",
+                                           "SYMM-RU"));
+
+class TrmmVsGemm : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TrmmVsGemm, MatchesGemmOnTriangularMatrix) {
+  const Variant v = *find_variant(GetParam());
+  Problem p = make_problem(v, 20);
+  // A is already zeroed outside its triangle, so op(A)*B via GEMM is the
+  // same computation.
+  Matrix opa = p.a;
+  if (v.trans == Trans::kT) {
+    const int64_t d = p.a.rows();
+    Matrix t(d, d);
+    for (int64_t r = 0; r < d; ++r) {
+      for (int64_t c = 0; c < d; ++c) t.at(c, r) = p.a.at(r, c);
+    }
+    opa = t;
+  }
+  Matrix expected(kM, kN);
+  Variant g = *find_variant("GEMM-NN");
+  if (v.side == Side::kLeft) {
+    run_reference(g, opa, p.b, &expected);
+  } else {
+    run_reference(g, p.b, opa, &expected);
+  }
+  run_reference(v, p.a, p.b, &p.c);
+  EXPECT_LT(max_abs_diff(p.c, expected), accumulation_tolerance(kM + kN));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrmm, TrmmVsGemm,
+                         ::testing::Values("TRMM-LL-N", "TRMM-LL-T",
+                                           "TRMM-LU-N", "TRMM-LU-T",
+                                           "TRMM-RL-N", "TRMM-RL-T",
+                                           "TRMM-RU-N", "TRMM-RU-T"));
+
+class TrsmInverse : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TrsmInverse, SolveThenMultiplyRecoversRhs) {
+  const Variant v = *find_variant(GetParam());
+  Problem p = make_problem(v, 30);
+  const Matrix b0 = p.b;
+  run_reference(v, p.a, p.b, nullptr);  // p.b now holds X
+  // op(A) * X (or X * op(A)) must equal b0. Unit-diagonal A: TRMM with
+  // the explicit unit diagonal stored gives the full product.
+  Variant mult = v;
+  mult.family = Family::kTrmm;
+  Matrix recovered(kM, kN);
+  run_reference(mult, p.a, p.b, &recovered);
+  EXPECT_LT(max_abs_diff(recovered, b0), accumulation_tolerance(kM + kN));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrsm, TrsmInverse,
+                         ::testing::Values("TRSM-LL-N", "TRSM-LL-T",
+                                           "TRSM-LU-N", "TRSM-LU-T",
+                                           "TRSM-RL-N", "TRSM-RL-T",
+                                           "TRSM-RU-N", "TRSM-RU-T"));
+
+// -------------------------------------------------------------- source IR
+
+class SourceIr : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(SourceIr, ValidatesStructurally) {
+  ir::Program p = make_source_program(GetParam());
+  oa::Status s = ir::validate(p);
+  EXPECT_TRUE(s.is_ok()) << GetParam().name() << ": " << s.to_string();
+  EXPECT_EQ(p.kernels.size(), 1u);
+  EXPECT_NE(p.main_kernel().find("Li"), nullptr);
+  EXPECT_NE(p.main_kernel().find("Lj"), nullptr);
+  EXPECT_NE(p.main_kernel().find("Lk"), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All24, SourceIr, ::testing::ValuesIn(all_variants()),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string n = info.param.name();
+      for (char& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+TEST(SourceIr, GemmNnMatchesPaperListing) {
+  ir::Program p = make_source_program(*find_variant("GEMM-NN"));
+  std::string s = ir::to_string(p);
+  EXPECT_NE(s.find("Li: for (i = 0; i < M; i++)"), std::string::npos) << s;
+  EXPECT_NE(s.find("Lk: for (k = 0; k < K; k++)"), std::string::npos);
+  EXPECT_NE(s.find("C[i][j] += A[i][k] * B[k][j];"), std::string::npos);
+}
+
+TEST(SourceIr, SymmLlHasRealShadowAndDiagonal) {
+  ir::Program p = make_source_program(*find_variant("SYMM-LL"));
+  std::string s = ir::to_string(p);
+  EXPECT_NE(s.find("C[i][j] += A[i][k] * B[k][j];"), std::string::npos) << s;
+  EXPECT_NE(s.find("C[k][j] += A[i][k] * B[i][j];"), std::string::npos);
+  EXPECT_NE(s.find("C[i][j] += A[i][i] * B[i][j];"), std::string::npos);
+}
+
+TEST(SourceIr, TrmmLlNHasTriangularBound) {
+  ir::Program p = make_source_program(*find_variant("TRMM-LL-N"));
+  const ir::Node* lk = p.main_kernel().find("Lk");
+  ASSERT_NE(lk, nullptr);
+  // k <= i  ==>  ub = i + 1.
+  EXPECT_TRUE(lk->ub.is_single());
+  EXPECT_EQ(lk->ub.terms()[0].coeff("i"), 1);
+  EXPECT_EQ(lk->ub.terms()[0].constant_term(), 1);
+}
+
+TEST(SourceIr, TrsmLlNMatchesPaperListing) {
+  ir::Program p = make_source_program(*find_variant("TRSM-LL-N"));
+  std::string s = ir::to_string(p);
+  EXPECT_NE(s.find("B[i][j] -= A[i][k] * B[k][j];"), std::string::npos) << s;
+}
+
+TEST(SourceIr, TrsmBackwardVariantsUseReversedSubscripts) {
+  ir::Program p = make_source_program(*find_variant("TRSM-LU-N"));
+  std::string s = ir::to_string(p);
+  // Backward substitution: row index M - 1 - i.
+  EXPECT_NE(s.find("M - i - 1"), std::string::npos) << s;
+}
+
+TEST(SourceIr, OutputArray) {
+  EXPECT_STREQ(output_array(*find_variant("GEMM-NN")), "C");
+  EXPECT_STREQ(output_array(*find_variant("TRSM-LL-N")), "B");
+}
+
+}  // namespace
+}  // namespace oa::blas3

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "composer/composer.hpp"
+#include "ir/printer.hpp"
+#include "support/strings.hpp"
+
+namespace oa::composer {
+namespace {
+
+using blas3::find_variant;
+using blas3::make_source_program;
+
+transforms::TransformContext ctx_default() {
+  transforms::TransformContext ctx;
+  return ctx;
+}
+
+std::vector<Invocation> invs(std::initializer_list<const char*> names) {
+  std::vector<Invocation> out;
+  for (const char* n : names) out.push_back(Invocation{n, {}, {}});
+  return out;
+}
+
+std::string names_of(const std::vector<Invocation>& seq) {
+  std::vector<std::string> out;
+  for (const auto& inv : seq) out.push_back(inv.component);
+  return join(out, ",");
+}
+
+// -------------------------------------------------------------- splitter
+
+TEST(Splitter, SeparatesMemoryComponents) {
+  SplitSequence s = split(epod::gemm_nn_script().invocations);
+  ASSERT_EQ(s.polyhedral.size(), 3u);
+  EXPECT_EQ(s.polyhedral[0].component, "thread_grouping");
+  EXPECT_EQ(s.polyhedral[2].component, "loop_unroll");
+  ASSERT_EQ(s.memory.size(), 2u);
+  EXPECT_EQ(s.memory[0].component, "SM_alloc");
+  EXPECT_EQ(s.memory[1].component, "reg_alloc");
+}
+
+// ----------------------------------------------------------------- mixer
+
+TEST(Mixer, InterleavingCountIsBinomial) {
+  auto a = invs({"thread_grouping", "loop_tiling", "loop_unroll"});
+  auto b = invs({"peel_triangular"});
+  // C(4,1) = 4 interleavings (Fig 9 keeps the relative orders).
+  EXPECT_EQ(mix(a, b).size(), 4u);
+  auto b2 = invs({"peel_triangular", "binding_triangular"});
+  // C(5,2) = 10.
+  EXPECT_EQ(mix(a, b2).size(), 10u);
+}
+
+TEST(Mixer, PreservesRelativeOrder) {
+  auto a = invs({"thread_grouping", "loop_tiling"});
+  auto b = invs({"peel_triangular", "binding_triangular"});
+  for (const auto& seq : mix(a, b)) {
+    size_t tg = 0, lt = 0, pe = 0, bi = 0;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i].component == "thread_grouping") tg = i;
+      if (seq[i].component == "loop_tiling") lt = i;
+      if (seq[i].component == "peel_triangular") pe = i;
+      if (seq[i].component == "binding_triangular") bi = i;
+    }
+    EXPECT_LT(tg, lt);
+    EXPECT_LT(pe, bi);
+  }
+}
+
+TEST(Mixer, GmMapOnlyFirst) {
+  // "GM_map should be fixed as the first in a sequence if it appears.
+  // Therefore, the mixer does not generate any sequences violating this
+  // condition" (§IV-B.1).
+  auto a = invs({"thread_grouping", "loop_tiling"});
+  auto b = invs({"GM_map"});
+  auto mixed = mix(a, b);
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0][0].component, "GM_map");
+}
+
+TEST(Mixer, EmptyAdaptorSequence) {
+  auto a = invs({"thread_grouping"});
+  auto mixed = mix(a, {});
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0], a);
+}
+
+// ---------------------------------------------------------------- filter
+
+TEST(Filter, OmitsFailingComponents) {
+  // peel before grouping fails and is omitted; the rest applies.
+  ir::Program src = make_source_program(*find_variant("TRMM-LL-N"));
+  auto seq = epod::parse_script(R"(
+    peel_triangular(A);
+    (Lii, Ljj) = thread_grouping(Li, Lj);
+    (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+  )");
+  ASSERT_TRUE(seq.is_ok());
+  FilterOutcome out =
+      filter_sequence(src, seq->invocations, ctx_default());
+  EXPECT_TRUE(out.valid);
+  EXPECT_EQ(names_of(out.surviving), "thread_grouping,loop_tiling");
+}
+
+TEST(Filter, PaperExampleNineSequencesSevenSemiOutputs) {
+  // §IV-B.2: mixing Adaptor_Triangular with the GEMM-NN script yields 9
+  // sequences; after filtering, the semi-output has 7 distinct
+  // sequences.
+  ir::Program src = make_source_program(*find_variant("TRMM-LL-N"));
+  const transforms::TransformContext ctx = ctx_default();
+  SplitSequence base = split(epod::gemm_nn_script().invocations);
+
+  std::vector<std::vector<Invocation>> all_mixed;
+  const adl::Adaptor bound = adl::adaptor_triangular().bind("A");
+  for (const adl::AdaptorRule& rule : bound.rules) {
+    SplitSequence rs = split(rule.sequence);
+    for (auto& m : mix(base.polyhedral, rs.polyhedral)) {
+      all_mixed.push_back(std::move(m));
+    }
+  }
+  EXPECT_EQ(all_mixed.size(), 9u);  // 1 + 4 + 4
+
+  std::vector<std::vector<Invocation>> semi_output;
+  for (const auto& seq : all_mixed) {
+    FilterOutcome out = filter_sequence(src, seq, ctx);
+    ASSERT_TRUE(out.valid) << names_of(seq);
+    if (std::find(semi_output.begin(), semi_output.end(), out.surviving) ==
+        semi_output.end()) {
+      semi_output.push_back(out.surviving);
+    }
+  }
+  std::vector<std::string> got;
+  for (const auto& seq : semi_output) got.push_back(names_of(seq));
+  EXPECT_EQ(semi_output.size(), 7u) << join(got, "\n");
+}
+
+// ------------------------------------------------------------- allocator
+
+TEST(Allocator, TransposeTransposeCancels) {
+  // The paper's C = alpha*A*B^T + beta*C example: both the script and
+  // the adaptor declare SM_alloc(B, Transpose); the merge yields
+  // SM_alloc(B, NoChange).
+  auto base = epod::parse_script("SM_alloc(B, Transpose); reg_alloc(C);");
+  auto rule = epod::parse_script("SM_alloc(B, Transpose);");
+  ASSERT_TRUE(base.is_ok() && rule.is_ok());
+  auto merged = merge_allocations(base->invocations, rule->invocations);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].to_string(), "SM_alloc(B, NoChange)");
+  EXPECT_EQ(merged[1].component, "reg_alloc");
+}
+
+TEST(Allocator, DistinctArraysKept) {
+  auto base = epod::parse_script("SM_alloc(B, Transpose);");
+  auto rule = epod::parse_script("SM_alloc(A, Symmetry);");
+  ASSERT_TRUE(base.is_ok() && rule.is_ok());
+  auto merged = merge_allocations(base->invocations, rule->invocations);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].to_string(), "SM_alloc(B, Transpose)");
+  EXPECT_EQ(merged[1].to_string(), "SM_alloc(A, Symmetry)");
+}
+
+TEST(Allocator, IdenticalDeclarationsDeduplicated) {
+  auto base = epod::parse_script("reg_alloc(C);");
+  auto rule = epod::parse_script("reg_alloc(C);");
+  auto merged = merge_allocations(base->invocations, rule->invocations);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+// ----------------------------------------------------------- composition
+
+TEST(Compose, GemmTnUsesTransposeAdaptor) {
+  ir::Program src = make_source_program(*find_variant("GEMM-TN"));
+  auto result = compose(epod::gemm_nn_script(),
+                        {adl::adaptor_transpose().bind("A")}, src,
+                        ctx_default());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  // At least: the degenerate rule, the GM_map rule, the SM_alloc rule.
+  EXPECT_GE(result->size(), 3u);
+  bool has_gm_map_first = false;
+  for (const Candidate& c : *result) {
+    if (!c.script.invocations.empty() &&
+        c.script.invocations[0].component == "GM_map") {
+      has_gm_map_first = true;
+    }
+  }
+  EXPECT_TRUE(has_gm_map_first);
+}
+
+TEST(Compose, SymmCandidatesIncludeFig14Script) {
+  ir::Program src = make_source_program(*find_variant("SYMM-LL"));
+  auto result = compose(epod::gemm_nn_script(),
+                        {adl::adaptor_symmetry().bind("A")}, src,
+                        ctx_default());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  // Fig 14's SYMM script: GM_map(A, Symmetry); format_iteration;
+  // thread_grouping; loop_tiling; loop_unroll; SM_alloc(B, Transpose);
+  // reg_alloc(C).
+  bool found = false;
+  for (const Candidate& c : *result) {
+    std::string s = names_of(c.script.invocations);
+    if (s ==
+        "GM_map,format_iteration,thread_grouping,loop_tiling,loop_unroll,"
+        "SM_alloc,reg_alloc") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compose, TrsmUsesSolverAdaptor) {
+  ir::Program src = make_source_program(*find_variant("TRSM-LL-N"));
+  auto result = compose(epod::gemm_nn_script(),
+                        {adl::adaptor_solver().bind("A")}, src,
+                        ctx_default());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  bool has_binding = false;
+  for (const Candidate& c : *result) {
+    std::string s = names_of(c.script.invocations);
+    if (s.find("peel_triangular") != std::string::npos &&
+        s.find("binding_triangular") != std::string::npos) {
+      has_binding = true;
+    }
+  }
+  EXPECT_TRUE(has_binding);
+}
+
+TEST(Compose, TriangularConditionPropagates) {
+  ir::Program src = make_source_program(*find_variant("TRMM-LL-N"));
+  auto result = compose(epod::gemm_nn_script(),
+                        {adl::adaptor_triangular().bind("A")}, src,
+                        ctx_default());
+  ASSERT_TRUE(result.is_ok());
+  bool padded_with_cond = false;
+  for (const Candidate& c : *result) {
+    const bool has_pad =
+        names_of(c.script.invocations).find("padding_triangular") !=
+        std::string::npos;
+    if (has_pad) {
+      ASSERT_EQ(c.conditions.size(), 1u);
+      EXPECT_EQ(c.conditions[0], "blank(A).zero = true");
+      padded_with_cond = true;
+    }
+  }
+  EXPECT_TRUE(padded_with_cond);
+}
+
+TEST(Compose, GemmTtTwoAdaptors) {
+  ir::Program src = make_source_program(*find_variant("GEMM-TT"));
+  auto result = compose(
+      epod::gemm_nn_script(),
+      {adl::adaptor_transpose().bind("A"), adl::adaptor_transpose().bind("B")},
+      src, ctx_default());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GE(result->size(), 4u);
+  // The double-transpose-B combination must produce an SM_alloc(B,
+  // NoChange) somewhere (allocator merge).
+  bool merged = false;
+  for (const Candidate& c : *result) {
+    for (const Invocation& inv : c.script.invocations) {
+      if (inv.to_string() == "SM_alloc(B, NoChange)") merged = true;
+    }
+  }
+  EXPECT_TRUE(merged);
+}
+
+}  // namespace
+}  // namespace oa::composer

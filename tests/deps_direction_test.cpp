@@ -1,0 +1,157 @@
+// Additional dependence-analysis properties: distance/direction
+// handling, reduction awareness across operators, and interaction with
+// transformed (tiled/grouped) nests.
+#include <gtest/gtest.h>
+
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "deps/dependence.hpp"
+#include "ir/kernel.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::deps {
+namespace {
+
+using ir::AffineExpr;
+using ir::ArrayRef;
+using ir::AssignOp;
+using ir::Bound;
+using ir::Node;
+using ir::NodePtr;
+
+AffineExpr sym(const char* s, int64_t c = 1) {
+  return AffineExpr::sym(s, c);
+}
+
+/// for (i in [lb, ub)) { X[i + w_off][0] = X[i + r_off][0] + 1 }
+NodePtr stencil_loop(int64_t lb, int64_t ub, int64_t w_off, int64_t r_off) {
+  auto stmt = ir::make_assign(
+      ArrayRef{"X", {sym("i") + w_off, AffineExpr(0)}}, AssignOp::kAssign,
+      ir::make_add(ir::make_ref("X", {sym("i") + r_off, AffineExpr(0)}),
+                   ir::make_const(1.0)));
+  auto loop = ir::make_loop("L", "i", Bound(lb), Bound(AffineExpr(ub)));
+  loop->body.push_back(std::move(stmt));
+  return loop;
+}
+
+const ir::RangeEnv kRanges{{"i", {0, 63}}};
+
+TEST(Distance, UnitDistanceCarried) {
+  // X[i] = X[i-1] + 1: flow dependence, distance 1 -> carried.
+  auto loop = stencil_loop(1, 64, 0, -1);
+  EXPECT_TRUE(carries_dependence(*loop, kRanges, Mode::kStrict));
+}
+
+TEST(Distance, ZeroDistanceNotCarried) {
+  // X[i] = X[i] + 1: loop-independent only.
+  auto loop = stencil_loop(0, 64, 0, 0);
+  EXPECT_FALSE(carries_dependence(*loop, kRanges, Mode::kStrict));
+}
+
+TEST(Distance, DistanceBeyondRangeNotCarried) {
+  // X[i] = X[i - 100] with only 64 iterations: never aliases.
+  auto loop = stencil_loop(0, 64, 0, -100);
+  EXPECT_FALSE(carries_dependence(*loop, kRanges, Mode::kStrict));
+}
+
+TEST(Distance, NonIntegralSolutionNotCarried) {
+  // X[2i] = X[2i+1]: even vs odd elements never alias.
+  auto stmt = ir::make_assign(
+      ArrayRef{"X", {sym("i", 2), AffineExpr(0)}}, AssignOp::kAssign,
+      ir::make_ref("X", {sym("i", 2) + 1, AffineExpr(0)}));
+  auto loop = ir::make_loop("L", "i", Bound(0), Bound(AffineExpr(32)));
+  loop->body.push_back(std::move(stmt));
+  EXPECT_FALSE(carries_dependence(*loop, kRanges, Mode::kStrict));
+}
+
+TEST(Reductions, DivAssignIsNotReorderable) {
+  // X[0] /= X[0] is a read-modify-write but not an associative
+  // accumulation pair with += semantics... the analysis must still see
+  // the RMW pair as a dependence under strict mode.
+  auto stmt = ir::make_assign(ArrayRef{"X", {AffineExpr(0), AffineExpr(0)}},
+                              AssignOp::kDivAssign, ir::make_const(2.0));
+  auto loop = ir::make_loop("L", "i", Bound(0), Bound(AffineExpr(8)));
+  loop->body.push_back(std::move(stmt));
+  EXPECT_TRUE(carries_dependence(*loop, kRanges, Mode::kStrict));
+}
+
+TEST(TransformedNests, GroupedGemmPointLoopsStayParallel) {
+  // After thread_grouping + loop_tiling, the i/j point loops must still
+  // test parallel (reg_alloc and the filter rely on consistent
+  // analysis results post-transformation).
+  ir::Program p =
+      blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  ASSERT_TRUE(transforms::thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"},
+                                          ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(p, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  const Node* liii = p.main_kernel().find("Liii");
+  ASSERT_NE(liii, nullptr);
+  EXPECT_FALSE(carries_dependence(p.main_kernel(), *liii,
+                                  {{"M", 256}, {"N", 256}, {"K", 256}},
+                                  Mode::kStrict));
+  const Node* lkkk = p.main_kernel().find("Lkkk");
+  ASSERT_NE(lkkk, nullptr);
+  // The reduction loop: in strict mode the register-block accumulation
+  // carries; reduction-aware mode may reorder it.
+  EXPECT_FALSE(carries_dependence(p.main_kernel(), *lkkk,
+                                  {{"M", 256}, {"N", 256}, {"K", 256}},
+                                  Mode::kReductionAware));
+}
+
+TEST(TransformedNests, SyrkPointLoopsParallel) {
+  // SYRK's triangular output space: i and j both stay parallel (each
+  // C[i][j] is written by exactly one (i, j)).
+  ir::Program p =
+      blas3::make_source_program(*blas3::find_variant("SYRK-LN"));
+  const Node* li = p.main_kernel().find("Li");
+  const Node* lj = p.main_kernel().find("Lj");
+  const ir::Env params{{"M", 128}, {"N", 128}, {"K", 64}};
+  EXPECT_FALSE(
+      carries_dependence(p.main_kernel(), *li, params, Mode::kStrict));
+  EXPECT_FALSE(
+      carries_dependence(p.main_kernel(), *lj, params, Mode::kStrict));
+}
+
+TEST(FissionDirection, ForwardDependencePreserved) {
+  // for i { X[i] = ...; Y[i] = X[i] } : same-iteration flow; fission
+  // keeps X-writes before Y-reads. Legal.
+  auto w = ir::make_assign(ArrayRef{"X", {sym("i"), AffineExpr(0)}},
+                           AssignOp::kAssign, ir::make_const(1.0));
+  auto r = ir::make_assign(ArrayRef{"Y", {sym("i"), AffineExpr(0)}},
+                           AssignOp::kAssign,
+                           ir::make_ref("X", {sym("i"), AffineExpr(0)}));
+  auto loop = ir::make_loop("L", "i", Bound(0), Bound(AffineExpr(16)));
+  loop->body.push_back(std::move(w));
+  loop->body.push_back(std::move(r));
+  EXPECT_TRUE(fission_legal(*loop, 1, {{"i", {0, 15}}}));
+}
+
+TEST(FissionDirection, AntiDependenceAcrossGroupsBlocks) {
+  // for i { Y[i] = X[i+1]; X[i] = 0 }: the read of X[i+1] must happen
+  // before iteration i+1's write. Fission hoists all Y-reads first —
+  // still legal. Reversed statement order is the illegal case.
+  auto r = ir::make_assign(ArrayRef{"Y", {sym("i"), AffineExpr(0)}},
+                           AssignOp::kAssign,
+                           ir::make_ref("X", {sym("i") + 1, AffineExpr(0)}));
+  auto w = ir::make_assign(ArrayRef{"X", {sym("i"), AffineExpr(0)}},
+                           AssignOp::kAssign, ir::make_const(0.0));
+  auto loop = ir::make_loop("L", "i", Bound(0), Bound(AffineExpr(16)));
+  loop->body.push_back(std::move(r));  // Y[i] = X[i+1]
+  loop->body.push_back(std::move(w));  // X[i] = 0
+  // Split between them: group 1 = reads, group 2 = writes. The carried
+  // dependence runs read(i) before write(i+1): after fission all reads
+  // precede all writes — preserved.
+  EXPECT_TRUE(fission_legal(*loop, 1, {{"i", {0, 15}}}));
+  // Swapped: writes first. Fission would hoist X[i]=0 (all i) before
+  // Y[i]=X[i+1]: iteration i reads X[i+1] after it was zeroed — the
+  // anti-dependence flips into a broken flow.
+  std::swap(loop->body[0], loop->body[1]);
+  EXPECT_FALSE(fission_legal(*loop, 1, {{"i", {0, 15}}}));
+}
+
+}  // namespace
+}  // namespace oa::deps

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "deps/dependence.hpp"
+#include "ir/kernel.hpp"
+
+namespace oa::deps {
+namespace {
+
+using blas3::find_variant;
+using blas3::make_source_program;
+using ir::Env;
+using ir::Node;
+using ir::Program;
+
+const Env kParams{{"M", 64}, {"N", 64}, {"K", 64}};
+
+struct LoopQuery {
+  Program program;
+  const Node* loop;
+};
+
+LoopQuery get_loop(const char* variant, const char* label) {
+  LoopQuery q{make_source_program(*find_variant(variant)), nullptr};
+  q.loop = q.program.main_kernel().find(label);
+  EXPECT_NE(q.loop, nullptr) << variant << " " << label;
+  return q;
+}
+
+// ------------------------------------------------------ access collection
+
+TEST(CollectAccesses, GemmHasWriteImplicitReadAndTwoLoads) {
+  auto q = get_loop("GEMM-NN", "Lk");
+  auto accs = collect_accesses(q.loop->body);
+  // C write + C implicit read + A load + B load.
+  ASSERT_EQ(accs.size(), 4u);
+  EXPECT_TRUE(accs[0].is_write);
+  EXPECT_TRUE(accs[0].is_reduction);
+  EXPECT_FALSE(accs[1].is_write);
+  EXPECT_TRUE(accs[1].is_reduction);
+  EXPECT_EQ(accs[2].ref.array, "A");
+  EXPECT_FALSE(accs[2].is_reduction);
+}
+
+TEST(CollectAccesses, TracksEnclosingLoops) {
+  auto q = get_loop("GEMM-NN", "Li");
+  auto accs = collect_accesses(q.loop->body);
+  ASSERT_FALSE(accs.empty());
+  // Statement sits under Lj and Lk relative to Li.
+  ASSERT_EQ(accs[0].loops.size(), 2u);
+  EXPECT_EQ(accs[0].loops[0]->label, "Lj");
+  EXPECT_EQ(accs[0].loops[1]->label, "Lk");
+}
+
+// ----------------------------------------------------- carried dependence
+
+TEST(CarriedDependence, GemmIandJAreParallel) {
+  auto q = get_loop("GEMM-NN", "Li");
+  EXPECT_FALSE(carries_dependence(q.program.main_kernel(), *q.loop, kParams,
+                                  Mode::kStrict));
+  auto qj = get_loop("GEMM-NN", "Lj");
+  EXPECT_FALSE(carries_dependence(qj.program.main_kernel(), *qj.loop,
+                                  kParams, Mode::kStrict));
+}
+
+TEST(CarriedDependence, GemmKCarriesReduction) {
+  auto q = get_loop("GEMM-NN", "Lk");
+  EXPECT_TRUE(carries_dependence(q.program.main_kernel(), *q.loop, kParams,
+                                 Mode::kStrict));
+  // Reduction-aware mode may reorder the accumulation.
+  EXPECT_FALSE(carries_dependence(q.program.main_kernel(), *q.loop, kParams,
+                                  Mode::kReductionAware));
+}
+
+TEST(CarriedDependence, AllGemmVariantsParallelInIandJ) {
+  for (const char* name : {"GEMM-NN", "GEMM-NT", "GEMM-TN", "GEMM-TT"}) {
+    for (const char* label : {"Li", "Lj"}) {
+      auto q = get_loop(name, label);
+      EXPECT_FALSE(carries_dependence(q.program.main_kernel(), *q.loop,
+                                      kParams, Mode::kStrict))
+          << name << " " << label;
+    }
+  }
+}
+
+TEST(CarriedDependence, SymmSourceCarriesOnIStrict) {
+  // The mixed-mode SYMM source writes C[i][j] and C[k][j]: mapping i
+  // across threads would race on C.
+  auto q = get_loop("SYMM-LL", "Li");
+  EXPECT_TRUE(carries_dependence(q.program.main_kernel(), *q.loop, kParams,
+                                 Mode::kStrict));
+}
+
+TEST(CarriedDependence, SymmSourceJIsParallel) {
+  auto q = get_loop("SYMM-LL", "Lj");
+  EXPECT_FALSE(carries_dependence(q.program.main_kernel(), *q.loop, kParams,
+                                  Mode::kStrict));
+}
+
+TEST(CarriedDependence, TrmmIsParallelInIandJ) {
+  // TRMM writes only C[i][j]: triangular bounds do not create cross-row
+  // dependences.
+  for (const char* label : {"Li", "Lj"}) {
+    auto q = get_loop("TRMM-LL-N", label);
+    EXPECT_FALSE(carries_dependence(q.program.main_kernel(), *q.loop,
+                                    kParams, Mode::kStrict))
+        << label;
+  }
+}
+
+TEST(CarriedDependence, TrsmCarriesOnSolveDimension) {
+  // B[i][j] -= A[i][k] * B[k][j]: row i reads rows k < i (true
+  // dependence), so Li carries; Lj does not.
+  auto qi = get_loop("TRSM-LL-N", "Li");
+  EXPECT_TRUE(carries_dependence(qi.program.main_kernel(), *qi.loop, kParams,
+                                 Mode::kStrict));
+  auto qj = get_loop("TRSM-LL-N", "Lj");
+  EXPECT_FALSE(carries_dependence(qj.program.main_kernel(), *qj.loop,
+                                  kParams, Mode::kStrict));
+}
+
+TEST(CarriedDependence, TrsmRightSideCarriesOnJ) {
+  auto qj = get_loop("TRSM-RL-N", "Lj");
+  EXPECT_TRUE(carries_dependence(qj.program.main_kernel(), *qj.loop, kParams,
+                                 Mode::kStrict));
+  auto qi = get_loop("TRSM-RL-N", "Li");
+  EXPECT_FALSE(carries_dependence(qi.program.main_kernel(), *qi.loop,
+                                  kParams, Mode::kStrict));
+}
+
+TEST(CarriedDependence, TrsmBackwardVariantsStillCarry) {
+  for (const char* name : {"TRSM-LU-N", "TRSM-LL-T"}) {
+    auto q = get_loop(name, "Li");
+    EXPECT_TRUE(carries_dependence(q.program.main_kernel(), *q.loop, kParams,
+                                   Mode::kStrict))
+        << name;
+  }
+}
+
+// ------------------------------------------------------------ fission
+
+TEST(FissionLegal, SymmKLoopBodySplits) {
+  // Splitting the two accumulation statements of the SYMM k-loop is
+  // legal (reduction-aware).
+  auto q = get_loop("SYMM-LL", "Lk");
+  ir::RangeEnv ranges =
+      ir::loop_var_ranges(q.program.main_kernel(), kParams);
+  EXPECT_TRUE(fission_legal(*q.loop, 1, ranges));
+}
+
+TEST(FissionLegal, TrueDependenceBlocksFission) {
+  // for i { X[i] = ...; Y[i] = X[i-1]; }  -- fission moves all X writes
+  // first, which is legal; the reverse order (Y first) is what we test:
+  // for i { Y[i] = X[i-1]; X[i] = ...; } -> moving X writes after all Y
+  // reads reverses the carried dependence.
+  using namespace ir;
+  auto w = make_assign(ArrayRef{"X", {AffineExpr::sym("i"), AffineExpr(0)}},
+                       AssignOp::kAssign, make_const(1.0));
+  auto r = make_assign(
+      ArrayRef{"Y", {AffineExpr::sym("i"), AffineExpr(0)}}, AssignOp::kAssign,
+      make_ref("X", {AffineExpr::sym("i") - 1, AffineExpr(0)}));
+  auto loop = make_loop("L", "i", Bound(1), Bound(AffineExpr(10)));
+  loop->body.push_back(std::move(w));   // X[i] = ...
+  loop->body.push_back(std::move(r));   // Y[i] = X[i-1]
+  RangeEnv ranges{{"i", {1, 9}}};
+  // Splitting between them: X loop runs fully first; Y then reads
+  // already-written values. The dependence X(i) -> Y(i+1) is preserved
+  // (X still writes before Y reads). Legal.
+  EXPECT_TRUE(fission_legal(*loop, 1, ranges));
+  // Swap the statements: Y[i] = X[i-1]; X[i] = ... Fission would hoist
+  // all Y reads before X writes, breaking the dependence.
+  std::swap(loop->body[0], loop->body[1]);
+  EXPECT_FALSE(fission_legal(*loop, 1, ranges));
+}
+
+TEST(FissionLegal, TrivialSplitsAlwaysLegal) {
+  auto q = get_loop("GEMM-NN", "Lk");
+  ir::RangeEnv ranges =
+      ir::loop_var_ranges(q.program.main_kernel(), kParams);
+  EXPECT_TRUE(fission_legal(*q.loop, 0, ranges));
+  EXPECT_TRUE(fission_legal(*q.loop, q.loop->body.size(), ranges));
+}
+
+}  // namespace
+}  // namespace oa::deps

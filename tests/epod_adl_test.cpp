@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "adl/adaptor.hpp"
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::find_variant;
+using blas3::make_source_program;
+using transforms::Invocation;
+
+// ------------------------------------------------------------ EPOD parse
+
+TEST(EpodParse, Fig3GemmScript) {
+  auto parsed = epod::parse_script(R"(
+    (Lii, Ljj) = thread_grouping(Li, Lj);
+    (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+    loop_unroll(Ljjj, Lkkk);
+    SM_alloc(B, Transpose);
+    reg_alloc(C);
+  )");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const epod::Script& s = *parsed;
+  ASSERT_EQ(s.invocations.size(), 5u);
+  EXPECT_EQ(s.invocations[0].component, "thread_grouping");
+  EXPECT_EQ(s.invocations[0].results,
+            (std::vector<std::string>{"Lii", "Ljj"}));
+  EXPECT_EQ(s.invocations[0].args, (std::vector<std::string>{"Li", "Lj"}));
+  EXPECT_EQ(s.invocations[3].component, "SM_alloc");
+  EXPECT_EQ(s.invocations[3].args,
+            (std::vector<std::string>{"B", "Transpose"}));
+}
+
+TEST(EpodParse, ToleratesPaperDoubleParens) {
+  // Fig 3 writes thread_grouping((Li, Lj)).
+  auto parsed =
+      epod::parse_script("(Lii, Ljj) = thread_grouping((Li, Lj));");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->invocations[0].args,
+            (std::vector<std::string>{"Li", "Lj"}));
+}
+
+TEST(EpodParse, StripsComments) {
+  auto parsed = epod::parse_script(R"(
+    // the paper's script
+    loop_unroll(Ljjj); // inner
+  )");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->invocations.size(), 1u);
+}
+
+TEST(EpodParse, RejectsUnknownComponent) {
+  EXPECT_FALSE(epod::parse_script("warp_specialize(Li);").is_ok());
+}
+
+TEST(EpodParse, RejectsMalformedStatement) {
+  EXPECT_FALSE(epod::parse_script("loop_unroll Ljjj;").is_ok());
+}
+
+TEST(EpodParse, RoundTripsThroughToString) {
+  const epod::Script& s = epod::gemm_nn_script();
+  auto reparsed = epod::parse_script(s.to_string());
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed->invocations, s.invocations);
+}
+
+// ------------------------------------------------------------ EPOD apply
+
+TEST(EpodApply, GemmScriptProducesValidKernel) {
+  ir::Program p = make_source_program(*find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  Status s = epod::apply_script(p, epod::gemm_nn_script(), ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok());
+  EXPECT_NE(p.main_kernel().find_local_array("B_s"), nullptr);
+  EXPECT_NE(p.main_kernel().find_local_array("C_r"), nullptr);
+}
+
+TEST(EpodApply, FailureReportsOffendingInvocation) {
+  ir::Program p = make_source_program(*find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  auto parsed = epod::parse_script("loop_unroll(Lzz);");
+  ASSERT_TRUE(parsed.is_ok());
+  Status s = epod::apply_script(p, *parsed, ctx);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("loop_unroll(Lzz)"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- ADL
+
+TEST(AdlParse, TransposeAdaptorHasThreeRules) {
+  const adl::Adaptor& a = adl::adaptor_transpose();
+  EXPECT_EQ(a.name, "Adaptor_Transpose");
+  EXPECT_EQ(a.formal, "X");
+  ASSERT_EQ(a.rules.size(), 3u);
+  EXPECT_TRUE(a.rules[0].sequence.empty());  // keep unchanged
+  ASSERT_EQ(a.rules[1].sequence.size(), 1u);
+  EXPECT_EQ(a.rules[1].sequence[0].component, "GM_map");
+  EXPECT_EQ(a.rules[2].sequence[0].component, "SM_alloc");
+}
+
+TEST(AdlParse, SymmetryAdaptorMatchesPaper) {
+  const adl::Adaptor& a = adl::adaptor_symmetry();
+  ASSERT_EQ(a.rules.size(), 3u);
+  ASSERT_EQ(a.rules[1].sequence.size(), 2u);
+  EXPECT_EQ(a.rules[1].sequence[0].component, "GM_map");
+  EXPECT_EQ(a.rules[1].sequence[1].component, "format_iteration");
+  ASSERT_EQ(a.rules[2].sequence.size(), 2u);
+  EXPECT_EQ(a.rules[2].sequence[0].component, "format_iteration");
+  EXPECT_EQ(a.rules[2].sequence[1].component, "SM_alloc");
+}
+
+TEST(AdlParse, TriangularAdaptorHasCondition) {
+  const adl::Adaptor& a = adl::adaptor_triangular();
+  ASSERT_EQ(a.rules.size(), 3u);
+  EXPECT_TRUE(a.rules[0].sequence.empty());
+  EXPECT_EQ(a.rules[1].sequence[0].component, "peel_triangular");
+  EXPECT_EQ(a.rules[2].sequence[0].component, "padding_triangular");
+  EXPECT_EQ(a.rules[2].condition, "blank(X).zero = true");
+  EXPECT_TRUE(a.rules[1].condition.empty());
+}
+
+TEST(AdlParse, SolverAdaptorSingleRule) {
+  const adl::Adaptor& a = adl::adaptor_solver();
+  ASSERT_EQ(a.rules.size(), 1u);
+  ASSERT_EQ(a.rules[0].sequence.size(), 2u);
+  EXPECT_EQ(a.rules[0].sequence[0].component, "peel_triangular");
+  EXPECT_EQ(a.rules[0].sequence[1].component, "binding_triangular");
+  EXPECT_EQ(a.rules[0].sequence[1].args,
+            (std::vector<std::string>{"X", "0"}));
+}
+
+TEST(AdlBind, SubstitutesFormalEverywhere) {
+  adl::Adaptor bound = adl::adaptor_triangular().bind("A");
+  EXPECT_EQ(bound.rules[1].sequence[0].args,
+            (std::vector<std::string>{"A"}));
+  EXPECT_EQ(bound.rules[2].condition, "blank(A).zero = true");
+}
+
+TEST(AdlParse, CustomAdaptorRoundTrip) {
+  auto parsed = adl::parse_adaptor(R"(
+    adaptor Adaptor_Custom(Y):
+      |
+      | GM_map(Y, Transpose); loop_unroll(Lkkk);
+  )");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->name, "Adaptor_Custom");
+  EXPECT_EQ(parsed->formal, "Y");
+  ASSERT_EQ(parsed->rules.size(), 2u);
+  EXPECT_EQ(parsed->rules[1].sequence.size(), 2u);
+  // to_string parses back.
+  auto again = adl::parse_adaptor(parsed->to_string());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->rules[1].sequence, parsed->rules[1].sequence);
+}
+
+TEST(AdlParse, RejectsGarbage) {
+  EXPECT_FALSE(adl::parse_adaptor("not an adaptor").is_ok());
+  EXPECT_FALSE(adl::parse_adaptor("adaptor Broken(X)").is_ok());
+}
+
+TEST(AdlFind, BuiltinsByName) {
+  EXPECT_NE(adl::find_adaptor("Adaptor_Transpose"), nullptr);
+  EXPECT_NE(adl::find_adaptor("Adaptor_Solver"), nullptr);
+  EXPECT_EQ(adl::find_adaptor("Adaptor_Unknown"), nullptr);
+}
+
+}  // namespace
+}  // namespace oa

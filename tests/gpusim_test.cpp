@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include "blas3/matrix.hpp"
+#include "blas3/reference.hpp"
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "gpusim/simulator.hpp"
+#include "ir/printer.hpp"
+#include "support/rng.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::gpusim {
+namespace {
+
+using blas3::find_variant;
+using blas3::make_source_program;
+using blas3::Matrix;
+using ir::Program;
+using transforms::AllocMode;
+using transforms::TransformContext;
+
+TransformContext small_ctx() {
+  TransformContext ctx;
+  ctx.params.block_tile_y = 16;
+  ctx.params.block_tile_x = 16;
+  ctx.params.threads_y = 4;
+  ctx.params.threads_x = 4;
+  ctx.params.k_tile = 8;
+  ctx.params.unroll = 4;
+  ctx.nominal_sizes = {{"M", 64}, {"N", 64}, {"K", 64}};
+  return ctx;
+}
+
+// ------------------------------------------------------------- devices
+
+TEST(Device, PaperPlatformParameters) {
+  EXPECT_EQ(geforce_9800().sm_count, 16);
+  EXPECT_EQ(geforce_9800().sps_per_sm, 8);
+  EXPECT_EQ(geforce_9800().registers_per_sm, 8192);
+  EXPECT_EQ(gtx285().sm_count, 30);
+  EXPECT_EQ(gtx285().registers_per_sm, 16384);
+  EXPECT_EQ(fermi_c2050().sm_count, 14);
+  EXPECT_EQ(fermi_c2050().sps_per_sm, 32);
+  EXPECT_EQ(fermi_c2050().shared_mem_per_sm, 48 * 1024);
+  EXPECT_EQ(all_devices().size(), 3u);
+}
+
+TEST(Device, WarpIssueCycles) {
+  EXPECT_DOUBLE_EQ(geforce_9800().cycles_per_warp_instruction(), 4.0);
+  EXPECT_DOUBLE_EQ(fermi_c2050().cycles_per_warp_instruction(), 1.0);
+}
+
+// ------------------------------------------------------------ counters
+
+TEST(CountersTest, AddAndScale) {
+  Counters a;
+  a.instructions = 10;
+  a.gld_coherent = 3;
+  Counters b;
+  b.instructions = 5;
+  b.global_bytes = 64;
+  Counters c = a + b;
+  EXPECT_EQ(c.instructions, 15);
+  EXPECT_EQ(c.gld_coherent, 3);
+  EXPECT_EQ(c.global_bytes, 64);
+  Counters s = c.scaled(4);
+  EXPECT_EQ(s.instructions, 60);
+}
+
+TEST(CountersTest, PerSmReport) {
+  Counters total;
+  total.instructions = 1600;
+  Counters per_sm = report_per_sm(total, geforce_9800());
+  EXPECT_EQ(per_sm.instructions, 100);
+}
+
+// ----------------------------------------------- functional execution
+
+struct FunctionalCase {
+  Program program;
+  ir::Env params;
+  Matrix a, b, c;
+};
+
+/// Build inputs for a variant at (m, n, k).
+FunctionalCase make_case(const blas3::Variant& v, int64_t m, int64_t n,
+                         int64_t k, uint64_t seed) {
+  FunctionalCase fc;
+  fc.program = make_source_program(v);
+  Rng rng(seed);
+  const int64_t dim = v.side == blas3::Side::kLeft ? m : n;
+  switch (v.family) {
+    case blas3::Family::kGemm:
+      fc.params = {{"M", m}, {"N", n}, {"K", k}};
+      fc.a = Matrix(v.trans_a == blas3::Trans::kN ? m : k,
+                    v.trans_a == blas3::Trans::kN ? k : m);
+      fc.b = Matrix(v.trans_b == blas3::Trans::kN ? k : n,
+                    v.trans_b == blas3::Trans::kN ? n : k);
+      break;
+    default:
+      fc.params = {{"M", m}, {"N", n}};
+      fc.a = Matrix(dim, dim);
+      fc.b = Matrix(m, n);
+      break;
+  }
+  fc.a.fill_random(rng);
+  fc.b.fill_random(rng);
+  if (v.family == blas3::Family::kTrmm || v.family == blas3::Family::kTrsm) {
+    fc.a.make_triangular(v.uplo);
+  }
+  if (v.family == blas3::Family::kSymm) {
+    // Triangle-only storage: the blank triangle is zeroed (GM_map's
+    // src + src^T - diag formula relies on it).
+    fc.a.make_triangular(v.uplo);
+  }
+  if (v.family == blas3::Family::kTrsm) {
+    fc.a.set_unit_diagonal();
+    fc.a.scale_off_diagonal(1.0f / 16.0f);
+  }
+  fc.c = Matrix(m, n);
+  return fc;
+}
+
+/// Run the program functionally and compare the output array with the
+/// CPU reference.
+void expect_matches_reference(const blas3::Variant& v, FunctionalCase& fc,
+                              const DeviceModel& dev = gtx285()) {
+  Simulator sim(dev);
+  RunOptions opts;
+  opts.int_params = fc.params;
+  opts.bool_params["blank_zero"] = true;
+  GlobalBuffers buffers = make_buffers(
+      fc.program, fc.params, {{"A", &fc.a}, {"B", &fc.b}, {"C", &fc.c}});
+  auto result = sim.run_functional(fc.program, opts, buffers);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string() << "\n"
+                              << ir::to_string(fc.program);
+
+  // CPU reference.
+  Matrix ref_b = fc.b;
+  Matrix ref_c = fc.c;
+  blas3::run_reference(v, fc.a, ref_b, &ref_c);
+
+  const char* out_name = blas3::output_array(v);
+  Matrix out(fc.c.rows(), fc.c.cols());
+  if (v.family == blas3::Family::kTrsm) out = Matrix(fc.b.rows(), fc.b.cols());
+  ASSERT_TRUE(
+      read_back(buffers, fc.program, fc.params, out_name, out).is_ok());
+  const Matrix& expected =
+      v.family == blas3::Family::kTrsm ? ref_b : ref_c;
+  const float tol = blas3::accumulation_tolerance(
+      fc.params.count("K") ? fc.params.at("K") : fc.params.at("M"));
+  EXPECT_LT(blas3::max_abs_diff(out, expected), tol)
+      << v.name() << " on " << dev.name;
+}
+
+TEST(Functional, SourceGemmSingleThread) {
+  // The untransformed source nest runs as a 1-block, 1-thread kernel.
+  auto v = *find_variant("GEMM-NN");
+  FunctionalCase fc = make_case(v, 8, 7, 5, 1);
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, SourceSymmSingleThread) {
+  auto v = *find_variant("SYMM-LL");
+  FunctionalCase fc = make_case(v, 9, 6, 0, 2);
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, SourceTrsmSingleThread) {
+  auto v = *find_variant("TRSM-LL-N");
+  FunctionalCase fc = make_case(v, 8, 5, 0, 3);
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, GroupedGemmMatches) {
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 32, 32, 16, 4);
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, GroupedGemmOddSizes) {
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 37, 29, 23, 5);
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  expect_matches_reference(v, fc);
+}
+
+Program full_gemm_pipeline(FunctionalCase& fc, const TransformContext& ctx) {
+  EXPECT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  EXPECT_TRUE(transforms::loop_tiling(fc.program, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  EXPECT_TRUE(
+      transforms::loop_unroll(fc.program, {"Ljjj", "Lkkk"}, ctx).is_ok());
+  EXPECT_TRUE(
+      transforms::sm_alloc(fc.program, "B", AllocMode::kTranspose, ctx)
+          .is_ok());
+  EXPECT_TRUE(transforms::reg_alloc(fc.program, "C", ctx).is_ok());
+  return fc.program;
+}
+
+TEST(Functional, FullGemmPipelineMatches) {
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 48, 48, 32, 6);
+  full_gemm_pipeline(fc, ctx);
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, FullGemmPipelineOddSizes) {
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 45, 39, 21, 7);
+  full_gemm_pipeline(fc, ctx);
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, FullGemmPipelineOnAllDevices) {
+  auto v = *find_variant("GEMM-NN");
+  for (const DeviceModel* dev : all_devices()) {
+    TransformContext ctx = small_ctx();
+    FunctionalCase fc = make_case(v, 32, 32, 24, 8);
+    full_gemm_pipeline(fc, ctx);
+    expect_matches_reference(v, fc, *dev);
+  }
+}
+
+TEST(Functional, GmMapTransposeGemmTn) {
+  auto v = *find_variant("GEMM-TN");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 32, 32, 16, 9);
+  ASSERT_TRUE(
+      transforms::gm_map(fc.program, "A", AllocMode::kTranspose, ctx)
+          .is_ok());
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, SymmRule2FullPipeline) {
+  // GM_map(A, Symmetry); format_iteration; then the GEMM-NN scheme —
+  // the paper's Fig 14 SYMM script.
+  auto v = *find_variant("SYMM-LL");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 32, 32, 0, 10);
+  ASSERT_TRUE(
+      transforms::gm_map(fc.program, "A", AllocMode::kSymmetry, ctx)
+          .is_ok());
+  ASSERT_TRUE(
+      transforms::format_iteration(fc.program, "A", AllocMode::kSymmetry,
+                                   ctx)
+          .is_ok());
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(fc.program, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(
+      transforms::loop_unroll(fc.program, {"Ljjj", "Lkkk"}, ctx).is_ok());
+  ASSERT_TRUE(
+      transforms::sm_alloc(fc.program, "B", AllocMode::kTranspose, ctx)
+          .is_ok());
+  ASSERT_TRUE(transforms::reg_alloc(fc.program, "C", ctx).is_ok());
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, SymmRule3FissionPipeline) {
+  // format_iteration without GM_map (fission only) + SM_alloc(A,
+  // Symmetry).
+  auto v = *find_variant("SYMM-LL");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 32, 32, 0, 11);
+  ASSERT_TRUE(
+      transforms::format_iteration(fc.program, "A", AllocMode::kSymmetry,
+                                   ctx)
+          .is_ok());
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(fc.program, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  Status sm = transforms::sm_alloc(fc.program, "A", AllocMode::kSymmetry,
+                                   ctx);
+  ASSERT_TRUE(sm.is_ok()) << sm.to_string();
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, TrmmPeeledPipeline) {
+  auto v = *find_variant("TRMM-LL-N");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 32, 32, 0, 12);
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(fc.program, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::peel_triangular(fc.program, "A", ctx).is_ok());
+  ASSERT_TRUE(transforms::loop_unroll(fc.program, {"Lkkk"}, ctx).is_ok());
+  expect_matches_reference(v, fc);
+}
+
+TEST(Functional, TrmmPaddedPipelineBothVersions) {
+  auto v = *find_variant("TRMM-LL-N");
+  for (bool blank_zero : {true, false}) {
+    TransformContext ctx = small_ctx();
+    FunctionalCase fc = make_case(v, 32, 32, 0, 13);
+    ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                            {"Lii", "Ljj"}, ctx)
+                    .is_ok());
+    ASSERT_TRUE(transforms::loop_tiling(fc.program, {"Lii", "Ljj", "Lk"},
+                                        {"Liii", "Ljjj", "Lkkk"}, ctx)
+                    .is_ok());
+    ASSERT_TRUE(
+        transforms::padding_triangular(fc.program, "A", ctx).is_ok());
+
+    Simulator sim(gtx285());
+    RunOptions opts;
+    opts.int_params = fc.params;
+    opts.bool_params["blank_zero"] = blank_zero;
+    GlobalBuffers buffers = make_buffers(
+        fc.program, fc.params, {{"A", &fc.a}, {"B", &fc.b}, {"C", &fc.c}});
+    auto result = sim.run_functional(fc.program, opts, buffers);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    Matrix ref_b = fc.b;
+    Matrix ref_c = fc.c;
+    blas3::run_reference(v, fc.a, ref_b, &ref_c);
+    Matrix out(32, 32);
+    ASSERT_TRUE(read_back(buffers, fc.program, fc.params, "C", out).is_ok());
+    EXPECT_LT(blas3::max_abs_diff(out, ref_c),
+              blas3::accumulation_tolerance(32))
+        << "blank_zero=" << blank_zero;
+  }
+}
+
+TEST(Functional, TrsmSolverPipeline) {
+  auto v = *find_variant("TRSM-LL-N");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 32, 32, 0, 14);
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(fc.program, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::peel_triangular(fc.program, "A", ctx).is_ok());
+  ASSERT_TRUE(
+      transforms::binding_triangular(fc.program, "A", 0, ctx).is_ok());
+  expect_matches_reference(v, fc);
+}
+
+// -------------------------------------------------- counters / timing
+
+TEST(Counters, CoalescedGemmHasNoIncoherentLoadsOn9800) {
+  // CC 1.0 coalescing needs a Volkov-style shape: one thread per row
+  // (thread_extent_y == 1) so a half-warp's A loads and C updates walk
+  // 16 consecutive rows; k_tile = 16 keeps the staging copies aligned.
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx;
+  ctx.params.block_tile_y = 16;
+  ctx.params.block_tile_x = 16;
+  ctx.params.threads_y = 16;
+  ctx.params.threads_x = 1;
+  ctx.params.k_tile = 16;
+  ctx.params.unroll = 4;
+  FunctionalCase fc = make_case(v, 32, 32, 32, 15);
+  full_gemm_pipeline(fc, ctx);
+  Simulator sim(geforce_9800());
+  RunOptions opts;
+  opts.int_params = fc.params;
+  auto result = sim.run_performance(fc.program, opts);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->counters.gld_incoherent, 0);
+  EXPECT_GT(result->counters.gld_coherent, 0);
+  EXPECT_GT(result->counters.instructions, 0);
+  EXPECT_GT(result->counters.flops, 0);
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+TEST(Counters, PerformanceMatchesFunctionalForGemm) {
+  // The sampled performance run must agree with the exhaustive
+  // functional run on a homogeneous grid.
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 64, 64, 32, 16);
+  full_gemm_pipeline(fc, ctx);
+  Simulator sim(gtx285());
+  RunOptions opts;
+  opts.int_params = fc.params;
+  opts.warps_per_block_sample = 0;  // all warps: exact
+  auto perf = sim.run_performance(fc.program, opts);
+  ASSERT_TRUE(perf.is_ok()) << perf.status().to_string();
+  GlobalBuffers buffers = make_buffers(
+      fc.program, fc.params, {{"A", &fc.a}, {"B", &fc.b}, {"C", &fc.c}});
+  auto func = sim.run_functional(fc.program, opts, buffers);
+  ASSERT_TRUE(func.is_ok());
+  EXPECT_EQ(perf->counters.instructions, func->counters.instructions);
+  EXPECT_EQ(perf->counters.gld_coherent, func->counters.gld_coherent);
+  EXPECT_EQ(perf->counters.global_bytes, func->counters.global_bytes);
+  EXPECT_EQ(perf->counters.flops, func->counters.flops);
+}
+
+TEST(Counters, SampledTriangularCloseToExact) {
+  auto v = *find_variant("TRMM-LL-N");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 64, 64, 0, 17);
+  ASSERT_TRUE(transforms::thread_grouping(fc.program, {"Li", "Lj"},
+                                          {"Lii", "Ljj"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(fc.program, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  Simulator sim(gtx285());
+  RunOptions opts;
+  opts.int_params = fc.params;
+  opts.warps_per_block_sample = 0;
+  opts.max_sampled_classes = 2;  // force interpolation
+  auto sampled = sim.run_performance(fc.program, opts);
+  ASSERT_TRUE(sampled.is_ok()) << sampled.status().to_string();
+  opts.max_sampled_classes = 1 << 20;  // every class simulated
+  auto exact = sim.run_performance(fc.program, opts);
+  ASSERT_TRUE(exact.is_ok());
+  const double rel =
+      std::abs(static_cast<double>(sampled->counters.instructions) -
+               static_cast<double>(exact->counters.instructions)) /
+      static_cast<double>(exact->counters.instructions);
+  EXPECT_LT(rel, 0.05);
+}
+
+TEST(Timing, MoreSmsIsFaster) {
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx = small_ctx();
+  FunctionalCase fc = make_case(v, 64, 64, 64, 18);
+  full_gemm_pipeline(fc, ctx);
+  RunOptions opts;
+  opts.int_params = fc.params;
+  auto t9800 = Simulator(geforce_9800()).run_performance(fc.program, opts);
+  auto t285 = Simulator(gtx285()).run_performance(fc.program, opts);
+  ASSERT_TRUE(t9800.is_ok());
+  ASSERT_TRUE(t285.is_ok());
+  EXPECT_LT(t285->seconds, t9800->seconds);
+}
+
+TEST(Timing, GflopsSaneForTunedGemm) {
+  auto v = *find_variant("GEMM-NN");
+  TransformContext ctx;  // defaults: 32x32 tiles, 8x8 threads
+  FunctionalCase fc = make_case(v, 512, 512, 512, 19);
+  full_gemm_pipeline(fc, ctx);
+  Simulator sim(gtx285());
+  RunOptions opts;
+  opts.int_params = fc.params;
+  auto result = sim.run_performance(fc.program, opts);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const double gflops =
+      result->gflops(blas3::nominal_flops(v, 512, 512, 512));
+  // Sanity band: above 40 GFLOPS, below the device peak.
+  EXPECT_GT(gflops, 40.0);
+  EXPECT_LT(gflops, gtx285().peak_gflops);
+}
+
+TEST(Buffers, MakeBuffersZeroFillsGmMapTargets) {
+  auto v = *find_variant("SYMM-LL");
+  TransformContext ctx = small_ctx();
+  Program p = make_source_program(v);
+  ASSERT_TRUE(
+      transforms::gm_map(p, "A", AllocMode::kSymmetry, ctx).is_ok());
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  GlobalBuffers buffers =
+      make_buffers(p, {{"M", 8}, {"N", 8}}, {{"A", &a}, {"B", &b},
+                                             {"C", &c}});
+  EXPECT_NE(buffers.find("NewA"), nullptr);
+  EXPECT_EQ(buffers.find("NewA")->size(), 64u);
+}
+
+TEST(Buffers, ReadBackShapeMismatchFails) {
+  auto v = *find_variant("GEMM-NN");
+  Program p = make_source_program(v);
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  ir::Env params{{"M", 4}, {"N", 4}, {"K", 4}};
+  GlobalBuffers buffers =
+      make_buffers(p, params, {{"A", &a}, {"B", &b}, {"C", &c}});
+  Matrix wrong(3, 3);
+  EXPECT_FALSE(read_back(buffers, p, params, "C", wrong).is_ok());
+  EXPECT_FALSE(read_back(buffers, p, params, "Z", wrong).is_ok());
+}
+
+}  // namespace
+}  // namespace oa::gpusim

@@ -1,0 +1,163 @@
+// Corner cases of the IR layer that the transform pipeline depends on
+// but the main ir_test does not pin: bound containers with many terms,
+// substitution chains, validation of guarded bodies, interval hulls,
+// printer fidelity for transformed kernels.
+#include <gtest/gtest.h>
+
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "ir/interval.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::ir {
+namespace {
+
+AffineExpr sym(const char* s, int64_t c = 1) { return AffineExpr::sym(s, c); }
+
+TEST(BoundCorners, ManyTermEvaluation) {
+  Bound b = Bound::min_of({sym("M"), sym("kk") + 16, sym("i") + 1,
+                           AffineExpr(1000)});
+  Env env{{"M", 100}, {"kk", 80}, {"i", 90}};
+  EXPECT_EQ(b.eval_min(env), 91);
+  env["i"] = 200;
+  EXPECT_EQ(b.eval_min(env), 96);
+}
+
+TEST(BoundCorners, SubstitutionAcrossAllTerms) {
+  Bound b = Bound::min_of({sym("i") + 1, sym("M")});
+  Bound s = b.substituted("i", sym("ii", 4) + sym("iii"));
+  EXPECT_EQ(s.terms()[0].coeff("ii"), 4);
+  EXPECT_EQ(s.terms()[0].coeff("iii"), 1);
+  EXPECT_EQ(s.terms()[1], sym("M"));
+}
+
+TEST(AffineCorners, ChainedSubstitutionMatchesComposition) {
+  // (i -> 2a + b), then (a -> c + 1): i == 2c + 2 + b.
+  AffineExpr e = sym("i", 3) + 7;
+  AffineExpr step1 = e.substituted("i", sym("a", 2) + sym("b"));
+  AffineExpr step2 = step1.substituted("a", sym("c") + 1);
+  EXPECT_EQ(step2.coeff("c"), 6);
+  EXPECT_EQ(step2.coeff("b"), 3);
+  EXPECT_EQ(step2.constant_term(), 7 + 6);
+}
+
+TEST(AffineCorners, SelfReferentialRenameIsSafe) {
+  // rename i -> i (identity) and i -> j when j already present.
+  AffineExpr e = sym("i", 2) + sym("j", 3);
+  EXPECT_EQ(e.renamed("i", "i"), e);
+  AffineExpr merged = e.renamed("i", "j");
+  EXPECT_EQ(merged.coeff("j"), 5);
+}
+
+TEST(IntervalCorners, HullAndScale) {
+  Interval a{-3, 4};
+  EXPECT_EQ(a.scaled(-2), (Interval{-8, 6}));
+  EXPECT_EQ(a.hull({10, 12}), (Interval{-3, 12}));
+  EXPECT_EQ(a.width(), 8);
+}
+
+TEST(ValidateCorners, GuardedBodiesAreChecked) {
+  Program p = blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  // Wrap the statement in an If whose then-branch uses an out-of-scope
+  // symbol.
+  Node* lk = p.main_kernel().find("Lk");
+  NodePtr stmt = std::move(lk->body[0]);
+  stmt->lhs.index[0] = sym("nowhere");
+  std::vector<NodePtr> then_body;
+  then_body.push_back(std::move(stmt));
+  lk->body.clear();
+  lk->body.push_back(
+      make_if({Pred{sym("i"), Pred::Op::kGe}}, std::move(then_body)));
+  EXPECT_FALSE(validate(p).is_ok());
+}
+
+TEST(ValidateCorners, SharedArrayNeedsConstantShape) {
+  Program p = blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  p.main_kernel().local_arrays.push_back(
+      {"S", MemSpace::kShared, sym("M"), AffineExpr(4), 0});
+  EXPECT_FALSE(validate(p).is_ok());
+}
+
+TEST(PrinterCorners, TransformedGemmRendersEveryConstruct) {
+  Program p = blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  ASSERT_TRUE(
+      epod::apply_script_lenient(p, epod::gemm_nn_script(), ctx).is_ok());
+  const std::string s = to_string(p);
+  // Mapping annotations, ceil-div grid bounds, barriers, padded shared
+  // decl, unroll annotation, register decl, guarded flush.
+  EXPECT_NE(s.find("blockIdx.y"), std::string::npos);
+  EXPECT_NE(s.find("threadIdx.x"), std::string::npos);
+  EXPECT_NE(s.find("ceil("), std::string::npos);
+  EXPECT_NE(s.find("__syncthreads();"), std::string::npos);
+  EXPECT_NE(s.find("shared float B_s[32+1][16]"), std::string::npos);
+  EXPECT_NE(s.find("unroll"), std::string::npos);
+  EXPECT_NE(s.find("register float C_r"), std::string::npos);
+  EXPECT_NE(s.find("if ("), std::string::npos);
+}
+
+TEST(LoopVarRanges, MappedAndTiledLoops) {
+  Program p = blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  ASSERT_TRUE(transforms::thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"},
+                                          ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(p, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  RangeEnv env = loop_var_ranges(p.main_kernel(),
+                                 {{"M", 128}, {"N", 128}, {"K", 64}});
+  // Block loop over ceil(128/32) = 4 blocks.
+  ASSERT_TRUE(env.contains("i_b"));
+  EXPECT_EQ(env.at("i_b"), (Interval{0, 3}));
+  // Thread loop over 8 threads.
+  ASSERT_TRUE(env.contains("i_t"));
+  EXPECT_EQ(env.at("i_t"), (Interval{0, 7}));
+  // kk tile origins 0, 16, ..., 48.
+  ASSERT_TRUE(env.contains("kk"));
+  EXPECT_EQ(env.at("kk").lo, 0);
+}
+
+TEST(KernelCopy, TilingMetadataSurvivesCopies) {
+  Program p = blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  ASSERT_TRUE(transforms::thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"},
+                                          ctx)
+                  .is_ok());
+  Program copy = p;
+  ASSERT_TRUE(copy.main_kernel().tiling.contains("i"));
+  EXPECT_EQ(copy.main_kernel().tiling.at("i").block_extent,
+            p.main_kernel().tiling.at("i").block_extent);
+  // Mutating the copy's body must not touch the original.
+  copy.main_kernel().find("Lii")->label = "Lmutated";
+  EXPECT_NE(p.main_kernel().find("Lii"), nullptr);
+}
+
+TEST(EpodCorners, EmptyScriptAppliesAsNoop) {
+  auto script = epod::parse_script("   //nothing\n");
+  ASSERT_TRUE(script.is_ok());
+  EXPECT_TRUE(script->invocations.empty());
+  Program p = blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+  transforms::TransformContext ctx;
+  EXPECT_TRUE(epod::apply_script(p, *script, ctx).is_ok());
+}
+
+TEST(EpodCorners, MaskBitsMatchInvocationOrder) {
+  auto script = epod::parse_script(R"(
+    peel_triangular(A);
+    (Lii, Ljj) = thread_grouping(Li, Lj);
+  )");
+  ASSERT_TRUE(script.is_ok());
+  Program p = blas3::make_source_program(*blas3::find_variant("TRMM-LL-N"));
+  transforms::TransformContext ctx;
+  auto mask = epod::apply_script_lenient(p, *script, ctx);
+  ASSERT_TRUE(mask.is_ok());
+  // peel (bit 0) fails before grouping; grouping (bit 1) applies.
+  EXPECT_EQ(*mask, uint64_t{2});
+}
+
+}  // namespace
+}  // namespace oa::ir

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include "ir/affine.hpp"
+#include "ir/expr.hpp"
+#include "ir/interval.hpp"
+#include "ir/kernel.hpp"
+#include "ir/node.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+
+namespace oa::ir {
+namespace {
+
+AffineExpr sym(const std::string& s, int64_t c = 1) {
+  return AffineExpr::sym(s, c);
+}
+
+// ---------------------------------------------------------------- affine
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr e = sym("i", 2) + sym("j") - 3;
+  EXPECT_EQ(e.coeff("i"), 2);
+  EXPECT_EQ(e.coeff("j"), 1);
+  EXPECT_EQ(e.constant_term(), -3);
+  e *= 2;
+  EXPECT_EQ(e.coeff("i"), 4);
+  EXPECT_EQ(e.constant_term(), -6);
+}
+
+TEST(AffineExpr, CancellationRemovesSymbol) {
+  AffineExpr e = sym("i") - sym("i");
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_FALSE(e.depends_on("i"));
+}
+
+TEST(AffineExpr, Eval) {
+  AffineExpr e = sym("i", 16) + sym("k") + 1;
+  Env env{{"i", 3}, {"k", 5}};
+  EXPECT_EQ(e.eval(env), 16 * 3 + 5 + 1);
+}
+
+TEST(AffineExpr, Substitution) {
+  // i -> 16*ii + iii
+  AffineExpr e = sym("i", 2) + sym("k");
+  AffineExpr repl = sym("ii", 16) + sym("iii");
+  AffineExpr out = e.substituted("i", repl);
+  EXPECT_EQ(out.coeff("ii"), 32);
+  EXPECT_EQ(out.coeff("iii"), 2);
+  EXPECT_EQ(out.coeff("k"), 1);
+  EXPECT_EQ(out.coeff("i"), 0);
+}
+
+TEST(AffineExpr, SubstituteAbsentIsNoop) {
+  AffineExpr e = sym("i");
+  EXPECT_EQ(e.substituted("z", sym("q")), e);
+}
+
+TEST(AffineExpr, Rename) {
+  AffineExpr e = sym("i") + sym("k", 3);
+  AffineExpr out = e.renamed("i", "k");
+  EXPECT_EQ(out.coeff("k"), 4);
+}
+
+TEST(AffineExpr, ToString) {
+  EXPECT_EQ((sym("i", 16) + sym("k") - 1).to_string(), "16*i + k - 1");
+  EXPECT_EQ(AffineExpr::constant(0).to_string(), "0");
+  EXPECT_EQ((sym("i", -1)).to_string(), "-i");
+}
+
+TEST(Bound, MinOfTerms) {
+  Bound b = Bound::min_of({sym("K"), sym("kk") + 16});
+  Env env{{"K", 100}, {"kk", 96}};
+  EXPECT_EQ(b.eval_min(env), 100);
+  env["kk"] = 90;
+  EXPECT_EQ(b.eval_min(env), 100);
+  env["K"] = 95;
+  EXPECT_EQ(b.eval_min(env), 95);
+}
+
+TEST(Bound, ToString) {
+  Bound b = Bound::min_of({sym("K"), sym("kk") + 16});
+  EXPECT_EQ(b.to_string(true), "min(K, kk + 16)");
+  EXPECT_EQ(Bound(sym("M")).to_string(true), "M");
+}
+
+TEST(Pred, Eval) {
+  // threadIdx.x == 0
+  Pred p{sym("tx"), Pred::Op::kEq};
+  EXPECT_TRUE(p.eval({{"tx", 0}}));
+  EXPECT_FALSE(p.eval({{"tx", 3}}));
+  Pred ge{sym("i") - 4, Pred::Op::kGe};
+  EXPECT_TRUE(ge.eval({{"i", 4}}));
+  EXPECT_FALSE(ge.eval({{"i", 3}}));
+}
+
+// ------------------------------------------------------------------ expr
+
+ExprPtr gemm_rhs() {
+  return make_mul(make_ref("A", {sym("i"), sym("k")}),
+                  make_ref("B", {sym("k"), sym("j")}));
+}
+
+TEST(Expr, CountsOpsAndLoads) {
+  auto e = gemm_rhs();
+  EXPECT_EQ(e->count_arith_ops(), 1);
+  EXPECT_EQ(e->count_loads(), 2);
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  auto e = gemm_rhs();
+  auto c = e->clone();
+  EXPECT_TRUE(e->equals(*c));
+  c->a->ref.array = "X";
+  EXPECT_FALSE(e->equals(*c));
+  EXPECT_EQ(e->a->ref.array, "A");
+}
+
+TEST(Expr, RenameVarHitsAllRefs) {
+  auto e = gemm_rhs();
+  e->rename_var("k", "q");
+  EXPECT_EQ(e->to_string(), "A[i][q] * B[q][j]");
+}
+
+TEST(Expr, ForEachRefVisitsNested) {
+  auto e = make_add(make_mul(make_scalar("alpha"), gemm_rhs()),
+                    make_ref("C", {sym("i"), sym("j")}));
+  int count = 0;
+  static_cast<const Expr&>(*e).visit_refs(
+      [&](const ArrayRef&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+// ------------------------------------------------------------------ node
+
+std::vector<NodePtr> gemm_nn_body(bool labeled = true) {
+  auto stmt = make_assign(ArrayRef{"C", {sym("i"), sym("j")}},
+                          AssignOp::kAddAssign, gemm_rhs());
+  auto lk = make_loop(labeled ? "Lk" : "k", "k", Bound(0), Bound(sym("K")));
+  lk->body.push_back(std::move(stmt));
+  auto lj = make_loop(labeled ? "Lj" : "j", "j", Bound(0), Bound(sym("N")));
+  lj->body.push_back(std::move(lk));
+  auto li = make_loop(labeled ? "Li" : "i", "i", Bound(0), Bound(sym("M")));
+  li->body.push_back(std::move(lj));
+  std::vector<NodePtr> body;
+  body.push_back(std::move(li));
+  return body;
+}
+
+TEST(Node, FindLoopByLabel) {
+  auto body = gemm_nn_body();
+  EXPECT_NE(find_loop(body, "Lk"), nullptr);
+  EXPECT_EQ(find_loop(body, "Lz"), nullptr);
+  EXPECT_EQ(find_loop(body, "Lk")->var, "k");
+}
+
+TEST(Node, LocateLoopReportsParent) {
+  auto body = gemm_nn_body();
+  LoopLocation loc = locate_loop(body, "Lj");
+  ASSERT_NE(loc.loop, nullptr);
+  EXPECT_EQ(loc.loop->label, "Lj");
+  ASSERT_NE(loc.parent_body, nullptr);
+  EXPECT_EQ((*loc.parent_body)[loc.index].get(), loc.loop);
+  // Parent of Lj is Li's body.
+  EXPECT_EQ(loc.parent_body, &find_loop(body, "Li")->body);
+}
+
+TEST(Node, CloneDeepEquality) {
+  auto body = gemm_nn_body();
+  auto copy = clone_body(body);
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_TRUE(body[0]->equals(*copy[0]));
+  copy[0]->label = "Lx";
+  EXPECT_FALSE(body[0]->equals(*copy[0]));
+}
+
+TEST(Node, SubstituteUses) {
+  auto body = gemm_nn_body();
+  // i -> 16*bi + ti everywhere i is used.
+  find_loop(body, "Li")->body[0]->substitute_uses(
+      "i", sym("bi", 16) + sym("ti"));
+  const Node* lk = find_loop(body, "Lk");
+  const Node& stmt = *lk->body[0];
+  EXPECT_EQ(stmt.lhs.index[0].coeff("bi"), 16);
+  EXPECT_EQ(stmt.lhs.index[0].coeff("ti"), 1);
+}
+
+TEST(Node, WalkVisitsEverything) {
+  auto body = gemm_nn_body();
+  int loops = 0, assigns = 0;
+  walk_const(body, [&](const Node& n) {
+    loops += n.is_loop();
+    assigns += n.is_assign();
+    return true;
+  });
+  EXPECT_EQ(loops, 3);
+  EXPECT_EQ(assigns, 1);
+}
+
+TEST(Node, ForEachRefIncludesLhs) {
+  auto body = gemm_nn_body();
+  int refs = 0;
+  visit_refs(body, [&](const ArrayRef&) { ++refs; });
+  EXPECT_EQ(refs, 3);  // C lhs, A, B
+}
+
+// ---------------------------------------------------------------- kernel
+
+Program gemm_program() {
+  Program p;
+  p.name = "gemm_nn";
+  p.int_params = {"M", "N", "K"};
+  p.globals = {
+      {"A", MemSpace::kGlobal, sym("M"), sym("K"), 0},
+      {"B", MemSpace::kGlobal, sym("K"), sym("N"), 0},
+      {"C", MemSpace::kGlobal, sym("M"), sym("N"), 0},
+  };
+  Kernel k;
+  k.name = "main";
+  k.body = gemm_nn_body();
+  p.kernels.push_back(std::move(k));
+  return p;
+}
+
+TEST(Kernel, ValidatesCleanProgram) {
+  Program p = gemm_program();
+  EXPECT_TRUE(validate(p).is_ok()) << validate(p).to_string();
+}
+
+TEST(Kernel, ValidateCatchesUndeclaredArray) {
+  Program p = gemm_program();
+  find_loop(p.main_kernel().body, "Lk")->body[0]->lhs.array = "Z";
+  EXPECT_FALSE(validate(p).is_ok());
+}
+
+TEST(Kernel, ValidateCatchesOutOfScopeSymbol) {
+  Program p = gemm_program();
+  find_loop(p.main_kernel().body, "Lk")->body[0]->lhs.index[0] = sym("zz");
+  EXPECT_FALSE(validate(p).is_ok());
+}
+
+TEST(Kernel, ValidateCatchesDuplicateLabel) {
+  Program p = gemm_program();
+  find_loop(p.main_kernel().body, "Lk")->label = "Li";
+  EXPECT_FALSE(validate(p).is_ok());
+}
+
+TEST(Kernel, ArrayDeclColumnMajorOffset) {
+  ArrayDecl a{"S", MemSpace::kShared, AffineExpr(16), AffineExpr(16), 1};
+  Env env;
+  EXPECT_EQ(a.leading_dim(env), 17);
+  EXPECT_EQ(a.offset(3, 2, env), 3 + 2 * 17);
+  EXPECT_EQ(a.num_elements(env), 17 * 16);
+}
+
+TEST(Kernel, LaunchConfigFromMappedLoops) {
+  Program p = gemm_program();
+  Kernel& k = p.main_kernel();
+  // Map Li to blocks(Y), Lj to blocks(X); add thread loops inside.
+  Node* li = k.find("Li");
+  li->map = LoopMap::kBlockY;
+  li->ub = Bound(AffineExpr(8));
+  Node* lj = k.find("Lj");
+  lj->map = LoopMap::kBlockX;
+  lj->ub = Bound(AffineExpr(4));
+  Node* lk = k.find("Lk");
+  lk->map = LoopMap::kThreadX;
+  lk->ub = Bound(AffineExpr(64));
+  auto cfg = launch_config(k, {{"M", 128}, {"N", 128}, {"K", 64}});
+  ASSERT_TRUE(cfg.is_ok()) << cfg.status().to_string();
+  EXPECT_EQ(cfg->grid_y, 8);
+  EXPECT_EQ(cfg->grid_x, 4);
+  EXPECT_EQ(cfg->block_x, 64);
+  EXPECT_EQ(cfg->block_y, 1);
+  EXPECT_EQ(cfg->num_blocks(), 32);
+  EXPECT_EQ(cfg->threads_per_block(), 64);
+  EXPECT_FALSE(cfg->serial_grid_y);
+}
+
+TEST(Kernel, SerialGridYPropagates) {
+  Program p = gemm_program();
+  Kernel& k = p.main_kernel();
+  Node* li = k.find("Li");
+  li->map = LoopMap::kBlockYSerial;
+  li->ub = Bound(AffineExpr(8));
+  Node* lj = k.find("Lj");
+  lj->map = LoopMap::kThreadX;
+  lj->ub = Bound(AffineExpr(32));
+  auto cfg = launch_config(k, {{"M", 1}, {"N", 1}, {"K", 1}});
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_TRUE(cfg->serial_grid_y);
+  EXPECT_EQ(cfg->grid_y, 8);
+}
+
+TEST(Kernel, CopySemanticsAreDeep) {
+  Program p = gemm_program();
+  Kernel copy = p.main_kernel();
+  copy.find("Lk")->body[0]->lhs.array = "Z";
+  EXPECT_EQ(p.main_kernel().find("Lk")->body[0]->lhs.array, "C");
+}
+
+// -------------------------------------------------------------- interval
+
+TEST(Interval, RangeOfAffine) {
+  RangeEnv env{{"i", {0, 15}}, {"k", {0, 3}}};
+  auto r = range_of(sym("i", 2) + sym("k") + 1, env);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 1);
+  EXPECT_EQ(r->hi, 34);
+}
+
+TEST(Interval, NegativeCoefficientFlips) {
+  RangeEnv env{{"i", {2, 5}}};
+  auto r = range_of(sym("i", -1) + 10, env);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 5);
+  EXPECT_EQ(r->hi, 8);
+}
+
+TEST(Interval, UnboundSymbolIsNullopt) {
+  RangeEnv env;
+  EXPECT_FALSE(range_of(sym("q"), env).has_value());
+}
+
+TEST(Interval, LoopVarRanges) {
+  Program p = gemm_program();
+  RangeEnv env = loop_var_ranges(p.main_kernel(),
+                                 {{"M", 32}, {"N", 16}, {"K", 8}});
+  ASSERT_TRUE(env.contains("i"));
+  EXPECT_EQ(env.at("i"), (Interval{0, 31}));
+  EXPECT_EQ(env.at("k"), (Interval{0, 7}));
+}
+
+// --------------------------------------------------------------- printer
+
+TEST(Printer, RendersGemm) {
+  Program p = gemm_program();
+  std::string s = to_string(p);
+  EXPECT_NE(s.find("Li: for (i = 0; i < M; i++)"), std::string::npos);
+  EXPECT_NE(s.find("C[i][j] += A[i][k] * B[k][j];"), std::string::npos);
+}
+
+TEST(Printer, RendersMappingAnnotations) {
+  auto loop = make_loop("Lt", "tx", Bound(0), Bound(AffineExpr(16)));
+  loop->map = LoopMap::kThreadX;
+  std::string s = to_string(*loop);
+  EXPECT_NE(s.find("threadIdx.x"), std::string::npos);
+}
+
+TEST(Printer, RendersIfWithBoolParam) {
+  auto n = make_if({}, {}, {});
+  n->bool_param = "blank_zero";
+  n->then_body.push_back(make_sync());
+  std::string s = to_string(*n);
+  EXPECT_NE(s.find("if (blank_zero)"), std::string::npos);
+  EXPECT_NE(s.find("__syncthreads();"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oa::ir

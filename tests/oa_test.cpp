@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "blas3/reference.hpp"
+#include "oa/oa.hpp"
+#include "support/rng.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::find_variant;
+using blas3::Variant;
+
+OaOptions quick_options() {
+  OaOptions opt;
+  opt.tuning_size = 256;
+  opt.verify_size = 48;
+  return opt;
+}
+
+// ----------------------------------------------------------- adaptors
+
+TEST(AdaptorsFor, GemmNnNeedsNone) {
+  EXPECT_TRUE(OaFramework::adaptors_for(*find_variant("GEMM-NN")).empty());
+}
+
+TEST(AdaptorsFor, GemmTransposesGetTransposeAdaptors) {
+  auto tn = OaFramework::adaptors_for(*find_variant("GEMM-TN"));
+  ASSERT_EQ(tn.size(), 1u);
+  EXPECT_EQ(tn[0].name, "Adaptor_Transpose");
+  EXPECT_EQ(tn[0].formal, "A");
+  auto tt = OaFramework::adaptors_for(*find_variant("GEMM-TT"));
+  ASSERT_EQ(tt.size(), 2u);
+  EXPECT_EQ(tt[1].formal, "B");
+}
+
+TEST(AdaptorsFor, FamiliesMapToTheirAdaptors) {
+  EXPECT_EQ(OaFramework::adaptors_for(*find_variant("SYMM-RU"))[0].name,
+            "Adaptor_Symmetry");
+  EXPECT_EQ(OaFramework::adaptors_for(*find_variant("TRMM-LU-T"))[0].name,
+            "Adaptor_Triangular");
+  EXPECT_EQ(OaFramework::adaptors_for(*find_variant("TRSM-RL-N"))[0].name,
+            "Adaptor_Solver");
+}
+
+// --------------------------------------------------------- candidates
+
+TEST(CandidatesFor, EveryVariantHasAtLeastOne) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  for (const Variant& v : blas3::all_variants()) {
+    auto candidates = framework.candidates_for(v);
+    ASSERT_TRUE(candidates.is_ok())
+        << v.name() << ": " << candidates.status().to_string();
+    EXPECT_GE(candidates->size(), 1u) << v.name();
+  }
+}
+
+TEST(CandidatesFor, TrsmMemoryDeclarationsRetargetedToB) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  auto candidates = framework.candidates_for(*find_variant("TRSM-LL-N"));
+  ASSERT_TRUE(candidates.is_ok());
+  for (const auto& c : *candidates) {
+    for (const auto& inv : c.script.invocations) {
+      if (inv.component == "reg_alloc") {
+        EXPECT_EQ(inv.args[0], "B");  // TRSM has no C
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- generation (E2E)
+
+TEST(Generate, GemmNnEndToEnd) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  auto tuned = framework.generate(*find_variant("GEMM-NN"));
+  ASSERT_TRUE(tuned.is_ok()) << tuned.status().to_string();
+  EXPECT_GT(tuned->gflops, 0.0);
+
+  // Second call hits the cache (same object).
+  auto again = framework.generate(*find_variant("GEMM-NN"));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->params.to_string(), tuned->params.to_string());
+}
+
+TEST(Generate, RunProducesCorrectResults) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  const Variant v = *find_variant("GEMM-NN");
+  auto tuned = framework.generate(v);
+  ASSERT_TRUE(tuned.is_ok());
+
+  const int64_t n = 64;
+  Rng rng(7);
+  blas3::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  ASSERT_TRUE(framework.run(tuned->program, v, a, b, &c).is_ok());
+
+  blas3::Matrix ref_b = b;
+  blas3::Matrix ref_c(n, n);
+  blas3::run_reference(v, a, ref_b, &ref_c);
+  EXPECT_LT(blas3::max_abs_diff(c, ref_c),
+            blas3::accumulation_tolerance(n));
+}
+
+TEST(Generate, SymmBeatsBaselineOnGtx285) {
+  // The headline experiment in miniature: the generated SYMM clearly
+  // outperforms the CUBLAS-like baseline.
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  const Variant v = *find_variant("SYMM-LL");
+  auto tuned = framework.generate(v);
+  ASSERT_TRUE(tuned.is_ok()) << tuned.status().to_string();
+  auto oa_gflops = framework.measure_gflops(*tuned, v, 1024);
+  ASSERT_TRUE(oa_gflops.is_ok());
+  auto base = baseline::cublas_like(v, framework.device());
+  ASSERT_TRUE(base.is_ok());
+  auto base_gflops = framework.measure_baseline_gflops(*base, v, 1024);
+  ASSERT_TRUE(base_gflops.is_ok());
+  EXPECT_GT(*oa_gflops, *base_gflops * 1.5);
+}
+
+TEST(Generate, SymmBestScriptUsesGmMapOrFission) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  auto tuned = framework.generate(*find_variant("SYMM-LL"));
+  ASSERT_TRUE(tuned.is_ok());
+  bool has_symmetry_handling = false;
+  for (const auto& inv : tuned->candidate.script.invocations) {
+    if (inv.component == "GM_map" || inv.component == "format_iteration") {
+      has_symmetry_handling = true;
+    }
+  }
+  EXPECT_TRUE(has_symmetry_handling);
+}
+
+TEST(Profile, MainKernelCountersPerSm) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  const Variant v = *find_variant("GEMM-NN");
+  auto tuned = framework.generate(v);
+  ASSERT_TRUE(tuned.is_ok());
+  auto prof = framework.profile(tuned->program, v, 512);
+  ASSERT_TRUE(prof.is_ok()) << prof.status().to_string();
+  EXPECT_GT(prof->instructions, 0);
+  EXPECT_GT(prof->flops, 0);
+}
+
+}  // namespace
+}  // namespace oa

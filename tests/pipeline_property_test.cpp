@@ -1,0 +1,138 @@
+// Property sweep across the whole catalog: for every BLAS3 variant and
+// a set of tuning-parameter configurations, the composed scripts (in
+// filter semantics) must produce kernels that
+//   (a) validate structurally,
+//   (b) launch (occupancy-feasible or cleanly rejected), and
+//   (c) compute the same result as the CPU reference whenever the
+//       tuner's verification accepts them.
+// This is the invariant the whole framework rests on: *no parameter
+// point anywhere in the search space silently produces wrong numbers
+// that the verifier would accept.*
+#include <gtest/gtest.h>
+
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "ir/validate.hpp"
+#include "oa/oa.hpp"
+#include "tuner/tuner.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::Variant;
+
+struct SweepCase {
+  Variant variant;
+  transforms::TuningParams params;
+  std::string name;
+};
+
+std::vector<SweepCase> make_cases() {
+  std::vector<transforms::TuningParams> param_sets;
+  {
+    transforms::TuningParams volkov;
+    volkov.block_tile_y = 64;
+    volkov.block_tile_x = 16;
+    volkov.threads_y = 64;
+    volkov.threads_x = 1;
+    volkov.k_tile = 16;
+    volkov.unroll = 4;
+    param_sets.push_back(volkov);
+
+    transforms::TuningParams square;
+    square.block_tile_y = 32;
+    square.block_tile_x = 32;
+    square.threads_y = 8;
+    square.threads_x = 8;
+    square.k_tile = 8;
+    square.unroll = 1;
+    param_sets.push_back(square);
+
+    transforms::TuningParams skinny;
+    skinny.block_tile_y = 16;
+    skinny.block_tile_x = 32;
+    skinny.threads_y = 16;
+    skinny.threads_x = 2;
+    skinny.k_tile = 16;
+    skinny.unroll = 16;
+    param_sets.push_back(skinny);
+  }
+  std::vector<SweepCase> cases;
+  const char* tags[] = {"volkov", "square", "skinny"};
+  for (const Variant& v : blas3::all_variants()) {
+    for (size_t p = 0; p < param_sets.size(); ++p) {
+      std::string name = v.name() + "_" + tags[p];
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      cases.push_back({v, param_sets[p], name});
+    }
+  }
+  return cases;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static OaFramework& framework() {
+    static OaFramework fw(gpusim::gtx285(), [] {
+      OaOptions opt;
+      opt.tuning_size = 128;
+      opt.verify_size = 40;
+      return opt;
+    }());
+    return fw;
+  }
+};
+
+TEST_P(PipelineSweep, EveryCandidateValidOrCleanlyRejected) {
+  const SweepCase& sc = GetParam();
+  auto candidates = framework().candidates_for(sc.variant);
+  ASSERT_TRUE(candidates.is_ok()) << candidates.status().to_string();
+
+  tuner::TuneOptions topt;
+  topt.target_size = 128;
+  topt.verify_size = 40;
+  tuner::Tuner tuner(framework().simulator(), topt);
+
+  int verified = 0;
+  for (const composer::Candidate& c : *candidates) {
+    // Structural validity of the lenient application is checked for
+    // every candidate regardless of verification outcome.
+    transforms::TransformContext ctx;
+    ctx.params = sc.params;
+    ir::Program program = blas3::make_source_program(sc.variant);
+    auto mask = epod::apply_script_lenient(program, c.script, ctx);
+    if (!mask.is_ok()) continue;  // e.g. incompatible params
+    Status valid = ir::validate(program);
+    EXPECT_TRUE(valid.is_ok())
+        << sc.variant.name() << " / " << c.script.to_string() << ": "
+        << valid.to_string();
+
+    auto result = tuner.evaluate(sc.variant, c, sc.params);
+    if (result.is_ok()) {
+      ++verified;
+      EXPECT_GT(result->seconds, 0.0);
+      EXPECT_GT(result->counters.flops, 0);
+    } else {
+      // Rejections must be clean: verification failure, occupancy, or
+      // parameter incompatibility — never an internal error.
+      EXPECT_NE(result.status().code(), ErrorCode::kInternal)
+          << sc.variant.name() << ": " << result.status().to_string();
+    }
+  }
+  // At least one candidate must survive at the Volkov point (the
+  // default the tuner probes with); other points may legitimately
+  // reject everything (e.g. k_tile incompatible with the solver).
+  if (sc.name.find("volkov") != std::string::npos) {
+    EXPECT_GT(verified, 0) << sc.variant.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, PipelineSweep,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<SweepCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace oa

@@ -1,0 +1,193 @@
+// Regression tests for specific pipeline bugs found during bring-up —
+// each encodes a failure mode that silently produced wrong kernels or
+// mis-ranked variants before the fix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas3/matrix.hpp"
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "gpusim/simulator.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "support/rng.hpp"
+#include "transforms/transform.hpp"
+#include "tuner/tuner.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::find_variant;
+
+// Bug: loop_tiling hoisted the k-tile loop above the *positionally*
+// first label instead of the outermost point loop; for right-side
+// routines (Lj outermost) the kk loop landed inside its own point loop,
+// using kk before its definition.
+TEST(Regression, RightSideTilingHoistsAboveOutermostPointLoop) {
+  ir::Program p =
+      blas3::make_source_program(*find_variant("TRSM-RL-N"));
+  transforms::TransformContext ctx;
+  ASSERT_TRUE(transforms::thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"},
+                                          ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(p, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  Status valid = ir::validate(p);
+  ASSERT_TRUE(valid.is_ok()) << valid.to_string() << "\n"
+                             << ir::to_string(p);
+  // The tile loop must contain the outermost point loop (Ljjj for this
+  // right-side source), not sit inside it.
+  const ir::Node* lk = p.main_kernel().find("Lk");
+  ASSERT_NE(lk, nullptr);
+  EXPECT_NE(ir::find_loop(lk->body, "Ljjj"), nullptr);
+  EXPECT_NE(ir::find_loop(lk->body, "Liii"), nullptr);
+}
+
+// Bug: the full solver pipeline must apply end-to-end for every TRSM
+// variant (right sides included) at the probe parameters.
+TEST(Regression, SolverPipelineAppliesForAllTrsmVariants) {
+  auto script = epod::parse_script(R"(
+    (Lii, Ljj) = thread_grouping(Li, Lj);
+    (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+    peel_triangular(A);
+    binding_triangular(A, 0);
+    loop_unroll(Ljjj, Lkkk);
+    SM_alloc(B, Transpose);
+    reg_alloc(B);
+  )");
+  ASSERT_TRUE(script.is_ok());
+  for (const blas3::Variant& v : blas3::all_variants()) {
+    if (v.family != blas3::Family::kTrsm) continue;
+    ir::Program p = blas3::make_source_program(v);
+    transforms::TransformContext ctx;
+    auto mask = epod::apply_script_lenient(p, *script, ctx);
+    ASSERT_TRUE(mask.is_ok()) << v.name();
+    // Every component must have applied (no degeneration).
+    EXPECT_EQ(*mask, (uint64_t{1} << script->invocations.size()) - 1)
+        << v.name();
+    EXPECT_TRUE(ir::validate(p).is_ok()) << v.name();
+  }
+}
+
+// Bug: padding_triangular padded the reduction range to
+// block_base + tile without clamping at the matrix edge, reading
+// A[., M] on partial boundary blocks (caught as out-of-bounds by the
+// simulator at verify size 40).
+TEST(Regression, PaddingClampsAtBoundaryBlocks) {
+  const blas3::Variant v = *find_variant("TRMM-LL-N");
+  ir::Program p = blas3::make_source_program(v);
+  transforms::TransformContext ctx;
+  ctx.params.block_tile_y = 64;
+  ctx.params.block_tile_x = 16;
+  ctx.params.threads_y = 64;
+  ctx.params.threads_x = 1;
+  ctx.params.k_tile = 16;
+  ASSERT_TRUE(transforms::thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"},
+                                          ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::loop_tiling(p, {"Lii", "Ljj", "Lk"},
+                                      {"Liii", "Ljjj", "Lkkk"}, ctx)
+                  .is_ok());
+  ASSERT_TRUE(transforms::padding_triangular(p, "A", ctx).is_ok());
+
+  // M = 40 is not a multiple of the 64-row block: the padded range must
+  // stop at M. The functional run catches any overshoot as
+  // out-of-bounds.
+  gpusim::Simulator sim(gpusim::gtx285());
+  Status verified =
+      tuner::verify_program(sim, v, p, 40, {{"blank_zero", true}});
+  EXPECT_TRUE(verified.is_ok()) << verified.to_string();
+}
+
+// Bug: the tuner verified once per candidate script; a later parameter
+// point that *degenerated* the script (peel failing under k_tile >
+// block_tile) reused the verification of the intact kernel and ranked
+// a racy kernel as the winner.
+TEST(Regression, DegeneratedSolverPointIsRejectedNotReused) {
+  gpusim::Simulator sim(gpusim::gtx285());
+  tuner::TuneOptions topt;
+  topt.target_size = 128;
+  topt.verify_size = 48;
+  tuner::Tuner tuner(sim, topt);
+
+  auto script = epod::parse_script(R"(
+    (Lii, Ljj) = thread_grouping(Li, Lj);
+    (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+    peel_triangular(A);
+    binding_triangular(A, 0);
+    SM_alloc(B, Transpose);
+    reg_alloc(B);
+  )");
+  ASSERT_TRUE(script.is_ok());
+  composer::Candidate c;
+  c.script = *script;
+
+  std::set<uint64_t> masks;
+  transforms::TuningParams good;
+  good.block_tile_y = 32;
+  good.block_tile_x = 16;
+  good.threads_y = 32;
+  good.threads_x = 1;
+  good.k_tile = 16;
+  auto ok = tuner.evaluate(*find_variant("TRSM-LL-N"), c, good, &masks);
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+
+  transforms::TuningParams bad = good;
+  bad.block_tile_y = 16;
+  bad.threads_y = 16;
+  bad.k_tile = 32;  // > block tile: peel degenerates
+  auto rejected =
+      tuner.evaluate(*find_variant("TRSM-LL-N"), c, bad, &masks);
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kIllegal);
+}
+
+// Bug: the SM_alloc copy nest iterated shared-tile coordinates, making
+// Transpose-mode staging read global memory strided (gld_incoherent on
+// CC 1.0). The linear-tid copy must be fully coalesced for a 16-deep
+// k-tile.
+TEST(Regression, StagingCopyIsCoalescedOnCc10) {
+  const blas3::Variant v = *find_variant("GEMM-NN");
+  ir::Program p = blas3::make_source_program(v);
+  transforms::TransformContext ctx;
+  ctx.params.block_tile_y = 16;
+  ctx.params.block_tile_x = 16;
+  ctx.params.threads_y = 16;
+  ctx.params.threads_x = 1;
+  ctx.params.k_tile = 16;
+  auto script = epod::gemm_nn_script();
+  ASSERT_TRUE(epod::apply_script_lenient(p, script, ctx).is_ok());
+  gpusim::Simulator sim(gpusim::geforce_9800());
+  gpusim::RunOptions opts;
+  opts.int_params = {{"M", 64}, {"N", 64}, {"K", 64}};
+  opts.warps_per_block_sample = 0;
+  auto r = sim.run_performance(p, opts);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->counters.gld_incoherent, 0);
+  EXPECT_EQ(r->counters.gst_incoherent, 0);
+}
+
+// Bug: TRSM error growth — with unscaled random triangular factors the
+// absolute solve error exceeds any fixed tolerance even for correct
+// kernels; verification inputs scale the off-diagonal. This test pins
+// the conditioning helper's effect.
+TEST(Regression, ConditionedTrsmSolvesStayBounded) {
+  const int64_t n = 96;
+  Rng rng(11);
+  blas3::Matrix a(n, n), b(n, n);
+  a.fill_random(rng);
+  a.make_triangular(blas3::Uplo::kLower);
+  a.set_unit_diagonal();
+  a.scale_off_diagonal(1.0f / 16.0f);
+  b.fill_random(rng);
+  blas3::run_reference(*find_variant("TRSM-LL-N"), a, b, nullptr);
+  float max_abs = 0.0f;
+  for (float x : b.data()) max_abs = std::max(max_abs, std::fabs(x));
+  EXPECT_LT(max_abs, 100.0f);  // no exponential blow-up
+}
+
+}  // namespace
+}  // namespace oa

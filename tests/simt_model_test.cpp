@@ -1,0 +1,346 @@
+// Property tests of the SIMT execution model with hand-crafted kernels:
+// each test pins one architectural behaviour of the simulator that the
+// paper's evaluation depends on (coalescing rules per device
+// generation, bank conflicts, barrier divergence, serialized grid
+// waves, register spilling).
+#include <gtest/gtest.h>
+
+#include "gpusim/simulator.hpp"
+#include "ir/kernel.hpp"
+
+namespace oa::gpusim {
+namespace {
+
+using ir::AffineExpr;
+using ir::ArrayRef;
+using ir::AssignOp;
+using ir::Bound;
+using ir::LoopMap;
+using ir::MemSpace;
+using ir::NodePtr;
+using ir::Program;
+
+AffineExpr S(const char* s) { return AffineExpr::sym(s); }
+
+/// Program with one global array G (rows x cols) and a 1-block kernel
+/// of `threads` threads (threadIdx.x = "tx") whose body is built by
+/// `fill`.
+Program one_block_program(
+    int64_t rows, int64_t cols, int64_t threads,
+    const std::function<std::vector<NodePtr>()>& fill) {
+  Program p;
+  p.name = "crafted";
+  p.int_params = {};
+  p.globals = {{"G", MemSpace::kGlobal, AffineExpr(rows), AffineExpr(cols),
+                0}};
+  ir::Kernel k;
+  k.name = "main";
+  auto tx = ir::make_loop("Ltx", "tx", Bound(0), Bound(AffineExpr(threads)));
+  tx->map = LoopMap::kThreadX;
+  tx->body = fill();
+  auto by = ir::make_loop("Lby", "by", Bound(0), Bound(AffineExpr(1)));
+  by->map = LoopMap::kBlockY;
+  by->body.push_back(std::move(tx));
+  k.body.push_back(std::move(by));
+  p.kernels.push_back(std::move(k));
+  return p;
+}
+
+Counters run_perf(const Program& p, const DeviceModel& dev) {
+  Simulator sim(dev);
+  RunOptions opts;
+  opts.warps_per_block_sample = 0;
+  auto r = sim.run_performance(p, opts);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return r.is_ok() ? r->counters : Counters{};
+}
+
+NodePtr read_stmt(AffineExpr row, AffineExpr col) {
+  // G[0][63] = G[row][col]: one load analyzed per thread; the store
+  // target is a single shared location (benign for counters).
+  return ir::make_assign(ArrayRef{"G", {AffineExpr(0), AffineExpr(63)}},
+                         AssignOp::kAssign,
+                         ir::make_ref("G", {row, col}));
+}
+
+// --------------------------------------------------------- CC 1.0 rules
+
+TEST(StrictCoalescing, PerfectRowIsOneTransactionPerHalfWarp) {
+  // 16 lanes read G[tx][0]: consecutive, aligned -> 1 coherent
+  // transaction per half-warp.
+  Program p = one_block_program(64, 64, 16, [] {
+    std::vector<NodePtr> body;
+    body.push_back(read_stmt(S("tx"), AffineExpr(0)));
+    return body;
+  });
+  Counters c = run_perf(p, geforce_9800());
+  EXPECT_EQ(c.gld_coherent, 1);
+  EXPECT_EQ(c.gld_incoherent, 0);
+}
+
+TEST(StrictCoalescing, StridedRowSerializes) {
+  // G[2*tx][0]: stride 2 -> 16 serialized transactions.
+  Program p = one_block_program(64, 64, 16, [] {
+    std::vector<NodePtr> body;
+    body.push_back(read_stmt(AffineExpr::sym("tx", 2), AffineExpr(0)));
+    return body;
+  });
+  Counters c = run_perf(p, geforce_9800());
+  EXPECT_EQ(c.gld_coherent, 0);
+  EXPECT_EQ(c.gld_incoherent, 16);
+}
+
+TEST(StrictCoalescing, MisalignedBaseSerializes) {
+  // G[tx + 1][0]: consecutive but crossing the 64B alignment -> CC 1.0
+  // serializes.
+  Program p = one_block_program(64, 64, 16, [] {
+    std::vector<NodePtr> body;
+    body.push_back(read_stmt(S("tx") + 1, AffineExpr(0)));
+    return body;
+  });
+  Counters c = run_perf(p, geforce_9800());
+  EXPECT_EQ(c.gld_incoherent, 16);
+}
+
+TEST(StrictCoalescing, ColumnMajorStrideSerializes) {
+  // The SYMM shadow pattern: G[0][tx] walks the leading dimension ->
+  // stride = rows -> serialized on CC 1.0.
+  Program p = one_block_program(64, 64, 16, [] {
+    std::vector<NodePtr> body;
+    body.push_back(read_stmt(AffineExpr(0), S("tx")));
+    return body;
+  });
+  Counters c = run_perf(p, geforce_9800());
+  EXPECT_EQ(c.gld_incoherent, 16);
+}
+
+// --------------------------------------------------------- CC 1.3 rules
+
+TEST(SegmentedCoalescing, StridedRowIsSegmentsNotIncoherent) {
+  // The same strided access on GTX285: counted as coherent segment
+  // transactions, never incoherent (Table II's "problem did not show
+  // up").
+  Program p = one_block_program(64, 64, 16, [] {
+    std::vector<NodePtr> body;
+    body.push_back(read_stmt(AffineExpr(0), S("tx")));
+    return body;
+  });
+  Counters c = run_perf(p, gtx285());
+  EXPECT_EQ(c.gld_incoherent, 0);
+  EXPECT_EQ(c.gld_coherent, 16);  // 16 distinct 64B segments
+}
+
+TEST(SegmentedCoalescing, MisalignedDenseIsTwoSegments) {
+  Program p = one_block_program(64, 64, 16, [] {
+    std::vector<NodePtr> body;
+    body.push_back(read_stmt(S("tx") + 1, AffineExpr(0)));
+    return body;
+  });
+  Counters c = run_perf(p, gtx285());
+  EXPECT_EQ(c.gld_coherent, 2);  // straddles two 64B segments
+}
+
+// ------------------------------------------------------------ Fermi L1
+
+TEST(FermiCoalescing, WarpRequestAndLineCount) {
+  // 32 lanes read one 128B line: 1 request, 128 bytes.
+  Program p = one_block_program(64, 64, 32, [] {
+    std::vector<NodePtr> body;
+    body.push_back(read_stmt(S("tx"), AffineExpr(0)));
+    return body;
+  });
+  Counters c = run_perf(p, fermi_c2050());
+  EXPECT_EQ(c.gld_request, 1);
+  EXPECT_EQ(c.global_bytes, 128 + 128);  // load line + the store's line
+}
+
+TEST(FermiCoalescing, LineReuseAcrossIterations) {
+  // Each lane streams down one column (consecutive rows): after the
+  // first touch, iterations hit the same 128B line in L1 — only
+  // rows/32 lines of traffic per lane group.
+  Program p = one_block_program(128, 64, 32, [] {
+    std::vector<NodePtr> body;
+    auto loop = ir::make_loop("Lr", "r", Bound(0), Bound(AffineExpr(32)));
+    // G[r][tx]: lane-distinct columns; consecutive r shares the line
+    // only within a column... swap: G[32*0 + r + 128*? ] — use
+    // G[r + 32*0][tx]: stride over r = 1 element in the column.
+    loop->body.push_back(read_stmt(S("r"), S("tx")));
+    std::vector<NodePtr> out;
+    out.push_back(std::move(loop));
+    return out;
+  });
+  Counters c = run_perf(p, fermi_c2050());
+  // 32 iterations x 32 lanes, each lane walking one column: every lane
+  // touches one line (128B = 32 floats) over the 32 iterations.
+  // Requests: one per warp per iteration.
+  EXPECT_EQ(c.gld_request, 32);
+  // Load lines: the first iteration fetches 32 distinct lines (one per
+  // column); later iterations hit the per-lane line cache. The store
+  // (un-cached) writes its line every iteration: 32 x 128B.
+  EXPECT_EQ(c.global_bytes, 32 * 128 + 32 * 128);
+}
+
+// --------------------------------------------------------- shared banks
+
+Program shared_program(int64_t threads, AffineExpr row, AffineExpr col,
+                       int64_t pad) {
+  Program p;
+  p.name = "banky";
+  p.globals = {{"G", MemSpace::kGlobal, AffineExpr(64), AffineExpr(64), 0}};
+  ir::Kernel k;
+  k.name = "main";
+  k.local_arrays.push_back(
+      {"Sm", MemSpace::kShared, AffineExpr(16), AffineExpr(32), pad});
+  auto tx = ir::make_loop("Ltx", "tx", Bound(0), Bound(AffineExpr(threads)));
+  tx->map = LoopMap::kThreadX;
+  tx->body.push_back(ir::make_assign(
+      ArrayRef{"G", {S("tx"), AffineExpr(0)}}, AssignOp::kAssign,
+      ir::make_ref("Sm", {std::move(row), std::move(col)})));
+  k.body.push_back(std::move(tx));
+  p.kernels.push_back(std::move(k));
+  return p;
+}
+
+TEST(BankConflicts, Stride1NoConflict) {
+  Counters c = run_perf(shared_program(16, S("tx"), AffineExpr(0), 0),
+                        geforce_9800());
+  EXPECT_EQ(c.shared_bank_conflict_replays, 0);
+}
+
+TEST(BankConflicts, Stride16FullySerializes) {
+  // Sm[0][tx] with ld = 16: addr = 16*tx -> every lane hits bank 0:
+  // 15 replays.
+  Counters c = run_perf(shared_program(16, AffineExpr(0), S("tx"), 0),
+                        geforce_9800());
+  EXPECT_EQ(c.shared_bank_conflict_replays, 15);
+}
+
+TEST(BankConflicts, PaddingRemovesTheConflict) {
+  // The paper's (16,16) -> (16,17) padding: ld = 17 makes the column
+  // walk hit 16 different banks.
+  Counters c = run_perf(shared_program(16, AffineExpr(0), S("tx"), 1),
+                        geforce_9800());
+  EXPECT_EQ(c.shared_bank_conflict_replays, 0);
+}
+
+TEST(BankConflicts, BroadcastIsFree) {
+  // All lanes read the same address: broadcast, no replay.
+  Counters c = run_perf(
+      shared_program(16, AffineExpr(3), AffineExpr(5), 0), geforce_9800());
+  EXPECT_EQ(c.shared_bank_conflict_replays, 0);
+}
+
+// ------------------------------------------------------ misc semantics
+
+TEST(Simt, BarrierUnderDivergenceIsAnError) {
+  Program p = one_block_program(64, 64, 16, [] {
+    std::vector<NodePtr> body;
+    std::vector<ir::Pred> preds{{S("tx") - 8, ir::Pred::Op::kLt}};
+    std::vector<NodePtr> then_body;
+    then_body.push_back(ir::make_sync());
+    body.push_back(ir::make_if(std::move(preds), std::move(then_body)));
+    return body;
+  });
+  Simulator sim(gtx285());
+  RunOptions opts;
+  opts.warps_per_block_sample = 0;
+  auto r = sim.run_performance(p, opts);
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Simt, OutOfBoundsAccessIsAnError) {
+  Program p = one_block_program(8, 8, 16, [] {
+    std::vector<NodePtr> body;
+    body.push_back(
+        ir::make_assign(ArrayRef{"G", {S("tx"), AffineExpr(0)}},
+                        AssignOp::kAssign, ir::make_const(1.0)));
+    return body;
+  });
+  Simulator sim(gtx285());
+  RunOptions opts;
+  opts.warps_per_block_sample = 0;
+  auto r = sim.run_performance(p, opts);
+  EXPECT_FALSE(r.is_ok());  // lanes 8..15 write outside the 8x8 array
+}
+
+TEST(Simt, SerialWavesExecuteInOrder) {
+  // Kernel with serialized grid Y: wave w writes G[0][w] = G[0][w-1]+1;
+  // correct ordering yields G[0][w] == w + 1.
+  Program p;
+  p.globals = {{"G", MemSpace::kGlobal, AffineExpr(4), AffineExpr(9), 0}};
+  ir::Kernel k;
+  k.name = "chain";
+  auto tx = ir::make_loop("Ltx", "tx", Bound(0), Bound(AffineExpr(1)));
+  tx->map = LoopMap::kThreadX;
+  tx->body.push_back(ir::make_assign(
+      ArrayRef{"G", {AffineExpr(0), S("w") + 1}}, AssignOp::kAssign,
+      ir::make_add(ir::make_ref("G", {AffineExpr(0), S("w")}),
+                   ir::make_const(1.0))));
+  auto wave = ir::make_loop("Lw", "w", Bound(0), Bound(AffineExpr(8)));
+  wave->map = LoopMap::kBlockYSerial;
+  wave->body.push_back(std::move(tx));
+  k.body.push_back(std::move(wave));
+  p.kernels.push_back(std::move(k));
+
+  Simulator sim(gtx285());
+  RunOptions opts;
+  GlobalBuffers buffers = make_buffers(p, {}, {});
+  auto r = sim.run_functional(p, opts, buffers);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const std::vector<float>& g = *buffers.find("G");
+  for (int w = 1; w <= 8; ++w) {
+    EXPECT_FLOAT_EQ(g[static_cast<size_t>(w) * 4], static_cast<float>(w));
+  }
+}
+
+TEST(Simt, OversizedRegisterBlockSpillsToLocal) {
+  // A register array that exceeds the per-thread budget is demoted to
+  // local memory: local_read/local_store counters light up.
+  Program p;
+  p.globals = {{"G", MemSpace::kGlobal, AffineExpr(512), AffineExpr(4), 0}};
+  ir::Kernel k;
+  k.name = "spilly";
+  k.local_arrays.push_back(
+      {"R", MemSpace::kRegister, AffineExpr(256), AffineExpr(1), 0});
+  auto tx = ir::make_loop("Ltx", "tx", Bound(0), Bound(AffineExpr(256)));
+  tx->map = LoopMap::kThreadX;
+  tx->body.push_back(ir::make_assign(
+      ArrayRef{"R", {AffineExpr(0), AffineExpr(0)}}, AssignOp::kAssign,
+      ir::make_const(2.0)));
+  tx->body.push_back(ir::make_assign(
+      ArrayRef{"G", {S("tx"), AffineExpr(0)}}, AssignOp::kAssign,
+      ir::make_ref("R", {AffineExpr(0), AffineExpr(0)})));
+  k.body.push_back(std::move(tx));
+  p.kernels.push_back(std::move(k));
+
+  Simulator sim(geforce_9800());  // 8192 regs / 256 threads = 32 budget
+  RunOptions opts;
+  opts.warps_per_block_sample = 0;
+  auto r = sim.run_performance(p, opts);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_GT(r->counters.local_store, 0);
+  EXPECT_GT(r->counters.local_read, 0);
+}
+
+TEST(Simt, CeilDivGridExtent) {
+  Program p;
+  p.int_params = {"M"};
+  p.globals = {{"G", MemSpace::kGlobal, S("M"), AffineExpr(1), 0}};
+  ir::Kernel k;
+  k.name = "ceil";
+  auto tx = ir::make_loop("Ltx", "tx", Bound(0), Bound(AffineExpr(8)));
+  tx->map = LoopMap::kThreadX;
+  tx->body.push_back(ir::make_sync());
+  auto by = ir::make_loop("Lby", "by", Bound(0), Bound(S("M")));
+  by->ub_div = 8;
+  by->map = LoopMap::kBlockY;
+  by->body.push_back(std::move(tx));
+  k.body.push_back(std::move(by));
+  p.kernels.push_back(std::move(k));
+  auto cfg = ir::launch_config(p.main_kernel(), {{"M", 20}});
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg->grid_y, 3);  // ceil(20 / 8)
+}
+
+}  // namespace
+}  // namespace oa::gpusim

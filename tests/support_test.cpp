@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace oa {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = failed_precondition("no trapezoid area");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(s.message(), "no trapezoid area");
+  EXPECT_EQ(s.to_string(), "failed_precondition: no trapezoid area");
+}
+
+TEST(Status, EveryCodeHasName) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(error_code_name(ErrorCode::kIllegal), "illegal");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnimplemented), "unimplemented");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+StatusOr<int> parse_positive(int v) {
+  if (v <= 0) return invalid_argument("not positive");
+  return v;
+}
+
+TEST(StatusOr, HoldsValue) {
+  auto r = parse_positive(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+}
+
+Status needs_even(int v) {
+  OA_RETURN_IF_ERROR(parse_positive(v).status());
+  if (v % 2) return failed_precondition("odd");
+  return Status::ok();
+}
+
+TEST(StatusOr, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(needs_even(4).is_ok());
+  EXPECT_EQ(needs_even(3).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(needs_even(-3).code(), ErrorCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  auto v = split("a, b , c", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyByDefault) {
+  auto v = split("a,,b", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "");
+  auto w = split("a,,b", ',', /*skip_empty=*/true);
+  ASSERT_EQ(w.size(), 2u);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("thread_grouping", "thread"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+  EXPECT_TRUE(ends_with("GEMM-NN", "-NN"));
+  EXPECT_FALSE(ends_with("GEMM", "-NN"));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, FormatMillions) {
+  EXPECT_EQ(format_millions(0), "0");
+  EXPECT_EQ(format_millions(804'000'000), "804M");
+  EXPECT_EQ(format_millions(420'000), "0.42M");
+  EXPECT_EQ(format_millions(33'000'000), "33M");
+  EXPECT_EQ(format_millions(1'500'000), "1.5M");
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FillRange) {
+  Rng r(9);
+  std::vector<float> v(256);
+  r.fill(v);
+  for (float x : v) {
+    EXPECT_GE(x, -1.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsAllIterations) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesZeroAndOne) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](size_t) { FAIL(); });
+  int count = 0;
+  pool.parallel_for(1, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ReducesCorrectly) {
+  ThreadPool pool;
+  std::vector<long> out(10000);
+  pool.parallel_for(out.size(), [&](size_t i) { out[i] = long(i); });
+  long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 10000L * 9999 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(50, [&](size_t) { n++; });
+    EXPECT_EQ(n.load(), 50);
+  }
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Events", "CUBLAS", "OA"});
+  t.add_row({"instructions", "804M", "402M"});
+  t.add_row({"gld_incoherent", "400M", "0"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("Events"), std::string::npos);
+  EXPECT_NE(s.find("804M"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, Csv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "x,y"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(AsciiBarChart, ScalesBars) {
+  std::string s = ascii_bar_chart({{"GEMM", 1.0}, {"SYMM", 5.4}}, 5.4, 10);
+  // SYMM is the max: full width. GEMM ~ 2 chars.
+  EXPECT_NE(s.find("##########"), std::string::npos);
+  EXPECT_NE(s.find("5.40"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oa

@@ -1,0 +1,175 @@
+// The SYRK extension (the paper's future work: "extend our method to
+// more routines"): a routine whose *output* index space is triangular.
+// These tests pin the whole story: catalog, reference semantics, source
+// IR, adaptor reuse (Adaptor_Triangular on C), the verification-based
+// rejection of the padding rule (which would overwrite C's blank
+// triangle), and end-to-end generation.
+#include <gtest/gtest.h>
+
+#include "blas3/matrix.hpp"
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "ir/validate.hpp"
+#include "oa/oa.hpp"
+#include "support/rng.hpp"
+#include "tuner/tuner.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::find_variant;
+using blas3::Matrix;
+using blas3::Variant;
+
+TEST(SyrkCatalog, FourExtensionVariants) {
+  const auto& ext = blas3::extension_variants();
+  ASSERT_EQ(ext.size(), 4u);
+  EXPECT_EQ(ext[0].name(), "SYRK-LN");
+  EXPECT_NE(find_variant("SYRK-UT"), nullptr);
+  // The paper's catalog is untouched.
+  EXPECT_EQ(blas3::all_variants().size(), 24u);
+}
+
+TEST(SyrkCatalog, NominalFlops) {
+  Variant v = *find_variant("SYRK-LN");
+  EXPECT_DOUBLE_EQ(blas3::nominal_flops(v, 64, 0, 32), 64.0 * 65 * 32);
+}
+
+TEST(SyrkReference, MatchesGemmOnStoredTriangle) {
+  // C_lower += A * A^T must agree with GEMM(A, A^T) on the stored
+  // triangle and leave the blank triangle untouched.
+  const int64_t m = 13, k = 7;
+  Rng rng(3);
+  Matrix a(m, k);
+  a.fill_random(rng);
+  Matrix at(k, m);
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t c = 0; c < k; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Matrix full(m, m);
+  blas3::run_reference(*find_variant("GEMM-NN"), a, at, &full);
+
+  Matrix c(m, m);
+  Matrix dummy(m, m);
+  blas3::run_reference(*find_variant("SYRK-LN"), a, dummy, &c);
+  for (int64_t col = 0; col < m; ++col) {
+    for (int64_t row = 0; row < m; ++row) {
+      if (row >= col) {
+        EXPECT_NEAR(c.at(row, col), full.at(row, col), 1e-4f);
+      } else {
+        EXPECT_EQ(c.at(row, col), 0.0f);  // blank triangle untouched
+      }
+    }
+  }
+}
+
+TEST(SyrkReference, TransposedVariantAgrees) {
+  const int64_t m = 9, k = 5;
+  Rng rng(4);
+  Matrix a(m, k);
+  a.fill_random(rng);
+  Matrix at(k, m);
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t c = 0; c < k; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Matrix dummy(m, m);
+  Matrix c1(m, m), c2(m, m);
+  blas3::run_reference(*find_variant("SYRK-LN"), a, dummy, &c1);
+  blas3::run_reference(*find_variant("SYRK-LT"), at, dummy, &c2);
+  EXPECT_LT(blas3::max_abs_diff(c1, c2), 1e-4f);
+}
+
+TEST(SyrkSourceIr, ValidatesAndHasTriangularOutputSpace) {
+  for (const Variant& v : blas3::extension_variants()) {
+    ir::Program p = blas3::make_source_program(v);
+    Status s = ir::validate(p);
+    EXPECT_TRUE(s.is_ok()) << v.name() << ": " << s.to_string();
+    // The j loop is bounded by i (triangular output).
+    const ir::Node* lj = p.main_kernel().find("Lj");
+    ASSERT_NE(lj, nullptr) << v.name();
+    EXPECT_TRUE(lj->lb.depends_on("i") || lj->ub.depends_on("i"))
+        << v.name();
+  }
+}
+
+TEST(SyrkAdaptors, ReusesTriangularAdaptorOnTheOutput) {
+  auto adaptors = OaFramework::adaptors_for(*find_variant("SYRK-LN"));
+  ASSERT_EQ(adaptors.size(), 1u);
+  EXPECT_EQ(adaptors[0].name, "Adaptor_Triangular");
+  EXPECT_EQ(adaptors[0].formal, "C");
+}
+
+TEST(SyrkPipeline, PaddingRuleIsRejectedByVerification) {
+  // Padding the output's index space would compute (and store) the
+  // blank triangle of C — numerically wrong, so the verifier must
+  // reject every padded candidate while accepting some other rule.
+  OaFramework framework(gpusim::gtx285(), [] {
+    OaOptions opt;
+    opt.tuning_size = 128;
+    opt.verify_size = 48;
+    return opt;
+  }());
+  const Variant v = *find_variant("SYRK-LN");
+  auto candidates = framework.candidates_for(v);
+  ASSERT_TRUE(candidates.is_ok()) << candidates.status().to_string();
+
+  tuner::TuneOptions topt;
+  topt.target_size = 128;
+  topt.verify_size = 48;
+  tuner::Tuner tuner(framework.simulator(), topt);
+  transforms::TuningParams probe;
+  probe.block_tile_y = 64;
+  probe.block_tile_x = 16;
+  probe.threads_y = 64;
+  probe.threads_x = 1;
+  probe.k_tile = 16;
+  probe.unroll = 4;
+
+  int accepted = 0;
+  for (const composer::Candidate& c : *candidates) {
+    bool padded = false;
+    for (const auto& inv : c.script.invocations) {
+      padded |= inv.component == "padding_triangular";
+    }
+    auto result = tuner.evaluate(v, c, probe);
+    if (padded) {
+      EXPECT_FALSE(result.is_ok())
+          << "padded SYRK candidate must fail verification: "
+          << c.script.to_string();
+    } else if (result.is_ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(SyrkPipeline, EndToEndGenerationAndRun) {
+  OaFramework framework(gpusim::gtx285(), [] {
+    OaOptions opt;
+    opt.tuning_size = 256;
+    opt.verify_size = 48;
+    return opt;
+  }());
+  const Variant v = *find_variant("SYRK-LN");
+  auto tuned = framework.generate(v);
+  ASSERT_TRUE(tuned.is_ok()) << tuned.status().to_string();
+  EXPECT_GT(tuned->gflops, 0.0);
+
+  // Use the generated kernel: C_lower += A * A^T at n = 64.
+  const int64_t n = 64;
+  Rng rng(9);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(rng);
+  ASSERT_TRUE(framework
+                  .run(tuned->program, v, a, b, &c,
+                       tuner::bools_for(tuned->candidate))
+                  .is_ok());
+  Matrix expected(n, n);
+  Matrix dummy(n, n);
+  blas3::run_reference(v, a, dummy, &expected);
+  EXPECT_LT(blas3::max_abs_diff(c, expected),
+            blas3::accumulation_tolerance(n));
+}
+
+}  // namespace
+}  // namespace oa

@@ -1,0 +1,636 @@
+#include <gtest/gtest.h>
+
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::transforms {
+namespace {
+
+using blas3::find_variant;
+using blas3::make_source_program;
+using ir::LoopMap;
+using ir::Node;
+using ir::Program;
+
+TransformContext ctx_default() {
+  TransformContext ctx;
+  ctx.params.block_tile_y = 32;
+  ctx.params.block_tile_x = 32;
+  ctx.params.threads_y = 8;
+  ctx.params.threads_x = 8;
+  ctx.params.k_tile = 16;
+  ctx.params.unroll = 4;
+  return ctx;
+}
+
+Program grouped(const char* variant, const TransformContext& ctx) {
+  Program p = make_source_program(*find_variant(variant));
+  Status s = thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"}, ctx);
+  EXPECT_TRUE(s.is_ok()) << variant << ": " << s.to_string();
+  return p;
+}
+
+Program grouped_tiled(const char* variant, const TransformContext& ctx) {
+  Program p = grouped(variant, ctx);
+  Status s =
+      loop_tiling(p, {"Lii", "Ljj", "Lk"}, {"Liii", "Ljjj", "Lkkk"}, ctx);
+  EXPECT_TRUE(s.is_ok()) << variant << ": " << s.to_string();
+  return p;
+}
+
+// ---------------------------------------------------------- registry
+
+TEST(Registry, KnownComponents) {
+  EXPECT_TRUE(is_known_component("thread_grouping"));
+  EXPECT_TRUE(is_known_component("SM_alloc"));
+  EXPECT_TRUE(is_known_component("binding_triangular"));
+  EXPECT_FALSE(is_known_component("no_such_pass"));
+}
+
+TEST(Registry, Classification) {
+  EXPECT_TRUE(is_memory_component("SM_alloc"));
+  EXPECT_TRUE(is_memory_component("reg_alloc"));
+  EXPECT_FALSE(is_memory_component("loop_tiling"));
+  EXPECT_TRUE(must_be_first("GM_map"));
+  EXPECT_FALSE(must_be_first("SM_alloc"));
+}
+
+TEST(Registry, AllocModeRoundTrip) {
+  for (AllocMode m : {AllocMode::kNoChange, AllocMode::kTranspose,
+                      AllocMode::kSymmetry}) {
+    auto parsed = parse_alloc_mode(alloc_mode_name(m));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(parse_alloc_mode("Bogus").is_ok());
+}
+
+TEST(Registry, InvocationToString) {
+  Invocation inv{"thread_grouping", {"Li", "Lj"}, {"Lii", "Ljj"}};
+  EXPECT_EQ(inv.to_string(), "(Lii, Ljj) = thread_grouping(Li, Lj)");
+  Invocation sm{"SM_alloc", {"B", "Transpose"}, {}};
+  EXPECT_EQ(sm.to_string(), "SM_alloc(B, Transpose)");
+}
+
+TEST(Registry, DispatchRejectsUnknown) {
+  Program p = make_source_program(*find_variant("GEMM-NN"));
+  Status s = apply(p, Invocation{"mystery", {}, {}}, ctx_default());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Registry, TuningParamsValidation) {
+  TuningParams good;
+  EXPECT_TRUE(good.check().is_ok());
+  TuningParams bad = good;
+  bad.threads_x = 3;  // 32 % 3 != 0
+  bad.block_tile_x = 32;
+  EXPECT_FALSE(bad.check().is_ok());
+}
+
+// ---------------------------------------------------- thread_grouping
+
+TEST(ThreadGrouping, GemmProducesFourMappedLoops) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-NN", ctx);
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  auto mapped = p.main_kernel().mapped_loops();
+  ASSERT_EQ(mapped.size(), 4u);
+  EXPECT_EQ(mapped[0]->map, LoopMap::kBlockY);
+  EXPECT_EQ(mapped[1]->map, LoopMap::kBlockX);
+  EXPECT_EQ(mapped[2]->map, LoopMap::kThreadY);
+  EXPECT_EQ(mapped[3]->map, LoopMap::kThreadX);
+}
+
+TEST(ThreadGrouping, LaunchConfigMatchesParams) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-NN", ctx);
+  auto cfg = ir::launch_config(p.main_kernel(),
+                               {{"M", 128}, {"N", 64}, {"K", 32}});
+  ASSERT_TRUE(cfg.is_ok()) << cfg.status().to_string();
+  EXPECT_EQ(cfg->grid_y, 128 / 32);
+  EXPECT_EQ(cfg->grid_x, 64 / 32);
+  EXPECT_EQ(cfg->block_y, 8);
+  EXPECT_EQ(cfg->block_x, 8);
+}
+
+TEST(ThreadGrouping, CeilDivGridForOddSizes) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-NN", ctx);
+  auto cfg = ir::launch_config(p.main_kernel(),
+                               {{"M", 100}, {"N", 33}, {"K", 32}});
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg->grid_y, 4);  // ceil(100/32)
+  EXPECT_EQ(cfg->grid_x, 2);  // ceil(33/32)
+}
+
+TEST(ThreadGrouping, PointLoopsKeepVariableNames) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-NN", ctx);
+  const Node* lii = p.main_kernel().find("Lii");
+  ASSERT_NE(lii, nullptr);
+  EXPECT_EQ(lii->var, "i");
+  const Node* ljj = p.main_kernel().find("Ljj");
+  ASSERT_NE(ljj, nullptr);
+  EXPECT_EQ(ljj->var, "j");
+}
+
+TEST(ThreadGrouping, RecordsTilingMetadata) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-NN", ctx);
+  const auto& tiling = p.main_kernel().tiling;
+  ASSERT_TRUE(tiling.contains("i"));
+  ASSERT_TRUE(tiling.contains("j"));
+  EXPECT_EQ(tiling.at("i").block_extent, 32);
+  EXPECT_EQ(tiling.at("i").thread_extent, 4);
+  EXPECT_EQ(tiling.at("i").thread_map, LoopMap::kThreadY);
+  EXPECT_EQ(tiling.at("j").thread_map, LoopMap::kThreadX);
+}
+
+TEST(ThreadGrouping, TrsmLeftSerializesGridY) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("TRSM-LL-N"));
+  ASSERT_TRUE(thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"}, ctx).is_ok());
+  auto cfg = ir::launch_config(p.main_kernel(), {{"M", 64}, {"N", 64}});
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_TRUE(cfg->serial_grid_y);
+  // The dependence-carrying Li supplies the serialized grid dimension.
+  const Node* lib = p.main_kernel().find("Lib");
+  ASSERT_NE(lib, nullptr);
+  EXPECT_EQ(lib->map, LoopMap::kBlockYSerial);
+}
+
+TEST(ThreadGrouping, TrsmRightSerializesJ) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("TRSM-RL-N"));
+  ASSERT_TRUE(thread_grouping(p, {"Lj", "Li"}, {"Ljj", "Lii"}, ctx).is_ok());
+  const Node* ljb = p.main_kernel().find("Ljb");
+  ASSERT_NE(ljb, nullptr);
+  EXPECT_EQ(ljb->map, LoopMap::kBlockYSerial);
+  const Node* lib = p.main_kernel().find("Lib");
+  ASSERT_NE(lib, nullptr);
+  EXPECT_EQ(lib->map, LoopMap::kBlockX);
+}
+
+TEST(ThreadGrouping, FailsOnMissingLabel) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-NN"));
+  EXPECT_EQ(thread_grouping(p, {"Lz", "Lj"}, {"a", "b"}, ctx).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ThreadGrouping, FailsWhenAppliedTwice) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-NN", ctx);
+  EXPECT_FALSE(
+      thread_grouping(p, {"Lii", "Ljj"}, {"La", "Lb"}, ctx).is_ok());
+}
+
+// -------------------------------------------------------- loop_tiling
+
+TEST(LoopTiling, HoistsKTileAboveRegisterBlock) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("GEMM-NN", ctx);
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  // Lk is now the tile loop stepping by k_tile, containing Liii.
+  const Node* lk = p.main_kernel().find("Lk");
+  ASSERT_NE(lk, nullptr);
+  EXPECT_EQ(lk->step, 16);
+  EXPECT_EQ(lk->var, "kk");
+  ASSERT_NE(ir::find_loop(lk->body, "Liii"), nullptr);
+  ASSERT_NE(ir::find_loop(lk->body, "Lkkk"), nullptr);
+  const Node* lkkk = p.main_kernel().find("Lkkk");
+  EXPECT_EQ(lkkk->var, "k");
+}
+
+TEST(LoopTiling, RecordsReductionTile) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("GEMM-NN", ctx);
+  const auto& t = p.main_kernel().tiling.at("k");
+  EXPECT_EQ(t.tile_var, "kk");
+  EXPECT_EQ(t.tile_label, "Lk");
+  EXPECT_EQ(t.tile_extent, 16);
+}
+
+TEST(LoopTiling, WidensTriangularBoundToBlockLevel) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRMM-LL-N", ctx);
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  const Node* lk = p.main_kernel().find("Lk");
+  ASSERT_NE(lk, nullptr);
+  // ub term widened from i+1 to block_base + 32: depends on i_b, not i.
+  bool has_block_term = false;
+  for (const auto& term : lk->ub.terms()) {
+    EXPECT_FALSE(term.depends_on("i"));
+    if (term.depends_on("i_b")) has_block_term = true;
+  }
+  EXPECT_TRUE(has_block_term);
+  // The point loop keeps the exact per-row bound.
+  const Node* lkkk = p.main_kernel().find("Lkkk");
+  bool has_i_term = false;
+  for (const auto& term : lkkk->ub.terms()) {
+    if (term.depends_on("i")) has_i_term = true;
+  }
+  EXPECT_TRUE(has_i_term);
+}
+
+// -------------------------------------------------------- loop_unroll
+
+TEST(LoopUnroll, SucceedsOnRectangularGemm) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("GEMM-NN", ctx);
+  ASSERT_TRUE(loop_unroll(p, {"Ljjj", "Lkkk"}, ctx).is_ok());
+  EXPECT_EQ(p.main_kernel().find("Lkkk")->unroll, 4);
+  EXPECT_EQ(p.main_kernel().find("Ljjj")->unroll, 4);
+}
+
+TEST(LoopUnroll, FailsOnTriangularBounds) {
+  // The paper's filter example: loop_unroll fails when non-rectangular
+  // areas exist (sequences 5 and 9 degenerate).
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRMM-LL-N", ctx);
+  Status s = loop_unroll(p, {"Lkkk"}, ctx);
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition) << s.to_string();
+}
+
+TEST(LoopUnroll, SucceedsAfterPeel) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRMM-LL-N", ctx);
+  ASSERT_TRUE(peel_triangular(p, "A", ctx).is_ok());
+  Status s = loop_unroll(p, {"Lkkk"}, ctx);
+  EXPECT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_GT(p.main_kernel().find("Lkkk")->unroll, 1);
+}
+
+TEST(LoopUnroll, SucceedsAfterPadding) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRMM-LL-N", ctx);
+  ASSERT_TRUE(padding_triangular(p, "A", ctx).is_ok());
+  Status s = loop_unroll(p, {"Lkkk"}, ctx);
+  EXPECT_TRUE(s.is_ok()) << s.to_string();
+}
+
+// ---------------------------------------------------------- triangular
+
+TEST(PeelTriangular, FailsBeforeGrouping) {
+  // "for a triangular area, the detection will fail before loop tiling
+  // is applied" (paper §IV-A.3 Step 1): with no block structure at all
+  // there is no trapezoid to find.
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("TRMM-LL-N"));
+  EXPECT_EQ(peel_triangular(p, "A", ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(PeelTriangular, WorksOnBlockTrapezoidBeforeLoopTiling) {
+  // After thread_grouping the block tiles exist (the paper's
+  // thread_grouping tiles internally), so peel can split the reduction
+  // loop even before loop_tiling — sequence 3 of the paper's filter
+  // example.
+  TransformContext ctx = ctx_default();
+  Program p = grouped("TRMM-LL-N", ctx);
+  Status s = peel_triangular(p, "A", ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  EXPECT_NE(p.main_kernel().find("Lk_tri"), nullptr);
+}
+
+TEST(PeelTriangular, FailsOnRectangularGemm) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("GEMM-NN", ctx);
+  EXPECT_EQ(peel_triangular(p, "A", ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(PeelTriangular, SplitsIntoRectAndTri) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRMM-LL-N", ctx);
+  ASSERT_TRUE(peel_triangular(p, "A", ctx).is_ok());
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  const Node* rect = p.main_kernel().find("Lk");
+  const Node* tri = p.main_kernel().find("Lk_tri");
+  ASSERT_NE(rect, nullptr);
+  ASSERT_NE(tri, nullptr);
+  // Rect part: uniform point bounds (no i terms).
+  const Node* rect_point = ir::find_loop(
+      const_cast<Node*>(rect)->body, "Lkkk");
+  ASSERT_NE(rect_point, nullptr);
+  for (const auto& term : rect_point->ub.terms()) {
+    EXPECT_FALSE(term.depends_on("i"));
+  }
+  // Tri part keeps the exact bound.
+  const Node* tri_point =
+      ir::find_loop(const_cast<Node*>(tri)->body, "Lkkk_tri");
+  ASSERT_NE(tri_point, nullptr);
+}
+
+TEST(PeelTriangular, HandlesUpperEffectiveTriangle) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRMM-LU-N", ctx);
+  Status s = peel_triangular(p, "A", ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok());
+}
+
+TEST(PaddingTriangular, CreatesMultiVersionedCode) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRMM-LL-N", ctx);
+  ASSERT_TRUE(padding_triangular(p, "A", ctx).is_ok());
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  EXPECT_TRUE(p.has_bool_param("blank_zero"));
+  // An if (blank_zero) { padded } else { original } exists.
+  bool found = false;
+  ir::walk(p.main_kernel().body, [&](Node& n) {
+    if (n.is_if() && n.bool_param == "blank_zero" && !n.else_body.empty()) {
+      found = true;
+    }
+    return true;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(BindingTriangular, RequiresPeelFirst) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRSM-LL-N", ctx);
+  EXPECT_EQ(binding_triangular(p, "A", 0, ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(BindingTriangular, GuardsTrapezoidWithThreadZero) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRSM-LL-N", ctx);
+  ASSERT_TRUE(peel_triangular(p, "A", ctx).is_ok());
+  ASSERT_TRUE(binding_triangular(p, "A", 0, ctx).is_ok());
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  // The trapezoid sits under an If with two thread-equality predicates,
+  // with barriers around it.
+  bool guarded = false;
+  ir::walk(p.main_kernel().body, [&](Node& n) {
+    if (n.is_if() && n.conds.size() == 2 &&
+        ir::find_loop(n.then_body, "Lk_tri") != nullptr) {
+      guarded = true;
+      // Point loops inside must span the whole block tile: lb no longer
+      // depends on the thread variable.
+      const Node* point = ir::find_loop(n.then_body, "Liii_tri");
+      if (point != nullptr) {
+        for (const auto& t : point->lb.terms()) {
+          EXPECT_FALSE(t.depends_on("i_t"));
+        }
+      }
+    }
+    return true;
+  });
+  EXPECT_TRUE(guarded);
+}
+
+// --------------------------------------------------------------- GM_map
+
+TEST(GmMap, TransposeCreatesPrepassAndRewrites) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-TN"));
+  ASSERT_TRUE(gm_map(p, "A", AllocMode::kTranspose, ctx).is_ok());
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  ASSERT_EQ(p.kernels.size(), 2u);
+  EXPECT_EQ(p.kernels[0].name, "gm_map_A");
+  ASSERT_NE(p.find_global("NewA"), nullptr);
+  // A[k][i] became NewA[i][k]: the main statement reads row-major again.
+  std::string s = ir::to_string(p.main_kernel());
+  EXPECT_NE(s.find("NewA[i][k]"), std::string::npos) << s;
+}
+
+TEST(GmMap, TransposeSwapsShape) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-TN"));
+  ASSERT_TRUE(gm_map(p, "A", AllocMode::kTranspose, ctx).is_ok());
+  const ir::ArrayDecl* na = p.find_global("NewA");
+  // A was K x M; NewA is M x K.
+  EXPECT_EQ(na->rows.to_string(), "M");
+  EXPECT_EQ(na->cols.to_string(), "K");
+}
+
+TEST(GmMap, SymmetryMarksArraySymmetric) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("SYMM-LL"));
+  ASSERT_TRUE(gm_map(p, "A", AllocMode::kSymmetry, ctx).is_ok());
+  const ir::ArrayDecl* na = p.find_global("NewA");
+  ASSERT_NE(na, nullptr);
+  EXPECT_TRUE(na->symmetric);
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+}
+
+TEST(GmMap, MustBeFirst) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-TN", ctx);
+  EXPECT_EQ(gm_map(p, "A", AllocMode::kTranspose, ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(GmMap, NoChangeIsIdentity) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-NN"));
+  ASSERT_TRUE(gm_map(p, "A", AllocMode::kNoChange, ctx).is_ok());
+  EXPECT_EQ(p.kernels.size(), 1u);
+}
+
+// ----------------------------------------------------- format_iteration
+
+TEST(FormatIteration, AfterGmMapFusesToGemmForm) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("SYMM-LL"));
+  ASSERT_TRUE(gm_map(p, "A", AllocMode::kSymmetry, ctx).is_ok());
+  Status s = format_iteration(p, "A", AllocMode::kSymmetry, ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  // The j-loop body is now a single k loop over [0, M).
+  const Node* lj = p.main_kernel().find("Lj");
+  ASSERT_NE(lj, nullptr);
+  ASSERT_EQ(lj->body.size(), 1u);
+  const Node& lk = *lj->body[0];
+  EXPECT_TRUE(lk.is_loop());
+  EXPECT_EQ(lk.lb, ir::Bound(0));
+  EXPECT_TRUE(lk.ub.is_single());
+  EXPECT_EQ(lk.ub.terms()[0].to_string(), "M");
+  std::string str = ir::to_string(p.main_kernel());
+  EXPECT_NE(str.find("NewA[i][k] * B[k][j]"), std::string::npos) << str;
+}
+
+TEST(FormatIteration, WithoutGmMapDegeneratesToFission) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("SYMM-LL"));
+  Status s = format_iteration(p, "A", AllocMode::kSymmetry, ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  // Rule 3 of Adaptor_Symmetry: fusion fails, the fissioned loops stay.
+  const Node* lj = p.main_kernel().find("Lj");
+  ASSERT_NE(lj, nullptr);
+  EXPECT_EQ(lj->body.size(), 3u);  // real loop, shadow loop, diagonal
+}
+
+TEST(FormatIteration, WorksOnRightSideSymm) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("SYMM-RL"));
+  ASSERT_TRUE(gm_map(p, "A", AllocMode::kSymmetry, ctx).is_ok());
+  Status s = format_iteration(p, "A", AllocMode::kSymmetry, ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  // Fused over the full [0, N) range.
+  const Node* lj = p.main_kernel().find("Lj");
+  ASSERT_NE(lj, nullptr);
+  ASSERT_EQ(lj->body.size(), 1u);
+  EXPECT_EQ(lj->body[0]->ub.terms()[0].to_string(), "N");
+}
+
+TEST(FormatIteration, FailsOnGemm) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-NN"));
+  EXPECT_EQ(format_iteration(p, "A", AllocMode::kSymmetry, ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------------- SM_alloc
+
+TEST(SmAlloc, StagesBTileWithTransposeAndPadding) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("GEMM-NN", ctx);
+  Status s = sm_alloc(p, "B", AllocMode::kTranspose, ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  ir::ArrayDecl* bs = p.main_kernel().find_local_array("B_s");
+  ASSERT_NE(bs, nullptr);
+  EXPECT_EQ(bs->space, ir::MemSpace::kShared);
+  // Transposed tile: rows = block_tile_x (j extent) = 32, cols = 16 (k).
+  ir::Env env;
+  EXPECT_EQ(bs->num_rows(env), 32);
+  EXPECT_EQ(bs->num_cols(env), 16);
+  EXPECT_EQ(bs->pad_rows, 1);  // 32 % 16 == 0 -> padded
+  // The compute statement now reads B_s.
+  std::string str = ir::to_string(p.main_kernel());
+  EXPECT_NE(str.find("B_s["), std::string::npos);
+  // Barriers present.
+  int syncs = 0;
+  ir::walk(p.main_kernel().body, [&](Node& n) {
+    syncs += n.is_sync();
+    return true;
+  });
+  EXPECT_GE(syncs, 2);
+}
+
+TEST(SmAlloc, NoChangeKeepsOrientation) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("GEMM-NN", ctx);
+  ASSERT_TRUE(sm_alloc(p, "B", AllocMode::kNoChange, ctx).is_ok());
+  ir::ArrayDecl* bs = p.main_kernel().find_local_array("B_s");
+  ASSERT_NE(bs, nullptr);
+  ir::Env env;
+  EXPECT_EQ(bs->num_rows(env), 16);  // k extent
+  EXPECT_EQ(bs->num_cols(env), 32);  // j extent
+  EXPECT_EQ(bs->pad_rows, 1);
+}
+
+TEST(SmAlloc, FailsBeforeTiling) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped("GEMM-NN", ctx);
+  EXPECT_EQ(sm_alloc(p, "B", AllocMode::kTranspose, ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(SmAlloc, FailsBeforeGrouping) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-NN"));
+  EXPECT_EQ(sm_alloc(p, "B", AllocMode::kTranspose, ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(SmAlloc, TrsmOutputReferencesStayGlobal) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRSM-LL-N", ctx);
+  ASSERT_TRUE(peel_triangular(p, "A", ctx).is_ok());
+  ASSERT_TRUE(binding_triangular(p, "A", 0, ctx).is_ok());
+  Status s = sm_alloc(p, "B", AllocMode::kTranspose, ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  // The write B[i][j] must still target global B.
+  bool writes_global_b = false;
+  ir::walk(p.main_kernel().body, [&](Node& n) {
+    if (n.is_assign() && n.lhs.array == "B") writes_global_b = true;
+    return true;
+  });
+  EXPECT_TRUE(writes_global_b);
+}
+
+TEST(SmAlloc, SymmetryModeStagesSymmetricTile) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("SYMM-LL"));
+  ASSERT_TRUE(
+      format_iteration(p, "A", AllocMode::kSymmetry, ctx).is_ok());
+  ASSERT_TRUE(
+      thread_grouping(p, {"Li", "Lj"}, {"Lii", "Ljj"}, ctx).is_ok());
+  ASSERT_TRUE(
+      loop_tiling(p, {"Lii", "Ljj", "Lk"}, {"Liii", "Ljjj", "Lkkk"}, ctx)
+          .is_ok());
+  Status s = sm_alloc(p, "A", AllocMode::kSymmetry, ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  EXPECT_NE(p.main_kernel().find_local_array("A_s"), nullptr);
+}
+
+// -------------------------------------------------------------- reg_alloc
+
+TEST(RegAlloc, GivesEachThreadARegisterBlock) {
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("GEMM-NN", ctx);
+  Status s = reg_alloc(p, "C", ctx);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_TRUE(ir::validate(p).is_ok()) << ir::validate(p).to_string();
+  ir::ArrayDecl* cr = p.main_kernel().find_local_array("C_r");
+  ASSERT_NE(cr, nullptr);
+  EXPECT_EQ(cr->space, ir::MemSpace::kRegister);
+  ir::Env env;
+  EXPECT_EQ(cr->num_rows(env), 4);  // 32 / 8
+  EXPECT_EQ(cr->num_cols(env), 4);
+  // The accumulation statement targets C_r now; C only appears in the
+  // guarded flush.
+  std::string str = ir::to_string(p.main_kernel());
+  EXPECT_NE(str.find("C_r["), std::string::npos);
+}
+
+TEST(RegAlloc, FailsOnTrsmSolveArray) {
+  // B is read at rows k outside the calling thread's tile.
+  TransformContext ctx = ctx_default();
+  Program p = grouped_tiled("TRSM-LL-N", ctx);
+  EXPECT_EQ(reg_alloc(p, "B", ctx).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(RegAlloc, FailsBeforeGrouping) {
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-NN"));
+  EXPECT_FALSE(reg_alloc(p, "C", ctx).is_ok());
+}
+
+// -------------------------------------------------- full GEMM-NN pipeline
+
+TEST(Pipeline, PaperFig3ScriptAppliesCleanly) {
+  // Fig 3: thread_grouping; loop_tiling; loop_unroll; SM_alloc(B,
+  // Transpose); reg_alloc(C).
+  TransformContext ctx = ctx_default();
+  Program p = make_source_program(*find_variant("GEMM-NN"));
+  ASSERT_TRUE(apply(p, {"thread_grouping", {"Li", "Lj"}, {"Lii", "Ljj"}},
+                    ctx)
+                  .is_ok());
+  ASSERT_TRUE(apply(p,
+                    {"loop_tiling",
+                     {"Lii", "Ljj", "Lk"},
+                     {"Liii", "Ljjj", "Lkkk"}},
+                    ctx)
+                  .is_ok());
+  ASSERT_TRUE(apply(p, {"loop_unroll", {"Ljjj", "Lkkk"}, {}}, ctx).is_ok());
+  ASSERT_TRUE(apply(p, {"SM_alloc", {"B", "Transpose"}, {}}, ctx).is_ok());
+  ASSERT_TRUE(apply(p, {"reg_alloc", {"C"}, {}}, ctx).is_ok());
+  Status v = ir::validate(p);
+  EXPECT_TRUE(v.is_ok()) << v.to_string() << "\n" << ir::to_string(p);
+}
+
+}  // namespace
+}  // namespace oa::transforms

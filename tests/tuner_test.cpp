@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "blas3/routine.hpp"
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "gpusim/simulator.hpp"
+#include "oa/oa.hpp"
+#include "tuner/tuner.hpp"
+
+namespace oa::tuner {
+namespace {
+
+using blas3::find_variant;
+using blas3::Variant;
+
+gpusim::Simulator& sim() {
+  static gpusim::Simulator s(gpusim::gtx285());
+  return s;
+}
+
+TuneOptions quick_options() {
+  TuneOptions opt;
+  opt.target_size = 256;
+  opt.verify_size = 48;
+  return opt;
+}
+
+composer::Candidate gemm_candidate() {
+  composer::Candidate c;
+  c.script = epod::gemm_nn_script();
+  return c;
+}
+
+TEST(BoolsFor, BlankZeroCondition) {
+  composer::Candidate c;
+  EXPECT_TRUE(bools_for(c).empty());
+  c.conditions.push_back("blank(A).zero = true");
+  auto bools = bools_for(c);
+  ASSERT_TRUE(bools.contains("blank_zero"));
+  EXPECT_TRUE(bools.at("blank_zero"));
+}
+
+TEST(ParameterSpaceTest, DefaultSpaceNonTrivial) {
+  const ParameterSpace& space = ParameterSpace::default_space();
+  EXPECT_GE(space.total_points(), 100u);
+  EXPECT_FALSE(space.block_shapes.empty());
+  EXPECT_FALSE(space.thread_shapes.empty());
+}
+
+TEST(Evaluate, GemmAtVolkovPoint) {
+  Tuner tuner(sim(), quick_options());
+  transforms::TuningParams p;
+  p.block_tile_y = 64;
+  p.block_tile_x = 16;
+  p.threads_y = 64;
+  p.threads_x = 1;
+  p.k_tile = 16;
+  p.unroll = 4;
+  auto result =
+      tuner.evaluate(*find_variant("GEMM-NN"), gemm_candidate(), p);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GT(result->gflops, 0.0);
+  EXPECT_GT(result->seconds, 0.0);
+  EXPECT_NE(result->applied_mask, 0u);
+}
+
+TEST(Evaluate, RejectsIncompatibleParams) {
+  Tuner tuner(sim(), quick_options());
+  transforms::TuningParams p;
+  p.block_tile_y = 32;
+  p.threads_y = 3;  // does not divide
+  auto result =
+      tuner.evaluate(*find_variant("GEMM-NN"), gemm_candidate(), p);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Evaluate, RejectsSemanticsBreakingDegeneration) {
+  // TRSM solver script at k_tile > block_tile: peel fails, binding
+  // fails, and the degenerated kernel races — functional verification
+  // must reject the point.
+  OaFramework framework(gpusim::gtx285(), {});
+  const Variant v = *find_variant("TRSM-LL-N");
+  auto candidates = framework.candidates_for(v);
+  ASSERT_TRUE(candidates.is_ok());
+  // The full solver candidate (peel + binding present).
+  const composer::Candidate* solver = nullptr;
+  for (const auto& c : *candidates) {
+    bool has_binding = false;
+    for (const auto& inv : c.script.invocations) {
+      has_binding |= inv.component == "binding_triangular";
+    }
+    if (has_binding) solver = &c;
+  }
+  ASSERT_NE(solver, nullptr);
+
+  Tuner tuner(sim(), quick_options());
+  transforms::TuningParams bad;
+  bad.block_tile_y = 16;
+  bad.block_tile_x = 16;
+  bad.threads_y = 16;
+  bad.threads_x = 4;
+  bad.k_tile = 32;  // > block tile: peel cannot align
+  bad.unroll = 4;
+  auto result = tuner.evaluate(v, *solver, bad);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kIllegal);
+}
+
+TEST(Evaluate, VerifiedMaskCacheSkipsReverification) {
+  Tuner tuner(sim(), quick_options());
+  std::set<uint64_t> masks;
+  transforms::TuningParams p;
+  auto first =
+      tuner.evaluate(*find_variant("GEMM-NN"), gemm_candidate(), p, &masks);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_TRUE(masks.contains(first->applied_mask));
+  // Second evaluation at another point with the same mask reuses it.
+  transforms::TuningParams p2 = p;
+  p2.unroll = 16;
+  auto second = tuner.evaluate(*find_variant("GEMM-NN"), gemm_candidate(),
+                               p2, &masks);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(masks.size(), 1u);
+}
+
+TEST(Tune, GemmFindsFastConfig) {
+  Tuner tuner(sim(), quick_options());
+  auto best = tuner.tune(*find_variant("GEMM-NN"), {gemm_candidate()});
+  ASSERT_TRUE(best.is_ok()) << best.status().to_string();
+  // The found configuration beats a deliberately poor one.
+  transforms::TuningParams poor;
+  poor.block_tile_y = 16;
+  poor.block_tile_x = 16;
+  poor.threads_y = 4;
+  poor.threads_x = 4;
+  poor.k_tile = 8;
+  poor.unroll = 1;
+  auto poor_result =
+      tuner.evaluate(*find_variant("GEMM-NN"), gemm_candidate(), poor);
+  ASSERT_TRUE(poor_result.is_ok());
+  EXPECT_LT(best->seconds, poor_result->seconds);
+}
+
+TEST(Tune, NoCandidatesFails) {
+  Tuner tuner(sim(), quick_options());
+  auto best = tuner.tune(*find_variant("GEMM-NN"), {});
+  EXPECT_FALSE(best.is_ok());
+}
+
+TEST(VerifyProgram, AcceptsCorrectAndRejectsBroken) {
+  const Variant v = *find_variant("GEMM-NN");
+  composer::Candidate c = gemm_candidate();
+  transforms::TransformContext ctx;
+  ir::Program program = blas3::make_source_program(v);
+  ASSERT_TRUE(epod::apply_script_lenient(program, c.script, ctx).is_ok());
+  EXPECT_TRUE(verify_program(sim(), v, program, 48, {}).is_ok());
+
+  // Break the kernel: flip the compute statement to an overwrite.
+  ir::walk(program.main_kernel().body, [&](ir::Node& n) {
+    if (n.is_assign() && n.op == ir::AssignOp::kAddAssign &&
+        n.lhs.array == "C_r") {
+      n.op = ir::AssignOp::kAssign;
+    }
+    return true;
+  });
+  Status broken = verify_program(sim(), v, program, 48, {});
+  EXPECT_EQ(broken.code(), ErrorCode::kIllegal);
+}
+
+}  // namespace
+}  // namespace oa::tuner
