@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptor_reuse.dir/ablation_adaptor_reuse.cpp.o"
+  "CMakeFiles/ablation_adaptor_reuse.dir/ablation_adaptor_reuse.cpp.o.d"
+  "ablation_adaptor_reuse"
+  "ablation_adaptor_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptor_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

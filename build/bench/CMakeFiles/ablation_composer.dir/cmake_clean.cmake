@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_composer.dir/ablation_composer.cpp.o"
+  "CMakeFiles/ablation_composer.dir/ablation_composer.cpp.o.d"
+  "ablation_composer"
+  "ablation_composer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_composer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/bench_common.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/bench_common.dir/bench_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oa/CMakeFiles/oa_oa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/oa_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/oa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/composer/CMakeFiles/oa_composer.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/oa_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/epod/CMakeFiles/oa_epod.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/oa_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/oa_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/oa_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas3/CMakeFiles/oa_blas3.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/oa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_syrk.dir/extension_syrk.cpp.o"
+  "CMakeFiles/extension_syrk.dir/extension_syrk.cpp.o.d"
+  "extension_syrk"
+  "extension_syrk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_syrk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_geforce9800.dir/fig10_geforce9800.cpp.o"
+  "CMakeFiles/fig10_geforce9800.dir/fig10_geforce9800.cpp.o.d"
+  "fig10_geforce9800"
+  "fig10_geforce9800.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_geforce9800.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_geforce9800.
+# This may be replaced when dependencies are built.

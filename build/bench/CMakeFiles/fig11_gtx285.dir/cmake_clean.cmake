@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_gtx285.dir/fig11_gtx285.cpp.o"
+  "CMakeFiles/fig11_gtx285.dir/fig11_gtx285.cpp.o.d"
+  "fig11_gtx285"
+  "fig11_gtx285.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gtx285.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fermi.dir/fig12_fermi.cpp.o"
+  "CMakeFiles/fig12_fermi.dir/fig12_fermi.cpp.o.d"
+  "fig12_fermi"
+  "fig12_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_best_scripts.dir/fig14_best_scripts.cpp.o"
+  "CMakeFiles/fig14_best_scripts.dir/fig14_best_scripts.cpp.o.d"
+  "fig14_best_scripts"
+  "fig14_best_scripts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_best_scripts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

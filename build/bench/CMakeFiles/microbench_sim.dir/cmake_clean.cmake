@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_sim.dir/microbench_sim.cpp.o"
+  "CMakeFiles/microbench_sim.dir/microbench_sim.cpp.o.d"
+  "microbench_sim"
+  "microbench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

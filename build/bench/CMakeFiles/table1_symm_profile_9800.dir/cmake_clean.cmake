@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_symm_profile_9800.dir/table1_symm_profile_9800.cpp.o"
+  "CMakeFiles/table1_symm_profile_9800.dir/table1_symm_profile_9800.cpp.o.d"
+  "table1_symm_profile_9800"
+  "table1_symm_profile_9800.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_symm_profile_9800.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

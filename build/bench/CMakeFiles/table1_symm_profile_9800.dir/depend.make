@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_symm_profile_9800.
+# This may be replaced when dependencies are built.

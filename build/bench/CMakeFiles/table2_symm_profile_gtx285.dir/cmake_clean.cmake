@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_symm_profile_gtx285.dir/table2_symm_profile_gtx285.cpp.o"
+  "CMakeFiles/table2_symm_profile_gtx285.dir/table2_symm_profile_gtx285.cpp.o.d"
+  "table2_symm_profile_gtx285"
+  "table2_symm_profile_gtx285.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_symm_profile_gtx285.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

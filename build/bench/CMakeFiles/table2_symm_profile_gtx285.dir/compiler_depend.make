@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_symm_profile_gtx285.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_symm_profile_fermi.dir/table3_symm_profile_fermi.cpp.o"
+  "CMakeFiles/table3_symm_profile_fermi.dir/table3_symm_profile_fermi.cpp.o.d"
+  "table3_symm_profile_fermi"
+  "table3_symm_profile_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_symm_profile_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

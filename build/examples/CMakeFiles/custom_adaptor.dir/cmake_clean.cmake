@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_adaptor.dir/custom_adaptor.cpp.o"
+  "CMakeFiles/custom_adaptor.dir/custom_adaptor.cpp.o.d"
+  "custom_adaptor"
+  "custom_adaptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_adaptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

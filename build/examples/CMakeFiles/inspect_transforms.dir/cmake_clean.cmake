@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_transforms.dir/inspect_transforms.cpp.o"
+  "CMakeFiles/inspect_transforms.dir/inspect_transforms.cpp.o.d"
+  "inspect_transforms"
+  "inspect_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_generation.dir/library_generation.cpp.o"
+  "CMakeFiles/library_generation.dir/library_generation.cpp.o.d"
+  "library_generation"
+  "library_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("deps")
+subdirs("transforms")
+subdirs("blas3")
+subdirs("gpusim")
+subdirs("epod")
+subdirs("adl")
+subdirs("composer")
+subdirs("baseline")
+subdirs("tuner")
+subdirs("oa")
+subdirs("tools")

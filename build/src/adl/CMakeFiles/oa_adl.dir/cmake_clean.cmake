@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_adl.dir/adaptor.cpp.o"
+  "CMakeFiles/oa_adl.dir/adaptor.cpp.o.d"
+  "liboa_adl.a"
+  "liboa_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

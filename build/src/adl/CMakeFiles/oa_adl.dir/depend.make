@@ -1,0 +1,2 @@
+# Empty dependencies file for oa_adl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_baseline.dir/baseline.cpp.o"
+  "CMakeFiles/oa_baseline.dir/baseline.cpp.o.d"
+  "liboa_baseline.a"
+  "liboa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas3/matrix.cpp" "src/blas3/CMakeFiles/oa_blas3.dir/matrix.cpp.o" "gcc" "src/blas3/CMakeFiles/oa_blas3.dir/matrix.cpp.o.d"
+  "/root/repo/src/blas3/reference.cpp" "src/blas3/CMakeFiles/oa_blas3.dir/reference.cpp.o" "gcc" "src/blas3/CMakeFiles/oa_blas3.dir/reference.cpp.o.d"
+  "/root/repo/src/blas3/routine.cpp" "src/blas3/CMakeFiles/oa_blas3.dir/routine.cpp.o" "gcc" "src/blas3/CMakeFiles/oa_blas3.dir/routine.cpp.o.d"
+  "/root/repo/src/blas3/source_ir.cpp" "src/blas3/CMakeFiles/oa_blas3.dir/source_ir.cpp.o" "gcc" "src/blas3/CMakeFiles/oa_blas3.dir/source_ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/oa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_blas3.dir/matrix.cpp.o"
+  "CMakeFiles/oa_blas3.dir/matrix.cpp.o.d"
+  "CMakeFiles/oa_blas3.dir/reference.cpp.o"
+  "CMakeFiles/oa_blas3.dir/reference.cpp.o.d"
+  "CMakeFiles/oa_blas3.dir/routine.cpp.o"
+  "CMakeFiles/oa_blas3.dir/routine.cpp.o.d"
+  "CMakeFiles/oa_blas3.dir/source_ir.cpp.o"
+  "CMakeFiles/oa_blas3.dir/source_ir.cpp.o.d"
+  "liboa_blas3.a"
+  "liboa_blas3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_blas3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

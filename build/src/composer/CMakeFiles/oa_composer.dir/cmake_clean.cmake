@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_composer.dir/composer.cpp.o"
+  "CMakeFiles/oa_composer.dir/composer.cpp.o.d"
+  "liboa_composer.a"
+  "liboa_composer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_composer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

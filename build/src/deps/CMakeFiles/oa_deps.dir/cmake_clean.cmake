@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_deps.dir/dependence.cpp.o"
+  "CMakeFiles/oa_deps.dir/dependence.cpp.o.d"
+  "liboa_deps.a"
+  "liboa_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

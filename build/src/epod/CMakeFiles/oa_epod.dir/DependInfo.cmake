@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epod/script.cpp" "src/epod/CMakeFiles/oa_epod.dir/script.cpp.o" "gcc" "src/epod/CMakeFiles/oa_epod.dir/script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transforms/CMakeFiles/oa_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/oa_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/oa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

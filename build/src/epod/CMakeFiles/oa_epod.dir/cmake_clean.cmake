@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_epod.dir/script.cpp.o"
+  "CMakeFiles/oa_epod.dir/script.cpp.o.d"
+  "liboa_epod.a"
+  "liboa_epod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_epod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

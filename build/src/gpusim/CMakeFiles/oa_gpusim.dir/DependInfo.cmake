@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/block_sim.cpp" "src/gpusim/CMakeFiles/oa_gpusim.dir/block_sim.cpp.o" "gcc" "src/gpusim/CMakeFiles/oa_gpusim.dir/block_sim.cpp.o.d"
+  "/root/repo/src/gpusim/compiled.cpp" "src/gpusim/CMakeFiles/oa_gpusim.dir/compiled.cpp.o" "gcc" "src/gpusim/CMakeFiles/oa_gpusim.dir/compiled.cpp.o.d"
+  "/root/repo/src/gpusim/counters.cpp" "src/gpusim/CMakeFiles/oa_gpusim.dir/counters.cpp.o" "gcc" "src/gpusim/CMakeFiles/oa_gpusim.dir/counters.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/oa_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/oa_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/simulator.cpp" "src/gpusim/CMakeFiles/oa_gpusim.dir/simulator.cpp.o" "gcc" "src/gpusim/CMakeFiles/oa_gpusim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/oa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas3/CMakeFiles/oa_blas3.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

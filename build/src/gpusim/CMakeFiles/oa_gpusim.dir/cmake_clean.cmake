@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_gpusim.dir/block_sim.cpp.o"
+  "CMakeFiles/oa_gpusim.dir/block_sim.cpp.o.d"
+  "CMakeFiles/oa_gpusim.dir/compiled.cpp.o"
+  "CMakeFiles/oa_gpusim.dir/compiled.cpp.o.d"
+  "CMakeFiles/oa_gpusim.dir/counters.cpp.o"
+  "CMakeFiles/oa_gpusim.dir/counters.cpp.o.d"
+  "CMakeFiles/oa_gpusim.dir/device.cpp.o"
+  "CMakeFiles/oa_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/oa_gpusim.dir/simulator.cpp.o"
+  "CMakeFiles/oa_gpusim.dir/simulator.cpp.o.d"
+  "liboa_gpusim.a"
+  "liboa_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cpp" "src/ir/CMakeFiles/oa_ir.dir/affine.cpp.o" "gcc" "src/ir/CMakeFiles/oa_ir.dir/affine.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/oa_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/oa_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/interval.cpp" "src/ir/CMakeFiles/oa_ir.dir/interval.cpp.o" "gcc" "src/ir/CMakeFiles/oa_ir.dir/interval.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "src/ir/CMakeFiles/oa_ir.dir/kernel.cpp.o" "gcc" "src/ir/CMakeFiles/oa_ir.dir/kernel.cpp.o.d"
+  "/root/repo/src/ir/node.cpp" "src/ir/CMakeFiles/oa_ir.dir/node.cpp.o" "gcc" "src/ir/CMakeFiles/oa_ir.dir/node.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/oa_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/oa_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/ir/CMakeFiles/oa_ir.dir/validate.cpp.o" "gcc" "src/ir/CMakeFiles/oa_ir.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/oa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_ir.dir/affine.cpp.o"
+  "CMakeFiles/oa_ir.dir/affine.cpp.o.d"
+  "CMakeFiles/oa_ir.dir/expr.cpp.o"
+  "CMakeFiles/oa_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/oa_ir.dir/interval.cpp.o"
+  "CMakeFiles/oa_ir.dir/interval.cpp.o.d"
+  "CMakeFiles/oa_ir.dir/kernel.cpp.o"
+  "CMakeFiles/oa_ir.dir/kernel.cpp.o.d"
+  "CMakeFiles/oa_ir.dir/node.cpp.o"
+  "CMakeFiles/oa_ir.dir/node.cpp.o.d"
+  "CMakeFiles/oa_ir.dir/printer.cpp.o"
+  "CMakeFiles/oa_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/oa_ir.dir/validate.cpp.o"
+  "CMakeFiles/oa_ir.dir/validate.cpp.o.d"
+  "liboa_ir.a"
+  "liboa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_oa.dir/oa.cpp.o"
+  "CMakeFiles/oa_oa.dir/oa.cpp.o.d"
+  "liboa_oa.a"
+  "liboa_oa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_oa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oa_oa.
+# This may be replaced when dependencies are built.

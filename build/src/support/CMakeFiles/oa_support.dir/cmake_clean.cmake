@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_support.dir/log.cpp.o"
+  "CMakeFiles/oa_support.dir/log.cpp.o.d"
+  "CMakeFiles/oa_support.dir/status.cpp.o"
+  "CMakeFiles/oa_support.dir/status.cpp.o.d"
+  "CMakeFiles/oa_support.dir/strings.cpp.o"
+  "CMakeFiles/oa_support.dir/strings.cpp.o.d"
+  "CMakeFiles/oa_support.dir/table.cpp.o"
+  "CMakeFiles/oa_support.dir/table.cpp.o.d"
+  "CMakeFiles/oa_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/oa_support.dir/thread_pool.cpp.o.d"
+  "liboa_support.a"
+  "liboa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

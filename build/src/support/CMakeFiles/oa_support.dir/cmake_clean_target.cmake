@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboa_support.a"
+)

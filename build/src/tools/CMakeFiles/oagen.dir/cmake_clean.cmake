@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oagen.dir/oagen_main.cpp.o"
+  "CMakeFiles/oagen.dir/oagen_main.cpp.o.d"
+  "oagen"
+  "oagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

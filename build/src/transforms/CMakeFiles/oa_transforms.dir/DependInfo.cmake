@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/format_iteration.cpp" "src/transforms/CMakeFiles/oa_transforms.dir/format_iteration.cpp.o" "gcc" "src/transforms/CMakeFiles/oa_transforms.dir/format_iteration.cpp.o.d"
+  "/root/repo/src/transforms/gm_map.cpp" "src/transforms/CMakeFiles/oa_transforms.dir/gm_map.cpp.o" "gcc" "src/transforms/CMakeFiles/oa_transforms.dir/gm_map.cpp.o.d"
+  "/root/repo/src/transforms/grouping.cpp" "src/transforms/CMakeFiles/oa_transforms.dir/grouping.cpp.o" "gcc" "src/transforms/CMakeFiles/oa_transforms.dir/grouping.cpp.o.d"
+  "/root/repo/src/transforms/mem_alloc.cpp" "src/transforms/CMakeFiles/oa_transforms.dir/mem_alloc.cpp.o" "gcc" "src/transforms/CMakeFiles/oa_transforms.dir/mem_alloc.cpp.o.d"
+  "/root/repo/src/transforms/registry.cpp" "src/transforms/CMakeFiles/oa_transforms.dir/registry.cpp.o" "gcc" "src/transforms/CMakeFiles/oa_transforms.dir/registry.cpp.o.d"
+  "/root/repo/src/transforms/tiling.cpp" "src/transforms/CMakeFiles/oa_transforms.dir/tiling.cpp.o" "gcc" "src/transforms/CMakeFiles/oa_transforms.dir/tiling.cpp.o.d"
+  "/root/repo/src/transforms/triangular.cpp" "src/transforms/CMakeFiles/oa_transforms.dir/triangular.cpp.o" "gcc" "src/transforms/CMakeFiles/oa_transforms.dir/triangular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/oa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/oa_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_transforms.dir/format_iteration.cpp.o"
+  "CMakeFiles/oa_transforms.dir/format_iteration.cpp.o.d"
+  "CMakeFiles/oa_transforms.dir/gm_map.cpp.o"
+  "CMakeFiles/oa_transforms.dir/gm_map.cpp.o.d"
+  "CMakeFiles/oa_transforms.dir/grouping.cpp.o"
+  "CMakeFiles/oa_transforms.dir/grouping.cpp.o.d"
+  "CMakeFiles/oa_transforms.dir/mem_alloc.cpp.o"
+  "CMakeFiles/oa_transforms.dir/mem_alloc.cpp.o.d"
+  "CMakeFiles/oa_transforms.dir/registry.cpp.o"
+  "CMakeFiles/oa_transforms.dir/registry.cpp.o.d"
+  "CMakeFiles/oa_transforms.dir/tiling.cpp.o"
+  "CMakeFiles/oa_transforms.dir/tiling.cpp.o.d"
+  "CMakeFiles/oa_transforms.dir/triangular.cpp.o"
+  "CMakeFiles/oa_transforms.dir/triangular.cpp.o.d"
+  "liboa_transforms.a"
+  "liboa_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_tuner.dir/tuner.cpp.o"
+  "CMakeFiles/oa_tuner.dir/tuner.cpp.o.d"
+  "liboa_tuner.a"
+  "liboa_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

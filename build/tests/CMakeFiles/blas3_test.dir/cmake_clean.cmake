@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas3_test.dir/blas3_test.cpp.o"
+  "CMakeFiles/blas3_test.dir/blas3_test.cpp.o.d"
+  "blas3_test"
+  "blas3_test.pdb"
+  "blas3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

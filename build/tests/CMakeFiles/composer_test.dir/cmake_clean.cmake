@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composer_test.dir/composer_test.cpp.o"
+  "CMakeFiles/composer_test.dir/composer_test.cpp.o.d"
+  "composer_test"
+  "composer_test.pdb"
+  "composer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

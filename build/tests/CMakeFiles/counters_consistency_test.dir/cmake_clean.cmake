@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_consistency_test.dir/counters_consistency_test.cpp.o"
+  "CMakeFiles/counters_consistency_test.dir/counters_consistency_test.cpp.o.d"
+  "counters_consistency_test"
+  "counters_consistency_test.pdb"
+  "counters_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

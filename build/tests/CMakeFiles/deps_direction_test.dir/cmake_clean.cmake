@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deps_direction_test.dir/deps_direction_test.cpp.o"
+  "CMakeFiles/deps_direction_test.dir/deps_direction_test.cpp.o.d"
+  "deps_direction_test"
+  "deps_direction_test.pdb"
+  "deps_direction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deps_direction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deps_direction_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epod_adl_test.dir/epod_adl_test.cpp.o"
+  "CMakeFiles/epod_adl_test.dir/epod_adl_test.cpp.o.d"
+  "epod_adl_test"
+  "epod_adl_test.pdb"
+  "epod_adl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epod_adl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_corners_test.dir/ir_corners_test.cpp.o"
+  "CMakeFiles/ir_corners_test.dir/ir_corners_test.cpp.o.d"
+  "ir_corners_test"
+  "ir_corners_test.pdb"
+  "ir_corners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_corners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

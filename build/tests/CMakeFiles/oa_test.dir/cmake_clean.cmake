@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oa_test.dir/oa_test.cpp.o"
+  "CMakeFiles/oa_test.dir/oa_test.cpp.o.d"
+  "oa_test"
+  "oa_test.pdb"
+  "oa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

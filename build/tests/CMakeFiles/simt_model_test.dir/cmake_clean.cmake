@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_model_test.dir/simt_model_test.cpp.o"
+  "CMakeFiles/simt_model_test.dir/simt_model_test.cpp.o.d"
+  "simt_model_test"
+  "simt_model_test.pdb"
+  "simt_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syrk_extension_test.dir/syrk_extension_test.cpp.o"
+  "CMakeFiles/syrk_extension_test.dir/syrk_extension_test.cpp.o.d"
+  "syrk_extension_test"
+  "syrk_extension_test.pdb"
+  "syrk_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrk_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/deps_test[1]_include.cmake")
+include("/root/repo/build/tests/blas3_test[1]_include.cmake")
+include("/root/repo/build/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/epod_adl_test[1]_include.cmake")
+include("/root/repo/build/tests/composer_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/oa_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_model_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_property_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/syrk_extension_test[1]_include.cmake")
+include("/root/repo/build/tests/deps_direction_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_corners_test[1]_include.cmake")
+include("/root/repo/build/tests/counters_consistency_test[1]_include.cmake")
