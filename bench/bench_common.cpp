@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,10 +29,17 @@ FigureOptions parse_figure_args(int argc, char** argv,
       out.variants = split(argv[++i], ',', /*skip_empty=*/true);
     } else if (arg == "--csv" && i + 1 < argc) {
       out.csv_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      out.jobs = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-cache") {
+      out.engine_cache = false;
+    } else if (arg == "--engine-stats") {
+      out.engine_stats = true;
     } else if (arg == "--help") {
       std::printf(
           "options: --quick | --size N | --tuning-size N | "
-          "--variants a,b,c | --csv path\n");
+          "--variants a,b,c | --csv path | --jobs N | --no-cache | "
+          "--engine-stats\n");
       std::exit(0);
     }
   }
@@ -42,6 +50,8 @@ std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
                                    const FigureOptions& options) {
   OaOptions oa_options;
   oa_options.tuning_size = options.tuning_size;
+  oa_options.jobs = options.jobs;
+  oa_options.engine_cache = options.engine_cache;
   OaFramework framework(device, oa_options);
 
   std::vector<std::string> names = options.variants;
@@ -59,7 +69,12 @@ std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
     RoutineRow row;
     row.name = name;
 
+    const auto t0 = std::chrono::steady_clock::now();
     auto tuned = framework.generate(*v);
+    row.generate_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
     if (tuned.is_ok()) {
       auto g = framework.measure_gflops(*tuned, *v, options.problem_size);
       if (g.is_ok()) row.oa_gflops = *g;
@@ -83,10 +98,23 @@ std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
       }
     }
     OA_LOG(kInfo) << name << ": OA " << row.oa_gflops << " / CUBLAS-like "
-                  << row.cublas_gflops << " GFLOPS";
+                  << row.cublas_gflops << " GFLOPS (search "
+                  << row.generate_seconds << "s)";
     rows.push_back(row);
   }
+  if (options.engine_stats) {
+    report_search_cost(rows, framework.engine_stats());
+  }
   return rows;
+}
+
+void report_search_cost(const std::vector<RoutineRow>& rows,
+                        const engine::EngineStats& stats) {
+  double total = 0.0;
+  for (const RoutineRow& r : rows) total += r.generate_seconds;
+  std::printf("search wall time: %.2fs across %zu routine(s)\n", total,
+              rows.size());
+  std::printf("%s\n\n", stats.to_string().c_str());
 }
 
 void report_figure(const std::string& title,

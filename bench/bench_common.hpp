@@ -17,6 +17,8 @@ struct RoutineRow {
   double oa_gflops = 0.0;
   double cublas_gflops = 0.0;
   double magma_gflops = 0.0;  // 0 = not available
+  /// Wall time OaFramework::generate spent searching this routine.
+  double generate_seconds = 0.0;
   double speedup() const {
     return cublas_gflops > 0 ? oa_gflops / cublas_gflops : 0.0;
   }
@@ -29,7 +31,18 @@ struct FigureOptions {
   bool with_magma = false;
   int64_t tuning_size = 512;
   std::string csv_path;  // empty = no CSV
+  /// Parallel evaluation lanes for the search (0 = all cores).
+  size_t jobs = 0;
+  /// Disable the evaluation cache (--no-cache).
+  bool engine_cache = true;
+  /// Print the engine's search-cost breakdown after the run.
+  bool engine_stats = false;
 };
+
+/// Wall-time + cache-hit report for a finished generation run: total
+/// search seconds across `rows` plus the engine's stats line.
+void report_search_cost(const std::vector<RoutineRow>& rows,
+                        const engine::EngineStats& stats);
 
 /// Parse --size N / --quick / --variants a,b,c from argv.
 FigureOptions parse_figure_args(int argc, char** argv,

@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "ir/validate.hpp"
+#include "support/hash.hpp"
 #include "support/log.hpp"
 
 namespace oa::composer {
+
+uint64_t Candidate::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(script.fingerprint());
+  fp.mix(static_cast<uint64_t>(conditions.size()));
+  for (const std::string& c : conditions) fp.mix(c);
+  return fp.digest();
+}
 
 SplitSequence split(const std::vector<Invocation>& sequence) {
   SplitSequence out;

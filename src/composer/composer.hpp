@@ -70,6 +70,10 @@ struct Candidate {
   std::vector<std::string> conditions;
 
   bool operator==(const Candidate&) const = default;
+
+  /// Stable content hash (script fingerprint + conditions); the
+  /// evaluation engine keys its memoization cache on it.
+  uint64_t fingerprint() const;
 };
 
 /// Full composition: base script x all rule combinations of the bound

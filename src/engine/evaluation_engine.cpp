@@ -1,0 +1,332 @@
+#include "engine/evaluation_engine.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "epod/script.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+
+namespace oa::engine {
+
+using blas3::Variant;
+using composer::Candidate;
+using gpusim::RunOptions;
+using transforms::TransformContext;
+using transforms::TuningParams;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ir::Env size_env(const Variant& v, int64_t n) {
+  if (v.family == blas3::Family::kGemm ||
+      v.family == blas3::Family::kSyrk) {
+    return {{"M", n}, {"N", n}, {"K", n}};
+  }
+  return {{"M", n}, {"N", n}};
+}
+
+std::map<std::string, bool> bools_for(const Candidate& c) {
+  std::map<std::string, bool> out;
+  for (const std::string& cond : c.conditions) {
+    // "blank(X).zero = true" enables the padded version; the benches
+    // guarantee the blank triangle is stored as zeros.
+    if (cond.find(".zero") != std::string::npos) out["blank_zero"] = true;
+  }
+  return out;
+}
+
+Status verify_program(const gpusim::Simulator& sim, const Variant& variant,
+                      const ir::Program& program, int64_t n,
+                      const std::map<std::string, bool>& bool_params) {
+  Rng rng(0xC0FFEE ^ static_cast<uint64_t>(n));
+  blas3::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  if (variant.family == blas3::Family::kTrmm ||
+      variant.family == blas3::Family::kTrsm ||
+      variant.family == blas3::Family::kSymm) {
+    a.make_triangular(variant.uplo);
+  }
+  if (variant.family == blas3::Family::kTrsm) {
+    a.set_unit_diagonal();
+    // Keep the solve well-conditioned so the absolute tolerance holds.
+    a.scale_off_diagonal(1.0f / 16.0f);
+  }
+
+  RunOptions opts;
+  opts.int_params = size_env(variant, n);
+  opts.bool_params = bool_params;
+  gpusim::GlobalBuffers buffers = gpusim::make_buffers(
+      program, opts.int_params, {{"A", &a}, {"B", &b}, {"C", &c}});
+  auto run = sim.run_functional(program, opts, buffers);
+  OA_RETURN_IF_ERROR(run.status());
+
+  blas3::Matrix ref_b = b;
+  blas3::Matrix ref_c = c;
+  blas3::run_reference(variant, a, ref_b, &ref_c);
+  const char* out_name = blas3::output_array(variant);
+  blas3::Matrix out(n, n);
+  OA_RETURN_IF_ERROR(
+      gpusim::read_back(buffers, program, opts.int_params, out_name, out));
+  const blas3::Matrix& expected =
+      variant.family == blas3::Family::kTrsm ? ref_b : ref_c;
+  const float err = blas3::max_abs_diff(out, expected);
+  if (err > blas3::accumulation_tolerance(n)) {
+    return illegal(str_format("functional verification failed: err=%g",
+                              static_cast<double>(err)));
+  }
+  return Status::ok();
+}
+
+uint64_t EvalConfig::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(target_size)
+      .mix(verify_size)
+      .mix(run_options.max_sampled_classes)
+      .mix(run_options.warps_per_block_sample);
+  return fp.digest();
+}
+
+std::string EngineStats::to_string() const {
+  return str_format(
+      "engine: %llu requests, %llu hits / %llu misses (%.0f%% hit rate, "
+      "%zu cached), %llu simulations, %llu verifies (+%llu reused), "
+      "%llu rejected; apply %.2fs, verify %.2fs, simulate %.2fs",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), hit_rate() * 100.0,
+      cache_entries, static_cast<unsigned long long>(evaluations),
+      static_cast<unsigned long long>(verify_runs),
+      static_cast<unsigned long long>(verify_reused),
+      static_cast<unsigned long long>(rejected), apply_seconds,
+      verify_seconds, simulate_seconds);
+}
+
+EvaluationEngine::EvaluationEngine(const gpusim::Simulator& simulator,
+                                   EngineOptions options)
+    : sim_(simulator), options_(options) {}
+
+EvaluationEngine::~EvaluationEngine() = default;
+
+size_t EvaluationEngine::jobs() const {
+  return options_.jobs == 0 ? ThreadPool::shared().size() : options_.jobs;
+}
+
+StatusOr<Evaluation> EvaluationEngine::evaluate(
+    const Variant& variant, const Candidate& candidate,
+    const TuningParams& params, const EvalConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  if (Status compat = params.check(); !compat.is_ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return failed_precondition("incompatible tuning parameters");
+  }
+
+  // Apply stage (always executed — it is cheap relative to simulation
+  // and produces both the program and the applied-component mask the
+  // cache key needs).
+  const double t_apply = now_seconds();
+  TransformContext ctx;
+  ctx.params = params;
+  ir::Program program = blas3::make_source_program(variant);
+  auto applied = epod::apply_script_lenient(program, candidate.script, ctx);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.apply_seconds += now_seconds() - t_apply;
+  }
+  if (!applied.is_ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return applied.status();
+  }
+  if (*applied == 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return failed_precondition("no component of the script applied");
+  }
+
+  // Content-addressed key: device preset, variant, script, params,
+  // applied mask, eval config.
+  Fingerprint key;
+  key.mix(sim_.device().name)
+      .mix(variant.name())
+      .mix(candidate.fingerprint())
+      .mix(params.fingerprint())
+      .mix(*applied)
+      .mix(config.fingerprint());
+  const uint64_t digest = key.digest();
+
+  if (options_.cache_enabled) {
+    std::shared_ptr<const StatusOr<Evaluation>> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(digest);
+      if (it != cache_.end()) entry = it->second;
+    }
+    if (entry != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.cache_hits;
+        if (!entry->is_ok()) ++stats_.rejected;
+      }
+      StatusOr<Evaluation> out = *entry;
+      if (out.is_ok()) out->from_cache = true;
+      return out;
+    }
+  }
+
+  StatusOr<Evaluation> result = verify_and_simulate(
+      variant, candidate, params, config, std::move(program), *applied);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_misses;
+    if (!result.is_ok()) ++stats_.rejected;
+  }
+  if (options_.cache_enabled) {
+    auto entry = std::make_shared<const StatusOr<Evaluation>>(result);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Concurrent evaluators of the same point race benignly: both
+    // computed identical results, first insert wins.
+    cache_.emplace(digest, std::move(entry));
+  }
+  return result;
+}
+
+StatusOr<Evaluation> EvaluationEngine::verify_and_simulate(
+    const Variant& variant, const Candidate& candidate,
+    const TuningParams& params, const EvalConfig& config,
+    ir::Program&& program, uint64_t applied) {
+  const std::map<std::string, bool> bools = bools_for(candidate);
+
+  // Verification depends on the *semantics* of the degenerated kernel,
+  // which is determined by the applied-component mask, not the tile
+  // sizes: points sharing a mask share one verification (a dropped
+  // peel/binding changes the kernel's meaning, not just its speed).
+  if (config.verify_size > 0) {
+    Fingerprint vkey;
+    // Device is part of the key: the functional run can reject a kernel
+    // for device-dependent reasons (occupancy) before comparing output.
+    vkey.mix(sim_.device().name)
+        .mix(variant.name())
+        .mix(candidate.fingerprint())
+        .mix(applied)
+        .mix(config.verify_size);
+    const uint64_t vdigest = vkey.digest();
+    // The mask-level verify cache stays on even with cache_enabled off:
+    // sharing one verification per degenerated-script mask is the
+    // pre-engine Tuner's semantics, not part of the memoization layer.
+    bool already_verified = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      already_verified = verified_.contains(vdigest);
+    }
+    if (already_verified) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.verify_reused;
+    } else {
+      const double t_verify = now_seconds();
+      Status verified = verify_program(sim_, variant, program,
+                                       config.verify_size, bools);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.verify_runs;
+        stats_.verify_seconds += now_seconds() - t_verify;
+      }
+      // Only successes are shared across the mask: a failure can be
+      // params-dependent (occupancy at the verify size), so it is
+      // memoized per point, not per mask.
+      if (verified.is_ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        verified_.insert(vdigest);
+      }
+      OA_RETURN_IF_ERROR(verified);
+    }
+  }
+
+  RunOptions opts = config.run_options;
+  opts.int_params = size_env(variant, config.target_size);
+  opts.bool_params = bools;
+  const double t_sim = now_seconds();
+  auto perf = sim_.run_performance(program, opts);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.evaluations;
+    stats_.simulate_seconds += now_seconds() - t_sim;
+  }
+  OA_RETURN_IF_ERROR(perf.status());
+
+  Evaluation out;
+  out.candidate = candidate;
+  out.params = params;
+  out.applied_mask = applied;
+  out.program = std::move(program);
+  out.seconds = perf->seconds;
+  out.counters = perf->counters;
+  out.gflops = perf->gflops(blas3::nominal_flops(
+      variant, config.target_size, config.target_size,
+      config.target_size));
+  return out;
+}
+
+std::vector<StatusOr<Evaluation>> EvaluationEngine::evaluate_batch(
+    const Variant& variant, const std::vector<Point>& points,
+    const EvalConfig& config) {
+  std::vector<std::optional<StatusOr<Evaluation>>> slots(points.size());
+  ThreadPool::shared().parallel_for(
+      points.size(),
+      [&](size_t i) {
+        slots[i].emplace(
+            evaluate(variant, points[i].candidate, points[i].params,
+                     config));
+      },
+      jobs());
+  std::vector<StatusOr<Evaluation>> out;
+  out.reserve(points.size());
+  for (auto& slot : slots) out.push_back(*std::move(slot));
+  return out;
+}
+
+EngineStats EvaluationEngine::stats() const {
+  EngineStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  out.cache_entries = cache_.size();
+  return out;
+}
+
+void EvaluationEngine::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = EngineStats{};
+}
+
+void EvaluationEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  verified_.clear();
+}
+
+size_t EvaluationEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace oa::engine

@@ -1,0 +1,178 @@
+// The EvaluationEngine: a parallel, memoizing evaluation service
+// between the search policies (tuner/) and the simulator (gpusim/).
+//
+// The paper's OA framework spends essentially all of its time in the
+// search stage ("the best among the set is searched for" across
+// composed scripts x tile/unroll parameters). The engine owns the
+// apply -> verify -> simulate pipeline for one (candidate, params)
+// point and adds what a search policy should not have to know about:
+//
+//   * batch-parallel evaluation over support::ThreadPool with
+//     deterministic result ordering — results come back indexed by the
+//     request order, so `jobs = 1` and `jobs = N` pick the same winner;
+//   * a content-addressed memoization cache keyed by (device, variant,
+//     script fingerprint, tuning params, applied mask, eval config),
+//     so repeated points across line-search rounds, the exhaustive
+//     ablation, and the figure benches are evaluated once — negative
+//     outcomes (verification/launch failures) are cached too, since
+//     they are deterministic;
+//   * a mask-level verification cache: two parameter points whose
+//     scripts degenerate to the same applied-component mask share one
+//     functional verification (same semantics, different speed);
+//   * structured per-evaluation accounting (EngineStats) so benches
+//     and the oagen CLI can report search-cost breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blas3/routine.hpp"
+#include "composer/composer.hpp"
+#include "gpusim/simulator.hpp"
+
+namespace oa::engine {
+
+struct EngineOptions {
+  /// Parallel evaluation lanes for evaluate_batch; 0 selects the shared
+  /// thread pool's full width (hardware_concurrency), 1 is strictly
+  /// serial on the calling thread.
+  size_t jobs = 0;
+  /// Disable to force every point through the full pipeline (ablation /
+  /// debugging).
+  bool cache_enabled = true;
+};
+
+/// Per-batch evaluation configuration; hashed into the cache key.
+struct EvalConfig {
+  /// Problem size used for the performance estimate.
+  int64_t target_size = 1024;
+  /// Problem size for functional verification (0 disables).
+  int64_t verify_size = 72;
+  /// Extra simulator knobs (int/bool params are overwritten per point).
+  gpusim::RunOptions run_options;
+
+  uint64_t fingerprint() const;
+};
+
+/// The outcome of one successful (candidate, params) evaluation.
+struct Evaluation {
+  composer::Candidate candidate;
+  transforms::TuningParams params;
+  ir::Program program;      // transformed, ready to simulate
+  double seconds = 0.0;     // at target_size
+  double gflops = 0.0;
+  gpusim::Counters counters;
+  /// Which script invocations applied under `params` (filter
+  /// semantics): parameter points with different masks are different
+  /// kernels.
+  uint64_t applied_mask = 0;
+  /// True when the verify+simulate stages were served from the
+  /// memoization cache (the returned numbers are bitwise-identical to
+  /// the fresh evaluation that populated the entry).
+  bool from_cache = false;
+};
+
+/// Snapshot of the engine's accounting counters.
+struct EngineStats {
+  uint64_t requests = 0;        // evaluate() calls (batch points included)
+  uint64_t cache_hits = 0;      // served from the memoization cache
+  uint64_t cache_misses = 0;    // full pipeline executed
+  uint64_t evaluations = 0;     // simulator performance runs
+  uint64_t verify_runs = 0;     // functional verifications executed
+  uint64_t verify_reused = 0;   // skipped via the mask-level cache
+  uint64_t rejected = 0;        // non-ok outcomes (any stage)
+  double apply_seconds = 0.0;   // wall time re-applying scripts
+  double verify_seconds = 0.0;  // wall time in functional verification
+  double simulate_seconds = 0.0;// wall time in performance simulation
+  size_t cache_entries = 0;
+
+  double hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+  std::string to_string() const;
+};
+
+class EvaluationEngine {
+ public:
+  explicit EvaluationEngine(const gpusim::Simulator& simulator,
+                            EngineOptions options = {});
+  ~EvaluationEngine();
+
+  EvaluationEngine(const EvaluationEngine&) = delete;
+  EvaluationEngine& operator=(const EvaluationEngine&) = delete;
+
+  const gpusim::Simulator& simulator() const { return sim_; }
+  const EngineOptions& options() const { return options_; }
+  /// Effective parallel width (resolves jobs == 0).
+  size_t jobs() const;
+
+  /// One (candidate, params) point of the search space.
+  struct Point {
+    composer::Candidate candidate;
+    transforms::TuningParams params;
+  };
+
+  /// Evaluate a single point: apply + verify + simulate, memoized.
+  /// Thread-safe.
+  StatusOr<Evaluation> evaluate(const blas3::Variant& variant,
+                                const composer::Candidate& candidate,
+                                const transforms::TuningParams& params,
+                                const EvalConfig& config);
+
+  /// Evaluate a batch of points in parallel (up to `jobs()` lanes).
+  /// result[i] corresponds to points[i]; ordering is deterministic and
+  /// independent of the parallel schedule.
+  std::vector<StatusOr<Evaluation>> evaluate_batch(
+      const blas3::Variant& variant, const std::vector<Point>& points,
+      const EvalConfig& config);
+
+  EngineStats stats() const;
+  void reset_stats();
+  void clear_cache();
+  size_t cache_size() const;
+
+ private:
+  /// The full pipeline for a cache miss; `applied` and `program` come
+  /// from the already-executed apply stage.
+  StatusOr<Evaluation> verify_and_simulate(
+      const blas3::Variant& variant, const composer::Candidate& candidate,
+      const transforms::TuningParams& params, const EvalConfig& config,
+      ir::Program&& program, uint64_t applied);
+
+  const gpusim::Simulator& sim_;
+  EngineOptions options_;
+
+  mutable std::mutex mu_;
+  /// Memoized outcomes (success payloads and deterministic rejections).
+  std::unordered_map<uint64_t, std::shared_ptr<const StatusOr<Evaluation>>>
+      cache_;
+  /// Mask-level verification cache: keys whose (variant, script, mask)
+  /// passed functional verification. Failures are not recorded here —
+  /// they can be params-dependent — only in the point-level cache.
+  std::unordered_set<uint64_t> verified_;
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+};
+
+/// Functional verification helper shared with tests/benches: run
+/// `program` at size (n x n) and compare against the CPU reference.
+Status verify_program(const gpusim::Simulator& sim,
+                      const blas3::Variant& variant,
+                      const ir::Program& program, int64_t n,
+                      const std::map<std::string, bool>& bool_params);
+
+/// Runtime bool parameters implied by adaptor conditions ("blank(A)
+/// .zero = true" -> blank_zero = true).
+std::map<std::string, bool> bools_for(const composer::Candidate& c);
+
+/// Problem-size bindings for an n x n problem of `v`'s family.
+ir::Env size_env(const blas3::Variant& v, int64_t n);
+
+}  // namespace oa::engine

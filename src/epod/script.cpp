@@ -2,11 +2,20 @@
 
 #include <sstream>
 
+#include "support/hash.hpp"
 #include "support/strings.hpp"
 
 namespace oa::epod {
 
 using transforms::Invocation;
+
+uint64_t Script::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(routine);
+  fp.mix(static_cast<uint64_t>(invocations.size()));
+  for (const Invocation& inv : invocations) fp.mix(inv.fingerprint());
+  return fp.digest();
+}
 
 std::string Script::to_string() const {
   std::ostringstream os;

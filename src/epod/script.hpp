@@ -30,6 +30,11 @@ struct Script {
 
   /// Paper-style rendering, one invocation per line.
   std::string to_string() const;
+
+  /// Stable content hash over routine + every invocation; two scripts
+  /// with the same fingerprint apply identically (engine cache key
+  /// component).
+  uint64_t fingerprint() const;
 };
 
 /// Parse the textual form. Unknown component names are rejected here so

@@ -13,7 +13,11 @@ using blas3::Variant;
 
 OaFramework::OaFramework(const gpusim::DeviceModel& device,
                          OaOptions options)
-    : sim_(device), options_(std::move(options)) {}
+    : sim_(device),
+      options_(std::move(options)),
+      engine_(std::make_unique<engine::EvaluationEngine>(
+          sim_, engine::EngineOptions{options_.jobs,
+                                      options_.engine_cache})) {}
 
 std::vector<adl::Adaptor> OaFramework::adaptors_for(const Variant& v) {
   std::vector<adl::Adaptor> out;
@@ -142,22 +146,16 @@ StatusOr<tuner::TunedVariant> OaFramework::generate(const Variant& v) {
   }
   topt.verify_size = options_.verify_size;
   topt.exhaustive = options_.exhaustive_search;
-  tuner::Tuner tuner(sim_, topt);
+  // All variants tune through the shared engine: identical points that
+  // reappear across variants (cross-variant adaptor reuse) and across
+  // the figure benches hit its cache instead of re-simulating.
+  tuner::Tuner tuner(*engine_, topt);
   OA_ASSIGN_OR_RETURN(tuner::TunedVariant best, tuner.tune(v, candidates));
   cache_.emplace(v.name(), best);
   return best;
 }
 
-namespace {
-
-ir::Env size_env(const Variant& v, int64_t n) {
-  if (v.family == Family::kGemm || v.family == Family::kSyrk) {
-    return {{"M", n}, {"N", n}, {"K", n}};
-  }
-  return {{"M", n}, {"N", n}};
-}
-
-}  // namespace
+using engine::size_env;
 
 StatusOr<double> OaFramework::measure_gflops(
     const tuner::TunedVariant& tuned, const Variant& v, int64_t n) const {

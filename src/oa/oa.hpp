@@ -14,12 +14,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "adl/adaptor.hpp"
 #include "baseline/baseline.hpp"
 #include "blas3/matrix.hpp"
 #include "composer/composer.hpp"
+#include "engine/evaluation_engine.hpp"
 #include "gpusim/simulator.hpp"
 #include "tuner/tuner.hpp"
 
@@ -33,6 +35,11 @@ struct OaOptions {
   int64_t verify_size = 72;
   /// Exhaustive parameter sweep instead of orthogonal line search.
   bool exhaustive_search = false;
+  /// Parallel evaluation lanes for the search (0 = all hardware
+  /// threads, 1 = serial).
+  size_t jobs = 0;
+  /// Memoize evaluations across rounds, candidates, and variants.
+  bool engine_cache = true;
   /// Base script to extend. Defaults to the paper's Fig 3 GEMM-NN
   /// script.
   epod::Script base_script = epod::gemm_nn_script();
@@ -45,6 +52,13 @@ class OaFramework {
 
   const gpusim::DeviceModel& device() const { return sim_.device(); }
   const gpusim::Simulator& simulator() const { return sim_; }
+
+  /// The evaluation engine every generate() call tunes through: one
+  /// memoization cache shared across variants, so cross-variant
+  /// adaptor reuse (identical degenerated points) is measurable.
+  engine::EvaluationEngine& engine() { return *engine_; }
+  /// Search-cost accounting (cache hits, verify/simulate wall time).
+  engine::EngineStats engine_stats() const { return engine_->stats(); }
 
   /// Bound adaptors relating `v` to GEMM-NN (empty for GEMM-NN itself).
   static std::vector<adl::Adaptor> adaptors_for(const blas3::Variant& v);
@@ -80,6 +94,7 @@ class OaFramework {
  private:
   gpusim::Simulator sim_;
   OaOptions options_;
+  std::unique_ptr<engine::EvaluationEngine> engine_;
   std::map<std::string, tuner::TunedVariant> cache_;
 };
 

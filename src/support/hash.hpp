@@ -1,0 +1,49 @@
+// Stable content fingerprinting for the memoization layers (engine/
+// evaluation cache, verified-mask cache): a 64-bit FNV-1a accumulator
+// over explicitly mixed fields. The digest is deterministic across
+// processes and platforms — it depends only on the bytes mixed in, so
+// it is safe to use as a cache key that must survive re-runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace oa {
+
+class Fingerprint {
+ public:
+  Fingerprint& mix_bytes(const void* data, size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      state_ ^= p[i];
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fingerprint& mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (8 * i)) & 0xFF;
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+  Fingerprint& mix(int64_t v) { return mix(static_cast<uint64_t>(v)); }
+  Fingerprint& mix(int v) { return mix(static_cast<uint64_t>(v)); }
+  Fingerprint& mix(bool v) { return mix(static_cast<uint64_t>(v)); }
+  /// Length-prefixed so that ("ab","c") and ("a","bc") differ.
+  Fingerprint& mix(std::string_view s) {
+    mix(static_cast<uint64_t>(s.size()));
+    return mix_bytes(s.data(), s.size());
+  }
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  static constexpr uint64_t kOffset = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t state_ = kOffset;
+};
+
+}  // namespace oa

@@ -38,9 +38,11 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(size_t n,
-                              const std::function<void(size_t)>& fn) {
+                              const std::function<void(size_t)>& fn,
+                              size_t max_lanes) {
   if (n == 0) return;
-  const size_t workers = size();
+  const size_t workers =
+      max_lanes == 0 ? size() : std::min(size(), max_lanes);
   if (n == 1 || workers == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -27,7 +27,12 @@ class ThreadPool {
   /// Run fn(i) for i in [0, n) across the pool; returns when all
   /// iterations completed. fn must be safe to call concurrently for
   /// distinct i. Falls back to inline execution for tiny n.
-  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+  /// `max_lanes` caps the number of threads working on this batch
+  /// (0 = whole pool); `max_lanes == 1` runs strictly in index order on
+  /// the calling thread, which batch consumers rely on for serial/
+  /// parallel equivalence checks.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                    size_t max_lanes = 0);
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& shared();

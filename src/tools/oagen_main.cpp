@@ -59,7 +59,13 @@ int usage() {
       "instead of searching\n"
       "  --adaptor FILE                      compose a custom ADL "
       "adaptor (bound to A)\n"
-      "  --exhaustive                        exhaustive parameter sweep\n");
+      "  --exhaustive                        exhaustive parameter sweep\n"
+      "  --jobs N                            parallel evaluation lanes "
+      "(default: all cores)\n"
+      "  --no-cache                          disable evaluation "
+      "memoization\n"
+      "  --engine-stats                      print search-cost breakdown "
+      "after generation\n");
   return 2;
 }
 
@@ -69,8 +75,9 @@ int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarning);
   std::string routine, device_name = "gtx285", script_path, adaptor_path;
   int64_t size = 1024, tuning_size = 512;
+  long long jobs = 0;
   bool list = false, show_candidates = false, show_kernel = false,
-       exhaustive = false;
+       exhaustive = false, no_cache = false, engine_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,6 +104,13 @@ int main(int argc, char** argv) {
       show_kernel = true;
     } else if (arg == "--exhaustive") {
       exhaustive = true;
+    } else if (arg == "--jobs") {
+      jobs = std::atoll(next());
+      if (jobs < 0) return usage();
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--engine-stats") {
+      engine_stats = true;
     } else {
       return usage();
     }
@@ -124,6 +138,8 @@ int main(int argc, char** argv) {
   OaOptions options;
   options.tuning_size = tuning_size;
   options.exhaustive_search = exhaustive;
+  options.jobs = static_cast<size_t>(jobs);
+  options.engine_cache = !no_cache;
   OaFramework framework(*device, options);
 
   // --- show composer output ------------------------------------------
@@ -199,6 +215,9 @@ int main(int argc, char** argv) {
 
   // --- full generation -----------------------------------------------
   auto tuned = framework.generate(*variant);
+  if (engine_stats) {
+    std::printf("%s\n\n", framework.engine_stats().to_string().c_str());
+  }
   if (!tuned.is_ok()) {
     std::printf("generation failed: %s\n",
                 tuned.status().to_string().c_str());

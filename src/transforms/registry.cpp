@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <array>
 
+#include "support/hash.hpp"
 #include "support/strings.hpp"
 #include "transforms/transform.hpp"
 
@@ -41,6 +42,27 @@ std::string TuningParams::to_string() const {
       static_cast<long long>(block_tile_x),
       static_cast<long long>(threads_y), static_cast<long long>(threads_x),
       static_cast<long long>(k_tile), unroll);
+}
+
+uint64_t TuningParams::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(block_tile_y)
+      .mix(block_tile_x)
+      .mix(threads_y)
+      .mix(threads_x)
+      .mix(k_tile)
+      .mix(unroll);
+  return fp.digest();
+}
+
+uint64_t Invocation::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(component);
+  fp.mix(static_cast<uint64_t>(args.size()));
+  for (const std::string& a : args) fp.mix(a);
+  fp.mix(static_cast<uint64_t>(results.size()));
+  for (const std::string& r : results) fp.mix(r);
+  return fp.digest();
 }
 
 std::string Invocation::to_string() const {

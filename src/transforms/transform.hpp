@@ -37,6 +37,8 @@ struct TuningParams {
 
   Status check() const;
   std::string to_string() const;
+  /// Stable content hash over all fields (engine cache key component).
+  uint64_t fingerprint() const;
 };
 
 /// Context every component invocation receives.
@@ -57,6 +59,8 @@ struct Invocation {
   std::vector<std::string> results;  // labels bound on the left-hand side
 
   std::string to_string() const;
+  /// Stable content hash (component, args, results).
+  uint64_t fingerprint() const;
   bool operator==(const Invocation&) const = default;
 };
 

@@ -1,21 +1,14 @@
 #include "tuner/tuner.hpp"
 
 #include <algorithm>
-#include <set>
 
-#include "blas3/reference.hpp"
-#include "blas3/source_ir.hpp"
-#include "epod/script.hpp"
 #include "support/log.hpp"
-#include "support/rng.hpp"
-#include "support/strings.hpp"
 
 namespace oa::tuner {
 
 using blas3::Variant;
 using composer::Candidate;
-using gpusim::RunOptions;
-using transforms::TransformContext;
+using engine::EvaluationEngine;
 using transforms::TuningParams;
 
 const ParameterSpace& ParameterSpace::default_space() {
@@ -37,157 +30,92 @@ size_t ParameterSpace::total_points() const {
          unrolls.size();
 }
 
-std::map<std::string, bool> bools_for(const Candidate& c) {
-  std::map<std::string, bool> out;
-  for (const std::string& cond : c.conditions) {
-    // "blank(X).zero = true" enables the padded version; the benches
-    // guarantee the blank triangle is stored as zeros.
-    if (cond.find(".zero") != std::string::npos) out["blank_zero"] = true;
-  }
-  return out;
-}
-
 namespace {
 
-/// Build the problem-size bindings for an n x n problem.
-ir::Env params_for(const Variant& v, int64_t n) {
-  if (v.family == blas3::Family::kGemm ||
-      v.family == blas3::Family::kSyrk) {
-    return {{"M", n}, {"N", n}, {"K", n}};
-  }
-  return {{"M", n}, {"N", n}};
+/// The probe point every search starts from (Volkov-style skinny
+/// blocks).
+TuningParams probe_point() {
+  TuningParams p;
+  p.block_tile_y = 64;
+  p.block_tile_x = 16;
+  p.threads_y = 64;
+  p.threads_x = 1;
+  p.k_tile = 16;
+  p.unroll = 4;
+  return p;
 }
-
-/// Valid (params, variant) combinations only: thread shapes must divide
-/// the block shape.
-bool compatible(const TuningParams& p) { return p.check().is_ok(); }
 
 }  // namespace
 
-Status verify_program(const gpusim::Simulator& sim, const Variant& variant,
-                      const ir::Program& program, int64_t n,
-                      const std::map<std::string, bool>& bool_params) {
-  Rng rng(0xC0FFEE ^ static_cast<uint64_t>(n));
-  blas3::Matrix a(n, n), b(n, n), c(n, n);
-  a.fill_random(rng);
-  b.fill_random(rng);
-  if (variant.family == blas3::Family::kTrmm ||
-      variant.family == blas3::Family::kTrsm ||
-      variant.family == blas3::Family::kSymm) {
-    a.make_triangular(variant.uplo);
-  }
-  if (variant.family == blas3::Family::kTrsm) {
-    a.set_unit_diagonal();
-    // Keep the solve well-conditioned so the absolute tolerance holds.
-    a.scale_off_diagonal(1.0f / 16.0f);
-  }
+Tuner::Tuner(const gpusim::Simulator& simulator, TuneOptions options)
+    : owned_engine_(std::make_unique<EvaluationEngine>(
+          simulator,
+          engine::EngineOptions{options.jobs, options.use_cache})),
+      engine_(owned_engine_.get()),
+      options_(std::move(options)) {}
 
-  RunOptions opts;
-  opts.int_params = params_for(variant, n);
-  opts.bool_params = bool_params;
-  gpusim::GlobalBuffers buffers = gpusim::make_buffers(
-      program, opts.int_params, {{"A", &a}, {"B", &b}, {"C", &c}});
-  auto run = sim.run_functional(program, opts, buffers);
-  OA_RETURN_IF_ERROR(run.status());
+Tuner::Tuner(EvaluationEngine& engine, TuneOptions options)
+    : engine_(&engine), options_(std::move(options)) {}
 
-  blas3::Matrix ref_b = b;
-  blas3::Matrix ref_c = c;
-  blas3::run_reference(variant, a, ref_b, &ref_c);
-  const char* out_name = blas3::output_array(variant);
-  blas3::Matrix out(n, n);
-  OA_RETURN_IF_ERROR(
-      gpusim::read_back(buffers, program, opts.int_params, out_name, out));
-  const blas3::Matrix& expected =
-      variant.family == blas3::Family::kTrsm ? ref_b : ref_c;
-  const float err = blas3::max_abs_diff(out, expected);
-  if (err > blas3::accumulation_tolerance(n)) {
-    return illegal(str_format("functional verification failed: err=%g",
-                              static_cast<double>(err)));
-  }
-  return Status::ok();
+engine::EvalConfig Tuner::config() const {
+  engine::EvalConfig cfg;
+  cfg.target_size = options_.target_size;
+  cfg.verify_size = options_.verify_size;
+  cfg.run_options = options_.run_options;
+  return cfg;
 }
 
 StatusOr<TunedVariant> Tuner::evaluate(
     const Variant& variant, const Candidate& candidate,
     const TuningParams& params, std::set<uint64_t>* verified_masks) const {
-  if (!compatible(params)) {
-    return failed_precondition("incompatible tuning parameters");
+  auto result = engine_->evaluate(variant, candidate, params, config());
+  if (result.is_ok() && verified_masks != nullptr) {
+    verified_masks->insert(result->applied_mask);
   }
-  TransformContext ctx;
-  ctx.params = params;
-  ir::Program program = blas3::make_source_program(variant);
-  OA_ASSIGN_OR_RETURN(
-      uint64_t applied,
-      epod::apply_script_lenient(program, candidate.script, ctx));
-  if (applied == 0) {
-    return failed_precondition("no component of the script applied");
-  }
-  const std::map<std::string, bool> bools = bools_for(candidate);
-
-  // Re-verify whenever this parameter point degenerated the script into
-  // a component set not seen before (a dropped peel/binding changes the
-  // kernel's semantics, not just its speed).
-  const bool need_verify =
-      verified_masks == nullptr || !verified_masks->contains(applied);
-  if (need_verify && options_.verify_size > 0) {
-    OA_RETURN_IF_ERROR(verify_program(sim_, variant, program,
-                                      options_.verify_size, bools));
-    if (verified_masks != nullptr) verified_masks->insert(applied);
-  }
-
-  RunOptions opts = options_.run_options;
-  opts.int_params = params_for(variant, options_.target_size);
-  opts.bool_params = bools;
-  OA_ASSIGN_OR_RETURN(gpusim::RunResult perf,
-                      sim_.run_performance(program, opts));
-
-  TunedVariant out;
-  out.candidate = candidate;
-  out.params = params;
-  out.applied_mask = applied;
-  out.program = std::move(program);
-  out.seconds = perf.seconds;
-  out.counters = perf.counters;
-  out.gflops = perf.gflops(blas3::nominal_flops(
-      variant, options_.target_size, options_.target_size,
-      options_.target_size));
-  return out;
+  return result;
 }
 
 StatusOr<TunedVariant> Tuner::line_search(const Variant& variant,
                                           const Candidate& candidate) const {
   const ParameterSpace& space = ParameterSpace::default_space();
-  TuningParams cur;
-  cur.block_tile_y = 64;
-  cur.block_tile_x = 16;
-  cur.threads_y = 64;
-  cur.threads_x = 1;
-  cur.k_tile = 16;
-  cur.unroll = 4;
+  const engine::EvalConfig cfg = config();
+  TuningParams cur = probe_point();
 
   std::optional<TunedVariant> best;
-  std::set<uint64_t> verified_masks;
   std::set<std::string> tried;
-  auto try_point = [&](const TuningParams& p) {
-    if (!tried.insert(p.to_string()).second) return Status::ok();
-    auto result = evaluate(variant, candidate, p, &verified_masks);
-    if (!result.is_ok()) {
-      // A point whose degenerated kernel fails verification is skipped;
-      // other parameter points of the same script may still be valid.
-      return Status::ok();
+  // Evaluate every untried point of one axis as a parallel batch;
+  // results come back in input order, so the first of equally fast
+  // points wins regardless of the parallel schedule. A point whose
+  // degenerated kernel fails verification is skipped; other parameter
+  // points of the same script may still be valid.
+  auto run_axis = [&](const std::vector<TuningParams>& axis) {
+    std::vector<EvaluationEngine::Point> points;
+    for (const TuningParams& p : axis) {
+      if (tried.insert(p.to_string()).second) {
+        points.push_back({candidate, p});
+      }
     }
-    if (!best || result->seconds < best->seconds) {
-      best = std::move(result).value();
-      cur = best->params;
+    bool improved = false;
+    auto results = engine_->evaluate_batch(variant, points, cfg);
+    for (auto& result : results) {
+      if (!result.is_ok()) continue;
+      if (!best || result->seconds < best->seconds) {
+        best = std::move(result).value();
+        improved = true;
+      }
     }
-    return Status::ok();
+    if (improved) cur = best->params;
+    return improved;
   };
 
-  OA_RETURN_IF_ERROR(try_point(cur));
-  // One round of orthogonal line search over the four axes (the probe
-  // stage already seeded `cur` near the optimum; a second round is
-  // available through TuneOptions::exhaustive for the ablation bench).
-  for (int round = 0; round < 1; ++round) {
+  run_axis({cur});
+  // Orthogonal line search over the four axes, re-centred on the best
+  // point after each axis; later rounds refine the first round's
+  // winner and the search stops as soon as a whole round improves
+  // nothing.
+  for (int round = 0; round < options_.line_search_rounds; ++round) {
+    bool improved = false;
+    std::vector<TuningParams> axis;
     for (const auto& [bty, btx] : space.block_shapes) {
       TuningParams p = cur;
       p.block_tile_y = bty;
@@ -195,24 +123,32 @@ StatusOr<TunedVariant> Tuner::line_search(const Variant& variant,
       // Keep the thread shape feasible.
       p.threads_y = std::min(p.threads_y, bty);
       p.threads_x = std::min(p.threads_x, btx);
-      OA_RETURN_IF_ERROR(try_point(p));
+      axis.push_back(p);
     }
+    improved |= run_axis(axis);
+    axis.clear();
     for (const auto& [ty, tx] : space.thread_shapes) {
       TuningParams p = cur;
       p.threads_y = ty;
       p.threads_x = tx;
-      OA_RETURN_IF_ERROR(try_point(p));
+      axis.push_back(p);
     }
+    improved |= run_axis(axis);
+    axis.clear();
     for (int64_t kt : space.k_tiles) {
       TuningParams p = cur;
       p.k_tile = kt;
-      OA_RETURN_IF_ERROR(try_point(p));
+      axis.push_back(p);
     }
+    improved |= run_axis(axis);
+    axis.clear();
     for (int u : space.unrolls) {
       TuningParams p = cur;
       p.unroll = u;
-      OA_RETURN_IF_ERROR(try_point(p));
+      axis.push_back(p);
     }
+    improved |= run_axis(axis);
+    if (!improved) break;
   }
   if (!best) {
     return failed_precondition("no feasible parameter point");
@@ -223,8 +159,7 @@ StatusOr<TunedVariant> Tuner::line_search(const Variant& variant,
 StatusOr<TunedVariant> Tuner::sweep(const Variant& variant,
                                     const Candidate& candidate) const {
   const ParameterSpace& space = ParameterSpace::default_space();
-  std::optional<TunedVariant> best;
-  std::set<uint64_t> verified_masks;
+  std::vector<EvaluationEngine::Point> points;
   for (const auto& [bty, btx] : space.block_shapes) {
     for (const auto& [ty, tx] : space.thread_shapes) {
       for (int64_t kt : space.k_tiles) {
@@ -236,14 +171,18 @@ StatusOr<TunedVariant> Tuner::sweep(const Variant& variant,
           p.threads_x = tx;
           p.k_tile = kt;
           p.unroll = u;
-          if (!compatible(p)) continue;
-          auto result = evaluate(variant, candidate, p, &verified_masks);
-          if (!result.is_ok()) continue;
-          if (!best || result->seconds < best->seconds) {
-            best = std::move(result).value();
-          }
+          if (!p.check().is_ok()) continue;
+          points.push_back({candidate, p});
         }
       }
+    }
+  }
+  auto results = engine_->evaluate_batch(variant, points, config());
+  std::optional<TunedVariant> best;
+  for (auto& result : results) {
+    if (!result.is_ok()) continue;
+    if (!best || result->seconds < best->seconds) {
+      best = std::move(result).value();
     }
   }
   if (!best) return failed_precondition("no feasible parameter point");
@@ -253,16 +192,19 @@ StatusOr<TunedVariant> Tuner::sweep(const Variant& variant,
 StatusOr<TunedVariant> Tuner::tune(
     const Variant& variant,
     const std::vector<Candidate>& candidates) const {
+  if (candidates.empty()) {
+    return failed_precondition("no candidate scripts for " +
+                               variant.name());
+  }
   // Stage 1: score every candidate script at the default parameter
-  // point (verifying each functionally once); stage 2: full parameter
-  // search on the most promising scripts only.
-  TuningParams probe;
-  probe.block_tile_y = 64;
-  probe.block_tile_x = 16;
-  probe.threads_y = 64;
-  probe.threads_x = 1;
-  probe.k_tile = 16;
-  probe.unroll = 4;
+  // point, in one parallel batch (verifying each functionally once);
+  // stage 2: full parameter search on the most promising scripts only.
+  std::vector<EvaluationEngine::Point> points;
+  points.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    points.push_back({candidate, probe_point()});
+  }
+  auto probed = engine_->evaluate_batch(variant, points, config());
 
   struct Scored {
     const Candidate* candidate;
@@ -270,25 +212,24 @@ StatusOr<TunedVariant> Tuner::tune(
   };
   std::vector<Scored> scored;
   Status last_error = Status::ok();
-  for (const Candidate& candidate : candidates) {
-    auto result = evaluate(variant, candidate, probe, nullptr);
-    if (!result.is_ok()) {
-      last_error = result.status();
+  for (size_t i = 0; i < probed.size(); ++i) {
+    if (!probed[i].is_ok()) {
+      last_error = probed[i].status();
       OA_LOG(kDebug) << variant.name() << ": candidate rejected ("
                      << last_error.to_string() << ")";
       continue;
     }
-    scored.push_back({&candidate, result->seconds});
+    scored.push_back({&candidates[i], probed[i]->seconds});
   }
   if (scored.empty()) {
     return Status(ErrorCode::kFailedPrecondition,
                   "no candidate for " + variant.name() + " survived (" +
                       last_error.to_string() + ")");
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const Scored& a, const Scored& b) {
-              return a.seconds < b.seconds;
-            });
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.seconds < b.seconds;
+                   });
   const size_t searched = std::min<size_t>(scored.size(), 2);
 
   std::optional<TunedVariant> best;

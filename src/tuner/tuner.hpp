@@ -4,26 +4,27 @@
 // Optimization parameters, such as tile size, are automatically tuned
 // with the method in [4]").
 //
-// For every candidate script the tuner:
-//   1. re-applies the script (filter semantics) to the routine source;
-//   2. verifies the variant *functionally* against the CPU reference at
-//      a small problem size — candidates whose degenerated sequence is
-//      no longer semantics-preserving (e.g. a Solver sequence that lost
-//      binding_triangular) are rejected here, playing the role of the
-//      paper's final PolyDeps legality check;
-//   3. estimates performance at the target size on the simulator.
-// Tile/thread/unroll parameters are tuned per script with orthogonal
-// line search (the method of Tiwari et al. [4]) over a curated
-// parameter grid; an exhaustive sweep is available for the ablation
-// bench.
+// The tuner is a thin *search policy* over the EvaluationEngine
+// (engine/): it decides which (candidate, params) points to try —
+// orthogonal line search (the method of Tiwari et al. [4]) over a
+// curated parameter grid, or an exhaustive sweep for the ablation
+// bench — while the engine owns the apply -> verify -> simulate
+// pipeline, its parallel execution, and its memoization cache.
+//
+// Candidates whose degenerated sequence is no longer semantics-
+// preserving (e.g. a Solver sequence that lost binding_triangular) are
+// rejected by the engine's functional verification, playing the role
+// of the paper's final PolyDeps legality check.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "blas3/routine.hpp"
 #include "composer/composer.hpp"
+#include "engine/evaluation_engine.hpp"
 #include "gpusim/simulator.hpp"
 
 namespace oa::tuner {
@@ -36,22 +37,22 @@ struct TuneOptions {
   int64_t verify_size = 72;
   /// Use exhaustive parameter sweep instead of orthogonal line search.
   bool exhaustive = false;
+  /// Orthogonal line-search rounds; a round that improves nothing stops
+  /// the search early.
+  int line_search_rounds = 2;
+  /// Parallel evaluation lanes (0 = hardware_concurrency, 1 = serial).
+  /// Only used when the Tuner owns its engine.
+  size_t jobs = 0;
+  /// Memoize evaluations (only used when the Tuner owns its engine).
+  bool use_cache = true;
   /// Extra simulator knobs.
   gpusim::RunOptions run_options;
 };
 
-struct TunedVariant {
-  composer::Candidate candidate;
-  transforms::TuningParams params;
-  ir::Program program;      // transformed, ready to simulate
-  double seconds = 0.0;     // at target_size
-  double gflops = 0.0;
-  gpusim::Counters counters;
-  /// Which script invocations applied under `params` (filter
-  /// semantics): parameter points with different masks are different
-  /// kernels.
-  uint64_t applied_mask = 0;
-};
+/// The best verified variant of a search — the engine's evaluation
+/// record (candidate, params, transformed program, timing, counters,
+/// applied-component mask).
+using TunedVariant = engine::Evaluation;
 
 /// Parameter axes explored by the search.
 struct ParameterSpace {
@@ -68,8 +69,12 @@ struct ParameterSpace {
 
 class Tuner {
  public:
-  Tuner(const gpusim::Simulator& simulator, TuneOptions options)
-      : sim_(simulator), options_(std::move(options)) {}
+  /// Owns a private EvaluationEngine configured from `options`.
+  Tuner(const gpusim::Simulator& simulator, TuneOptions options);
+
+  /// Runs against a shared engine (one memoization cache across many
+  /// tuners / variants — see OaFramework::generate).
+  Tuner(engine::EvaluationEngine& engine, TuneOptions options);
 
   /// Tune one candidate set for a routine; returns the best verified
   /// variant. Fails when no candidate both verifies and launches.
@@ -78,35 +83,37 @@ class Tuner {
                                   candidates) const;
 
   /// Evaluate one (candidate, params) point: apply + verify + time.
-  /// `verified_masks` (optional) caches applied-component masks that
-  /// already passed functional verification; a point whose degenerated
-  /// script matches a verified mask skips re-verification. Exposed for
-  /// the ablation benches.
+  /// `verified_masks` (optional) mirrors the engine's verified-mask
+  /// cache for callers that track it: masks of successful evaluations
+  /// are added. Exposed for the ablation benches.
   StatusOr<TunedVariant> evaluate(
       const blas3::Variant& variant, const composer::Candidate& candidate,
       const transforms::TuningParams& params,
       std::set<uint64_t>* verified_masks = nullptr) const;
 
+  /// The engine this tuner evaluates through (shared or owned).
+  engine::EvaluationEngine& engine() const { return *engine_; }
+
  private:
+  engine::EvalConfig config() const;
   StatusOr<TunedVariant> line_search(const blas3::Variant& variant,
                                      const composer::Candidate& candidate)
       const;
   StatusOr<TunedVariant> sweep(const blas3::Variant& variant,
                                const composer::Candidate& candidate) const;
 
-  const gpusim::Simulator& sim_;
+  std::unique_ptr<engine::EvaluationEngine> owned_engine_;
+  engine::EvaluationEngine* engine_;
   TuneOptions options_;
 };
 
 /// Functional verification helper shared with tests/benches: run
-/// `program` at size (n x n) and compare against the CPU reference.
-Status verify_program(const gpusim::Simulator& sim,
-                      const blas3::Variant& variant,
-                      const ir::Program& program, int64_t n,
-                      const std::map<std::string, bool>& bool_params);
+/// `program` at size (n x n) and compare against the CPU reference
+/// (engine::verify_program re-exported under its historical name).
+using engine::verify_program;
 
 /// Runtime bool parameters implied by adaptor conditions ("blank(A)
 /// .zero = true" -> blank_zero = true).
-std::map<std::string, bool> bools_for(const composer::Candidate& c);
+using engine::bools_for;
 
 }  // namespace oa::tuner
