@@ -35,11 +35,17 @@ FigureOptions parse_figure_args(int argc, char** argv,
       out.engine_cache = false;
     } else if (arg == "--engine-stats") {
       out.engine_stats = true;
+    } else if (arg == "--no-fastpath") {
+      out.fastpath = false;
+    } else if (arg == "--warmup" && i + 1 < argc) {
+      out.warmup = std::atoi(argv[++i]);
+    } else if (arg == "--min-time" && i + 1 < argc) {
+      out.min_time_seconds = std::atof(argv[++i]);
     } else if (arg == "--help") {
       std::printf(
           "options: --quick | --size N | --tuning-size N | "
           "--variants a,b,c | --csv path | --jobs N | --no-cache | "
-          "--engine-stats\n");
+          "--engine-stats | --no-fastpath | --warmup N | --min-time S\n");
       std::exit(0);
     }
   }
@@ -52,6 +58,7 @@ std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
   oa_options.tuning_size = options.tuning_size;
   oa_options.jobs = options.jobs;
   oa_options.engine_cache = options.engine_cache;
+  oa_options.fastpath = options.fastpath;
   OaFramework framework(device, oa_options);
 
   std::vector<std::string> names = options.variants;
@@ -76,7 +83,24 @@ std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
                                       t0)
             .count();
     if (tuned.is_ok()) {
-      auto g = framework.measure_gflops(*tuned, *v, options.problem_size);
+      // Warmup + min-time measurement loop: the GFLOPS estimate is
+      // deterministic, but the wall time of one simulation is what the
+      // microbenchmarks track, so measure it like a benchmark would.
+      for (int w = 0; w < options.warmup; ++w) {
+        (void)framework.measure_gflops(*tuned, *v, options.problem_size);
+      }
+      double elapsed = 0.0;
+      int iters = 0;
+      StatusOr<double> g = illegal("unmeasured");
+      do {
+        const auto m0 = std::chrono::steady_clock::now();
+        g = framework.measure_gflops(*tuned, *v, options.problem_size);
+        elapsed += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - m0)
+                       .count();
+        ++iters;
+      } while (g.is_ok() && elapsed < options.min_time_seconds);
+      row.measure_seconds = elapsed / iters;
       if (g.is_ok()) row.oa_gflops = *g;
     } else {
       OA_LOG(kError) << name << ": OA generation failed: "

@@ -19,6 +19,9 @@ struct RoutineRow {
   double magma_gflops = 0.0;  // 0 = not available
   /// Wall time OaFramework::generate spent searching this routine.
   double generate_seconds = 0.0;
+  /// Wall time of one tuned-variant performance simulation (averaged
+  /// over the --min-time measurement loop, after warmup).
+  double measure_seconds = 0.0;
   double speedup() const {
     return cublas_gflops > 0 ? oa_gflops / cublas_gflops : 0.0;
   }
@@ -37,6 +40,14 @@ struct FigureOptions {
   bool engine_cache = true;
   /// Print the engine's search-cost breakdown after the run.
   bool engine_stats = false;
+  /// Ghost-mode fast path in every performance simulation
+  /// (--no-fastpath disables; counters and GFLOPS are identical).
+  bool fastpath = true;
+  /// Untimed measurement iterations before the timed ones (--warmup).
+  int warmup = 1;
+  /// Keep re-measuring each routine's tuned simulation until this much
+  /// wall time has accumulated (--min-time; 0 = single iteration).
+  double min_time_seconds = 0.0;
 };
 
 /// Wall-time + cache-hit report for a finished generation run: total

@@ -4,6 +4,13 @@
 // the tuner's search multiplies by thousands.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "blas3/matrix.hpp"
 #include "blas3/source_ir.hpp"
 #include "deps/dependence.hpp"
@@ -36,7 +43,7 @@ void BM_CompileKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileKernel);
 
-void BM_BlockSimGhost(benchmark::State& state) {
+void ghost_block_bench(benchmark::State& state, bool fastpath) {
   ir::Program p = tuned_gemm();
   ir::Env params{{"M", 256}, {"N", 256}, {"K", 256}};
   auto compiled = gpusim::compile_kernel(p, p.main_kernel(), params, {});
@@ -44,7 +51,8 @@ void BM_BlockSimGhost(benchmark::State& state) {
   const auto& dev = gpusim::gtx285();
   int64_t flops = 0;
   for (auto _ : state) {
-    gpusim::BlockSim sim(*compiled, dev, /*functional=*/false, nullptr);
+    gpusim::BlockSim sim(*compiled, dev, /*functional=*/false, nullptr,
+                         fastpath);
     gpusim::Counters c;
     if (!sim.run(0, 0, 0, static_cast<int>(
                               compiled->launch.threads_per_block()),
@@ -57,7 +65,16 @@ void BM_BlockSimGhost(benchmark::State& state) {
   }
   state.SetItemsProcessed(flops);
 }
+
+void BM_BlockSimGhost(benchmark::State& state) {
+  ghost_block_bench(state, /*fastpath=*/true);
+}
 BENCHMARK(BM_BlockSimGhost);
+
+void BM_BlockSimGhostInterp(benchmark::State& state) {
+  ghost_block_bench(state, /*fastpath=*/false);
+}
+BENCHMARK(BM_BlockSimGhostInterp);
 
 void BM_FunctionalGemm64(benchmark::State& state) {
   ir::Program p = tuned_gemm();
@@ -104,6 +121,122 @@ void BM_DependenceTest(benchmark::State& state) {
 }
 BENCHMARK(BM_DependenceTest);
 
+// ---- --json: fast-path speedup report (BENCH_sim.json) --------------
+//
+// Runs the tuned GEMM-NN ghost simulation of one block at N=4096 on
+// every device preset, fast path on vs off, and writes per-device
+// ns/block, speedup, and fast-path coverage. CI uploads the file as an
+// artifact; EXPERIMENTS.md records representative numbers.
+
+struct DeviceReport {
+  std::string name;
+  double interp_ns = 0.0;
+  double fast_ns = 0.0;
+  double coverage = 0.0;
+  int64_t collapsed_loops = 0;
+  double speedup() const { return fast_ns > 0 ? interp_ns / fast_ns : 0; }
+};
+
+double time_ghost_block(const gpusim::CompiledKernel& ck,
+                        const gpusim::DeviceModel& dev, bool fastpath,
+                        gpusim::FastPathStats* stats_out) {
+  const int threads = static_cast<int>(ck.launch.threads_per_block());
+  auto run_once = [&]() {
+    gpusim::BlockSim sim(ck, dev, /*functional=*/false, nullptr, fastpath);
+    gpusim::Counters c;
+    if (!sim.run(0, 0, 0, threads, c).is_ok()) std::abort();
+    if (stats_out != nullptr) *stats_out = sim.fastpath_stats();
+  };
+  run_once();  // warmup
+  double elapsed = 0.0;
+  int iters = 0;
+  do {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_once();
+    elapsed += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++iters;
+  } while (elapsed < 0.2 && iters < 1000);
+  return elapsed / iters * 1e9;
+}
+
+int write_json_report(const std::string& path) {
+  ir::Program p = tuned_gemm();
+  ir::Env params{{"M", 4096}, {"N", 4096}, {"K", 4096}};
+  const std::vector<std::pair<std::string, const gpusim::DeviceModel*>>
+      devices = {{"geforce9800", &gpusim::geforce_9800()},
+                 {"gtx285", &gpusim::gtx285()},
+                 {"fermi", &gpusim::fermi_c2050()}};
+  std::vector<DeviceReport> reports;
+  for (const auto& [name, dev] : devices) {
+    auto compiled = gpusim::compile_kernel(p, p.main_kernel(), params, {});
+    if (!compiled.is_ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   compiled.status().to_string().c_str());
+      return 1;
+    }
+    DeviceReport r;
+    r.name = name;
+    gpusim::FastPathStats stats;
+    r.interp_ns = time_ghost_block(*compiled, *dev, false, nullptr);
+    r.fast_ns = time_ghost_block(*compiled, *dev, true, &stats);
+    r.coverage = stats.coverage();
+    r.collapsed_loops = stats.collapsed_loops;
+    reports.push_back(r);
+    std::printf(
+        "%-12s interp %12.0f ns/block   fast %9.0f ns/block   "
+        "speedup %6.2fx   coverage %5.1f%%\n",
+        name.c_str(), r.interp_ns, r.fast_ns, r.speedup(),
+        r.coverage * 100.0);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"gpusim_fastpath\",\n"
+      << "  \"problem\": \"tuned GEMM-NN, N=4096, ghost mode, one "
+         "block\",\n  \"devices\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const DeviceReport& r = reports[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"device\": \"%s\", \"interp_ns_per_block\": %.0f, "
+                  "\"fast_ns_per_block\": %.0f, \"speedup\": %.2f, "
+                  "\"fastpath_coverage\": %.4f, \"collapsed_loops\": "
+                  "%lld}%s\n",
+                  r.name.c_str(), r.interp_ns, r.fast_ns, r.speedup(),
+                  r.coverage,
+                  static_cast<long long>(r.collapsed_loops),
+                  i + 1 < reports.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json <path> before google-benchmark parses the rest.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) return write_json_report(json_path);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -96,12 +96,13 @@ uint64_t EvalConfig::fingerprint() const {
   fp.mix(target_size)
       .mix(verify_size)
       .mix(run_options.max_sampled_classes)
-      .mix(run_options.warps_per_block_sample);
+      .mix(run_options.warps_per_block_sample)
+      .mix(static_cast<uint64_t>(run_options.fastpath));
   return fp.digest();
 }
 
 std::string EngineStats::to_string() const {
-  return str_format(
+  std::string s = str_format(
       "engine: %llu requests, %llu hits / %llu misses (%.0f%% hit rate, "
       "%zu cached), %llu simulations, %llu verifies (+%llu reused), "
       "%llu rejected; apply %.2fs, verify %.2fs, simulate %.2fs",
@@ -113,6 +114,15 @@ std::string EngineStats::to_string() const {
       static_cast<unsigned long long>(verify_reused),
       static_cast<unsigned long long>(rejected), apply_seconds,
       verify_seconds, simulate_seconds);
+  std::string out = s;
+  out += str_format("; fastpath %.0f%% (%llu collapsed loops)",
+                    fastpath.coverage() * 100.0,
+                    static_cast<unsigned long long>(
+                        fastpath.collapsed_loops));
+  for (const auto& [name, secs] : simulate_seconds_by_variant) {
+    out += str_format("\n  simulate %-12s %.2fs", name.c_str(), secs);
+  }
+  return out;
 }
 
 EvaluationEngine::EvaluationEngine(const gpusim::Simulator& simulator,
@@ -265,9 +275,12 @@ StatusOr<Evaluation> EvaluationEngine::verify_and_simulate(
   const double t_sim = now_seconds();
   auto perf = sim_.run_performance(program, opts);
   {
+    const double dt = now_seconds() - t_sim;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.evaluations;
-    stats_.simulate_seconds += now_seconds() - t_sim;
+    stats_.simulate_seconds += dt;
+    stats_.simulate_seconds_by_variant[variant.name()] += dt;
+    if (perf.is_ok()) stats_.fastpath += perf->fastpath;
   }
   OA_RETURN_IF_ERROR(perf.status());
 

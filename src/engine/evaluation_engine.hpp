@@ -89,6 +89,12 @@ struct EngineStats {
   double apply_seconds = 0.0;   // wall time re-applying scripts
   double verify_seconds = 0.0;  // wall time in functional verification
   double simulate_seconds = 0.0;// wall time in performance simulation
+  /// Simulate wall time split by variant name (where the search budget
+  /// actually goes — TRSM's serial kernels dominate).
+  std::map<std::string, double> simulate_seconds_by_variant;
+  /// Ghost-mode fast-path statement accounting summed over performance
+  /// runs (coverage() is the fraction priced analytically).
+  gpusim::FastPathStats fastpath;
   size_t cache_entries = 0;
 
   double hit_rate() const {

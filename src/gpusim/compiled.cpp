@@ -65,45 +65,52 @@ StatusOr<CRef> compile_ref(const ir::ArrayRef& r, CompileState& st) {
   return out;
 }
 
-StatusOr<std::unique_ptr<CVal>> compile_val(const ir::Expr& e,
-                                            CompileState& st,
-                                            std::vector<CRef>& loads) {
-  auto out = std::make_unique<CVal>();
+/// Emit `e` onto the postfix tape. `depth` tracks the running value
+/// stack; `max_depth` records the high-water mark the evaluator must
+/// reserve.
+Status emit_tape(const ir::Expr& e, CompileState& st, CNode& node,
+                 int& depth, int& max_depth) {
+  auto push = [&](COp op) {
+    node.tape.push_back(op);
+    ++depth;
+    max_depth = std::max(max_depth, depth);
+  };
   switch (e.kind) {
     case ir::Expr::Kind::kConst:
-      out->kind = CVal::Kind::kConst;
-      out->constant = static_cast<float>(e.value);
-      return out;
+      push(COp{COp::Kind::kConst, static_cast<float>(e.value), -1});
+      return Status::ok();
     case ir::Expr::Kind::kScalar:
       // Scalars (alpha/beta) are not used by the BLAS3 sources in this
       // reproduction; treat unknown scalars as 1.0.
-      out->kind = CVal::Kind::kConst;
-      out->constant = 1.0f;
-      return out;
+      push(COp{COp::Kind::kConst, 1.0f, -1});
+      return Status::ok();
     case ir::Expr::Kind::kRef: {
-      out->kind = CVal::Kind::kRef;
-      OA_ASSIGN_OR_RETURN(out->ref, compile_ref(e.ref, st));
-      loads.push_back(out->ref);
-      return out;
+      OA_ASSIGN_OR_RETURN(CRef ref, compile_ref(e.ref, st));
+      const int load = static_cast<int>(node.loads.size());
+      node.loads.push_back(std::move(ref));
+      push(COp{COp::Kind::kLoad, 0.0f, load});
+      return Status::ok();
     }
-    case ir::Expr::Kind::kNeg: {
-      out->kind = CVal::Kind::kNeg;
-      OA_ASSIGN_OR_RETURN(out->a, compile_val(*e.a, st, loads));
-      return out;
-    }
+    case ir::Expr::Kind::kNeg:
+      OA_RETURN_IF_ERROR(emit_tape(*e.a, st, node, depth, max_depth));
+      node.tape.push_back(COp{COp::Kind::kNeg, 0.0f, -1});
+      return Status::ok();
     case ir::Expr::Kind::kAdd:
     case ir::Expr::Kind::kSub:
     case ir::Expr::Kind::kMul:
     case ir::Expr::Kind::kDiv: {
+      OA_RETURN_IF_ERROR(emit_tape(*e.a, st, node, depth, max_depth));
+      OA_RETURN_IF_ERROR(emit_tape(*e.b, st, node, depth, max_depth));
+      COp op;
       switch (e.kind) {
-        case ir::Expr::Kind::kAdd: out->kind = CVal::Kind::kAdd; break;
-        case ir::Expr::Kind::kSub: out->kind = CVal::Kind::kSub; break;
-        case ir::Expr::Kind::kMul: out->kind = CVal::Kind::kMul; break;
-        default: out->kind = CVal::Kind::kDiv; break;
+        case ir::Expr::Kind::kAdd: op.kind = COp::Kind::kAdd; break;
+        case ir::Expr::Kind::kSub: op.kind = COp::Kind::kSub; break;
+        case ir::Expr::Kind::kMul: op.kind = COp::Kind::kMul; break;
+        default: op.kind = COp::Kind::kDiv; break;
       }
-      OA_ASSIGN_OR_RETURN(out->a, compile_val(*e.a, st, loads));
-      OA_ASSIGN_OR_RETURN(out->b, compile_val(*e.b, st, loads));
-      return out;
+      node.tape.push_back(op);
+      --depth;  // two operands popped, one result pushed
+      return Status::ok();
     }
   }
   return internal_error("unhandled expression kind");
@@ -129,7 +136,11 @@ StatusOr<CNode> compile_node(const ir::Node& n, CompileState& st) {
       out.kind = CNode::Kind::kAssign;
       OA_ASSIGN_OR_RETURN(out.lhs, compile_ref(n.lhs, st));
       out.op = n.op;
-      OA_ASSIGN_OR_RETURN(out.rhs, compile_val(*n.rhs, st, out.loads));
+      int depth = 0;
+      OA_RETURN_IF_ERROR(emit_tape(*n.rhs, st, out, depth, out.tape_depth));
+      if (out.tape_depth > kMaxTapeDepth) {
+        return internal_error("rhs exceeds the value-stack cap");
+      }
       out.rmw_load = n.op != ir::AssignOp::kAssign;
       const int arith = n.rhs->count_arith_ops() +
                         (n.op != ir::AssignOp::kAssign ? 1 : 0);
@@ -209,6 +220,334 @@ void signature_walk(const std::vector<CNode>& body, int64_t* slots,
         break;
     }
   }
+}
+
+// ---- Fast-path annotation ------------------------------------------
+//
+// Everything below is static analysis over the compiled kernel; the
+// warp-analytic executor in block_sim.cpp consults only the flags set
+// here, so whether a statement takes the fast path never depends on
+// runtime data.
+
+/// Per-slot lane-affine classification under construction: affine[s]
+/// says lanes hold uniform_component + tx[s]*tx + ty[s]*ty; `defined`
+/// marks loop variables whose coefficients a defining loop has pinned
+/// (a second defining loop must agree or the slot drops to irregular).
+struct AffineTable {
+  std::vector<uint8_t> affine;
+  std::vector<int64_t> tx, ty;
+  std::vector<uint8_t> defined;
+};
+
+/// Aggregated thread coefficients of one expression, via the table.
+/// Returns false when any referenced slot is not lane-affine.
+bool expr_coeffs(const CExpr& e, const AffineTable& t, int64_t& ctx,
+                 int64_t& cty) {
+  ctx = 0;
+  cty = 0;
+  for (const auto& [slot, c] : e.terms) {
+    const size_t s = static_cast<size_t>(slot);
+    if (!t.affine[s]) return false;
+    ctx += c * t.tx[s];
+    cty += c * t.ty[s];
+  }
+  return true;
+}
+
+/// Shared thread coefficients of a whole max/min bound: every term must
+/// be lane-affine with identical aggregated coefficients — then the
+/// per-lane max/min always picks the same term and the bound itself is
+/// lane-affine with those coefficients.
+bool bound_coeffs(const CBound& b, const AffineTable& t, bool& first,
+                  int64_t& ctx, int64_t& cty) {
+  for (const CExpr& term : b.terms) {
+    int64_t x, y;
+    if (!expr_coeffs(term, t, x, y)) return false;
+    if (first) {
+      ctx = x;
+      cty = y;
+      first = false;
+    } else if (x != ctx || y != cty) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Fixed point of the slot classification. A loop variable's lane
+/// decomposition is shaped by its *lower* bound only (the value is
+/// lb + trips*step; the upper bound just stops the iteration, and the
+/// executor separately verifies lockstep trip counts at runtime).
+/// Monotone: affinity only ever drops, and a loop variable's
+/// coefficients are pinned once — a conflicting later definition (slot
+/// reuse across loops) drops the slot to irregular instead of
+/// re-pinning.
+void affinity_walk(const std::vector<CNode>& body, AffineTable& t,
+                   bool& changed) {
+  for (const CNode& n : body) {
+    switch (n.kind) {
+      case CNode::Kind::kLoop: {
+        bool first = true;
+        int64_t ctx = 0, cty = 0;
+        const bool ok = bound_coeffs(n.lb, t, first, ctx, cty);
+        const size_t v = static_cast<size_t>(n.var_slot);
+        if (!ok) {
+          if (t.affine[v]) {
+            t.affine[v] = 0;
+            changed = true;
+          }
+        } else if (t.affine[v]) {
+          if (!t.defined[v]) {
+            t.defined[v] = 1;
+            if (t.tx[v] != ctx || t.ty[v] != cty) {
+              t.tx[v] = ctx;
+              t.ty[v] = cty;
+              changed = true;
+            }
+          } else if (t.tx[v] != ctx || t.ty[v] != cty) {
+            t.affine[v] = 0;
+            changed = true;
+          }
+        }
+        affinity_walk(n.body, t, changed);
+        break;
+      }
+      case CNode::Kind::kAssign:
+      case CNode::Kind::kSync:
+        break;
+      case CNode::Kind::kIf:
+        affinity_walk(n.then_body, t, changed);
+        affinity_walk(n.else_body, t, changed);
+        break;
+    }
+  }
+}
+
+struct Annotator {
+  CompiledKernel& k;
+  const AffineTable& t;
+
+  CLin lin_of(const CExpr& e) const {
+    CLin out;
+    out.uniform.constant = e.constant;
+    out.uniform_ok = true;
+    for (const auto& [slot, c] : e.terms) {
+      const size_t s = static_cast<size_t>(slot);
+      if (!t.affine[s]) out.uniform_ok = false;
+      out.tx_coeff += c * t.tx[s];
+      out.ty_coeff += c * t.ty[s];
+      // Thread indices live entirely in the coefficients; every other
+      // slot keeps its term — the fast path's uniform slot array holds
+      // lane-invariant components (0 for the thread slots), so
+      // evaluating `uniform` there yields exactly the lane-invariant
+      // part of the value.
+      if (slot == k.thread_x_slot || slot == k.thread_y_slot) continue;
+      out.uniform.terms.emplace_back(slot, c);
+    }
+    return out;
+  }
+
+  /// Lane-invariant predicate: every slot lane-affine and the thread
+  /// coefficients cancel, so evaluating on the uniform components gives
+  /// the exact per-lane value.
+  bool pred_uniform(const CExpr& e) const {
+    int64_t ctx, cty;
+    return expr_coeffs(e, t, ctx, cty) && ctx == 0 && cty == 0;
+  }
+
+  void annotate_ref(CRef& r) const {
+    r.row_lin = lin_of(r.row);
+    r.col_lin = lin_of(r.col);
+    // Flat column-major address row + col*ld, ld folded in now.
+    const int64_t ld = k.arrays[static_cast<size_t>(r.array)].ld;
+    CExpr addr;
+    addr.constant = r.row.constant + r.col.constant * ld;
+    addr.terms = r.row.terms;
+    for (const auto& [slot, c] : r.col.terms) {
+      bool merged = false;
+      for (auto& [s2, c2] : addr.terms) {
+        if (s2 == slot) {
+          c2 += c * ld;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) addr.terms.emplace_back(slot, c * ld);
+    }
+    r.addr_lin = lin_of(addr);
+    r.fast = r.row_lin.uniform_ok && r.col_lin.uniform_ok;
+  }
+
+  /// True when no predicate or loop bound in `body` references `slot`
+  /// (references in array subscripts are fine — they are the affine
+  /// shift collapsing exploits).
+  bool control_independent(const std::vector<CNode>& body, int slot) const {
+    for (const CNode& n : body) {
+      switch (n.kind) {
+        case CNode::Kind::kLoop:
+          for (const CExpr& t : n.lb.terms) {
+            if (t.references(slot)) return false;
+          }
+          for (const CExpr& t : n.ub.terms) {
+            if (t.references(slot)) return false;
+          }
+          if (!control_independent(n.body, slot)) return false;
+          break;
+        case CNode::Kind::kAssign:
+        case CNode::Kind::kSync:
+          break;
+        case CNode::Kind::kIf:
+          for (const CPred& p : n.preds) {
+            if (p.expr.references(slot)) return false;
+          }
+          if (!control_independent(n.then_body, slot)) return false;
+          if (!control_independent(n.else_body, slot)) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  void collect_sites(const std::vector<CNode>& body,
+                     std::vector<int>& out) const {
+    for (const CNode& n : body) {
+      switch (n.kind) {
+        case CNode::Kind::kLoop:
+          collect_sites(n.body, out);
+          break;
+        case CNode::Kind::kAssign:
+          for (const CRef& l : n.loads) out.push_back(l.site);
+          out.push_back(n.lhs.site);
+          break;
+        case CNode::Kind::kSync:
+          break;
+        case CNode::Kind::kIf:
+          collect_sites(n.then_body, out);
+          collect_sites(n.else_body, out);
+          break;
+      }
+    }
+  }
+
+  /// Per-term thread coefficients of a bound; false when any term
+  /// references an irregular slot.
+  bool bound_term_coeffs(const CBound& b,
+                         std::vector<std::pair<int64_t, int64_t>>& out)
+      const {
+    out.clear();
+    out.reserve(b.terms.size());
+    for (const CExpr& term : b.terms) {
+      int64_t ctx, cty;
+      if (!expr_coeffs(term, t, ctx, cty)) return false;
+      out.emplace_back(ctx, cty);
+    }
+    return true;
+  }
+
+  void annotate_body(std::vector<CNode>& body) const {
+    for (CNode& n : body) {
+      switch (n.kind) {
+        case CNode::Kind::kLoop: {
+          n.loop_id = k.num_loops++;
+          n.bounds_uniform = n.step > 0 &&
+                             bound_term_coeffs(n.lb, n.lb_tc) &&
+                             bound_term_coeffs(n.ub, n.ub_tc);
+          annotate_body(n.body);
+          // Collapsing is decided per execution: the executor attempts
+          // it whenever the bounds resolve to lockstep iteration, and
+          // commits the analytic multiply only if both representative
+          // iterations ran without an interpreter fallback (control
+          // independence makes the fallback pattern trip-invariant).
+          if (n.bounds_uniform) {
+            n.collapse_candidate = control_independent(n.body, n.var_slot);
+            if (n.collapse_candidate) collect_sites(n.body, n.body_sites);
+          }
+          break;
+        }
+        case CNode::Kind::kAssign: {
+          annotate_ref(n.lhs);
+          n.fast = n.lhs.fast;
+          for (CRef& l : n.loads) {
+            annotate_ref(l);
+            n.fast &= l.fast;
+          }
+          break;
+        }
+        case CNode::Kind::kSync:
+          break;  // always fast under a full mask
+        case CNode::Kind::kIf: {
+          n.preds_uniform = true;
+          for (const CPred& p : n.preds) {
+            n.preds_uniform &= pred_uniform(p.expr);
+          }
+          annotate_body(n.then_body);
+          annotate_body(n.else_body);
+          break;
+        }
+      }
+    }
+  }
+};
+
+void annotate_fastpath(CompiledKernel& k) {
+  // Lane-affinity fixed point over the slots: thread coordinates are
+  // affine with unit coefficients, parameters and block indices with
+  // zero coefficients, and a loop variable inherits the shared
+  // coefficients of its bounds (or becomes irregular when the bound
+  // terms disagree or reference an irregular slot).
+  const size_t ns = static_cast<size_t>(k.num_slots);
+  AffineTable t{std::vector<uint8_t>(ns, 1), std::vector<int64_t>(ns, 0),
+                std::vector<int64_t>(ns, 0), std::vector<uint8_t>(ns, 0)};
+  if (k.thread_x_slot >= 0) {
+    const size_t s = static_cast<size_t>(k.thread_x_slot);
+    t.tx[s] = 1;
+    t.defined[s] = 1;
+  }
+  if (k.thread_y_slot >= 0) {
+    const size_t s = static_cast<size_t>(k.thread_y_slot);
+    t.ty[s] = 1;
+    t.defined[s] = 1;
+  }
+
+  // A sequential loop reusing a thread/block slot as its variable would
+  // invalidate the decomposition below; no front-end produces that, but
+  // guard by leaving the kernel entirely on the interpreter.
+  bool collision = false;
+  std::vector<const std::vector<CNode>*> stack = {&k.body};
+  while (!stack.empty()) {
+    const std::vector<CNode>* body = stack.back();
+    stack.pop_back();
+    for (const CNode& n : *body) {
+      if (n.kind == CNode::Kind::kLoop) {
+        if (n.var_slot == k.thread_x_slot || n.var_slot == k.thread_y_slot ||
+            n.var_slot == k.block_x_slot || n.var_slot == k.block_y_slot) {
+          collision = true;
+        }
+        stack.push_back(&n.body);
+      } else if (n.kind == CNode::Kind::kIf) {
+        stack.push_back(&n.then_body);
+        stack.push_back(&n.else_body);
+      }
+    }
+  }
+  if (collision) {
+    k.slot_affine = std::move(t.affine);
+    k.slot_tx = std::move(t.tx);
+    k.slot_ty = std::move(t.ty);
+    return;  // every node keeps fast=false -> full interpreter fallback
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    affinity_walk(k.body, t, changed);
+  }
+
+  Annotator a{k, t};
+  a.annotate_body(k.body);
+  k.slot_affine = std::move(t.affine);
+  k.slot_tx = std::move(t.tx);
+  k.slot_ty = std::move(t.ty);
 }
 
 }  // namespace
@@ -306,6 +645,7 @@ StatusOr<CompiledKernel> compile_kernel(
   }
 
   OA_ASSIGN_OR_RETURN(out.body, compile_body(*region, st));
+  annotate_fastpath(out);
   return out;
 }
 

@@ -4,6 +4,15 @@
 // and runtime booleans are resolved to constants here; multi-versioned
 // branches (padding_triangular's blank_zero) are selected at compile
 // time, exactly as a driver would pick the kernel version to launch.
+//
+// Compilation also performs the *warp-analytic* analysis the ghost-mode
+// fast path (block_sim.cpp) builds on: every slot is classified
+// lane-affine (value = uniform + c_tx*tx + c_ty*ty with static
+// coefficients) or lane-irregular, every reference is decomposed into
+// that same lane-affine form, and loops whose per-trip counter
+// contribution is provably regular are marked as collapse candidates.
+// All of it is static per (kernel, params) — the fast path never has to
+// make a data-dependent fallback decision.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,13 @@ struct CExpr {
     return v;
   }
   bool is_constant() const { return terms.empty(); }
+  int64_t coeff_of(int slot) const {
+    for (const auto& [s, c] : terms) {
+      if (s == slot) return c;
+    }
+    return 0;
+  }
+  bool references(int slot) const { return coeff_of(slot) != 0; }
 };
 
 struct CBound {
@@ -55,20 +71,45 @@ struct CArray {
   bool spilled = false;  // register array demoted to local memory
 };
 
+/// Lane-affine view of a compiled expression:
+///   value(lane) = uniform(slots) + tx_coeff*tx(lane) + ty_coeff*ty(lane)
+/// where `uniform` carries every non-thread slot evaluated at its
+/// lane-invariant component, and tx/ty coefficients aggregate both the
+/// direct thread-index terms and the thread components of lane-affine
+/// loop variables (slot_tx/slot_ty below). `uniform_ok` says every
+/// residual slot is lane-affine, i.e. the whole value is an affine
+/// function of the lane's thread coordinates — the precondition for
+/// closed-form coalescing analysis.
+struct CLin {
+  CExpr uniform;
+  int64_t tx_coeff = 0, ty_coeff = 0;
+  bool uniform_ok = false;
+};
+
 struct CRef {
   int array = -1;           // index into CompiledKernel::arrays
   int site = -1;            // static reference site id (load-reuse cache)
   CExpr row, col;
+  // Fast-path decomposition (annotate_fastpath): row/col and the flat
+  // column-major address row + col*ld as lane-affine forms.
+  CLin row_lin, col_lin, addr_lin;
+  bool fast = false;  // all three decompositions have uniform residuals
 };
 
-/// Compiled value expression (functional evaluation).
-struct CVal {
-  enum class Kind { kConst, kRef, kNeg, kAdd, kSub, kMul, kDiv };
+/// One postfix op of the flat value tape (functional evaluation). The
+/// tape replaces the old pointer-chasing CVal expression tree: rhs
+/// evaluation is a linear walk over a small array with an explicit
+/// value stack.
+struct COp {
+  enum class Kind : uint8_t { kConst, kLoad, kNeg, kAdd, kSub, kMul, kDiv };
   Kind kind = Kind::kConst;
   float constant = 0.0f;
-  CRef ref;
-  std::unique_ptr<CVal> a, b;
+  int load = -1;  // kLoad: index into CNode::loads
 };
+
+/// Value stack depth cap for tape evaluation (BLAS3 right-hand sides
+/// are tiny; compile fails loudly if a source ever exceeds this).
+inline constexpr int kMaxTapeDepth = 64;
 
 struct CPred {
   CExpr expr;
@@ -94,18 +135,36 @@ struct CNode {
   int64_t step = 1;
   int unroll = 1;
   std::vector<CNode> body;
+  // Fast-path annotations (kLoop).
+  int loop_id = -1;
+  /// Every lb/ub term is lane-affine (and step > 0), so the executor
+  /// can resolve which term binds for a whole block at runtime: when
+  /// the binding lb and ub terms share aggregated thread coefficients,
+  /// lanes iterate in lockstep and the loop variable is itself
+  /// lane-affine with those coefficients. Bounds like min(N, affine)
+  /// resolve to the affine term on interior blocks and fall back to the
+  /// interpreter only on boundary blocks where the terms cross.
+  bool bounds_uniform = false;
+  /// Aggregated (tx, ty) coefficients of each lb/ub term, in term
+  /// order (valid when bounds_uniform).
+  std::vector<std::pair<int64_t, int64_t>> lb_tc, ub_tc;
+  bool collapse_candidate = false;  // ghost-mode loop collapsing legal
+  std::vector<int> body_sites;   // every reference site in the subtree
 
   // kAssign
   CRef lhs;
   ir::AssignOp op = ir::AssignOp::kAssign;
-  std::unique_ptr<CVal> rhs;
+  std::vector<COp> tape;     // postfix rhs value tape
+  int tape_depth = 0;        // max value-stack depth of `tape`
   std::vector<CRef> loads;   // global/shared/register loads in the rhs
   bool rmw_load = false;     // += / -= / /= also reads lhs
   int arith_instructions = 0;  // issue cost of the arithmetic (MAD-fused)
   int flops = 0;             // arithmetic ops per executed lane
+  bool fast = false;         // every ref (lhs + loads) is lane-affine
 
   // kIf
   std::vector<CPred> preds;
+  bool preds_uniform = false;  // predicate values are lane-invariant
   std::vector<CNode> then_body;
   std::vector<CNode> else_body;
 
@@ -121,6 +180,18 @@ struct CompiledKernel {
   std::vector<CNode> body;     // the region inside block/thread loops
   int num_slots = 0;
   int num_sites = 0;           // static reference sites
+  int num_loops = 0;           // sequential loops (fast-path loop ids)
+  /// Per-slot lane-affine decomposition (annotate_fastpath): when
+  /// slot_affine[s], the slot's value in a lane is provably
+  ///   uniform_component + slot_tx[s]*tx + slot_ty[s]*ty
+  /// with the static coefficients below (thread slots are (1,0)/(0,1);
+  /// parameters, block indices and uniform-bound loop variables are
+  /// (0,0); tiled loop variables like `i from ty*r` carry their lower
+  /// bound's coefficients — the variable is lb + trips*step, so only lb
+  /// shapes its lane decomposition). The uniform component is what the
+  /// fast path tracks in its uniform slot array.
+  std::vector<uint8_t> slot_affine;
+  std::vector<int64_t> slot_tx, slot_ty;
   // Slots pre-bound by the launcher / lane setup.
   int block_y_slot = -1, block_x_slot = -1;
   int thread_y_slot = -1, thread_x_slot = -1;

@@ -25,6 +25,25 @@ Counters& Counters::operator+=(const Counters& o) {
   return *this;
 }
 
+Counters& Counters::operator-=(const Counters& o) {
+  gld_coherent -= o.gld_coherent;
+  gld_incoherent -= o.gld_incoherent;
+  gst_coherent -= o.gst_coherent;
+  gst_incoherent -= o.gst_incoherent;
+  gld_request -= o.gld_request;
+  gst_request -= o.gst_request;
+  local_read -= o.local_read;
+  local_store -= o.local_store;
+  instructions -= o.instructions;
+  shared_load -= o.shared_load;
+  shared_store -= o.shared_store;
+  shared_bank_conflict_replays -= o.shared_bank_conflict_replays;
+  global_bytes -= o.global_bytes;
+  flops -= o.flops;
+  barriers -= o.barriers;
+  return *this;
+}
+
 Counters Counters::scaled(int64_t k) const {
   Counters c = *this;
   c.gld_coherent *= k;

@@ -35,6 +35,15 @@ struct Counters {
     a += b;
     return a;
   }
+  /// Event-wise difference (the loop collapser measures one iteration
+  /// as a counter delta and scales it).
+  Counters& operator-=(const Counters& o);
+  friend Counters operator-(Counters a, const Counters& b) {
+    a -= b;
+    return a;
+  }
+  /// Bit-exact equality — the fast-path equivalence gate's assertion.
+  friend bool operator==(const Counters&, const Counters&) = default;
   /// Scale every event count by k (class-size scaling in the sampled
   /// performance simulation).
   Counters scaled(int64_t k) const;

@@ -160,22 +160,27 @@ StatusOr<KernelStats> Simulator::run_kernel(const ir::Program& program,
   // ---- Performance mode: sampled simulation -----------------------
   // Detailed simulation of one block, with warp sampling.
   auto simulate_block = [&](int64_t by, int64_t bx) -> StatusOr<Counters> {
-    BlockSim sim(ck, dev_, /*functional=*/false, nullptr);
+    BlockSim sim(ck, dev_, /*functional=*/false, nullptr,
+                 options.fastpath);
     Counters c;
     const int nwarps = static_cast<int>(warps_per_block);
     const int sample = options.warps_per_block_sample;
     if (sample <= 0 || nwarps <= sample) {
       OA_RETURN_IF_ERROR(
           sim.run(by, bx, 0, static_cast<int>(threads), c));
+      stats.fastpath += sim.fastpath_stats();
       return c;
     }
     // First and last warps, linearly scaled.
     Counters first, last;
     OA_RETURN_IF_ERROR(sim.run(by, bx, 0, dev_.warp_size, first));
-    BlockSim sim2(ck, dev_, /*functional=*/false, nullptr);
+    BlockSim sim2(ck, dev_, /*functional=*/false, nullptr,
+                  options.fastpath);
     OA_RETURN_IF_ERROR(sim2.run(by, bx,
                                 static_cast<int>(threads) - dev_.warp_size,
                                 static_cast<int>(threads), last));
+    stats.fastpath += sim.fastpath_stats();
+    stats.fastpath += sim2.fastpath_stats();
     c = first.scaled(nwarps - 1) + last;
     return c;
   };
@@ -310,6 +315,7 @@ StatusOr<RunResult> Simulator::run_functional(const ir::Program& program,
                    &buffers));
     result.counters += stats.counters;
     result.seconds += stats.seconds;
+    result.fastpath += stats.fastpath;
     result.kernels.push_back(std::move(stats));
   }
   return result;
@@ -325,6 +331,7 @@ StatusOr<RunResult> Simulator::run_performance(
                    nullptr));
     result.counters += stats.counters;
     result.seconds += stats.seconds;
+    result.fastpath += stats.fastpath;
     result.kernels.push_back(std::move(stats));
   }
   return result;

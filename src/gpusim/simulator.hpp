@@ -29,6 +29,11 @@ struct RunOptions {
   /// Warps sampled per representative block in performance mode
   /// (first/last); 0 = all warps.
   int warps_per_block_sample = 2;
+  /// Warp-analytic ghost-mode fast path (closed-form coalescing + loop
+  /// collapsing). Counters are bit-identical either way (the
+  /// equivalence gate test enforces it); off = pure interpreter, the
+  /// `--no-fastpath` escape hatch.
+  bool fastpath = true;
 };
 
 struct KernelStats {
@@ -37,12 +42,16 @@ struct KernelStats {
   int64_t blocks_per_sm = 0;  // occupancy
   Counters counters;
   double seconds = 0.0;
+  /// Where the simulated blocks' statements were priced (raw counts
+  /// over the blocks actually interpreted, not scaled by class sizes).
+  FastPathStats fastpath;
 };
 
 struct RunResult {
   Counters counters;        // device-wide totals
   double seconds = 0.0;     // all kernels + launch overheads
   std::vector<KernelStats> kernels;
+  FastPathStats fastpath;   // summed over kernels
 
   double gflops(double useful_flops) const {
     return seconds > 0 ? useful_flops / seconds / 1e9 : 0.0;

@@ -146,6 +146,7 @@ StatusOr<tuner::TunedVariant> OaFramework::generate(const Variant& v) {
   }
   topt.verify_size = options_.verify_size;
   topt.exhaustive = options_.exhaustive_search;
+  topt.run_options.fastpath = options_.fastpath;
   // All variants tune through the shared engine: identical points that
   // reappear across variants (cross-variant adaptor reuse) and across
   // the figure benches hit its cache instead of re-simulating.
@@ -160,6 +161,7 @@ using engine::size_env;
 StatusOr<double> OaFramework::measure_gflops(
     const tuner::TunedVariant& tuned, const Variant& v, int64_t n) const {
   gpusim::RunOptions opts;
+  opts.fastpath = options_.fastpath;
   opts.int_params = size_env(v, n);
   opts.bool_params = tuner::bools_for(tuned.candidate);
   OA_ASSIGN_OR_RETURN(gpusim::RunResult result,
@@ -170,6 +172,7 @@ StatusOr<double> OaFramework::measure_gflops(
 StatusOr<double> OaFramework::measure_baseline_gflops(
     const ir::Program& program, const Variant& v, int64_t n) const {
   gpusim::RunOptions opts;
+  opts.fastpath = options_.fastpath;
   opts.int_params = size_env(v, n);
   OA_ASSIGN_OR_RETURN(gpusim::RunResult result,
                       sim_.run_performance(program, opts));
@@ -180,6 +183,7 @@ StatusOr<gpusim::Counters> OaFramework::profile(
     const ir::Program& program, const Variant& v, int64_t n,
     const std::map<std::string, bool>& bool_params) const {
   gpusim::RunOptions opts;
+  opts.fastpath = options_.fastpath;
   opts.int_params = size_env(v, n);
   opts.bool_params = bool_params;
   OA_ASSIGN_OR_RETURN(gpusim::RunResult result,

@@ -40,6 +40,11 @@ struct OaOptions {
   size_t jobs = 0;
   /// Memoize evaluations across rounds, candidates, and variants.
   bool engine_cache = true;
+  /// Warp-analytic ghost-mode fast path in every performance
+  /// simulation (tuning, measurement, profiling). Counters are
+  /// bit-identical either way; disable (`--no-fastpath` in the CLIs)
+  /// only to cross-check or time the plain interpreter.
+  bool fastpath = true;
   /// Base script to extend. Defaults to the paper's Fig 3 GEMM-NN
   /// script.
   epod::Script base_script = epod::gemm_nn_script();

@@ -64,6 +64,8 @@ int usage() {
       "(default: all cores)\n"
       "  --no-cache                          disable evaluation "
       "memoization\n"
+      "  --no-fastpath                       pure interpreter simulation "
+      "(counters are identical; slower)\n"
       "  --engine-stats                      print search-cost breakdown "
       "after generation\n");
   return 2;
@@ -77,7 +79,8 @@ int main(int argc, char** argv) {
   int64_t size = 1024, tuning_size = 512;
   long long jobs = 0;
   bool list = false, show_candidates = false, show_kernel = false,
-       exhaustive = false, no_cache = false, engine_stats = false;
+       exhaustive = false, no_cache = false, engine_stats = false,
+       no_fastpath = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -109,6 +112,8 @@ int main(int argc, char** argv) {
       if (jobs < 0) return usage();
     } else if (arg == "--no-cache") {
       no_cache = true;
+    } else if (arg == "--no-fastpath") {
+      no_fastpath = true;
     } else if (arg == "--engine-stats") {
       engine_stats = true;
     } else {
@@ -140,6 +145,7 @@ int main(int argc, char** argv) {
   options.exhaustive_search = exhaustive;
   options.jobs = static_cast<size_t>(jobs);
   options.engine_cache = !no_cache;
+  options.fastpath = !no_fastpath;
   OaFramework framework(*device, options);
 
   // --- show composer output ------------------------------------------
