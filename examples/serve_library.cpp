@@ -1,0 +1,149 @@
+// Serve BLAS3 calls from a generated library artifact — the deployment
+// half of the paper's pipeline (docs/ARTIFACT.md).
+//
+//   $ ./examples/serve_library                  generate a small library,
+//                                               save, reload, serve
+//   $ ./examples/serve_library --load lib.oalib serve an existing
+//                                               artifact (CI smoke test)
+//
+// The serving process never composes or tunes anything: the
+// LibraryRuntime rebuilds each tuned kernel from the artifact once and
+// answers a mixed request stream through its dispatch table, falling
+// back to the CUBLAS-like baseline for routines the artifact does not
+// cover. Every answer is spot-checked against the CPU reference.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "blas3/reference.hpp"
+#include "libgen/artifact.hpp"
+#include "oa/oa.hpp"
+#include "runtime/library_runtime.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+using namespace oa;
+
+namespace {
+
+/// Inputs a library client would hand us (the conventions of
+/// engine::verify_program).
+void prepare(const blas3::Variant& v, Rng& rng, blas3::Matrix& a,
+             blas3::Matrix& b) {
+  a.fill_random(rng);
+  b.fill_random(rng);
+  if (v.family == blas3::Family::kTrmm ||
+      v.family == blas3::Family::kTrsm ||
+      v.family == blas3::Family::kSymm) {
+    a.make_triangular(v.uplo);
+  }
+  if (v.family == blas3::Family::kTrsm) {
+    a.set_unit_diagonal();
+    a.scale_off_diagonal(1.0f / 16.0f);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarning);
+  std::string load_path, save_path = "serve_library.oalib";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--load" && i + 1 < argc) {
+      load_path = argv[++i];
+    } else {
+      std::printf("usage: serve_library [--load ARTIFACT]\n");
+      return 2;
+    }
+  }
+  const gpusim::DeviceModel& device = gpusim::gtx285();
+
+  // 1. Obtain an artifact: load one, or generate a small library and
+  //    round-trip it through disk (the serving process below only ever
+  //    sees the reloaded copy).
+  if (load_path.empty()) {
+    OaOptions options;
+    options.tuning_size = 256;  // keep the demo snappy
+    options.verify_size = 48;
+    OaFramework framework(device, options);
+    std::printf("generating a 4-routine library on %s...\n",
+                device.name.c_str());
+    for (const char* name :
+         {"GEMM-NN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"}) {
+      auto tuned = framework.generate(*blas3::find_variant(name));
+      if (!tuned.is_ok()) {
+        std::printf("  %s failed: %s\n", name,
+                    tuned.status().to_string().c_str());
+        return 1;
+      }
+      std::printf("  %-10s %7.1f GFLOPS\n", name, tuned->gflops);
+    }
+    Status saved = libgen::save(framework.export_library(), save_path);
+    if (!saved.is_ok()) {
+      std::printf("save failed: %s\n", saved.to_string().c_str());
+      return 1;
+    }
+    load_path = save_path;
+  }
+  auto artifact = libgen::load(load_path);
+  if (!artifact.is_ok()) {
+    std::printf("load failed: %s\n",
+                artifact.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu entries from %s\n\n",
+              artifact->entries.size(), load_path.c_str());
+
+  // 2. Stand up the runtime and serve a mixed request stream: every
+  //    artifact routine at several sizes (exact and near buckets), plus
+  //    one routine the artifact may not cover at all.
+  runtime::LibraryRuntime rt(device, *std::move(artifact));
+  if (!rt.load_status().is_ok()) {
+    std::printf("degraded: %s\n", rt.load_status().to_string().c_str());
+  }
+  std::printf("dispatch table: %zu tuned kernel(s)\n", rt.table_size());
+
+  std::vector<std::string> names;
+  for (const libgen::ArtifactEntry& e : rt.artifact().entries) {
+    names.push_back(e.variant);
+  }
+  names.push_back("GEMM-TT");  // likely a fallback
+
+  Rng rng(7);
+  int verified = 0, requests = 0;
+  for (const std::string& name : names) {
+    const blas3::Variant* v = blas3::find_variant(name);
+    if (v == nullptr) continue;
+    for (int64_t n : {64, 160, 256}) {
+      blas3::Matrix a(n, n), b(n, n), c(n, n);
+      prepare(*v, rng, a, b);
+      blas3::Matrix ref_b = b, ref_c = c;
+      auto outcome = rt.run(*v, a, b, &c);
+      ++requests;
+      if (!outcome.is_ok()) {
+        std::printf("%-10s n=%-4lld FAILED: %s\n", name.c_str(),
+                    static_cast<long long>(n),
+                    outcome.status().to_string().c_str());
+        continue;
+      }
+      blas3::run_reference(*v, a, ref_b, &ref_c);
+      const blas3::Matrix& got =
+          v->family == blas3::Family::kTrsm ? b : c;
+      const blas3::Matrix& want =
+          v->family == blas3::Family::kTrsm ? ref_b : ref_c;
+      const float err = blas3::max_abs_diff(got, want);
+      const bool ok = err <= blas3::accumulation_tolerance(n);
+      if (ok) ++verified;
+      std::printf("%-10s n=%-4lld %-18s err=%.2g%s\n", name.c_str(),
+                  static_cast<long long>(n),
+                  runtime::outcome_name(*outcome),
+                  static_cast<double>(err), ok ? "" : "  MISMATCH");
+    }
+  }
+
+  std::printf("\n%s\n", rt.stats().to_string().c_str());
+  std::printf("%d/%d answers match the CPU reference\n", verified,
+              requests);
+  return verified == requests ? 0 : 1;
+}

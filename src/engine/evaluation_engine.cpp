@@ -91,6 +91,39 @@ Status verify_program(const gpusim::Simulator& sim, const Variant& variant,
   return Status::ok();
 }
 
+Status execute_program(const gpusim::Simulator& sim,
+                       const ir::Program& program, const Variant& variant,
+                       const blas3::Matrix& a, blas3::Matrix& b,
+                       blas3::Matrix* c,
+                       const std::map<std::string, bool>& bool_params) {
+  gpusim::RunOptions opts;
+  const int64_t m = b.rows();
+  const int64_t n = b.cols();
+  if (variant.family == blas3::Family::kGemm) {
+    const int64_t k =
+        variant.trans_a == blas3::Trans::kN ? a.cols() : a.rows();
+    opts.int_params = {{"M", m}, {"N", n}, {"K", k}};
+  } else if (variant.family == blas3::Family::kSyrk) {
+    const int64_t k =
+        variant.trans == blas3::Trans::kN ? a.cols() : a.rows();
+    opts.int_params = {{"M", c != nullptr ? c->rows() : m},
+                       {"N", n},
+                       {"K", k}};
+  } else {
+    opts.int_params = {{"M", m}, {"N", n}};
+  }
+  opts.bool_params = bool_params;
+  gpusim::GlobalBuffers buffers = gpusim::make_buffers(
+      program, opts.int_params, {{"A", &a}, {"B", &b}, {"C", c}});
+  OA_RETURN_IF_ERROR(
+      sim.run_functional(program, opts, buffers).status());
+  const char* out_name = blas3::output_array(variant);
+  blas3::Matrix& out =
+      variant.family == blas3::Family::kTrsm ? b : *c;
+  return gpusim::read_back(buffers, program, opts.int_params, out_name,
+                           out);
+}
+
 uint64_t EvalConfig::fingerprint() const {
   Fingerprint fp;
   fp.mix(target_size)
@@ -115,6 +148,10 @@ std::string EngineStats::to_string() const {
       static_cast<unsigned long long>(rejected), apply_seconds,
       verify_seconds, simulate_seconds);
   std::string out = s;
+  if (warm_starts > 0) {
+    out += str_format("; %llu warm-start(s) from library artifacts",
+                      static_cast<unsigned long long>(warm_starts));
+  }
   out += str_format("; fastpath %.0f%% (%llu collapsed loops)",
                     fastpath.coverage() * 100.0,
                     static_cast<unsigned long long>(
@@ -329,6 +366,11 @@ EngineStats EvaluationEngine::stats() const {
 void EvaluationEngine::reset_stats() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_ = EngineStats{};
+}
+
+void EvaluationEngine::note_warm_start() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.warm_starts;
 }
 
 void EvaluationEngine::clear_cache() {

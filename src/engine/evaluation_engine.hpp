@@ -86,6 +86,11 @@ struct EngineStats {
   uint64_t verify_runs = 0;     // functional verifications executed
   uint64_t verify_reused = 0;   // skipped via the mask-level cache
   uint64_t rejected = 0;        // non-ok outcomes (any stage)
+  /// generate() results served whole from a library artifact or the
+  /// process-wide session store (libgen/): zero pipeline work — no
+  /// verify, no simulate — only the cheap re-apply that proves the
+  /// artifact entry still matches the composed candidates.
+  uint64_t warm_starts = 0;
   double apply_seconds = 0.0;   // wall time re-applying scripts
   double verify_seconds = 0.0;  // wall time in functional verification
   double simulate_seconds = 0.0;// wall time in performance simulation
@@ -143,6 +148,12 @@ class EvaluationEngine {
   void clear_cache();
   size_t cache_size() const;
 
+  /// Account one evaluation served from a persistent library artifact /
+  /// session store (OaFramework's warm-start path) — the engine did no
+  /// pipeline work for it, but search-cost reports should show where
+  /// results came from.
+  void note_warm_start();
+
  private:
   /// The full pipeline for a cache miss; `applied` and `program` come
   /// from the already-executed apply stage.
@@ -173,6 +184,18 @@ Status verify_program(const gpusim::Simulator& sim,
                       const blas3::Variant& variant,
                       const ir::Program& program, int64_t n,
                       const std::map<std::string, bool>& bool_params);
+
+/// Functional execution of any program (tuned or baseline) on real
+/// matrices, with problem sizes derived from the matrix shapes the way
+/// the routine family expects; the output is written back into `b`
+/// (TRSM) or `*c`. Shared by OaFramework::run and the serving runtime
+/// (runtime/LibraryRuntime).
+Status execute_program(const gpusim::Simulator& sim,
+                       const ir::Program& program,
+                       const blas3::Variant& variant,
+                       const blas3::Matrix& a, blas3::Matrix& b,
+                       blas3::Matrix* c,
+                       const std::map<std::string, bool>& bool_params);
 
 /// Runtime bool parameters implied by adaptor conditions ("blank(A)
 /// .zero = true" -> blank_zero = true).

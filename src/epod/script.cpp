@@ -26,81 +26,234 @@ std::string Script::to_string() const {
   return os.str();
 }
 
-namespace {
-
-/// Strip //-comments and collapse whitespace.
-std::string strip_comments(std::string_view text) {
+std::string to_text(const Script& script) {
   std::string out;
-  out.reserve(text.size());
-  bool in_comment = false;
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (in_comment) {
-      if (text[i] == '\n') in_comment = false;
-      continue;
-    }
-    if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
-      in_comment = true;
-      ++i;
-      continue;
-    }
-    out += text[i];
+  if (!script.routine.empty()) {
+    out += "//! routine: " + script.routine + "\n";
+  }
+  for (const Invocation& inv : script.invocations) {
+    out += inv.to_string();
+    out += ";\n";
   }
   return out;
 }
 
-StatusOr<Invocation> parse_statement(std::string_view stmt) {
-  Invocation inv;
-  std::string_view rest = trim(stmt);
+namespace {
 
-  // Optional result list before '='. Careful: args contain no '='.
-  const size_t eq = rest.find('=');
-  if (eq != std::string_view::npos) {
-    std::string_view lhs = trim(rest.substr(0, eq));
-    if (!lhs.empty() && lhs.front() == '(') {
-      if (lhs.back() != ')') {
-        return invalid_argument("unbalanced result list in '" +
-                                std::string(stmt) + "'");
+/// One lexical token with its 1-based source position.
+struct Token {
+  enum Kind { kIdent, kLParen, kRParen, kComma, kEquals, kSemi, kEnd };
+  Kind kind = kEnd;
+  std::string text;
+  int line = 1;
+  int col = 1;
+};
+
+const char* token_name(Token::Kind k) {
+  switch (k) {
+    case Token::kIdent: return "identifier";
+    case Token::kLParen: return "'('";
+    case Token::kRParen: return "')'";
+    case Token::kComma: return "','";
+    case Token::kEquals: return "'='";
+    case Token::kSemi: return "';'";
+    case Token::kEnd: return "end of script";
+  }
+  return "?";
+}
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.';
+}
+
+/// Tokenizer tracking line/column; `//! routine:` directive comments
+/// set `routine`, plain `//` comments are skipped.
+struct LexOutcome {
+  std::vector<Token> tokens;
+  std::string routine;
+};
+
+StatusOr<LexOutcome> lex(std::string_view text) {
+  LexOutcome out;
+  int line = 1, col = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
       }
-      lhs = trim(lhs.substr(1, lhs.size() - 2));
     }
-    inv.results = split(lhs, ',', /*skip_empty=*/true);
-    rest = trim(rest.substr(eq + 1));
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      size_t end = text.find('\n', i);
+      if (end == std::string_view::npos) end = text.size();
+      std::string_view comment = text.substr(i + 2, end - i - 2);
+      // Directive comments survive the round trip; everything else is
+      // documentation.
+      std::string_view body = trim(comment);
+      if (!body.empty() && body.front() == '!') {
+        body = trim(body.substr(1));
+        constexpr std::string_view kRoutine = "routine:";
+        if (starts_with(body, kRoutine)) {
+          out.routine = std::string(trim(body.substr(kRoutine.size())));
+        }
+      }
+      advance(end - i);
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.col = col;
+    switch (c) {
+      case '(': tok.kind = Token::kLParen; advance(1); break;
+      case ')': tok.kind = Token::kRParen; advance(1); break;
+      case ',': tok.kind = Token::kComma; advance(1); break;
+      case '=': tok.kind = Token::kEquals; advance(1); break;
+      case ';': tok.kind = Token::kSemi; advance(1); break;
+      default: {
+        if (!is_ident_char(c)) {
+          return invalid_argument(
+              str_format("line %d, col %d: unexpected character '%c'",
+                         line, col, c));
+        }
+        size_t end = i;
+        while (end < text.size() && is_ident_char(text[end])) ++end;
+        tok.kind = Token::kIdent;
+        tok.text = std::string(text.substr(i, end - i));
+        advance(end - i);
+        break;
+      }
+    }
+    out.tokens.push_back(std::move(tok));
   }
+  Token eof;
+  eof.kind = Token::kEnd;
+  eof.line = line;
+  eof.col = col;
+  out.tokens.push_back(eof);
+  return out;
+}
 
-  const size_t open = rest.find('(');
-  if (open == std::string_view::npos || rest.back() != ')') {
-    return invalid_argument("expected 'name(args)' in '" +
-                            std::string(stmt) + "'");
-  }
-  inv.component = std::string(trim(rest.substr(0, open)));
-  // Tolerate the paper's doubled parentheses: thread_grouping((Li, Lj)).
-  std::string_view args = rest.substr(open + 1, rest.size() - open - 2);
-  args = trim(args);
-  if (!args.empty() && args.front() == '(' && args.back() == ')') {
-    args = trim(args.substr(1, args.size() - 2));
-  }
-  inv.args = split(args, ',', /*skip_empty=*/true);
-
-  if (!transforms::is_known_component(inv.component)) {
-    return invalid_argument("unknown optimization component '" +
-                            inv.component + "'");
-  }
-  return inv;
+Status error_at(const Token& tok, const std::string& message) {
+  return invalid_argument(
+      str_format("line %d, col %d: %s", tok.line, tok.col,
+                 message.c_str()));
 }
 
 }  // namespace
 
-StatusOr<Script> parse_script(std::string_view text) {
+StatusOr<Script> parse(std::string_view text) {
+  OA_ASSIGN_OR_RETURN(LexOutcome lexed, lex(text));
+  const std::vector<Token>& toks = lexed.tokens;
   Script script;
-  const std::string clean = strip_comments(text);
-  for (const std::string& stmt : split(clean, ';')) {
-    std::string_view s = trim(stmt);
-    if (s.empty()) continue;
-    OA_ASSIGN_OR_RETURN(Invocation inv, parse_statement(s));
+  script.routine = std::move(lexed.routine);
+
+  size_t i = 0;
+  while (toks[i].kind != Token::kEnd) {
+    if (toks[i].kind == Token::kSemi) {  // tolerate empty statements
+      ++i;
+      continue;
+    }
+    Invocation inv;
+    // Optional result list before '=': either a single label or a
+    // parenthesized list — only treated as results when an '=' follows.
+    if (toks[i].kind == Token::kLParen) {
+      size_t close = i + 1;
+      while (toks[close].kind != Token::kRParen &&
+             toks[close].kind != Token::kEnd) {
+        ++close;
+      }
+      if (toks[close].kind == Token::kEnd) {
+        return error_at(toks[i], "unbalanced '(' in result list");
+      }
+      if (toks[close + 1].kind == Token::kEquals) {
+        for (size_t k = i + 1; k < close; ++k) {
+          if (toks[k].kind == Token::kComma) continue;
+          if (toks[k].kind != Token::kIdent) {
+            return error_at(toks[k],
+                            std::string("expected label in result list, "
+                                        "got ") +
+                                token_name(toks[k].kind));
+          }
+          inv.results.push_back(toks[k].text);
+        }
+        i = close + 2;
+      }
+    } else if (toks[i].kind == Token::kIdent &&
+               toks[i + 1].kind == Token::kEquals) {
+      inv.results.push_back(toks[i].text);
+      i += 2;
+    }
+
+    if (toks[i].kind != Token::kIdent) {
+      return error_at(toks[i], std::string("expected component name, got ") +
+                                   token_name(toks[i].kind));
+    }
+    const Token& name_tok = toks[i];
+    inv.component = toks[i].text;
+    ++i;
+    if (toks[i].kind != Token::kLParen) {
+      return error_at(toks[i], "expected '(' after component name '" +
+                                   inv.component + "'");
+    }
+    ++i;
+    // Tolerate the paper's doubled parentheses: thread_grouping((Li, Lj)).
+    bool doubled = false;
+    if (toks[i].kind == Token::kLParen) {
+      doubled = true;
+      ++i;
+    }
+    while (toks[i].kind != Token::kRParen) {
+      if (toks[i].kind != Token::kIdent) {
+        return error_at(toks[i], std::string("expected argument, got ") +
+                                     token_name(toks[i].kind));
+      }
+      inv.args.push_back(toks[i].text);
+      ++i;
+      if (toks[i].kind == Token::kComma) {
+        ++i;
+        continue;
+      }
+      if (toks[i].kind != Token::kRParen) {
+        return error_at(toks[i],
+                        std::string("expected ',' or ')' in argument "
+                                    "list, got ") +
+                            token_name(toks[i].kind));
+      }
+    }
+    ++i;
+    if (doubled) {
+      if (toks[i].kind != Token::kRParen) {
+        return error_at(toks[i], "unbalanced '(' in argument list");
+      }
+      ++i;
+    }
+    if (toks[i].kind != Token::kSemi) {
+      return error_at(toks[i], std::string("expected ';' after "
+                                           "invocation, got ") +
+                                   token_name(toks[i].kind));
+    }
+    ++i;
+    if (!transforms::is_known_component(inv.component)) {
+      return error_at(name_tok, "unknown optimization component '" +
+                                    inv.component + "'");
+    }
     script.invocations.push_back(std::move(inv));
   }
   return script;
 }
+
+StatusOr<Script> parse_script(std::string_view text) { return parse(text); }
 
 Status apply_script(ir::Program& program, const Script& script,
                     const transforms::TransformContext& ctx) {

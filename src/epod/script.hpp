@@ -37,8 +37,21 @@ struct Script {
   uint64_t fingerprint() const;
 };
 
+/// Canonical text serialization: a `//! routine: NAME` directive (when
+/// the script names its routine) followed by one `;`-terminated
+/// invocation per line. parse() round-trips it exactly — including the
+/// routine name, which a plain `// ...` comment would lose — so the
+/// library-artifact format (libgen/) and `oagen --dump-scripts` can
+/// store scripts as human-readable text without losing fingerprints.
+std::string to_text(const Script& script);
+
 /// Parse the textual form. Unknown component names are rejected here so
-/// a typo fails fast rather than at application time.
+/// a typo fails fast rather than at application time. Errors carry the
+/// 1-based line and column of the offending token ("line 3, col 12:
+/// unknown optimization component 'warp_specialize'").
+StatusOr<Script> parse(std::string_view text);
+
+/// Historical alias of parse().
 StatusOr<Script> parse_script(std::string_view text);
 
 /// The EPOD translator: apply the script's components, in order, to the

@@ -1,0 +1,504 @@
+#include "libgen/artifact.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "blas3/source_ir.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace oa::libgen {
+
+using blas3::Variant;
+using engine::Evaluation;
+using transforms::TuningParams;
+
+namespace {
+
+std::string hex64(uint64_t v) {
+  return str_format("%016llx", static_cast<unsigned long long>(v));
+}
+
+StatusOr<uint64_t> parse_hex64(const std::string& text, size_t lineno) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 16);
+  if (end == text.c_str() || *end != '\0') {
+    return invalid_argument(str_format(
+        "artifact line %zu: malformed hex value '%s'", lineno,
+        text.c_str()));
+  }
+  return static_cast<uint64_t>(v);
+}
+
+StatusOr<int64_t> parse_int(const std::string& text, size_t lineno) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return invalid_argument(str_format(
+        "artifact line %zu: malformed integer '%s'", lineno,
+        text.c_str()));
+  }
+  return static_cast<int64_t>(v);
+}
+
+/// Hexfloat is the authoritative value (bit-exact round trip); the
+/// decimal in parentheses is for human readers and ignored on parse.
+std::string format_double(double v) {
+  return str_format("%a (%.6g)", v, v);
+}
+
+StatusOr<double> parse_double(const std::string& text, size_t lineno) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) {
+    return invalid_argument(str_format(
+        "artifact line %zu: malformed number '%s'", lineno, text.c_str()));
+  }
+  return v;
+}
+
+/// Line cursor with truncation-aware key/value reads.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text)
+      : lines_(split(text, '\n')) {}
+
+  size_t lineno() const { return i_ + 1; }
+
+  void skip_blank() {
+    while (i_ < lines_.size() && lines_[i_].empty()) ++i_;
+  }
+
+  bool at_end() {
+    skip_blank();
+    return i_ >= lines_.size();
+  }
+
+  /// Next line must be "<key> <value>"; returns the value.
+  StatusOr<std::string> take(const std::string& key) {
+    skip_blank();
+    if (i_ >= lines_.size()) {
+      return invalid_argument(str_format(
+          "truncated artifact: expected '%s' but the file ends at line "
+          "%zu",
+          key.c_str(), lineno()));
+    }
+    const std::string& line = lines_[i_];
+    if (!starts_with(line, key) ||
+        (line.size() > key.size() && line[key.size()] != ' ')) {
+      return invalid_argument(str_format(
+          "artifact line %zu: expected '%s ...', got '%s'", lineno(),
+          key.c_str(), line.c_str()));
+    }
+    ++i_;
+    if (line.size() <= key.size()) return std::string();
+    return std::string(trim(std::string_view(line).substr(key.size())));
+  }
+
+  /// Next line must be an embedded content line: "| <content>".
+  StatusOr<std::string> take_content() {
+    // No skip_blank: embedded blocks are contiguous, a hole means
+    // truncation or corruption.
+    if (i_ >= lines_.size()) {
+      return invalid_argument(str_format(
+          "truncated artifact: embedded block ends at line %zu",
+          lineno()));
+    }
+    const std::string& line = lines_[i_];
+    if (line == "|") {
+      ++i_;
+      return std::string();
+    }
+    if (!starts_with(line, "| ")) {
+      return invalid_argument(str_format(
+          "artifact line %zu: expected '| <content>', got '%s'", lineno(),
+          line.c_str()));
+    }
+    ++i_;
+    return line.substr(2);
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+composer::Candidate ArtifactEntry::candidate() const {
+  composer::Candidate c;
+  c.script = script;
+  c.conditions = conditions;
+  return c;
+}
+
+uint64_t ArtifactEntry::content_hash() const {
+  Fingerprint fp;
+  fp.mix(variant)
+      .mix(tuned_size)
+      .mix(applied_mask)
+      .mix(script_fingerprint)
+      .mix(candidate_fingerprint)
+      .mix(params_fingerprint)
+      .mix(std::bit_cast<uint64_t>(gflops))
+      .mix(std::bit_cast<uint64_t>(seconds));
+  fp.mix(static_cast<uint64_t>(conditions.size()));
+  for (const std::string& c : conditions) fp.mix(c);
+  // The *parsed* script and params, not just the recorded fingerprints:
+  // a flipped byte in the script text changes this hash even though the
+  // recorded fingerprint lines still hold the original values.
+  fp.mix(script.fingerprint());
+  fp.mix(params.fingerprint());
+  return fp.digest();
+}
+
+const ArtifactEntry* Artifact::find(const std::string& variant) const {
+  for (const ArtifactEntry& e : entries) {
+    if (e.variant == variant) return &e;
+  }
+  return nullptr;
+}
+
+void Artifact::upsert(ArtifactEntry e) {
+  for (ArtifactEntry& existing : entries) {
+    if (existing.variant == e.variant) {
+      existing = std::move(e);
+      return;
+    }
+  }
+  entries.push_back(std::move(e));
+}
+
+uint64_t device_fingerprint(const gpusim::DeviceModel& d) {
+  Fingerprint fp;
+  fp.mix(d.name)
+      .mix(d.sm_count)
+      .mix(d.sps_per_sm)
+      .mix(d.warp_size)
+      .mix(d.registers_per_sm)
+      .mix(d.shared_mem_per_sm)
+      .mix(d.max_threads_per_sm)
+      .mix(d.max_blocks_per_sm)
+      .mix(d.max_threads_per_block)
+      .mix(std::bit_cast<uint64_t>(d.clock_ghz))
+      .mix(std::bit_cast<uint64_t>(d.mem_bandwidth_gbs))
+      .mix(std::bit_cast<uint64_t>(d.peak_gflops))
+      .mix(static_cast<int>(d.coalescing))
+      .mix(d.shared_banks)
+      .mix(d.transaction_bytes)
+      .mix(std::bit_cast<uint64_t>(d.issue_efficiency))
+      .mix(d.latency_hiding_warps)
+      .mix(std::bit_cast<uint64_t>(d.launch_overhead_s))
+      .mix(d.base_regs_per_thread);
+  return fp.digest();
+}
+
+ArtifactEntry make_entry(const Variant& v, const Evaluation& eval,
+                         int64_t tuned_size) {
+  ArtifactEntry e;
+  e.variant = v.name();
+  e.script = eval.candidate.script;
+  e.conditions = eval.candidate.conditions;
+  e.params = eval.params;
+  e.applied_mask = eval.applied_mask;
+  e.script_fingerprint = eval.candidate.script.fingerprint();
+  e.candidate_fingerprint = eval.candidate.fingerprint();
+  e.params_fingerprint = eval.params.fingerprint();
+  e.gflops = eval.gflops;
+  e.seconds = eval.seconds;
+  e.tuned_size = tuned_size;
+  return e;
+}
+
+std::string to_text(const Artifact& artifact) {
+  std::ostringstream os;
+  os << "oablas-artifact " << artifact.format_version << "\n";
+  os << "device " << artifact.device << "\n";
+  os << "device_fp " << hex64(artifact.device_fp) << "\n";
+  os << "generator "
+     << (artifact.generator.empty() ? "unknown" : artifact.generator)
+     << "\n";
+  os << "entries " << artifact.entries.size() << "\n";
+  for (const ArtifactEntry& e : artifact.entries) {
+    os << "\n";
+    os << "entry " << e.variant << "\n";
+    os << "tuned_size " << e.tuned_size << "\n";
+    os << "params " << e.params.block_tile_y << " " << e.params.block_tile_x
+       << " " << e.params.threads_y << " " << e.params.threads_x << " "
+       << e.params.k_tile << " " << e.params.unroll << "\n";
+    os << "applied_mask " << hex64(e.applied_mask) << "\n";
+    os << "script_fp " << hex64(e.script_fingerprint) << "\n";
+    os << "candidate_fp " << hex64(e.candidate_fingerprint) << "\n";
+    os << "params_fp " << hex64(e.params_fingerprint) << "\n";
+    os << "gflops " << format_double(e.gflops) << "\n";
+    os << "seconds " << format_double(e.seconds) << "\n";
+    os << "conditions " << e.conditions.size() << "\n";
+    for (const std::string& c : e.conditions) {
+      os << (c.empty() ? "|" : "| " + c) << "\n";
+    }
+    const std::vector<std::string> script_lines =
+        split(epod::to_text(e.script), '\n', /*skip_empty=*/true);
+    os << "script " << script_lines.size() << "\n";
+    for (const std::string& line : script_lines) {
+      os << "| " << line << "\n";
+    }
+    os << "entry_hash " << hex64(e.content_hash()) << "\n";
+  }
+  os << "\nend " << artifact.entries.size() << "\n";
+  return os.str();
+}
+
+StatusOr<Artifact> parse(std::string_view text) {
+  LineCursor cur(text);
+  Artifact art;
+
+  OA_ASSIGN_OR_RETURN(std::string version_text, cur.take("oablas-artifact"));
+  OA_ASSIGN_OR_RETURN(int64_t version, parse_int(version_text, cur.lineno()));
+  if (version != kFormatVersion) {
+    return invalid_argument(str_format(
+        "unsupported artifact format version %lld (this build reads "
+        "version %d)",
+        static_cast<long long>(version), kFormatVersion));
+  }
+  art.format_version = static_cast<int>(version);
+  OA_ASSIGN_OR_RETURN(art.device, cur.take("device"));
+  OA_ASSIGN_OR_RETURN(std::string fp_text, cur.take("device_fp"));
+  OA_ASSIGN_OR_RETURN(art.device_fp, parse_hex64(fp_text, cur.lineno()));
+  OA_ASSIGN_OR_RETURN(art.generator, cur.take("generator"));
+  OA_ASSIGN_OR_RETURN(std::string count_text, cur.take("entries"));
+  OA_ASSIGN_OR_RETURN(int64_t count, parse_int(count_text, cur.lineno()));
+  if (count < 0) {
+    return invalid_argument("artifact header: negative entry count");
+  }
+
+  for (int64_t n = 0; n < count; ++n) {
+    ArtifactEntry e;
+    OA_ASSIGN_OR_RETURN(e.variant, cur.take("entry"));
+    const size_t entry_line = cur.lineno() - 1;
+    OA_ASSIGN_OR_RETURN(std::string ts, cur.take("tuned_size"));
+    OA_ASSIGN_OR_RETURN(e.tuned_size, parse_int(ts, cur.lineno()));
+
+    OA_ASSIGN_OR_RETURN(std::string params_text, cur.take("params"));
+    const std::vector<std::string> fields =
+        split(params_text, ' ', /*skip_empty=*/true);
+    if (fields.size() != 6) {
+      return invalid_argument(str_format(
+          "artifact line %zu: 'params' needs 6 fields (bty btx ty tx kt "
+          "unroll), got %zu",
+          cur.lineno() - 1, fields.size()));
+    }
+    OA_ASSIGN_OR_RETURN(e.params.block_tile_y,
+                        parse_int(fields[0], cur.lineno()));
+    OA_ASSIGN_OR_RETURN(e.params.block_tile_x,
+                        parse_int(fields[1], cur.lineno()));
+    OA_ASSIGN_OR_RETURN(e.params.threads_y,
+                        parse_int(fields[2], cur.lineno()));
+    OA_ASSIGN_OR_RETURN(e.params.threads_x,
+                        parse_int(fields[3], cur.lineno()));
+    OA_ASSIGN_OR_RETURN(e.params.k_tile, parse_int(fields[4], cur.lineno()));
+    OA_ASSIGN_OR_RETURN(int64_t unroll, parse_int(fields[5], cur.lineno()));
+    e.params.unroll = static_cast<int>(unroll);
+
+    OA_ASSIGN_OR_RETURN(std::string mask_text, cur.take("applied_mask"));
+    OA_ASSIGN_OR_RETURN(e.applied_mask,
+                        parse_hex64(mask_text, cur.lineno()));
+    OA_ASSIGN_OR_RETURN(std::string sfp, cur.take("script_fp"));
+    OA_ASSIGN_OR_RETURN(e.script_fingerprint,
+                        parse_hex64(sfp, cur.lineno()));
+    OA_ASSIGN_OR_RETURN(std::string cfp, cur.take("candidate_fp"));
+    OA_ASSIGN_OR_RETURN(e.candidate_fingerprint,
+                        parse_hex64(cfp, cur.lineno()));
+    OA_ASSIGN_OR_RETURN(std::string pfp, cur.take("params_fp"));
+    OA_ASSIGN_OR_RETURN(e.params_fingerprint,
+                        parse_hex64(pfp, cur.lineno()));
+    OA_ASSIGN_OR_RETURN(std::string gf, cur.take("gflops"));
+    OA_ASSIGN_OR_RETURN(e.gflops, parse_double(gf, cur.lineno()));
+    OA_ASSIGN_OR_RETURN(std::string sec, cur.take("seconds"));
+    OA_ASSIGN_OR_RETURN(e.seconds, parse_double(sec, cur.lineno()));
+
+    OA_ASSIGN_OR_RETURN(std::string nc_text, cur.take("conditions"));
+    OA_ASSIGN_OR_RETURN(int64_t nc, parse_int(nc_text, cur.lineno()));
+    for (int64_t k = 0; k < nc; ++k) {
+      OA_ASSIGN_OR_RETURN(std::string cond, cur.take_content());
+      e.conditions.push_back(std::move(cond));
+    }
+
+    OA_ASSIGN_OR_RETURN(std::string ns_text, cur.take("script"));
+    OA_ASSIGN_OR_RETURN(int64_t ns, parse_int(ns_text, cur.lineno()));
+    std::string script_text;
+    for (int64_t k = 0; k < ns; ++k) {
+      OA_ASSIGN_OR_RETURN(std::string line, cur.take_content());
+      script_text += line;
+      script_text += "\n";
+    }
+    auto script = epod::parse(script_text);
+    if (!script.is_ok()) {
+      return invalid_argument(str_format(
+          "artifact entry '%s' (line %zu): script does not parse: %s",
+          e.variant.c_str(), entry_line,
+          script.status().message().c_str()));
+    }
+    e.script = std::move(script).value();
+
+    OA_ASSIGN_OR_RETURN(std::string hash_text, cur.take("entry_hash"));
+    OA_ASSIGN_OR_RETURN(uint64_t recorded,
+                        parse_hex64(hash_text, cur.lineno()));
+    if (recorded != e.content_hash()) {
+      return invalid_argument(str_format(
+          "artifact entry '%s' (line %zu): content hash mismatch — the "
+          "entry is corrupt",
+          e.variant.c_str(), entry_line));
+    }
+    // Writer sanity: the recorded fingerprints must match what the
+    // parsed content re-derives (they are what warm-start compares).
+    if (e.script_fingerprint != e.script.fingerprint() ||
+        e.candidate_fingerprint != e.candidate().fingerprint() ||
+        e.params_fingerprint != e.params.fingerprint()) {
+      return invalid_argument(str_format(
+          "artifact entry '%s' (line %zu): recorded fingerprints do not "
+          "match the entry content",
+          e.variant.c_str(), entry_line));
+    }
+    art.entries.push_back(std::move(e));
+  }
+
+  OA_ASSIGN_OR_RETURN(std::string end_text, cur.take("end"));
+  OA_ASSIGN_OR_RETURN(int64_t end_count, parse_int(end_text, cur.lineno()));
+  if (end_count != count ||
+      static_cast<int64_t>(art.entries.size()) != count) {
+    return invalid_argument(str_format(
+        "truncated artifact: header promises %lld entries, trailer "
+        "confirms %lld, parsed %zu",
+        static_cast<long long>(count), static_cast<long long>(end_count),
+        art.entries.size()));
+  }
+  if (!cur.at_end()) {
+    return invalid_argument(str_format(
+        "artifact line %zu: trailing content after the end marker",
+        cur.lineno()));
+  }
+  return art;
+}
+
+Status save(const Artifact& artifact, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return not_found("cannot open '" + path + "' for writing");
+  }
+  out << to_text(artifact);
+  out.flush();
+  if (!out) {
+    return internal_error("short write to '" + path + "'");
+  }
+  return Status::ok();
+}
+
+StatusOr<Artifact> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return not_found("cannot open artifact '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto parsed = parse(ss.str());
+  if (!parsed.is_ok()) {
+    return Status(parsed.status().code(),
+                  "'" + path + "': " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Status check_device(const Artifact& artifact,
+                    const gpusim::DeviceModel& device) {
+  if (artifact.device != device.name) {
+    return failed_precondition(str_format(
+        "artifact was generated for device '%s', not '%s'",
+        artifact.device.c_str(), device.name.c_str()));
+  }
+  if (artifact.device_fp != device_fingerprint(device)) {
+    return failed_precondition(str_format(
+        "artifact device fingerprint %s does not match this build's "
+        "'%s' preset (%s) — the device model changed since generation",
+        hex64(artifact.device_fp).c_str(), device.name.c_str(),
+        hex64(device_fingerprint(device)).c_str()));
+  }
+  return Status::ok();
+}
+
+StatusOr<Evaluation> reconstruct(
+    const ArtifactEntry& entry, const Variant& v,
+    const std::vector<composer::Candidate>& fresh_candidates) {
+  if (entry.variant != v.name()) {
+    return invalid_argument("artifact entry '" + entry.variant +
+                            "' reconstructed as '" + v.name() + "'");
+  }
+  composer::Candidate candidate = entry.candidate();
+  bool still_composed = false;
+  for (const composer::Candidate& fresh : fresh_candidates) {
+    if (fresh.fingerprint() == entry.candidate_fingerprint) {
+      still_composed = true;
+      break;
+    }
+  }
+  if (!still_composed) {
+    return failed_precondition(
+        "no freshly composed candidate matches the artifact entry for " +
+        entry.variant + " — the tuning experience drifted, search again");
+  }
+  transforms::TransformContext ctx;
+  ctx.params = entry.params;
+  ir::Program program = blas3::make_source_program(v);
+  OA_ASSIGN_OR_RETURN(
+      uint64_t mask,
+      epod::apply_script_lenient(program, candidate.script, ctx));
+  if (mask != entry.applied_mask) {
+    return failed_precondition(str_format(
+        "artifact entry %s re-applies to component mask %llx, recorded "
+        "%llx — component behaviour changed since generation",
+        entry.variant.c_str(), static_cast<unsigned long long>(mask),
+        static_cast<unsigned long long>(entry.applied_mask)));
+  }
+  Evaluation out;
+  out.candidate = std::move(candidate);
+  out.params = entry.params;
+  out.program = std::move(program);
+  out.seconds = entry.seconds;
+  out.gflops = entry.gflops;
+  out.applied_mask = entry.applied_mask;
+  // Counters are not persisted: a warm-started evaluation carries the
+  // artifact's timing numbers and an empty counter set (profile() runs
+  // the simulator when counters are needed).
+  out.from_cache = true;
+  return out;
+}
+
+SessionStore& SessionStore::instance() {
+  static SessionStore* store = new SessionStore();
+  return *store;
+}
+
+void SessionStore::put(const std::string& device,
+                       const std::string& variant, Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_[{device, variant}] = std::move(record);
+}
+
+std::optional<SessionStore::Record> SessionStore::get(
+    const std::string& device, const std::string& variant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find({device, variant});
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SessionStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+size_t SessionStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace oa::libgen

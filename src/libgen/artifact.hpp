@@ -1,0 +1,167 @@
+// Persistent library artifacts — the paper's end product made durable.
+//
+// The OA framework's output is a generated BLAS3 *library*: one tuned
+// kernel per routine variant per device. Until now that library only
+// existed inside a single process; every oagen/bench run re-composed
+// and re-tuned from scratch. This module defines the versioned on-disk
+// artifact that captures a whole tuning trajectory so it can be
+// re-served (runtime/LibraryRuntime), warm-started
+// (OaFramework::generate skips the search when fingerprints still
+// match), shipped between processes, and cached in CI.
+//
+// Format (docs/ARTIFACT.md): a line-oriented, human-readable text file.
+//
+//   oablas-artifact 1                  <- format version (header)
+//   device gtx285                      <- device preset name
+//   device_fp 8d4c...                  <- preset fingerprint (all fields)
+//   generator oagen                    <- build metadata (free-form)
+//   entries 24
+//
+//   entry GEMM-NN
+//   tuned_size 512
+//   params 64 16 64 1 16 4             <- bty btx ty tx kt unroll
+//   applied_mask 1f
+//   script_fp <hex>                    <- PR-1 fingerprints, verbatim
+//   candidate_fp <hex>
+//   params_fp <hex>
+//   gflops 0x1.8cp+8 (396.00)          <- hexfloat is authoritative,
+//   seconds 0x1.2p-10 (0.001...)          decimal is for humans
+//   conditions 1
+//   | blank(A).zero = true
+//   script 6
+//   | //! routine: GEMM-NN             <- epod::to_text, round-trips
+//   | (Lii, Ljj) = thread_grouping(Li, Lj);
+//   | ...
+//   entry_hash <hex>                   <- content hash over the entry
+//
+//   end 24                             <- trailer: truncation detector
+//
+// Integrity: every entry carries a content hash over its parsed fields;
+// load() re-derives it, so a flipped byte anywhere in an entry is a
+// Status error, not a silently different library. A missing/short
+// trailer reports truncation; an unknown header version or a foreign
+// device preset reports version/device mismatch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "blas3/routine.hpp"
+#include "composer/composer.hpp"
+#include "engine/evaluation_engine.hpp"
+#include "epod/script.hpp"
+#include "gpusim/device.hpp"
+#include "support/status.hpp"
+
+namespace oa::libgen {
+
+/// Current on-disk format version. Bump on any incompatible change to
+/// the grammar or to the meaning of a recorded field; load() rejects
+/// files with a different version outright (compatibility policy in
+/// docs/ARTIFACT.md).
+inline constexpr int kFormatVersion = 1;
+
+/// One tuned variant: the winning EPOD script (text-serialized), its
+/// tuning parameters, the applied-component mask, the engine's
+/// fingerprints, and the measured performance at tuning size.
+struct ArtifactEntry {
+  std::string variant;                  // paper-style name, "SYMM-LL"
+  epod::Script script;                  // winning composed script
+  std::vector<std::string> conditions;  // candidate rule conditions
+  transforms::TuningParams params;
+  uint64_t applied_mask = 0;
+  uint64_t script_fingerprint = 0;      // script.fingerprint() at save
+  uint64_t candidate_fingerprint = 0;   // composer::Candidate fp
+  uint64_t params_fingerprint = 0;      // params.fingerprint() at save
+  double gflops = 0.0;                  // at tuned_size
+  double seconds = 0.0;                 // simulated kernel time
+  int64_t tuned_size = 0;               // problem size the tuner used
+
+  /// The candidate this entry was tuned from (script + conditions).
+  composer::Candidate candidate() const;
+
+  /// Content hash over every recorded field (the `entry_hash` line).
+  uint64_t content_hash() const;
+};
+
+/// A whole generated library for one device preset.
+struct Artifact {
+  int format_version = kFormatVersion;
+  std::string device;             // preset name ("gtx285")
+  uint64_t device_fp = 0;         // device_fingerprint() of the preset
+  std::string generator;          // build metadata, free-form one line
+  std::vector<ArtifactEntry> entries;
+
+  /// Entry for a variant name, or nullptr.
+  const ArtifactEntry* find(const std::string& variant) const;
+  /// Insert or replace the entry for `e.variant` (keeps name order
+  /// stable: replaces in place, appends otherwise).
+  void upsert(ArtifactEntry e);
+};
+
+/// Stable fingerprint over every field of a device preset; a changed
+/// calibration constant invalidates artifacts tuned under the old one.
+uint64_t device_fingerprint(const gpusim::DeviceModel& device);
+
+/// Build an entry from a finished evaluation (fills every fingerprint).
+ArtifactEntry make_entry(const blas3::Variant& v,
+                         const engine::Evaluation& eval,
+                         int64_t tuned_size);
+
+/// Serialize / parse the text format. parse() performs all integrity
+/// checks: header version, per-entry content hashes, entry count,
+/// trailer presence. Errors name the offending artifact line.
+std::string to_text(const Artifact& artifact);
+StatusOr<Artifact> parse(std::string_view text);
+
+/// File-level save/load (load = read + parse).
+Status save(const Artifact& artifact, const std::string& path);
+StatusOr<Artifact> load(const std::string& path);
+
+/// kFailedPrecondition unless the artifact was generated for exactly
+/// this device preset (name and fingerprint).
+Status check_device(const Artifact& artifact,
+                    const gpusim::DeviceModel& device);
+
+/// Warm start: rebuild the full evaluation from an artifact entry
+/// without re-verifying or re-simulating. Succeeds only when the
+/// entry's candidate fingerprint still matches one of the freshly
+/// composed candidates and the script re-applies to the identical
+/// component mask — otherwise the tuning experience has drifted and
+/// the caller must search again (optionally seeded with entry.params).
+StatusOr<engine::Evaluation> reconstruct(
+    const ArtifactEntry& entry, const blas3::Variant& v,
+    const std::vector<composer::Candidate>& fresh_candidates);
+
+/// Process-wide in-memory library: every OaFramework::generate records
+/// its result here (keyed by device preset x variant), so a *second*
+/// framework instance in the same process warm-starts instead of
+/// re-tuning — the cross-instance result cache the per-instance map in
+/// OaFramework could never provide. Thread-safe.
+class SessionStore {
+ public:
+  static SessionStore& instance();
+
+  struct Record {
+    engine::Evaluation eval;  // full evaluation, counters included
+    int64_t tuned_size = 0;
+  };
+
+  void put(const std::string& device, const std::string& variant,
+           Record record);
+  std::optional<Record> get(const std::string& device,
+                            const std::string& variant) const;
+  void clear();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, Record> records_;
+};
+
+}  // namespace oa::libgen

@@ -4,6 +4,7 @@
 
 #include "blas3/source_ir.hpp"
 #include "support/log.hpp"
+#include "support/strings.hpp"
 
 namespace oa {
 
@@ -17,7 +18,10 @@ OaFramework::OaFramework(const gpusim::DeviceModel& device,
       options_(std::move(options)),
       engine_(std::make_unique<engine::EvaluationEngine>(
           sim_, engine::EngineOptions{options_.jobs,
-                                      options_.engine_cache})) {}
+                                      options_.engine_cache})),
+      store_key_(str_format("%s#%016llx", device.name.c_str(),
+                            static_cast<unsigned long long>(
+                                libgen::device_fingerprint(device)))) {}
 
 std::vector<adl::Adaptor> OaFramework::adaptors_for(const Variant& v) {
   std::vector<adl::Adaptor> out;
@@ -130,28 +134,103 @@ StatusOr<std::vector<composer::Candidate>> OaFramework::candidates_for(
   return result;
 }
 
+Status OaFramework::set_library(libgen::Artifact artifact) {
+  OA_RETURN_IF_ERROR(libgen::check_device(artifact, sim_.device()));
+  library_ = std::move(artifact);
+  return Status::ok();
+}
+
+Status OaFramework::load_library(const std::string& path) {
+  OA_ASSIGN_OR_RETURN(libgen::Artifact artifact, libgen::load(path));
+  return set_library(std::move(artifact));
+}
+
+libgen::Artifact OaFramework::export_library() const {
+  libgen::Artifact artifact;
+  artifact.device = sim_.device().name;
+  artifact.device_fp = libgen::device_fingerprint(sim_.device());
+  artifact.generator = "oa::OaFramework";
+  if (library_) {
+    // Re-exporting a loaded library keeps entries that were not
+    // regenerated this session; fresh results below replace stale ones.
+    artifact.entries = library_->entries;
+  }
+  for (const auto& [name, entry] : generated_) {
+    artifact.upsert(entry);
+  }
+  return artifact;
+}
+
 StatusOr<tuner::TunedVariant> OaFramework::generate(const Variant& v) {
   auto it = cache_.find(v.name());
   if (it != cache_.end()) return it->second;
 
   OA_ASSIGN_OR_RETURN(std::vector<composer::Candidate> candidates,
                       candidates_for(v));
+
+  const libgen::ArtifactEntry* lib_entry =
+      library_ ? library_->find(v.name()) : nullptr;
+  const int64_t tuned_size =
+      v.family == Family::kTrsm
+          ? std::max<int64_t>(options_.tuning_size, 2048)
+          : options_.tuning_size;
+  auto admit = [&](tuner::TunedVariant eval,
+                   int64_t size) -> tuner::TunedVariant {
+    engine_->note_warm_start();
+    libgen::SessionStore::instance().put(store_key_, v.name(),
+                                         {eval, size});
+    generated_[v.name()] = libgen::make_entry(v, eval, size);
+    cache_.emplace(v.name(), eval);
+    return eval;
+  };
+  if (options_.warm_start) {
+    // First a loaded artifact, then the process-wide session store: a
+    // recorded result is served without any verify/simulate call when
+    // its candidate fingerprint still matches a fresh candidate and the
+    // script re-applies to the identical component mask.
+    if (lib_entry != nullptr) {
+      auto warm = libgen::reconstruct(*lib_entry, v, candidates);
+      if (warm.is_ok()) {
+        OA_LOG(kInfo) << v.name() << ": warm start from library artifact";
+        return admit(*std::move(warm), lib_entry->tuned_size);
+      }
+      OA_LOG(kInfo) << v.name() << ": artifact entry stale ("
+                    << warm.status().to_string() << "), searching";
+    }
+    auto stored =
+        libgen::SessionStore::instance().get(store_key_, v.name());
+    if (stored) {
+      const uint64_t fp = stored->eval.candidate.fingerprint();
+      for (const composer::Candidate& c : candidates) {
+        if (c.fingerprint() == fp) {
+          OA_LOG(kInfo) << v.name() << ": warm start from session store";
+          return admit(std::move(stored->eval), stored->tuned_size);
+        }
+      }
+    }
+  }
+
   tuner::TuneOptions topt;
-  topt.target_size = options_.tuning_size;
   // Wave-serialized solvers have size-dependent trade-offs (launch
   // overhead vs parallel width): tune them at a size large enough for
-  // the asymptotic regime.
-  if (v.family == Family::kTrsm) {
-    topt.target_size = std::max<int64_t>(topt.target_size, 2048);
-  }
+  // the asymptotic regime (folded into tuned_size above).
+  topt.target_size = tuned_size;
   topt.verify_size = options_.verify_size;
   topt.exhaustive = options_.exhaustive_search;
   topt.run_options.fastpath = options_.fastpath;
+  if (options_.seed_from_artifact && lib_entry != nullptr) {
+    // The artifact's tuning experience drifted but is still a good
+    // neighbourhood: start the line search from its parameters.
+    topt.seed = lib_entry->params;
+  }
   // All variants tune through the shared engine: identical points that
   // reappear across variants (cross-variant adaptor reuse) and across
   // the figure benches hit its cache instead of re-simulating.
   tuner::Tuner tuner(*engine_, topt);
   OA_ASSIGN_OR_RETURN(tuner::TunedVariant best, tuner.tune(v, candidates));
+  libgen::SessionStore::instance().put(store_key_, v.name(),
+                                       {best, tuned_size});
+  generated_[v.name()] = libgen::make_entry(v, best, tuned_size);
   cache_.emplace(v.name(), best);
   return best;
 }
@@ -200,29 +279,9 @@ Status OaFramework::run(const ir::Program& program, const Variant& v,
                         blas3::Matrix* c,
                         const std::map<std::string, bool>& bool_params)
     const {
-  gpusim::RunOptions opts;
-  const int64_t m = b.rows();
-  const int64_t n = b.cols();
-  if (v.family == Family::kGemm) {
-    const int64_t k = v.trans_a == Trans::kN ? a.cols() : a.rows();
-    opts.int_params = {{"M", m}, {"N", n}, {"K", k}};
-  } else if (v.family == Family::kSyrk) {
-    const int64_t k = v.trans == Trans::kN ? a.cols() : a.rows();
-    opts.int_params = {{"M", c != nullptr ? c->rows() : m},
-                       {"N", n},
-                       {"K", k}};
-  } else {
-    opts.int_params = {{"M", m}, {"N", n}};
-  }
-  opts.bool_params = bool_params;
-  gpusim::GlobalBuffers buffers = gpusim::make_buffers(
-      program, opts.int_params, {{"A", &a}, {"B", &b}, {"C", c}});
-  OA_RETURN_IF_ERROR(
-      sim_.run_functional(program, opts, buffers).status());
-  const char* out_name = blas3::output_array(v);
-  blas3::Matrix& out = v.family == Family::kTrsm ? b : *c;
-  return gpusim::read_back(buffers, program, opts.int_params, out_name,
-                           out);
+  // Shared with runtime::LibraryRuntime, which serves the same matrix
+  // conventions without an OaFramework.
+  return engine::execute_program(sim_, program, v, a, b, c, bool_params);
 }
 
 }  // namespace oa

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "adl/adaptor.hpp"
@@ -23,6 +24,7 @@
 #include "composer/composer.hpp"
 #include "engine/evaluation_engine.hpp"
 #include "gpusim/simulator.hpp"
+#include "libgen/artifact.hpp"
 #include "tuner/tuner.hpp"
 
 namespace oa {
@@ -48,6 +50,15 @@ struct OaOptions {
   /// Base script to extend. Defaults to the paper's Fig 3 GEMM-NN
   /// script.
   epod::Script base_script = epod::gemm_nn_script();
+  /// Serve generate() from a loaded library artifact / the process-wide
+  /// session store when the entry's fingerprints still match the fresh
+  /// candidates — zero verify/simulate calls for warm variants.
+  bool warm_start = true;
+  /// When a warm start is impossible (fingerprints drifted) but a
+  /// library entry exists, seed the parameter search from the entry's
+  /// tuned parameters instead of the default probe point
+  /// (`oagen --warm-start`).
+  bool seed_from_artifact = false;
 };
 
 class OaFramework {
@@ -72,8 +83,26 @@ class OaFramework {
   StatusOr<std::vector<composer::Candidate>> candidates_for(
       const blas3::Variant& v) const;
 
-  /// Full generation: compose + search. Results are cached per variant.
+  /// Full generation: compose + search. Results are cached per variant,
+  /// warm-started from a loaded library artifact or the process-wide
+  /// SessionStore when options.warm_start (default) and the recorded
+  /// fingerprints still match the freshly composed candidates.
   StatusOr<tuner::TunedVariant> generate(const blas3::Variant& v);
+
+  /// Attach a library artifact as the warm-start source for later
+  /// generate() calls (kFailedPrecondition unless it was generated for
+  /// this device preset).
+  Status set_library(libgen::Artifact artifact);
+  /// set_library(libgen::load(path)).
+  Status load_library(const std::string& path);
+  /// The attached artifact, if any.
+  const std::optional<libgen::Artifact>& library() const {
+    return library_;
+  }
+
+  /// Snapshot of everything generated so far (plus any still-matching
+  /// entries of the attached artifact) as a saveable artifact.
+  libgen::Artifact export_library() const;
 
   /// Performance of a tuned variant at problem size n (GFLOPS).
   StatusOr<double> measure_gflops(const tuner::TunedVariant& tuned,
@@ -101,6 +130,12 @@ class OaFramework {
   OaOptions options_;
   std::unique_ptr<engine::EvaluationEngine> engine_;
   std::map<std::string, tuner::TunedVariant> cache_;
+  /// Warm-start source attached via set_library()/load_library().
+  std::optional<libgen::Artifact> library_;
+  /// Artifact entries for every generate() outcome (export_library()).
+  std::map<std::string, libgen::ArtifactEntry> generated_;
+  /// SessionStore key for this device preset (name + fingerprint).
+  std::string store_key_;
 };
 
 }  // namespace oa

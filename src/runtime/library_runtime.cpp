@@ -1,0 +1,208 @@
+#include "runtime/library_runtime.hpp"
+
+#include <cstdlib>
+
+#include "baseline/baseline.hpp"
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "engine/evaluation_engine.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace oa::runtime {
+
+using blas3::Variant;
+
+const char* outcome_name(DispatchOutcome outcome) {
+  switch (outcome) {
+    case DispatchOutcome::kHit: return "hit";
+    case DispatchOutcome::kNearHit: return "near-hit";
+    case DispatchOutcome::kFallbackBaseline: return "baseline-fallback";
+    case DispatchOutcome::kFallbackReference: return "reference-fallback";
+  }
+  return "?";
+}
+
+std::string DispatchStats::to_string() const {
+  return str_format(
+      "dispatch: %llu requests — %llu hits, %llu near-hits, %llu "
+      "baseline fallbacks, %llu reference fallbacks, %llu recovered "
+      "kernel errors",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(near_hits),
+      static_cast<unsigned long long>(baseline_fallbacks),
+      static_cast<unsigned long long>(reference_fallbacks),
+      static_cast<unsigned long long>(errors));
+}
+
+int LibraryRuntime::size_bucket(int64_t n) {
+  int b = 0;
+  while (b < 62 && (int64_t{1} << (b + 1)) <= n) ++b;
+  return b;
+}
+
+LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
+                               libgen::Artifact artifact,
+                               RuntimeOptions options)
+    : sim_(device), artifact_(std::move(artifact)), options_(options) {
+  load_status_ = libgen::check_device(artifact_, device);
+  if (!load_status_.is_ok()) {
+    // Graceful degradation: a mismatched artifact serves nothing from
+    // the table; every request takes the fallback path.
+    OA_LOG(kWarning) << "LibraryRuntime: " << load_status_.to_string()
+                     << " — serving fallbacks only";
+    return;
+  }
+  size_t skipped = 0;
+  std::string skip_reason;
+  for (const libgen::ArtifactEntry& entry : artifact_.entries) {
+    const Variant* v = blas3::find_variant(entry.variant);
+    if (v == nullptr) {
+      ++skipped;
+      skip_reason = "unknown variant '" + entry.variant + "'";
+      continue;
+    }
+    auto eval = libgen::reconstruct(entry, *v, {entry.candidate()});
+    if (!eval.is_ok()) {
+      ++skipped;
+      skip_reason = entry.variant + ": " + eval.status().message();
+      continue;
+    }
+    TableEntry te;
+    te.variant = v;
+    te.program = std::move(eval->program);
+    te.bool_params = engine::bools_for(eval->candidate);
+    te.gflops = entry.gflops;
+    te.tuned_size = entry.tuned_size;
+    index_[entry.variant][size_bucket(entry.tuned_size)] = table_.size();
+    table_.push_back(std::move(te));
+  }
+  if (skipped > 0) {
+    load_status_ = failed_precondition(str_format(
+        "%zu artifact entr%s not servable (last: %s)", skipped,
+        skipped == 1 ? "y" : "ies", skip_reason.c_str()));
+    OA_LOG(kWarning) << "LibraryRuntime: " << load_status_.to_string();
+  }
+}
+
+LibraryRuntime::Dispatch LibraryRuntime::dispatch(const Variant& v,
+                                                  int64_t n) const {
+  Dispatch d;
+  auto it = index_.find(v.name());
+  if (it == index_.end() || it->second.empty()) return d;
+  const std::map<int, size_t>& buckets = it->second;
+  const int want = size_bucket(n);
+  auto exact = buckets.find(want);
+  size_t idx;
+  if (exact != buckets.end()) {
+    d.outcome = DispatchOutcome::kHit;
+    idx = exact->second;
+  } else {
+    // Nearest registered bucket: these affine schedules are
+    // size-agnostic, so a tuned kernel from an adjacent regime beats
+    // the baseline; the near-hit counter records how often serving
+    // leaves the tuned regime.
+    auto lo = buckets.lower_bound(want);
+    if (lo == buckets.end()) {
+      idx = std::prev(lo)->second;
+    } else if (lo == buckets.begin()) {
+      idx = lo->second;
+    } else {
+      auto below = std::prev(lo);
+      idx = (lo->first - want) < (want - below->first) ? lo->second
+                                                       : below->second;
+    }
+    d.outcome = DispatchOutcome::kNearHit;
+  }
+  const TableEntry& te = table_[idx];
+  d.program = &te.program;
+  d.bool_params = te.bool_params;
+  d.tuned_gflops = te.gflops;
+  return d;
+}
+
+StatusOr<const ir::Program*> LibraryRuntime::baseline_for(
+    const Variant& v) const {
+  std::lock_guard<std::mutex> lock(baseline_mu_);
+  auto it = baselines_.find(v.name());
+  if (it != baselines_.end()) return it->second.get();
+  auto program = baseline::cublas_like(v, sim_.device());
+  if (!program.is_ok()) return program.status();
+  auto owned = std::make_unique<ir::Program>(std::move(program).value());
+  const ir::Program* raw = owned.get();
+  baselines_.emplace(v.name(), std::move(owned));
+  return raw;
+}
+
+StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
+                                              const blas3::Matrix& a,
+                                              blas3::Matrix& b,
+                                              blas3::Matrix* c) const {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t n = std::max(b.rows(), b.cols());
+
+  Dispatch d = dispatch(v, n);
+  if (d.program != nullptr) {
+    Status served = engine::execute_program(sim_, *d.program, v, a, b, c,
+                                            d.bool_params);
+    if (served.is_ok()) {
+      (d.outcome == DispatchOutcome::kHit ? hits_ : near_hits_)
+          .fetch_add(1, std::memory_order_relaxed);
+      return d.outcome;
+    }
+    // A tuned kernel that fails at this problem size (occupancy,
+    // launch) is recovered by the fallback chain, but counted.
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    OA_LOG(kWarning) << "LibraryRuntime: tuned " << v.name()
+                     << " failed (" << served.to_string()
+                     << "), falling back";
+  }
+
+  if (options_.baseline_fallback) {
+    auto base = baseline_for(v);
+    if (base.is_ok()) {
+      Status served =
+          engine::execute_program(sim_, **base, v, a, b, c, {});
+      if (served.is_ok()) {
+        baseline_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return DispatchOutcome::kFallbackBaseline;
+      }
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (v.family != blas3::Family::kTrsm && c == nullptr) {
+    return invalid_argument("reference fallback for " + v.name() +
+                            " needs an output matrix c");
+  }
+  blas3::Matrix b_ref = b;
+  blas3::run_reference(v, a, b_ref, c);
+  b = std::move(b_ref);
+  reference_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return DispatchOutcome::kFallbackReference;
+}
+
+DispatchStats LibraryRuntime::stats() const {
+  DispatchStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.near_hits = near_hits_.load(std::memory_order_relaxed);
+  s.baseline_fallbacks =
+      baseline_fallbacks_.load(std::memory_order_relaxed);
+  s.reference_fallbacks =
+      reference_fallbacks_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LibraryRuntime::reset_stats() {
+  requests_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  near_hits_.store(0, std::memory_order_relaxed);
+  baseline_fallbacks_.store(0, std::memory_order_relaxed);
+  reference_fallbacks_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace oa::runtime

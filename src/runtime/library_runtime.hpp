@@ -1,0 +1,153 @@
+// LibraryRuntime: serve BLAS3 calls from a generated library artifact.
+//
+// This is the deployment half of the paper's pipeline: `oagen
+// --emit-lib` persists the tuning trajectory (libgen/), and this
+// runtime loads that artifact once, rebuilds every tuned kernel, and
+// answers a stream of BLAS3 requests through a dispatch table keyed by
+// (routine variant, device, problem-size bucket) — no composing, no
+// searching, no re-tuning on the serving path.
+//
+// Dispatch policy:
+//   * exact hit    — the artifact holds an entry for the variant whose
+//                    tuning size falls in the request's power-of-two
+//                    size bucket;
+//   * near hit     — an entry for the variant exists in another bucket
+//                    (the tuned schedule is size-agnostic for these
+//                    affine kernels; the bucket records how far from
+//                    its tuning regime the request landed);
+//   * miss         — no entry (unknown variant, mismatched device, or
+//                    an artifact entry that no longer re-applies):
+//                    gracefully fall back to the CUBLAS-like baseline
+//                    schedule, and to the CPU reference if even the
+//                    baseline is unavailable.
+//
+// All serving paths are thread-safe: the dispatch table is immutable
+// after construction, per-request state lives on the caller's stack,
+// and the hit/miss/fallback counters are atomics (the concurrency test
+// hammers run() from the shared thread pool).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "blas3/matrix.hpp"
+#include "blas3/routine.hpp"
+#include "gpusim/simulator.hpp"
+#include "libgen/artifact.hpp"
+
+namespace oa::runtime {
+
+struct RuntimeOptions {
+  /// Serve misses from the CUBLAS-like baseline schedule (simulated on
+  /// the same device). Off = CPU reference only.
+  bool baseline_fallback = true;
+};
+
+enum class DispatchOutcome {
+  kHit,                // tuned kernel, matching size bucket
+  kNearHit,            // tuned kernel from another size bucket
+  kFallbackBaseline,   // CUBLAS-like baseline schedule
+  kFallbackReference,  // CPU reference implementation
+};
+
+const char* outcome_name(DispatchOutcome outcome);
+
+/// Monotonic serving counters (snapshot).
+struct DispatchStats {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t near_hits = 0;
+  uint64_t baseline_fallbacks = 0;
+  uint64_t reference_fallbacks = 0;
+  uint64_t errors = 0;  // requests that failed on every path
+
+  std::string to_string() const;
+};
+
+class LibraryRuntime {
+ public:
+  /// Takes ownership of the artifact. Construction never fails: an
+  /// artifact for the wrong device or with stale entries simply yields
+  /// an empty dispatch table (everything falls back), with the reason
+  /// reported by load_status().
+  LibraryRuntime(const gpusim::DeviceModel& device,
+                 libgen::Artifact artifact, RuntimeOptions options = {});
+
+  const gpusim::DeviceModel& device() const { return sim_.device(); }
+  const libgen::Artifact& artifact() const { return artifact_; }
+
+  /// OK when every artifact entry was admitted to the dispatch table;
+  /// otherwise the (non-fatal) reason serving is degraded — device
+  /// mismatch, entries that no longer re-apply.
+  const Status& load_status() const { return load_status_; }
+
+  /// Number of servable tuned kernels.
+  size_t table_size() const { return table_.size(); }
+
+  /// The power-of-two problem-size bucket of n (floor(log2(n))).
+  static int size_bucket(int64_t n);
+
+  /// Result of a dispatch lookup (no execution, no counter updates).
+  struct Dispatch {
+    DispatchOutcome outcome = DispatchOutcome::kFallbackReference;
+    /// Tuned program for hits, nullptr for fallbacks.
+    const ir::Program* program = nullptr;
+    /// Runtime bool parameters implied by the entry's rule conditions.
+    std::map<std::string, bool> bool_params;
+    /// GFLOPS the tuner measured for the served entry (0 on fallback).
+    double tuned_gflops = 0.0;
+  };
+
+  /// Pure thread-safe lookup for (variant, problem size n).
+  Dispatch dispatch(const blas3::Variant& v, int64_t n) const;
+
+  /// Serve one BLAS3 call: run the dispatched kernel functionally on
+  /// the simulated device (matrix conventions as OaFramework::run),
+  /// falling back to baseline / CPU reference on a miss or execution
+  /// failure. Thread-safe; returns how the request was ultimately
+  /// served.
+  StatusOr<DispatchOutcome> run(const blas3::Variant& v,
+                                const blas3::Matrix& a, blas3::Matrix& b,
+                                blas3::Matrix* c) const;
+
+  DispatchStats stats() const;
+  void reset_stats();
+
+ private:
+  struct TableEntry {
+    const blas3::Variant* variant = nullptr;
+    ir::Program program;
+    std::map<std::string, bool> bool_params;
+    double gflops = 0.0;
+    int64_t tuned_size = 0;
+  };
+
+  /// Baseline program for a variant, built lazily and memoized.
+  StatusOr<const ir::Program*> baseline_for(const blas3::Variant& v) const;
+
+  gpusim::Simulator sim_;
+  libgen::Artifact artifact_;
+  RuntimeOptions options_;
+  Status load_status_;
+
+  std::vector<TableEntry> table_;
+  /// variant name -> (size bucket -> table_ index).
+  std::map<std::string, std::map<int, size_t>> index_;
+
+  mutable std::mutex baseline_mu_;
+  mutable std::map<std::string, std::unique_ptr<ir::Program>> baselines_;
+
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> near_hits_{0};
+  mutable std::atomic<uint64_t> baseline_fallbacks_{0};
+  mutable std::atomic<uint64_t> reference_fallbacks_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace oa::runtime

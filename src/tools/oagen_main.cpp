@@ -6,8 +6,14 @@
 //   oagen --routine TRMM-LL-N --script file.epod   apply a user script
 //   oagen --routine SYMM-LL --adaptor file.adl     use a custom adaptor
 //   oagen --routine SYMM-LL --size 4096            performance at size N
+//   oagen --emit-lib lib.oalib                     generate the whole
+//                                                  library artifact
+//   oagen --load-lib lib.oalib [--routine NAME]    warm-start from it
+//   oagen --dump-scripts                           candidate scripts
+//                                                  (CI cache key)
 //
-// Scripts and adaptors use the syntax documented in docs/LANGUAGES.md.
+// Scripts and adaptors use the syntax documented in docs/LANGUAGES.md;
+// the artifact format in docs/ARTIFACT.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -15,6 +21,7 @@
 
 #include "blas3/source_ir.hpp"
 #include "epod/script.hpp"
+#include "libgen/artifact.hpp"
 #include "oa/oa.hpp"
 #include "ir/printer.hpp"
 #include "support/log.hpp"
@@ -67,7 +74,17 @@ int usage() {
       "  --no-fastpath                       pure interpreter simulation "
       "(counters are identical; slower)\n"
       "  --engine-stats                      print search-cost breakdown "
-      "after generation\n");
+      "after generation\n"
+      "  --emit-lib FILE                     generate (all routines "
+      "unless --routine) and save the library artifact\n"
+      "  --load-lib FILE                     load a library artifact; "
+      "matching entries are served without re-tuning\n"
+      "  --no-warm-start                     ignore artifact/session "
+      "warm starts (always search)\n"
+      "  --warm-start                        when an artifact entry is "
+      "stale, seed the search from its parameters\n"
+      "  --dump-scripts                      print the candidate EPOD "
+      "scripts (text serialization) and exit\n");
   return 2;
 }
 
@@ -76,11 +93,13 @@ int usage() {
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarning);
   std::string routine, device_name = "gtx285", script_path, adaptor_path;
+  std::string emit_lib, load_lib;
   int64_t size = 1024, tuning_size = 512;
   long long jobs = 0;
   bool list = false, show_candidates = false, show_kernel = false,
        exhaustive = false, no_cache = false, engine_stats = false,
-       no_fastpath = false;
+       no_fastpath = false, no_warm_start = false, seed_warm_start = false,
+       dump_scripts = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -116,6 +135,18 @@ int main(int argc, char** argv) {
       no_fastpath = true;
     } else if (arg == "--engine-stats") {
       engine_stats = true;
+    } else if (arg == "--emit-lib") {
+      emit_lib = next();
+      if (emit_lib.empty()) return usage();
+    } else if (arg == "--load-lib") {
+      load_lib = next();
+      if (load_lib.empty()) return usage();
+    } else if (arg == "--no-warm-start") {
+      no_warm_start = true;
+    } else if (arg == "--warm-start") {
+      seed_warm_start = true;
+    } else if (arg == "--dump-scripts") {
+      dump_scripts = true;
     } else {
       return usage();
     }
@@ -128,11 +159,18 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (routine.empty()) return usage();
-  const blas3::Variant* variant = blas3::find_variant(routine);
-  if (variant == nullptr) {
-    std::printf("unknown routine '%s' (try --list)\n", routine.c_str());
-    return 1;
+  // Library modes (--emit-lib / --load-lib / --dump-scripts) default to
+  // every routine unless --routine narrows them.
+  const bool library_mode =
+      !emit_lib.empty() || !load_lib.empty() || dump_scripts;
+  if (routine.empty() && !library_mode) return usage();
+  const blas3::Variant* variant = nullptr;
+  if (!routine.empty()) {
+    variant = blas3::find_variant(routine);
+    if (variant == nullptr) {
+      std::printf("unknown routine '%s' (try --list)\n", routine.c_str());
+      return 1;
+    }
   }
   const gpusim::DeviceModel* device = device_by_name(device_name);
   if (device == nullptr) {
@@ -146,7 +184,79 @@ int main(int argc, char** argv) {
   options.jobs = static_cast<size_t>(jobs);
   options.engine_cache = !no_cache;
   options.fastpath = !no_fastpath;
+  options.warm_start = !no_warm_start;
+  options.seed_from_artifact = seed_warm_start;
   OaFramework framework(*device, options);
+
+  std::vector<const blas3::Variant*> targets;
+  if (variant != nullptr) {
+    targets.push_back(variant);
+  } else {
+    for (const blas3::Variant& v : blas3::all_variants()) {
+      targets.push_back(&v);
+    }
+  }
+
+  // --- candidate scripts in the artifact text serialization ----------
+  if (dump_scripts) {
+    for (const blas3::Variant* v : targets) {
+      auto candidates = framework.candidates_for(*v);
+      if (!candidates.is_ok()) {
+        std::printf("%s: %s\n", v->name().c_str(),
+                    candidates.status().to_string().c_str());
+        return 1;
+      }
+      std::printf("=== %s: %zu candidate script(s) ===\n",
+                  v->name().c_str(), candidates->size());
+      for (const composer::Candidate& c : *candidates) {
+        std::printf("%s", epod::to_text(c.script).c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (!load_lib.empty()) {
+    Status loaded = framework.load_library(load_lib);
+    if (!loaded.is_ok()) {
+      std::printf("load-lib: %s\n", loaded.to_string().c_str());
+      return 1;
+    }
+    std::printf("loaded %zu library entr%s from %s\n",
+                framework.library()->entries.size(),
+                framework.library()->entries.size() == 1 ? "y" : "ies",
+                load_lib.c_str());
+  }
+
+  // --- whole-library generation / warm service -----------------------
+  if (!emit_lib.empty() || (variant == nullptr && !load_lib.empty())) {
+    int failures = 0;
+    for (const blas3::Variant* v : targets) {
+      auto tuned = framework.generate(*v);
+      if (!tuned.is_ok()) {
+        std::printf("%-12s FAILED: %s\n", v->name().c_str(),
+                    tuned.status().to_string().c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%-12s %8.1f GFLOPS  (%s)\n", v->name().c_str(),
+                  tuned->gflops, tuned->params.to_string().c_str());
+    }
+    if (engine_stats) {
+      std::printf("\n%s\n", framework.engine_stats().to_string().c_str());
+    }
+    if (!emit_lib.empty()) {
+      libgen::Artifact artifact = framework.export_library();
+      Status saved = libgen::save(artifact, emit_lib);
+      if (!saved.is_ok()) {
+        std::printf("emit-lib: %s\n", saved.to_string().c_str());
+        return 1;
+      }
+      std::printf("\nwrote %zu entr%s to %s\n", artifact.entries.size(),
+                  artifact.entries.size() == 1 ? "y" : "ies",
+                  emit_lib.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+  }
 
   // --- show composer output ------------------------------------------
   if (show_candidates) {

@@ -79,7 +79,12 @@ StatusOr<TunedVariant> Tuner::line_search(const Variant& variant,
                                           const Candidate& candidate) const {
   const ParameterSpace& space = ParameterSpace::default_space();
   const engine::EvalConfig cfg = config();
-  TuningParams cur = probe_point();
+  // A valid warm-start seed replaces the default probe as the search
+  // origin; an infeasible seed (artifact from a different parameter
+  // space) silently falls back.
+  TuningParams cur =
+      options_.seed && options_.seed->check().is_ok() ? *options_.seed
+                                                      : probe_point();
 
   std::optional<TunedVariant> best;
   std::set<std::string> tried;

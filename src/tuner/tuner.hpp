@@ -45,6 +45,12 @@ struct TuneOptions {
   size_t jobs = 0;
   /// Memoize evaluations (only used when the Tuner owns its engine).
   bool use_cache = true;
+  /// Optional warm-start seed: start the orthogonal line search from
+  /// these parameters instead of the default probe point. Used when a
+  /// library artifact's fingerprints no longer match the fresh
+  /// candidates but its tuning outcome is still a good neighbourhood
+  /// (`oagen --warm-start`).
+  std::optional<transforms::TuningParams> seed;
   /// Extra simulator knobs.
   gpusim::RunOptions run_options;
 };

@@ -1,0 +1,357 @@
+// Library-artifact tests: EPOD text serialization round trips, the
+// on-disk artifact format (bit-exact round trips, corruption detection)
+// and the warm-start path through OaFramework::generate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "blas3/source_ir.hpp"
+#include "libgen/artifact.hpp"
+#include "oa/oa.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::Variant;
+using libgen::Artifact;
+using libgen::ArtifactEntry;
+using libgen::SessionStore;
+
+OaOptions quick_options() {
+  OaOptions opt;
+  opt.tuning_size = 256;
+  opt.verify_size = 48;
+  return opt;
+}
+
+// ------------------------------------------- EPOD text serialization
+
+TEST(EpodText, RoundTripPreservesFingerprintAndRoutine) {
+  const epod::Script& script = epod::gemm_nn_script();
+  const std::string text = epod::to_text(script);
+  auto parsed = epod::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->fingerprint(), script.fingerprint());
+  EXPECT_EQ(parsed->routine, script.routine);
+  EXPECT_EQ(parsed->invocations.size(), script.invocations.size());
+  // A second round trip is byte-identical (the format is canonical).
+  EXPECT_EQ(epod::to_text(*parsed), text);
+}
+
+TEST(EpodText, RoundTripsEveryComposedCandidate) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  for (const Variant& v : blas3::all_variants()) {
+    auto candidates = framework.candidates_for(v);
+    ASSERT_TRUE(candidates.is_ok()) << v.name();
+    for (const composer::Candidate& c : *candidates) {
+      auto parsed = epod::parse(epod::to_text(c.script));
+      ASSERT_TRUE(parsed.is_ok())
+          << v.name() << ": " << parsed.status().to_string();
+      EXPECT_EQ(parsed->fingerprint(), c.script.fingerprint()) << v.name();
+    }
+  }
+}
+
+TEST(EpodText, ParseErrorsCarryLineAndColumn) {
+  // Missing argument after the comma on line 2.
+  auto missing = epod::parse("loop_unroll(Lk);\nloop_tiling(Li,;\n");
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_NE(missing.status().message().find("line 2"), std::string::npos)
+      << missing.status().to_string();
+
+  auto unknown = epod::parse("no_such_component(Li);");
+  ASSERT_FALSE(unknown.is_ok());
+  EXPECT_NE(unknown.status().message().find("line 1, col 1"),
+            std::string::npos)
+      << unknown.status().to_string();
+
+  auto unterminated = epod::parse("loop_unroll(Lk)");
+  ASSERT_FALSE(unterminated.is_ok());
+  EXPECT_NE(unterminated.status().message().find("line 1"),
+            std::string::npos)
+      << unterminated.status().to_string();
+}
+
+TEST(EpodText, ParseScriptAliasStillWorks) {
+  auto parsed = epod::parse_script("loop_unroll(Lk);");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->invocations.size(), 1u);
+}
+
+// ------------------------------------------------ artifact round trip
+
+/// A synthetic but structurally real entry: the first composed
+/// candidate with its actual applied mask and deterministic fake
+/// measurements (tuning would cost minutes across 24 x 3).
+ArtifactEntry synthetic_entry(OaFramework& framework, const Variant& v,
+                              size_t salt) {
+  auto candidates = framework.candidates_for(v);
+  EXPECT_TRUE(candidates.is_ok()) << v.name();
+  const composer::Candidate& cand = candidates->front();
+  engine::Evaluation eval;
+  eval.candidate = cand;
+  eval.params.k_tile = 8;  // off-default, so params round trip matters
+  ir::Program program = blas3::make_source_program(v);
+  transforms::TransformContext ctx;
+  ctx.params = eval.params;
+  auto mask = epod::apply_script_lenient(program, cand.script, ctx);
+  EXPECT_TRUE(mask.is_ok()) << v.name();
+  eval.applied_mask = *mask;
+  eval.program = std::move(program);
+  // Deterministic non-round values exercise the hexfloat encoding.
+  eval.gflops = 100.0 + static_cast<double>(salt) * 0.1257;
+  eval.seconds = 1e-4 / static_cast<double>(salt + 1);
+  return libgen::make_entry(v, eval, 512);
+}
+
+TEST(Artifact, RoundTripsAllVariantsOnAllDevices) {
+  for (const gpusim::DeviceModel* device :
+       {&gpusim::geforce_9800(), &gpusim::gtx285(),
+        &gpusim::fermi_c2050()}) {
+    OaFramework framework(*device, quick_options());
+    Artifact artifact;
+    artifact.device = device->name;
+    artifact.device_fp = libgen::device_fingerprint(*device);
+    artifact.generator = "libgen_test";
+    size_t salt = 0;
+    for (const Variant& v : blas3::all_variants()) {
+      artifact.entries.push_back(synthetic_entry(framework, v, salt++));
+    }
+    ASSERT_EQ(artifact.entries.size(), 24u);
+
+    auto parsed = libgen::parse(libgen::to_text(artifact));
+    ASSERT_TRUE(parsed.is_ok())
+        << device->name << ": " << parsed.status().to_string();
+    EXPECT_EQ(parsed->device, artifact.device);
+    EXPECT_EQ(parsed->device_fp, artifact.device_fp);
+    EXPECT_EQ(parsed->generator, artifact.generator);
+    ASSERT_EQ(parsed->entries.size(), artifact.entries.size());
+    for (size_t i = 0; i < artifact.entries.size(); ++i) {
+      const ArtifactEntry& want = artifact.entries[i];
+      const ArtifactEntry& got = parsed->entries[i];
+      SCOPED_TRACE(want.variant);
+      EXPECT_EQ(got.variant, want.variant);
+      EXPECT_EQ(epod::to_text(got.script), epod::to_text(want.script));
+      EXPECT_EQ(got.script_fingerprint, want.script_fingerprint);
+      EXPECT_EQ(got.candidate_fingerprint, want.candidate_fingerprint);
+      EXPECT_EQ(got.params_fingerprint, want.params_fingerprint);
+      EXPECT_EQ(got.params.fingerprint(), want.params.fingerprint());
+      EXPECT_EQ(got.applied_mask, want.applied_mask);
+      EXPECT_EQ(got.conditions, want.conditions);
+      EXPECT_EQ(got.tuned_size, want.tuned_size);
+      // Bit-identical doubles, not approximately equal.
+      EXPECT_EQ(got.gflops, want.gflops);
+      EXPECT_EQ(got.seconds, want.seconds);
+      EXPECT_EQ(got.content_hash(), want.content_hash());
+    }
+  }
+}
+
+TEST(Artifact, SaveLoadRoundTripsThroughDisk) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  Artifact artifact;
+  artifact.device = gpusim::gtx285().name;
+  artifact.device_fp = libgen::device_fingerprint(gpusim::gtx285());
+  artifact.generator = "libgen_test";
+  artifact.entries.push_back(
+      synthetic_entry(framework, *blas3::find_variant("SYMM-LL"), 3));
+  const std::string path =
+      testing::TempDir() + "/libgen_test_roundtrip.oalib";
+  ASSERT_TRUE(libgen::save(artifact, path).is_ok());
+  auto loaded = libgen::load(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->entries[0].content_hash(),
+            artifact.entries[0].content_hash());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------- corruption and errors
+
+Artifact one_entry_artifact() {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  Artifact artifact;
+  artifact.device = gpusim::gtx285().name;
+  artifact.device_fp = libgen::device_fingerprint(gpusim::gtx285());
+  artifact.generator = "libgen_test";
+  artifact.entries.push_back(
+      synthetic_entry(framework, *blas3::find_variant("GEMM-NN"), 1));
+  return artifact;
+}
+
+TEST(ArtifactCorruption, TruncationIsAStatusError) {
+  const std::string text = libgen::to_text(one_entry_artifact());
+  // Cut inside the entry, before the trailer.
+  for (size_t keep : {text.size() / 3, text.size() / 2}) {
+    auto parsed = libgen::parse(text.substr(0, keep));
+    ASSERT_FALSE(parsed.is_ok());
+    EXPECT_NE(parsed.status().message().find("truncated"),
+              std::string::npos)
+        << parsed.status().to_string();
+  }
+}
+
+TEST(ArtifactCorruption, MissingTrailerIsAStatusError) {
+  std::string text = libgen::to_text(one_entry_artifact());
+  const size_t trailer = text.rfind("end 1");
+  ASSERT_NE(trailer, std::string::npos);
+  auto parsed = libgen::parse(text.substr(0, trailer));
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("truncated"),
+            std::string::npos);
+}
+
+TEST(ArtifactCorruption, FlippedByteFailsTheContentHash) {
+  std::string text = libgen::to_text(one_entry_artifact());
+  // Corrupt the authoritative hexfloat of the gflops line.
+  const size_t pos = text.find("gflops 0x1.");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 11] = text[pos + 11] == '2' ? '3' : '2';
+  auto parsed = libgen::parse(text);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("hash"), std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ArtifactCorruption, EditedScriptTextFailsTheFingerprintCheck) {
+  std::string text = libgen::to_text(one_entry_artifact());
+  const size_t pos = text.find("| loop_unroll");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 13, "| reg_alloc(C");
+  auto parsed = libgen::parse(text);
+  // Either the fingerprint comparison or the content hash must object —
+  // a silently different library is the one unacceptable outcome.
+  ASSERT_FALSE(parsed.is_ok());
+}
+
+TEST(ArtifactCorruption, UnsupportedVersionIsRejected) {
+  std::string text = libgen::to_text(one_entry_artifact());
+  const size_t pos = text.find("oablas-artifact 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 17, "oablas-artifact 99");
+  auto parsed = libgen::parse(text);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ArtifactCorruption, GarbageIsAStatusErrorNotACrash) {
+  for (const char* garbage :
+       {"", "not an artifact\n", "oablas-artifact one\n",
+        "oablas-artifact 1\ndevice\n"}) {
+    auto parsed = libgen::parse(garbage);
+    EXPECT_FALSE(parsed.is_ok());
+  }
+}
+
+TEST(ArtifactDevice, MismatchIsRejectedByCheckAndSetLibrary) {
+  Artifact artifact = one_entry_artifact();  // generated for gtx285
+  Status check = libgen::check_device(artifact, gpusim::fermi_c2050());
+  EXPECT_EQ(check.code(), ErrorCode::kFailedPrecondition);
+
+  OaFramework framework(gpusim::fermi_c2050(), quick_options());
+  EXPECT_FALSE(framework.set_library(artifact).is_ok());
+  EXPECT_TRUE(
+      OaFramework(gpusim::gtx285(), quick_options())
+          .set_library(artifact)
+          .is_ok());
+}
+
+// ----------------------------------------------------- warm starting
+
+TEST(WarmStart, SecondFrameworkServesFromArtifactWithZeroSearchWork) {
+  SessionStore::instance().clear();
+  const Variant& v = *blas3::find_variant("GEMM-NN");
+
+  OaFramework first(gpusim::gtx285(), quick_options());
+  auto tuned = first.generate(v);
+  ASSERT_TRUE(tuned.is_ok()) << tuned.status().to_string();
+  Artifact artifact = first.export_library();
+  ASSERT_EQ(artifact.entries.size(), 1u);
+
+  // A fresh framework + a cleared session store: the only source of
+  // warm starts is the artifact.
+  SessionStore::instance().clear();
+  OaFramework second(gpusim::gtx285(), quick_options());
+  ASSERT_TRUE(second.set_library(artifact).is_ok());
+  auto warm = second.generate(v);
+  ASSERT_TRUE(warm.is_ok()) << warm.status().to_string();
+
+  engine::EngineStats stats = second.engine_stats();
+  EXPECT_EQ(stats.warm_starts, 1u);
+  EXPECT_EQ(stats.evaluations, 0u);  // zero simulate calls
+  EXPECT_EQ(stats.verify_runs, 0u);  // zero verifies
+  EXPECT_EQ(warm->candidate.fingerprint(), tuned->candidate.fingerprint());
+  EXPECT_EQ(warm->params.fingerprint(), tuned->params.fingerprint());
+  EXPECT_EQ(warm->gflops, tuned->gflops);
+  EXPECT_EQ(warm->applied_mask, tuned->applied_mask);
+  SessionStore::instance().clear();
+}
+
+TEST(WarmStart, SessionStoreServesAcrossInstancesWithoutAnArtifact) {
+  SessionStore::instance().clear();
+  const Variant& v = *blas3::find_variant("GEMM-NN");
+
+  OaFramework first(gpusim::gtx285(), quick_options());
+  ASSERT_TRUE(first.generate(v).is_ok());
+  EXPECT_GE(SessionStore::instance().size(), 1u);
+
+  OaFramework second(gpusim::gtx285(), quick_options());
+  auto warm = second.generate(v);
+  ASSERT_TRUE(warm.is_ok()) << warm.status().to_string();
+  EXPECT_EQ(second.engine_stats().warm_starts, 1u);
+  EXPECT_EQ(second.engine_stats().evaluations, 0u);
+
+  // A different device preset must not be served from that record.
+  OaFramework other_device(gpusim::fermi_c2050(), quick_options());
+  ASSERT_TRUE(other_device.generate(v).is_ok());
+  EXPECT_EQ(other_device.engine_stats().warm_starts, 0u);
+  SessionStore::instance().clear();
+}
+
+TEST(WarmStart, DisabledByOption) {
+  SessionStore::instance().clear();
+  const Variant& v = *blas3::find_variant("GEMM-NN");
+  OaFramework first(gpusim::gtx285(), quick_options());
+  ASSERT_TRUE(first.generate(v).is_ok());
+
+  OaOptions cold = quick_options();
+  cold.warm_start = false;
+  OaFramework second(gpusim::gtx285(), cold);
+  ASSERT_TRUE(second.generate(v).is_ok());
+  EXPECT_EQ(second.engine_stats().warm_starts, 0u);
+  EXPECT_GT(second.engine_stats().evaluations, 0u);
+  SessionStore::instance().clear();
+}
+
+TEST(WarmStart, RepeatedGenerateOnOneInstanceStillUsesTheLocalCache) {
+  SessionStore::instance().clear();
+  const Variant& v = *blas3::find_variant("GEMM-NN");
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  auto first = framework.generate(v);
+  ASSERT_TRUE(first.is_ok());
+  const uint64_t evals = framework.engine_stats().evaluations;
+  auto again = framework.generate(v);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(framework.engine_stats().evaluations, evals);
+  EXPECT_EQ(again->params.fingerprint(), first->params.fingerprint());
+  SessionStore::instance().clear();
+}
+
+TEST(ExportLibrary, KeepsLoadedEntriesAndReplacesRegenerated) {
+  SessionStore::instance().clear();
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  Artifact artifact = one_entry_artifact();  // synthetic GEMM-NN
+  ASSERT_TRUE(framework.set_library(artifact).is_ok());
+  // Generating SYMM-LL must not drop the loaded GEMM-NN entry.
+  ASSERT_TRUE(
+      framework.generate(*blas3::find_variant("SYMM-LL")).is_ok());
+  Artifact exported = framework.export_library();
+  EXPECT_EQ(exported.entries.size(), 2u);
+  EXPECT_NE(exported.find("GEMM-NN"), nullptr);
+  EXPECT_NE(exported.find("SYMM-LL"), nullptr);
+  SessionStore::instance().clear();
+}
+
+}  // namespace
+}  // namespace oa

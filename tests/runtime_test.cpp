@@ -1,0 +1,204 @@
+// LibraryRuntime tests: dispatch policy (hit / near hit / fallback),
+// functional correctness of served answers, graceful degradation on
+// mismatched artifacts, and thread safety of the serving path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "libgen/artifact.hpp"
+#include "oa/oa.hpp"
+#include "runtime/library_runtime.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::Variant;
+using libgen::Artifact;
+using runtime::DispatchOutcome;
+using runtime::LibraryRuntime;
+
+OaOptions quick_options() {
+  OaOptions opt;
+  opt.tuning_size = 256;
+  opt.verify_size = 48;
+  return opt;
+}
+
+/// One real tuned GEMM-NN artifact per process (generation is the
+/// expensive part; every test serves from the same library).
+const Artifact& gemm_artifact() {
+  static const Artifact artifact = [] {
+    libgen::SessionStore::instance().clear();
+    OaFramework framework(gpusim::gtx285(), quick_options());
+    auto tuned = framework.generate(*blas3::find_variant("GEMM-NN"));
+    EXPECT_TRUE(tuned.is_ok()) << tuned.status().to_string();
+    return framework.export_library();
+  }();
+  return artifact;
+}
+
+void make_inputs(const Variant& v, uint64_t seed, int64_t n,
+                 blas3::Matrix& a, blas3::Matrix& b, blas3::Matrix& c) {
+  Rng rng(seed);
+  a = blas3::Matrix(n, n);
+  b = blas3::Matrix(n, n);
+  c = blas3::Matrix(n, n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  if (v.family == blas3::Family::kTrmm ||
+      v.family == blas3::Family::kTrsm ||
+      v.family == blas3::Family::kSymm) {
+    a.make_triangular(v.uplo);
+  }
+  if (v.family == blas3::Family::kTrsm) {
+    a.set_unit_diagonal();
+    a.scale_off_diagonal(1.0f / 16.0f);
+  }
+}
+
+/// Serve (v, n) and compare against the CPU reference.
+void serve_and_check(const LibraryRuntime& rt, const Variant& v,
+                     int64_t n, DispatchOutcome expected) {
+  blas3::Matrix a, b, c;
+  make_inputs(v, 0xBEEF ^ static_cast<uint64_t>(n), n, a, b, c);
+  blas3::Matrix ref_b = b, ref_c = c;
+  auto outcome = rt.run(v, a, b, &c);
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  EXPECT_EQ(*outcome, expected)
+      << runtime::outcome_name(*outcome) << " at n=" << n;
+  blas3::run_reference(v, a, ref_b, &ref_c);
+  const blas3::Matrix& got = v.family == blas3::Family::kTrsm ? b : c;
+  const blas3::Matrix& want =
+      v.family == blas3::Family::kTrsm ? ref_b : ref_c;
+  EXPECT_LE(blas3::max_abs_diff(got, want),
+            blas3::accumulation_tolerance(n));
+}
+
+TEST(SizeBucket, IsFloorLog2) {
+  EXPECT_EQ(LibraryRuntime::size_bucket(1), 0);
+  EXPECT_EQ(LibraryRuntime::size_bucket(255), 7);
+  EXPECT_EQ(LibraryRuntime::size_bucket(256), 8);
+  EXPECT_EQ(LibraryRuntime::size_bucket(511), 8);
+  EXPECT_EQ(LibraryRuntime::size_bucket(512), 9);
+  EXPECT_EQ(LibraryRuntime::size_bucket(0), 0);
+}
+
+TEST(LibraryRuntime, HitServesTheTunedKernelCorrectly) {
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact());
+  ASSERT_TRUE(rt.load_status().is_ok())
+      << rt.load_status().to_string();
+  ASSERT_EQ(rt.table_size(), 1u);
+  const Variant& gemm = *blas3::find_variant("GEMM-NN");
+  // Tuned at 256 -> bucket 8 covers [256, 512).
+  serve_and_check(rt, gemm, 256, DispatchOutcome::kHit);
+  serve_and_check(rt, gemm, 300, DispatchOutcome::kHit);
+
+  runtime::DispatchStats stats = rt.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(LibraryRuntime, NearHitServesFromTheNearestBucket) {
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact());
+  const Variant& gemm = *blas3::find_variant("GEMM-NN");
+  serve_and_check(rt, gemm, 64, DispatchOutcome::kNearHit);
+  serve_and_check(rt, gemm, 130, DispatchOutcome::kNearHit);
+  EXPECT_EQ(rt.stats().near_hits, 2u);
+  // Requests above the tuned bucket are near hits too (pure lookup —
+  // serving at n=600 is interpreter-priced and slow).
+  EXPECT_EQ(rt.dispatch(gemm, 600).outcome, DispatchOutcome::kNearHit);
+}
+
+TEST(LibraryRuntime, MissFallsBackToTheBaselineCorrectly) {
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact());
+  // Routines the artifact does not cover.
+  serve_and_check(rt, *blas3::find_variant("GEMM-NT"), 96,
+                  DispatchOutcome::kFallbackBaseline);
+  serve_and_check(rt, *blas3::find_variant("SYMM-LL"), 96,
+                  DispatchOutcome::kFallbackBaseline);
+  serve_and_check(rt, *blas3::find_variant("TRSM-LL-N"), 96,
+                  DispatchOutcome::kFallbackBaseline);
+  EXPECT_EQ(rt.stats().baseline_fallbacks, 3u);
+}
+
+TEST(LibraryRuntime, ReferenceFallbackWhenBaselineDisabled) {
+  runtime::RuntimeOptions options;
+  options.baseline_fallback = false;
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact(), options);
+  serve_and_check(rt, *blas3::find_variant("SYMM-LU"), 64,
+                  DispatchOutcome::kFallbackReference);
+  EXPECT_EQ(rt.stats().reference_fallbacks, 1u);
+}
+
+TEST(LibraryRuntime, MismatchedDeviceArtifactDegradesGracefully) {
+  // A gtx285 artifact served on fermi: nothing crashes, the table is
+  // empty, load_status explains why, every request falls back and is
+  // still answered correctly.
+  LibraryRuntime rt(gpusim::fermi_c2050(), gemm_artifact());
+  EXPECT_FALSE(rt.load_status().is_ok());
+  EXPECT_EQ(rt.table_size(), 0u);
+  serve_and_check(rt, *blas3::find_variant("GEMM-NN"), 96,
+                  DispatchOutcome::kFallbackBaseline);
+}
+
+TEST(LibraryRuntime, DispatchIsAPureLookup) {
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact());
+  const Variant& gemm = *blas3::find_variant("GEMM-NN");
+  LibraryRuntime::Dispatch d = rt.dispatch(gemm, 256);
+  EXPECT_EQ(d.outcome, DispatchOutcome::kHit);
+  ASSERT_NE(d.program, nullptr);
+  EXPECT_GT(d.tuned_gflops, 0.0);
+  LibraryRuntime::Dispatch miss =
+      rt.dispatch(*blas3::find_variant("TRMM-LL-N"), 256);
+  EXPECT_EQ(miss.program, nullptr);
+  // Lookups never touch the serving counters.
+  EXPECT_EQ(rt.stats().requests, 0u);
+}
+
+TEST(LibraryRuntime, ConcurrentServingIsSafeAndCounted) {
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact());
+  const Variant& gemm = *blas3::find_variant("GEMM-NN");
+  const Variant& symm = *blas3::find_variant("SYMM-LL");
+  constexpr size_t kRequests = 12;
+  std::atomic<int> failures{0};
+  ThreadPool::shared().parallel_for(
+      kRequests, [&](size_t i) {
+        // A mix of hits (GEMM-NN at its tuned bucket), near hits and
+        // baseline fallbacks, racing on the same dispatch table.
+        const Variant& v = i % 3 == 2 ? symm : gemm;
+        const int64_t n = i % 2 == 0 ? 256 : 72;
+        blas3::Matrix a, b, c;
+        make_inputs(v, i, n, a, b, c);
+        blas3::Matrix ref_b = b, ref_c = c;
+        auto outcome = rt.run(v, a, b, &c);
+        if (!outcome.is_ok()) {
+          ++failures;
+          return;
+        }
+        blas3::run_reference(v, a, ref_b, &ref_c);
+        if (blas3::max_abs_diff(c, ref_c) >
+            blas3::accumulation_tolerance(n)) {
+          ++failures;
+        }
+        rt.dispatch(v, n);  // racing pure lookups too
+      });
+  EXPECT_EQ(failures.load(), 0);
+  runtime::DispatchStats stats = rt.stats();
+  EXPECT_EQ(stats.requests, kRequests);
+  EXPECT_EQ(stats.hits + stats.near_hits + stats.baseline_fallbacks +
+                stats.reference_fallbacks,
+            kRequests);
+  EXPECT_EQ(stats.hits, 4u);               // GEMM-NN at 256
+  EXPECT_EQ(stats.near_hits, 4u);          // GEMM-NN at 72
+  EXPECT_EQ(stats.baseline_fallbacks, 4u); // SYMM-LL
+  rt.reset_stats();
+  EXPECT_EQ(rt.stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace oa
