@@ -18,6 +18,7 @@
 #include "blas3/reference.hpp"
 #include "libgen/artifact.hpp"
 #include "oa/oa.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/library_runtime.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -98,7 +99,9 @@ int main(int argc, char** argv) {
   // 2. Stand up the runtime and serve a mixed request stream: every
   //    artifact routine at several sizes (exact and near buckets), plus
   //    one routine the artifact may not cover at all.
-  runtime::LibraryRuntime rt(device, *std::move(artifact));
+  runtime::RuntimeOptions ropt;
+  ropt.metrics = &obs::MetricsRegistry::global();
+  runtime::LibraryRuntime rt(device, *std::move(artifact), ropt);
   if (!rt.load_status().is_ok()) {
     std::printf("degraded: %s\n", rt.load_status().to_string().c_str());
   }
@@ -143,7 +146,21 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%s\n", rt.stats().to_string().c_str());
-  std::printf("%d/%d answers match the CPU reference\n", verified,
+
+  // 3. Latency report straight from the runtime's metrics registry:
+  //    one log2-bucketed histogram per final dispatch outcome.
+  std::printf("\ndispatch latency by outcome (us):\n");
+  for (const auto& [name, h] :
+       rt.metrics().histograms_with_prefix("runtime.dispatch_us.")) {
+    if (h->count() == 0) continue;
+    std::printf("  %-20s count=%-5llu p50=%-8.0f p95=%-8.0f p99=%.0f\n",
+                name.substr(std::string("runtime.dispatch_us.").size())
+                    .c_str(),
+                static_cast<unsigned long long>(h->count()),
+                h->percentile(50), h->percentile(95), h->percentile(99));
+  }
+
+  std::printf("\n%d/%d answers match the CPU reference\n", verified,
               requests);
   return verified == requests ? 0 : 1;
 }

@@ -2,6 +2,8 @@
 // variants; the oracle every simulated kernel is verified against.
 #pragma once
 
+#include <cstdint>
+
 #include "blas3/matrix.hpp"
 #include "blas3/routine.hpp"
 

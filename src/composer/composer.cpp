@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/validate.hpp"
+#include "obs/metrics.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
 
@@ -160,6 +161,8 @@ StatusOr<std::vector<Candidate>> compose(
     combos = std::move(next);
   }
 
+  uint64_t mixed_total = 0;
+  uint64_t filtered_out = 0;
   std::vector<Candidate> candidates;
   for (const auto& combo : combos) {
     // Mix the polyhedral parts of all rules into the base, in order.
@@ -181,10 +184,14 @@ StatusOr<std::vector<Candidate>> compose(
     }
 
     // Filter every mixed sequence; deduplicate the semi-output.
+    mixed_total += mixed.size();
     std::vector<std::vector<Invocation>> semi_output;
     for (const auto& seq : mixed) {
       FilterOutcome outcome = filter_sequence(source, seq, ctx);
-      if (!outcome.valid) continue;
+      if (!outcome.valid) {
+        ++filtered_out;
+        continue;
+      }
       if (std::find(semi_output.begin(), semi_output.end(),
                     outcome.surviving) == semi_output.end()) {
         semi_output.push_back(outcome.surviving);
@@ -204,6 +211,17 @@ StatusOr<std::vector<Candidate>> compose(
         candidates.push_back(std::move(c));
       }
     }
+  }
+  if (ctx.metrics != nullptr) {
+    // Where the composition budget goes: how many interleavings the
+    // mixer proposed, how many the filter rejected outright, and how
+    // many deduplicated candidates the generator emitted.
+    ctx.metrics->counter("composer.compositions").add();
+    ctx.metrics->counter("composer.rule_combos").add(combos.size());
+    ctx.metrics->counter("composer.sequences_mixed").add(mixed_total);
+    ctx.metrics->counter("composer.sequences_filtered_out")
+        .add(filtered_out);
+    ctx.metrics->counter("composer.candidates").add(candidates.size());
   }
   if (candidates.empty()) {
     return failed_precondition("composition produced no legal script");

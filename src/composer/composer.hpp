@@ -18,6 +18,8 @@
 //               multi-versioned code).
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "adl/adaptor.hpp"

@@ -1,6 +1,5 @@
 #include "engine/evaluation_engine.hpp"
 
-#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -22,11 +21,9 @@ using transforms::TuningParams;
 
 namespace {
 
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+/// Registry prefix under which per-variant simulate time is recorded.
+constexpr const char* kSimulateByVariantPrefix =
+    "engine.simulate_us.by_variant.";
 
 }  // namespace
 
@@ -164,7 +161,28 @@ std::string EngineStats::to_string() const {
 
 EvaluationEngine::EvaluationEngine(const gpusim::Simulator& simulator,
                                    EngineOptions options)
-    : sim_(simulator), options_(options) {}
+    : sim_(simulator), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = options_.tracer;
+  // Pre-register every instrument so an exported snapshot always
+  // carries the full engine schema, even for stages that never ran
+  // (a warm-started library reload has zero verifies/simulations).
+  ins_.requests = &metrics_->counter("engine.requests");
+  ins_.cache_hits = &metrics_->counter("engine.cache_hits");
+  ins_.cache_misses = &metrics_->counter("engine.cache_misses");
+  ins_.verify_reused = &metrics_->counter("engine.verify_reused");
+  ins_.rejected = &metrics_->counter("engine.rejected");
+  ins_.warm_starts = &metrics_->counter("engine.warm_starts");
+  ins_.cache_entries = &metrics_->gauge("engine.cache_entries");
+  ins_.apply_us = &metrics_->histogram("engine.apply_us");
+  ins_.verify_us = &metrics_->histogram("engine.verify_us");
+  ins_.simulate_us = &metrics_->histogram("engine.simulate_us");
+}
 
 EvaluationEngine::~EvaluationEngine() = default;
 
@@ -175,36 +193,27 @@ size_t EvaluationEngine::jobs() const {
 StatusOr<Evaluation> EvaluationEngine::evaluate(
     const Variant& variant, const Candidate& candidate,
     const TuningParams& params, const EvalConfig& config) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-  }
+  ins_.requests->add();
   if (Status compat = params.check(); !compat.is_ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    ins_.rejected->add();
     return failed_precondition("incompatible tuning parameters");
   }
 
   // Apply stage (always executed — it is cheap relative to simulation
   // and produces both the program and the applied-component mask the
   // cache key needs).
-  const double t_apply = now_seconds();
+  obs::Span apply_span(tracer_, "engine.apply", ins_.apply_us);
   TransformContext ctx;
   ctx.params = params;
   ir::Program program = blas3::make_source_program(variant);
   auto applied = epod::apply_script_lenient(program, candidate.script, ctx);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.apply_seconds += now_seconds() - t_apply;
-  }
+  apply_span.finish();
   if (!applied.is_ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    ins_.rejected->add();
     return applied.status();
   }
   if (*applied == 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    ins_.rejected->add();
     return failed_precondition("no component of the script applied");
   }
 
@@ -227,11 +236,8 @@ StatusOr<Evaluation> EvaluationEngine::evaluate(
       if (it != cache_.end()) entry = it->second;
     }
     if (entry != nullptr) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.cache_hits;
-        if (!entry->is_ok()) ++stats_.rejected;
-      }
+      ins_.cache_hits->add();
+      if (!entry->is_ok()) ins_.rejected->add();
       StatusOr<Evaluation> out = *entry;
       if (out.is_ok()) out->from_cache = true;
       return out;
@@ -240,17 +246,15 @@ StatusOr<Evaluation> EvaluationEngine::evaluate(
 
   StatusOr<Evaluation> result = verify_and_simulate(
       variant, candidate, params, config, std::move(program), *applied);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.cache_misses;
-    if (!result.is_ok()) ++stats_.rejected;
-  }
+  ins_.cache_misses->add();
+  if (!result.is_ok()) ins_.rejected->add();
   if (options_.cache_enabled) {
     auto entry = std::make_shared<const StatusOr<Evaluation>>(result);
     std::lock_guard<std::mutex> lock(mu_);
     // Concurrent evaluators of the same point race benignly: both
     // computed identical results, first insert wins.
     cache_.emplace(digest, std::move(entry));
+    ins_.cache_entries->set(static_cast<double>(cache_.size()));
   }
   return result;
 }
@@ -284,17 +288,12 @@ StatusOr<Evaluation> EvaluationEngine::verify_and_simulate(
       already_verified = verified_.contains(vdigest);
     }
     if (already_verified) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.verify_reused;
+      ins_.verify_reused->add();
     } else {
-      const double t_verify = now_seconds();
+      obs::Span verify_span(tracer_, "engine.verify", ins_.verify_us);
       Status verified = verify_program(sim_, variant, program,
                                        config.verify_size, bools);
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.verify_runs;
-        stats_.verify_seconds += now_seconds() - t_verify;
-      }
+      verify_span.finish();
       // Only successes are shared across the mask: a failure can be
       // params-dependent (occupancy at the verify size), so it is
       // memoized per point, not per mask.
@@ -309,15 +308,14 @@ StatusOr<Evaluation> EvaluationEngine::verify_and_simulate(
   RunOptions opts = config.run_options;
   opts.int_params = size_env(variant, config.target_size);
   opts.bool_params = bools;
-  const double t_sim = now_seconds();
+  obs::Span simulate_span(tracer_, "engine.simulate", ins_.simulate_us);
   auto perf = sim_.run_performance(program, opts);
-  {
-    const double dt = now_seconds() - t_sim;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.evaluations;
-    stats_.simulate_seconds += dt;
-    stats_.simulate_seconds_by_variant[variant.name()] += dt;
-    if (perf.is_ok()) stats_.fastpath += perf->fastpath;
+  const double sim_us = simulate_span.finish();
+  metrics_->histogram(kSimulateByVariantPrefix + variant.name())
+      .record(sim_us);
+  if (perf.is_ok()) {
+    std::lock_guard<std::mutex> lock(fastpath_mu_);
+    fastpath_ += perf->fastpath;
   }
   OA_RETURN_IF_ERROR(perf.status());
 
@@ -353,10 +351,30 @@ std::vector<StatusOr<Evaluation>> EvaluationEngine::evaluate_batch(
 }
 
 EngineStats EvaluationEngine::stats() const {
+  // A view over the registry: every counter below is also exported
+  // verbatim by `--metrics-out` (histogram counts double as the
+  // run counters, sums as the stage wall times).
   EngineStats out;
+  out.requests = ins_.requests->value();
+  out.cache_hits = ins_.cache_hits->value();
+  out.cache_misses = ins_.cache_misses->value();
+  out.evaluations = ins_.simulate_us->count();
+  out.verify_runs = ins_.verify_us->count();
+  out.verify_reused = ins_.verify_reused->value();
+  out.rejected = ins_.rejected->value();
+  out.warm_starts = ins_.warm_starts->value();
+  out.apply_seconds = ins_.apply_us->sum() / 1e6;
+  out.verify_seconds = ins_.verify_us->sum() / 1e6;
+  out.simulate_seconds = ins_.simulate_us->sum() / 1e6;
+  for (const auto& [name, hist] :
+       metrics_->histograms_with_prefix(kSimulateByVariantPrefix)) {
+    out.simulate_seconds_by_variant
+        [name.substr(std::string_view(kSimulateByVariantPrefix).size())] =
+        hist->sum() / 1e6;
+  }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    out = stats_;
+    std::lock_guard<std::mutex> lock(fastpath_mu_);
+    out.fastpath = fastpath_;
   }
   std::lock_guard<std::mutex> lock(mu_);
   out.cache_entries = cache_.size();
@@ -364,19 +382,18 @@ EngineStats EvaluationEngine::stats() const {
 }
 
 void EvaluationEngine::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = EngineStats{};
+  metrics_->reset("engine.");
+  std::lock_guard<std::mutex> lock(fastpath_mu_);
+  fastpath_ = gpusim::FastPathStats{};
 }
 
-void EvaluationEngine::note_warm_start() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.warm_starts;
-}
+void EvaluationEngine::note_warm_start() { ins_.warm_starts->add(); }
 
 void EvaluationEngine::clear_cache() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
   verified_.clear();
+  ins_.cache_entries->set(0.0);
 }
 
 size_t EvaluationEngine::cache_size() const {

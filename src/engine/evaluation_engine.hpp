@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +35,8 @@
 #include "blas3/routine.hpp"
 #include "composer/composer.hpp"
 #include "gpusim/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oa::engine {
 
@@ -45,6 +48,15 @@ struct EngineOptions {
   /// Disable to force every point through the full pipeline (ablation /
   /// debugging).
   bool cache_enabled = true;
+  /// Registry the engine's counters and per-stage latency histograms
+  /// live in. Null (the default) gives the engine a private registry —
+  /// stats stay isolated per engine, the historical behaviour — while
+  /// the CLIs inject obs::MetricsRegistry::global() so one export file
+  /// covers engine, tuner, composer, and serving runtime.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Span sink for apply/verify/simulate stage traces. Null disables
+  /// trace collection (latency histograms are recorded regardless).
+  obs::TraceCollector* tracer = nullptr;
 };
 
 /// Per-batch evaluation configuration; hashed into the cache key.
@@ -77,7 +89,11 @@ struct Evaluation {
   bool from_cache = false;
 };
 
-/// Snapshot of the engine's accounting counters.
+/// Snapshot of the engine's accounting counters. Since the obs/
+/// refactor this is a *view* assembled from the engine's
+/// MetricsRegistry (the single source of truth — `oagen
+/// --metrics-out` exports the same numbers); the struct survives as
+/// the stable programmatic interface the benches and tests consume.
 struct EngineStats {
   uint64_t requests = 0;        // evaluate() calls (batch points included)
   uint64_t cache_hits = 0;      // served from the memoization cache
@@ -148,6 +164,12 @@ class EvaluationEngine {
   void clear_cache();
   size_t cache_size() const;
 
+  /// The registry all engine counters and stage-latency histograms
+  /// live in (instrument names are prefixed "engine.").
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Span sink for stage traces, or nullptr when tracing is off.
+  obs::TraceCollector* tracer() const { return tracer_; }
+
   /// Account one evaluation served from a persistent library artifact /
   /// session store (OaFramework's warm-start path) — the engine did no
   /// pipeline work for it, but search-cost reports should show where
@@ -165,6 +187,27 @@ class EvaluationEngine {
   const gpusim::Simulator& sim_;
   EngineOptions options_;
 
+  /// Backing registry when the caller did not inject one.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceCollector* tracer_;
+
+  /// Cached instrument handles (registry lookups take a mutex; the
+  /// references are stable for the registry's lifetime).
+  struct Instruments {
+    obs::Counter* requests;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* verify_reused;
+    obs::Counter* rejected;
+    obs::Counter* warm_starts;
+    obs::Gauge* cache_entries;
+    obs::Histogram* apply_us;
+    obs::Histogram* verify_us;
+    obs::Histogram* simulate_us;
+  };
+  Instruments ins_;
+
   mutable std::mutex mu_;
   /// Memoized outcomes (success payloads and deterministic rejections).
   std::unordered_map<uint64_t, std::shared_ptr<const StatusOr<Evaluation>>>
@@ -174,8 +217,10 @@ class EvaluationEngine {
   /// they can be params-dependent — only in the point-level cache.
   std::unordered_set<uint64_t> verified_;
 
-  mutable std::mutex stats_mu_;
-  EngineStats stats_;
+  /// Ghost-mode fast-path statement accounting; not duplicated
+  /// anywhere, so it stays a plain aggregate next to the registry.
+  mutable std::mutex fastpath_mu_;
+  gpusim::FastPathStats fastpath_;
 };
 
 /// Functional verification helper shared with tests/benches: run

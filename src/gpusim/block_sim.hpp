@@ -24,8 +24,10 @@
 // tests/fastpath_equivalence_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/compiled.hpp"

@@ -9,8 +9,10 @@
 // (see bench/ablation_sampling for the accuracy/ speed trade-off).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "blas3/matrix.hpp"
 #include "gpusim/block_sim.hpp"

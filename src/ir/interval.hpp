@@ -3,6 +3,7 @@
 // for shared-memory footprint checks and structural validation.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>

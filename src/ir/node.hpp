@@ -3,6 +3,7 @@
 // (blockIdx / threadIdx) attached by thread_grouping.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>

@@ -17,8 +17,8 @@ OaFramework::OaFramework(const gpusim::DeviceModel& device,
     : sim_(device),
       options_(std::move(options)),
       engine_(std::make_unique<engine::EvaluationEngine>(
-          sim_, engine::EngineOptions{options_.jobs,
-                                      options_.engine_cache})),
+          sim_, engine::EngineOptions{options_.jobs, options_.engine_cache,
+                                      options_.metrics, options_.tracer})),
       store_key_(str_format("%s#%016llx", device.name.c_str(),
                             static_cast<unsigned long long>(
                                 libgen::device_fingerprint(device)))) {}
@@ -63,6 +63,8 @@ std::vector<adl::Adaptor> OaFramework::adaptors_for(const Variant& v) {
 StatusOr<std::vector<composer::Candidate>> OaFramework::candidates_for(
     const Variant& v) const {
   ir::Program source = blas3::make_source_program(v);
+  obs::Span compose_span(engine_->tracer(), "oa.compose",
+                         &engine_->metrics().histogram("oa.compose_us"));
   // The GEMM-NN base script extends unmodified to every routine:
   // thread_grouping assigns the serialized grid dimension to whichever
   // loop carries a dependence (TRSM's solve dimension, either side),
@@ -71,6 +73,7 @@ StatusOr<std::vector<composer::Candidate>> OaFramework::candidates_for(
   // composed as well — right-side routines carry their triangle along
   // j, and the search picks whichever orientation wins.
   transforms::TransformContext ctx;
+  ctx.metrics = &engine_->metrics();
   auto result =
       composer::compose(options_.base_script, adaptors_for(v), source, ctx);
   if (!result.is_ok()) return result.status();
@@ -164,6 +167,9 @@ libgen::Artifact OaFramework::export_library() const {
 StatusOr<tuner::TunedVariant> OaFramework::generate(const Variant& v) {
   auto it = cache_.find(v.name());
   if (it != cache_.end()) return it->second;
+  obs::Span generate_span(
+      engine_->tracer(), "oa.generate." + v.name(),
+      &engine_->metrics().histogram("oa.generate_us"));
 
   OA_ASSIGN_OR_RETURN(std::vector<composer::Candidate> candidates,
                       candidates_for(v));

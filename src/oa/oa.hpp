@@ -13,10 +13,12 @@
 //   auto result = oa.run(*tuned, a, b, &c);   // functional execution
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "adl/adaptor.hpp"
 #include "baseline/baseline.hpp"
@@ -59,6 +61,14 @@ struct OaOptions {
   /// tuned parameters instead of the default probe point
   /// (`oagen --warm-start`).
   bool seed_from_artifact = false;
+  /// Observability sinks (docs/OBSERVABILITY.md). Null metrics gives
+  /// the framework a private registry (per-instance stats, the
+  /// historical behaviour); the CLIs inject
+  /// obs::MetricsRegistry::global() so engine, tuner, composer, and
+  /// runtime all export into one `--metrics-out` file. Null tracer
+  /// disables span collection.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceCollector* tracer = nullptr;
 };
 
 class OaFramework {
@@ -75,6 +85,10 @@ class OaFramework {
   engine::EvaluationEngine& engine() { return *engine_; }
   /// Search-cost accounting (cache hits, verify/simulate wall time).
   engine::EngineStats engine_stats() const { return engine_->stats(); }
+  /// The registry all framework layers (engine, tuner, composer)
+  /// record into — options.metrics when injected, otherwise the
+  /// framework-owned instance.
+  obs::MetricsRegistry& metrics() const { return engine_->metrics(); }
 
   /// Bound adaptors relating `v` to GEMM-NN (empty for GEMM-NN itself).
   static std::vector<adl::Adaptor> adaptors_for(const blas3::Variant& v);

@@ -1,0 +1,290 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "support/strings.hpp"
+
+namespace oa::obs {
+
+namespace {
+
+/// Smallest bucket index whose upper bound 2^i exceeds `value`.
+int bucket_index(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  const int b = static_cast<int>(std::floor(std::log2(value))) + 1;
+  return b >= Histogram::kBuckets ? Histogram::kBuckets - 1 : b;
+}
+
+double bucket_upper(int i) { return std::ldexp(1.0, i); }
+double bucket_lower(int i) { return i == 0 ? 0.0 : std::ldexp(1.0, i - 1); }
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// JSON string escaping (instrument names are plain identifiers, but
+/// the exporter must emit valid JSON for any input).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number: finite doubles only (NaN/inf have no JSON spelling).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  return str_format("%.17g", v);
+}
+
+}  // namespace
+
+void Histogram::record(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  bool first = false;
+  if (!has_values_.load(std::memory_order_relaxed) &&
+      has_values_.compare_exchange_strong(first, true,
+                                          std::memory_order_relaxed)) {
+    // First recorder seeds min; concurrent recorders fix it up below
+    // (min_ starts at 0, so atomic_min alone would stick at 0).
+    min_.store(value, std::memory_order_relaxed);
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::min() const {
+  return has_values_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested percentile (1-based, nearest-rank).
+  const double rank = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Linear interpolation inside the bucket.
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double lo = bucket_lower(i);
+      const double hi = std::min(bucket_upper(i), max());
+      double v = lo + frac * (hi - lo);
+      if (v < min()) v = min();
+      return v;
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_values_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<double, uint64_t>> Histogram::nonzero_buckets()
+    const {
+  std::vector<std::pair<double, uint64_t>> out;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) out.emplace_back(bucket_upper(i), n);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::piecewise_construct,
+                         std::forward_as_tuple(name),
+                         std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::piecewise_construct,
+                             std::forward_as_tuple(name),
+                             std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms_with_prefix(std::string_view prefix) const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = histograms_.lower_bound(prefix);
+       it != histograms_.end() && it->first.starts_with(prefix); ++it) {
+    out.emplace_back(it->first, &it->second);
+  }
+  return out;
+}
+
+void MetricsRegistry::reset(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    if (name.starts_with(prefix)) c.reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    if (name.starts_with(prefix)) g.reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    if (name.starts_with(prefix)) h.reset();
+  }
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += str_format("%-48s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += str_format("%-48s %g\n", name.c_str(), g.value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += str_format(
+        "%-48s count=%llu sum=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+        name.c_str(), static_cast<unsigned long long>(h.count()), h.sum(),
+        h.percentile(50), h.percentile(95), h.percentile(99), h.max());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += str_format("%s\n    \"%s\": %llu", first ? "" : ",",
+                      json_escape(name).c_str(),
+                      static_cast<unsigned long long>(c.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += str_format("%s\n    \"%s\": %s", first ? "" : ",",
+                      json_escape(name).c_str(),
+                      json_number(g.value()).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += str_format(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+        "\"max\": %s, \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, "
+        "\"buckets\": [",
+        first ? "" : ",", json_escape(name).c_str(),
+        static_cast<unsigned long long>(h.count()),
+        json_number(h.sum()).c_str(), json_number(h.min()).c_str(),
+        json_number(h.max()).c_str(), json_number(h.mean()).c_str(),
+        json_number(h.percentile(50)).c_str(),
+        json_number(h.percentile(95)).c_str(),
+        json_number(h.percentile(99)).c_str());
+    bool first_bucket = true;
+    for (const auto& [le, n] : h.nonzero_buckets()) {
+      out += str_format("%s{\"le\": %s, \"count\": %llu}",
+                        first_bucket ? "" : ", ",
+                        json_number(le).c_str(),
+                        static_cast<unsigned long long>(n));
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool write_json(const MetricsRegistry& registry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << registry.to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace oa::obs

@@ -1,0 +1,141 @@
+// Low-overhead metrics for the OA framework: a registry of named
+// counters, gauges, and log2-bucketed latency histograms that every
+// layer (engine/, tuner/, composer/, runtime/) writes into, so search
+// budget and serving latency are observable from one place.
+//
+// Design rules:
+//   * the hot path is an atomic add — instruments are looked up once
+//     (registry lookup takes a mutex) and the returned references are
+//     stable for the registry's lifetime, so callers cache them;
+//   * every instrument is thread-safe on its own (relaxed atomics; the
+//     counters are monotonic so torn reads across instruments only
+//     ever under-report a snapshot, never corrupt it);
+//   * registries are instantiable — components own a private registry
+//     by default so tests stay isolated — and `global()` provides the
+//     process-wide instance the CLIs export with `--metrics-out`;
+//   * exporters: `to_string()` for humans, `to_json()` for machines
+//     (histograms carry count/sum/min/max and p50/p95/p99).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace oa::obs {
+
+/// Lock-free add for pre-C++20-fetch_add platforms; relaxed ordering is
+/// enough for statistics.
+inline void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value instrument (table sizes, cache occupancy).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed distribution, built for latencies in microseconds but
+/// unit-agnostic: bucket i counts values in [2^(i-1), 2^i) (bucket 0
+/// holds everything below 1). Percentiles interpolate linearly inside
+/// the winning bucket, so p50/p95/p99 are exact to within one octave —
+/// plenty for "where does the time go" questions at ~zero record cost.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+  /// p in [0, 100]; returns 0 when empty.
+  double percentile(double p) const;
+  void reset();
+
+  /// (upper_bound, count) for every non-empty bucket, in order.
+  std::vector<std::pair<double, uint64_t>> nonzero_buckets() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_values_{false};
+};
+
+/// Named instrument registry. Instrument references are stable until
+/// the registry dies; lookups are mutex-guarded, so cache the result.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (`oagen --metrics-out` exports it).
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Value of a counter, or 0 when it was never registered.
+  uint64_t counter_value(std::string_view name) const;
+
+  /// Histograms whose name starts with `prefix` (stable pointers).
+  std::vector<std::pair<std::string, const Histogram*>>
+  histograms_with_prefix(std::string_view prefix) const;
+
+  /// Zero every instrument whose name starts with `prefix` (all of
+  /// them for the empty prefix). Registration is kept.
+  void reset(std::string_view prefix = {});
+
+  /// Human-readable dump, one instrument per line.
+  std::string to_string() const;
+  /// Machine-readable export: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count,sum,min,max,mean,p50,p95,p99,
+  /// buckets:[{le,count}]}}}.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so instrument addresses survive inserts.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Write `registry.to_json()` to `path`; returns false on I/O error.
+bool write_json(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace oa::obs

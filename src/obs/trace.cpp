@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "support/strings.hpp"
+
+namespace oa::obs {
+
+namespace {
+
+/// Stable small id per thread (std::thread::id is opaque).
+uint32_t this_thread_id() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+double now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::record(TraceEvent event) {
+  event.tid = this_thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += str_format(
+        "%s\n  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+        "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+        first ? "" : ",", json_escape(e.name).c_str(), e.tid, e.start_us,
+        e.dur_us);
+    first = false;
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+double Span::finish() {
+  if (start_us_ < 0.0) return 0.0;
+  const double dur = now_us() - start_us_;
+  if (latency_ != nullptr) latency_->record(dur);
+  if (collector_ != nullptr) {
+    collector_->record(TraceEvent{name_, start_us_, dur, 0});
+  }
+  start_us_ = -1.0;
+  return dur;
+}
+
+}  // namespace oa::obs

@@ -1,0 +1,93 @@
+// RAII span tracing: wall-clock spans around pipeline stages (engine
+// apply/verify/simulate, tuner rounds, runtime dispatch) collected
+// into a thread-safe, bounded buffer and exported as Chrome trace
+// JSON (`chrome://tracing`, Perfetto) or a human summary.
+//
+// Tracing is opt-in: a Span with a null collector skips the clock
+// reads entirely unless it also feeds a latency Histogram, so the
+// default (metrics only) costs two steady_clock reads per stage and
+// the fully-disabled path costs nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace oa::obs {
+
+/// Microseconds since an arbitrary process-stable epoch.
+double now_us();
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+};
+
+/// Thread-safe bounded span collector. Spans past the capacity are
+/// counted but dropped (a serving process must not grow without bound).
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t capacity = 1 << 18)
+      : capacity_(capacity) {}
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The process-wide collector (`oagen --trace-out` exports it).
+  static TraceCollector& global();
+
+  void record(TraceEvent event);
+  std::vector<TraceEvent> snapshot() const;
+  size_t size() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  /// Chrome trace format: {"traceEvents": [{"name", "ph": "X", "ts",
+  /// "dur", "pid", "tid"}, ...]}.
+  std::string to_chrome_json() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// RAII span: times its scope, then reports the duration to the
+/// collector (as a trace event) and/or a histogram (as a latency
+/// sample). Both sinks are optional; with neither, the constructor
+/// does not even read the clock.
+class Span {
+ public:
+  Span(TraceCollector* collector, std::string name,
+       Histogram* latency = nullptr)
+      : collector_(collector), latency_(latency), name_(std::move(name)) {
+    if (armed()) start_us_ = now_us();
+  }
+  ~Span() { finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// End the span early (idempotent); returns the duration in µs.
+  double finish();
+
+ private:
+  bool armed() const {
+    return collector_ != nullptr || latency_ != nullptr;
+  }
+
+  TraceCollector* collector_;
+  Histogram* latency_;
+  std::string name_;
+  double start_us_ = -1.0;
+};
+
+}  // namespace oa::obs

@@ -1,11 +1,13 @@
 #include "runtime/library_runtime.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "baseline/baseline.hpp"
 #include "blas3/reference.hpp"
 #include "blas3/source_ir.hpp"
 #include "engine/evaluation_engine.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
@@ -27,13 +29,14 @@ std::string DispatchStats::to_string() const {
   return str_format(
       "dispatch: %llu requests — %llu hits, %llu near-hits, %llu "
       "baseline fallbacks, %llu reference fallbacks, %llu recovered "
-      "kernel errors",
+      "kernel errors, %llu failed",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(near_hits),
       static_cast<unsigned long long>(baseline_fallbacks),
       static_cast<unsigned long long>(reference_fallbacks),
-      static_cast<unsigned long long>(errors));
+      static_cast<unsigned long long>(recovered_errors),
+      static_cast<unsigned long long>(failed_requests));
 }
 
 int LibraryRuntime::size_bucket(int64_t n) {
@@ -46,6 +49,31 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
                                libgen::Artifact artifact,
                                RuntimeOptions options)
     : sim_(device), artifact_(std::move(artifact)), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // Pre-register every serving instrument so an exported snapshot
+  // always carries the full runtime schema, even for outcomes that
+  // never happened.
+  ins_.requests = &metrics_->counter("runtime.requests");
+  ins_.hits = &metrics_->counter("runtime.hits");
+  ins_.near_hits = &metrics_->counter("runtime.near_hits");
+  ins_.baseline_fallbacks = &metrics_->counter("runtime.baseline_fallbacks");
+  ins_.reference_fallbacks =
+      &metrics_->counter("runtime.reference_fallbacks");
+  ins_.recovered_errors = &metrics_->counter("runtime.recovered_errors");
+  ins_.failed_requests = &metrics_->counter("runtime.failed_requests");
+  ins_.hit_us = &metrics_->histogram("runtime.dispatch_us.hit");
+  ins_.near_hit_us = &metrics_->histogram("runtime.dispatch_us.near_hit");
+  ins_.baseline_us =
+      &metrics_->histogram("runtime.dispatch_us.baseline_fallback");
+  ins_.reference_us =
+      &metrics_->histogram("runtime.dispatch_us.reference_fallback");
+  ins_.failed_us = &metrics_->histogram("runtime.dispatch_us.failed");
+
   load_status_ = libgen::check_device(artifact_, device);
   if (!load_status_.is_ok()) {
     // Graceful degradation: a mismatched artifact serves nothing from
@@ -84,6 +112,37 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
         skipped == 1 ? "y" : "ies", skip_reason.c_str()));
     OA_LOG(kWarning) << "LibraryRuntime: " << load_status_.to_string();
   }
+  metrics_->gauge("runtime.table_size").set(static_cast<double>(table_.size()));
+}
+
+int64_t LibraryRuntime::dispatch_size(const Variant& v,
+                                      const blas3::Matrix& a,
+                                      const blas3::Matrix& b,
+                                      const blas3::Matrix* c) {
+  int64_t m = 0, n = 0, k = 0;
+  switch (v.family) {
+    case blas3::Family::kGemm:
+      // C(m×n) += op(A)·op(B): m/n are the output extents, k is A's
+      // contraction extent.
+      m = c != nullptr ? c->rows() : b.rows();
+      n = c != nullptr ? c->cols() : b.cols();
+      k = v.trans_a == blas3::Trans::kT ? a.rows() : a.cols();
+      break;
+    case blas3::Family::kSyrk:
+      // C(n×n) += op(A)·op(A)^T: the routine never reads b, so its
+      // shape must not steer dispatch.
+      m = c != nullptr ? c->rows() : b.rows();
+      n = c != nullptr ? c->cols() : b.cols();
+      k = v.trans == blas3::Trans::kT ? a.rows() : a.cols();
+      break;
+    default:
+      // SYMM / TRMM / TRSM: the structured operand A is square over one
+      // of B's extents, so the in/out panel B carries both true dims.
+      m = b.rows();
+      n = b.cols();
+      break;
+  }
+  return std::max({m, n, k, int64_t{1}});
 }
 
 LibraryRuntime::Dispatch LibraryRuntime::dispatch(const Variant& v,
@@ -139,21 +198,34 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
                                               const blas3::Matrix& a,
                                               blas3::Matrix& b,
                                               blas3::Matrix* c) const {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  const int64_t n = std::max(b.rows(), b.cols());
+  ins_.requests->add();
+  const double start_us = obs::now_us();
+  // Whole-call latency lands in the histogram of the *final* outcome,
+  // so p99 per path answers "what does a request cost when it ends up
+  // here" — including the failed attempts before it.
+  auto settle = [&](obs::Histogram* h) { h->record(obs::now_us() - start_us); };
+  // Kernel failures along the way are only "recovered" if some later
+  // stage actually answers the request.
+  uint64_t pending_errors = 0;
 
-  Dispatch d = dispatch(v, n);
+  Dispatch d = dispatch(v, dispatch_size(v, a, b, c));
   if (d.program != nullptr) {
     Status served = engine::execute_program(sim_, *d.program, v, a, b, c,
                                             d.bool_params);
     if (served.is_ok()) {
-      (d.outcome == DispatchOutcome::kHit ? hits_ : near_hits_)
-          .fetch_add(1, std::memory_order_relaxed);
+      if (d.outcome == DispatchOutcome::kHit) {
+        ins_.hits->add();
+        settle(ins_.hit_us);
+      } else {
+        ins_.near_hits->add();
+        settle(ins_.near_hit_us);
+      }
       return d.outcome;
     }
     // A tuned kernel that fails at this problem size (occupancy,
-    // launch) is recovered by the fallback chain, but counted.
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    // launch) is usually recovered by the fallback chain — counted as
+    // recovered only once a fallback serves the request.
+    ++pending_errors;
     OA_LOG(kWarning) << "LibraryRuntime: tuned " << v.name()
                      << " failed (" << served.to_string()
                      << "), falling back";
@@ -165,44 +237,55 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
       Status served =
           engine::execute_program(sim_, **base, v, a, b, c, {});
       if (served.is_ok()) {
-        baseline_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        ins_.baseline_fallbacks->add();
+        ins_.recovered_errors->add(pending_errors);
+        settle(ins_.baseline_us);
         return DispatchOutcome::kFallbackBaseline;
       }
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      ++pending_errors;
     }
   }
 
   if (v.family != blas3::Family::kTrsm && c == nullptr) {
+    ins_.failed_requests->add();
+    settle(ins_.failed_us);
     return invalid_argument("reference fallback for " + v.name() +
                             " needs an output matrix c");
   }
-  blas3::Matrix b_ref = b;
-  blas3::run_reference(v, a, b_ref, c);
-  b = std::move(b_ref);
-  reference_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (v.family == blas3::Family::kTrsm) {
+    // TRSM solves in place in b; stage into a copy so a failed kernel
+    // attempt above can't have left partial results behind.
+    blas3::Matrix b_ref = b;
+    blas3::run_reference(v, a, b_ref, c);
+    b = std::move(b_ref);
+  } else {
+    // Every other family only *reads* b (output goes to c), so the
+    // staging copy is pure waste.
+    blas3::run_reference(v, a, b, c);
+  }
+  ins_.reference_fallbacks->add();
+  ins_.recovered_errors->add(pending_errors);
+  settle(ins_.reference_us);
   return DispatchOutcome::kFallbackReference;
 }
 
 DispatchStats LibraryRuntime::stats() const {
   DispatchStats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.near_hits = near_hits_.load(std::memory_order_relaxed);
-  s.baseline_fallbacks =
-      baseline_fallbacks_.load(std::memory_order_relaxed);
-  s.reference_fallbacks =
-      reference_fallbacks_.load(std::memory_order_relaxed);
-  s.errors = errors_.load(std::memory_order_relaxed);
+  s.requests = ins_.requests->value();
+  s.hits = ins_.hits->value();
+  s.near_hits = ins_.near_hits->value();
+  s.baseline_fallbacks = ins_.baseline_fallbacks->value();
+  s.reference_fallbacks = ins_.reference_fallbacks->value();
+  s.recovered_errors = ins_.recovered_errors->value();
+  s.failed_requests = ins_.failed_requests->value();
   return s;
 }
 
 void LibraryRuntime::reset_stats() {
-  requests_.store(0, std::memory_order_relaxed);
-  hits_.store(0, std::memory_order_relaxed);
-  near_hits_.store(0, std::memory_order_relaxed);
-  baseline_fallbacks_.store(0, std::memory_order_relaxed);
-  reference_fallbacks_.store(0, std::memory_order_relaxed);
-  errors_.store(0, std::memory_order_relaxed);
+  metrics_->reset("runtime.");
+  // The table is immutable; restore its size gauge after the sweep.
+  metrics_->gauge("runtime.table_size")
+      .set(static_cast<double>(table_.size()));
 }
 
 }  // namespace oa::runtime

@@ -23,11 +23,11 @@
 //
 // All serving paths are thread-safe: the dispatch table is immutable
 // after construction, per-request state lives on the caller's stack,
-// and the hit/miss/fallback counters are atomics (the concurrency test
-// hammers run() from the shared thread pool).
+// and the serving counters and latency histograms are relaxed atomics
+// in a MetricsRegistry (the concurrency test hammers run() from the
+// shared thread pool).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -39,6 +39,7 @@
 #include "blas3/routine.hpp"
 #include "gpusim/simulator.hpp"
 #include "libgen/artifact.hpp"
+#include "obs/metrics.hpp"
 
 namespace oa::runtime {
 
@@ -46,6 +47,11 @@ struct RuntimeOptions {
   /// Serve misses from the CUBLAS-like baseline schedule (simulated on
   /// the same device). Off = CPU reference only.
   bool baseline_fallback = true;
+  /// Registry the serving counters and per-outcome dispatch-latency
+  /// histograms live in (instrument names prefixed "runtime."). Null
+  /// gives the runtime a private registry; `oagen` and the serving
+  /// example inject a shared one for a single export file.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class DispatchOutcome {
@@ -57,14 +63,20 @@ enum class DispatchOutcome {
 
 const char* outcome_name(DispatchOutcome outcome);
 
-/// Monotonic serving counters (snapshot).
+/// Monotonic serving counters — a snapshot *view* over the runtime's
+/// MetricsRegistry (one source of truth, also exported by
+/// `--metrics-out`). Kernel failures are split by what happened next:
+/// a tuned/baseline kernel that failed but whose request a later
+/// fallback stage answered is *recovered*; a request that failed on
+/// every path is *failed* (and never reported as recovered).
 struct DispatchStats {
   uint64_t requests = 0;
   uint64_t hits = 0;
   uint64_t near_hits = 0;
   uint64_t baseline_fallbacks = 0;
   uint64_t reference_fallbacks = 0;
-  uint64_t errors = 0;  // requests that failed on every path
+  uint64_t recovered_errors = 0;  // kernel failures a fallback absorbed
+  uint64_t failed_requests = 0;   // requests that failed on every path
 
   std::string to_string() const;
 };
@@ -92,6 +104,15 @@ class LibraryRuntime {
   /// The power-of-two problem-size bucket of n (floor(log2(n))).
   static int size_bucket(int64_t n);
 
+  /// Representative problem size for dispatch: the largest of the
+  /// routine family's true dims (M, N, K derived from a/b/c shapes),
+  /// so rectangular requests land in the bucket of their dominant
+  /// extent instead of whatever `b`'s shape happens to be.
+  static int64_t dispatch_size(const blas3::Variant& v,
+                               const blas3::Matrix& a,
+                               const blas3::Matrix& b,
+                               const blas3::Matrix* c);
+
   /// Result of a dispatch lookup (no execution, no counter updates).
   struct Dispatch {
     DispatchOutcome outcome = DispatchOutcome::kFallbackReference;
@@ -118,6 +139,10 @@ class LibraryRuntime {
   DispatchStats stats() const;
   void reset_stats();
 
+  /// The registry the serving counters and the per-outcome dispatch
+  /// latency histograms ("runtime.dispatch_us.<outcome>") live in.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   struct TableEntry {
     const blas3::Variant* variant = nullptr;
@@ -135,19 +160,31 @@ class LibraryRuntime {
   RuntimeOptions options_;
   Status load_status_;
 
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// Cached instrument handles (stable for the registry's lifetime).
+  struct Instruments {
+    obs::Counter* requests;
+    obs::Counter* hits;
+    obs::Counter* near_hits;
+    obs::Counter* baseline_fallbacks;
+    obs::Counter* reference_fallbacks;
+    obs::Counter* recovered_errors;
+    obs::Counter* failed_requests;
+    obs::Histogram* hit_us;
+    obs::Histogram* near_hit_us;
+    obs::Histogram* baseline_us;
+    obs::Histogram* reference_us;
+    obs::Histogram* failed_us;
+  };
+  Instruments ins_;
+
   std::vector<TableEntry> table_;
   /// variant name -> (size bucket -> table_ index).
   std::map<std::string, std::map<int, size_t>> index_;
 
   mutable std::mutex baseline_mu_;
   mutable std::map<std::string, std::unique_ptr<ir::Program>> baselines_;
-
-  mutable std::atomic<uint64_t> requests_{0};
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> near_hits_{0};
-  mutable std::atomic<uint64_t> baseline_fallbacks_{0};
-  mutable std::atomic<uint64_t> reference_fallbacks_{0};
-  mutable std::atomic<uint64_t> errors_{0};
 };
 
 }  // namespace oa::runtime

@@ -14,7 +14,9 @@
 //
 // Scripts and adaptors use the syntax documented in docs/LANGUAGES.md;
 // the artifact format in docs/ARTIFACT.md.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -23,13 +25,31 @@
 #include "epod/script.hpp"
 #include "libgen/artifact.hpp"
 #include "oa/oa.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ir/printer.hpp"
+#include "runtime/library_runtime.hpp"
 #include "support/log.hpp"
+#include "support/rng.hpp"
 #include "tuner/tuner.hpp"
 
 namespace {
 
 using namespace oa;
+
+/// Strict base-10 parse: the whole string must be a number (no empty
+/// strings, no trailing garbage, no overflow) — `--size 12garbage` is a
+/// usage error, not a silent 12 (and `--size` with nothing after it is
+/// not a silent 0, which std::atoll("") used to produce).
+bool parse_int64(const char* s, int64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
 
 const gpusim::DeviceModel* device_by_name(const std::string& name) {
   if (name == "geforce9800" || name == "9800") {
@@ -84,18 +104,85 @@ int usage() {
       "  --warm-start                        when an artifact entry is "
       "stale, seed the search from its parameters\n"
       "  --dump-scripts                      print the candidate EPOD "
-      "scripts (text serialization) and exit\n");
+      "scripts (text serialization) and exit\n"
+      "  --metrics-out FILE                  export the process-wide "
+      "metrics registry as JSON on exit\n"
+      "  --trace-out FILE                    export collected spans as "
+      "Chrome trace JSON on exit\n");
   return 2;
 }
+
+/// Serve every artifact entry through a LibraryRuntime sharing the
+/// process-wide registry, so a `--metrics-out` export also carries the
+/// serving-side counters and per-outcome dispatch-latency histograms.
+/// Runs only for `--metrics-out` (it exists to populate the serving
+/// metrics; `--trace-out` alone adds no extra work). Sizes are
+/// bounded: serving is functional (interpreter-priced), so the check
+/// stays cheap even for a full 24-routine artifact.
+void serving_self_check(const gpusim::DeviceModel& device,
+                        libgen::Artifact artifact) {
+  runtime::RuntimeOptions ropt;
+  ropt.metrics = &obs::MetricsRegistry::global();
+  runtime::LibraryRuntime rt(device, std::move(artifact), ropt);
+  for (const libgen::ArtifactEntry& entry : rt.artifact().entries) {
+    const blas3::Variant* v = blas3::find_variant(entry.variant);
+    if (v == nullptr) continue;
+    for (int64_t n :
+         {int64_t{96}, std::min<int64_t>(entry.tuned_size, 256)}) {
+      Rng rng(0x0B5E ^ static_cast<uint64_t>(n));
+      blas3::Matrix a(n, n), b(n, n), c(n, n);
+      a.fill_random(rng);
+      b.fill_random(rng);
+      if (v->family == blas3::Family::kTrmm ||
+          v->family == blas3::Family::kTrsm ||
+          v->family == blas3::Family::kSymm) {
+        a.make_triangular(v->uplo);
+      }
+      if (v->family == blas3::Family::kTrsm) {
+        a.set_unit_diagonal();
+        a.scale_off_diagonal(1.0f / 16.0f);
+      }
+      auto outcome = rt.run(*v, a, b, &c);
+      if (!outcome.is_ok()) {
+        std::printf("self-check %s at N=%lld: %s\n", v->name().c_str(),
+                    static_cast<long long>(n),
+                    outcome.status().to_string().c_str());
+      }
+    }
+  }
+  std::printf("serving self-check: %s\n", rt.stats().to_string().c_str());
+}
+
+/// Writes the observability exports when main returns, whatever the
+/// exit path.
+struct ObsExport {
+  std::string metrics_path;
+  std::string trace_path;
+  ~ObsExport() {
+    if (!metrics_path.empty() &&
+        !obs::write_json(obs::MetricsRegistry::global(), metrics_path)) {
+      std::fprintf(stderr, "oagen: cannot write metrics to '%s'\n",
+                   metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (out) {
+        out << obs::TraceCollector::global().to_chrome_json();
+      } else {
+        std::fprintf(stderr, "oagen: cannot write trace to '%s'\n",
+                     trace_path.c_str());
+      }
+    }
+  }
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarning);
   std::string routine, device_name = "gtx285", script_path, adaptor_path;
-  std::string emit_lib, load_lib;
-  int64_t size = 1024, tuning_size = 512;
-  long long jobs = 0;
+  std::string emit_lib, load_lib, metrics_out, trace_out;
+  int64_t size = 1024, tuning_size = 512, jobs = 0;
   bool list = false, show_candidates = false, show_kernel = false,
        exhaustive = false, no_cache = false, engine_stats = false,
        no_fastpath = false, no_warm_start = false, seed_warm_start = false,
@@ -103,21 +190,50 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // A value flag with nothing after it is a usage error, never an
+    // empty string or a silently-parsed 0.
     auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : "";
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "oagen: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto next_int = [&](int64_t min_value, int64_t* out) -> bool {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (!parse_int64(v, out) || *out < min_value) {
+        std::fprintf(stderr,
+                     "oagen: %s needs an integer >= %lld, got '%s'\n",
+                     arg.c_str(), static_cast<long long>(min_value), v);
+        return false;
+      }
+      return true;
+    };
+    auto next_str = [&](std::string* out) -> bool {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        if (v != nullptr) {
+          std::fprintf(stderr, "oagen: %s needs a non-empty value\n",
+                       arg.c_str());
+        }
+        return false;
+      }
+      *out = v;
+      return true;
     };
     if (arg == "--routine") {
-      routine = next();
+      if (!next_str(&routine)) return usage();
     } else if (arg == "--device") {
-      device_name = next();
+      if (!next_str(&device_name)) return usage();
     } else if (arg == "--size") {
-      size = std::atoll(next());
+      if (!next_int(1, &size)) return usage();
     } else if (arg == "--tuning-size") {
-      tuning_size = std::atoll(next());
+      if (!next_int(1, &tuning_size)) return usage();
     } else if (arg == "--script") {
-      script_path = next();
+      if (!next_str(&script_path)) return usage();
     } else if (arg == "--adaptor") {
-      adaptor_path = next();
+      if (!next_str(&adaptor_path)) return usage();
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--show-candidates") {
@@ -127,8 +243,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--exhaustive") {
       exhaustive = true;
     } else if (arg == "--jobs") {
-      jobs = std::atoll(next());
-      if (jobs < 0) return usage();
+      if (!next_int(0, &jobs)) return usage();
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--no-fastpath") {
@@ -136,21 +251,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--engine-stats") {
       engine_stats = true;
     } else if (arg == "--emit-lib") {
-      emit_lib = next();
-      if (emit_lib.empty()) return usage();
+      if (!next_str(&emit_lib)) return usage();
     } else if (arg == "--load-lib") {
-      load_lib = next();
-      if (load_lib.empty()) return usage();
+      if (!next_str(&load_lib)) return usage();
     } else if (arg == "--no-warm-start") {
       no_warm_start = true;
     } else if (arg == "--warm-start") {
       seed_warm_start = true;
     } else if (arg == "--dump-scripts") {
       dump_scripts = true;
+    } else if (arg == "--metrics-out") {
+      if (!next_str(&metrics_out)) return usage();
+    } else if (arg == "--trace-out") {
+      if (!next_str(&trace_out)) return usage();
     } else {
+      std::fprintf(stderr, "oagen: unknown flag '%s'\n", arg.c_str());
       return usage();
     }
   }
+  ObsExport obs_export{metrics_out, trace_out};
 
   if (list) {
     std::printf("devices: geforce9800, gtx285, fermi\nroutines:\n");
@@ -186,6 +305,15 @@ int main(int argc, char** argv) {
   options.fastpath = !no_fastpath;
   options.warm_start = !no_warm_start;
   options.seed_from_artifact = seed_warm_start;
+  // One registry for the whole pipeline: engine, tuner, composer, and
+  // the serving self-check all export into the same --metrics-out file.
+  const bool observability = !metrics_out.empty() || !trace_out.empty();
+  if (observability) {
+    options.metrics = &obs::MetricsRegistry::global();
+  }
+  if (!trace_out.empty()) {
+    options.tracer = &obs::TraceCollector::global();
+  }
   OaFramework framework(*device, options);
 
   std::vector<const blas3::Variant*> targets;
@@ -254,6 +382,9 @@ int main(int argc, char** argv) {
       std::printf("\nwrote %zu entr%s to %s\n", artifact.entries.size(),
                   artifact.entries.size() == 1 ? "y" : "ies",
                   emit_lib.c_str());
+    }
+    if (!metrics_out.empty()) {
+      serving_self_check(*device, framework.export_library());
     }
     return failures == 0 ? 0 : 1;
   }
@@ -358,6 +489,9 @@ int main(int argc, char** argv) {
   }
   if (show_kernel) {
     std::printf("\n%s\n", ir::to_string(tuned->program).c_str());
+  }
+  if (!metrics_out.empty()) {
+    serving_self_check(*device, framework.export_library());
   }
   return 0;
 }

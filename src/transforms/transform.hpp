@@ -12,6 +12,10 @@
 #include "ir/kernel.hpp"
 #include "support/status.hpp"
 
+namespace oa::obs {
+class MetricsRegistry;
+}  // namespace oa::obs
+
 namespace oa::transforms {
 
 /// Allocation / mapping modes shared by SM_alloc and GM_map (paper
@@ -48,6 +52,10 @@ struct TransformContext {
   /// range checks (results do not depend on the exact values for the
   /// affine programs in BLAS3; they just need to be "large enough").
   ir::Env nominal_sizes{{"M", 256}, {"N", 256}, {"K", 256}};
+  /// Optional observability sink: the composer records candidate /
+  /// sequence counts here when set (obs/metrics.hpp). Components
+  /// themselves never touch it.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One component invocation as written in an EPOD script:

@@ -113,12 +113,20 @@ StatusOr<TunedVariant> Tuner::line_search(const Variant& variant,
     return improved;
   };
 
-  run_axis({cur});
+  {
+    obs::Span probe_span(engine_->tracer(), "tuner.probe",
+                         &engine_->metrics().histogram("tuner.probe_us"));
+    run_axis({cur});
+  }
   // Orthogonal line search over the four axes, re-centred on the best
   // point after each axis; later rounds refine the first round's
   // winner and the search stops as soon as a whole round improves
   // nothing.
   for (int round = 0; round < options_.line_search_rounds; ++round) {
+    obs::Span round_span(
+        engine_->tracer(), "tuner.round",
+        &engine_->metrics().histogram("tuner.round_us"));
+    engine_->metrics().counter("tuner.rounds").add();
     bool improved = false;
     std::vector<TuningParams> axis;
     for (const auto& [bty, btx] : space.block_shapes) {
@@ -153,7 +161,10 @@ StatusOr<TunedVariant> Tuner::line_search(const Variant& variant,
       axis.push_back(p);
     }
     improved |= run_axis(axis);
-    if (!improved) break;
+    if (!improved) {
+      engine_->metrics().counter("tuner.rounds_stopped_early").add();
+      break;
+    }
   }
   if (!best) {
     return failed_precondition("no feasible parameter point");

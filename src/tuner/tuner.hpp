@@ -17,9 +17,11 @@
 // of the paper's final PolyDeps legality check.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "blas3/routine.hpp"

@@ -1,0 +1,215 @@
+// Observability layer tests: instrument semantics, histogram
+// percentiles, exporter output, span tracing, and thread safety of
+// the registry under concurrent registration + recording.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace oa::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.events");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(reg.counter_value("test.events"), 42u);
+  EXPECT_EQ(reg.counter_value("never.registered"), 0u);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.level");
+  g.set(3.5);
+  g.set(2.25);
+  EXPECT_EQ(g.value(), 2.25);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0.0);
+  h.record(10.0);
+  h.record(20.0);
+  h.record(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60.0);
+  EXPECT_EQ(h.min(), 10.0);
+  EXPECT_EQ(h.max(), 30.0);
+  EXPECT_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentilesAreOctaveAccurate) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  // Log2 buckets are exact to within one octave; check the bracketing.
+  const double p50 = h.percentile(50);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  const double p99 = h.percentile(99);
+  EXPECT_GE(p99, 500.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_LE(p50, p99);
+  // Percentiles never escape the observed range.
+  EXPECT_GE(h.percentile(0), h.min());
+  EXPECT_LE(h.percentile(100), h.max());
+}
+
+TEST(Histogram, SingleValueDistributionIsTight) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(7.0);
+  EXPECT_EQ(h.min(), 7.0);
+  EXPECT_EQ(h.max(), 7.0);
+  EXPECT_EQ(h.percentile(50), 7.0);
+  EXPECT_EQ(h.percentile(99), 7.0);
+}
+
+TEST(MetricsRegistry, InstrumentReferencesAreStable) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  // Force rebalancing inserts.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("pad." + std::to_string(i));
+  }
+  EXPECT_EQ(&a, &reg.counter("a"));
+}
+
+TEST(MetricsRegistry, PrefixResetAndLookup) {
+  MetricsRegistry reg;
+  reg.counter("engine.requests").add(5);
+  reg.counter("runtime.requests").add(7);
+  reg.histogram("runtime.dispatch_us.hit").record(3.0);
+  reg.histogram("runtime.dispatch_us.failed").record(9.0);
+  auto hs = reg.histograms_with_prefix("runtime.dispatch_us.");
+  EXPECT_EQ(hs.size(), 2u);
+  reg.reset("runtime.");
+  EXPECT_EQ(reg.counter_value("runtime.requests"), 0u);
+  EXPECT_EQ(reg.histogram("runtime.dispatch_us.hit").count(), 0u);
+  EXPECT_EQ(reg.counter_value("engine.requests"), 5u);
+}
+
+TEST(MetricsRegistry, JsonExportCarriesTheSchema) {
+  MetricsRegistry reg;
+  reg.counter("engine.cache_hits").add(3);
+  reg.gauge("runtime.table_size").set(4);
+  Histogram& h = reg.histogram("runtime.dispatch_us.hit");
+  h.record(100.0);
+  h.record(200.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.cache_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"runtime.dispatch_us.hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Balanced braces — cheap structural sanity without a JSON parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsRegistry, WriteJsonRoundTripsThroughDisk) {
+  MetricsRegistry reg;
+  reg.counter("test.count").add(1);
+  const std::string path = "obs_test_metrics.json";
+  ASSERT_TRUE(write_json(reg, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), reg.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Every thread races a shared counter, a per-thread counter
+      // (concurrent map inserts), and a shared histogram.
+      Counter& shared = reg.counter("shared.events");
+      Counter& own = reg.counter("thread." + std::to_string(t));
+      Histogram& lat = reg.histogram("shared.latency_us");
+      for (int i = 0; i < kIters; ++i) {
+        shared.add();
+        own.add();
+        lat.record(static_cast<double>(i % 64));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("shared.events"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter_value("thread." + std::to_string(t)),
+              static_cast<uint64_t>(kIters));
+  }
+  Histogram& lat = reg.histogram("shared.latency_us");
+  EXPECT_EQ(lat.count(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(lat.min(), 0.0);
+  EXPECT_EQ(lat.max(), 63.0);
+}
+
+TEST(Span, RecordsToHistogramAndCollector) {
+  TraceCollector collector(16);
+  Histogram h;
+  {
+    Span span(&collector, "test.stage", &h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  ASSERT_EQ(collector.size(), 1u);
+  const TraceEvent e = collector.snapshot()[0];
+  EXPECT_EQ(e.name, "test.stage");
+  EXPECT_GE(e.dur_us, 0.0);
+}
+
+TEST(Span, FinishIsIdempotentAndReturnsDuration) {
+  Histogram h;
+  Span span(nullptr, "test.stage", &h);
+  const double d1 = span.finish();
+  EXPECT_GE(d1, 0.0);
+  EXPECT_EQ(span.finish(), 0.0);  // second finish is a no-op
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Span, NullSinksRecordNothing) {
+  Span span(nullptr, "test.unarmed");
+  EXPECT_EQ(span.finish(), 0.0);
+}
+
+TEST(TraceCollector, BoundedWithDropAccounting) {
+  TraceCollector collector(4);
+  for (int i = 0; i < 10; ++i) {
+    collector.record({"e" + std::to_string(i), 0.0, 1.0, 0});
+  }
+  EXPECT_EQ(collector.size(), 4u);
+  EXPECT_EQ(collector.dropped(), 6u);
+  const std::string json = collector.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  collector.clear();
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+}  // namespace
+}  // namespace oa::obs

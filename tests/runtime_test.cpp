@@ -100,7 +100,15 @@ TEST(LibraryRuntime, HitServesTheTunedKernelCorrectly) {
   runtime::DispatchStats stats = rt.stats();
   EXPECT_EQ(stats.requests, 2u);
   EXPECT_EQ(stats.hits, 2u);
-  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.recovered_errors, 0u);
+  EXPECT_EQ(stats.failed_requests, 0u);
+  // The stats struct is a view over the runtime's metrics registry.
+  EXPECT_EQ(rt.metrics().counter_value("runtime.requests"), 2u);
+  EXPECT_EQ(rt.metrics().histogram("runtime.dispatch_us.hit").count(),
+            2u);
+  EXPECT_GT(
+      rt.metrics().histogram("runtime.dispatch_us.hit").percentile(50),
+      0.0);
 }
 
 TEST(LibraryRuntime, NearHitServesFromTheNearestBucket) {
@@ -112,6 +120,100 @@ TEST(LibraryRuntime, NearHitServesFromTheNearestBucket) {
   // Requests above the tuned bucket are near hits too (pure lookup —
   // serving at n=600 is interpreter-priced and slow).
   EXPECT_EQ(rt.dispatch(gemm, 600).outcome, DispatchOutcome::kNearHit);
+}
+
+/// The GEMM-NN artifact with the tuned entry (bucket 8, marker 2.0)
+/// cloned into buckets 6 and 10: the artifact format does not hash
+/// tuned_size/gflops into the candidate fingerprint, so the clones
+/// reconstruct fine and give a three-bucket dispatch table whose
+/// served entry is identifiable by its gflops marker.
+Artifact multi_bucket_artifact() {
+  Artifact artifact = gemm_artifact();
+  EXPECT_EQ(artifact.entries.size(), 1u);
+  artifact.entries[0].gflops = 2.0;
+  libgen::ArtifactEntry lo = artifact.entries[0];
+  lo.tuned_size = 64;  // bucket 6
+  lo.gflops = 1.0;
+  libgen::ArtifactEntry hi = artifact.entries[0];
+  hi.tuned_size = 1024;  // bucket 10
+  hi.gflops = 3.0;
+  artifact.entries.push_back(lo);
+  artifact.entries.push_back(hi);
+  return artifact;
+}
+
+TEST(LibraryRuntime, NearHitBucketSelectionEdgeCases) {
+  LibraryRuntime rt(gpusim::gtx285(), multi_bucket_artifact());
+  ASSERT_EQ(rt.table_size(), 3u);
+  const Variant& gemm = *blas3::find_variant("GEMM-NN");
+
+  // Below every registered bucket: clamp to the lowest (6).
+  LibraryRuntime::Dispatch below = rt.dispatch(gemm, 2);
+  EXPECT_EQ(below.outcome, DispatchOutcome::kNearHit);
+  EXPECT_EQ(below.tuned_gflops, 1.0);
+
+  // Above every registered bucket: clamp to the highest (10).
+  LibraryRuntime::Dispatch above = rt.dispatch(gemm, 1 << 14);
+  EXPECT_EQ(above.outcome, DispatchOutcome::kNearHit);
+  EXPECT_EQ(above.tuned_gflops, 3.0);
+
+  // Equidistant between buckets 6 and 8 (want = 7): the tie goes to
+  // the lower bucket.
+  LibraryRuntime::Dispatch tie_lo = rt.dispatch(gemm, 128);
+  EXPECT_EQ(tie_lo.outcome, DispatchOutcome::kNearHit);
+  EXPECT_EQ(tie_lo.tuned_gflops, 1.0);
+
+  // Equidistant between buckets 8 and 10 (want = 9): lower again.
+  LibraryRuntime::Dispatch tie_mid = rt.dispatch(gemm, 512);
+  EXPECT_EQ(tie_mid.outcome, DispatchOutcome::kNearHit);
+  EXPECT_EQ(tie_mid.tuned_gflops, 2.0);
+
+  // Strictly nearer wins over the tie rule (want = 9 is gone if the
+  // request sits in a registered bucket).
+  EXPECT_EQ(rt.dispatch(gemm, 300).outcome, DispatchOutcome::kHit);
+}
+
+TEST(LibraryRuntime, DispatchSizeUsesTrueFamilyDims) {
+  const Variant& gemm_nn = *blas3::find_variant("GEMM-NN");
+  const Variant& gemm_tn = *blas3::find_variant("GEMM-TN");
+  const Variant& symm = *blas3::find_variant("SYMM-LL");
+  // Tall GEMM: M dominates but only shows in a and c — the old
+  // max(b.rows, b.cols) dispatch would have used 8.
+  blas3::Matrix a(300, 8), b(8, 8), c(300, 8);
+  EXPECT_EQ(LibraryRuntime::dispatch_size(gemm_nn, a, b, &c), 300);
+  // Deep GEMM: K only shows in the operand shapes, transposed A holds
+  // it in rows.
+  blas3::Matrix at(500, 8), b2(500, 8), c2(8, 8);
+  EXPECT_EQ(LibraryRuntime::dispatch_size(gemm_tn, at, b2, &c2), 500);
+  // SYRK never reads b, so a stray b shape must not steer dispatch.
+  const auto& exts = blas3::extension_variants();
+  if (!exts.empty()) {
+    blas3::Matrix sa(64, 32), sb(4096, 4096), sc(64, 64);
+    EXPECT_EQ(LibraryRuntime::dispatch_size(exts.front(), sa, sb, &sc),
+              64);
+  }
+  // Side-structured families: b carries both true dims.
+  blas3::Matrix ta(96, 96), tb(96, 200), tc(96, 200);
+  EXPECT_EQ(LibraryRuntime::dispatch_size(symm, ta, tb, &tc), 200);
+}
+
+TEST(LibraryRuntime, FailedRequestIsNotReportedAsRecovered) {
+  runtime::RuntimeOptions options;
+  options.baseline_fallback = false;
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact(), options);
+  // SYMM-LL is not in the artifact and needs an output matrix: with
+  // the baseline disabled there is no path left.
+  blas3::Matrix a, b, c;
+  const Variant& symm = *blas3::find_variant("SYMM-LL");
+  make_inputs(symm, 1, 32, a, b, c);
+  auto outcome = rt.run(symm, a, b, nullptr);
+  EXPECT_FALSE(outcome.is_ok());
+  runtime::DispatchStats stats = rt.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.failed_requests, 1u);
+  EXPECT_EQ(stats.recovered_errors, 0u);
+  EXPECT_EQ(
+      rt.metrics().histogram("runtime.dispatch_us.failed").count(), 1u);
 }
 
 TEST(LibraryRuntime, MissFallsBackToTheBaselineCorrectly) {
