@@ -201,6 +201,7 @@ Status BlockSim::run(int64_t by, int64_t bx, int lane_begin, int lane_end,
     site_rowc_.assign(static_cast<size_t>(k_.num_sites), 0);
     site_wrapc_.assign(static_cast<size_t>(k_.num_sites), 0);
     site_valid_.assign(static_cast<size_t>(k_.num_sites), 0);
+    site_interp_.assign(static_cast<size_t>(k_.num_sites), 0);
     site_gen_.assign(static_cast<size_t>(k_.num_sites), 0);
     exec_gen_ = 1;
     fast_var_stack_.clear();
@@ -422,6 +423,8 @@ Status BlockSim::process_ref(const CRef& ref, bool is_store,
                              bool count_inst) {
   const CArray& arr = k_.arrays[static_cast<size_t>(ref.array)];
   Status status = Status::ok();
+
+  if (fastpath_ && !is_store) adopt_site_interp(ref);
 
   // Collect addresses; apply the register-caching model for loads
   // (a lane whose address at this site is unchanged since the previous
@@ -886,14 +889,33 @@ Status BlockSim::process_ref_fast(const CRef& ref, bool is_store,
     const int64_t wrapc = has_wrap_ ? aty - atx * (bx_ - 1) : 0;
     const size_t s = static_cast<size_t>(ref.site);
     site_gen_[s] = exec_gen_;
-    if (site_valid_[s] && site_base_[s] == base0 &&
-        site_rowc_[s] == rowc && site_wrapc_[s] == wrapc) {
-      return Status::ok();  // register-cached
+    bool reused;
+    if (site_interp_[s]) {
+      // An interpreter or masked round priced this site last, so the
+      // per-lane reuse row holds the live state: run the interpreter's
+      // own compare over the materialized affine addresses once, then
+      // hand the site back to the triple summary.
+      materialize_group(ref, ua, 0, nlanes_);
+      int64_t* row =
+          reuse_addr_.data() + s * static_cast<size_t>(nlanes_);
+      reused = true;
+      for (int l = 0; l < nlanes_; ++l) {
+        const int64_t addr = scratch_addr_[static_cast<size_t>(l)];
+        if (row[l] != addr) {
+          reused = false;
+          row[l] = addr;
+        }
+      }
+      site_interp_[s] = 0;
+    } else {
+      reused = site_valid_[s] && site_base_[s] == base0 &&
+               site_rowc_[s] == rowc && site_wrapc_[s] == wrapc;
     }
     site_base_[s] = base0;
     site_rowc_[s] = rowc;
     site_wrapc_[s] = wrapc;
     site_valid_[s] = 1;
+    if (reused) return Status::ok();  // register-cached
   }
 
   switch (arr.space) {
@@ -1353,6 +1375,7 @@ Status BlockSim::process_ref_masked(const CRef& ref, bool is_store,
   // counting over them — identical pricing, minus the per-lane
   // subscript evaluation.
   const int64_t ua = ref.addr_lin.uniform.eval(uslots_.data());
+  if (!is_store) adopt_site_interp(ref);
   materialize_group(ref, ua, l0, l1 + 1);
   if (!is_store) {
     bool all_reused = true;
@@ -1366,9 +1389,6 @@ Status BlockSim::process_ref_masked(const CRef& ref, bool is_store,
         last = addr;
       }
     }
-    // This site is owned by the per-lane reuse mechanism now; never let
-    // a stale triple summary answer for it.
-    site_valid_[static_cast<size_t>(ref.site)] = 0;
     if (all_reused) return Status::ok();  // register-cached
   }
 
@@ -1386,6 +1406,34 @@ Status BlockSim::process_ref_masked(const CRef& ref, bool is_store,
     count_group(arr, ref, is_store, mask, g0, g1, active, count_inst);
   }
   return Status::ok();
+}
+
+void BlockSim::adopt_site_interp(const CRef& ref) {
+  const size_t s = static_cast<size_t>(ref.site);
+  if (site_valid_[s]) {
+    // The last visit was analytic: walk the triple's address vector
+    // into the reuse row, reproducing exactly the per-lane state that
+    // visit would have written. Lane order follows the contiguous
+    // absolute-lane interval (tx advances, wrapping into the next row),
+    // so the row step applies within a row and the wrap step across
+    // rows; whichever of the two a geometry never takes was stored as
+    // zero and is never read.
+    int64_t* row = reuse_addr_.data() + s * static_cast<size_t>(nlanes_);
+    int64_t addr = site_base_[s];
+    int64_t tx = tx0_;
+    for (int l = 0; l < nlanes_; ++l) {
+      row[l] = addr;
+      if (tx + 1 < bx_) {
+        ++tx;
+        addr += site_rowc_[s];
+      } else {
+        tx = 0;
+        addr += site_wrapc_[s];
+      }
+    }
+    site_valid_[s] = 0;
+  }
+  site_interp_[s] = 1;
 }
 
 bool BlockSim::collapse_bounds_ok(const CNode& n, int64_t lo,

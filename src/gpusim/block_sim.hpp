@@ -133,6 +133,10 @@ class BlockSim {
                             bool count_inst,
                             const std::vector<uint8_t>& mask, int l0,
                             int l1);
+  /// Hand a load site over to the per-lane reuse mechanism: if the last
+  /// visit was analytic, reconstruct the triple's address vector into
+  /// the reuse row — exactly the state a per-lane run would have left.
+  void adopt_site_interp(const CRef& ref);
   void sync_fast_vars();
   /// Exact min/max of uniform + c_tx*tx + c_ty*ty over the simulated
   /// lane range (contiguous absolute lanes), or over the sub-range of
@@ -174,12 +178,17 @@ class BlockSim {
   // reuse_addr_: the canonical triple (base, row step, wrap step)
   // characterizes a lane-affine address vector exactly, so comparing
   // triples decides register reuse without touching per-lane arrays.
-  // Each static site is handled by exactly one of the two mechanisms
-  // per run (the dispatch is static), so they never disagree.
+  // A site's pricing can alternate between the two mechanisms mid-run
+  // (boundary tiles of a peeled loop fall back while interior tiles
+  // stay analytic), so ownership is handed off explicitly: crossing to
+  // the interpreter materializes the triple into the reuse row
+  // (adopt_site_interp), crossing back runs one per-lane compare before
+  // triple summaries resume (process_ref_fast).
   std::vector<int64_t> uslots_;         // uniform slot values
   std::vector<uint8_t> full_mask_;
   std::vector<int64_t> site_base_, site_rowc_, site_wrapc_;
   std::vector<uint8_t> site_valid_;
+  std::vector<uint8_t> site_interp_;    // reuse row owns this site
   std::vector<int64_t> site_gen_;       // last load generation per site
   int64_t exec_gen_ = 1;
   std::vector<const CRef*> site_ref_;   // site id -> its reference

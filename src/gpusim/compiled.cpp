@@ -199,14 +199,15 @@ StatusOr<std::vector<CNode>> compile_body(
 }
 
 void signature_walk(const std::vector<CNode>& body, int64_t* slots,
-                    int64_t& hash) {
+                    uint64_t& hash) {
   for (const CNode& n : body) {
     switch (n.kind) {
       case CNode::Kind::kLoop: {
         const int64_t lo = n.lb.eval_max(slots);
         const int64_t hi = n.ub.eval_min(slots);
         const int64_t extent = hi > lo ? hi - lo : 0;
-        hash = hash * 1000003 + extent;
+        // Unsigned: the polynomial mix overflows by design.
+        hash = hash * 1000003u + static_cast<uint64_t>(extent);
         slots[n.var_slot] = lo;
         signature_walk(n.body, slots, hash);
         break;
@@ -556,9 +557,9 @@ int64_t CompiledKernel::signature(int64_t by, int64_t bx) const {
   std::vector<int64_t> slots(static_cast<size_t>(num_slots), 0);
   if (block_y_slot >= 0) slots[static_cast<size_t>(block_y_slot)] = by;
   if (block_x_slot >= 0) slots[static_cast<size_t>(block_x_slot)] = bx;
-  int64_t hash = 1469598103;
+  uint64_t hash = 1469598103;
   signature_walk(body, slots.data(), hash);
-  return hash;
+  return static_cast<int64_t>(hash);
 }
 
 StatusOr<CompiledKernel> compile_kernel(

@@ -300,6 +300,21 @@ StatusOr<Artifact> parse(std::string_view text) {
     OA_ASSIGN_OR_RETURN(e.params.k_tile, parse_int(fields[4], cur.lineno()));
     OA_ASSIGN_OR_RETURN(int64_t unroll, parse_int(fields[5], cur.lineno()));
     e.params.unroll = static_cast<int>(unroll);
+    // A syntactically valid entry can still carry values no tuner run
+    // would ever record (threads_y = 0 divides in thread_extent_y()) —
+    // a loaded artifact is untrusted input, so reject them here.
+    if (const Status ps = e.params.check(); !ps.is_ok()) {
+      return invalid_argument(str_format(
+          "artifact entry '%s' (line %zu): bad tuning params: %s",
+          e.variant.c_str(), entry_line, ps.message().c_str()));
+    }
+    if (e.tuned_size < 1) {
+      return invalid_argument(str_format(
+          "artifact entry '%s' (line %zu): tuned_size must be positive, "
+          "got %lld",
+          e.variant.c_str(), entry_line,
+          static_cast<long long>(e.tuned_size)));
+    }
 
     OA_ASSIGN_OR_RETURN(std::string mask_text, cur.take("applied_mask"));
     OA_ASSIGN_OR_RETURN(e.applied_mask,

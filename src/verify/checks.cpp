@@ -1,0 +1,317 @@
+#include "verify/checks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "blas3/matrix.hpp"
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "engine/evaluation_engine.hpp"
+#include "epod/script.hpp"
+#include "ir/validate.hpp"
+#include "libgen/artifact.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace oa::verify {
+namespace {
+
+using blas3::Matrix;
+
+/// Detail strings end up in reports and corpus files: keep them one
+/// line, printable, and bounded (mutation payload bytes and parser
+/// messages quoting them can contain anything).
+std::string sanitize(std::string_view text) {
+  std::string out;
+  const size_t limit = 200;
+  for (char ch : text.substr(0, limit)) {
+    const auto u = static_cast<unsigned char>(ch);
+    out.push_back(u >= 32 && u < 127 ? ch : '.');
+  }
+  if (text.size() > limit) out += "...";
+  return out;
+}
+
+/// The engine's apply stage: lenient script application (filter
+/// semantics) followed by the composer's final ir::validate gate.
+/// A non-OK outcome is an expected degeneration, never a finding.
+StatusOr<uint64_t> apply_like_engine(ir::Program& program,
+                                     const FuzzCase& c) {
+  transforms::TransformContext ctx;
+  ctx.params = c.params;
+  OA_ASSIGN_OR_RETURN(const uint64_t mask,
+                      epod::apply_script_lenient(program, c.script, ctx));
+  OA_RETURN_IF_ERROR(ir::validate(program));
+  return mask;
+}
+
+/// Exact per-field counter diff (Counters::to_string rounds to
+/// millions, which can hide a low-digit divergence entirely).
+std::string counter_diff(const gpusim::Counters& fast,
+                         const gpusim::Counters& interp) {
+  struct Field {
+    const char* name;
+    int64_t gpusim::Counters::* member;
+  };
+  static const Field kFields[] = {
+      {"gld_coherent", &gpusim::Counters::gld_coherent},
+      {"gld_incoherent", &gpusim::Counters::gld_incoherent},
+      {"gst_coherent", &gpusim::Counters::gst_coherent},
+      {"gst_incoherent", &gpusim::Counters::gst_incoherent},
+      {"gld_request", &gpusim::Counters::gld_request},
+      {"gst_request", &gpusim::Counters::gst_request},
+      {"local_read", &gpusim::Counters::local_read},
+      {"local_store", &gpusim::Counters::local_store},
+      {"instructions", &gpusim::Counters::instructions},
+      {"shared_load", &gpusim::Counters::shared_load},
+      {"shared_store", &gpusim::Counters::shared_store},
+      {"shared_bank_conflict_replays",
+       &gpusim::Counters::shared_bank_conflict_replays},
+      {"global_bytes", &gpusim::Counters::global_bytes},
+      {"flops", &gpusim::Counters::flops},
+      {"barriers", &gpusim::Counters::barriers},
+  };
+  std::string out;
+  for (const Field& f : kFields) {
+    const int64_t a = fast.*(f.member);
+    const int64_t b = interp.*(f.member);
+    if (a == b) continue;
+    if (!out.empty()) out += ", ";
+    out += str_format("%s fast=%lld interp=%lld", f.name,
+                      static_cast<long long>(a), static_cast<long long>(b));
+  }
+  return out;
+}
+
+/// Reduction length of the fuzzed problem (drives the float tolerance).
+int64_t reduction_length(const FuzzCase& c) {
+  if (c.variant.family == blas3::Family::kGemm) return std::max<int64_t>(c.k, 1);
+  return c.variant.side == blas3::Side::kLeft ? c.m : c.n;
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kRejected: return "rejected";
+    case Verdict::kFail: return "FAIL";
+  }
+  return "?";
+}
+
+CheckResult check_case(const gpusim::Simulator& sim, const FuzzCase& c) {
+  switch (c.kind) {
+    case CheckKind::kDifferential: return check_differential(sim, c);
+    case CheckKind::kRoundTrip: return check_roundtrip(c);
+    case CheckKind::kMutation: return check_mutation(c);
+    case CheckKind::kFastPath: return check_fastpath(sim, c);
+  }
+  return {Verdict::kFail, "unknown check kind"};
+}
+
+CheckResult check_differential(const gpusim::Simulator& sim,
+                               const FuzzCase& c) {
+  ir::Program program = blas3::make_source_program(c.variant);
+  auto mask = apply_like_engine(program, c);
+  if (!mask.is_ok()) {
+    return {Verdict::kRejected,
+            "apply/validate: " + sanitize(mask.status().to_string())};
+  }
+
+  // Inputs at the fuzzed rectangular shape, prepared exactly like
+  // engine::verify_program (triangular blanking, TRSM conditioning) but
+  // with per-family rectangular dimensions instead of square n x n.
+  const bool gemm = c.variant.family == blas3::Family::kGemm;
+  const bool trsm = c.variant.family == blas3::Family::kTrsm;
+  const int64_t m = c.m;
+  const int64_t n = c.n;
+  const int64_t k = reduction_length(c);
+  Matrix a = gemm ? (c.variant.trans_a == blas3::Trans::kN ? Matrix(m, k)
+                                                           : Matrix(k, m))
+                  : Matrix(k, k);
+  Matrix b = gemm ? (c.variant.trans_b == blas3::Trans::kN ? Matrix(k, n)
+                                                           : Matrix(n, k))
+                  : Matrix(m, n);
+  Matrix out_c(m, n);
+  Rng rng(Fingerprint()
+              .mix(c.seed)
+              .mix(c.index)
+              .mix(std::string_view("oacheck.data"))
+              .digest());
+  a.fill_random(rng);
+  b.fill_random(rng);
+  if (c.variant.family == blas3::Family::kTrmm || trsm ||
+      c.variant.family == blas3::Family::kSymm) {
+    a.make_triangular(c.variant.uplo);
+  }
+  if (trsm) {
+    a.set_unit_diagonal();
+    a.scale_off_diagonal(1.0f / 16.0f);
+  }
+  const std::map<std::string, bool> bools = {{"blank_zero", true}};
+
+  Matrix ref_b = b;
+  Matrix ref_c = out_c;
+  Status run =
+      engine::execute_program(sim, program, c.variant, a, b, &out_c, bools);
+  if (!run.is_ok()) {
+    return {Verdict::kRejected, "execute: " + sanitize(run.to_string())};
+  }
+  blas3::run_reference(c.variant, a, ref_b, &ref_c);
+  const Matrix& got = trsm ? b : out_c;
+  const Matrix& want = trsm ? ref_b : ref_c;
+  const float err = blas3::max_abs_diff(got, want);
+  const float tol = blas3::accumulation_tolerance(k);
+  if (err <= tol) {
+    return {Verdict::kPass,
+            str_format("mask=%llx err<=tol",
+                       static_cast<unsigned long long>(*mask))};
+  }
+
+  // Mismatch. Decide whether this is a composition the engine would
+  // have rejected anyway (its standard square verification also fails:
+  // expected degeneration) or a kernel the library would have shipped
+  // and then answered wrongly at this shape — the real finding.
+  Status square = engine::verify_program(sim, c.variant, program,
+                                         /*n=*/48, bools);
+  if (!square.is_ok()) {
+    return {Verdict::kRejected,
+            "engine rejects composition: " + sanitize(square.to_string())};
+  }
+  return {Verdict::kFail,
+          str_format("numeric mismatch err=%g tol=%g at m=%lld n=%lld "
+                     "k=%lld (square-48 verification passes)",
+                     static_cast<double>(err), static_cast<double>(tol),
+                     static_cast<long long>(m), static_cast<long long>(n),
+                     static_cast<long long>(k))};
+}
+
+CheckResult check_roundtrip(const FuzzCase& c) {
+  // Script: parse must accept its own to_text output for every entry
+  // the fuzzer emits, reproduce the script exactly (fingerprint
+  // included), and re-serialize to identical bytes.
+  const std::string text = epod::to_text(c.script);
+  auto parsed = epod::parse(text);
+  if (!parsed.is_ok()) {
+    return {Verdict::kFail, "epod::parse rejects its own to_text: " +
+                                sanitize(parsed.status().to_string())};
+  }
+  if (!(*parsed == c.script)) {
+    return {Verdict::kFail, "script round trip is not the identity"};
+  }
+  if (parsed->fingerprint() != c.script.fingerprint()) {
+    return {Verdict::kFail, "script fingerprint changed across round trip"};
+  }
+  if (epod::to_text(*parsed) != text) {
+    return {Verdict::kFail, "epod::to_text is not canonical"};
+  }
+
+  // Artifact: the same property for the .oalib wrapping of the case.
+  const std::string atext = synthetic_artifact_text(c);
+  auto art = libgen::parse(atext);
+  if (!art.is_ok()) {
+    return {Verdict::kFail, "libgen::parse rejects its own to_text: " +
+                                sanitize(art.status().to_string())};
+  }
+  if (libgen::to_text(*art) != atext) {
+    return {Verdict::kFail, "libgen::to_text is not canonical"};
+  }
+  if (art->entries.size() != 1) {
+    return {Verdict::kFail, "artifact entry count changed across round trip"};
+  }
+  const libgen::ArtifactEntry& e = art->entries[0];
+  if (e.script.fingerprint() != c.script.fingerprint() ||
+      e.params.fingerprint() != c.params.fingerprint() ||
+      e.variant != c.variant.name()) {
+    return {Verdict::kFail, "artifact entry fields changed across round trip"};
+  }
+  return {Verdict::kPass, "script+artifact round trip identical"};
+}
+
+CheckResult check_mutation(const FuzzCase& c) {
+  // The corrupted payload must never crash a parser; acceptance is fine
+  // (many mutations are benign) but anything accepted must itself be
+  // round-trip stable — a parser that accepts bytes it cannot re-read
+  // would corrupt the library on the next save/load cycle.
+  if (c.mutation_target == MutationTarget::kScript) {
+    auto parsed = epod::parse(c.payload);
+    if (!parsed.is_ok()) {
+      return {Verdict::kPass,
+              "rejected: " + sanitize(parsed.status().to_string())};
+    }
+    auto again = epod::parse(epod::to_text(*parsed));
+    if (!again.is_ok()) {
+      return {Verdict::kFail, "accepted mutation does not re-parse: " +
+                                  sanitize(again.status().to_string())};
+    }
+    if (!(*again == *parsed)) {
+      return {Verdict::kFail, "accepted mutation is not round-trip stable"};
+    }
+    return {Verdict::kPass, "accepted (benign mutation), stable"};
+  }
+  auto art = libgen::parse(c.payload);
+  if (!art.is_ok()) {
+    return {Verdict::kPass, "rejected: " + sanitize(art.status().to_string())};
+  }
+  auto again = libgen::parse(libgen::to_text(*art));
+  if (!again.is_ok()) {
+    return {Verdict::kFail, "accepted artifact mutation does not re-parse: " +
+                                sanitize(again.status().to_string())};
+  }
+  return {Verdict::kPass, "accepted (benign mutation), stable"};
+}
+
+CheckResult check_fastpath(const gpusim::Simulator& sim, const FuzzCase& c) {
+  ir::Program program = blas3::make_source_program(c.variant);
+  auto mask = apply_like_engine(program, c);
+  if (!mask.is_ok()) {
+    return {Verdict::kRejected,
+            "apply/validate: " + sanitize(mask.status().to_string())};
+  }
+
+  gpusim::RunOptions opts;
+  opts.int_params = c.variant.family == blas3::Family::kGemm
+                        ? ir::Env{{"M", c.m}, {"N", c.n}, {"K", c.k}}
+                        : ir::Env{{"M", c.m}, {"N", c.n}};
+  opts.fastpath = true;
+  auto fast = sim.run_performance(program, opts);
+  opts.fastpath = false;
+  auto interp = sim.run_performance(program, opts);
+  if (fast.is_ok() != interp.is_ok()) {
+    return {Verdict::kFail,
+            str_format("status divergence: fast=%s interp=%s",
+                       sanitize(fast.status().to_string()).c_str(),
+                       sanitize(interp.status().to_string()).c_str())};
+  }
+  if (!fast.is_ok()) {
+    return {Verdict::kRejected,
+            "both paths reject: " + sanitize(fast.status().to_string())};
+  }
+  if (!(fast->counters == interp->counters)) {
+    return {Verdict::kFail, "aggregate counters diverge: " +
+                                counter_diff(fast->counters,
+                                             interp->counters)};
+  }
+  if (fast->kernels.size() != interp->kernels.size()) {
+    return {Verdict::kFail, "kernel count diverges between paths"};
+  }
+  for (size_t i = 0; i < fast->kernels.size(); ++i) {
+    if (!(fast->kernels[i].counters == interp->kernels[i].counters)) {
+      return {Verdict::kFail,
+              "kernel counters diverge: " + fast->kernels[i].name + ": " +
+                  counter_diff(fast->kernels[i].counters,
+                               interp->kernels[i].counters)};
+    }
+  }
+  if (interp->fastpath.fast_statements != 0) {
+    return {Verdict::kFail, "interpreter run touched the fast path"};
+  }
+  return {Verdict::kPass,
+          str_format("counters bit-identical (mask=%llx)",
+                     static_cast<unsigned long long>(*mask))};
+}
+
+}  // namespace oa::verify

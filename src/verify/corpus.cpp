@@ -1,0 +1,331 @@
+#include "verify/corpus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "epod/script.hpp"
+#include "support/strings.hpp"
+
+namespace oa::verify {
+namespace {
+
+std::string hex_encode(std::string_view bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (char ch : bytes) {
+    const auto u = static_cast<unsigned char>(ch);
+    out.push_back(kDigits[u >> 4]);
+    out.push_back(kDigits[u & 0xF]);
+  }
+  return out;
+}
+
+StatusOr<std::string> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return invalid_argument("payload_hex has odd length");
+  }
+  auto nibble = [](char ch) -> int {
+    if (ch >= '0' && ch <= '9') return ch - '0';
+    if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+    if (ch >= 'A' && ch <= 'F') return ch - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return invalid_argument("payload_hex has a non-hex character");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+/// Split into lines without the trailing newline of the last one.
+std::vector<std::string> to_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      if (begin < text.size()) lines.emplace_back(text.substr(begin));
+      break;
+    }
+    lines.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+/// Sequential reader over the reproducer lines.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : lines_(to_lines(text)) {}
+
+  bool done() const { return pos_ >= lines_.size(); }
+  const std::string& peek() const { return lines_[pos_]; }
+  std::string next() { return lines_[pos_++]; }
+  size_t line_number() const { return pos_ + 1; }
+
+  /// Consume `count` lines that must start with "| " (or be exactly
+  /// "|") and return their contents.
+  StatusOr<std::vector<std::string>> block(size_t count) {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < count; ++i) {
+      if (done()) {
+        return invalid_argument(
+            str_format("case line %zu: block truncated", line_number()));
+      }
+      std::string line = next();
+      if (line == "|") {
+        out.emplace_back();
+      } else if (starts_with(line, "| ")) {
+        out.emplace_back(line.substr(2));
+      } else {
+        return invalid_argument(str_format(
+            "case line %zu: expected '| ' block line", line_number() - 1));
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  size_t pos_ = 0;
+};
+
+StatusOr<int64_t> parse_i64(const std::string& text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return invalid_argument("expected integer, got '" + text + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<uint64_t> parse_u64(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return invalid_argument("expected integer, got '" + text + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+std::string case_to_text(const FuzzCase& c) {
+  std::string out;
+  out += "oacheck-case 1\n";
+  out += str_format("origin %s\n", c.id().c_str());
+  out += str_format("kind %s\n", check_kind_name(c.kind));
+  out += str_format("variant %s\n", c.variant.name().c_str());
+  out += str_format("sizes %lld %lld %lld\n", static_cast<long long>(c.m),
+                    static_cast<long long>(c.n), static_cast<long long>(c.k));
+  out += str_format(
+      "params %lld %lld %lld %lld %lld %d\n",
+      static_cast<long long>(c.params.block_tile_y),
+      static_cast<long long>(c.params.block_tile_x),
+      static_cast<long long>(c.params.threads_y),
+      static_cast<long long>(c.params.threads_x),
+      static_cast<long long>(c.params.k_tile), c.params.unroll);
+  const std::vector<std::string> script_lines =
+      to_lines(epod::to_text(c.script));
+  out += str_format("script %zu\n", script_lines.size());
+  for (const std::string& line : script_lines) {
+    out += line.empty() ? "|\n" : "| " + line + "\n";
+  }
+  if (c.kind == CheckKind::kMutation) {
+    out += str_format("mutation_target %s\n",
+                      mutation_target_name(c.mutation_target));
+    const std::string hex = hex_encode(c.payload);
+    // 64 hex digits (32 payload bytes) per line.
+    std::vector<std::string> hex_lines;
+    for (size_t i = 0; i < hex.size(); i += 64) {
+      hex_lines.push_back(hex.substr(i, 64));
+    }
+    out += str_format("payload_hex %zu\n", hex_lines.size());
+    for (const std::string& line : hex_lines) out += "| " + line + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+StatusOr<FuzzCase> case_from_text(std::string_view text) {
+  Cursor cur(text);
+  FuzzCase c;
+  bool saw_end = false;
+  bool saw_header = false;
+  while (!cur.done()) {
+    const size_t at = cur.line_number();
+    const std::string line = cur.next();
+    if (line.empty() || starts_with(line, "#")) continue;
+    std::istringstream ss(line);
+    std::string key;
+    ss >> key;
+    auto rest_of = [&ss]() {
+      std::string rest;
+      std::getline(ss, rest);
+      return std::string(trim(rest));
+    };
+    if (key == "oacheck-case") {
+      const std::string version = rest_of();
+      if (version != "1") {
+        return invalid_argument("unsupported case format version '" +
+                                version + "'");
+      }
+      saw_header = true;
+    } else if (key == "origin") {
+      const std::string origin = rest_of();
+      const size_t colon = origin.find(':');
+      if (colon == std::string::npos) {
+        return invalid_argument(
+            str_format("case line %zu: origin wants seed:index", at));
+      }
+      OA_ASSIGN_OR_RETURN(c.seed, parse_u64(origin.substr(0, colon)));
+      OA_ASSIGN_OR_RETURN(c.index, parse_u64(origin.substr(colon + 1)));
+    } else if (key == "kind") {
+      if (!parse_check_kind(rest_of(), &c.kind)) {
+        return invalid_argument(
+            str_format("case line %zu: unknown check kind", at));
+      }
+    } else if (key == "variant") {
+      const std::string name = rest_of();
+      const blas3::Variant* v = blas3::find_variant(name);
+      if (v == nullptr) {
+        return invalid_argument(str_format(
+            "case line %zu: unknown variant '%s'", at, name.c_str()));
+      }
+      c.variant = *v;
+    } else if (key == "sizes") {
+      std::string sm, sn, sk;
+      ss >> sm >> sn >> sk;
+      OA_ASSIGN_OR_RETURN(c.m, parse_i64(sm));
+      OA_ASSIGN_OR_RETURN(c.n, parse_i64(sn));
+      OA_ASSIGN_OR_RETURN(c.k, parse_i64(sk));
+      if (c.m < 1 || c.n < 1 || c.k < 1) {
+        return invalid_argument(
+            str_format("case line %zu: sizes must be positive", at));
+      }
+    } else if (key == "params") {
+      std::string f[6];
+      for (auto& piece : f) ss >> piece;
+      OA_ASSIGN_OR_RETURN(c.params.block_tile_y, parse_i64(f[0]));
+      OA_ASSIGN_OR_RETURN(c.params.block_tile_x, parse_i64(f[1]));
+      OA_ASSIGN_OR_RETURN(c.params.threads_y, parse_i64(f[2]));
+      OA_ASSIGN_OR_RETURN(c.params.threads_x, parse_i64(f[3]));
+      OA_ASSIGN_OR_RETURN(c.params.k_tile, parse_i64(f[4]));
+      OA_ASSIGN_OR_RETURN(const int64_t unroll, parse_i64(f[5]));
+      c.params.unroll = static_cast<int>(unroll);
+      OA_RETURN_IF_ERROR(c.params.check());
+    } else if (key == "script") {
+      std::string count_text;
+      ss >> count_text;
+      OA_ASSIGN_OR_RETURN(const int64_t count, parse_i64(count_text));
+      if (count < 0 || count > 4096) {
+        return invalid_argument(
+            str_format("case line %zu: unreasonable script line count", at));
+      }
+      OA_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          cur.block(static_cast<size_t>(count)));
+      OA_ASSIGN_OR_RETURN(c.script,
+                          epod::parse(join(lines, "\n") + "\n"));
+    } else if (key == "mutation_target") {
+      const std::string target = rest_of();
+      if (target == "script") {
+        c.mutation_target = MutationTarget::kScript;
+      } else if (target == "artifact") {
+        c.mutation_target = MutationTarget::kArtifact;
+      } else {
+        return invalid_argument(
+            str_format("case line %zu: unknown mutation target", at));
+      }
+    } else if (key == "payload_hex") {
+      std::string count_text;
+      ss >> count_text;
+      OA_ASSIGN_OR_RETURN(const int64_t count, parse_i64(count_text));
+      if (count < 0 || count > 65536) {
+        return invalid_argument(
+            str_format("case line %zu: unreasonable payload line count", at));
+      }
+      OA_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          cur.block(static_cast<size_t>(count)));
+      OA_ASSIGN_OR_RETURN(c.payload, hex_decode(join(lines, "")));
+    } else if (key == "payload") {
+      // Raw-text alternative for hand-written printable payloads.
+      std::string count_text;
+      ss >> count_text;
+      OA_ASSIGN_OR_RETURN(const int64_t count, parse_i64(count_text));
+      if (count < 0 || count > 65536) {
+        return invalid_argument(
+            str_format("case line %zu: unreasonable payload line count", at));
+      }
+      OA_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          cur.block(static_cast<size_t>(count)));
+      c.payload = join(lines, "\n") + "\n";
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return invalid_argument(
+          str_format("case line %zu: unknown key '%s'", at, key.c_str()));
+    }
+  }
+  if (!saw_header) return invalid_argument("missing oacheck-case header");
+  if (!saw_end) return invalid_argument("case truncated: missing 'end'");
+  return c;
+}
+
+Status save_case(const FuzzCase& c, const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return internal_error("cannot open '" + path + "' for writing");
+  out << case_to_text(c);
+  out.close();
+  if (!out) return internal_error("write to '" + path + "' failed");
+  return Status::ok();
+}
+
+StatusOr<FuzzCase> load_case(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found("cannot read case file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto c = case_from_text(buf.str());
+  if (!c.is_ok()) {
+    return Status(c.status().code(),
+                  path + ": " + c.status().message());
+  }
+  return c;
+}
+
+std::string case_filename(const FuzzCase& c) {
+  return str_format("%s_%llu_%llu.case", check_kind_name(c.kind),
+                    static_cast<unsigned long long>(c.seed),
+                    static_cast<unsigned long long>(c.index));
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".case") continue;
+    out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace oa::verify

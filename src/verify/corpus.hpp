@@ -1,0 +1,48 @@
+// Corpus persistence: failing fuzz cases minimize to a one-file
+// reproducer under tests/corpus/ (and to an `oacheck --repro
+// seed:index` line when the case came from the fuzzer). The format is
+// line-oriented text like the .oalib artifact:
+//
+//   oacheck-case 1                 <- format version
+//   origin 42:137                  <- (seed, index) the fuzzer used
+//   kind differential
+//   variant TRSM-LL-N
+//   sizes 7 96 1                   <- m n k
+//   params 32 16 8 4 16 2          <- bty btx ty tx kt unroll
+//   script 3                       <- epod::to_text line count
+//   | //! routine: TRSM-LL-N
+//   | ...
+//   mutation_target artifact       <- mutation cases only
+//   payload_hex 2                  <- hex-encoded corrupted bytes
+//   | 6f61626c...
+//   end
+//
+// `payload N` with raw text lines is accepted too, for hand-written
+// regression cases whose payload is printable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace oa::verify {
+
+/// Serialize a case to reproducer text / parse it back. Round trips
+/// exactly (payloads go through hex, so arbitrary bytes survive).
+std::string case_to_text(const FuzzCase& c);
+StatusOr<FuzzCase> case_from_text(std::string_view text);
+
+/// File-level wrappers.
+Status save_case(const FuzzCase& c, const std::string& path);
+StatusOr<FuzzCase> load_case(const std::string& path);
+
+/// Canonical reproducer filename, "<kind>_<seed>_<index>.case".
+std::string case_filename(const FuzzCase& c);
+
+/// All *.case files in `dir`, sorted by name (deterministic run order);
+/// empty when the directory does not exist.
+std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace oa::verify

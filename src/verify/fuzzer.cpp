@@ -1,0 +1,341 @@
+#include "verify/fuzzer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "epod/script.hpp"
+#include "libgen/artifact.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace oa::verify {
+namespace {
+
+using transforms::Invocation;
+
+const char* kArrays[] = {"A", "B", "C"};
+const char* kModes[] = {"NoChange", "Transpose", "Symmetry"};
+
+std::string pick(Rng& rng, const std::vector<std::string>& from) {
+  return from[rng.next_below(from.size())];
+}
+
+std::string pick_mode(Rng& rng) { return kModes[rng.next_below(3)]; }
+
+/// Deterministic text corruption: 1-3 rounds of byte flips, truncation,
+/// span deletion, line duplication, or garbage insertion. Intentionally
+/// includes NUL and high bytes — the parsers must treat the result as
+/// opaque bytes and answer with a Status, never with UB.
+std::string mutate_text(Rng& rng, std::string text) {
+  const uint64_t rounds = 1 + rng.next_below(3);
+  for (uint64_t r = 0; r < rounds; ++r) {
+    if (text.empty()) {
+      text.push_back(static_cast<char>(rng.next_below(256)));
+      continue;
+    }
+    const size_t pos = rng.next_below(text.size());
+    switch (rng.next_below(5)) {
+      case 0:  // flip one byte to an arbitrary value
+        text[pos] = static_cast<char>(rng.next_below(256));
+        break;
+      case 1:  // truncate (the artifact trailer check must notice)
+        text.resize(pos);
+        break;
+      case 2: {  // delete a short span
+        const size_t len =
+            std::min<size_t>(1 + rng.next_below(8), text.size() - pos);
+        text.erase(pos, len);
+        break;
+      }
+      case 3: {  // duplicate the line containing pos
+        size_t begin = text.rfind('\n', pos);
+        begin = begin == std::string::npos ? 0 : begin + 1;
+        size_t end = text.find('\n', pos);
+        end = end == std::string::npos ? text.size() : end + 1;
+        text.insert(begin, text.substr(begin, end - begin));
+        break;
+      }
+      default: {  // insert printable-ish garbage
+        std::string junk;
+        const uint64_t len = 1 + rng.next_below(6);
+        for (uint64_t i = 0; i < len; ++i)
+          junk.push_back(static_cast<char>(32 + rng.next_below(96)));
+        text.insert(pos, junk);
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+const char* check_kind_name(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kDifferential: return "differential";
+    case CheckKind::kRoundTrip: return "roundtrip";
+    case CheckKind::kMutation: return "mutation";
+    case CheckKind::kFastPath: return "fastpath";
+  }
+  return "?";
+}
+
+bool parse_check_kind(const std::string& text, CheckKind* out) {
+  for (CheckKind k : {CheckKind::kDifferential, CheckKind::kRoundTrip,
+                      CheckKind::kMutation, CheckKind::kFastPath}) {
+    if (text == check_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* mutation_target_name(MutationTarget target) {
+  return target == MutationTarget::kScript ? "script" : "artifact";
+}
+
+std::string FuzzCase::id() const {
+  return str_format("%llu:%llu", static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(index));
+}
+
+std::string FuzzCase::to_string() const {
+  std::string line = str_format(
+      "%s %s %s m=%lld n=%lld k=%lld inv=%zu params=[%s] script_fp=%016llx",
+      id().c_str(), check_kind_name(kind), variant.name().c_str(),
+      static_cast<long long>(m), static_cast<long long>(n),
+      static_cast<long long>(k), script.invocations.size(),
+      params.to_string().c_str(),
+      static_cast<unsigned long long>(script.fingerprint()));
+  if (kind == CheckKind::kMutation) {
+    line += str_format(" mutation=%s payload_bytes=%zu",
+                       mutation_target_name(mutation_target), payload.size());
+  }
+  return line;
+}
+
+ScriptFuzzer::ScriptFuzzer(uint64_t seed, FuzzerOptions options)
+    : seed_(seed), options_(options) {}
+
+transforms::TuningParams ScriptFuzzer::fuzz_params(Rng& rng) const {
+  // Draw from the legal lattice the tuner itself explores: tiles are
+  // powers of two, thread counts divide their tile (TuningParams::check
+  // requires it), and the block stays within even the geforce9800's
+  // 512-thread limit most of the time.
+  static const int64_t kTiles[] = {8, 16, 32, 64};
+  transforms::TuningParams p;
+  p.block_tile_y = kTiles[rng.next_below(std::size(kTiles))];
+  p.block_tile_x = kTiles[rng.next_below(std::size(kTiles))];
+  auto pick_threads = [&rng](int64_t tile) {
+    std::vector<int64_t> divisors;
+    for (int64_t t = 1; t <= tile && t <= 16; t *= 2) divisors.push_back(t);
+    return divisors[rng.next_below(divisors.size())];
+  };
+  p.threads_y = pick_threads(p.block_tile_y);
+  p.threads_x = pick_threads(p.block_tile_x);
+  static const int64_t kKTiles[] = {1, 2, 4, 8, 16, 32};
+  p.k_tile = kKTiles[rng.next_below(std::size(kKTiles))];
+  static const int kUnrolls[] = {1, 2, 4, 8};
+  p.unroll = kUnrolls[rng.next_below(std::size(kUnrolls))];
+  return p;
+}
+
+int64_t ScriptFuzzer::fuzz_extent(Rng& rng) const {
+  // Half the draws come from the edge pool the ISSUE names: 1, small
+  // primes, non-multiples of every tile size, exact powers of two, and
+  // dispatch bucket boundaries (2^b - 1, 2^b, 2^b + 1).
+  static const int64_t kEdges[] = {1,  2,  3,  5,  7,  8,  13, 15, 16, 17,
+                                   24, 31, 32, 33, 37, 45, 48, 61, 63, 64,
+                                   65, 67, 72, 89, 96, 97, 127, 128};
+  int64_t n;
+  if (rng.next_below(2) == 0) {
+    n = kEdges[rng.next_below(std::size(kEdges))];
+  } else {
+    n = 1 + static_cast<int64_t>(
+                rng.next_below(static_cast<uint64_t>(options_.max_size)));
+  }
+  return std::min(n, options_.max_size);
+}
+
+epod::Script ScriptFuzzer::fuzz_script(Rng& rng,
+                                       const blas3::Variant& v) const {
+  // Walk the composer's legality rules (transforms/transform.hpp):
+  // GM_map, when present, comes first (must_be_first); polyhedral
+  // components follow source loop-label structure; memory-allocation
+  // components trail (the splitter's ordering). Individual invocations
+  // may still fail on a given variant — lenient application omits them,
+  // exactly like composer::filter_sequence.
+  epod::Script s;
+  s.routine = v.name();
+  std::vector<Invocation>& inv = s.invocations;
+
+  // Rarely: the empty script (the untransformed source is a legal,
+  // verifiable candidate too).
+  if (rng.next_below(32) == 0) return s;
+
+  if (rng.next_below(8) == 0) {
+    inv.push_back(Invocation{
+        "GM_map", {std::string(kArrays[rng.next_below(2)]), pick_mode(rng)},
+        {}});
+  }
+
+  const bool grouped = rng.next_below(8) != 0;
+  if (grouped) {
+    // Occasionally swap the label order — still grammatical; the
+    // component decides whether it can apply.
+    if (rng.next_below(16) == 0) {
+      inv.push_back(
+          Invocation{"thread_grouping", {"Lj", "Li"}, {"Ljj", "Lii"}});
+    } else {
+      inv.push_back(
+          Invocation{"thread_grouping", {"Li", "Lj"}, {"Lii", "Ljj"}});
+    }
+  }
+
+  const bool tiled = rng.next_below(8) != 0;
+  if (tiled) {
+    if (grouped) {
+      inv.push_back(Invocation{
+          "loop_tiling", {"Lii", "Ljj", "Lk"}, {"Liii", "Ljjj", "Lkkk"}});
+    } else {
+      inv.push_back(Invocation{
+          "loop_tiling", {"Li", "Lj", "Lk"}, {"Liii", "Ljjj", "Lkkk"}});
+    }
+  }
+
+  // Triangular adaptors: likely for the structured families, rare (and
+  // expected to degenerate cleanly) for GEMM.
+  const bool structured = v.family == blas3::Family::kTrmm ||
+                          v.family == blas3::Family::kTrsm ||
+                          v.family == blas3::Family::kSymm;
+  const uint64_t tri_odds = structured ? 4 : 16;
+  if (rng.next_below(tri_odds) < 3) {
+    inv.push_back(Invocation{"peel_triangular", {"A"}, {}});
+  }
+  if (rng.next_below(tri_odds) < 2) {
+    inv.push_back(Invocation{"padding_triangular", {"A"}, {}});
+  }
+  if (v.family == blas3::Family::kTrsm ? rng.next_below(2) == 0
+                                       : rng.next_below(16) == 0) {
+    inv.push_back(Invocation{
+        "binding_triangular",
+        {"A", str_format("%llu", (unsigned long long)rng.next_below(2))},
+        {}});
+  }
+
+  if (rng.next_below(8) == 0) {
+    inv.push_back(Invocation{
+        "format_iteration", {pick(rng, {"A", "B"}), pick_mode(rng)}, {}});
+  }
+
+  // Unroll over labels that exist after tiling (or adversarially over
+  // ones that may not — lenient application handles the miss).
+  if (rng.next_below(4) != 0) {
+    std::vector<std::string> pool =
+        tiled ? std::vector<std::string>{"Ljjj", "Lkkk"}
+              : std::vector<std::string>{"Lk"};
+    if (rng.next_below(16) == 0) pool.push_back("Lzz");  // missing label
+    std::vector<std::string> labels;
+    for (const std::string& l : pool) {
+      if (rng.next_below(4) != 0) labels.push_back(l);
+    }
+    if (labels.empty()) labels.push_back(pool[0]);
+    inv.push_back(Invocation{"loop_unroll", labels, {}});
+  }
+
+  // Memory components trail (splitter ordering). Duplicates are legal
+  // grammar; the second application either stacks or degenerates.
+  if (rng.next_below(4) != 0) {
+    inv.push_back(Invocation{"SM_alloc", {"B", "Transpose"}, {}});
+  }
+  if (rng.next_below(8) == 0) {
+    inv.push_back(Invocation{"SM_alloc", {"A", pick_mode(rng)}, {}});
+  }
+  if (rng.next_below(16) == 0) {
+    // Transpose o Transpose — merge_allocations folds this to NoChange.
+    inv.push_back(Invocation{"SM_alloc", {"B", "Transpose"}, {}});
+  }
+  if (rng.next_below(4) != 0) {
+    const char* target = v.family == blas3::Family::kTrsm ? "B" : "C";
+    inv.push_back(Invocation{"reg_alloc", {target}, {}});
+  }
+
+  return s;
+}
+
+FuzzCase ScriptFuzzer::make_case(uint64_t index) const {
+  FuzzCase c;
+  c.seed = seed_;
+  c.index = index;
+  // Per-case generator: a pure function of (seed, index) — repro of any
+  // case never needs the cases before it.
+  Rng rng(Fingerprint()
+              .mix(seed_)
+              .mix(index)
+              .mix(std::string_view("oacheck.case"))
+              .digest());
+
+  // The variant rotates with the index so any run of >= 24 consecutive
+  // cases covers the whole catalog deterministically.
+  const auto& variants = blas3::all_variants();
+  c.variant = variants[index % variants.size()];
+
+  std::vector<CheckKind> kinds;
+  if (options_.differential) kinds.push_back(CheckKind::kDifferential);
+  if (options_.roundtrip) kinds.push_back(CheckKind::kRoundTrip);
+  if (options_.mutation) kinds.push_back(CheckKind::kMutation);
+  if (options_.fastpath) kinds.push_back(CheckKind::kFastPath);
+  if (kinds.empty()) kinds.push_back(CheckKind::kRoundTrip);
+  c.kind = kinds[rng.next_below(kinds.size())];
+
+  c.params = fuzz_params(rng);
+  c.script = fuzz_script(rng, c.variant);
+  c.m = fuzz_extent(rng);
+  c.n = fuzz_extent(rng);
+  c.k = fuzz_extent(rng);
+
+  if (c.kind == CheckKind::kMutation) {
+    c.mutation_target = rng.next_below(2) == 0 ? MutationTarget::kScript
+                                               : MutationTarget::kArtifact;
+    std::string base = c.mutation_target == MutationTarget::kScript
+                           ? epod::to_text(c.script)
+                           : synthetic_artifact_text(c);
+    c.payload = mutate_text(rng, std::move(base));
+  }
+  return c;
+}
+
+std::string synthetic_artifact_text(const FuzzCase& c) {
+  // A self-consistent one-entry artifact: fingerprints derive from the
+  // case's script/params so libgen::parse's integrity chain (content
+  // hash, fingerprint self-consistency, trailer) accepts it untouched.
+  // Measurements are deterministic fakes — no wall clock.
+  libgen::Artifact art;
+  art.device = "gtx285";
+  art.device_fp = Fingerprint().mix(std::string_view("oacheck.device"))
+                      .digest();
+  art.generator = "oacheck-fuzzer";
+
+  libgen::ArtifactEntry e;
+  e.variant = c.variant.name();
+  e.script = c.script;
+  e.conditions = {"blank(A).zero = true"};
+  e.params = c.params;
+  e.applied_mask =
+      c.script.invocations.empty()
+          ? 0
+          : (uint64_t{1} << std::min<size_t>(c.script.invocations.size(), 63)) -
+                1;
+  e.script_fingerprint = c.script.fingerprint();
+  e.candidate_fingerprint = e.candidate().fingerprint();
+  e.params_fingerprint = c.params.fingerprint();
+  e.gflops = 1.0 + static_cast<double>(c.index % 997) * 0.5;
+  e.seconds = 1.0 / static_cast<double>(1 + c.index % 13);
+  e.tuned_size = std::max<int64_t>(c.n, 1);
+  art.entries.push_back(std::move(e));
+  return libgen::to_text(art);
+}
+
+}  // namespace oa::verify

@@ -1,0 +1,111 @@
+// ScriptFuzzer: deterministic, seed-driven generation of randomized but
+// *legal* verification cases for the generate -> serialize -> serve
+// pipeline.
+//
+// "Legal" means the fuzzer walks the same rules the composer's
+// splitter/mixer/filter obey (transforms/transform.hpp): component
+// names come from the optimization pools, GM_map only ever appears
+// first, memory-allocation components trail the polyhedral part, and
+// label/array/mode arguments come from the vocabulary the BLAS3 source
+// programs define. Individual components may still fail to apply — the
+// composer's filter semantics make that an expected degeneration, and
+// the checks (checks.hpp) apply scripts leniently exactly like the
+// evaluation engine does.
+//
+// Determinism contract: a case is a pure function of (seed, index) —
+// no wall clock, no global state, no iteration-order dependence — so
+// `oacheck --repro SEED:INDEX` regenerates any case bit-identically
+// and two runs with the same seed produce byte-identical case lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "blas3/routine.hpp"
+#include "epod/script.hpp"
+#include "support/rng.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa::verify {
+
+/// The four cross-checks the harness runs (ISSUE: differential
+/// numerics, serializer round trip, mutation robustness, fast-path
+/// counter equivalence).
+enum class CheckKind {
+  kDifferential,  // fuzzed kernel vs blas3::reference numerics
+  kRoundTrip,     // epod::to_text/parse + libgen::to_text/parse
+  kMutation,      // corrupted script/artifact text must Status, not crash
+  kFastPath,      // gpusim fast path vs interpreter counters
+};
+
+const char* check_kind_name(CheckKind kind);
+/// Parse a kind name ("differential", ...); returns false on unknown.
+bool parse_check_kind(const std::string& text, CheckKind* out);
+
+/// What a mutation case corrupts.
+enum class MutationTarget { kScript, kArtifact };
+
+const char* mutation_target_name(MutationTarget target);
+
+/// One fully-determined verification case.
+struct FuzzCase {
+  uint64_t seed = 0;
+  uint64_t index = 0;
+  CheckKind kind = CheckKind::kRoundTrip;
+
+  blas3::Variant variant;
+  epod::Script script;              // fuzzed legal EPOD script
+  transforms::TuningParams params;  // always passes params.check()
+  int64_t m = 0, n = 0, k = 0;      // fuzzed problem extents
+
+  // Mutation cases only: the corrupted text handed to the parser.
+  MutationTarget mutation_target = MutationTarget::kScript;
+  std::string payload;
+
+  /// Reproducer id, "seed:index".
+  std::string id() const;
+  /// Deterministic one-line description (no floats, no pointers).
+  std::string to_string() const;
+};
+
+/// Options narrowing what the fuzzer emits.
+struct FuzzerOptions {
+  /// Check kinds the harness enabled; cases rotate over this set.
+  bool differential = true;
+  bool roundtrip = true;
+  bool mutation = true;
+  bool fastpath = true;
+  /// Upper bound on fuzzed problem extents (keeps functional
+  /// simulation affordable under sanitizers).
+  int64_t max_size = 96;
+};
+
+class ScriptFuzzer {
+ public:
+  explicit ScriptFuzzer(uint64_t seed, FuzzerOptions options = {});
+
+  /// The case for `index` — pure function of (seed, index, options).
+  FuzzCase make_case(uint64_t index) const;
+
+  // Individual generators, exposed for targeted tests. All draw only
+  // from `rng`.
+  epod::Script fuzz_script(Rng& rng, const blas3::Variant& v) const;
+  transforms::TuningParams fuzz_params(Rng& rng) const;
+  /// Edge-heavy extent distribution: 1, small primes, non-multiples of
+  /// every tile size, exact powers of two, and bucket boundaries.
+  int64_t fuzz_extent(Rng& rng) const;
+
+  uint64_t seed() const { return seed_; }
+  const FuzzerOptions& options() const { return options_; }
+
+ private:
+  uint64_t seed_ = 0;
+  FuzzerOptions options_;
+};
+
+/// A synthetic one-entry library artifact text wrapping the case's
+/// script/params with deterministic fake measurements — the corpus the
+/// round-trip and mutation checks feed to libgen::parse.
+std::string synthetic_artifact_text(const FuzzCase& c);
+
+}  // namespace oa::verify

@@ -3,12 +3,14 @@
 // and the warm-start path through OaFramework::generate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
 #include "blas3/source_ir.hpp"
 #include "libgen/artifact.hpp"
 #include "oa/oa.hpp"
+#include "support/rng.hpp"
 
 namespace oa {
 namespace {
@@ -242,6 +244,73 @@ TEST(ArtifactCorruption, GarbageIsAStatusErrorNotACrash) {
     auto parsed = libgen::parse(garbage);
     EXPECT_FALSE(parsed.is_ok());
   }
+}
+
+// oacheck mutation finding: an entry whose fields all agree with the
+// content hash can still carry parameter values no tuner run would
+// emit — threads_y = 0 used to survive parse and divide by zero in
+// thread_extent_y() at dispatch time.
+TEST(ArtifactCorruption, InsaneTuningParamsAreRejected) {
+  std::string text = libgen::to_text(one_entry_artifact());
+  const size_t pos = text.find("\nparams ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t eol = text.find('\n', pos + 1);
+  text.replace(pos, eol - pos, "\nparams 16 16 0 4 8 1");
+  auto parsed = libgen::parse(text);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("tuning params"),
+            std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ArtifactCorruption, NonPositiveTunedSizeIsRejected) {
+  std::string text = libgen::to_text(one_entry_artifact());
+  const size_t pos = text.find("tuned_size 512");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 14, "tuned_size 0");
+  auto parsed = libgen::parse(text);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("tuned_size"),
+            std::string::npos)
+      << parsed.status().to_string();
+}
+
+// Bounded in-process version of `oacheck --check mutation` for the
+// artifact reader: seeded byte flips, truncations, and duplicated
+// spans. Every outcome must be a Status — never a crash, throw, or
+// sanitizer report. Silent acceptance is fine only for mutations the
+// content hash cannot see (e.g. trailing whitespace).
+TEST(ArtifactCorruption, SeededByteMutationsNeverCrash) {
+  const std::string text = libgen::to_text(one_entry_artifact());
+  Rng rng(0x5EED);
+  int rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = text;
+    const int edits = 1 + static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      switch (rng.next_below(3)) {
+        case 0:
+          mutated[rng.next_below(mutated.size())] =
+              static_cast<char>(rng.next_below(256));
+          break;
+        case 1:
+          mutated.resize(rng.next_below(mutated.size() + 1));
+          break;
+        default: {
+          const size_t at = rng.next_below(mutated.size());
+          const size_t len =
+              std::min(mutated.size() - at, rng.next_below(40) + 1);
+          mutated.insert(at, mutated.substr(at, len));
+          break;
+        }
+      }
+    }
+    auto parsed = libgen::parse(mutated);
+    rejected += parsed.is_ok() ? 0 : 1;
+  }
+  // Near-every mutation lands on a checked field; a handful hitting
+  // only hash-invisible bytes may slip through as identical content.
+  EXPECT_GT(rejected, 280);
 }
 
 TEST(ArtifactDevice, MismatchIsRejectedByCheckAndSetLibrary) {

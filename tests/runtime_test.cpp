@@ -262,6 +262,72 @@ TEST(LibraryRuntime, DispatchIsAPureLookup) {
   EXPECT_EQ(rt.stats().requests, 0u);
 }
 
+// Fuzzed request shapes: degenerate dims (n = 1), power-of-two bucket
+// boundaries (63/64/65, 255/256/257), primes, and mixed variants
+// served concurrently. The invariants under fire: every request is
+// answered correctly and counted exactly once (requests = hits +
+// near hits + fallbacks + failures), each per-outcome latency
+// histogram count equals its counter (one source of truth), and
+// recovered_errors stays zero when every path serves cleanly.
+TEST(LibraryRuntime, FuzzedRequestShapesKeepCountersConsistent) {
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact());
+  const std::vector<int64_t> sizes = {1,  2,   3,   31,  63,  64,  65,
+                                      97, 127, 128, 129, 255, 256, 257};
+  const std::vector<const Variant*> variants = {
+      blas3::find_variant("GEMM-NN"), blas3::find_variant("GEMM-TT"),
+      blas3::find_variant("SYMM-LL"), blas3::find_variant("TRMM-LL-N"),
+      blas3::find_variant("TRSM-RU-T")};
+  constexpr size_t kRequests = 40;
+  std::atomic<int> wrong{0};
+  ThreadPool::shared().parallel_for(kRequests, [&](size_t i) {
+    Rng rng(0xF00D + i);  // shape is a function of i, not of schedule
+    const Variant& v = *variants[i % variants.size()];
+    const int64_t n =
+        sizes[static_cast<size_t>(rng.next_below(sizes.size()))];
+    blas3::Matrix a, b, c;
+    make_inputs(v, i, n, a, b, c);
+    blas3::Matrix ref_b = b, ref_c = c;
+    auto outcome = rt.run(v, a, b, &c);
+    if (!outcome.is_ok()) {
+      ++wrong;
+      return;
+    }
+    blas3::run_reference(v, a, ref_b, &ref_c);
+    const blas3::Matrix& got = v.family == blas3::Family::kTrsm ? b : c;
+    const blas3::Matrix& want =
+        v.family == blas3::Family::kTrsm ? ref_b : ref_c;
+    if (blas3::max_abs_diff(got, want) >
+        blas3::accumulation_tolerance(n)) {
+      ++wrong;
+    }
+  });
+  EXPECT_EQ(wrong.load(), 0);
+
+  const runtime::DispatchStats stats = rt.stats();
+  EXPECT_EQ(stats.requests, kRequests);
+  EXPECT_EQ(stats.requests, stats.hits + stats.near_hits +
+                                stats.baseline_fallbacks +
+                                stats.reference_fallbacks +
+                                stats.failed_requests);
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.recovered_errors, 0u);
+  EXPECT_EQ(rt.metrics().histogram("runtime.dispatch_us.hit").count(),
+            stats.hits);
+  EXPECT_EQ(
+      rt.metrics().histogram("runtime.dispatch_us.near_hit").count(),
+      stats.near_hits);
+  EXPECT_EQ(rt.metrics()
+                .histogram("runtime.dispatch_us.baseline_fallback")
+                .count(),
+            stats.baseline_fallbacks);
+  EXPECT_EQ(rt.metrics()
+                .histogram("runtime.dispatch_us.reference_fallback")
+                .count(),
+            stats.reference_fallbacks);
+  EXPECT_EQ(rt.metrics().histogram("runtime.dispatch_us.failed").count(),
+            stats.failed_requests);
+}
+
 TEST(LibraryRuntime, ConcurrentServingIsSafeAndCounted) {
   LibraryRuntime rt(gpusim::gtx285(), gemm_artifact());
   const Variant& gemm = *blas3::find_variant("GEMM-NN");

@@ -1,0 +1,242 @@
+// Tests for the src/verify fuzzing & differential-verification
+// subsystem: seed determinism (two same-seed campaigns are
+// byte-identical), full 24-variant coverage, fuzzer legality
+// guarantees, corpus reproducer round trips, the checked-in
+// tests/corpus directory, and mutation robustness.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "blas3/routine.hpp"
+#include "epod/script.hpp"
+#include "gpusim/device.hpp"
+#include "support/rng.hpp"
+#include "verify/checks.hpp"
+#include "verify/corpus.hpp"
+#include "verify/harness.hpp"
+
+namespace oa::verify {
+namespace {
+
+// ------------------------------------------------- seed determinism
+
+// Satellite (d): `oacheck --seed 42` twice produces byte-identical
+// case lists and verdicts. The harness is a pure function of
+// (options, device) — no wall clock, no global state.
+TEST(SeedDeterminism, TwoSameSeedRunsAreByteIdentical) {
+  HarnessOptions options;
+  options.seed = 42;
+  options.cases = 60;
+  Harness first(gpusim::gtx285(), options);
+  Harness second(gpusim::gtx285(), options);
+  const Report a = first.run();
+  const Report b = second.run();
+  EXPECT_EQ(a.case_list(), b.case_list());
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_FALSE(a.case_list().empty());
+}
+
+TEST(SeedDeterminism, DifferentSeedsProduceDifferentCases) {
+  HarnessOptions options;
+  options.cases = 20;
+  options.seed = 42;
+  Harness a(gpusim::gtx285(), options);
+  options.seed = 43;
+  Harness b(gpusim::gtx285(), options);
+  EXPECT_NE(a.run().case_list(), b.run().case_list());
+}
+
+TEST(SeedDeterminism, MakeCaseIsAPureFunctionOfSeedAndIndex) {
+  const ScriptFuzzer f1(7);
+  const ScriptFuzzer f2(7);
+  // Same (seed, index) -> identical case, independent of call order.
+  const std::string late_first = case_to_text(f1.make_case(55));
+  (void)f1.make_case(0);
+  EXPECT_EQ(case_to_text(f1.make_case(55)), late_first);
+  EXPECT_EQ(case_to_text(f2.make_case(55)), late_first);
+}
+
+// ------------------------------------------------- variant coverage
+
+TEST(Coverage, TwentyFourCasesCoverAllTwentyFourVariants) {
+  HarnessOptions options;
+  options.seed = 3;
+  options.cases = 24;
+  // Cheap checks only — coverage is a property of case generation.
+  options.fuzzer.differential = false;
+  options.fuzzer.fastpath = false;
+  Harness harness(gpusim::gtx285(), options);
+  const Report report = harness.run();
+  EXPECT_EQ(report.variants_covered(), blas3::all_variants().size());
+}
+
+// ------------------------------------------------- fuzzer legality
+
+// Satellite (a): epod::parse accepts its own to_text output for every
+// fuzzer-emitted script, and fuzzed params/extents always satisfy the
+// legality rules the composer enforces.
+TEST(Fuzzer, EveryEmittedCaseIsLegal) {
+  const ScriptFuzzer fuzzer(11);
+  for (uint64_t i = 0; i < 200; ++i) {
+    const FuzzCase c = fuzzer.make_case(i);
+    SCOPED_TRACE(c.to_string());
+    EXPECT_TRUE(c.params.check().is_ok());
+    EXPECT_GE(c.m, 1);
+    EXPECT_GE(c.n, 1);
+    EXPECT_GE(c.k, 1);
+    EXPECT_LE(c.m, fuzzer.options().max_size);
+    auto parsed = epod::parse(epod::to_text(c.script));
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    EXPECT_EQ(parsed->fingerprint(), c.script.fingerprint());
+  }
+}
+
+// ------------------------------------------------- corpus round trip
+
+TEST(Corpus, ReproducerTextRoundTripsExactly) {
+  const ScriptFuzzer fuzzer(9);
+  for (uint64_t i = 0; i < 40; ++i) {
+    const FuzzCase c = fuzzer.make_case(i);
+    const std::string text = case_to_text(c);
+    auto back = case_from_text(text);
+    ASSERT_TRUE(back.is_ok())
+        << c.to_string() << ": " << back.status().to_string();
+    EXPECT_EQ(back->to_string(), c.to_string());
+    EXPECT_EQ(back->payload, c.payload);  // mutation bytes survive hex
+    EXPECT_EQ(case_to_text(*back), text);
+  }
+}
+
+TEST(Corpus, SaveLoadRoundTripsThroughDisk) {
+  const ScriptFuzzer fuzzer(9);
+  // Index 12 is a mutation case for this seed stream or not — either
+  // way the file round trip must be exact.
+  const FuzzCase c = fuzzer.make_case(12);
+  const std::string path = testing::TempDir() + "/" + case_filename(c);
+  ASSERT_TRUE(save_case(c, path).is_ok());
+  auto back = load_case(path);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(case_to_text(*back), case_to_text(c));
+  std::remove(path.c_str());
+}
+
+TEST(Corpus, MalformedReproducersAreStatusErrors) {
+  const std::string good = case_to_text(ScriptFuzzer(9).make_case(0));
+  const std::vector<std::string> bad = {
+      "",
+      "oacheck-case 2\n",                        // unknown version
+      good.substr(0, good.size() / 2),           // truncated
+      [&] {                                      // illegal params
+        std::string t = good;
+        const size_t pos = t.find("\nparams ");
+        const size_t eol = t.find('\n', pos + 1);
+        t.replace(pos, eol - pos, "\nparams 16 16 0 0 1 1");
+        return t;
+      }(),
+      [&] {                                      // non-positive size
+        std::string t = good;
+        const size_t pos = t.find("\nsizes ");
+        const size_t eol = t.find('\n', pos + 1);
+        t.replace(pos, eol - pos, "\nsizes 0 4 4");
+        return t;
+      }(),
+  };
+  for (const std::string& text : bad) {
+    auto parsed = case_from_text(text);
+    EXPECT_FALSE(parsed.is_ok()) << text.substr(0, 60);
+  }
+}
+
+// The checked-in reproducers (tests/corpus/*.case) — every past find
+// must stay fixed. OA_CORPUS_DIR points at the source tree.
+TEST(Corpus, CheckedInReproducersAllPass) {
+  const std::string dir = OA_CORPUS_DIR;
+  const std::vector<std::string> files = list_corpus(dir);
+  ASSERT_GE(files.size(), 7u) << "corpus directory missing: " << dir;
+  HarnessOptions options;
+  options.cases = 0;  // corpus only
+  options.corpus_dir = dir;
+  Harness harness(gpusim::gtx285(), options);
+  const Report report = harness.run();
+  ASSERT_EQ(report.results.size(), files.size());
+  for (const CaseResult& r : report.results) {
+    EXPECT_NE(r.verdict, Verdict::kFail)
+        << r.source << " " << r.fuzz.to_string() << " | " << r.detail;
+  }
+}
+
+// ------------------------------------------------- check behaviors
+
+TEST(Checks, KindNamesRoundTrip) {
+  for (CheckKind kind :
+       {CheckKind::kDifferential, CheckKind::kRoundTrip,
+        CheckKind::kMutation, CheckKind::kFastPath}) {
+    CheckKind back;
+    ASSERT_TRUE(parse_check_kind(check_kind_name(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  CheckKind ignored;
+  EXPECT_FALSE(parse_check_kind("bogus", &ignored));
+}
+
+// Bounded per-kind campaigns: each check kind runs clean on its own
+// seeded stream (the full four-kind 500-case campaign is CI's job).
+TEST(Checks, PerKindCampaignsRunClean) {
+  for (CheckKind kind :
+       {CheckKind::kDifferential, CheckKind::kRoundTrip,
+        CheckKind::kMutation, CheckKind::kFastPath}) {
+    HarnessOptions options;
+    options.seed = 5;
+    options.cases = 24;
+    options.fuzzer.differential = kind == CheckKind::kDifferential;
+    options.fuzzer.roundtrip = kind == CheckKind::kRoundTrip;
+    options.fuzzer.mutation = kind == CheckKind::kMutation;
+    options.fuzzer.fastpath = kind == CheckKind::kFastPath;
+    Harness harness(gpusim::gtx285(), options);
+    const Report report = harness.run();
+    EXPECT_TRUE(report.ok())
+        << check_kind_name(kind) << "\n"
+        << report.case_list();
+  }
+}
+
+// Mutation robustness at the harness level: corrupted script and
+// artifact bytes must always produce a Status (pass) or a stable
+// acceptance — a crash here is the one unacceptable outcome, and under
+// ASan/UBSan in CI any memory error fails the test run outright.
+TEST(Mutation, CorruptedInputsNeverCrashTheParsers) {
+  HarnessOptions options;
+  options.seed = 17;
+  options.cases = 80;
+  options.fuzzer.differential = false;
+  options.fuzzer.roundtrip = false;
+  options.fuzzer.fastpath = false;
+  Harness harness(gpusim::gtx285(), options);
+  const Report report = harness.run();
+  EXPECT_TRUE(report.ok()) << report.case_list();
+  EXPECT_EQ(report.results.size(), 80u);
+}
+
+// Failing fuzz cases persist as reproducer files (write_corpus_dir);
+// a clean campaign writes none.
+TEST(Harness, CleanCampaignWritesNoReproducers) {
+  HarnessOptions options;
+  options.seed = 42;
+  options.cases = 30;
+  options.write_corpus_dir = testing::TempDir() + "/oacheck-corpus-out";
+  Harness harness(gpusim::gtx285(), options);
+  const Report report = harness.run();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.written_reproducers.empty());
+  EXPECT_TRUE(list_corpus(options.write_corpus_dir).empty());
+}
+
+TEST(Harness, DeviceByNameResolvesPresets) {
+  EXPECT_NE(device_by_name("geforce9800"), nullptr);
+  EXPECT_NE(device_by_name("gtx285"), nullptr);
+  EXPECT_NE(device_by_name("fermi"), nullptr);
+  EXPECT_EQ(device_by_name("h100"), nullptr);
+}
+
+}  // namespace
+}  // namespace oa::verify
