@@ -27,6 +27,18 @@ FigureOptions parse_figure_args(int argc, char** argv,
       out.tuning_size = std::atoll(argv[++i]);
     } else if (arg == "--variants" && i + 1 < argc) {
       out.variants = split(argv[++i], ',', /*skip_empty=*/true);
+    } else if (arg == "--precision" && i + 1 < argc) {
+      const std::string token = argv[++i];
+      out.precision_set = true;
+      if (token == "all") {
+        out.all_precisions = true;
+      } else if (!parse_precision(token, &out.precision)) {
+        std::fprintf(stderr,
+                     "--precision must be s, d, f32, f64 or all, got "
+                     "'%s'\n",
+                     token.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--csv" && i + 1 < argc) {
       out.csv_path = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -44,8 +56,9 @@ FigureOptions parse_figure_args(int argc, char** argv,
     } else if (arg == "--help") {
       std::printf(
           "options: --quick | --size N | --tuning-size N | "
-          "--variants a,b,c | --csv path | --jobs N | --no-cache | "
-          "--engine-stats | --no-fastpath | --warmup N | --min-time S\n");
+          "--variants a,b,c | --precision s|d|all | --csv path | "
+          "--jobs N | --no-cache | --engine-stats | --no-fastpath | "
+          "--warmup N | --min-time S\n");
       std::exit(0);
     }
   }
@@ -63,7 +76,24 @@ std::vector<RoutineRow> run_figure(const gpusim::DeviceModel& device,
 
   std::vector<std::string> names = options.variants;
   if (names.empty()) {
-    for (const auto& v : blas3::all_variants()) names.push_back(v.name());
+    for (const auto& v : blas3::all_variants()) {
+      if (options.all_precisions || v.precision == options.precision) {
+        names.push_back(v.name());
+      }
+    }
+  } else if (options.precision_set && !options.all_precisions) {
+    // An explicit --precision s|d composes with --quick/--variants:
+    // each named shape is remapped to the requested flavor ("GEMM-NN"
+    // <-> "DGEMM-NN") so quick f64 runs need no D-prefixed list.
+    for (std::string& name : names) {
+      const blas3::Variant* v = blas3::find_variant(name);
+      if (v == nullptr || v->precision == options.precision) continue;
+      const std::string flipped =
+          options.precision == Precision::kF64
+              ? std::string(precision_prefix(Precision::kF64)) + name
+              : name.substr(1);
+      if (blas3::find_variant(flipped) != nullptr) name = flipped;
+    }
   }
 
   std::vector<RoutineRow> rows;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "oa/oa.hpp"
+#include "support/precision.hpp"
 #include "support/table.hpp"
 
 namespace oa::bench {
@@ -29,8 +30,17 @@ struct RoutineRow {
 
 struct FigureOptions {
   int64_t problem_size = 4096;
-  /// Subset of variant names; empty = all 24.
+  /// Subset of variant names; empty = every variant at the selected
+  /// precision(s).
   std::vector<std::string> variants;
+  /// Precision filter for the empty-`variants` default (--precision
+  /// s|d|all). The paper's figures are single precision, so benches
+  /// default to f32 only; "all" sweeps the full 48-variant family.
+  /// An explicit --precision s|d also remaps named variants (--quick,
+  /// --variants) to the requested flavor of the same shape.
+  bool all_precisions = false;
+  bool precision_set = false;  // --precision was given explicitly
+  Precision precision = kLegacyPrecision;
   bool with_magma = false;
   int64_t tuning_size = 512;
   std::string csv_path;  // empty = no CSV

@@ -23,9 +23,8 @@ namespace {
 
 using namespace oa;
 
-ir::Program tuned_gemm() {
-  ir::Program p =
-      blas3::make_source_program(*blas3::find_variant("GEMM-NN"));
+ir::Program tuned_gemm(const char* variant = "GEMM-NN") {
+  ir::Program p = blas3::make_source_program(*blas3::find_variant(variant));
   transforms::TransformContext ctx;
   auto mask = epod::apply_script_lenient(p, epod::gemm_nn_script(), ctx);
   if (!mask.is_ok()) std::abort();
@@ -123,13 +122,16 @@ BENCHMARK(BM_DependenceTest);
 
 // ---- --json: fast-path speedup report (BENCH_sim.json) --------------
 //
-// Runs the tuned GEMM-NN ghost simulation of one block at N=4096 on
-// every device preset, fast path on vs off, and writes per-device
-// ns/block, speedup, and fast-path coverage. CI uploads the file as an
-// artifact; EXPERIMENTS.md records representative numbers.
+// Runs the tuned GEMM-NN and DGEMM-NN ghost simulations of one block
+// at N=4096 on every device preset, fast path on vs off, and writes
+// per-device, per-precision ns/block, speedup, and fast-path coverage
+// (f64's 8-byte accesses price differently, so its ghost throughput is
+// tracked separately). CI uploads the file as an artifact;
+// EXPERIMENTS.md records representative numbers.
 
 struct DeviceReport {
   std::string name;
+  std::string precision;
   double interp_ns = 0.0;
   double fast_ns = 0.0;
   double coverage = 0.0;
@@ -162,33 +164,39 @@ double time_ghost_block(const gpusim::CompiledKernel& ck,
 }
 
 int write_json_report(const std::string& path) {
-  ir::Program p = tuned_gemm();
   ir::Env params{{"M", 4096}, {"N", 4096}, {"K", 4096}};
   const std::vector<std::pair<std::string, const gpusim::DeviceModel*>>
       devices = {{"geforce9800", &gpusim::geforce_9800()},
                  {"gtx285", &gpusim::gtx285()},
                  {"fermi", &gpusim::fermi_c2050()}};
+  const std::vector<std::pair<const char*, const char*>> precisions = {
+      {"f32", "GEMM-NN"}, {"f64", "DGEMM-NN"}};
   std::vector<DeviceReport> reports;
-  for (const auto& [name, dev] : devices) {
-    auto compiled = gpusim::compile_kernel(p, p.main_kernel(), params, {});
-    if (!compiled.is_ok()) {
-      std::fprintf(stderr, "compile failed: %s\n",
-                   compiled.status().to_string().c_str());
-      return 1;
+  for (const auto& [prec, variant] : precisions) {
+    ir::Program p = tuned_gemm(variant);
+    for (const auto& [name, dev] : devices) {
+      auto compiled =
+          gpusim::compile_kernel(p, p.main_kernel(), params, {});
+      if (!compiled.is_ok()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     compiled.status().to_string().c_str());
+        return 1;
+      }
+      DeviceReport r;
+      r.name = name;
+      r.precision = prec;
+      gpusim::FastPathStats stats;
+      r.interp_ns = time_ghost_block(*compiled, *dev, false, nullptr);
+      r.fast_ns = time_ghost_block(*compiled, *dev, true, &stats);
+      r.coverage = stats.coverage();
+      r.collapsed_loops = stats.collapsed_loops;
+      reports.push_back(r);
+      std::printf(
+          "%-12s %s interp %12.0f ns/block   fast %9.0f ns/block   "
+          "speedup %6.2fx   coverage %5.1f%%\n",
+          name.c_str(), prec, r.interp_ns, r.fast_ns, r.speedup(),
+          r.coverage * 100.0);
     }
-    DeviceReport r;
-    r.name = name;
-    gpusim::FastPathStats stats;
-    r.interp_ns = time_ghost_block(*compiled, *dev, false, nullptr);
-    r.fast_ns = time_ghost_block(*compiled, *dev, true, &stats);
-    r.coverage = stats.coverage();
-    r.collapsed_loops = stats.collapsed_loops;
-    reports.push_back(r);
-    std::printf(
-        "%-12s interp %12.0f ns/block   fast %9.0f ns/block   "
-        "speedup %6.2fx   coverage %5.1f%%\n",
-        name.c_str(), r.interp_ns, r.fast_ns, r.speedup(),
-        r.coverage * 100.0);
   }
   std::ofstream out(path);
   if (!out) {
@@ -196,18 +204,19 @@ int write_json_report(const std::string& path) {
     return 1;
   }
   out << "{\n  \"benchmark\": \"gpusim_fastpath\",\n"
-      << "  \"problem\": \"tuned GEMM-NN, N=4096, ghost mode, one "
-         "block\",\n  \"devices\": [\n";
+      << "  \"problem\": \"tuned GEMM-NN / DGEMM-NN, N=4096, ghost "
+         "mode, one block\",\n  \"devices\": [\n";
   for (size_t i = 0; i < reports.size(); ++i) {
     const DeviceReport& r = reports[i];
     char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"device\": \"%s\", \"interp_ns_per_block\": %.0f, "
+                  "    {\"device\": \"%s\", \"precision\": \"%s\", "
+                  "\"interp_ns_per_block\": %.0f, "
                   "\"fast_ns_per_block\": %.0f, \"speedup\": %.2f, "
                   "\"fastpath_coverage\": %.4f, \"collapsed_loops\": "
                   "%lld}%s\n",
-                  r.name.c_str(), r.interp_ns, r.fast_ns, r.speedup(),
-                  r.coverage,
+                  r.name.c_str(), r.precision.c_str(), r.interp_ns,
+                  r.fast_ns, r.speedup(), r.coverage,
                   static_cast<long long>(r.collapsed_loops),
                   i + 1 < reports.size() ? "," : "");
     out << buf;

@@ -119,7 +119,8 @@ int main(int argc, char** argv) {
     const blas3::Variant* v = blas3::find_variant(name);
     if (v == nullptr) continue;
     for (int64_t n : {64, 160, 256}) {
-      blas3::Matrix a(n, n), b(n, n), c(n, n);
+      const Precision p = v->precision;
+      blas3::Matrix a(n, n, p), b(n, n, p), c(n, n, p);
       prepare(*v, rng, a, b);
       blas3::Matrix ref_b = b, ref_c = c;
       auto outcome = rt.run(*v, a, b, &c);

@@ -10,20 +10,20 @@ void Matrix::make_triangular(Uplo uplo) {
     for (int64_t r = 0; r < rows_; ++r) {
       const bool keep =
           uplo == Uplo::kLower ? r >= c : r <= c;
-      if (!keep) at(r, c) = 0.0f;
+      if (!keep) set(r, c, 0.0);
     }
   }
 }
 
 void Matrix::set_unit_diagonal() {
   const int64_t n = std::min(rows_, cols_);
-  for (int64_t i = 0; i < n; ++i) at(i, i) = 1.0f;
+  for (int64_t i = 0; i < n; ++i) set(i, i, 1.0);
 }
 
-void Matrix::scale_off_diagonal(float factor) {
+void Matrix::scale_off_diagonal(double factor) {
   for (int64_t c = 0; c < cols_; ++c) {
     for (int64_t r = 0; r < rows_; ++r) {
-      if (r != c) at(r, c) *= factor;
+      if (r != c) set(r, c, at(r, c) * factor);
     }
   }
 }
@@ -34,17 +34,17 @@ void Matrix::make_symmetric_from(Uplo uplo) {
     for (int64_t r = 0; r < c; ++r) {
       // (r, c) is in the upper triangle, (c, r) in the lower.
       if (uplo == Uplo::kLower) {
-        at(r, c) = at(c, r);
+        set(r, c, at(c, r));
       } else {
-        at(c, r) = at(r, c);
+        set(c, r, at(r, c));
       }
     }
   }
 }
 
-float max_abs_diff(const Matrix& a, const Matrix& b) {
+double max_abs_diff(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
-  float worst = 0.0f;
+  double worst = 0.0;
   auto da = a.data();
   auto db = b.data();
   for (size_t i = 0; i < da.size(); ++i) {
@@ -53,10 +53,12 @@ float max_abs_diff(const Matrix& a, const Matrix& b) {
   return worst;
 }
 
-float accumulation_tolerance(int64_t k) {
-  // Inputs are in [-1, 1); a length-k float accumulation keeps error
-  // well under k * eps with a generous constant.
-  return 32.0f * static_cast<float>(k) * 1.19e-7f + 1e-5f;
+double accumulation_tolerance(int64_t k, Precision p) {
+  // Inputs are in [-1, 1); a length-k accumulation at precision p keeps
+  // error well under k * eps with a generous constant. The absolute
+  // floor scales with eps too so f64 checks are meaningfully tighter.
+  const double eps = 2.0 * precision_eps(p);  // machine epsilon
+  return 32.0 * static_cast<double>(k) * eps + 1e2 * eps;
 }
 
 }  // namespace oa::blas3

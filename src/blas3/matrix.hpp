@@ -1,5 +1,10 @@
-// Column-major float matrices for host-side references and the
-// simulator's global-memory buffers.
+// Column-major precision-tagged matrices for host-side references and
+// the simulator's global-memory buffers. Storage is always double; the
+// precision tag says what scalar type the values model, and every
+// store through set() rounds to that precision — so an f32 matrix's
+// doubles are always exactly-representable floats (see
+// support/precision.hpp for why that reproduces native float
+// arithmetic bit-for-bit).
 #pragma once
 
 #include <cstdint>
@@ -7,6 +12,7 @@
 #include <vector>
 
 #include "blas3/routine.hpp"
+#include "support/precision.hpp"
 #include "support/rng.hpp"
 
 namespace oa::blas3 {
@@ -14,24 +20,30 @@ namespace oa::blas3 {
 class Matrix {
  public:
   Matrix() = default;
-  Matrix(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f) {}
+  Matrix(int64_t rows, int64_t cols, Precision precision = Precision::kF32)
+      : rows_(rows), cols_(cols), precision_(precision),
+        data_(static_cast<size_t>(rows * cols), 0.0) {}
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
+  Precision precision() const { return precision_; }
 
-  float& at(int64_t r, int64_t c) {
+  double at(int64_t r, int64_t c) const {
     return data_[static_cast<size_t>(r + c * rows_)];
   }
-  float at(int64_t r, int64_t c) const {
-    return data_[static_cast<size_t>(r + c * rows_)];
+  /// The only mutator: rounds to the matrix's precision on store.
+  void set(int64_t r, int64_t c, double v) {
+    data_[static_cast<size_t>(r + c * rows_)] = round_to(precision_, v);
   }
 
-  std::span<float> data() { return data_; }
-  std::span<const float> data() const { return data_; }
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
 
-  void fill_random(Rng& rng) { rng.fill(data_); }
+  /// Uniform values in [-1, 1). One RNG draw per element in storage
+  /// order, and every draw is float-valued — so the same seed yields
+  /// the same mathematical values at both precisions (exactly
+  /// representable in each).
+  void fill_random(Rng& rng) { rng.fill(std::span<double>(data_)); }
 
   /// Keep only the `uplo` triangle (diagonal included); the other
   /// triangle is zeroed — the "blank area" of the paper's Fig 6, which
@@ -45,7 +57,7 @@ class Matrix {
   /// amplify rounding error exponentially in the magnitude of the
   /// off-diagonal entries; verification inputs use a small factor so
   /// absolute tolerances stay meaningful.
-  void scale_off_diagonal(float factor);
+  void scale_off_diagonal(double factor);
 
   /// Mirror the `uplo` triangle onto the other so the matrix is
   /// symmetric; storage still holds the full matrix (references read
@@ -55,13 +67,15 @@ class Matrix {
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
-  std::vector<float> data_;
+  Precision precision_ = Precision::kF32;
+  std::vector<double> data_;
 };
 
 /// max |a - b| over all elements (matrices must have equal shape).
-float max_abs_diff(const Matrix& a, const Matrix& b);
+double max_abs_diff(const Matrix& a, const Matrix& b);
 
-/// Relative error bound suitable for float accumulation of length k.
-float accumulation_tolerance(int64_t k);
+/// Relative error bound suitable for accumulation of length k at
+/// precision `p`: ~32 * k * eps(p) plus a small absolute floor.
+double accumulation_tolerance(int64_t k, Precision p = Precision::kF32);
 
 }  // namespace oa::blas3

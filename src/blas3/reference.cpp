@@ -5,27 +5,46 @@
 namespace oa::blas3 {
 namespace {
 
+// Every kernel below is templated on the accumulator scalar T
+// (float / double) and does all arithmetic natively in T — at f32 this
+// reproduces the single-precision reference bit-for-bit, because the
+// tagged-storage doubles it reads are exactly-representable floats.
+
+template <typename T>
+T sym_at_t(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
+  const bool stored = uplo == Uplo::kLower ? r >= c : r <= c;
+  return static_cast<T>(stored ? a.at(r, c) : a.at(c, r));
+}
+
+template <typename T>
+T tri_at_t(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
+  const bool stored = uplo == Uplo::kLower ? r >= c : r <= c;
+  return stored ? static_cast<T>(a.at(r, c)) : T{0};
+}
+
+template <typename T>
 void ref_gemm(const Variant& v, const Matrix& a, const Matrix& b,
               Matrix& c) {
   const int64_t m = c.rows();
   const int64_t n = c.cols();
   const int64_t k_extent =
       v.trans_a == Trans::kN ? a.cols() : a.rows();
-  auto a_at = [&](int64_t i, int64_t k) {
-    return v.trans_a == Trans::kN ? a.at(i, k) : a.at(k, i);
+  auto a_at = [&](int64_t i, int64_t k) -> T {
+    return static_cast<T>(v.trans_a == Trans::kN ? a.at(i, k) : a.at(k, i));
   };
-  auto b_at = [&](int64_t k, int64_t j) {
-    return v.trans_b == Trans::kN ? b.at(k, j) : b.at(j, k);
+  auto b_at = [&](int64_t k, int64_t j) -> T {
+    return static_cast<T>(v.trans_b == Trans::kN ? b.at(k, j) : b.at(j, k));
   };
   for (int64_t j = 0; j < n; ++j) {
     for (int64_t i = 0; i < m; ++i) {
-      float acc = 0.0f;
+      T acc = 0;
       for (int64_t k = 0; k < k_extent; ++k) acc += a_at(i, k) * b_at(k, j);
-      c.at(i, j) += acc;
+      c.set(i, j, static_cast<T>(c.at(i, j)) + acc);
     }
   }
 }
 
+template <typename T>
 void ref_symm(const Variant& v, const Matrix& a, const Matrix& b,
               Matrix& c) {
   const int64_t m = c.rows();
@@ -34,62 +53,68 @@ void ref_symm(const Variant& v, const Matrix& a, const Matrix& b,
     assert(a.rows() == m && a.cols() == m);
     for (int64_t j = 0; j < n; ++j) {
       for (int64_t i = 0; i < m; ++i) {
-        float acc = 0.0f;
+        T acc = 0;
         for (int64_t k = 0; k < m; ++k) {
-          acc += sym_at(a, i, k, v.uplo) * b.at(k, j);
+          acc += sym_at_t<T>(a, i, k, v.uplo) * static_cast<T>(b.at(k, j));
         }
-        c.at(i, j) += acc;
+        c.set(i, j, static_cast<T>(c.at(i, j)) + acc);
       }
     }
   } else {
     assert(a.rows() == n && a.cols() == n);
     for (int64_t j = 0; j < n; ++j) {
       for (int64_t i = 0; i < m; ++i) {
-        float acc = 0.0f;
+        T acc = 0;
         for (int64_t k = 0; k < n; ++k) {
-          acc += b.at(i, k) * sym_at(a, k, j, v.uplo);
+          acc += static_cast<T>(b.at(i, k)) * sym_at_t<T>(a, k, j, v.uplo);
         }
-        c.at(i, j) += acc;
+        c.set(i, j, static_cast<T>(c.at(i, j)) + acc);
       }
     }
   }
 }
 
+template <typename T>
 void ref_trmm(const Variant& v, const Matrix& a, const Matrix& b,
               Matrix& c) {
   const int64_t m = c.rows();
   const int64_t n = c.cols();
-  auto opa = [&](int64_t r, int64_t col) {
-    return v.trans == Trans::kN ? tri_at(a, r, col, v.uplo)
-                                : tri_at(a, col, r, v.uplo);
+  auto opa = [&](int64_t r, int64_t col) -> T {
+    return v.trans == Trans::kN ? tri_at_t<T>(a, r, col, v.uplo)
+                                : tri_at_t<T>(a, col, r, v.uplo);
   };
   if (v.side == Side::kLeft) {
     for (int64_t j = 0; j < n; ++j) {
       for (int64_t i = 0; i < m; ++i) {
-        float acc = 0.0f;
-        for (int64_t k = 0; k < m; ++k) acc += opa(i, k) * b.at(k, j);
-        c.at(i, j) += acc;
+        T acc = 0;
+        for (int64_t k = 0; k < m; ++k) {
+          acc += opa(i, k) * static_cast<T>(b.at(k, j));
+        }
+        c.set(i, j, static_cast<T>(c.at(i, j)) + acc);
       }
     }
   } else {
     for (int64_t j = 0; j < n; ++j) {
       for (int64_t i = 0; i < m; ++i) {
-        float acc = 0.0f;
-        for (int64_t k = 0; k < n; ++k) acc += b.at(i, k) * opa(k, j);
-        c.at(i, j) += acc;
+        T acc = 0;
+        for (int64_t k = 0; k < n; ++k) {
+          acc += static_cast<T>(b.at(i, k)) * opa(k, j);
+        }
+        c.set(i, j, static_cast<T>(c.at(i, j)) + acc);
       }
     }
   }
 }
 
+template <typename T>
 void ref_trsm(const Variant& v, const Matrix& a, Matrix& b) {
   const int64_t m = b.rows();
   const int64_t n = b.cols();
   // Unit-diagonal solve; op(A) element (r, c) with zero outside triangle
   // and an implicit 1 on the diagonal.
-  auto opa = [&](int64_t r, int64_t c) {
-    return v.trans == Trans::kN ? tri_at(a, r, c, v.uplo)
-                                : tri_at(a, c, r, v.uplo);
+  auto opa = [&](int64_t r, int64_t c) -> T {
+    return v.trans == Trans::kN ? tri_at_t<T>(a, r, c, v.uplo)
+                                : tri_at_t<T>(a, c, r, v.uplo);
   };
   // Effective triangle of op(A): transposition flips it.
   const Uplo eff =
@@ -101,17 +126,21 @@ void ref_trsm(const Variant& v, const Matrix& a, Matrix& b) {
     if (eff == Uplo::kLower) {
       for (int64_t i = 0; i < m; ++i) {
         for (int64_t j = 0; j < n; ++j) {
-          float acc = 0.0f;
-          for (int64_t k = 0; k < i; ++k) acc += opa(i, k) * b.at(k, j);
-          b.at(i, j) -= acc;
+          T acc = 0;
+          for (int64_t k = 0; k < i; ++k) {
+            acc += opa(i, k) * static_cast<T>(b.at(k, j));
+          }
+          b.set(i, j, static_cast<T>(b.at(i, j)) - acc);
         }
       }
     } else {
       for (int64_t i = m - 1; i >= 0; --i) {
         for (int64_t j = 0; j < n; ++j) {
-          float acc = 0.0f;
-          for (int64_t k = i + 1; k < m; ++k) acc += opa(i, k) * b.at(k, j);
-          b.at(i, j) -= acc;
+          T acc = 0;
+          for (int64_t k = i + 1; k < m; ++k) {
+            acc += opa(i, k) * static_cast<T>(b.at(k, j));
+          }
+          b.set(i, j, static_cast<T>(b.at(i, j)) - acc);
         }
       }
     }
@@ -120,65 +149,80 @@ void ref_trsm(const Variant& v, const Matrix& a, Matrix& b) {
     if (eff == Uplo::kLower) {
       for (int64_t j = n - 1; j >= 0; --j) {
         for (int64_t i = 0; i < m; ++i) {
-          float acc = 0.0f;
-          for (int64_t k = j + 1; k < n; ++k) acc += b.at(i, k) * opa(k, j);
-          b.at(i, j) -= acc;
+          T acc = 0;
+          for (int64_t k = j + 1; k < n; ++k) {
+            acc += static_cast<T>(b.at(i, k)) * opa(k, j);
+          }
+          b.set(i, j, static_cast<T>(b.at(i, j)) - acc);
         }
       }
     } else {
       for (int64_t j = 0; j < n; ++j) {
         for (int64_t i = 0; i < m; ++i) {
-          float acc = 0.0f;
-          for (int64_t k = 0; k < j; ++k) acc += b.at(i, k) * opa(k, j);
-          b.at(i, j) -= acc;
+          T acc = 0;
+          for (int64_t k = 0; k < j; ++k) {
+            acc += static_cast<T>(b.at(i, k)) * opa(k, j);
+          }
+          b.set(i, j, static_cast<T>(b.at(i, j)) - acc);
         }
       }
     }
   }
 }
 
+template <typename T>
 void ref_syrk(const Variant& v, const Matrix& a, Matrix& c) {
   const int64_t m = c.rows();
   const int64_t k_extent = v.trans == Trans::kN ? a.cols() : a.rows();
-  auto opa = [&](int64_t r, int64_t kk) {
-    return v.trans == Trans::kN ? a.at(r, kk) : a.at(kk, r);
+  auto opa = [&](int64_t r, int64_t kk) -> T {
+    return static_cast<T>(v.trans == Trans::kN ? a.at(r, kk) : a.at(kk, r));
   };
   for (int64_t j = 0; j < m; ++j) {
     for (int64_t i = 0; i < m; ++i) {
       const bool stored = v.uplo == Uplo::kLower ? i >= j : i <= j;
       if (!stored) continue;
-      float acc = 0.0f;
+      T acc = 0;
       for (int64_t kk = 0; kk < k_extent; ++kk) {
         acc += opa(i, kk) * opa(j, kk);
       }
-      c.at(i, j) += acc;
+      c.set(i, j, static_cast<T>(c.at(i, j)) + acc);
     }
+  }
+}
+
+template <typename T>
+void run_reference_t(const Variant& v, const Matrix& a, Matrix& b,
+                     Matrix* c) {
+  switch (v.family) {
+    case Family::kGemm:
+      assert(c != nullptr);
+      ref_gemm<T>(v, a, b, *c);
+      break;
+    case Family::kSymm:
+      assert(c != nullptr);
+      ref_symm<T>(v, a, b, *c);
+      break;
+    case Family::kTrmm:
+      assert(c != nullptr);
+      ref_trmm<T>(v, a, b, *c);
+      break;
+    case Family::kTrsm:
+      ref_trsm<T>(v, a, b);
+      break;
+    case Family::kSyrk:
+      assert(c != nullptr);
+      ref_syrk<T>(v, a, *c);
+      break;
   }
 }
 
 }  // namespace
 
 void run_reference(const Variant& v, const Matrix& a, Matrix& b, Matrix* c) {
-  switch (v.family) {
-    case Family::kGemm:
-      assert(c != nullptr);
-      ref_gemm(v, a, b, *c);
-      break;
-    case Family::kSymm:
-      assert(c != nullptr);
-      ref_symm(v, a, b, *c);
-      break;
-    case Family::kTrmm:
-      assert(c != nullptr);
-      ref_trmm(v, a, b, *c);
-      break;
-    case Family::kTrsm:
-      ref_trsm(v, a, b);
-      break;
-    case Family::kSyrk:
-      assert(c != nullptr);
-      ref_syrk(v, a, *c);
-      break;
+  if (v.precision == Precision::kF32) {
+    run_reference_t<float>(v, a, b, c);
+  } else {
+    run_reference_t<double>(v, a, b, c);
   }
 }
 

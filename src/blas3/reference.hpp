@@ -1,5 +1,7 @@
-// Straightforward CPU reference implementations of the 24 BLAS3
-// variants; the oracle every simulated kernel is verified against.
+// Straightforward CPU reference implementations of the BLAS3 variant
+// family; the oracle every simulated kernel is verified against.
+// Scalar-generic: arithmetic runs natively at the variant's precision
+// (float accumulators for f32, double for f64).
 #pragma once
 
 #include <cstdint>
@@ -17,15 +19,15 @@ namespace oa::blas3 {
 void run_reference(const Variant& v, const Matrix& a, Matrix& b, Matrix* c);
 
 /// Element accessor of a symmetric matrix stored in triangle `uplo`.
-inline float sym_at(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
+inline double sym_at(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
   const bool stored = uplo == Uplo::kLower ? r >= c : r <= c;
   return stored ? a.at(r, c) : a.at(c, r);
 }
 
 /// Element accessor of a triangular matrix: zero outside the triangle.
-inline float tri_at(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
+inline double tri_at(const Matrix& a, int64_t r, int64_t c, Uplo uplo) {
   const bool stored = uplo == Uplo::kLower ? r >= c : r <= c;
-  return stored ? a.at(r, c) : 0.0f;
+  return stored ? a.at(r, c) : 0.0;
 }
 
 }  // namespace oa::blas3

@@ -14,7 +14,8 @@ const char* family_name(Family f) {
 }
 
 std::string Variant::name() const {
-  std::string out = family_name(family);
+  std::string out = precision_prefix(precision);
+  out += family_name(family);
   out += '-';
   switch (family) {
     case Family::kGemm:
@@ -40,7 +41,7 @@ std::string Variant::name() const {
   return out;
 }
 
-const std::vector<Variant>& all_variants() {
+const std::vector<Variant>& paper_variants() {
   static const std::vector<Variant> variants = [] {
     std::vector<Variant> v;
     for (Trans ta : {Trans::kN, Trans::kT}) {
@@ -80,6 +81,29 @@ const std::vector<Variant>& all_variants() {
   return variants;
 }
 
+namespace {
+
+// The 24 paper shapes at f32 followed by the same shapes at f64 — the
+// f32 prefix keeps legacy index-based orderings (figures, corpus
+// rotation) stable.
+std::vector<Variant> with_both_precisions(const std::vector<Variant>& base) {
+  std::vector<Variant> v = base;
+  for (const Variant& b : base) {
+    Variant d = b;
+    d.precision = Precision::kF64;
+    v.push_back(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Variant>& all_variants() {
+  static const std::vector<Variant> variants =
+      with_both_precisions(paper_variants());
+  return variants;
+}
+
 const std::vector<Variant>& extension_variants() {
   static const std::vector<Variant> variants = [] {
     std::vector<Variant> v;
@@ -92,7 +116,7 @@ const std::vector<Variant>& extension_variants() {
         v.push_back(m);
       }
     }
-    return v;
+    return with_both_precisions(v);
   }();
   return variants;
 }

@@ -1,6 +1,9 @@
-// The BLAS3 routine catalog: the 24 single-precision variants the paper
-// evaluates (Figures 10-12): GEMM x4 transpose combinations, SYMM x4
-// side/uplo, TRMM x8 and TRSM x8 side/uplo/trans.
+// The BLAS3 routine catalog. The paper evaluates 24 single-precision
+// variants (Figures 10-12): GEMM x4 transpose combinations, SYMM x4
+// side/uplo, TRMM x8 and TRSM x8 side/uplo/trans. This catalog carries
+// a precision axis on top: each of the 24 shapes exists at f32 (the
+// paper's names, "GEMM-NN") and at f64 (BLAS-style "D" prefix,
+// "DGEMM-NN"), for a 48-variant s/d family.
 //
 // Conventions (matching the paper's source listings):
 //  * column-major storage;
@@ -16,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "support/precision.hpp"
+
 namespace oa::blas3 {
 
 enum class Family { kGemm, kSymm, kTrmm, kTrsm, kSyrk };
@@ -25,7 +30,7 @@ enum class Uplo { kLower, kUpper };
 
 const char* family_name(Family f);
 
-/// Identity of one routine variant (e.g. TRSM-LL-N).
+/// Identity of one routine variant (e.g. TRSM-LL-N, DTRSM-LL-N).
 struct Variant {
   Family family = Family::kGemm;
   // GEMM: transposition of A and B.
@@ -36,30 +41,39 @@ struct Variant {
   Uplo uplo = Uplo::kLower;
   // TRMM / TRSM: transposition of A.
   Trans trans = Trans::kN;
+  // Scalar precision of every operand and of the accumulation.
+  Precision precision = Precision::kF32;
 
-  /// Paper-style name: "GEMM-NN", "SYMM-LL", "TRSM-LL-N", ...
+  /// Paper-style name: "GEMM-NN", "SYMM-LL", "TRSM-LL-N", ... at f32;
+  /// "D"-prefixed ("DGEMM-NN") at f64.
   std::string name() const;
 
   bool operator==(const Variant&) const = default;
 };
 
-/// All 24 variants in the order the paper's figures list them
-/// (GEMM, SYMM, TRMM, TRSM).
+/// The paper's 24 single-precision variants in the order its figures
+/// list them (GEMM, SYMM, TRMM, TRSM).
+const std::vector<Variant>& paper_variants();
+
+/// The full 48-variant s/d family: the 24 paper variants at f32
+/// followed by the same 24 shapes at f64.
 const std::vector<Variant>& all_variants();
 
 /// Extension routines beyond the paper's 24 (its stated future work:
 /// "extend our method to more routines"): SYRK, the symmetric rank-k
 /// update C_tri += op(A) * op(A)^T, whose *output* index space is
-/// triangular — a shape none of the original 24 exercises.
+/// triangular — a shape none of the original 24 exercises. Both
+/// precisions, like all_variants().
 const std::vector<Variant>& extension_variants();
 
-/// Look a variant up by its paper-style name (searches the paper's 24
-/// and the extensions); returns nullptr when the name is unknown.
+/// Look a variant up by its paper-style name — either precision
+/// ("GEMM-NN" or "DGEMM-NN"; searches the s/d family and the
+/// extensions); returns nullptr when the name is unknown.
 const Variant* find_variant(const std::string& name);
 
 /// Nominal useful FLOPs for problem size (m, n) with square structured
 /// matrices (GEMM uses k = m). Used to convert measured time to GFLOPS
-/// the way the paper does.
+/// the way the paper does. Precision-independent: a flop is a flop.
 double nominal_flops(const Variant& v, int64_t m, int64_t n, int64_t k);
 
 }  // namespace oa::blas3

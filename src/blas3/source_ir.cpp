@@ -281,6 +281,7 @@ void build_syrk(const Variant& v, Program& p) {
 Program make_source_program(const Variant& v) {
   Program p;
   p.name = v.name();
+  p.precision = v.precision;
   switch (v.family) {
     case Family::kGemm: build_gemm(v, p); break;
     case Family::kSymm: build_symm(v, p); break;

@@ -49,7 +49,8 @@ Status verify_program(const gpusim::Simulator& sim, const Variant& variant,
                       const ir::Program& program, int64_t n,
                       const std::map<std::string, bool>& bool_params) {
   Rng rng(0xC0FFEE ^ static_cast<uint64_t>(n));
-  blas3::Matrix a(n, n), b(n, n), c(n, n);
+  const Precision p = variant.precision;
+  blas3::Matrix a(n, n, p), b(n, n, p), c(n, n, p);
   a.fill_random(rng);
   b.fill_random(rng);
   if (variant.family == blas3::Family::kTrmm ||
@@ -75,15 +76,15 @@ Status verify_program(const gpusim::Simulator& sim, const Variant& variant,
   blas3::Matrix ref_c = c;
   blas3::run_reference(variant, a, ref_b, &ref_c);
   const char* out_name = blas3::output_array(variant);
-  blas3::Matrix out(n, n);
+  blas3::Matrix out(n, n, p);
   OA_RETURN_IF_ERROR(
       gpusim::read_back(buffers, program, opts.int_params, out_name, out));
   const blas3::Matrix& expected =
       variant.family == blas3::Family::kTrsm ? ref_b : ref_c;
-  const float err = blas3::max_abs_diff(out, expected);
-  if (err > blas3::accumulation_tolerance(n)) {
-    return illegal(str_format("functional verification failed: err=%g",
-                              static_cast<double>(err)));
+  const double err = blas3::max_abs_diff(out, expected);
+  if (err > blas3::accumulation_tolerance(n, p)) {
+    return illegal(
+        str_format("functional verification failed: err=%g", err));
   }
   return Status::ok();
 }

@@ -65,7 +65,7 @@ void compute_collapse_ok(const std::vector<CNode>& body,
             int64_t m = 1;
             switch (arr.space) {
               case ir::MemSpace::kGlobal:
-                m = dev.transaction_bytes / 4;
+                m = dev.transaction_bytes / elem_bytes(k.precision);
                 break;
               case ir::MemSpace::kShared:
                 m = 1;
@@ -140,7 +140,7 @@ Status BlockSim::run(int64_t by, int64_t bx, int lane_begin, int lane_end,
     switch (arr.space) {
       case ir::MemSpace::kGlobal:
         if (functional_) {
-          std::vector<float>* buf =
+          std::vector<double>* buf =
               buffers_ != nullptr ? buffers_->find(arr.name) : nullptr;
           if (buf == nullptr ||
               buf->size() < static_cast<size_t>(arr.elements)) {
@@ -152,13 +152,13 @@ Status BlockSim::run(int64_t by, int64_t bx, int lane_begin, int lane_end,
         break;
       case ir::MemSpace::kShared:
         if (functional_) {
-          shared_[a].assign(static_cast<size_t>(arr.elements), 0.0f);
+          shared_[a].assign(static_cast<size_t>(arr.elements), 0.0);
         }
         break;
       case ir::MemSpace::kRegister:
         if (functional_) {
           registers_[a].assign(
-              static_cast<size_t>(arr.elements) * nlanes_, 0.0f);
+              static_cast<size_t>(arr.elements) * nlanes_, 0.0);
         }
         break;
     }
@@ -235,7 +235,7 @@ int64_t BlockSim::addr_of(const CRef& ref, int lane, Status& status) const {
   return r + c * arr.ld;
 }
 
-float BlockSim::load_value(const CRef& ref, int lane, int64_t addr) const {
+double BlockSim::load_value(const CRef& ref, int lane, int64_t addr) const {
   const CArray& arr = k_.arrays[static_cast<size_t>(ref.array)];
   switch (arr.space) {
     case ir::MemSpace::kGlobal:
@@ -247,14 +247,17 @@ float BlockSim::load_value(const CRef& ref, int lane, int64_t addr) const {
       return registers_[static_cast<size_t>(ref.array)]
                        [static_cast<size_t>(addr) * nlanes_ + lane];
   }
-  return 0.0f;
+  return 0.0;
 }
 
-float BlockSim::eval_tape(const CNode& n, int lane, Status& status) {
+double BlockSim::eval_tape(const CNode& n, int lane, Status& status) {
   // Postfix walk with an explicit value stack; the tape preserves the
-  // source operation order exactly (same float rounding as the old
-  // expression tree).
-  float stack[kMaxTapeDepth];
+  // source operation order exactly. Every arithmetic op rounds to the
+  // kernel's precision: for f32 that reproduces native float arithmetic
+  // bit-for-bit (innocuous double rounding — see support/precision.hpp),
+  // since loads and constants are themselves float-valued.
+  const Precision p = k_.precision;
+  double stack[kMaxTapeDepth];
   int sp = 0;
   for (const COp& op : n.tape) {
     switch (op.kind) {
@@ -264,31 +267,31 @@ float BlockSim::eval_tape(const CNode& n, int lane, Status& status) {
       case COp::Kind::kLoad: {
         const CRef& ref = n.loads[static_cast<size_t>(op.load)];
         const int64_t addr = addr_of(ref, lane, status);
-        stack[sp++] = status.is_ok() ? load_value(ref, lane, addr) : 0.0f;
+        stack[sp++] = status.is_ok() ? load_value(ref, lane, addr) : 0.0;
         break;
       }
       case COp::Kind::kNeg:
         stack[sp - 1] = -stack[sp - 1];
         break;
       case COp::Kind::kAdd:
-        stack[sp - 2] = stack[sp - 2] + stack[sp - 1];
+        stack[sp - 2] = round_to(p, stack[sp - 2] + stack[sp - 1]);
         --sp;
         break;
       case COp::Kind::kSub:
-        stack[sp - 2] = stack[sp - 2] - stack[sp - 1];
+        stack[sp - 2] = round_to(p, stack[sp - 2] - stack[sp - 1]);
         --sp;
         break;
       case COp::Kind::kMul:
-        stack[sp - 2] = stack[sp - 2] * stack[sp - 1];
+        stack[sp - 2] = round_to(p, stack[sp - 2] * stack[sp - 1]);
         --sp;
         break;
       case COp::Kind::kDiv:
-        stack[sp - 2] = stack[sp - 2] / stack[sp - 1];
+        stack[sp - 2] = round_to(p, stack[sp - 2] / stack[sp - 1]);
         --sp;
         break;
     }
   }
-  return sp > 0 ? stack[0] : 0.0f;
+  return sp > 0 ? stack[0] : 0.0;
 }
 
 int64_t BlockSim::distinct_chunks(const std::vector<uint8_t>& mask, int g0,
@@ -300,10 +303,11 @@ int64_t BlockSim::distinct_chunks(const std::vector<uint8_t>& mask, int g0,
   // contributes nothing.
   int64_t chunks[32];
   int n = 0;
+  const int64_t eb = elem_bytes(k_.precision);
   for (int l = g0; l < g1; ++l) {
     if (!mask[static_cast<size_t>(l)]) continue;
     const int64_t chunk =
-        scratch_addr_[static_cast<size_t>(l)] * 4 / chunk_bytes;
+        scratch_addr_[static_cast<size_t>(l)] * eb / chunk_bytes;
     if (site >= 0) {
       int64_t& last =
           line_addr_[static_cast<size_t>(site) * nlanes_ + l];
@@ -345,10 +349,15 @@ void BlockSim::count_group(const CArray& arr, const CRef& ref, bool is_store,
         bank_count[i] = 0;
       }
       int degree = 1;
+      // Banks are 4-byte wide: an element address maps to bank
+      // (addr * words) % banks, so f64 (2 words) occupies every other
+      // bank and stride-1 access pays a 2-way replay — the classic
+      // double-precision shared-memory penalty.
+      const int64_t ew = elem_words(k_.precision);
       for (int l = g0; l < g1; ++l) {
         if (!mask[static_cast<size_t>(l)]) continue;
         const int64_t addr = scratch_addr_[static_cast<size_t>(l)];
-        const int b = static_cast<int>(addr % dev_.shared_banks);
+        const int b = static_cast<int>((addr * ew) % dev_.shared_banks);
         if (bank_count[b] == 0 || bank_addr[b] != addr) {
           // Distinct address on the same bank: serialized replay.
           bank_count[b] += 1;
@@ -363,10 +372,14 @@ void BlockSim::count_group(const CArray& arr, const CRef& ref, bool is_store,
       switch (dev_.coalescing) {
         case CoalescingModel::kStrict: {
           // CC 1.0: lanes must access base + lane_offset in order,
-          // 64B-aligned, all lanes of the half-warp participating.
+          // transaction-aligned, all lanes of the half-warp
+          // participating. A perfect pattern still needs
+          // ceil(group_bytes / transaction_bytes) transactions — 1 for
+          // a 16-lane f32 half-warp, 2 for f64.
+          const int64_t eb = elem_bytes(k_.precision);
           bool perfect = active == g1 - g0;
           int64_t base = scratch_addr_[static_cast<size_t>(g0)];
-          if (perfect && base % (dev_.transaction_bytes / 4) != 0) {
+          if (perfect && base % (dev_.transaction_bytes / eb) != 0) {
             perfect = false;
           }
           for (int l = g0; perfect && l < g1; ++l) {
@@ -375,9 +388,12 @@ void BlockSim::count_group(const CArray& arr, const CRef& ref, bool is_store,
             }
           }
           if (perfect) {
+            const int64_t txns =
+                ((g1 - g0) * eb + dev_.transaction_bytes - 1) /
+                dev_.transaction_bytes;
             (is_store ? counters_.gst_coherent : counters_.gld_coherent) +=
-                1;
-            counters_.global_bytes += dev_.transaction_bytes;
+                txns;
+            counters_.global_bytes += txns * dev_.transaction_bytes;
           } else {
             // Serialized: one transaction per participating thread.
             (is_store ? counters_.gst_incoherent
@@ -501,15 +517,17 @@ Status BlockSim::exec_assign(const CNode& n,
 
   if (!functional_) return Status::ok();
 
-  // Functional update.
+  // Functional update. The read-modify-write rounds to the kernel's
+  // precision like every other arithmetic op.
   Status status = Status::ok();
   const CArray& arr = k_.arrays[static_cast<size_t>(n.lhs.array)];
+  const Precision p = k_.precision;
   for (int lane = 0; lane < nlanes_; ++lane) {
     if (!mask[static_cast<size_t>(lane)]) continue;
-    const float value = eval_tape(n, lane, status);
+    const double value = eval_tape(n, lane, status);
     const int64_t addr = addr_of(n.lhs, lane, status);
     OA_RETURN_IF_ERROR(status);
-    float* cell = nullptr;
+    double* cell = nullptr;
     switch (arr.space) {
       case ir::MemSpace::kGlobal:
         cell = &global_ptr_[static_cast<size_t>(n.lhs.array)][addr];
@@ -525,9 +543,15 @@ Status BlockSim::exec_assign(const CNode& n,
     }
     switch (n.op) {
       case ir::AssignOp::kAssign: *cell = value; break;
-      case ir::AssignOp::kAddAssign: *cell += value; break;
-      case ir::AssignOp::kSubAssign: *cell -= value; break;
-      case ir::AssignOp::kDivAssign: *cell /= value; break;
+      case ir::AssignOp::kAddAssign:
+        *cell = round_to(p, *cell + value);
+        break;
+      case ir::AssignOp::kSubAssign:
+        *cell = round_to(p, *cell - value);
+        break;
+      case ir::AssignOp::kDivAssign:
+        *cell = round_to(p, *cell / value);
+        break;
     }
   }
   return Status::ok();
@@ -939,10 +963,12 @@ Status BlockSim::process_ref_fast(const CRef& ref, bool is_store,
         if (group_stride(g0, g1 - g0, ua, atx, aty, base, s)) {
           (is_store ? counters_.shared_store : counters_.shared_load) += 1;
           if (s != 0) {
-            // All addresses distinct; lanes i, j collide iff
-            // i ≡ j (mod banks / gcd(|s|, banks)).
+            // All addresses distinct; in bank (= 4-byte word) units the
+            // stride is s * elem_words, and lanes i, j collide iff
+            // i ≡ j (mod banks / gcd(|s*words|, banks)).
             const int64_t banks = dev_.shared_banks;
-            const int64_t period = banks / std::gcd(s < 0 ? -s : s, banks);
+            const int64_t sw = (s < 0 ? -s : s) * elem_words(k_.precision);
+            const int64_t period = banks / std::gcd(sw, banks);
             const int64_t degree = ((g1 - g0) + period - 1) / period;
             counters_.shared_bank_conflict_replays += degree - 1;
           }
@@ -980,17 +1006,23 @@ Status BlockSim::process_ref_fast(const CRef& ref, bool is_store,
                       count_inst);
           continue;
         }
+        const int64_t eb = elem_bytes(k_.precision);
         switch (dev_.coalescing) {
           case CoalescingModel::kStrict: {
             // addr(l) = base + (l - g0) for all lanes ⟺ stride == 1
-            // (or a single lane); all lanes are active here.
+            // (or a single lane); all lanes are active here. Perfect
+            // patterns pay ceil(group_bytes / transaction_bytes)
+            // transactions, exactly like the interpreter.
             const bool perfect =
-                base % (dev_.transaction_bytes / 4) == 0 &&
+                base % (dev_.transaction_bytes / eb) == 0 &&
                 (ng == 1 || s == 1);
             if (perfect) {
+              const int64_t txns =
+                  (ng * eb + dev_.transaction_bytes - 1) /
+                  dev_.transaction_bytes;
               (is_store ? counters_.gst_coherent
-                        : counters_.gld_coherent) += 1;
-              counters_.global_bytes += dev_.transaction_bytes;
+                        : counters_.gld_coherent) += txns;
+              counters_.global_bytes += txns * dev_.transaction_bytes;
             } else {
               (is_store ? counters_.gst_incoherent
                         : counters_.gld_incoherent) += ng;
@@ -1000,11 +1032,11 @@ Status BlockSim::process_ref_fast(const CRef& ref, bool is_store,
           }
           case CoalescingModel::kSegmented: {
             const int64_t segs = distinct_affine(
-                base, s, ng, dev_.transaction_bytes / 4);
+                base, s, ng, dev_.transaction_bytes / eb);
             (is_store ? counters_.gst_coherent
                       : counters_.gld_coherent) += segs;
             counters_.global_bytes +=
-                32 * distinct_affine(base, s, ng, 8);
+                32 * distinct_affine(base, s, ng, 32 / eb);
             break;
           }
           case CoalescingModel::kFermi: {  // stores only (no line cache)
@@ -1012,7 +1044,7 @@ Status BlockSim::process_ref_fast(const CRef& ref, bool is_store,
                 1;
             counters_.global_bytes +=
                 dev_.transaction_bytes *
-                distinct_affine(base, s, ng, dev_.transaction_bytes / 4);
+                distinct_affine(base, s, ng, dev_.transaction_bytes / eb);
             break;
           }
         }
@@ -1149,7 +1181,8 @@ Status BlockSim::exec_fast_loop(const CNode& n) {
           // number of lines per trip (collapse_ok guarantees
           // alignment).
           const int64_t shift =
-              delta / (dev_.transaction_bytes / 4) * skipped;
+              delta / (dev_.transaction_bytes / elem_bytes(k_.precision)) *
+              skipped;
           int64_t* row = line_addr_.data() + s * nlanes_;
           for (int l = 0; l < nlanes_; ++l) {
             if (row[l] >= 0) row[l] += shift;

@@ -35,11 +35,13 @@
 
 namespace oa::gpusim {
 
-/// Named global-memory buffers (column-major float).
+/// Named global-memory buffers (column-major). Values are doubles with
+/// the precision discipline of blas3::Matrix: an f32 kernel's buffers
+/// only ever hold exactly-representable floats.
 struct GlobalBuffers {
-  std::map<std::string, std::vector<float>, std::less<>> data;
+  std::map<std::string, std::vector<double>, std::less<>> data;
 
-  std::vector<float>* find(std::string_view name) {
+  std::vector<double>* find(std::string_view name) {
     auto it = data.find(name);
     return it == data.end() ? nullptr : &it->second;
   }
@@ -98,8 +100,8 @@ class BlockSim {
   void count_group(const CArray& arr, const CRef& ref, bool is_store,
                    const std::vector<uint8_t>& mask, int g0, int g1,
                    int active, bool count_inst);
-  float load_value(const CRef& ref, int lane, int64_t addr) const;
-  float eval_tape(const CNode& n, int lane, Status& status);
+  double load_value(const CRef& ref, int lane, int64_t addr) const;
+  double eval_tape(const CNode& n, int lane, Status& status);
 
   int64_t addr_of(const CRef& ref, int lane, Status& status) const;
   int64_t distinct_chunks(const std::vector<uint8_t>& mask, int g0, int g1,
@@ -165,10 +167,10 @@ class BlockSim {
   int nlanes_ = 0;
   int lane_begin_ = 0;
   std::vector<int64_t> slots_;          // nlanes x num_slots
-  std::vector<float*> global_ptr_;      // per array (globals only)
-  std::vector<std::vector<float>> shared_;    // per shared array
-  std::vector<std::vector<float>> registers_; // per register array
-                                              // (elements x nlanes)
+  std::vector<double*> global_ptr_;     // per array (globals only)
+  std::vector<std::vector<double>> shared_;    // per shared array
+  std::vector<std::vector<double>> registers_; // per register array
+                                               // (elements x nlanes)
   std::vector<int64_t> reuse_addr_;     // num_sites x nlanes
   mutable std::vector<int64_t> line_addr_;  // Fermi L1 line cache
   std::vector<int64_t> scratch_addr_;   // per lane

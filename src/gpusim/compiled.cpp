@@ -77,12 +77,13 @@ Status emit_tape(const ir::Expr& e, CompileState& st, CNode& node,
   };
   switch (e.kind) {
     case ir::Expr::Kind::kConst:
-      push(COp{COp::Kind::kConst, static_cast<float>(e.value), -1});
+      push(COp{COp::Kind::kConst,
+               round_to(st.program->precision, e.value), -1});
       return Status::ok();
     case ir::Expr::Kind::kScalar:
       // Scalars (alpha/beta) are not used by the BLAS3 sources in this
       // reproduction; treat unknown scalars as 1.0.
-      push(COp{COp::Kind::kConst, 1.0f, -1});
+      push(COp{COp::Kind::kConst, 1.0, -1});
       return Status::ok();
     case ir::Expr::Kind::kRef: {
       OA_ASSIGN_OR_RETURN(CRef ref, compile_ref(e.ref, st));
@@ -568,6 +569,7 @@ StatusOr<CompiledKernel> compile_kernel(
     const std::map<std::string, bool>& bool_params) {
   CompiledKernel out;
   out.name = kernel.name;
+  out.precision = program.precision;
   OA_ASSIGN_OR_RETURN(out.launch, ir::launch_config(kernel, int_params));
 
   CompileState st;
@@ -601,9 +603,13 @@ StatusOr<CompiledKernel> compile_kernel(
   for (const auto& d : kernel.local_arrays) {
     add_array(d);
     if (d.space == ir::MemSpace::kShared) {
-      out.shared_bytes += d.num_elements(int_params) * 4;
+      out.shared_bytes +=
+          d.num_elements(int_params) * elem_bytes(program.precision);
     } else if (d.space == ir::MemSpace::kRegister) {
-      out.regs_per_thread += d.num_elements(int_params);
+      // One 4-byte register per element word: f64 doubles the register
+      // footprint, which halves occupancy / forces earlier spills.
+      out.regs_per_thread +=
+          d.num_elements(int_params) * elem_words(program.precision);
     }
   }
 

@@ -105,7 +105,7 @@ struct CRef {
 struct COp {
   enum class Kind : uint8_t { kConst, kLoad, kNeg, kAdd, kSub, kMul, kDiv };
   Kind kind = Kind::kConst;
-  float constant = 0.0f;
+  double constant = 0.0;  // pre-rounded to the kernel's precision
   int load = -1;  // kLoad: index into CNode::loads
 };
 
@@ -177,6 +177,10 @@ struct CNode {
 
 struct CompiledKernel {
   std::string name;
+  /// Scalar precision (from the Program): decides bytes per element in
+  /// coalescing/transaction pricing, words per register/shared slot,
+  /// and the per-operation rounding of functional evaluation.
+  Precision precision = Precision::kF32;
   ir::LaunchConfig launch;
   std::vector<CArray> arrays;
   std::vector<CNode> body;     // the region inside block/thread loops

@@ -343,7 +343,7 @@ GlobalBuffers make_buffers(
   GlobalBuffers buffers;
   for (const ir::ArrayDecl& d : program.globals) {
     const int64_t elems = d.num_elements(int_params);
-    std::vector<float> buf(static_cast<size_t>(elems), 0.0f);
+    std::vector<double> buf(static_cast<size_t>(elems), 0.0);
     auto it = inputs.find(d.name);
     if (it != inputs.end() && it->second != nullptr) {
       const blas3::Matrix& m = *it->second;
@@ -378,7 +378,7 @@ Status read_back(const GlobalBuffers& buffers, const ir::Program& program,
   const int64_t ld = d->leading_dim(int_params);
   for (int64_t c = 0; c < cols; ++c) {
     for (int64_t r = 0; r < rows; ++r) {
-      out.at(r, c) = it->second[static_cast<size_t>(r + c * ld)];
+      out.set(r, c, it->second[static_cast<size_t>(r + c * ld)]);
     }
   }
   return Status::ok();

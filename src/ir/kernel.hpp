@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ir/node.hpp"
+#include "support/precision.hpp"
 #include "support/status.hpp"
 
 namespace oa::ir {
@@ -121,6 +122,10 @@ StatusOr<LaunchConfig> launch_config(const Kernel& kernel, const Env& env);
 
 struct Program {
   std::string name;
+  /// Scalar precision of every global array and every arithmetic
+  /// operation. Flows into the simulator's element-size pricing
+  /// (bytes per access, words per register/shared slot).
+  Precision precision = Precision::kF32;
   /// Integer size parameters (M, N, K) — bound at run time.
   std::vector<std::string> int_params;
   /// Scalar (float) parameters (alpha, beta).

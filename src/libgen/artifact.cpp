@@ -134,10 +134,13 @@ composer::Candidate ArtifactEntry::candidate() const {
   return c;
 }
 
-uint64_t ArtifactEntry::content_hash() const {
+uint64_t ArtifactEntry::content_hash(int format_version) const {
   Fingerprint fp;
-  fp.mix(variant)
-      .mix(tuned_size)
+  fp.mix(variant);
+  // v1 predates the precision axis; hashing it would invalidate every
+  // entry_hash line in legacy artifacts.
+  if (format_version >= 2) fp.mix(std::string_view(precision_name(precision)));
+  fp.mix(tuned_size)
       .mix(applied_mask)
       .mix(script_fingerprint)
       .mix(candidate_fingerprint)
@@ -199,6 +202,7 @@ ArtifactEntry make_entry(const Variant& v, const Evaluation& eval,
                          int64_t tuned_size) {
   ArtifactEntry e;
   e.variant = v.name();
+  e.precision = v.precision;
   e.script = eval.candidate.script;
   e.conditions = eval.candidate.conditions;
   e.params = eval.params;
@@ -214,7 +218,9 @@ ArtifactEntry make_entry(const Variant& v, const Evaluation& eval,
 
 std::string to_text(const Artifact& artifact) {
   std::ostringstream os;
-  os << "oablas-artifact " << artifact.format_version << "\n";
+  // Serialization always emits the current format, whatever version the
+  // artifact was parsed from.
+  os << "oablas-artifact " << kFormatVersion << "\n";
   os << "device " << artifact.device << "\n";
   os << "device_fp " << hex64(artifact.device_fp) << "\n";
   os << "generator "
@@ -224,6 +230,7 @@ std::string to_text(const Artifact& artifact) {
   for (const ArtifactEntry& e : artifact.entries) {
     os << "\n";
     os << "entry " << e.variant << "\n";
+    os << "precision " << precision_name(e.precision) << "\n";
     os << "tuned_size " << e.tuned_size << "\n";
     os << "params " << e.params.block_tile_y << " " << e.params.block_tile_x
        << " " << e.params.threads_y << " " << e.params.threads_x << " "
@@ -256,11 +263,11 @@ StatusOr<Artifact> parse(std::string_view text) {
 
   OA_ASSIGN_OR_RETURN(std::string version_text, cur.take("oablas-artifact"));
   OA_ASSIGN_OR_RETURN(int64_t version, parse_int(version_text, cur.lineno()));
-  if (version != kFormatVersion) {
+  if (version < kMinReadVersion || version > kFormatVersion) {
     return invalid_argument(str_format(
         "unsupported artifact format version %lld (this build reads "
-        "version %d)",
-        static_cast<long long>(version), kFormatVersion));
+        "versions %d through %d)",
+        static_cast<long long>(version), kMinReadVersion, kFormatVersion));
   }
   art.format_version = static_cast<int>(version);
   OA_ASSIGN_OR_RETURN(art.device, cur.take("device"));
@@ -277,6 +284,19 @@ StatusOr<Artifact> parse(std::string_view text) {
     ArtifactEntry e;
     OA_ASSIGN_OR_RETURN(e.variant, cur.take("entry"));
     const size_t entry_line = cur.lineno() - 1;
+    if (version >= 2) {
+      OA_ASSIGN_OR_RETURN(std::string prec_text, cur.take("precision"));
+      if (!parse_precision(prec_text, &e.precision)) {
+        return invalid_argument(str_format(
+            "artifact entry '%s' (line %zu): unknown precision '%s' "
+            "(expected f32 or f64)",
+            e.variant.c_str(), entry_line, prec_text.c_str()));
+      }
+    } else {
+      // v1 entries predate the axis: the generated library was the
+      // paper's single-precision catalog.
+      e.precision = kLegacyPrecision;
+    }
     OA_ASSIGN_OR_RETURN(std::string ts, cur.take("tuned_size"));
     OA_ASSIGN_OR_RETURN(e.tuned_size, parse_int(ts, cur.lineno()));
 
@@ -360,11 +380,22 @@ StatusOr<Artifact> parse(std::string_view text) {
     OA_ASSIGN_OR_RETURN(std::string hash_text, cur.take("entry_hash"));
     OA_ASSIGN_OR_RETURN(uint64_t recorded,
                         parse_hex64(hash_text, cur.lineno()));
-    if (recorded != e.content_hash()) {
+    if (recorded != e.content_hash(static_cast<int>(version))) {
       return invalid_argument(str_format(
           "artifact entry '%s' (line %zu): content hash mismatch — the "
           "entry is corrupt",
           e.variant.c_str(), entry_line));
+    }
+    // The variant name encodes precision (f64 names carry the "D"
+    // prefix), so a catalog entry whose recorded precision disagrees
+    // with its name is corrupt, not merely unusual.
+    if (const Variant* v = blas3::find_variant(e.variant);
+        v != nullptr && v->precision != e.precision) {
+      return invalid_argument(str_format(
+          "artifact entry '%s' (line %zu): recorded precision %s does "
+          "not match the variant's precision %s",
+          e.variant.c_str(), entry_line, precision_name(e.precision),
+          precision_name(v->precision)));
     }
     // Writer sanity: the recorded fingerprints must match what the
     // parsed content re-derives (they are what warm-start compares).

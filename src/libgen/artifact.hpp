@@ -11,14 +11,15 @@
 //
 // Format (docs/ARTIFACT.md): a line-oriented, human-readable text file.
 //
-//   oablas-artifact 1                  <- format version (header)
+//   oablas-artifact 2                  <- format version (header)
 //   device gtx285                      <- device preset name
 //   device_fp 8d4c...                  <- preset fingerprint (all fields)
 //   generator oagen                    <- build metadata (free-form)
-//   entries 24
+//   entries 48
 //
 //   entry GEMM-NN
-//   tuned_size 512
+//   precision f32                      <- element type (v2+; v1 entries
+//   tuned_size 512                        load as the legacy f32)
 //   params 64 16 64 1 16 4             <- bty btx ty tx kt unroll
 //   applied_mask 1f
 //   script_fp <hex>                    <- PR-1 fingerprints, verbatim
@@ -34,13 +35,19 @@
 //   | ...
 //   entry_hash <hex>                   <- content hash over the entry
 //
-//   end 24                             <- trailer: truncation detector
+//   end 48                             <- trailer: truncation detector
 //
 // Integrity: every entry carries a content hash over its parsed fields;
 // load() re-derives it, so a flipped byte anywhere in an entry is a
 // Status error, not a silently different library. A missing/short
 // trailer reports truncation; an unknown header version or a foreign
 // device preset reports version/device mismatch.
+//
+// Compatibility: parse() reads versions 1 and 2. Version 1 predates the
+// precision axis — its entries have no `precision` line and load as the
+// legacy single precision (the paper's 24-variant catalog is f32), with
+// the content hash re-derived under the v1 field set so old entry_hash
+// lines still verify. save()/to_text() always write version 2.
 #pragma once
 
 #include <cstdint>
@@ -61,16 +68,19 @@
 namespace oa::libgen {
 
 /// Current on-disk format version. Bump on any incompatible change to
-/// the grammar or to the meaning of a recorded field; load() rejects
-/// files with a different version outright (compatibility policy in
-/// docs/ARTIFACT.md).
-inline constexpr int kFormatVersion = 1;
+/// the grammar or to the meaning of a recorded field. load() reads the
+/// current version and the listed legacy versions; anything else is
+/// rejected outright (compatibility policy in docs/ARTIFACT.md).
+inline constexpr int kFormatVersion = 2;
+/// Oldest version parse() still reads (v1: no precision axis).
+inline constexpr int kMinReadVersion = 1;
 
 /// One tuned variant: the winning EPOD script (text-serialized), its
 /// tuning parameters, the applied-component mask, the engine's
 /// fingerprints, and the measured performance at tuning size.
 struct ArtifactEntry {
   std::string variant;                  // paper-style name, "SYMM-LL"
+  Precision precision = kLegacyPrecision;  // element type of the kernel
   epod::Script script;                  // winning composed script
   std::vector<std::string> conditions;  // candidate rule conditions
   transforms::TuningParams params;
@@ -86,7 +96,9 @@ struct ArtifactEntry {
   composer::Candidate candidate() const;
 
   /// Content hash over every recorded field (the `entry_hash` line).
-  uint64_t content_hash() const;
+  /// The hash is computed under a format version's field set: v1 never
+  /// recorded precision, so verifying a v1 entry must exclude it.
+  uint64_t content_hash(int format_version = kFormatVersion) const;
 };
 
 /// A whole generated library for one device preset.

@@ -29,14 +29,19 @@ std::string DispatchStats::to_string() const {
   return str_format(
       "dispatch: %llu requests — %llu hits, %llu near-hits, %llu "
       "baseline fallbacks, %llu reference fallbacks, %llu recovered "
-      "kernel errors, %llu failed",
+      "kernel errors, %llu failed; f32 %llu req / %llu tuned, f64 %llu "
+      "req / %llu tuned",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(near_hits),
       static_cast<unsigned long long>(baseline_fallbacks),
       static_cast<unsigned long long>(reference_fallbacks),
       static_cast<unsigned long long>(recovered_errors),
-      static_cast<unsigned long long>(failed_requests));
+      static_cast<unsigned long long>(failed_requests),
+      static_cast<unsigned long long>(requests_f32),
+      static_cast<unsigned long long>(tuned_served_f32),
+      static_cast<unsigned long long>(requests_f64),
+      static_cast<unsigned long long>(tuned_served_f64));
 }
 
 int LibraryRuntime::size_bucket(int64_t n) {
@@ -59,6 +64,14 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
   // always carries the full runtime schema, even for outcomes that
   // never happened.
   ins_.requests = &metrics_->counter("runtime.requests");
+  for (Precision p : {Precision::kF32, Precision::kF64}) {
+    const int i = static_cast<int>(p);
+    const std::string suffix = std::string(".") + precision_name(p);
+    ins_.requests_by_prec[i] =
+        &metrics_->counter("runtime.requests" + suffix);
+    ins_.tuned_served_by_prec[i] =
+        &metrics_->counter("runtime.tuned_served" + suffix);
+  }
   ins_.hits = &metrics_->counter("runtime.hits");
   ins_.near_hits = &metrics_->counter("runtime.near_hits");
   ins_.baseline_fallbacks = &metrics_->counter("runtime.baseline_fallbacks");
@@ -199,6 +212,8 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
                                               blas3::Matrix& b,
                                               blas3::Matrix* c) const {
   ins_.requests->add();
+  const int prec = static_cast<int>(v.precision);
+  ins_.requests_by_prec[prec]->add();
   const double start_us = obs::now_us();
   // Whole-call latency lands in the histogram of the *final* outcome,
   // so p99 per path answers "what does a request cost when it ends up
@@ -207,6 +222,18 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
   // Kernel failures along the way are only "recovered" if some later
   // stage actually answers the request.
   uint64_t pending_errors = 0;
+
+  // Requests must hand in matrices of the variant's element type: an
+  // f64 routine silently fed f32-tagged storage (or vice versa) would
+  // compute at the wrong precision, so it is an error, not a fallback.
+  if (a.precision() != v.precision || b.precision() != v.precision ||
+      (c != nullptr && c->precision() != v.precision)) {
+    ins_.failed_requests->add();
+    settle(ins_.failed_us);
+    return invalid_argument(
+        str_format("%s expects %s matrices", v.name().c_str(),
+                   precision_name(v.precision)));
+  }
 
   Dispatch d = dispatch(v, dispatch_size(v, a, b, c));
   if (d.program != nullptr) {
@@ -220,6 +247,7 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
         ins_.near_hits->add();
         settle(ins_.near_hit_us);
       }
+      ins_.tuned_served_by_prec[prec]->add();
       return d.outcome;
     }
     // A tuned kernel that fails at this problem size (occupancy,
@@ -278,6 +306,14 @@ DispatchStats LibraryRuntime::stats() const {
   s.reference_fallbacks = ins_.reference_fallbacks->value();
   s.recovered_errors = ins_.recovered_errors->value();
   s.failed_requests = ins_.failed_requests->value();
+  s.requests_f32 =
+      ins_.requests_by_prec[static_cast<int>(Precision::kF32)]->value();
+  s.requests_f64 =
+      ins_.requests_by_prec[static_cast<int>(Precision::kF64)]->value();
+  s.tuned_served_f32 =
+      ins_.tuned_served_by_prec[static_cast<int>(Precision::kF32)]->value();
+  s.tuned_served_f64 =
+      ins_.tuned_served_by_prec[static_cast<int>(Precision::kF64)]->value();
   return s;
 }
 

@@ -77,6 +77,13 @@ struct DispatchStats {
   uint64_t reference_fallbacks = 0;
   uint64_t recovered_errors = 0;  // kernel failures a fallback absorbed
   uint64_t failed_requests = 0;   // requests that failed on every path
+  /// Per-precision split of the same stream (the f64 half of the
+  /// library serves independently of the f32 half): requests and tuned
+  /// serves (exact + near hits), indexed by precision.
+  uint64_t requests_f32 = 0;
+  uint64_t requests_f64 = 0;
+  uint64_t tuned_served_f32 = 0;
+  uint64_t tuned_served_f64 = 0;
 
   std::string to_string() const;
 };
@@ -165,6 +172,10 @@ class LibraryRuntime {
   /// Cached instrument handles (stable for the registry's lifetime).
   struct Instruments {
     obs::Counter* requests;
+    /// Per-precision request / tuned-serve counters, indexed by
+    /// Precision ("runtime.requests.f32" etc.).
+    obs::Counter* requests_by_prec[2];
+    obs::Counter* tuned_served_by_prec[2];
     obs::Counter* hits;
     obs::Counter* near_hits;
     obs::Counter* baseline_fallbacks;

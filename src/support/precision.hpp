@@ -1,0 +1,77 @@
+// The scalar-precision axis threaded through the whole stack: every
+// routine variant, IR program, simulator buffer, artifact entry and
+// dispatch key carries one of these.
+//
+// Storage convention: host matrices and simulator buffers hold
+// `double` values regardless of precision; an f32 object simply keeps
+// every stored value rounded to float (so the double always holds an
+// exactly-representable float). Arithmetic for f32 rounds after every
+// operation. Because IEEE double has more than 2x the significand bits
+// of float (53 >= 2*24 + 2), the double rounding in
+// "compute-in-double, round-to-float" is innocuous for +, -, *, / —
+// the results are bit-identical to native float arithmetic, which is
+// what keeps the legacy f32 behaviour byte-for-byte stable.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace oa {
+
+enum class Precision { kF32, kF64 };
+
+/// What artifacts and variants without an explicit precision mean:
+/// the paper's 24 variants are single precision, and every pre-axis
+/// artifact was produced from them.
+inline constexpr Precision kLegacyPrecision = Precision::kF32;
+
+constexpr int elem_bytes(Precision p) {
+  return p == Precision::kF32 ? 4 : 8;
+}
+
+/// Element size in 4-byte device words (register/shared-memory slots).
+constexpr int elem_words(Precision p) {
+  return p == Precision::kF32 ? 1 : 2;
+}
+
+/// Unit roundoff (2^-24 / 2^-53): the "eps" of accumulation-tolerance
+/// bounds of the form ~eps * k.
+constexpr double precision_eps(Precision p) {
+  return p == Precision::kF32 ? 5.9604644775390625e-8
+                              : 1.1102230246251565e-16;
+}
+
+/// Canonical token used in .oalib artifacts and obs labels.
+constexpr const char* precision_name(Precision p) {
+  return p == Precision::kF32 ? "f32" : "f64";
+}
+
+/// BLAS-style routine prefix: "" for the paper's single-precision
+/// names ("GEMM-NN"), "D" for the doubled family ("DGEMM-NN").
+constexpr const char* precision_prefix(Precision p) {
+  return p == Precision::kF32 ? "" : "D";
+}
+
+/// Strict parse of a precision token. Accepts the canonical artifact
+/// tokens ("f32"/"f64") and the BLAS-style CLI letters ("s"/"d").
+/// Returns false on anything else; never guesses.
+inline bool parse_precision(std::string_view text, Precision* out) {
+  if (text == "f32" || text == "s") {
+    *out = Precision::kF32;
+    return true;
+  }
+  if (text == "f64" || text == "d") {
+    *out = Precision::kF64;
+    return true;
+  }
+  return false;
+}
+
+/// Round a double to `p`: the storage invariant of every f32 matrix /
+/// buffer, and the per-operation rounding of f32 arithmetic.
+inline double round_to(Precision p, double v) {
+  return p == Precision::kF32 ? static_cast<double>(static_cast<float>(v))
+                              : v;
+}
+
+}  // namespace oa

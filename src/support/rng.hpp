@@ -53,6 +53,13 @@ class Rng {
     for (float& x : out) x = next_float(-1.0f, 1.0f);
   }
 
+  /// Same stream and the same float-valued draws, widened to double —
+  /// a matrix filled at either precision from the same seed holds the
+  /// same mathematical values.
+  void fill(std::span<double> out) {
+    for (double& x : out) x = next_float(-1.0f, 1.0f);
+  }
+
  private:
   static uint64_t rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

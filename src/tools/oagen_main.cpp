@@ -78,6 +78,9 @@ int usage() {
       "(default 1024)\n"
       "  --tuning-size N                     search problem size "
       "(default 512)\n"
+      "  --precision s|d|all                 restrict to single (s/f32) "
+      "or double (d/f64) routines; library\n"
+      "                                      modes default to all\n"
       "  --show-candidates                   print the composer output "
       "and exit\n"
       "  --show-kernel                       print the generated kernel "
@@ -118,7 +121,7 @@ int usage() {
 /// Runs only for `--metrics-out` (it exists to populate the serving
 /// metrics; `--trace-out` alone adds no extra work). Sizes are
 /// bounded: serving is functional (interpreter-priced), so the check
-/// stays cheap even for a full 24-routine artifact.
+/// stays cheap even for a full 48-routine artifact.
 void serving_self_check(const gpusim::DeviceModel& device,
                         libgen::Artifact artifact) {
   runtime::RuntimeOptions ropt;
@@ -130,7 +133,8 @@ void serving_self_check(const gpusim::DeviceModel& device,
     for (int64_t n :
          {int64_t{96}, std::min<int64_t>(entry.tuned_size, 256)}) {
       Rng rng(0x0B5E ^ static_cast<uint64_t>(n));
-      blas3::Matrix a(n, n), b(n, n), c(n, n);
+      const Precision p = v->precision;
+      blas3::Matrix a(n, n, p), b(n, n, p), c(n, n, p);
       a.fill_random(rng);
       b.fill_random(rng);
       if (v->family == blas3::Family::kTrmm ||
@@ -182,6 +186,7 @@ int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarning);
   std::string routine, device_name = "gtx285", script_path, adaptor_path;
   std::string emit_lib, load_lib, metrics_out, trace_out;
+  std::string precision_arg = "all";
   int64_t size = 1024, tuning_size = 512, jobs = 0;
   bool list = false, show_candidates = false, show_kernel = false,
        exhaustive = false, no_cache = false, engine_stats = false,
@@ -230,6 +235,8 @@ int main(int argc, char** argv) {
       if (!next_int(1, &size)) return usage();
     } else if (arg == "--tuning-size") {
       if (!next_int(1, &tuning_size)) return usage();
+    } else if (arg == "--precision") {
+      if (!next_str(&precision_arg)) return usage();
     } else if (arg == "--script") {
       if (!next_str(&script_path)) return usage();
     } else if (arg == "--adaptor") {
@@ -271,6 +278,18 @@ int main(int argc, char** argv) {
   }
   ObsExport obs_export{metrics_out, trace_out};
 
+  // Strict precision selection: "s"/"f32", "d"/"f64", or "all" (the
+  // default — library generation covers the whole 48-variant family).
+  const bool all_precisions = precision_arg == "all";
+  Precision precision = kLegacyPrecision;
+  if (!all_precisions && !parse_precision(precision_arg, &precision)) {
+    std::fprintf(stderr,
+                 "oagen: --precision must be s, d, f32, f64 or all, got "
+                 "'%s'\n",
+                 precision_arg.c_str());
+    return usage();
+  }
+
   if (list) {
     std::printf("devices: geforce9800, gtx285, fermi\nroutines:\n");
     for (const auto& v : blas3::all_variants()) {
@@ -289,6 +308,17 @@ int main(int argc, char** argv) {
     if (variant == nullptr) {
       std::printf("unknown routine '%s' (try --list)\n", routine.c_str());
       return 1;
+    }
+    // A named routine already encodes its precision ("DGEMM-NN" is the
+    // f64 GEMM); a contradicting --precision is a usage error, not a
+    // silent override.
+    if (!all_precisions && variant->precision != precision) {
+      std::fprintf(stderr, "oagen: routine %s is %s but --precision asked "
+                           "for %s\n",
+                   variant->name().c_str(),
+                   precision_name(variant->precision),
+                   precision_name(precision));
+      return usage();
     }
   }
   const gpusim::DeviceModel* device = device_by_name(device_name);
@@ -321,7 +351,7 @@ int main(int argc, char** argv) {
     targets.push_back(variant);
   } else {
     for (const blas3::Variant& v : blas3::all_variants()) {
-      targets.push_back(&v);
+      if (all_precisions || v.precision == precision) targets.push_back(&v);
     }
   }
 

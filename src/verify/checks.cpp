@@ -85,7 +85,8 @@ std::string counter_diff(const gpusim::Counters& fast,
   return out;
 }
 
-/// Reduction length of the fuzzed problem (drives the float tolerance).
+/// Reduction length of the fuzzed problem (drives the precision-scaled
+/// accumulation tolerance).
 int64_t reduction_length(const FuzzCase& c) {
   if (c.variant.family == blas3::Family::kGemm) return std::max<int64_t>(c.k, 1);
   return c.variant.side == blas3::Side::kLeft ? c.m : c.n;
@@ -129,13 +130,16 @@ CheckResult check_differential(const gpusim::Simulator& sim,
   const int64_t m = c.m;
   const int64_t n = c.n;
   const int64_t k = reduction_length(c);
-  Matrix a = gemm ? (c.variant.trans_a == blas3::Trans::kN ? Matrix(m, k)
-                                                           : Matrix(k, m))
-                  : Matrix(k, k);
-  Matrix b = gemm ? (c.variant.trans_b == blas3::Trans::kN ? Matrix(k, n)
-                                                           : Matrix(n, k))
-                  : Matrix(m, n);
-  Matrix out_c(m, n);
+  const Precision p = c.variant.precision;
+  Matrix a = gemm ? (c.variant.trans_a == blas3::Trans::kN
+                         ? Matrix(m, k, p)
+                         : Matrix(k, m, p))
+                  : Matrix(k, k, p);
+  Matrix b = gemm ? (c.variant.trans_b == blas3::Trans::kN
+                         ? Matrix(k, n, p)
+                         : Matrix(n, k, p))
+                  : Matrix(m, n, p);
+  Matrix out_c(m, n, p);
   Rng rng(Fingerprint()
               .mix(c.seed)
               .mix(c.index)
@@ -163,8 +167,8 @@ CheckResult check_differential(const gpusim::Simulator& sim,
   blas3::run_reference(c.variant, a, ref_b, &ref_c);
   const Matrix& got = trsm ? b : out_c;
   const Matrix& want = trsm ? ref_b : ref_c;
-  const float err = blas3::max_abs_diff(got, want);
-  const float tol = blas3::accumulation_tolerance(k);
+  const double err = blas3::max_abs_diff(got, want);
+  const double tol = blas3::accumulation_tolerance(k, p);
   if (err <= tol) {
     return {Verdict::kPass,
             str_format("mask=%llx err<=tol",
@@ -184,8 +188,8 @@ CheckResult check_differential(const gpusim::Simulator& sim,
   return {Verdict::kFail,
           str_format("numeric mismatch err=%g tol=%g at m=%lld n=%lld "
                      "k=%lld (square-48 verification passes)",
-                     static_cast<double>(err), static_cast<double>(tol),
-                     static_cast<long long>(m), static_cast<long long>(n),
+                     err, tol, static_cast<long long>(m),
+                     static_cast<long long>(n),
                      static_cast<long long>(k))};
 }
 

@@ -277,8 +277,8 @@ FuzzCase ScriptFuzzer::make_case(uint64_t index) const {
               .mix(std::string_view("oacheck.case"))
               .digest());
 
-  // The variant rotates with the index so any run of >= 24 consecutive
-  // cases covers the whole catalog deterministically.
+  // The variant rotates with the index so any run of >= 48 consecutive
+  // cases covers the whole catalog — both precisions — deterministically.
   const auto& variants = blas3::all_variants();
   c.variant = variants[index % variants.size()];
 
@@ -320,6 +320,7 @@ std::string synthetic_artifact_text(const FuzzCase& c) {
 
   libgen::ArtifactEntry e;
   e.variant = c.variant.name();
+  e.precision = c.variant.precision;
   e.script = c.script;
   e.conditions = {"blank(A).zero = true"};
   e.params = c.params;

@@ -44,7 +44,7 @@ struct Report {
   size_t count(Verdict v) const;
   size_t failed() const { return count(Verdict::kFail); }
   bool ok() const { return failed() == 0; }
-  /// Distinct variants exercised (acceptance: all 24).
+  /// Distinct variants exercised (acceptance: all 48, both precisions).
   size_t variants_covered() const;
 
   /// One deterministic line per case: id, kind, variant, sizes, verdict

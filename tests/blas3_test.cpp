@@ -13,8 +13,16 @@ namespace {
 
 // ---------------------------------------------------------------- catalog
 
-TEST(Catalog, Has24Variants) {
-  EXPECT_EQ(all_variants().size(), 24u);
+TEST(Catalog, Has24PaperVariantsAnd48Total) {
+  EXPECT_EQ(paper_variants().size(), 24u);
+  EXPECT_EQ(all_variants().size(), 48u);
+  // The first 24 are the paper's f32 family, then the same shapes at f64.
+  for (size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(all_variants()[i].precision, Precision::kF32);
+    EXPECT_EQ(all_variants()[i + 24].precision, Precision::kF64);
+    EXPECT_EQ(all_variants()[i + 24].name(),
+              "D" + all_variants()[i].name());
+  }
 }
 
 TEST(Catalog, NamesMatchPaperStyle) {
@@ -26,6 +34,9 @@ TEST(Catalog, NamesMatchPaperStyle) {
   EXPECT_NE(std::find(names.begin(), names.end(), "TRMM-LL-N"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "TRSM-LL-N"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "TRSM-RU-T"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "DGEMM-NN"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "DTRSM-LL-N"),
+            names.end());
 }
 
 TEST(Catalog, NamesAreUnique) {
@@ -84,8 +95,19 @@ TEST(MatrixHelper, UnitDiagonal) {
 
 TEST(MatrixHelper, MaxAbsDiff) {
   Matrix a(2, 2), b(2, 2);
-  b.at(1, 0) = 0.5f;
+  b.set(1, 0, 0.5);
   EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+}
+
+TEST(MatrixHelper, F32StorageRoundsOnSet) {
+  Matrix s(1, 1, Precision::kF32);
+  Matrix d(1, 1, Precision::kF64);
+  const double v = 0.1;  // not representable in float
+  s.set(0, 0, v);
+  d.set(0, 0, v);
+  EXPECT_EQ(s.at(0, 0), static_cast<double>(static_cast<float>(v)));
+  EXPECT_EQ(d.at(0, 0), v);
+  EXPECT_NE(s.at(0, 0), d.at(0, 0));
 }
 
 // ------------------------------------------------------------- references
@@ -145,7 +167,7 @@ TEST(Reference, GemmTransposesAgree) {
   b.fill_random(rng);
   Matrix at(7, kM);
   for (int64_t r = 0; r < kM; ++r) {
-    for (int64_t c = 0; c < 7; ++c) at.at(c, r) = a.at(r, c);
+    for (int64_t c = 0; c < 7; ++c) at.set(c, r, a.at(r, c));
   }
   Matrix c1(kM, kN), c2(kM, kN);
   run_reference(*find_variant("GEMM-NN"), a, b, &c1);
@@ -160,7 +182,7 @@ TEST(Reference, GemmNtAgrees) {
   b.fill_random(rng);
   Matrix bt(kN, 7);
   for (int64_t r = 0; r < 7; ++r) {
-    for (int64_t c = 0; c < kN; ++c) bt.at(c, r) = b.at(r, c);
+    for (int64_t c = 0; c < kN; ++c) bt.set(c, r, b.at(r, c));
   }
   Matrix c1(kM, kN), c2(kM, kN);
   run_reference(*find_variant("GEMM-NN"), a, b, &c1);
@@ -204,7 +226,7 @@ TEST_P(TrmmVsGemm, MatchesGemmOnTriangularMatrix) {
     const int64_t d = p.a.rows();
     Matrix t(d, d);
     for (int64_t r = 0; r < d; ++r) {
-      for (int64_t c = 0; c < d; ++c) t.at(c, r) = p.a.at(r, c);
+      for (int64_t c = 0; c < d; ++c) t.set(c, r, p.a.at(r, c));
     }
     opa = t;
   }

@@ -1,7 +1,8 @@
 // Fast-path equivalence gate: the warp-analytic ghost executor must
 // produce bit-identical counters to the lockstep interpreter — not
-// approximately equal, identical. Every one of the paper's 24 BLAS3
-// variants runs on all three device presets through three schedules
+// approximately equal, identical. All 48 BLAS3 variants (the paper's
+// 24 at f32 and the doubled f64 family, whose 8-byte accesses price
+// differently) run on all three device presets through three schedules
 // (untransformed source, family-script tuned, cublas-like baseline)
 // with the fast path on and off, and every counter field is compared.
 // This is the guarantee that lets the tuner's search run entirely on

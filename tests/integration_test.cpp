@@ -1,4 +1,4 @@
-// End-to-end integration: for every one of the 24 BLAS3 variants, the
+// End-to-end integration: for every one of the 48 BLAS3 variants, the
 // composer must produce at least one candidate script that — applied at
 // a standard parameter point — yields a kernel that verifies against
 // the CPU reference on the simulated GPU. This is the "library

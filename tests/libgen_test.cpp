@@ -11,6 +11,7 @@
 #include "libgen/artifact.hpp"
 #include "oa/oa.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace oa {
 namespace {
@@ -120,7 +121,7 @@ TEST(Artifact, RoundTripsAllVariantsOnAllDevices) {
     for (const Variant& v : blas3::all_variants()) {
       artifact.entries.push_back(synthetic_entry(framework, v, salt++));
     }
-    ASSERT_EQ(artifact.entries.size(), 24u);
+    ASSERT_EQ(artifact.entries.size(), 48u);
 
     auto parsed = libgen::parse(libgen::to_text(artifact));
     ASSERT_TRUE(parsed.is_ok())
@@ -183,9 +184,12 @@ Artifact one_entry_artifact() {
 
 TEST(ArtifactCorruption, TruncationIsAStatusError) {
   const std::string text = libgen::to_text(one_entry_artifact());
-  // Cut inside the entry, before the trailer.
+  // Cut inside the entry, before the trailer — on a line boundary, so
+  // the parser runs out of lines rather than hitting a half-written
+  // value (that case is SeededByteMutationsNeverCrash's job).
   for (size_t keep : {text.size() / 3, text.size() / 2}) {
-    auto parsed = libgen::parse(text.substr(0, keep));
+    const size_t cut = text.rfind('\n', keep) + 1;
+    auto parsed = libgen::parse(text.substr(0, cut));
     ASSERT_FALSE(parsed.is_ok());
     EXPECT_NE(parsed.status().message().find("truncated"),
               std::string::npos)
@@ -228,7 +232,7 @@ TEST(ArtifactCorruption, EditedScriptTextFailsTheFingerprintCheck) {
 
 TEST(ArtifactCorruption, UnsupportedVersionIsRejected) {
   std::string text = libgen::to_text(one_entry_artifact());
-  const size_t pos = text.find("oablas-artifact 1");
+  const size_t pos = text.find("oablas-artifact 2");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 17, "oablas-artifact 99");
   auto parsed = libgen::parse(text);
@@ -311,6 +315,122 @@ TEST(ArtifactCorruption, SeededByteMutationsNeverCrash) {
   // Near-every mutation lands on a checked field; a handful hitting
   // only hash-invisible bytes may slip through as identical content.
   EXPECT_GT(rejected, 280);
+}
+
+// ------------------------------------------- v1 -> v2 compatibility
+
+/// Rewrite a freshly serialized (v2) artifact into the bytes a v1
+/// writer would have produced: v1 header, no `precision` lines, and
+/// every entry_hash re-derived under the v1 field set.
+std::string downgrade_to_v1(const Artifact& artifact) {
+  std::string text = libgen::to_text(artifact);
+  size_t pos = text.find("oablas-artifact 2");
+  EXPECT_NE(pos, std::string::npos);
+  text.replace(pos, 17, "oablas-artifact 1");
+  while ((pos = text.find("precision ")) != std::string::npos) {
+    text.erase(pos, text.find('\n', pos) - pos + 1);
+  }
+  size_t from = 0;
+  for (const ArtifactEntry& e : artifact.entries) {
+    pos = text.find("entry_hash ", from);
+    EXPECT_NE(pos, std::string::npos) << e.variant;
+    const size_t eol = text.find('\n', pos);
+    text.replace(
+        pos, eol - pos,
+        str_format("entry_hash %016llx",
+                   static_cast<unsigned long long>(e.content_hash(1))));
+    from = pos + 1;
+  }
+  return text;
+}
+
+// Satellite (b): artifacts written before the precision axis existed
+// must keep loading — their entries default to the legacy f32 and the
+// old entry_hash lines still verify under the v1 field set.
+TEST(ArtifactCompat, V1ArtifactLoadsWithLegacyF32Precision) {
+  const Artifact artifact = one_entry_artifact();
+  const std::string v1_text = downgrade_to_v1(artifact);
+  ASSERT_EQ(v1_text.find("precision"), std::string::npos);
+  auto parsed = libgen::parse(v1_text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->format_version, 1);
+  ASSERT_EQ(parsed->entries.size(), 1u);
+  EXPECT_EQ(parsed->entries[0].precision, kLegacyPrecision);
+  EXPECT_EQ(parsed->entries[0].precision, Precision::kF32);
+  EXPECT_EQ(parsed->entries[0].content_hash(),
+            artifact.entries[0].content_hash());
+}
+
+// Re-saving a v1 artifact upgrades it: to_text always writes the
+// current version, with an explicit precision line per entry, and the
+// upgraded bytes reparse identically.
+TEST(ArtifactCompat, ReserializingV1UpgradesToV2) {
+  auto parsed = libgen::parse(downgrade_to_v1(one_entry_artifact()));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const std::string upgraded = libgen::to_text(*parsed);
+  EXPECT_NE(upgraded.find("oablas-artifact 2"), std::string::npos);
+  EXPECT_NE(upgraded.find("precision f32"), std::string::npos);
+  auto again = libgen::parse(upgraded);
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  EXPECT_EQ(libgen::to_text(*again), upgraded);
+  EXPECT_EQ(again->entries[0].content_hash(),
+            parsed->entries[0].content_hash());
+}
+
+// A v1 downgrade of a tampered entry must still fail: the legacy hash
+// path is a different field set, not a weaker check.
+TEST(ArtifactCompat, V1FlippedByteStillFailsTheContentHash) {
+  std::string text = downgrade_to_v1(one_entry_artifact());
+  const size_t pos = text.find("gflops 0x1.");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 11] = text[pos + 11] == '2' ? '3' : '2';
+  auto parsed = libgen::parse(text);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("hash"), std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ArtifactCompat, UnknownPrecisionTokenIsRejected) {
+  std::string text = libgen::to_text(one_entry_artifact());
+  const size_t pos = text.find("precision f32");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 13, "precision f16");
+  auto parsed = libgen::parse(text);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("precision"),
+            std::string::npos)
+      << parsed.status().to_string();
+}
+
+// A v2 entry whose recorded precision contradicts its variant name is
+// corrupt even when the content hash is self-consistent (the hash
+// covers whatever was recorded, so only the cross-check catches it).
+TEST(ArtifactCompat, PrecisionVariantMismatchIsRejected) {
+  Artifact artifact = one_entry_artifact();  // GEMM-NN, f32
+  artifact.entries[0].precision = Precision::kF64;
+  auto parsed = libgen::parse(libgen::to_text(artifact));
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("precision"),
+            std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ArtifactCompat, F64EntriesRoundTripWithTheirPrecision) {
+  OaFramework framework(gpusim::gtx285(), quick_options());
+  Artifact artifact;
+  artifact.device = gpusim::gtx285().name;
+  artifact.device_fp = libgen::device_fingerprint(gpusim::gtx285());
+  artifact.generator = "libgen_test";
+  artifact.entries.push_back(
+      synthetic_entry(framework, *blas3::find_variant("DGEMM-NN"), 5));
+  const std::string text = libgen::to_text(artifact);
+  EXPECT_NE(text.find("entry DGEMM-NN"), std::string::npos);
+  EXPECT_NE(text.find("precision f64"), std::string::npos);
+  auto parsed = libgen::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->entries[0].precision, Precision::kF64);
+  EXPECT_EQ(parsed->entries[0].content_hash(),
+            artifact.entries[0].content_hash());
 }
 
 TEST(ArtifactDevice, MismatchIsRejectedByCheckAndSetLibrary) {

@@ -1,0 +1,165 @@
+// The precision axis end to end: the same EPOD schedule applied to the
+// f32 and f64 flavor of one routine must price differently in the
+// simulator (8-byte elements double the coalesced transaction count
+// and DRAM traffic on CC 1.x, and conflict in shared-memory banks
+// where 4-byte elements do not), and f64 kernels must verify against
+// the reference under the much tighter f64 accumulation tolerance.
+#include <gtest/gtest.h>
+
+#include "blas3/matrix.hpp"
+#include "blas3/reference.hpp"
+#include "blas3/source_ir.hpp"
+#include "engine/evaluation_engine.hpp"
+#include "epod/script.hpp"
+#include "gpusim/simulator.hpp"
+#include "support/rng.hpp"
+#include "transforms/transform.hpp"
+
+namespace oa {
+namespace {
+
+using blas3::Matrix;
+using blas3::Variant;
+
+constexpr const char* kGemmSchedule = R"(
+  (Lii, Ljj) = thread_grouping(Li, Lj);
+  (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+  loop_unroll(Ljjj, Lkkk);
+  SM_alloc(B, Transpose);
+  reg_alloc(C);
+)";
+
+/// Transformed GEMM program for one precision flavor under the shared
+/// schedule and one standard parameter point.
+ir::Program transformed_gemm(const char* variant_name) {
+  const Variant v = *blas3::find_variant(variant_name);
+  ir::Program p = blas3::make_source_program(v);
+  transforms::TransformContext ctx;
+  ctx.params.block_tile_y = 32;
+  ctx.params.block_tile_x = 16;
+  ctx.params.threads_y = 32;
+  ctx.params.threads_x = 1;
+  ctx.params.k_tile = 16;
+  ctx.params.unroll = 4;
+  auto script = epod::parse_script(kGemmSchedule);
+  EXPECT_TRUE(script.is_ok());
+  auto mask = epod::apply_script_lenient(p, *script, ctx);
+  EXPECT_TRUE(mask.is_ok()) << variant_name << ": "
+                            << mask.status().to_string();
+  return p;
+}
+
+gpusim::Counters price(const gpusim::DeviceModel& device,
+                       const char* variant_name) {
+  ir::Program p = transformed_gemm(variant_name);
+  const int64_t n = 96;
+  gpusim::RunOptions opts;
+  opts.int_params = ir::Env{{"M", n}, {"N", n}, {"K", n}};
+  opts.warps_per_block_sample = 0;
+  gpusim::Simulator sim(device);
+  auto perf = sim.run_performance(p, opts);
+  EXPECT_TRUE(perf.is_ok()) << device.name << " " << variant_name << ": "
+                            << perf.status().to_string();
+  return perf.is_ok() ? perf->counters : gpusim::Counters{};
+}
+
+// Acceptance gate for the precision axis: identical schedule, identical
+// extents — only the element size differs — and the access-pricing
+// counters must differ. On CC 1.x the strict coalescer issues twice
+// the 64B transactions for a warp of 8-byte loads, DRAM traffic
+// doubles exactly, and stride-1 f64 shared accesses hit every bank
+// twice (2-way replay) where f32 is conflict-free.
+TEST(PrecisionPricing, F64DoublesTransactionsAndBytesOnCC1x) {
+  for (const gpusim::DeviceModel* device :
+       {&gpusim::geforce_9800(), &gpusim::gtx285()}) {
+    SCOPED_TRACE(device->name);
+    const gpusim::Counters s = price(*device, "GEMM-NN");
+    const gpusim::Counters d = price(*device, "DGEMM-NN");
+    EXPECT_GT(s.gld_coherent, 0);
+    EXPECT_EQ(d.gld_coherent, 2 * s.gld_coherent);
+    EXPECT_EQ(d.global_bytes, 2 * s.global_bytes);
+    // Same schedule -> same shared-memory *instruction* stream; only
+    // the bank-conflict replays see the wider element.
+    EXPECT_EQ(d.shared_load, s.shared_load);
+    EXPECT_EQ(s.shared_bank_conflict_replays, 0);
+    EXPECT_GT(d.shared_bank_conflict_replays, 0);
+  }
+}
+
+// Fermi counts per-warp *requests*, which are element-size blind — the
+// cost of f64 shows up only in segment traffic (more 128B segments per
+// request), exactly like the real gld_request counter.
+TEST(PrecisionPricing, FermiRequestsAreSizeBlindButTrafficIsNot) {
+  const gpusim::Counters s = price(gpusim::fermi_c2050(), "GEMM-NN");
+  const gpusim::Counters d = price(gpusim::fermi_c2050(), "DGEMM-NN");
+  EXPECT_GT(s.gld_request, 0);
+  EXPECT_EQ(d.gld_request, s.gld_request);
+  EXPECT_GT(d.global_bytes, s.global_bytes);
+}
+
+// The wider element prices differently but computes the same schedule:
+// instruction and flop counts are precision-invariant.
+TEST(PrecisionPricing, InstructionAndFlopCountsArePrecisionInvariant) {
+  const gpusim::Counters s = price(gpusim::gtx285(), "GEMM-NN");
+  const gpusim::Counters d = price(gpusim::gtx285(), "DGEMM-NN");
+  EXPECT_EQ(d.instructions, s.instructions);
+  EXPECT_EQ(d.flops, s.flops);
+}
+
+// ---------------------------------------------- differential numerics
+
+// f64 differential numerics: the transformed DGEMM kernel must agree
+// with blas3::run_reference to within the f64 accumulation tolerance —
+// about 2^29 times tighter than what the f32 family is held to.
+TEST(PrecisionNumerics, TransformedDgemmMatchesReferenceAtF64Tolerance) {
+  const Variant v = *blas3::find_variant("DGEMM-NN");
+  ASSERT_EQ(v.precision, Precision::kF64);
+  ir::Program program = transformed_gemm("DGEMM-NN");
+
+  const int64_t n = 96;
+  const Precision p = v.precision;
+  Matrix a(n, n, p), b(n, n, p), out_c(n, n, p);
+  Rng rng(2026);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Matrix ref_c = out_c;
+
+  gpusim::Simulator sim(gpusim::gtx285());
+  const Status run = engine::execute_program(sim, program, v, a, b, &out_c,
+                                             /*bools=*/{});
+  ASSERT_TRUE(run.is_ok()) << run.to_string();
+  blas3::run_reference(v, a, b, &ref_c);
+
+  const double err = blas3::max_abs_diff(out_c, ref_c);
+  const double f64_tol = blas3::accumulation_tolerance(n, Precision::kF64);
+  EXPECT_LE(err, f64_tol) << "err " << err << " tol " << f64_tol;
+  // The f64 gate is meaningfully stricter than the f32 one.
+  EXPECT_LT(f64_tol, blas3::accumulation_tolerance(n, Precision::kF32));
+}
+
+// The engine's standard square verification accepts the f64 flavor of
+// each family head under its own precision-scaled tolerance.
+TEST(PrecisionNumerics, EngineVerifiesF64FamilyHeads) {
+  gpusim::Simulator sim(gpusim::gtx285());
+  for (const char* name : {"DGEMM-NN", "DSYMM-LL", "DTRSM-LL-N"}) {
+    const Variant* v = blas3::find_variant(name);
+    ASSERT_NE(v, nullptr) << name;
+    ir::Program p = blas3::make_source_program(*v);
+    const Status ok = engine::verify_program(
+        sim, *v, p, /*n=*/48, {{"blank_zero", true}});
+    EXPECT_TRUE(ok.is_ok()) << name << ": " << ok.to_string();
+  }
+}
+
+TEST(PrecisionNumerics, ToleranceScalesWithUnitRoundoff) {
+  for (int64_t n : {8, 64, 512}) {
+    EXPECT_LT(blas3::accumulation_tolerance(n, Precision::kF64),
+              blas3::accumulation_tolerance(n, Precision::kF32));
+  }
+  EXPECT_LT(precision_eps(Precision::kF64), precision_eps(Precision::kF32));
+  EXPECT_EQ(elem_bytes(Precision::kF32), 4);
+  EXPECT_EQ(elem_bytes(Precision::kF64), 8);
+}
+
+}  // namespace
+}  // namespace oa

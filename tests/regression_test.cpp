@@ -184,9 +184,9 @@ TEST(Regression, ConditionedTrsmSolvesStayBounded) {
   a.scale_off_diagonal(1.0f / 16.0f);
   b.fill_random(rng);
   blas3::run_reference(*find_variant("TRSM-LL-N"), a, b, nullptr);
-  float max_abs = 0.0f;
-  for (float x : b.data()) max_abs = std::max(max_abs, std::fabs(x));
-  EXPECT_LT(max_abs, 100.0f);  // no exponential blow-up
+  double max_abs = 0.0;
+  for (double x : b.data()) max_abs = std::max(max_abs, std::fabs(x));
+  EXPECT_LT(max_abs, 100.0);  // no exponential blow-up
 }
 
 }  // namespace

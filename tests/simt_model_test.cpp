@@ -287,7 +287,7 @@ TEST(Simt, SerialWavesExecuteInOrder) {
   GlobalBuffers buffers = make_buffers(p, {}, {});
   auto r = sim.run_functional(p, opts, buffers);
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
-  const std::vector<float>& g = *buffers.find("G");
+  const std::vector<double>& g = *buffers.find("G");
   for (int w = 1; w <= 8; ++w) {
     EXPECT_FLOAT_EQ(g[static_cast<size_t>(w) * 4], static_cast<float>(w));
   }

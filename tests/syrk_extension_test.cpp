@@ -21,13 +21,15 @@ using blas3::find_variant;
 using blas3::Matrix;
 using blas3::Variant;
 
-TEST(SyrkCatalog, FourExtensionVariants) {
+TEST(SyrkCatalog, ExtensionVariantsBothPrecisions) {
   const auto& ext = blas3::extension_variants();
-  ASSERT_EQ(ext.size(), 4u);
+  ASSERT_EQ(ext.size(), 8u);  // 4 shapes x {f32, f64}
   EXPECT_EQ(ext[0].name(), "SYRK-LN");
   EXPECT_NE(find_variant("SYRK-UT"), nullptr);
-  // The paper's catalog is untouched.
-  EXPECT_EQ(blas3::all_variants().size(), 24u);
+  EXPECT_NE(find_variant("DSYRK-LN"), nullptr);
+  // The paper's catalog is untouched; the full family doubles it.
+  EXPECT_EQ(blas3::paper_variants().size(), 24u);
+  EXPECT_EQ(blas3::all_variants().size(), 48u);
 }
 
 TEST(SyrkCatalog, NominalFlops) {
@@ -44,7 +46,7 @@ TEST(SyrkReference, MatchesGemmOnStoredTriangle) {
   a.fill_random(rng);
   Matrix at(k, m);
   for (int64_t r = 0; r < m; ++r) {
-    for (int64_t c = 0; c < k; ++c) at.at(c, r) = a.at(r, c);
+    for (int64_t c = 0; c < k; ++c) at.set(c, r, a.at(r, c));
   }
   Matrix full(m, m);
   blas3::run_reference(*find_variant("GEMM-NN"), a, at, &full);
@@ -70,7 +72,7 @@ TEST(SyrkReference, TransposedVariantAgrees) {
   a.fill_random(rng);
   Matrix at(k, m);
   for (int64_t r = 0; r < m; ++r) {
-    for (int64_t c = 0; c < k; ++c) at.at(c, r) = a.at(r, c);
+    for (int64_t c = 0; c < k; ++c) at.set(c, r, a.at(r, c));
   }
   Matrix dummy(m, m);
   Matrix c1(m, m), c2(m, m);

@@ -1,6 +1,6 @@
 // Tests for the src/verify fuzzing & differential-verification
 // subsystem: seed determinism (two same-seed campaigns are
-// byte-identical), full 24-variant coverage, fuzzer legality
+// byte-identical), full 48-variant coverage, fuzzer legality
 // guarantees, corpus reproducer round trips, the checked-in
 // tests/corpus directory, and mutation robustness.
 #include <gtest/gtest.h>
@@ -58,10 +58,10 @@ TEST(SeedDeterminism, MakeCaseIsAPureFunctionOfSeedAndIndex) {
 
 // ------------------------------------------------- variant coverage
 
-TEST(Coverage, TwentyFourCasesCoverAllTwentyFourVariants) {
+TEST(Coverage, OneRotationOfCasesCoversAllVariantsBothPrecisions) {
   HarnessOptions options;
   options.seed = 3;
-  options.cases = 24;
+  options.cases = static_cast<int>(blas3::all_variants().size());
   // Cheap checks only — coverage is a property of case generation.
   options.fuzzer.differential = false;
   options.fuzzer.fastpath = false;
