@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
   std::printf("dispatch table: %zu tuned kernel(s)\n", rt.table_size());
 
   std::vector<std::string> names;
-  for (const libgen::ArtifactEntry& e : rt.artifact().entries) {
+  for (const libgen::ArtifactEntry& e : rt.snapshot()->artifact().entries) {
     names.push_back(e.variant);
   }
   names.push_back("GEMM-TT");  // likely a fallback

@@ -122,6 +122,59 @@ double Histogram::percentile(double p) const {
   return max();
 }
 
+void Histogram::bucket_counts(std::array<uint64_t, kBuckets>& out) const {
+  for (int i = 0; i < kBuckets; ++i) {
+    out[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+}
+
+void HistogramWindow::rotate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  h_->bucket_counts(base_);
+}
+
+uint64_t HistogramWindow::count() const {
+  std::array<uint64_t, Histogram::kBuckets> now;
+  h_->bucket_counts(now);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    total += now[static_cast<size_t>(i)] - base_[static_cast<size_t>(i)];
+  }
+  return total;
+}
+
+double HistogramWindow::percentile(double p) const {
+  std::array<uint64_t, Histogram::kBuckets> now;
+  h_->bucket_counts(now);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    now[static_cast<size_t>(i)] -= base_[static_cast<size_t>(i)];
+    total += now[static_cast<size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const uint64_t in_bucket = now[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // No window-local min/max exists, so interpolate between the
+      // bucket bounds alone (exact to within one octave, like the
+      // lifetime percentile).
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return bucket_lower(i) + frac * (bucket_upper(i) - bucket_lower(i));
+    }
+    seen += in_bucket;
+  }
+  return bucket_upper(Histogram::kBuckets - 1);
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

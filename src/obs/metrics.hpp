@@ -85,6 +85,11 @@ class Histogram {
   /// (upper_bound, count) for every non-empty bucket, in order.
   std::vector<std::pair<double, uint64_t>> nonzero_buckets() const;
 
+  /// Allocation-free copy of the raw per-bucket counts (relaxed loads;
+  /// concurrent recorders can make the copy a torn-but-monotonic view,
+  /// which only ever under-reports — fine for windowed percentiles).
+  void bucket_counts(std::array<uint64_t, kBuckets>& out) const;
+
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -92,6 +97,32 @@ class Histogram {
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
   std::atomic<bool> has_values_{false};
+};
+
+/// Percentile over a *window* of a Histogram: the delta between the
+/// histogram's current bucket counts and the counts captured at the
+/// last rotate(). A lifetime histogram answers "what has latency been
+/// since the process started"; an admission controller needs "what is
+/// latency *right now*" — a long fast warm-up must not mask a current
+/// overload (and vice versa). rotate() starts a new window; both
+/// methods are thread-safe (internally locked — callers are expected
+/// to poll at a bounded rate, e.g. once per admission batch, not per
+/// request).
+class HistogramWindow {
+ public:
+  explicit HistogramWindow(const Histogram* h) : h_(h) {}
+
+  /// Start a new window at the histogram's current totals.
+  void rotate();
+  /// Samples recorded since the last rotate().
+  uint64_t count() const;
+  /// Percentile over the window delta; 0 when the window is empty.
+  double percentile(double p) const;
+
+ private:
+  const Histogram* h_;
+  mutable std::mutex mu_;
+  std::array<uint64_t, Histogram::kBuckets> base_{};
 };
 
 /// Named instrument registry. Instrument references are stable until

@@ -1,0 +1,118 @@
+#include "runtime/batch_queue.hpp"
+
+#include <chrono>
+
+#include "obs/trace.hpp"
+
+namespace oa::runtime {
+
+BatchQueue::BatchQueue(ServeBatchFn serve, Options options)
+    : serve_(std::move(serve)), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+StatusOr<DispatchOutcome> BatchQueue::submit(uint64_t key,
+                                             const blas3::Variant& v,
+                                             const blas3::Matrix& a,
+                                             blas3::Matrix& b,
+                                             blas3::Matrix* c) {
+  Request req;
+  req.v = &v;
+  req.a = &a;
+  req.b = &b;
+  req.c = c;
+  req.submit_us = obs::now_us();
+
+  Shard& shard = shard_for(key);
+  std::shared_ptr<Batch> batch;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.open.find(key);
+    if (it != shard.open.end()) {
+      batch = it->second;
+      batch->requests.push_back(&req);
+      if (batch->requests.size() >= options_.max_batch) {
+        // Full: close enrolment and wake the lingering leader early.
+        shard.open.erase(it);
+        std::lock_guard<std::mutex> bl(batch->mu);
+        batch->full = true;
+        batch->cv.notify_all();
+      }
+    } else {
+      batch = std::make_shared<Batch>();
+      batch->requests.push_back(&req);
+      if (options_.max_batch > 1) shard.open.emplace(key, batch);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Follower: the leader serves this request; block until it says
+    // so. The result lives in our own stack frame.
+    std::unique_lock<std::mutex> bl(batch->mu);
+    batch->cv.wait(bl, [&] { return batch->done; });
+    return std::move(req.result);
+  }
+
+  if (options_.window_us > 0.0 && options_.max_batch > 1) {
+    // Linger for followers; a full batch cuts the window short.
+    std::unique_lock<std::mutex> bl(batch->mu);
+    batch->cv.wait_for(
+        bl,
+        std::chrono::nanoseconds(
+            static_cast<int64_t>(options_.window_us * 1e3)),
+        [&] { return batch->full; });
+  }
+  {
+    // Close enrolment (a full batch is already closed). After this
+    // block no other thread can reach the request list.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.open.find(key);
+    if (it != shard.open.end() && it->second == batch) {
+      shard.open.erase(it);
+    }
+  }
+
+  serve_(key, batch->requests);
+
+  {
+    std::lock_guard<std::mutex> bl(batch->mu);
+    batch->done = true;
+  }
+  batch->cv.notify_all();
+  return std::move(req.result);
+}
+
+AdmissionController::AdmissionController(Options options,
+                                         const obs::Histogram* serve_us)
+    : options_(options), window_(serve_us) {}
+
+bool AdmissionController::admit(size_t depth) const {
+  if (options_.max_queue_depth > 0 &&
+      depth + 1 > options_.max_queue_depth) {
+    return false;
+  }
+  if (options_.slo_p99_us > 0.0 && depth > 0) {
+    // Recent traffic already misses the SLO: adding to the queue can
+    // only push p99 further out, so shed while others are in flight.
+    if (window_.percentile(99) > options_.slo_p99_us) return false;
+    // Expected queueing delay alone blows the budget: `depth` requests
+    // ahead of us at the recent median each.
+    if (static_cast<double>(depth) * window_.percentile(50) >
+        options_.slo_p99_us) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AdmissionController::on_complete() {
+  const uint64_t done =
+      completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.window_every > 0 && done % options_.window_every == 0) {
+    window_.rotate();
+  }
+}
+
+}  // namespace oa::runtime

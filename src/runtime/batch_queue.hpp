@@ -1,0 +1,146 @@
+// Request coalescing and admission control for the serving path.
+//
+// BatchQueue groups concurrent requests for the same (variant code,
+// size bucket) into one batch: the first submitter of a key becomes
+// the batch *leader*, optionally lingers for a short window so
+// followers can pile on, then serves the whole batch with a single
+// dispatch lookup (followers block until the leader publishes their
+// result). Under a closed-loop client population this converts k
+// same-shape requests into one queue transaction and one dispatch —
+// the model batched-BLAS serving assumes.
+//
+// AdmissionController is the load-shedding half: it turns the serving
+// latency the obs log2 histograms already record into an admit/shed
+// decision against a p99 SLO target. It sheds when the queue is
+// already deeper than the configured bound, or when the *windowed*
+// p99 (recent traffic, not process lifetime) is above target and
+// other requests are in flight — an idle server always admits, so a
+// bad spell can drain instead of wedging the controller open.
+//
+// Both classes are self-contained and runtime-agnostic: the queue
+// serves batches through a caller-provided function, the controller
+// reads any Histogram. LibraryRuntime::serve() wires them together.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "blas3/matrix.hpp"
+#include "blas3/routine.hpp"
+#include "obs/metrics.hpp"
+#include "support/status.hpp"
+
+namespace oa::runtime {
+
+enum class DispatchOutcome;
+
+class BatchQueue {
+ public:
+  struct Options {
+    /// Largest batch one leader serves; a full batch closes early.
+    size_t max_batch = 16;
+    /// How long a leader lingers for followers before serving. 0
+    /// serves immediately — the enrolment window is then only the
+    /// instant between batch creation and close, so meaningful
+    /// coalescing needs a window comparable to the request arrival
+    /// spacing.
+    double window_us = 0.0;
+  };
+
+  /// One queued request. The matrices belong to the (blocked)
+  /// submitter and stay valid until submit() returns.
+  struct Request {
+    const blas3::Variant* v = nullptr;
+    const blas3::Matrix* a = nullptr;
+    blas3::Matrix* b = nullptr;
+    blas3::Matrix* c = nullptr;
+    double submit_us = 0.0;
+    /// Filled by the batch leader; the initializer only survives if a
+    /// ServeBatchFn fails its contract.
+    StatusOr<DispatchOutcome> result = internal_error("request not served");
+  };
+
+  /// Serves every request of one coalesced batch (all share `key`).
+  /// Runs on the leader's thread with no queue locks held; must fill
+  /// every request's `result`.
+  using ServeBatchFn =
+      std::function<void(uint64_t key, const std::vector<Request*>&)>;
+
+  BatchQueue(ServeBatchFn serve, Options options);
+
+  /// Blocks until the request is served (by this thread as leader or
+  /// by a batch leader) and returns its outcome.
+  StatusOr<DispatchOutcome> submit(uint64_t key, const blas3::Variant& v,
+                                   const blas3::Matrix& a, blas3::Matrix& b,
+                                   blas3::Matrix* c);
+
+ private:
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Guarded by the owning shard's mutex while the batch is open
+    /// (listed in `Shard::open`); leader-private afterwards.
+    std::vector<Request*> requests;
+    bool full = false;  // guarded by mu (signals the leader to close)
+    bool done = false;  // guarded by mu
+  };
+
+  /// Keys are sharded so unrelated (variant, bucket) streams never
+  /// contend on one queue lock. Lock order: shard.mu before batch.mu,
+  /// never the reverse.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<Batch>> open;
+  };
+  static constexpr size_t kShards = 16;
+
+  Shard& shard_for(uint64_t key) {
+    // Golden-ratio mix: keys are (code << 6 | bucket), so low bits
+    // alone would map all buckets of one variant to few shards.
+    return shards_[(key * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
+  ServeBatchFn serve_;
+  Options options_;
+  std::array<Shard, kShards> shards_;
+};
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Target p99 serving latency in microseconds; 0 disables the
+    /// latency-based check.
+    double slo_p99_us = 0.0;
+    /// Hard in-flight bound (counting the candidate); 0 = unbounded.
+    size_t max_queue_depth = 0;
+    /// Completions between p99 window rotations.
+    uint64_t window_every = 1024;
+  };
+
+  /// `serve_us` is the histogram serving latency is recorded into
+  /// (e.g. the runtime's "runtime.serve_us"); the controller reads
+  /// its recent window, it never writes.
+  AdmissionController(Options options, const obs::Histogram* serve_us);
+
+  /// Admit a request when `depth` others are in flight (excluding the
+  /// candidate). Thread-safe.
+  bool admit(size_t depth) const;
+
+  /// Completion hook: rotates the latency window every
+  /// `window_every` completions so admit() tracks recent traffic.
+  void on_complete();
+
+ private:
+  Options options_;
+  obs::HistogramWindow window_;
+  std::atomic<uint64_t> completions_{0};
+};
+
+}  // namespace oa::runtime

@@ -1,11 +1,9 @@
 #include "runtime/library_runtime.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <utility>
 
-#include "baseline/baseline.hpp"
 #include "blas3/reference.hpp"
-#include "blas3/source_ir.hpp"
 #include "engine/evaluation_engine.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
@@ -15,12 +13,29 @@ namespace oa::runtime {
 
 using blas3::Variant;
 
+namespace {
+/// Fallback executions carry no rule-implied bool params.
+const std::map<std::string, bool>& no_bool_params() {
+  static const std::map<std::string, bool> empty;
+  return empty;
+}
+
+/// Monotonic snapshot-version source, shared by every runtime in the
+/// process so a (destroyed runtime, recycled address) can never alias
+/// a live pinned() cache entry.
+uint64_t next_snapshot_version() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
+
 const char* outcome_name(DispatchOutcome outcome) {
   switch (outcome) {
     case DispatchOutcome::kHit: return "hit";
     case DispatchOutcome::kNearHit: return "near-hit";
     case DispatchOutcome::kFallbackBaseline: return "baseline-fallback";
     case DispatchOutcome::kFallbackReference: return "reference-fallback";
+    case DispatchOutcome::kShed: return "shed";
   }
   return "?";
 }
@@ -28,32 +43,31 @@ const char* outcome_name(DispatchOutcome outcome) {
 std::string DispatchStats::to_string() const {
   return str_format(
       "dispatch: %llu requests — %llu hits, %llu near-hits, %llu "
-      "baseline fallbacks, %llu reference fallbacks, %llu recovered "
-      "kernel errors, %llu failed; f32 %llu req / %llu tuned, f64 %llu "
-      "req / %llu tuned",
+      "baseline fallbacks, %llu reference fallbacks, %llu shed, %llu "
+      "recovered kernel errors, %llu failed; f32 %llu req / %llu tuned, "
+      "f64 %llu req / %llu tuned; %llu reloads, %llu batches (%llu "
+      "coalesced)",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(near_hits),
       static_cast<unsigned long long>(baseline_fallbacks),
       static_cast<unsigned long long>(reference_fallbacks),
+      static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(recovered_errors),
       static_cast<unsigned long long>(failed_requests),
       static_cast<unsigned long long>(requests_f32),
       static_cast<unsigned long long>(tuned_served_f32),
       static_cast<unsigned long long>(requests_f64),
-      static_cast<unsigned long long>(tuned_served_f64));
-}
-
-int LibraryRuntime::size_bucket(int64_t n) {
-  int b = 0;
-  while (b < 62 && (int64_t{1} << (b + 1)) <= n) ++b;
-  return b;
+      static_cast<unsigned long long>(tuned_served_f64),
+      static_cast<unsigned long long>(reloads),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(coalesced));
 }
 
 LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
                                libgen::Artifact artifact,
                                RuntimeOptions options)
-    : sim_(device), artifact_(std::move(artifact)), options_(options) {
+    : sim_(device), options_(options) {
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
   } else {
@@ -77,55 +91,77 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
   ins_.baseline_fallbacks = &metrics_->counter("runtime.baseline_fallbacks");
   ins_.reference_fallbacks =
       &metrics_->counter("runtime.reference_fallbacks");
+  ins_.shed = &metrics_->counter("runtime.shed");
   ins_.recovered_errors = &metrics_->counter("runtime.recovered_errors");
   ins_.failed_requests = &metrics_->counter("runtime.failed_requests");
+  ins_.reloads = &metrics_->counter("runtime.reloads");
+  ins_.batches = &metrics_->counter("runtime.batches");
+  ins_.coalesced = &metrics_->counter("runtime.coalesced");
   ins_.hit_us = &metrics_->histogram("runtime.dispatch_us.hit");
   ins_.near_hit_us = &metrics_->histogram("runtime.dispatch_us.near_hit");
   ins_.baseline_us =
       &metrics_->histogram("runtime.dispatch_us.baseline_fallback");
   ins_.reference_us =
       &metrics_->histogram("runtime.dispatch_us.reference_fallback");
+  ins_.shed_us = &metrics_->histogram("runtime.dispatch_us.shed");
   ins_.failed_us = &metrics_->histogram("runtime.dispatch_us.failed");
+  ins_.serve_us = &metrics_->histogram("runtime.serve_us");
+  ins_.reload_us = &metrics_->histogram("runtime.reload_us");
+  ins_.batch_size = &metrics_->histogram("runtime.batch_size");
+  ins_.queue_wait_us = &metrics_->histogram("runtime.queue_wait_us");
 
-  load_status_ = libgen::check_device(artifact_, device);
-  if (!load_status_.is_ok()) {
-    // Graceful degradation: a mismatched artifact serves nothing from
-    // the table; every request takes the fallback path.
-    OA_LOG(kWarning) << "LibraryRuntime: " << load_status_.to_string()
-                     << " — serving fallbacks only";
-    return;
+  if (options_.baseline_fallback) {
+    baselines_ = BaselineTable::build(device);
   }
-  size_t skipped = 0;
-  std::string skip_reason;
-  for (const libgen::ArtifactEntry& entry : artifact_.entries) {
-    const Variant* v = blas3::find_variant(entry.variant);
-    if (v == nullptr) {
-      ++skipped;
-      skip_reason = "unknown variant '" + entry.variant + "'";
-      continue;
-    }
-    auto eval = libgen::reconstruct(entry, *v, {entry.candidate()});
-    if (!eval.is_ok()) {
-      ++skipped;
-      skip_reason = entry.variant + ": " + eval.status().message();
-      continue;
-    }
-    TableEntry te;
-    te.variant = v;
-    te.program = std::move(eval->program);
-    te.bool_params = engine::bools_for(eval->candidate);
-    te.gflops = entry.gflops;
-    te.tuned_size = entry.tuned_size;
-    index_[entry.variant][size_bucket(entry.tuned_size)] = table_.size();
-    table_.push_back(std::move(te));
+  auto snap =
+      DispatchSnapshot::build(device, std::move(artifact), baselines_);
+  if (!snap->load_status().is_ok()) {
+    OA_LOG(kWarning) << "LibraryRuntime: "
+                     << snap->load_status().to_string()
+                     << (snap->table_size() == 0 ? " — serving fallbacks only"
+                                                 : "");
   }
-  if (skipped > 0) {
-    load_status_ = failed_precondition(str_format(
-        "%zu artifact entr%s not servable (last: %s)", skipped,
-        skipped == 1 ? "y" : "ies", skip_reason.c_str()));
-    OA_LOG(kWarning) << "LibraryRuntime: " << load_status_.to_string();
+  metrics_->gauge("runtime.table_size")
+      .set(static_cast<double>(snap->table_size()));
+  snapshot_.store(std::move(snap), std::memory_order_release);
+  version_.store(next_snapshot_version(), std::memory_order_release);
+
+  AdmissionController::Options adm;
+  adm.slo_p99_us = options_.slo_p99_us;
+  adm.max_queue_depth = options_.max_queue_depth;
+  admission_ =
+      std::make_unique<AdmissionController>(adm, ins_.serve_us);
+  BatchQueue::Options bq;
+  bq.max_batch = options_.coalesce ? options_.max_batch : 1;
+  bq.window_us = options_.batch_window_us;
+  queue_ = std::make_unique<BatchQueue>(
+      [this](uint64_t key, const std::vector<BatchQueue::Request*>& batch) {
+        serve_batch(key, batch);
+      },
+      bq);
+}
+
+Status LibraryRuntime::swap_artifact(libgen::Artifact artifact) {
+  const double start_us = obs::now_us();
+  Status status;
+  {
+    // One snapshot build at a time; lookups never take this lock.
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    auto snap = DispatchSnapshot::build(sim_.device(), std::move(artifact),
+                                        baselines_);
+    status = snap->load_status();
+    metrics_->gauge("runtime.table_size")
+        .set(static_cast<double>(snap->table_size()));
+    snapshot_.store(std::move(snap), std::memory_order_release);
+    version_.store(next_snapshot_version(), std::memory_order_release);
   }
-  metrics_->gauge("runtime.table_size").set(static_cast<double>(table_.size()));
+  ins_.reloads->add();
+  ins_.reload_us->record(obs::now_us() - start_us);
+  if (!status.is_ok()) {
+    OA_LOG(kWarning) << "LibraryRuntime: swap_artifact: "
+                     << status.to_string();
+  }
+  return status;
 }
 
 int64_t LibraryRuntime::dispatch_size(const Variant& v,
@@ -158,87 +194,73 @@ int64_t LibraryRuntime::dispatch_size(const Variant& v,
   return std::max({m, n, k, int64_t{1}});
 }
 
-LibraryRuntime::Dispatch LibraryRuntime::dispatch(const Variant& v,
-                                                  int64_t n) const {
-  Dispatch d;
-  auto it = index_.find(v.name());
-  if (it == index_.end() || it->second.empty()) return d;
-  const std::map<int, size_t>& buckets = it->second;
-  const int want = size_bucket(n);
-  auto exact = buckets.find(want);
-  size_t idx;
-  if (exact != buckets.end()) {
-    d.outcome = DispatchOutcome::kHit;
-    idx = exact->second;
-  } else {
-    // Nearest registered bucket: these affine schedules are
-    // size-agnostic, so a tuned kernel from an adjacent regime beats
-    // the baseline; the near-hit counter records how often serving
-    // leaves the tuned regime.
-    auto lo = buckets.lower_bound(want);
-    if (lo == buckets.end()) {
-      idx = std::prev(lo)->second;
-    } else if (lo == buckets.begin()) {
-      idx = lo->second;
-    } else {
-      auto below = std::prev(lo);
-      idx = (lo->first - want) < (want - below->first) ? lo->second
-                                                       : below->second;
-    }
-    d.outcome = DispatchOutcome::kNearHit;
+const std::shared_ptr<const DispatchSnapshot>& LibraryRuntime::pinned()
+    const {
+  struct Cache {
+    uint64_t version = 0;  // 0 is never a published version
+    std::shared_ptr<const DispatchSnapshot> pin;
+  };
+  thread_local Cache cache;
+  // Publication order is snapshot_ then version_, so a reader that
+  // observes a version observes at least that version's snapshot; a
+  // reader that loses the race serves one request on the snapshot it
+  // already pinned, exactly as if the reload had landed a moment
+  // later.
+  const uint64_t v = version_.load(std::memory_order_acquire);
+  if (cache.version != v) {
+    cache.pin = snapshot_.load(std::memory_order_acquire);
+    cache.version = v;
   }
-  const TableEntry& te = table_[idx];
-  d.program = &te.program;
-  d.bool_params = te.bool_params;
-  d.tuned_gflops = te.gflops;
+  return cache.pin;
+}
+
+LibraryRuntime::Dispatch LibraryRuntime::dispatch_on(
+    const DispatchSnapshot& snap, const Variant& v, int64_t n) const {
+  Dispatch d;
+  bool exact = false;
+  const DispatchSnapshot::Entry* entry =
+      snap.lookup(variant_code(v), size_bucket(n), &exact);
+  if (entry == nullptr) return d;
+  d.outcome = exact ? DispatchOutcome::kHit : DispatchOutcome::kNearHit;
+  d.program = &entry->program;
+  d.bool_params = &entry->bool_params;
+  d.tuned_gflops = entry->gflops;
   return d;
 }
 
-StatusOr<const ir::Program*> LibraryRuntime::baseline_for(
-    const Variant& v) const {
-  std::lock_guard<std::mutex> lock(baseline_mu_);
-  auto it = baselines_.find(v.name());
-  if (it != baselines_.end()) return it->second.get();
-  auto program = baseline::cublas_like(v, sim_.device());
-  if (!program.is_ok()) return program.status();
-  auto owned = std::make_unique<ir::Program>(std::move(program).value());
-  const ir::Program* raw = owned.get();
-  baselines_.emplace(v.name(), std::move(owned));
-  return raw;
+LibraryRuntime::Dispatch LibraryRuntime::dispatch(const Variant& v,
+                                                  int64_t n) const {
+  const std::shared_ptr<const DispatchSnapshot>& pin = pinned();
+  Dispatch d = dispatch_on(*pin, v, n);
+  d.snapshot = pin;  // the caller's own pin for the pointers handed out
+  return d;
 }
 
-StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
-                                              const blas3::Matrix& a,
-                                              blas3::Matrix& b,
-                                              blas3::Matrix* c) const {
+void LibraryRuntime::count_request(const Variant& v) const {
   ins_.requests->add();
-  const int prec = static_cast<int>(v.precision);
-  ins_.requests_by_prec[prec]->add();
-  const double start_us = obs::now_us();
+  ins_.requests_by_prec[static_cast<int>(v.precision)]->add();
+}
+
+StatusOr<DispatchOutcome> LibraryRuntime::serve_with(
+    const DispatchSnapshot& snap, const Dispatch& d, const Variant& v,
+    const blas3::Matrix& a, blas3::Matrix& b, blas3::Matrix* c,
+    double start_us) const {
   // Whole-call latency lands in the histogram of the *final* outcome,
   // so p99 per path answers "what does a request cost when it ends up
-  // here" — including the failed attempts before it.
-  auto settle = [&](obs::Histogram* h) { h->record(obs::now_us() - start_us); };
+  // here" — including queue wait and the failed attempts before it.
+  auto settle = [&](obs::Histogram* h) {
+    const double us = obs::now_us() - start_us;
+    h->record(us);
+    ins_.serve_us->record(us);
+    admission_->on_complete();
+  };
   // Kernel failures along the way are only "recovered" if some later
   // stage actually answers the request.
   uint64_t pending_errors = 0;
 
-  // Requests must hand in matrices of the variant's element type: an
-  // f64 routine silently fed f32-tagged storage (or vice versa) would
-  // compute at the wrong precision, so it is an error, not a fallback.
-  if (a.precision() != v.precision || b.precision() != v.precision ||
-      (c != nullptr && c->precision() != v.precision)) {
-    ins_.failed_requests->add();
-    settle(ins_.failed_us);
-    return invalid_argument(
-        str_format("%s expects %s matrices", v.name().c_str(),
-                   precision_name(v.precision)));
-  }
-
-  Dispatch d = dispatch(v, dispatch_size(v, a, b, c));
   if (d.program != nullptr) {
     Status served = engine::execute_program(sim_, *d.program, v, a, b, c,
-                                            d.bool_params);
+                                            *d.bool_params);
     if (served.is_ok()) {
       if (d.outcome == DispatchOutcome::kHit) {
         ins_.hits->add();
@@ -247,7 +269,7 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
         ins_.near_hits->add();
         settle(ins_.near_hit_us);
       }
-      ins_.tuned_served_by_prec[prec]->add();
+      ins_.tuned_served_by_prec[static_cast<int>(v.precision)]->add();
       return d.outcome;
     }
     // A tuned kernel that fails at this problem size (occupancy,
@@ -260,10 +282,10 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
   }
 
   if (options_.baseline_fallback) {
-    auto base = baseline_for(v);
-    if (base.is_ok()) {
-      Status served =
-          engine::execute_program(sim_, **base, v, a, b, c, {});
+    const ir::Program* base = snap.baseline(variant_code(v));
+    if (base != nullptr) {
+      Status served = engine::execute_program(sim_, *base, v, a, b, c,
+                                              no_bool_params());
       if (served.is_ok()) {
         ins_.baseline_fallbacks->add();
         ins_.recovered_errors->add(pending_errors);
@@ -297,15 +319,121 @@ StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
   return DispatchOutcome::kFallbackReference;
 }
 
+StatusOr<DispatchOutcome> LibraryRuntime::run(const Variant& v,
+                                              const blas3::Matrix& a,
+                                              blas3::Matrix& b,
+                                              blas3::Matrix* c) const {
+  const double start_us = obs::now_us();
+  count_request(v);
+
+  // Requests must hand in matrices of the variant's element type: an
+  // f64 routine silently fed f32-tagged storage (or vice versa) would
+  // compute at the wrong precision, so it is an error, not a fallback.
+  if (a.precision() != v.precision || b.precision() != v.precision ||
+      (c != nullptr && c->precision() != v.precision)) {
+    ins_.failed_requests->add();
+    ins_.failed_us->record(obs::now_us() - start_us);
+    return invalid_argument(
+        str_format("%s expects %s matrices", v.name().c_str(),
+                   precision_name(v.precision)));
+  }
+
+  // One snapshot pin for the whole request: dispatch, execution and
+  // fallbacks all resolve against the same immutable table, however
+  // many hot reloads land meanwhile. The thread-local pin stays put
+  // for the whole serve (this thread only refreshes it on its next
+  // request).
+  const DispatchSnapshot& snap = *pinned();
+  Dispatch d = dispatch_on(snap, v, dispatch_size(v, a, b, c));
+  return serve_with(snap, d, v, a, b, c, start_us);
+}
+
+StatusOr<DispatchOutcome> LibraryRuntime::serve(const Variant& v,
+                                                const blas3::Matrix& a,
+                                                blas3::Matrix& b,
+                                                blas3::Matrix* c) const {
+  const double start_us = obs::now_us();
+  count_request(v);
+
+  if (a.precision() != v.precision || b.precision() != v.precision ||
+      (c != nullptr && c->precision() != v.precision)) {
+    ins_.failed_requests->add();
+    ins_.failed_us->record(obs::now_us() - start_us);
+    return invalid_argument(
+        str_format("%s expects %s matrices", v.name().c_str(),
+                   precision_name(v.precision)));
+  }
+
+  // Admission control: the depth the candidate sees excludes itself.
+  const size_t depth = in_flight_.load(std::memory_order_relaxed);
+  if (!admission_->admit(depth)) {
+    ins_.shed->add();
+    ins_.shed_us->record(obs::now_us() - start_us);
+    return DispatchOutcome::kShed;
+  }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+
+  StatusOr<DispatchOutcome> outcome = [&]() -> StatusOr<DispatchOutcome> {
+    if (options_.coalesce) {
+      const int64_t n = dispatch_size(v, a, b, c);
+      const uint64_t key =
+          (static_cast<uint64_t>(variant_code(v)) << 6) |
+          static_cast<uint64_t>(size_bucket(n));
+      return queue_->submit(key, v, a, b, c);
+    }
+    const DispatchSnapshot& snap = *pinned();
+    Dispatch d = dispatch_on(snap, v, dispatch_size(v, a, b, c));
+    return serve_with(snap, d, v, a, b, c, start_us);
+  }();
+
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return outcome;
+}
+
+void LibraryRuntime::serve_batch(
+    uint64_t key, const std::vector<BatchQueue::Request*>& batch) const {
+  ins_.batches->add();
+  ins_.batch_size->record(static_cast<double>(batch.size()));
+  if (batch.size() > 1) {
+    ins_.coalesced->add(static_cast<uint64_t>(batch.size() - 1));
+  }
+  // One snapshot pin and one dispatch for the whole batch — every
+  // request shares the (variant code, size bucket) of `key`, so the
+  // same table cell serves them all.
+  const DispatchSnapshot& snap = *pinned();
+  Dispatch d;
+  bool exact = false;
+  const int code = static_cast<int>(key >> 6);
+  const int bucket = static_cast<int>(key & 63);
+  const DispatchSnapshot::Entry* entry = snap.lookup(code, bucket, &exact);
+  if (entry != nullptr) {
+    d.outcome = exact ? DispatchOutcome::kHit : DispatchOutcome::kNearHit;
+    d.program = &entry->program;
+    d.bool_params = &entry->bool_params;
+    d.tuned_gflops = entry->gflops;
+  }
+  const double serve_start = obs::now_us();
+  for (BatchQueue::Request* req : batch) {
+    ins_.queue_wait_us->record(serve_start - req->submit_us);
+    req->result = serve_with(snap, d, *req->v, *req->a, *req->b, req->c,
+                             req->submit_us);
+  }
+}
+
 DispatchStats LibraryRuntime::stats() const {
   DispatchStats s;
-  s.requests = ins_.requests->value();
   s.hits = ins_.hits->value();
   s.near_hits = ins_.near_hits->value();
   s.baseline_fallbacks = ins_.baseline_fallbacks->value();
   s.reference_fallbacks = ins_.reference_fallbacks->value();
+  s.shed = ins_.shed->value();
   s.recovered_errors = ins_.recovered_errors->value();
   s.failed_requests = ins_.failed_requests->value();
+  // Derived, not read from the raw entry counter: the consistency
+  // contract (header) promises requests == sum(components) in every
+  // snapshot, which independent relaxed counters cannot offer.
+  s.requests = s.hits + s.near_hits + s.baseline_fallbacks +
+               s.reference_fallbacks + s.shed + s.failed_requests;
   s.requests_f32 =
       ins_.requests_by_prec[static_cast<int>(Precision::kF32)]->value();
   s.requests_f64 =
@@ -314,14 +442,17 @@ DispatchStats LibraryRuntime::stats() const {
       ins_.tuned_served_by_prec[static_cast<int>(Precision::kF32)]->value();
   s.tuned_served_f64 =
       ins_.tuned_served_by_prec[static_cast<int>(Precision::kF64)]->value();
+  s.reloads = ins_.reloads->value();
+  s.batches = ins_.batches->value();
+  s.coalesced = ins_.coalesced->value();
   return s;
 }
 
 void LibraryRuntime::reset_stats() {
   metrics_->reset("runtime.");
-  // The table is immutable; restore its size gauge after the sweep.
+  // The table itself survives a stats sweep; restore its size gauge.
   metrics_->gauge("runtime.table_size")
-      .set(static_cast<double>(table_.size()));
+      .set(static_cast<double>(snapshot()->table_size()));
 }
 
 }  // namespace oa::runtime

@@ -3,9 +3,22 @@
 // This is the deployment half of the paper's pipeline: `oagen
 // --emit-lib` persists the tuning trajectory (libgen/), and this
 // runtime loads that artifact once, rebuilds every tuned kernel, and
-// answers a stream of BLAS3 requests through a dispatch table keyed by
-// (routine variant, device, problem-size bucket) — no composing, no
-// searching, no re-tuning on the serving path.
+// answers a stream of BLAS3 requests — no composing, no searching, no
+// re-tuning on the serving path.
+//
+// Serving architecture (docs/SERVING.md):
+//   * lock-free snapshot dispatch — every request pins an immutable
+//     DispatchSnapshot through an atomic shared_ptr and resolves its
+//     (variant code, size bucket) cell with two array loads; no maps,
+//     no string keys, no per-request copies on the hot path;
+//   * hot reload — swap_artifact() builds a fresh snapshot from a new
+//     artifact and publishes it atomically; in-flight requests finish
+//     on the snapshot they pinned, so a reload never drops a request;
+//   * coalescing + admission control — serve() routes requests
+//     through a BatchQueue that batches same-(variant, size-bucket)
+//     traffic under one dispatch, and an AdmissionController that
+//     sheds load (DispatchOutcome::kShed) when the p99 latency SLO is
+//     unattainable; run() is the direct, uncoalesced path.
 //
 // Dispatch policy:
 //   * exact hit    — the artifact holds an entry for the variant whose
@@ -20,14 +33,9 @@
 //                    gracefully fall back to the CUBLAS-like baseline
 //                    schedule, and to the CPU reference if even the
 //                    baseline is unavailable.
-//
-// All serving paths are thread-safe: the dispatch table is immutable
-// after construction, per-request state lives on the caller's stack,
-// and the serving counters and latency histograms are relaxed atomics
-// in a MetricsRegistry (the concurrency test hammers run() from the
-// shared thread pool).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,6 +48,8 @@
 #include "gpusim/simulator.hpp"
 #include "libgen/artifact.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/batch_queue.hpp"
+#include "runtime/dispatch_snapshot.hpp"
 
 namespace oa::runtime {
 
@@ -52,6 +62,20 @@ struct RuntimeOptions {
   /// gives the runtime a private registry; `oagen` and the serving
   /// example inject a shared one for a single export file.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- serve() path (coalescing + admission control) -----------------
+  /// Coalesce same-(variant, size-bucket) requests into one batched
+  /// execution. Off = serve() behaves like run() plus admission.
+  bool coalesce = true;
+  /// Largest coalesced batch.
+  size_t max_batch = 16;
+  /// Batch-leader linger window in microseconds (0 = no added wait).
+  double batch_window_us = 0.0;
+  /// p99 latency SLO in microseconds; above-target recent traffic
+  /// sheds new requests while the queue is non-empty. 0 = off.
+  double slo_p99_us = 0.0;
+  /// Hard in-flight request bound for serve(); 0 = unbounded.
+  size_t max_queue_depth = 0;
 };
 
 enum class DispatchOutcome {
@@ -59,31 +83,55 @@ enum class DispatchOutcome {
   kNearHit,            // tuned kernel from another size bucket
   kFallbackBaseline,   // CUBLAS-like baseline schedule
   kFallbackReference,  // CPU reference implementation
+  kShed,               // admission control refused the request
 };
 
 const char* outcome_name(DispatchOutcome outcome);
 
 /// Monotonic serving counters — a snapshot *view* over the runtime's
 /// MetricsRegistry (one source of truth, also exported by
-/// `--metrics-out`). Kernel failures are split by what happened next:
-/// a tuned/baseline kernel that failed but whose request a later
-/// fallback stage answered is *recovered*; a request that failed on
-/// every path is *failed* (and never reported as recovered).
+/// `--metrics-out`).
+///
+/// Consistency contract: every component counter is an independent
+/// relaxed atomic, so a snapshot taken while requests are in flight
+/// can see a request whose outcome counter is already bumped next to
+/// one that is not yet counted. `requests` is therefore *derived* as
+/// the sum of the component counters (hits + near_hits + fallbacks +
+/// failed + shed): the invariant `requests == sum(components)` holds
+/// by construction in every snapshot, and a concurrent snapshot only
+/// ever under-reports completed requests, never tears one across
+/// components. The raw "runtime.requests" counter (bumped at request
+/// entry) still exists in the registry for in-flight visibility:
+/// `runtime.requests - stats().requests` is the number of requests
+/// currently being served.
+///
+/// Kernel failures are split by what happened next: a tuned/baseline
+/// kernel that failed but whose request a later fallback stage
+/// answered is *recovered*; a request that failed on every path is
+/// *failed* (and never reported as recovered).
 struct DispatchStats {
-  uint64_t requests = 0;
+  uint64_t requests = 0;  // derived: sum of the component counters
   uint64_t hits = 0;
   uint64_t near_hits = 0;
   uint64_t baseline_fallbacks = 0;
   uint64_t reference_fallbacks = 0;
+  uint64_t shed = 0;              // refused by admission control
   uint64_t recovered_errors = 0;  // kernel failures a fallback absorbed
   uint64_t failed_requests = 0;   // requests that failed on every path
   /// Per-precision split of the same stream (the f64 half of the
   /// library serves independently of the f32 half): requests and tuned
-  /// serves (exact + near hits), indexed by precision.
+  /// serves (exact + near hits), indexed by precision. Raw counters
+  /// (bumped at request entry), not derived.
   uint64_t requests_f32 = 0;
   uint64_t requests_f64 = 0;
   uint64_t tuned_served_f32 = 0;
   uint64_t tuned_served_f64 = 0;
+  /// Hot-reload trajectory: snapshots published after the first.
+  uint64_t reloads = 0;
+  /// Coalescing trajectory: batches served / requests that rode along
+  /// in a batch behind a leader.
+  uint64_t batches = 0;
+  uint64_t coalesced = 0;
 
   std::string to_string() const;
 };
@@ -98,18 +146,35 @@ class LibraryRuntime {
                  libgen::Artifact artifact, RuntimeOptions options = {});
 
   const gpusim::DeviceModel& device() const { return sim_.device(); }
-  const libgen::Artifact& artifact() const { return artifact_; }
 
-  /// OK when every artifact entry was admitted to the dispatch table;
-  /// otherwise the (non-fatal) reason serving is degraded — device
-  /// mismatch, entries that no longer re-apply.
-  const Status& load_status() const { return load_status_; }
+  /// Pins and returns the current snapshot (artifact, load status,
+  /// entries). The snapshot stays valid as long as the returned
+  /// pointer lives, across any number of concurrent swap_artifact()s.
+  std::shared_ptr<const DispatchSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
 
-  /// Number of servable tuned kernels.
-  size_t table_size() const { return table_.size(); }
+  /// OK when every entry of the *current* snapshot's artifact was
+  /// admitted; otherwise the (non-fatal) reason serving is degraded.
+  Status load_status() const { return snapshot()->load_status(); }
+
+  /// Number of servable tuned kernels in the current snapshot.
+  size_t table_size() const { return snapshot()->table_size(); }
+
+  /// Hot reload: build a snapshot for `artifact` and publish it
+  /// atomically. In-flight requests finish on the snapshot they
+  /// pinned; new requests dispatch against the new one — zero dropped
+  /// requests by construction. Returns the new snapshot's load status
+  /// (a degraded artifact still publishes, mirroring the
+  /// constructor). Thread-safe against serving and against concurrent
+  /// swaps; the build runs on the calling thread, off the serving
+  /// threads.
+  Status swap_artifact(libgen::Artifact artifact);
 
   /// The power-of-two problem-size bucket of n (floor(log2(n))).
-  static int size_bucket(int64_t n);
+  static int size_bucket(int64_t n) {
+    return DispatchSnapshot::size_bucket(n);
+  }
 
   /// Representative problem size for dispatch: the largest of the
   /// routine family's true dims (M, N, K derived from a/b/c shapes),
@@ -121,27 +186,42 @@ class LibraryRuntime {
                                const blas3::Matrix* c);
 
   /// Result of a dispatch lookup (no execution, no counter updates).
+  /// `program` and `bool_params` point into `snapshot`, which the
+  /// Dispatch pins: they stay valid until the Dispatch is destroyed,
+  /// hot reloads notwithstanding.
   struct Dispatch {
     DispatchOutcome outcome = DispatchOutcome::kFallbackReference;
     /// Tuned program for hits, nullptr for fallbacks.
     const ir::Program* program = nullptr;
-    /// Runtime bool parameters implied by the entry's rule conditions.
-    std::map<std::string, bool> bool_params;
+    /// Runtime bool parameters implied by the entry's rule conditions
+    /// (never null on hits; stable — no per-dispatch copy).
+    const std::map<std::string, bool>* bool_params = nullptr;
     /// GFLOPS the tuner measured for the served entry (0 on fallback).
     double tuned_gflops = 0.0;
+    /// Keeps the pointers above alive.
+    std::shared_ptr<const DispatchSnapshot> snapshot;
   };
 
   /// Pure thread-safe lookup for (variant, problem size n).
   Dispatch dispatch(const blas3::Variant& v, int64_t n) const;
 
-  /// Serve one BLAS3 call: run the dispatched kernel functionally on
-  /// the simulated device (matrix conventions as OaFramework::run),
-  /// falling back to baseline / CPU reference on a miss or execution
-  /// failure. Thread-safe; returns how the request was ultimately
-  /// served.
+  /// Serve one BLAS3 call directly: run the dispatched kernel
+  /// functionally on the simulated device (matrix conventions as
+  /// OaFramework::run), falling back to baseline / CPU reference on a
+  /// miss or execution failure. Thread-safe; returns how the request
+  /// was ultimately served. Never coalesces, never sheds.
   StatusOr<DispatchOutcome> run(const blas3::Variant& v,
                                 const blas3::Matrix& a, blas3::Matrix& b,
                                 blas3::Matrix* c) const;
+
+  /// Serve one BLAS3 call through the production path: admission
+  /// control first (DispatchOutcome::kShed when the SLO is
+  /// unattainable — an OK StatusOr whose outcome the caller must
+  /// check), then the coalescing BatchQueue (RuntimeOptions::coalesce)
+  /// or the direct path. Blocks until served or shed.
+  StatusOr<DispatchOutcome> serve(const blas3::Variant& v,
+                                  const blas3::Matrix& a, blas3::Matrix& b,
+                                  blas3::Matrix* c) const;
 
   DispatchStats stats() const;
   void reset_stats();
@@ -151,21 +231,45 @@ class LibraryRuntime {
   obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
-  struct TableEntry {
-    const blas3::Variant* variant = nullptr;
-    ir::Program program;
-    std::map<std::string, bool> bool_params;
-    double gflops = 0.0;
-    int64_t tuned_size = 0;
-  };
+  /// The serving hot path's snapshot pin. `snapshot_` is a lock-based
+  /// atomic<shared_ptr> (libstdc++), so loading it per request costs
+  /// several atomic RMWs and, worse, a spinlock a preempted reader can
+  /// hold across a scheduling quantum. pinned() instead keeps one
+  /// shared_ptr pin per (thread, published version) in a thread-local
+  /// cache keyed by a globally-unique version stamp: steady-state
+  /// requests pay two plain atomic loads, and only the first request a
+  /// thread makes after a hot reload (or against a new runtime) takes
+  /// the slow path. The returned reference is stable until this thread
+  /// calls pinned() again — callers must finish one request per call,
+  /// which run()/serve()/serve_batch() do.
+  const std::shared_ptr<const DispatchSnapshot>& pinned() const;
 
-  /// Baseline program for a variant, built lazily and memoized.
-  StatusOr<const ir::Program*> baseline_for(const blas3::Variant& v) const;
+  /// Lookup against a pinned snapshot (no refcount traffic).
+  Dispatch dispatch_on(const DispatchSnapshot& snap,
+                       const blas3::Variant& v, int64_t n) const;
+
+  /// The serving tail shared by run(), serve() and batch leaders:
+  /// execute the dispatched kernel, walk the fallback chain, settle
+  /// counters and the latency histogram of the final outcome.
+  /// `start_us` is when the request entered the runtime (queue wait
+  /// counts toward its latency).
+  StatusOr<DispatchOutcome> serve_with(const DispatchSnapshot& snap,
+                                       const Dispatch& d,
+                                       const blas3::Variant& v,
+                                       const blas3::Matrix& a,
+                                       blas3::Matrix& b, blas3::Matrix* c,
+                                       double start_us) const;
+
+  /// BatchQueue callback: serve one coalesced batch with a single
+  /// dispatch lookup.
+  void serve_batch(uint64_t key,
+                   const std::vector<BatchQueue::Request*>& batch) const;
+
+  /// Counter/histogram bookkeeping shared by every entry point.
+  void count_request(const blas3::Variant& v) const;
 
   gpusim::Simulator sim_;
-  libgen::Artifact artifact_;
   RuntimeOptions options_;
-  Status load_status_;
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -180,22 +284,43 @@ class LibraryRuntime {
     obs::Counter* near_hits;
     obs::Counter* baseline_fallbacks;
     obs::Counter* reference_fallbacks;
+    obs::Counter* shed;
     obs::Counter* recovered_errors;
     obs::Counter* failed_requests;
+    obs::Counter* reloads;
+    obs::Counter* batches;
+    obs::Counter* coalesced;
     obs::Histogram* hit_us;
     obs::Histogram* near_hit_us;
     obs::Histogram* baseline_us;
     obs::Histogram* reference_us;
+    obs::Histogram* shed_us;
     obs::Histogram* failed_us;
+    obs::Histogram* serve_us;       // all outcomes; admission reads it
+    obs::Histogram* reload_us;      // snapshot build + publish time
+    obs::Histogram* batch_size;
+    obs::Histogram* queue_wait_us;  // submit -> batch-serve delay
   };
   Instruments ins_;
 
-  std::vector<TableEntry> table_;
-  /// variant name -> (size bucket -> table_ index).
-  std::map<std::string, std::map<int, size_t>> index_;
+  /// Baselines depend only on (variant, device): built once here,
+  /// shared by every snapshot this runtime publishes.
+  std::shared_ptr<const BaselineTable> baselines_;
 
-  mutable std::mutex baseline_mu_;
-  mutable std::map<std::string, std::unique_ptr<ir::Program>> baselines_;
+  /// The published serving table. Readers load-acquire and pin;
+  /// swap_artifact() store-releases a fresh snapshot.
+  std::atomic<std::shared_ptr<const DispatchSnapshot>> snapshot_;
+  /// Globally-unique stamp of the published snapshot (bumped on every
+  /// publish, never reused across runtimes) — the pinned() cache key.
+  std::atomic<uint64_t> version_{0};
+  /// Serializes snapshot builds (not lookups) across concurrent
+  /// swap_artifact() calls.
+  mutable std::mutex swap_mu_;
+
+  /// serve() machinery; mutable because serving is logically const.
+  mutable std::unique_ptr<BatchQueue> queue_;
+  mutable std::unique_ptr<AdmissionController> admission_;
+  mutable std::atomic<size_t> in_flight_{0};
 };
 
 }  // namespace oa::runtime

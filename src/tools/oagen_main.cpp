@@ -111,9 +111,26 @@ int usage() {
       "  --metrics-out FILE                  export the process-wide "
       "metrics registry as JSON on exit\n"
       "  --trace-out FILE                    export collected spans as "
-      "Chrome trace JSON on exit\n");
+      "Chrome trace JSON on exit\n"
+      "  --serve-slo-us N                    self-check serve(): p99 "
+      "latency SLO in us (0 = no shedding)\n"
+      "  --serve-max-depth N                 self-check serve(): hard "
+      "in-flight bound (0 = unbounded)\n"
+      "  --serve-max-batch N                 self-check serve(): largest "
+      "coalesced batch (default 16)\n"
+      "  --serve-no-coalesce                 self-check serve(): disable "
+      "request coalescing\n");
   return 2;
 }
+
+/// serve()-path knobs plumbed from the command line into the
+/// self-check's RuntimeOptions.
+struct ServeFlags {
+  int64_t slo_p99_us = 0;      // --serve-slo-us (0 = no SLO shedding)
+  int64_t max_depth = 0;       // --serve-max-depth (0 = unbounded)
+  int64_t max_batch = 16;      // --serve-max-batch
+  bool coalesce = true;        // --serve-no-coalesce clears
+};
 
 /// Serve every artifact entry through a LibraryRuntime sharing the
 /// process-wide registry, so a `--metrics-out` export also carries the
@@ -121,13 +138,21 @@ int usage() {
 /// Runs only for `--metrics-out` (it exists to populate the serving
 /// metrics; `--trace-out` alone adds no extra work). Sizes are
 /// bounded: serving is functional (interpreter-priced), so the check
-/// stays cheap even for a full 48-routine artifact.
+/// stays cheap even for a full 48-routine artifact. Requests go
+/// through serve() — the coalescing + admission production path — so
+/// the export reflects the deployed configuration (docs/SERVING.md).
 void serving_self_check(const gpusim::DeviceModel& device,
-                        libgen::Artifact artifact) {
+                        libgen::Artifact artifact,
+                        const ServeFlags& serve_flags) {
   runtime::RuntimeOptions ropt;
   ropt.metrics = &obs::MetricsRegistry::global();
+  ropt.slo_p99_us = static_cast<double>(serve_flags.slo_p99_us);
+  ropt.max_queue_depth = static_cast<size_t>(serve_flags.max_depth);
+  ropt.max_batch = static_cast<size_t>(serve_flags.max_batch);
+  ropt.coalesce = serve_flags.coalesce;
   runtime::LibraryRuntime rt(device, std::move(artifact), ropt);
-  for (const libgen::ArtifactEntry& entry : rt.artifact().entries) {
+  for (const libgen::ArtifactEntry& entry :
+       rt.snapshot()->artifact().entries) {
     const blas3::Variant* v = blas3::find_variant(entry.variant);
     if (v == nullptr) continue;
     for (int64_t n :
@@ -146,7 +171,7 @@ void serving_self_check(const gpusim::DeviceModel& device,
         a.set_unit_diagonal();
         a.scale_off_diagonal(1.0f / 16.0f);
       }
-      auto outcome = rt.run(*v, a, b, &c);
+      auto outcome = rt.serve(*v, a, b, &c);
       if (!outcome.is_ok()) {
         std::printf("self-check %s at N=%lld: %s\n", v->name().c_str(),
                     static_cast<long long>(n),
@@ -192,6 +217,7 @@ int main(int argc, char** argv) {
        exhaustive = false, no_cache = false, engine_stats = false,
        no_fastpath = false, no_warm_start = false, seed_warm_start = false,
        dump_scripts = false;
+  ServeFlags serve_flags;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -271,6 +297,14 @@ int main(int argc, char** argv) {
       if (!next_str(&metrics_out)) return usage();
     } else if (arg == "--trace-out") {
       if (!next_str(&trace_out)) return usage();
+    } else if (arg == "--serve-slo-us") {
+      if (!next_int(0, &serve_flags.slo_p99_us)) return usage();
+    } else if (arg == "--serve-max-depth") {
+      if (!next_int(0, &serve_flags.max_depth)) return usage();
+    } else if (arg == "--serve-max-batch") {
+      if (!next_int(1, &serve_flags.max_batch)) return usage();
+    } else if (arg == "--serve-no-coalesce") {
+      serve_flags.coalesce = false;
     } else {
       std::fprintf(stderr, "oagen: unknown flag '%s'\n", arg.c_str());
       return usage();
@@ -414,7 +448,7 @@ int main(int argc, char** argv) {
                   emit_lib.c_str());
     }
     if (!metrics_out.empty()) {
-      serving_self_check(*device, framework.export_library());
+      serving_self_check(*device, framework.export_library(), serve_flags);
     }
     return failures == 0 ? 0 : 1;
   }
@@ -521,7 +555,7 @@ int main(int argc, char** argv) {
     std::printf("\n%s\n", ir::to_string(tuned->program).c_str());
   }
   if (!metrics_out.empty()) {
-    serving_self_check(*device, framework.export_library());
+    serving_self_check(*device, framework.export_library(), serve_flags);
   }
   return 0;
 }

@@ -79,6 +79,30 @@ TEST(Histogram, SingleValueDistributionIsTight) {
   EXPECT_EQ(h.percentile(99), 7.0);
 }
 
+TEST(HistogramWindow, DeltaPercentilesTrackRecentTrafficOnly) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10000.0);
+  HistogramWindow w(&h);
+
+  // Before the first rotate the window spans the whole history.
+  EXPECT_EQ(w.count(), 100u);
+  EXPECT_GT(w.percentile(99), 8000.0);
+
+  // Rotating empties the window; the lifetime histogram is untouched.
+  w.rotate();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.percentile(99), 0.0);
+  EXPECT_GT(h.percentile(99), 8000.0);
+
+  // New recordings land in the window; the old 10ms spell does not,
+  // even though it dominates the lifetime percentile.
+  for (int i = 0; i < 50; ++i) h.record(60.0);
+  EXPECT_EQ(w.count(), 50u);
+  EXPECT_LT(w.percentile(99), 100.0);
+  EXPECT_GT(h.percentile(99), 8000.0);
+  EXPECT_LE(w.percentile(50), w.percentile(99));
+}
+
 TEST(MetricsRegistry, InstrumentReferencesAreStable) {
   MetricsRegistry reg;
   Counter& a = reg.counter("a");
