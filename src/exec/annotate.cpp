@@ -1,0 +1,51 @@
+#include "exec/annotate.hpp"
+
+#include "blas3/routine.hpp"
+#include "engine/evaluation_engine.hpp"
+#include "exec/tape.hpp"
+#include "gpusim/compiled.hpp"
+
+namespace oa::exec {
+
+Status annotate_artifact(libgen::Artifact& artifact,
+                         const gpusim::DeviceModel& device) {
+  (void)device;
+  for (libgen::ArtifactEntry& entry : artifact.entries) {
+    entry.exec.clear();
+    const blas3::Variant* v = blas3::find_variant(entry.variant);
+    if (v == nullptr) continue;
+    auto eval = libgen::reconstruct(entry, *v, {entry.candidate()});
+    if (!eval.is_ok()) continue;
+    const ir::Program& program = eval->program;
+    const ir::Env int_params = engine::size_env(*v, entry.tuned_size);
+    const std::map<std::string, bool> bool_params =
+        engine::bools_for(eval->candidate);
+    std::vector<libgen::ExecRecord> records;
+    bool complete = true;
+    for (const ir::Kernel& kernel : program.kernels) {
+      auto ck = gpusim::compile_kernel(program, kernel, int_params,
+                                       bool_params);
+      if (!ck.is_ok()) {
+        complete = false;
+        break;
+      }
+      auto lowered = lower_kernel(*ck);
+      if (!lowered.is_ok()) {
+        complete = false;
+        break;
+      }
+      libgen::ExecRecord r;
+      r.kernel = kernel.name;
+      r.key = kernel_key(*ck);
+      r.tape_ops = lowered->tape_ops;
+      r.segments = static_cast<int64_t>(lowered->segments.size());
+      records.push_back(std::move(r));
+    }
+    // All-or-nothing: a half-annotated entry would misrepresent what
+    // the serving process caches.
+    if (complete) entry.exec = std::move(records);
+  }
+  return Status::ok();
+}
+
+}  // namespace oa::exec

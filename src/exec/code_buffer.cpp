@@ -1,0 +1,44 @@
+#include "exec/code_buffer.hpp"
+
+#include <cstring>
+#include <memory>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define OA_EXEC_HAVE_MMAP 1
+#endif
+
+#include "support/strings.hpp"
+
+namespace oa::exec {
+
+StatusOr<std::unique_ptr<CodeBuffer>> CodeBuffer::make(
+    const std::vector<uint8_t>& code) {
+  if (code.empty()) return invalid_argument("empty code buffer");
+#if defined(OA_EXEC_HAVE_MMAP)
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t size = (code.size() + page - 1) / page * page;
+  void* base = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return internal_error("mmap failed for JIT code buffer");
+  }
+  std::memcpy(base, code.data(), code.size());
+  if (mprotect(base, size, PROT_READ | PROT_EXEC) != 0) {
+    munmap(base, size);
+    return internal_error("mprotect(PROT_EXEC) failed (W^X denied)");
+  }
+  return std::unique_ptr<CodeBuffer>(new CodeBuffer(base, size));
+#else
+  return failed_precondition("no executable-memory support on this OS");
+#endif
+}
+
+CodeBuffer::~CodeBuffer() {
+#if defined(OA_EXEC_HAVE_MMAP)
+  if (base_ != nullptr) munmap(base_, size_);
+#endif
+}
+
+}  // namespace oa::exec

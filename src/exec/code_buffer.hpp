@@ -1,0 +1,41 @@
+// Executable code buffer with a W^X lifecycle: the buffer is mmap'd
+// read-write, machine code is copied in, then the mapping is flipped
+// to read-execute before any entry point is handed out. The two
+// protections are never held simultaneously.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace oa::exec {
+
+class CodeBuffer {
+ public:
+  /// Map `code` executable. Fails (Status, no crash) when mmap or
+  /// mprotect is unavailable — the caller selects the portable
+  /// executor instead. Never fails for an empty `code` vacuously:
+  /// empty input is rejected.
+  static StatusOr<std::unique_ptr<CodeBuffer>> make(
+      const std::vector<uint8_t>& code);
+
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer&) = delete;
+  CodeBuffer& operator=(const CodeBuffer&) = delete;
+
+  /// Entry point at a byte offset into the mapped code.
+  const void* entry(size_t offset) const {
+    return static_cast<const uint8_t*>(base_) + offset;
+  }
+  size_t size() const { return size_; }
+
+ private:
+  CodeBuffer(void* base, size_t size) : base_(base), size_(size) {}
+  void* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace oa::exec

@@ -1,0 +1,495 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "blas3/source_ir.hpp"
+#include "exec/jit_x86.hpp"
+#include "gpusim/simulator.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+
+namespace oa::exec {
+namespace {
+
+bool jit_disabled_by_env() {
+  static const bool disabled = std::getenv("OABLAS_NO_JIT") != nullptr;
+  return disabled;
+}
+
+// ---- Portable tape executor ---------------------------------------
+//
+// Reference implementation of the segment ABI; the JIT emits exactly
+// this computation. f32 kernels evaluate with T = float (load narrows,
+// store widens), which is bit-identical to the interpreter's
+// double-op-then-round_to discipline (innocuous double rounding; see
+// support/precision.hpp).
+
+template <typename T>
+void run_segment_portable(const Segment& seg, const LoweredKernel& lk,
+                          double* const* arrays, const int64_t* slots,
+                          int64_t* locals) {
+  auto* err = reinterpret_cast<ErrorCell*>(
+      const_cast<double*>(arrays[lk.arrays.size()]));
+  T stack[gpusim::kMaxTapeDepth];
+  int sp = 0;
+  size_t ip = 0;
+  const size_t n = seg.code.size();
+  while (ip < n) {
+    const TIns& t = seg.code[ip];
+    switch (t.op) {
+      case TIns::Op::kAffine: {
+        int64_t v = t.imm;
+        for (int32_t i = 0; i < t.c; ++i) {
+          const RTerm& rt = seg.terms[static_cast<size_t>(t.b) + i];
+          v += rt.coeff * (rt.is_local ? locals[rt.src] : slots[rt.src]);
+        }
+        locals[t.a] = v;
+        break;
+      }
+      case TIns::Op::kMin:
+        locals[t.a] = std::min(locals[t.a], locals[t.b]);
+        break;
+      case TIns::Op::kMax:
+        locals[t.a] = std::max(locals[t.a], locals[t.b]);
+        break;
+      case TIns::Op::kAddImm:
+        locals[t.a] += t.imm;
+        break;
+      case TIns::Op::kJump:
+        ip = static_cast<size_t>(t.a);
+        continue;
+      case TIns::Op::kJumpGe:
+        if (locals[t.a] >= locals[t.b]) {
+          ip = static_cast<size_t>(t.c);
+          continue;
+        }
+        break;
+      case TIns::Op::kPredJump: {
+        const int64_t v = locals[t.a];
+        bool hold = false;
+        switch (static_cast<ir::Pred::Op>(t.mode)) {
+          case ir::Pred::Op::kEq: hold = v == 0; break;
+          case ir::Pred::Op::kGe: hold = v >= 0; break;
+          case ir::Pred::Op::kLt: hold = v < 0; break;
+        }
+        if (!hold) {
+          ip = static_cast<size_t>(t.c);
+          continue;
+        }
+        break;
+      }
+      case TIns::Op::kFConst:
+        stack[sp++] = static_cast<T>(t.fimm);
+        break;
+      case TIns::Op::kFLoad: {
+        const gpusim::CArray& arr = lk.arrays[static_cast<size_t>(t.a)];
+        const int64_t r = locals[t.b], c = locals[t.c];
+        if (static_cast<uint64_t>(r) >= static_cast<uint64_t>(arr.rows) ||
+            static_cast<uint64_t>(c) >= static_cast<uint64_t>(arr.cols)) {
+          err->failed = 1;
+          err->array = t.a;
+          err->row = r;
+          err->col = c;
+          return;
+        }
+        stack[sp++] = static_cast<T>(arrays[t.a][r + c * arr.ld]);
+        break;
+      }
+      case TIns::Op::kFNeg:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case TIns::Op::kFAdd:
+        stack[sp - 2] = stack[sp - 2] + stack[sp - 1];
+        --sp;
+        break;
+      case TIns::Op::kFSub:
+        stack[sp - 2] = stack[sp - 2] - stack[sp - 1];
+        --sp;
+        break;
+      case TIns::Op::kFMul:
+        stack[sp - 2] = stack[sp - 2] * stack[sp - 1];
+        --sp;
+        break;
+      case TIns::Op::kFDiv:
+        stack[sp - 2] = stack[sp - 2] / stack[sp - 1];
+        --sp;
+        break;
+      case TIns::Op::kFStore: {
+        const gpusim::CArray& arr = lk.arrays[static_cast<size_t>(t.a)];
+        const int64_t r = locals[t.b], c = locals[t.c];
+        if (static_cast<uint64_t>(r) >= static_cast<uint64_t>(arr.rows) ||
+            static_cast<uint64_t>(c) >= static_cast<uint64_t>(arr.cols)) {
+          err->failed = 1;
+          err->array = t.a;
+          err->row = r;
+          err->col = c;
+          return;
+        }
+        double* cell = &arrays[t.a][r + c * arr.ld];
+        const T value = stack[--sp];
+        switch (static_cast<ir::AssignOp>(t.mode)) {
+          case ir::AssignOp::kAssign:
+            *cell = static_cast<double>(value);
+            break;
+          case ir::AssignOp::kAddAssign:
+            *cell = static_cast<double>(static_cast<T>(*cell) + value);
+            break;
+          case ir::AssignOp::kSubAssign:
+            *cell = static_cast<double>(static_cast<T>(*cell) - value);
+            break;
+          case ir::AssignOp::kDivAssign:
+            *cell = static_cast<double>(static_cast<T>(*cell) / value);
+            break;
+        }
+        break;
+      }
+      case TIns::Op::kRet:
+        return;
+    }
+    ++ip;
+  }
+}
+
+// ---- Block driver -------------------------------------------------
+
+struct BlockCtx {
+  const ExecutedKernel* ek = nullptr;
+  int nlanes = 0;
+  int num_slots = 0;
+  std::vector<int64_t> frames;       // nlanes * num_slots, lane-major
+  std::vector<double*> tab;          // arrays table + ErrorCell slot
+  std::vector<std::vector<double>> local_store;  // shared + register
+  std::vector<int> reg_arrays;       // indices with per-lane storage
+  std::vector<double*> reg_base;     // per reg array: block-wide base
+  std::vector<int64_t> locals;       // portable-executor scratch
+  ErrorCell err;
+
+  int64_t* frame(int lane) {
+    return frames.data() + static_cast<size_t>(lane) * num_slots;
+  }
+};
+
+Status oob_status(const LoweredKernel& lk, const ErrorCell& err) {
+  const gpusim::CArray& arr = lk.arrays[static_cast<size_t>(err.array)];
+  return internal_error(
+      str_format("out-of-bounds access to %s: (%lld, %lld) not in %lldx%lld",
+                 arr.name.c_str(), static_cast<long long>(err.row),
+                 static_cast<long long>(err.col),
+                 static_cast<long long>(arr.rows),
+                 static_cast<long long>(arr.cols)));
+}
+
+Status run_segment_all_lanes(BlockCtx& ctx, int seg_idx) {
+  const ExecutedKernel& ek = *ctx.ek;
+  const LoweredKernel& lk = ek.lowered;
+  const Segment& seg = lk.segments[static_cast<size_t>(seg_idx)];
+  for (int lane = 0; lane < ctx.nlanes; ++lane) {
+    for (size_t i = 0; i < ctx.reg_arrays.size(); ++i) {
+      const int a = ctx.reg_arrays[i];
+      ctx.tab[static_cast<size_t>(a)] =
+          ctx.reg_base[i] +
+          static_cast<size_t>(lane) *
+              lk.arrays[static_cast<size_t>(a)].elements;
+    }
+    const int64_t* slots = ctx.frame(lane);
+    if (ek.jit) {
+      auto fn = reinterpret_cast<SegmentFn>(
+          const_cast<void*>(ek.entries[static_cast<size_t>(seg_idx)]));
+      fn(ctx.tab.data(), slots);
+    } else if (lk.precision == Precision::kF64) {
+      run_segment_portable<double>(seg, lk, ctx.tab.data(), slots,
+                                   ctx.locals.data());
+    } else {
+      run_segment_portable<float>(seg, lk, ctx.tab.data(), slots,
+                                  ctx.locals.data());
+    }
+    if (ctx.err.failed) return oob_status(lk, ctx.err);
+  }
+  return Status::ok();
+}
+
+Status exec_driver(BlockCtx& ctx, const std::vector<DriverNode>& nodes) {
+  for (const DriverNode& n : nodes) {
+    switch (n.kind) {
+      case DriverNode::Kind::kSegment:
+        OA_RETURN_IF_ERROR(run_segment_all_lanes(ctx, n.segment));
+        break;
+      case DriverNode::Kind::kSync:
+        // Lane-major execution already ran every lane to this point.
+        break;
+      case DriverNode::Kind::kLoop: {
+        // Bounds are lane-uniform (verified at lowering): evaluate on
+        // lane 0's frame, broadcast the variable to every lane.
+        int64_t v = n.lb.eval_max(ctx.frame(0));
+        const int64_t hi = n.ub.eval_min(ctx.frame(0));
+        for (; v < hi; v += n.step) {
+          for (int lane = 0; lane < ctx.nlanes; ++lane) {
+            ctx.frame(lane)[n.var_slot] = v;
+          }
+          OA_RETURN_IF_ERROR(exec_driver(ctx, n.body));
+        }
+        break;
+      }
+      case DriverNode::Kind::kIf: {
+        bool hold = true;
+        for (const gpusim::CPred& p : n.preds) {
+          if (!p.eval(ctx.frame(0))) {
+            hold = false;
+            break;
+          }
+        }
+        OA_RETURN_IF_ERROR(
+            exec_driver(ctx, hold ? n.then_body : n.else_body));
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status run_block(const ExecutedKernel& ek,
+                 const std::vector<double*>& global_ptrs, int64_t by,
+                 int64_t bx) {
+  const LoweredKernel& lk = ek.lowered;
+  BlockCtx ctx;
+  ctx.ek = &ek;
+  ctx.nlanes = static_cast<int>(lk.launch.threads_per_block());
+  ctx.num_slots = lk.num_slots;
+  ctx.frames.assign(
+      static_cast<size_t>(ctx.nlanes) * ctx.num_slots, 0);
+  for (int lane = 0; lane < ctx.nlanes; ++lane) {
+    int64_t* f = ctx.frame(lane);
+    if (lk.block_y_slot >= 0) f[lk.block_y_slot] = by;
+    if (lk.block_x_slot >= 0) f[lk.block_x_slot] = bx;
+    if (lk.thread_x_slot >= 0) f[lk.thread_x_slot] = lane % lk.launch.block_x;
+    if (lk.thread_y_slot >= 0) f[lk.thread_y_slot] = lane / lk.launch.block_x;
+  }
+
+  ctx.tab.assign(lk.arrays.size() + 1, nullptr);
+  for (size_t i = 0; i < lk.arrays.size(); ++i) {
+    const gpusim::CArray& a = lk.arrays[i];
+    switch (a.space) {
+      case ir::MemSpace::kGlobal:
+        ctx.tab[i] = global_ptrs[i];
+        break;
+      case ir::MemSpace::kShared: {
+        ctx.local_store.emplace_back(static_cast<size_t>(a.elements), 0.0);
+        ctx.tab[i] = ctx.local_store.back().data();
+        break;
+      }
+      case ir::MemSpace::kRegister: {
+        // Private per-lane storage, one block-wide slab (spilled or
+        // not — spilling only changes the simulator's pricing).
+        ctx.local_store.emplace_back(
+            static_cast<size_t>(a.elements) * ctx.nlanes, 0.0);
+        ctx.reg_arrays.push_back(static_cast<int>(i));
+        ctx.reg_base.push_back(ctx.local_store.back().data());
+        break;
+      }
+    }
+  }
+  ctx.tab[lk.arrays.size()] = reinterpret_cast<double*>(&ctx.err);
+
+  int max_locals = 1;
+  for (const Segment& s : lk.segments) {
+    max_locals = std::max(max_locals, s.num_locals);
+  }
+  ctx.locals.assign(static_cast<size_t>(max_locals), 0);
+
+  return exec_driver(ctx, lk.driver);
+}
+
+}  // namespace
+
+// ---- ExecCache ----------------------------------------------------
+
+StatusOr<std::shared_ptr<const ExecutedKernel>> ExecCache::get_or_compile(
+    const gpusim::CompiledKernel& ck, const ExecOptions& options) {
+  const bool use_jit = jit_supported() && !options.force_portable &&
+                       !jit_disabled_by_env();
+  // force_portable results must not alias JIT'd ones for the same
+  // kernel (the fallback test depends on actually getting the tape).
+  Fingerprint fp;
+  fp.mix(kernel_key(ck)).mix(use_jit);
+  const uint64_t key = fp.digest();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto hit = kernels_.find(key);
+    if (hit != kernels_.end()) {
+      ++stats_.cache_hits;
+      return hit->second;
+    }
+    auto miss = failures_.find(key);
+    if (miss != failures_.end()) {
+      ++stats_.cache_hits;
+      return miss->second;
+    }
+  }
+
+  auto lowered = lower_kernel(ck);
+  if (!lowered.is_ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.compiles;
+    ++stats_.failed_lowerings;
+    failures_.emplace(key, lowered.status());
+    return lowered.status();
+  }
+
+  auto ek = std::make_shared<ExecutedKernel>();
+  ek->lowered = std::move(*lowered);
+  ek->key = key;
+  if (use_jit) {
+    auto jr = jit_compile(ek->lowered);
+    if (jr.is_ok()) {
+      ek->jit = true;
+      ek->code = std::move(jr->buffer);
+      ek->entries = std::move(jr->entries);
+    }
+    // Emission failure (W^X refusal, xmm pressure) is not an error:
+    // the portable executor runs the same tape.
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.compiles;
+  if (ek->jit) {
+    ++stats_.jit_kernels;
+  } else {
+    ++stats_.portable_kernels;
+  }
+  auto [it, inserted] = kernels_.emplace(key, std::move(ek));
+  (void)inserted;  // lost race: keep the first copy
+  return it->second;
+}
+
+ExecStats ExecCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ExecCache::count_native_blocks(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.native_blocks += n;
+}
+
+// ---- Program-level execution --------------------------------------
+
+Status run_lowered(const ExecutedKernel& ek, const gpusim::DeviceModel& dev,
+                   gpusim::GlobalBuffers& buffers, ExecCache* stats) {
+  (void)dev;
+  const LoweredKernel& lk = ek.lowered;
+  std::vector<double*> global_ptrs(lk.arrays.size(), nullptr);
+  for (size_t i = 0; i < lk.arrays.size(); ++i) {
+    const gpusim::CArray& a = lk.arrays[i];
+    if (a.space != ir::MemSpace::kGlobal) continue;
+    std::vector<double>* buf = buffers.find(a.name);
+    if (buf == nullptr ||
+        buf->size() < static_cast<size_t>(a.elements)) {
+      return internal_error("global buffer '" + a.name +
+                            "' missing or undersized");
+    }
+    global_ptrs[i] = buf->data();
+  }
+
+  const bool serial = lk.launch.serial_grid_y;
+  const int64_t num_waves = serial ? lk.launch.grid_y : 1;
+  const int64_t blocks_per_wave =
+      serial ? lk.launch.grid_x : lk.launch.num_blocks();
+  for (int64_t wave = 0; wave < num_waves; ++wave) {
+    std::mutex mu;
+    Status first_error = Status::ok();
+    ThreadPool::shared().parallel_for(
+        static_cast<size_t>(blocks_per_wave), [&](size_t idx) {
+          const int64_t by =
+              serial ? wave : static_cast<int64_t>(idx) / lk.launch.grid_x;
+          const int64_t bx =
+              serial ? static_cast<int64_t>(idx)
+                     : static_cast<int64_t>(idx) % lk.launch.grid_x;
+          Status s = run_block(ek, global_ptrs, by, bx);
+          if (!s.is_ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (first_error.is_ok()) first_error = s;
+          }
+        });
+    OA_RETURN_IF_ERROR(first_error);
+  }
+  if (stats != nullptr) {
+    stats->count_native_blocks(num_waves * blocks_per_wave);
+  }
+  return Status::ok();
+}
+
+Status execute_program(const gpusim::DeviceModel& device,
+                       const ir::Program& program,
+                       const blas3::Variant& variant,
+                       const blas3::Matrix& a, blas3::Matrix& b,
+                       blas3::Matrix* c,
+                       const std::map<std::string, bool>& bool_params,
+                       ExecCache& cache, const ExecOptions& options) {
+  // Size bindings — identical to engine::execute_program so results
+  // are comparable bit-for-bit.
+  ir::Env int_params;
+  const int64_t m = b.rows();
+  const int64_t n = b.cols();
+  if (variant.family == blas3::Family::kGemm) {
+    const int64_t k =
+        variant.trans_a == blas3::Trans::kN ? a.cols() : a.rows();
+    int_params = {{"M", m}, {"N", n}, {"K", k}};
+  } else if (variant.family == blas3::Family::kSyrk) {
+    const int64_t k =
+        variant.trans == blas3::Trans::kN ? a.cols() : a.rows();
+    int_params = {{"M", c != nullptr ? c->rows() : m}, {"N", n}, {"K", k}};
+  } else {
+    int_params = {{"M", m}, {"N", n}};
+  }
+
+  gpusim::GlobalBuffers buffers = gpusim::make_buffers(
+      program, int_params, {{"A", &a}, {"B", &b}, {"C", c}});
+
+  for (const ir::Kernel& kernel : program.kernels) {
+    OA_ASSIGN_OR_RETURN(
+        gpusim::CompiledKernel ck,
+        gpusim::compile_kernel(program, kernel, int_params, bool_params));
+    // Launchability gating mirrors Simulator::run_kernel: the native
+    // backend must refuse exactly what the simulator refuses.
+    const int64_t threads = ck.launch.threads_per_block();
+    if (threads > device.max_threads_per_block) {
+      return failed_precondition(
+          str_format("%lld threads/block exceeds the device limit",
+                     static_cast<long long>(threads)));
+    }
+    const int64_t reg_budget = std::min<int64_t>(
+        124, device.registers_per_sm / std::max<int64_t>(1, threads));
+    if (device.base_regs_per_thread + ck.regs_per_thread > reg_budget) {
+      for (gpusim::CArray& arr : ck.arrays) {
+        if (arr.space == ir::MemSpace::kRegister) arr.spilled = true;
+      }
+      ck.regs_per_thread = 0;
+    }
+    const int64_t regs =
+        (device.base_regs_per_thread + ck.regs_per_thread) * threads;
+    int64_t occ = device.max_blocks_per_sm;
+    if (regs > 0) occ = std::min(occ, device.registers_per_sm / regs);
+    if (ck.shared_bytes > 0) {
+      occ = std::min(occ, device.shared_mem_per_sm / ck.shared_bytes);
+    }
+    occ = std::min<int64_t>(occ, device.max_threads_per_sm / threads);
+    if (occ <= 0) {
+      return failed_precondition("kernel '" + kernel.name +
+                                 "' does not fit on an SM");
+    }
+
+    OA_ASSIGN_OR_RETURN(std::shared_ptr<const ExecutedKernel> ek,
+                        cache.get_or_compile(ck, options));
+    OA_RETURN_IF_ERROR(run_lowered(*ek, device, buffers, &cache));
+  }
+
+  const char* out_name = blas3::output_array(variant);
+  blas3::Matrix& out = variant.family == blas3::Family::kTrsm ? b : *c;
+  return gpusim::read_back(buffers, program, int_params, out_name, out);
+}
+
+}  // namespace oa::exec

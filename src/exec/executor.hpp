@@ -1,0 +1,98 @@
+// Native execution of compiled kernels: lowering (tape.hpp) plus a
+// process-wide cache of executable kernels, each backed either by
+// JIT-emitted x86-64 (jit_x86.hpp) or by the portable tape executor —
+// two implementations of the same segment ABI
+//     void seg(double* const* arrays, const int64_t* slots)
+// selected at runtime. execute_program() mirrors
+// engine::execute_program but computes results natively instead of
+// through the lockstep interpreter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "blas3/matrix.hpp"
+#include "blas3/routine.hpp"
+#include "exec/code_buffer.hpp"
+#include "exec/tape.hpp"
+#include "gpusim/block_sim.hpp"
+#include "gpusim/device.hpp"
+#include "ir/kernel.hpp"
+
+namespace oa::exec {
+
+struct ExecOptions {
+  /// Skip the JIT even when the host supports it; run every segment
+  /// through the portable tape executor. Also forced by the
+  /// OABLAS_NO_JIT environment variable (checked once per process).
+  bool force_portable = false;
+};
+
+struct ExecStats {
+  int64_t compiles = 0;          // lowerings performed (cache misses)
+  int64_t cache_hits = 0;
+  int64_t jit_kernels = 0;       // compiles that produced machine code
+  int64_t portable_kernels = 0;  // compiles that fell back to the tape
+  int64_t failed_lowerings = 0;  // kernels the backend cannot lower
+  int64_t native_blocks = 0;     // thread blocks executed natively
+};
+
+/// Per-segment entry point (SysV; the portable executor matches the
+/// calling convention at the C++ level).
+using SegmentFn = void (*)(double* const* arrays, const int64_t* slots);
+
+/// A lowered kernel ready to run: the driver tree plus, when the JIT
+/// succeeded, one native entry point per segment.
+struct ExecutedKernel {
+  LoweredKernel lowered;
+  uint64_t key = 0;
+  bool jit = false;
+  std::unique_ptr<CodeBuffer> code;   // owns the machine code (jit only)
+  std::vector<const void*> entries;   // per-segment, jit only
+};
+
+/// Keyed, thread-safe cache of executable kernels. Lowering failures
+/// are negatively cached (a kernel that cannot be lowered today cannot
+/// be lowered on retry either — the input is content-addressed).
+class ExecCache {
+ public:
+  /// Lower + (maybe) JIT `ck`, or return the cached result. A JIT
+  /// emission failure (W^X refusal, unsupported host) degrades to the
+  /// portable executor and is cached as such.
+  StatusOr<std::shared_ptr<const ExecutedKernel>> get_or_compile(
+      const gpusim::CompiledKernel& ck, const ExecOptions& options = {});
+
+  ExecStats stats() const;
+  void count_native_blocks(int64_t n);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<const ExecutedKernel>> kernels_;
+  std::map<uint64_t, Status> failures_;
+  ExecStats stats_;
+};
+
+/// Execute every block of `ek` against bound global buffers — the
+/// native analogue of Simulator::run_functional for one kernel (waves
+/// of independent blocks, serialized grid-Y respected). Reports
+/// out-of-bounds accesses with the interpreter's diagnostic format.
+Status run_lowered(const ExecutedKernel& ek, const gpusim::DeviceModel& dev,
+                   gpusim::GlobalBuffers& buffers, ExecCache* stats);
+
+/// Native counterpart of engine::execute_program: compile + lower every
+/// kernel of `program`, run all blocks natively, and read the routine's
+/// output back into `b` (TRSM) or `*c`. Sizes and buffer binding match
+/// the engine exactly, so results are comparable bit-for-bit.
+Status execute_program(const gpusim::DeviceModel& device,
+                       const ir::Program& program,
+                       const blas3::Variant& variant,
+                       const blas3::Matrix& a, blas3::Matrix& b,
+                       blas3::Matrix* c,
+                       const std::map<std::string, bool>& bool_params,
+                       ExecCache& cache, const ExecOptions& options = {});
+
+}  // namespace oa::exec

@@ -1,0 +1,38 @@
+// x86-64 machine-code emission for segment tapes (tape.hpp).
+//
+// Each segment becomes one SysV function
+//     void seg(double* const* arrays, const int64_t* slots)
+// with tape locals in the stack frame, the FP evaluation stack mapped
+// onto xmm0..xmm12 (xmm15 is scratch), and bounds-checked loads/stores
+// that record the faulting access in the trailing ErrorCell and return
+// early. f32 kernels load via cvtsd2ss, compute in single precision
+// (addss/subss/mulss/divss), and store via cvtss2sd — bit-identical to
+// the interpreter's double-op-then-round discipline (innocuous double
+// rounding; see support/precision.hpp). f64 kernels use the sd forms.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/code_buffer.hpp"
+#include "exec/tape.hpp"
+
+namespace oa::exec {
+
+/// True when this build can emit and run native code at all
+/// (x86-64 only). Runtime mmap/mprotect failures are reported by
+/// jit_compile() instead.
+bool jit_supported();
+
+struct JitResult {
+  std::unique_ptr<CodeBuffer> buffer;
+  /// Entry point per segment, same order as LoweredKernel::segments.
+  std::vector<const void*> entries;
+};
+
+/// Emit every segment of `lk` into one executable buffer. Fails
+/// cleanly (caller falls back to the portable executor) on unsupported
+/// hosts, W^X/mmap refusal, or an FP stack too deep for the xmm file.
+StatusOr<JitResult> jit_compile(const LoweredKernel& lk);
+
+}  // namespace oa::exec

@@ -558,7 +558,11 @@ int64_t CompiledKernel::signature(int64_t by, int64_t bx) const {
   std::vector<int64_t> slots(static_cast<size_t>(num_slots), 0);
   if (block_y_slot >= 0) slots[static_cast<size_t>(block_y_slot)] = by;
   if (block_x_slot >= 0) slots[static_cast<size_t>(block_x_slot)] = bx;
-  uint64_t hash = 1469598103;
+  // Fold the precision into the seed: an f32 and an f64 kernel with
+  // identical loop structure must not alias (they lower to different
+  // arithmetic — the exec cache keys off this signature).
+  uint64_t hash = 1469598103 ^ (static_cast<uint64_t>(precision) + 1) *
+                                   0x9E3779B97F4A7C15ull;
   signature_walk(body, slots.data(), hash);
   return static_cast<int64_t>(hash);
 }

@@ -154,6 +154,13 @@ uint64_t ArtifactEntry::content_hash(int format_version) const {
   // recorded fingerprint lines still hold the original values.
   fp.mix(script.fingerprint());
   fp.mix(params.fingerprint());
+  // v2 predates the native-execution sidecar.
+  if (format_version >= 3) {
+    fp.mix(static_cast<uint64_t>(exec.size()));
+    for (const ExecRecord& r : exec) {
+      fp.mix(r.kernel).mix(r.key).mix(r.tape_ops).mix(r.segments);
+    }
+  }
   return fp.digest();
 }
 
@@ -250,6 +257,11 @@ std::string to_text(const Artifact& artifact) {
     os << "script " << script_lines.size() << "\n";
     for (const std::string& line : script_lines) {
       os << "| " << line << "\n";
+    }
+    os << "exec " << e.exec.size() << "\n";
+    for (const ExecRecord& r : e.exec) {
+      os << "| " << r.kernel << " " << hex64(r.key) << " " << r.tape_ops
+         << " " << r.segments << "\n";
     }
     os << "entry_hash " << hex64(e.content_hash()) << "\n";
   }
@@ -376,6 +388,30 @@ StatusOr<Artifact> parse(std::string_view text) {
           script.status().message().c_str()));
     }
     e.script = std::move(script).value();
+
+    if (version >= 3) {
+      OA_ASSIGN_OR_RETURN(std::string ne_text, cur.take("exec"));
+      OA_ASSIGN_OR_RETURN(int64_t ne, parse_int(ne_text, cur.lineno()));
+      for (int64_t k = 0; k < ne; ++k) {
+        OA_ASSIGN_OR_RETURN(std::string rec, cur.take_content());
+        const std::vector<std::string> rf =
+            split(rec, ' ', /*skip_empty=*/true);
+        if (rf.size() != 4) {
+          return invalid_argument(str_format(
+              "artifact entry '%s' (line %zu): 'exec' record needs 4 "
+              "fields (kernel key tape_ops segments), got %zu",
+              e.variant.c_str(), cur.lineno() - 1, rf.size()));
+        }
+        ExecRecord r;
+        r.kernel = rf[0];
+        OA_ASSIGN_OR_RETURN(r.key, parse_hex64(rf[1], cur.lineno()));
+        OA_ASSIGN_OR_RETURN(r.tape_ops, parse_int(rf[2], cur.lineno()));
+        OA_ASSIGN_OR_RETURN(r.segments, parse_int(rf[3], cur.lineno()));
+        e.exec.push_back(std::move(r));
+      }
+    }
+    // v1/v2 entries load with an empty sidecar; annotate_artifact
+    // re-derives it on the next save.
 
     OA_ASSIGN_OR_RETURN(std::string hash_text, cur.take("entry_hash"));
     OA_ASSIGN_OR_RETURN(uint64_t recorded,

@@ -11,7 +11,7 @@
 //
 // Format (docs/ARTIFACT.md): a line-oriented, human-readable text file.
 //
-//   oablas-artifact 2                  <- format version (header)
+//   oablas-artifact 3                  <- format version (header)
 //   device gtx285                      <- device preset name
 //   device_fp 8d4c...                  <- preset fingerprint (all fields)
 //   generator oagen                    <- build metadata (free-form)
@@ -33,6 +33,9 @@
 //   | //! routine: GEMM-NN             <- epod::to_text, round-trips
 //   | (Lii, Ljj) = thread_grouping(Li, Lj);
 //   | ...
+//   exec 2                             <- native-exec sidecar (v3+):
+//   | pack_A 8d4c... 37 3                 kernel, exec-cache key,
+//   | gemm_main 91ab... 214 5             tape ops, segment count
 //   entry_hash <hex>                   <- content hash over the entry
 //
 //   end 48                             <- trailer: truncation detector
@@ -43,11 +46,14 @@
 // trailer reports truncation; an unknown header version or a foreign
 // device preset reports version/device mismatch.
 //
-// Compatibility: parse() reads versions 1 and 2. Version 1 predates the
-// precision axis — its entries have no `precision` line and load as the
-// legacy single precision (the paper's 24-variant catalog is f32), with
-// the content hash re-derived under the v1 field set so old entry_hash
-// lines still verify. save()/to_text() always write version 2.
+// Compatibility: parse() reads versions 1 through 3. Version 1
+// predates the precision axis — its entries have no `precision` line
+// and load as the legacy single precision (the paper's 24-variant
+// catalog is f32). Version 2 predates the native-execution sidecar —
+// its entries have no `exec` section and load with an empty one. Both
+// re-derive the content hash under their own version's field set so
+// old entry_hash lines still verify. save()/to_text() always write
+// version 3.
 #pragma once
 
 #include <cstdint>
@@ -71,9 +77,23 @@ namespace oa::libgen {
 /// the grammar or to the meaning of a recorded field. load() reads the
 /// current version and the listed legacy versions; anything else is
 /// rejected outright (compatibility policy in docs/ARTIFACT.md).
-inline constexpr int kFormatVersion = 2;
-/// Oldest version parse() still reads (v1: no precision axis).
+inline constexpr int kFormatVersion = 3;
+/// Oldest version parse() still reads (v1: no precision axis; v2: no
+/// native-execution sidecar).
 inline constexpr int kMinReadVersion = 1;
+
+/// Native-execution sidecar (v3+): one record per kernel of an entry's
+/// reconstructed program, written by exec::annotate_artifact. The key
+/// is the content-addressed exec-cache key (exec::kernel_key), so a
+/// shipped artifact documents exactly which lowered kernels a serving
+/// process will compile — machine code itself is never persisted (it
+/// is host-specific and cheap to re-emit).
+struct ExecRecord {
+  std::string kernel;    // kernel name within the program
+  uint64_t key = 0;      // exec::kernel_key of the compiled kernel
+  int64_t tape_ops = 0;  // total lowered tape instructions
+  int64_t segments = 0;  // sync-free segments
+};
 
 /// One tuned variant: the winning EPOD script (text-serialized), its
 /// tuning parameters, the applied-component mask, the engine's
@@ -91,6 +111,9 @@ struct ArtifactEntry {
   double gflops = 0.0;                  // at tuned_size
   double seconds = 0.0;                 // simulated kernel time
   int64_t tuned_size = 0;               // problem size the tuner used
+  /// Native-exec sidecar (v3+), possibly empty: what the execution
+  /// backend lowers this entry's kernels to at tuned_size.
+  std::vector<ExecRecord> exec;
 
   /// The candidate this entry was tuned from (script + conditions).
   composer::Candidate candidate() const;

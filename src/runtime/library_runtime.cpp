@@ -45,8 +45,8 @@ std::string DispatchStats::to_string() const {
       "dispatch: %llu requests — %llu hits, %llu near-hits, %llu "
       "baseline fallbacks, %llu reference fallbacks, %llu shed, %llu "
       "recovered kernel errors, %llu failed; f32 %llu req / %llu tuned, "
-      "f64 %llu req / %llu tuned; %llu reloads, %llu batches (%llu "
-      "coalesced)",
+      "f64 %llu req / %llu tuned; %llu native serves (%llu interpreter "
+      "fallbacks); %llu reloads, %llu batches (%llu coalesced)",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(near_hits),
@@ -59,6 +59,8 @@ std::string DispatchStats::to_string() const {
       static_cast<unsigned long long>(tuned_served_f32),
       static_cast<unsigned long long>(requests_f64),
       static_cast<unsigned long long>(tuned_served_f64),
+      static_cast<unsigned long long>(native_serves),
+      static_cast<unsigned long long>(native_fallbacks),
       static_cast<unsigned long long>(reloads),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(coalesced));
@@ -94,6 +96,8 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
   ins_.shed = &metrics_->counter("runtime.shed");
   ins_.recovered_errors = &metrics_->counter("runtime.recovered_errors");
   ins_.failed_requests = &metrics_->counter("runtime.failed_requests");
+  ins_.native_serves = &metrics_->counter("runtime.native_serves");
+  ins_.native_fallbacks = &metrics_->counter("runtime.native_fallbacks");
   ins_.reloads = &metrics_->counter("runtime.reloads");
   ins_.batches = &metrics_->counter("runtime.batches");
   ins_.coalesced = &metrics_->counter("runtime.coalesced");
@@ -109,6 +113,7 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
   ins_.reload_us = &metrics_->histogram("runtime.reload_us");
   ins_.batch_size = &metrics_->histogram("runtime.batch_size");
   ins_.queue_wait_us = &metrics_->histogram("runtime.queue_wait_us");
+  ins_.batch_exec_us = &metrics_->histogram("runtime.batch_exec_us");
 
   if (options_.baseline_fallback) {
     baselines_ = BaselineTable::build(device);
@@ -123,6 +128,7 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
   }
   metrics_->gauge("runtime.table_size")
       .set(static_cast<double>(snap->table_size()));
+  prewarm(*snap);
   snapshot_.store(std::move(snap), std::memory_order_release);
   version_.store(next_snapshot_version(), std::memory_order_release);
 
@@ -152,6 +158,10 @@ Status LibraryRuntime::swap_artifact(libgen::Artifact artifact) {
     status = snap->load_status();
     metrics_->gauge("runtime.table_size")
         .set(static_cast<double>(snap->table_size()));
+    // Warm the exec cache *before* publishing: requests never race a
+    // cold compile after a reload (unchanged entries hit anyway —
+    // keys are content-addressed).
+    prewarm(*snap);
     snapshot_.store(std::move(snap), std::memory_order_release);
     version_.store(next_snapshot_version(), std::memory_order_release);
   }
@@ -241,10 +251,47 @@ void LibraryRuntime::count_request(const Variant& v) const {
   ins_.requests_by_prec[static_cast<int>(v.precision)]->add();
 }
 
+Status LibraryRuntime::execute_dispatched(
+    const ir::Program& program, const Variant& v, const blas3::Matrix& a,
+    blas3::Matrix& b, blas3::Matrix* c,
+    const std::map<std::string, bool>& bool_params) const {
+  if (options_.execution == ExecutionMode::kNative) {
+    Status native = exec::execute_program(sim_.device(), program, v, a, b,
+                                          c, bool_params, exec_cache_);
+    if (native.is_ok()) {
+      ins_.native_serves->add();
+      return native;
+    }
+    // A failed native attempt never touched b/c (outputs are only
+    // written on success), so the interpreter can retry cleanly.
+    ins_.native_fallbacks->add();
+    OA_LOG(kWarning) << "LibraryRuntime: native execution of " << v.name()
+                     << " failed (" << native.to_string()
+                     << "), retrying on the interpreter";
+  }
+  return engine::execute_program(sim_, program, v, a, b, c, bool_params);
+}
+
+void LibraryRuntime::prewarm(const DispatchSnapshot& snap) const {
+  if (options_.execution != ExecutionMode::kNative) return;
+  for (const DispatchSnapshot::Entry& entry : snap.entries()) {
+    const ir::Env int_params =
+        engine::size_env(*entry.variant, entry.tuned_size);
+    for (const ir::Kernel& kernel : entry.program.kernels) {
+      auto ck = gpusim::compile_kernel(entry.program, kernel, int_params,
+                                       entry.bool_params);
+      if (!ck.is_ok()) continue;
+      // Failure is fine: the entry serves through the per-request
+      // interpreter fallback (and the failure is negatively cached).
+      (void)exec_cache_.get_or_compile(*ck);
+    }
+  }
+}
+
 StatusOr<DispatchOutcome> LibraryRuntime::serve_with(
     const DispatchSnapshot& snap, const Dispatch& d, const Variant& v,
     const blas3::Matrix& a, blas3::Matrix& b, blas3::Matrix* c,
-    double start_us) const {
+    double start_us, bool pre_executed) const {
   // Whole-call latency lands in the histogram of the *final* outcome,
   // so p99 per path answers "what does a request cost when it ends up
   // here" — including queue wait and the failed attempts before it.
@@ -259,8 +306,10 @@ StatusOr<DispatchOutcome> LibraryRuntime::serve_with(
   uint64_t pending_errors = 0;
 
   if (d.program != nullptr) {
-    Status served = engine::execute_program(sim_, *d.program, v, a, b, c,
-                                            *d.bool_params);
+    Status served =
+        pre_executed ? Status::ok()
+                     : execute_dispatched(*d.program, v, a, b, c,
+                                          *d.bool_params);
     if (served.is_ok()) {
       if (d.outcome == DispatchOutcome::kHit) {
         ins_.hits->add();
@@ -284,8 +333,8 @@ StatusOr<DispatchOutcome> LibraryRuntime::serve_with(
   if (options_.baseline_fallback) {
     const ir::Program* base = snap.baseline(variant_code(v));
     if (base != nullptr) {
-      Status served = engine::execute_program(sim_, *base, v, a, b, c,
-                                              no_bool_params());
+      Status served =
+          execute_dispatched(*base, v, a, b, c, no_bool_params());
       if (served.is_ok()) {
         ins_.baseline_fallbacks->add();
         ins_.recovered_errors->add(pending_errors);
@@ -413,10 +462,39 @@ void LibraryRuntime::serve_batch(
     d.tuned_gflops = entry->gflops;
   }
   const double serve_start = obs::now_us();
-  for (BatchQueue::Request* req : batch) {
+
+  // ExecutionMode::kNative: the leader pushes every member of the
+  // batch through one executor invocation loop — the shared dispatch
+  // means one cached ExecutedKernel serves all members, so the loop is
+  // pure execution (zero per-member compiles) and its total time is
+  // the batch's amortizable cost ("runtime.batch_exec_us").
+  std::vector<bool> pre_executed(batch.size(), false);
+  if (options_.execution == ExecutionMode::kNative &&
+      d.program != nullptr) {
+    const double exec_start = obs::now_us();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      BatchQueue::Request* req = batch[i];
+      Status native =
+          exec::execute_program(sim_.device(), *d.program, *req->v,
+                                *req->a, *req->b, req->c, *d.bool_params,
+                                exec_cache_);
+      if (native.is_ok()) {
+        ins_.native_serves->add();
+        pre_executed[i] = true;
+      } else {
+        // This member retries on the interpreter in serve_with below;
+        // its outputs are untouched (native writes only on success).
+        ins_.native_fallbacks->add();
+      }
+    }
+    ins_.batch_exec_us->record(obs::now_us() - exec_start);
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    BatchQueue::Request* req = batch[i];
     ins_.queue_wait_us->record(serve_start - req->submit_us);
     req->result = serve_with(snap, d, *req->v, *req->a, *req->b, req->c,
-                             req->submit_us);
+                             req->submit_us, pre_executed[i]);
   }
 }
 
@@ -442,6 +520,8 @@ DispatchStats LibraryRuntime::stats() const {
       ins_.tuned_served_by_prec[static_cast<int>(Precision::kF32)]->value();
   s.tuned_served_f64 =
       ins_.tuned_served_by_prec[static_cast<int>(Precision::kF64)]->value();
+  s.native_serves = ins_.native_serves->value();
+  s.native_fallbacks = ins_.native_fallbacks->value();
   s.reloads = ins_.reloads->value();
   s.batches = ins_.batches->value();
   s.coalesced = ins_.coalesced->value();

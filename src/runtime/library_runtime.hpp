@@ -45,6 +45,7 @@
 
 #include "blas3/matrix.hpp"
 #include "blas3/routine.hpp"
+#include "exec/executor.hpp"
 #include "gpusim/simulator.hpp"
 #include "libgen/artifact.hpp"
 #include "obs/metrics.hpp"
@@ -53,7 +54,25 @@
 
 namespace oa::runtime {
 
+/// How dispatched kernels compute their results.
+enum class ExecutionMode {
+  /// Lockstep SIMT interpretation (gpusim) — the validated original.
+  kInterpreter,
+  /// Native execution backend (src/exec): kernels are lowered once,
+  /// JIT-compiled where the host supports it, cached process-wide, and
+  /// run as machine code. Results are checked against the interpreter
+  /// by the verification harness (oacheck --check native); a kernel
+  /// the backend cannot lower or that fails natively falls back to the
+  /// interpreter per request, so kNative never serves fewer requests
+  /// than kInterpreter.
+  kNative,
+};
+
 struct RuntimeOptions {
+  /// Execution backend for tuned and baseline kernels. kNative serves
+  /// actual computed matrices from JIT-lowered kernels, with the
+  /// interpreter as a per-request fallback.
+  ExecutionMode execution = ExecutionMode::kInterpreter;
   /// Serve misses from the CUBLAS-like baseline schedule (simulated on
   /// the same device). Off = CPU reference only.
   bool baseline_fallback = true;
@@ -126,6 +145,11 @@ struct DispatchStats {
   uint64_t requests_f64 = 0;
   uint64_t tuned_served_f32 = 0;
   uint64_t tuned_served_f64 = 0;
+  /// Native-execution trajectory (ExecutionMode::kNative): requests
+  /// whose kernel ran as native code / native attempts that fell back
+  /// to the interpreter.
+  uint64_t native_serves = 0;
+  uint64_t native_fallbacks = 0;
   /// Hot-reload trajectory: snapshots published after the first.
   uint64_t reloads = 0;
   /// Coalescing trajectory: batches served / requests that rode along
@@ -226,6 +250,11 @@ class LibraryRuntime {
   DispatchStats stats() const;
   void reset_stats();
 
+  /// Native-backend compile/cache counters (all zero under
+  /// ExecutionMode::kInterpreter). A warm re-serve of the same library
+  /// shows cache_hits growing while compiles stays put.
+  exec::ExecStats exec_stats() const { return exec_cache_.stats(); }
+
   /// The registry the serving counters and the per-outcome dispatch
   /// latency histograms ("runtime.dispatch_us.<outcome>") live in.
   obs::MetricsRegistry& metrics() const { return *metrics_; }
@@ -252,13 +281,30 @@ class LibraryRuntime {
   /// execute the dispatched kernel, walk the fallback chain, settle
   /// counters and the latency histogram of the final outcome.
   /// `start_us` is when the request entered the runtime (queue wait
-  /// counts toward its latency).
+  /// counts toward its latency). `pre_executed` marks a request whose
+  /// tuned kernel a batch leader already ran natively (serve_batch's
+  /// single executor loop): the tuned stage only settles counters.
   StatusOr<DispatchOutcome> serve_with(const DispatchSnapshot& snap,
                                        const Dispatch& d,
                                        const blas3::Variant& v,
                                        const blas3::Matrix& a,
                                        blas3::Matrix& b, blas3::Matrix* c,
-                                       double start_us) const;
+                                       double start_us,
+                                       bool pre_executed = false) const;
+
+  /// Native-first execution of a dispatched program under
+  /// ExecutionMode::kNative (counts native_serves / native_fallbacks),
+  /// plain interpreter execution otherwise.
+  Status execute_dispatched(const ir::Program& program,
+                            const blas3::Variant& v, const blas3::Matrix& a,
+                            blas3::Matrix& b, blas3::Matrix* c,
+                            const std::map<std::string, bool>& bool_params)
+      const;
+
+  /// ExecutionMode::kNative: compile + JIT every kernel of every
+  /// snapshot entry into the exec cache so the first request after a
+  /// (re)load doesn't pay compile latency.
+  void prewarm(const DispatchSnapshot& snap) const;
 
   /// BatchQueue callback: serve one coalesced batch with a single
   /// dispatch lookup.
@@ -270,6 +316,11 @@ class LibraryRuntime {
 
   gpusim::Simulator sim_;
   RuntimeOptions options_;
+
+  /// Process-lifetime cache of lowered/JIT'd kernels (kNative). Shared
+  /// across snapshots: hot reloads of an unchanged entry hit the cache
+  /// because keys are content-addressed.
+  mutable exec::ExecCache exec_cache_;
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -287,6 +338,8 @@ class LibraryRuntime {
     obs::Counter* shed;
     obs::Counter* recovered_errors;
     obs::Counter* failed_requests;
+    obs::Counter* native_serves;
+    obs::Counter* native_fallbacks;
     obs::Counter* reloads;
     obs::Counter* batches;
     obs::Counter* coalesced;
@@ -300,6 +353,7 @@ class LibraryRuntime {
     obs::Histogram* reload_us;      // snapshot build + publish time
     obs::Histogram* batch_size;
     obs::Histogram* queue_wait_us;  // submit -> batch-serve delay
+    obs::Histogram* batch_exec_us;  // leader's native batch-execution loop
   };
   Instruments ins_;
 

@@ -55,7 +55,8 @@ int usage() {
       "  --device geforce9800|gtx285|fermi\n"
       "                        simulated device (default gtx285)\n"
       "  --check LIST          comma list of checks to run:\n"
-      "                        differential,roundtrip,mutation,fastpath\n"
+      "                        differential,roundtrip,mutation,fastpath,"
+      "native\n"
       "                        (default: all four)\n"
       "  --max-size N          cap fuzzed problem extents (default 96)\n"
       "  --corpus DIR          also run every *.case reproducer in DIR\n"
@@ -159,6 +160,7 @@ int main(int argc, char** argv) {
       options.fuzzer.roundtrip = false;
       options.fuzzer.mutation = false;
       options.fuzzer.fastpath = false;
+      options.fuzzer.native = false;
       for (const std::string& piece : split(v, ',', /*skip_empty=*/true)) {
         verify::CheckKind kind;
         if (!verify::parse_check_kind(piece, &kind)) {
@@ -178,6 +180,9 @@ int main(int argc, char** argv) {
             break;
           case verify::CheckKind::kFastPath:
             options.fuzzer.fastpath = true;
+            break;
+          case verify::CheckKind::kNative:
+            options.fuzzer.native = true;
             break;
         }
       }

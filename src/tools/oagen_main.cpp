@@ -23,6 +23,7 @@
 
 #include "blas3/source_ir.hpp"
 #include "epod/script.hpp"
+#include "exec/annotate.hpp"
 #include "libgen/artifact.hpp"
 #include "oa/oa.hpp"
 #include "obs/metrics.hpp"
@@ -438,6 +439,12 @@ int main(int argc, char** argv) {
     }
     if (!emit_lib.empty()) {
       libgen::Artifact artifact = framework.export_library();
+      Status annotated = exec::annotate_artifact(artifact, *device);
+      if (!annotated.is_ok()) {
+        std::printf("emit-lib: exec annotation: %s\n",
+                    annotated.to_string().c_str());
+        return 1;
+      }
       Status saved = libgen::save(artifact, emit_lib);
       if (!saved.is_ok()) {
         std::printf("emit-lib: %s\n", saved.to_string().c_str());

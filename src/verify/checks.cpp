@@ -11,6 +11,7 @@
 #include "engine/evaluation_engine.hpp"
 #include "epod/script.hpp"
 #include "ir/validate.hpp"
+#include "exec/executor.hpp"
 #include "libgen/artifact.hpp"
 #include "support/hash.hpp"
 #include "support/strings.hpp"
@@ -109,6 +110,7 @@ CheckResult check_case(const gpusim::Simulator& sim, const FuzzCase& c) {
     case CheckKind::kRoundTrip: return check_roundtrip(c);
     case CheckKind::kMutation: return check_mutation(c);
     case CheckKind::kFastPath: return check_fastpath(sim, c);
+    case CheckKind::kNative: return check_native(sim, c);
   }
   return {Verdict::kFail, "unknown check kind"};
 }
@@ -316,6 +318,123 @@ CheckResult check_fastpath(const gpusim::Simulator& sim, const FuzzCase& c) {
   return {Verdict::kPass,
           str_format("counters bit-identical (mask=%llx)",
                      static_cast<unsigned long long>(*mask))};
+}
+
+CheckResult check_native(const gpusim::Simulator& sim, const FuzzCase& c) {
+  ir::Program program = blas3::make_source_program(c.variant);
+  auto mask = apply_like_engine(program, c);
+  if (!mask.is_ok()) {
+    return {Verdict::kRejected,
+            "apply/validate: " + sanitize(mask.status().to_string())};
+  }
+
+  // Same rectangular inputs as check_differential so a divergence here
+  // is attributable to the backend, never to data preparation.
+  const bool gemm = c.variant.family == blas3::Family::kGemm;
+  const bool trsm = c.variant.family == blas3::Family::kTrsm;
+  const int64_t m = c.m;
+  const int64_t n = c.n;
+  const int64_t k = reduction_length(c);
+  const Precision p = c.variant.precision;
+  Matrix a = gemm ? (c.variant.trans_a == blas3::Trans::kN
+                         ? Matrix(m, k, p)
+                         : Matrix(k, m, p))
+                  : Matrix(k, k, p);
+  Matrix b = gemm ? (c.variant.trans_b == blas3::Trans::kN
+                         ? Matrix(k, n, p)
+                         : Matrix(n, k, p))
+                  : Matrix(m, n, p);
+  Matrix out_c(m, n, p);
+  Rng rng(Fingerprint()
+              .mix(c.seed)
+              .mix(c.index)
+              .mix(std::string_view("oacheck.data"))
+              .digest());
+  a.fill_random(rng);
+  b.fill_random(rng);
+  if (c.variant.family == blas3::Family::kTrmm || trsm ||
+      c.variant.family == blas3::Family::kSymm) {
+    a.make_triangular(c.variant.uplo);
+  }
+  if (trsm) {
+    a.set_unit_diagonal();
+    a.scale_off_diagonal(1.0f / 16.0f);
+  }
+  const std::map<std::string, bool> bools = {{"blank_zero", true}};
+
+  Matrix interp_b = b;
+  Matrix interp_c = out_c;
+  Status interp = engine::execute_program(sim, program, c.variant, a,
+                                          interp_b, &interp_c, bools);
+
+  // One process-wide cache: a long campaign then also exercises the
+  // hot (cache-hit) path, not just first-compile.
+  static exec::ExecCache cache;
+  Matrix native_b = b;
+  Matrix native_c = out_c;
+  Status native =
+      exec::execute_program(sim.device(), program, c.variant, a, native_b,
+                            &native_c, bools, cache);
+
+  if (!interp.is_ok() && !native.is_ok()) {
+    return {Verdict::kRejected,
+            "both backends reject: " + sanitize(interp.to_string())};
+  }
+  if (!interp.is_ok()) {
+    return {Verdict::kFail, "native computed where the interpreter "
+                            "rejected: " + sanitize(interp.to_string())};
+  }
+  if (!native.is_ok()) {
+    if (native.code() == ErrorCode::kFailedPrecondition) {
+      // Lowering refused the kernel (e.g. barrier under lane-divergent
+      // control flow) — the runtime falls back to the interpreter here,
+      // so this mirrors an expected degeneration, not a wrong answer.
+      return {Verdict::kRejected,
+              "native lowering unsupported: " + sanitize(native.to_string())};
+    }
+    return {Verdict::kFail,
+            "native execution failed: " + sanitize(native.to_string())};
+  }
+
+  const Matrix& got_i = trsm ? interp_b : interp_c;
+  const Matrix& got_n = trsm ? native_b : native_c;
+  const double diff = blas3::max_abs_diff(got_i, got_n);
+  if (diff == 0.0) {
+    return {Verdict::kPass,
+            str_format("bit-identical (mask=%llx)",
+                       static_cast<unsigned long long>(*mask))};
+  }
+
+  // The backends order lane execution differently, so a kernel with a
+  // benign race may legitimately diverge bit-wise. Tolerate that only
+  // when BOTH backends stay within the reference tolerance.
+  Matrix ref_b = b;
+  Matrix ref_c = out_c;
+  blas3::run_reference(c.variant, a, ref_b, &ref_c);
+  const Matrix& want = trsm ? ref_b : ref_c;
+  const double tol = blas3::accumulation_tolerance(k, p);
+  const double err_i = blas3::max_abs_diff(got_i, want);
+  const double err_n = blas3::max_abs_diff(got_n, want);
+  if (err_i <= tol && err_n <= tol) {
+    return {Verdict::kPass,
+            str_format("diverge %g but both within tol=%g (racy kernel)",
+                       diff, tol)};
+  }
+
+  // Bit divergence AND at least one backend is off-reference. Blame the
+  // case only if the engine's standard square verification would have
+  // shipped this composition.
+  Status square = engine::verify_program(sim, c.variant, program,
+                                         /*n=*/48, bools);
+  if (!square.is_ok()) {
+    return {Verdict::kRejected,
+            "engine rejects composition: " + sanitize(square.to_string())};
+  }
+  return {Verdict::kFail,
+          str_format("native diverges diff=%g (interp err=%g native err=%g "
+                     "tol=%g) at m=%lld n=%lld k=%lld",
+                     diff, err_i, err_n, tol, static_cast<long long>(m),
+                     static_cast<long long>(n), static_cast<long long>(k))};
 }
 
 }  // namespace oa::verify

@@ -1,4 +1,4 @@
-// The four cross-checks of the oacheck harness. Each takes one
+// The five cross-checks of the oacheck harness. Each takes one
 // ScriptFuzzer case and answers with a three-way verdict:
 //
 //   kPass     — the property held;
@@ -60,5 +60,15 @@ CheckResult check_mutation(const FuzzCase& c);
 /// schedule, extending the tuned/baseline corpus of
 /// fastpath_equivalence_test.
 CheckResult check_fastpath(const gpusim::Simulator& sim, const FuzzCase& c);
+
+/// (5) Native execution: the exec backend (lowered tapes, JIT where
+/// the host supports it) must compute the same result as the lockstep
+/// interpreter on the fuzzed schedule and shape — bit-identical for
+/// race-free kernels; a divergence is tolerated only when *both*
+/// backends stay within the reference tolerance (the lane-order
+/// freedom a racy kernel legitimately exposes). A kernel the backend
+/// cannot lower (barrier under lane-divergent control flow) rejects,
+/// mirroring the runtime's interpreter fallback.
+CheckResult check_native(const gpusim::Simulator& sim, const FuzzCase& c);
 
 }  // namespace oa::verify

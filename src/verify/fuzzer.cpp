@@ -77,13 +77,15 @@ const char* check_kind_name(CheckKind kind) {
     case CheckKind::kRoundTrip: return "roundtrip";
     case CheckKind::kMutation: return "mutation";
     case CheckKind::kFastPath: return "fastpath";
+    case CheckKind::kNative: return "native";
   }
   return "?";
 }
 
 bool parse_check_kind(const std::string& text, CheckKind* out) {
   for (CheckKind k : {CheckKind::kDifferential, CheckKind::kRoundTrip,
-                      CheckKind::kMutation, CheckKind::kFastPath}) {
+                      CheckKind::kMutation, CheckKind::kFastPath,
+                      CheckKind::kNative}) {
     if (text == check_kind_name(k)) {
       *out = k;
       return true;
@@ -287,6 +289,7 @@ FuzzCase ScriptFuzzer::make_case(uint64_t index) const {
   if (options_.roundtrip) kinds.push_back(CheckKind::kRoundTrip);
   if (options_.mutation) kinds.push_back(CheckKind::kMutation);
   if (options_.fastpath) kinds.push_back(CheckKind::kFastPath);
+  if (options_.native) kinds.push_back(CheckKind::kNative);
   if (kinds.empty()) kinds.push_back(CheckKind::kRoundTrip);
   c.kind = kinds[rng.next_below(kinds.size())];
 

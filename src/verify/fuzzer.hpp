@@ -28,14 +28,15 @@
 
 namespace oa::verify {
 
-/// The four cross-checks the harness runs (ISSUE: differential
+/// The five cross-checks the harness runs (ISSUE: differential
 /// numerics, serializer round trip, mutation robustness, fast-path
-/// counter equivalence).
+/// counter equivalence, native execution vs interpreter).
 enum class CheckKind {
   kDifferential,  // fuzzed kernel vs blas3::reference numerics
   kRoundTrip,     // epod::to_text/parse + libgen::to_text/parse
   kMutation,      // corrupted script/artifact text must Status, not crash
   kFastPath,      // gpusim fast path vs interpreter counters
+  kNative,        // exec backend (JIT + portable) vs interpreter results
 };
 
 const char* check_kind_name(CheckKind kind);
@@ -75,6 +76,7 @@ struct FuzzerOptions {
   bool roundtrip = true;
   bool mutation = true;
   bool fastpath = true;
+  bool native = true;
   /// Upper bound on fuzzed problem extents (keeps functional
   /// simulation affordable under sanitizers).
   int64_t max_size = 96;

@@ -1,5 +1,5 @@
 // The oacheck harness: runs checked-in corpus reproducers plus a
-// seeded stream of ScriptFuzzer cases through the four checks and
+// seeded stream of ScriptFuzzer cases through the five checks and
 // renders a deterministic report. Two runs with the same options
 // produce byte-identical case lists and summaries — the property the
 // seed-determinism test (tests/verify_test.cpp) locks in.

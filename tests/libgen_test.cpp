@@ -232,7 +232,7 @@ TEST(ArtifactCorruption, EditedScriptTextFailsTheFingerprintCheck) {
 
 TEST(ArtifactCorruption, UnsupportedVersionIsRejected) {
   std::string text = libgen::to_text(one_entry_artifact());
-  const size_t pos = text.find("oablas-artifact 2");
+  const size_t pos = text.find("oablas-artifact 3");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 17, "oablas-artifact 99");
   auto parsed = libgen::parse(text);
@@ -317,18 +317,34 @@ TEST(ArtifactCorruption, SeededByteMutationsNeverCrash) {
   EXPECT_GT(rejected, 280);
 }
 
-// ------------------------------------------- v1 -> v2 compatibility
+// -------------------------------------- v1/v2 -> v3 compatibility
 
-/// Rewrite a freshly serialized (v2) artifact into the bytes a v1
-/// writer would have produced: v1 header, no `precision` lines, and
-/// every entry_hash re-derived under the v1 field set.
-std::string downgrade_to_v1(const Artifact& artifact) {
+/// Rewrite a freshly serialized (v3) artifact into the bytes an older
+/// writer would have produced: old header, the fields that version
+/// didn't know about removed (`precision` lines before v2, the `exec`
+/// sidecar before v3), and every entry_hash re-derived under the old
+/// field set.
+std::string downgrade_to(const Artifact& artifact, int version) {
   std::string text = libgen::to_text(artifact);
-  size_t pos = text.find("oablas-artifact 2");
+  size_t pos = text.find("oablas-artifact 3");
   EXPECT_NE(pos, std::string::npos);
-  text.replace(pos, 17, "oablas-artifact 1");
-  while ((pos = text.find("precision ")) != std::string::npos) {
-    text.erase(pos, text.find('\n', pos) - pos + 1);
+  text.replace(pos, 17,
+               str_format("oablas-artifact %d", version));
+  // Strip the exec sidecar: the "exec N" count line plus its "| "
+  // payload lines (the section sits between the script block and
+  // entry_hash, so the run of "| " lines after it is all its own).
+  while ((pos = text.find("\nexec ")) != std::string::npos) {
+    size_t end = text.find('\n', pos + 1);
+    while (end != std::string::npos &&
+           text.compare(end, 3, "\n| ") == 0) {
+      end = text.find('\n', end + 1);
+    }
+    text.erase(pos, end - pos);
+  }
+  if (version < 2) {
+    while ((pos = text.find("precision ")) != std::string::npos) {
+      text.erase(pos, text.find('\n', pos) - pos + 1);
+    }
   }
   size_t from = 0;
   for (const ArtifactEntry& e : artifact.entries) {
@@ -338,10 +354,14 @@ std::string downgrade_to_v1(const Artifact& artifact) {
     text.replace(
         pos, eol - pos,
         str_format("entry_hash %016llx",
-                   static_cast<unsigned long long>(e.content_hash(1))));
+                   static_cast<unsigned long long>(e.content_hash(version))));
     from = pos + 1;
   }
   return text;
+}
+
+std::string downgrade_to_v1(const Artifact& artifact) {
+  return downgrade_to(artifact, 1);
 }
 
 // Satellite (b): artifacts written before the precision axis existed
@@ -364,11 +384,11 @@ TEST(ArtifactCompat, V1ArtifactLoadsWithLegacyF32Precision) {
 // Re-saving a v1 artifact upgrades it: to_text always writes the
 // current version, with an explicit precision line per entry, and the
 // upgraded bytes reparse identically.
-TEST(ArtifactCompat, ReserializingV1UpgradesToV2) {
+TEST(ArtifactCompat, ReserializingV1UpgradesToCurrent) {
   auto parsed = libgen::parse(downgrade_to_v1(one_entry_artifact()));
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   const std::string upgraded = libgen::to_text(*parsed);
-  EXPECT_NE(upgraded.find("oablas-artifact 2"), std::string::npos);
+  EXPECT_NE(upgraded.find("oablas-artifact 3"), std::string::npos);
   EXPECT_NE(upgraded.find("precision f32"), std::string::npos);
   auto again = libgen::parse(upgraded);
   ASSERT_TRUE(again.is_ok()) << again.status().to_string();
@@ -431,6 +451,54 @@ TEST(ArtifactCompat, F64EntriesRoundTripWithTheirPrecision) {
   EXPECT_EQ(parsed->entries[0].precision, Precision::kF64);
   EXPECT_EQ(parsed->entries[0].content_hash(),
             artifact.entries[0].content_hash());
+}
+
+// Artifacts written before the exec sidecar existed (v2) must keep
+// loading, and their entry_hash lines still verify under the v2 field
+// set.
+TEST(ArtifactCompat, V2ArtifactLoadsWithoutExecSidecar) {
+  const Artifact artifact = one_entry_artifact();
+  const std::string v2_text = downgrade_to(artifact, 2);
+  ASSERT_EQ(v2_text.find("exec"), std::string::npos);
+  ASSERT_NE(v2_text.find("precision"), std::string::npos);
+  auto parsed = libgen::parse(v2_text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->format_version, 2);
+  ASSERT_EQ(parsed->entries.size(), 1u);
+  EXPECT_TRUE(parsed->entries[0].exec.empty());
+  EXPECT_EQ(parsed->entries[0].content_hash(),
+            artifact.entries[0].content_hash());
+}
+
+// The exec sidecar (docs/EXECUTION.md) round-trips record-exact, and
+// tampering with a record fails the entry hash like any other field.
+TEST(ArtifactCompat, ExecSidecarRoundTripsAndIsHashed) {
+  Artifact artifact = one_entry_artifact();
+  artifact.entries[0].exec.push_back(
+      {"gemm_main", 0xDEADBEEFCAFEF00Dull, 91, 4});
+  artifact.entries[0].exec.push_back({"gemm_tail", 0x1234, 7, 1});
+  const std::string text = libgen::to_text(artifact);
+  EXPECT_NE(text.find("exec 2"), std::string::npos);
+  EXPECT_NE(text.find("| gemm_main deadbeefcafef00d 91 4"),
+            std::string::npos);
+  auto parsed = libgen::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->entries[0].exec.size(), 2u);
+  EXPECT_EQ(parsed->entries[0].exec[0].kernel, "gemm_main");
+  EXPECT_EQ(parsed->entries[0].exec[0].key, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(parsed->entries[0].exec[0].tape_ops, 91);
+  EXPECT_EQ(parsed->entries[0].exec[0].segments, 4);
+  EXPECT_EQ(parsed->entries[0].exec[1].kernel, "gemm_tail");
+  EXPECT_EQ(libgen::to_text(*parsed), text);
+
+  std::string tampered = text;
+  const size_t pos = tampered.find(" 91 4");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 5, " 92 4");
+  auto bad = libgen::parse(tampered);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_NE(bad.status().message().find("hash"), std::string::npos)
+      << bad.status().to_string();
 }
 
 TEST(ArtifactDevice, MismatchIsRejectedByCheckAndSetLibrary) {

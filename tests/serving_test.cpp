@@ -340,6 +340,78 @@ TEST(Serve, ShedsDeterministicallyWhenQueueIsFull) {
       rt.metrics().histogram("runtime.dispatch_us.shed").count(), 1u);
 }
 
+// --- native execution mode ------------------------------------------
+
+TEST(NativeServing, ServesComputedResultsBitEqualToInterpreter) {
+  const Variant& gemm = *blas3::find_variant("GEMM-NN");
+  blas3::Matrix a, b, c;
+  make_inputs(256, 0xBEEF, a, b, c);
+
+  runtime::RuntimeOptions interp_opt;
+  LibraryRuntime interp_rt(gpusim::gtx285(), gemm_artifact(), interp_opt);
+  blas3::Matrix c_interp = c;
+  auto o1 = interp_rt.run(gemm, a, b, &c_interp);
+  ASSERT_TRUE(o1.is_ok()) << o1.status().to_string();
+  ASSERT_EQ(*o1, DispatchOutcome::kHit);
+
+  runtime::RuntimeOptions native_opt;
+  native_opt.execution = runtime::ExecutionMode::kNative;
+  LibraryRuntime native_rt(gpusim::gtx285(), gemm_artifact(), native_opt);
+  blas3::Matrix c_native = c;
+  auto o2 = native_rt.run(gemm, a, b, &c_native);
+  ASSERT_TRUE(o2.is_ok()) << o2.status().to_string();
+  EXPECT_EQ(*o2, DispatchOutcome::kHit);
+
+  // The native backend serves the same bits the interpreter computes
+  // (lane-major vs lockstep changes nothing for race-free kernels).
+  EXPECT_EQ(blas3::max_abs_diff(c_interp, c_native), 0.0);
+  const auto stats = native_rt.stats();
+  EXPECT_EQ(stats.native_serves, 1u);
+  EXPECT_EQ(stats.native_fallbacks, 0u);
+  // The constructor pre-warmed the cache at tuned_size, so the serve
+  // itself (same size) compiled nothing.
+  const exec::ExecStats xs = native_rt.exec_stats();
+  EXPECT_GT(xs.compiles, 0);
+  EXPECT_GT(xs.cache_hits, 0);
+}
+
+TEST(NativeServing, BatchLeaderExecutesMembersInOneLoop) {
+  runtime::RuntimeOptions opt;
+  opt.execution = runtime::ExecutionMode::kNative;
+  opt.coalesce = true;
+  opt.max_batch = 8;
+  opt.batch_window_us = 2000.0;
+  LibraryRuntime rt(gpusim::gtx285(), gemm_artifact(), opt);
+  const Variant& gemm = *blas3::find_variant("GEMM-NN");
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      blas3::Matrix a, b, c;
+      make_inputs(256, 0x1234 + static_cast<uint64_t>(t), a, b, c);
+      auto outcome = rt.serve(gemm, a, b, &c);
+      if (outcome.is_ok() && *outcome == DispatchOutcome::kHit) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kThreads);
+
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.native_serves, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.native_fallbacks, 0u);
+  // Every batch leader recorded its single executor invocation loop.
+  EXPECT_GE(rt.metrics().histogram("runtime.batch_exec_us").count(),
+            stats.batches);
+  // One cached kernel served every member: compiles stayed at the
+  // pre-warm level while every serve hit.
+  const exec::ExecStats xs = rt.exec_stats();
+  EXPECT_GT(xs.cache_hits, 0);
+}
+
 TEST(Serve, UncoalescedServeMatchesRunSemantics) {
   runtime::RuntimeOptions ropt;
   ropt.coalesce = false;
