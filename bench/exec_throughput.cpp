@@ -20,6 +20,12 @@
 // Results land in BENCH_exec.json (schema-checked and uploaded by the
 // CI tier-1 lane, which asserts native >= 10x interpreter on tuned
 // GEMM-NN and warm_recompiles == 0).
+//
+// A third, batched row times tuned GEMM_BATCHED-NN at batch=256 with
+// 64x64 members: the fused native batched path (one run_batched) vs
+// per-member dispatch (256 interpreter requests, the pre-batched
+// serving path). The process exits non-zero unless that row shows
+// >= 5x.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +52,7 @@ using blas3::Variant;
 struct Row {
   std::string variant;
   int64_t n = 0;
+  int64_t batch = 0;  // 0 = single row; else the batched-family row
   double interp_ms = 0.0;        // per run
   double native_ms = 0.0;        // per run
   double interp_gflops = 0.0;
@@ -141,6 +148,120 @@ Row bench_variant(const gpusim::Simulator& sim,
   return row;
 }
 
+/// Batched-family row: the fused native batched path
+/// (exec::execute_batched — one compile/gate, one sweep over count x
+/// blocks, the serving path run_batched takes under
+/// ExecutionMode::kNative) against per-member dispatch — the same 256
+/// members issued as 256 independent requests through the default
+/// (interpreter) serving path, which is the only way a pre-batched
+/// library could answer this workload. The speedup is the end-to-end
+/// win of the batched family. For the Row fields, interp_* carries the
+/// per-member-dispatch leg and native_* the fused leg (the JSON writer
+/// renames them for batched rows).
+Row bench_batched(const gpusim::Simulator& sim,
+                  const runtime::DispatchSnapshot::Entry& entry,
+                  int64_t member_n, int64_t batch, int per_member_reps,
+                  int fused_reps, exec::ExecCache& cache) {
+  const Variant& v = *entry.variant;
+  const Precision p = v.precision;
+  Rng rng(0xBA7C4 ^ static_cast<uint64_t>(member_n));
+  std::vector<Matrix> a, b, c;
+  for (int64_t i = 0; i < batch; ++i) {
+    Matrix ai(member_n, member_n, p), bi(member_n, member_n, p);
+    ai.fill_random(rng);
+    bi.fill_random(rng);
+    a.push_back(std::move(ai));
+    b.push_back(std::move(bi));
+    c.emplace_back(member_n, member_n, p);
+  }
+
+  Row row;
+  row.variant = v.name();
+  row.n = member_n;
+  row.batch = batch;
+
+  auto run_per_member = [&](std::vector<Matrix>& tb,
+                            std::vector<Matrix>& tc) -> Status {
+    for (int64_t i = 0; i < batch; ++i) {
+      OA_RETURN_IF_ERROR(engine::execute_program(
+          sim, entry.program, v, a[static_cast<size_t>(i)],
+          tb[static_cast<size_t>(i)], &tc[static_cast<size_t>(i)],
+          entry.bool_params));
+    }
+    return Status::ok();
+  };
+
+  // Per-member dispatch leg: warm-up (also the correctness reference),
+  // then the timed loop.
+  std::vector<Matrix> ib = b, ic = c;
+  Status per_member = run_per_member(ib, ic);
+  if (!per_member.is_ok()) {
+    std::fprintf(stderr, "exec_throughput: per-member %s: %s\n",
+                 v.name().c_str(), per_member.to_string().c_str());
+    std::exit(1);
+  }
+  double t0 = obs::now_us();
+  for (int r = 0; r < per_member_reps; ++r) {
+    std::vector<Matrix> tb = b, tc = c;
+    (void)run_per_member(tb, tc);
+  }
+  row.interp_ms = (obs::now_us() - t0) / 1000.0 / per_member_reps;
+
+  // Fused leg: everything after the (already warm) first run must be
+  // cache hits.
+  std::vector<Matrix> nb = b, nc = c;
+  Status fused = exec::execute_batched(sim.device(), entry.program, v, a,
+                                       nb, &nc, entry.bool_params, cache);
+  if (!fused.is_ok()) {
+    std::fprintf(stderr, "exec_throughput: fused %s: %s\n",
+                 v.name().c_str(), fused.to_string().c_str());
+    std::exit(1);
+  }
+  const int64_t compiles_before = cache.stats().compiles;
+  t0 = obs::now_us();
+  for (int r = 0; r < fused_reps; ++r) {
+    std::vector<Matrix> tb = b, tc = c;
+    (void)exec::execute_batched(sim.device(), entry.program, v, a, tb,
+                                &tc, entry.bool_params, cache);
+  }
+  row.native_ms = (obs::now_us() - t0) / 1000.0 / fused_reps;
+  row.warm_recompiles = cache.stats().compiles - compiles_before;
+
+  const double flop = 2.0 * static_cast<double>(batch) * member_n *
+                      member_n * member_n;
+  row.interp_gflops =
+      row.interp_ms > 0 ? flop / (row.interp_ms * 1e6) : 0.0;
+  row.native_gflops =
+      row.native_ms > 0 ? flop / (row.native_ms * 1e6) : 0.0;
+  row.speedup = row.native_ms > 0 ? row.interp_ms / row.native_ms : 0.0;
+
+  double diff = 0.0;
+  for (int64_t i = 0; i < batch; ++i) {
+    diff = std::max(diff, blas3::max_abs_diff(ic[static_cast<size_t>(i)],
+                                              nc[static_cast<size_t>(i)]));
+  }
+  row.max_abs_diff = diff;
+  row.within_tolerance =
+      diff <= blas3::accumulation_tolerance(member_n, p);
+
+  const exec::ExecStats stats = cache.stats();
+  row.cache_compiles = stats.compiles;
+  row.cache_hits = stats.cache_hits;
+  row.jit_kernels = stats.jit_kernels;
+  row.portable_kernels = stats.portable_kernels;
+
+  std::printf(
+      "%-10s n=%-4lld batch=%-4lld per-member %9.2f ms (%6.2f GF)  "
+      "fused %7.3f ms (%7.2f GF)  speedup %6.1fx  diff=%g%s  "
+      "warm_recompiles=%lld\n",
+      v.name().c_str(), static_cast<long long>(member_n),
+      static_cast<long long>(batch), row.interp_ms, row.interp_gflops,
+      row.native_ms, row.native_gflops, row.speedup, row.max_abs_diff,
+      row.within_tolerance ? "" : "  OFF-TOLERANCE",
+      static_cast<long long>(row.warm_recompiles));
+  return row;
+}
+
 void write_json(const std::string& path, const gpusim::DeviceModel& device,
                 const std::vector<Row>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -156,6 +277,24 @@ void write_json(const std::string& path, const gpusim::DeviceModel& device,
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
+    if (r.batch > 0) {
+      // Batched row: both legs are native; the keys name the batching
+      // contrast instead of the backend contrast.
+      std::fprintf(
+          f,
+          "    {\"variant\": \"%s\", \"n\": %lld, \"batch\": %lld, "
+          "\"per_member_ms_per_run\": %.4f, \"fused_ms_per_run\": %.4f, "
+          "\"per_member_gflops\": %.4f, \"fused_gflops\": %.4f, "
+          "\"speedup\": %.2f, \"max_abs_diff\": %g, "
+          "\"within_tolerance\": %s, \"warm_recompiles\": %lld}%s\n",
+          r.variant.c_str(), static_cast<long long>(r.n),
+          static_cast<long long>(r.batch), r.interp_ms, r.native_ms,
+          r.interp_gflops, r.native_gflops, r.speedup, r.max_abs_diff,
+          r.within_tolerance ? "true" : "false",
+          static_cast<long long>(r.warm_recompiles),
+          i + 1 < rows.size() ? "," : "");
+      continue;
+    }
     std::fprintf(
         f,
         "    {\"variant\": \"%s\", \"n\": %lld, "
@@ -220,7 +359,7 @@ int main(int argc, char** argv) {
   options.verify_size = 48;
   OaFramework framework(device, options);
   std::printf("tuning the bench kernels on %s...\n", device.name.c_str());
-  for (const char* name : {"GEMM-NN", "DGEMM-NN"}) {
+  for (const char* name : {"GEMM-NN", "DGEMM-NN", "GEMM_BATCHED-NN"}) {
     auto tuned = framework.generate(*blas3::find_variant(name));
     if (!tuned.is_ok()) {
       std::printf("  %s failed: %s\n", name,
@@ -235,16 +374,29 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   exec::ExecCache cache;
   for (const runtime::DispatchSnapshot::Entry& entry : snap->entries()) {
-    rows.push_back(bench_variant(sim, entry, n, interp_reps, native_reps,
-                                 cache));
+    if (entry.variant->batch != blas3::Batch::kSingle) {
+      rows.push_back(bench_batched(sim, entry, /*member_n=*/64,
+                                   /*batch=*/256, interp_reps,
+                                   native_reps, cache));
+    } else {
+      rows.push_back(bench_variant(sim, entry, n, interp_reps,
+                                   native_reps, cache));
+    }
   }
 
   write_json(out_path, device, rows);
 
   bool ok = !rows.empty();
+  bool saw_batched = false;
   for (const Row& r : rows) {
     ok = ok && r.within_tolerance && r.warm_recompiles == 0 &&
          r.speedup > 1.0;
+    // The batched acceptance bar: the fused path must beat per-member
+    // dispatch by >= 5x at batch=256, 64x64 members.
+    if (r.batch > 0) {
+      saw_batched = true;
+      ok = ok && r.speedup >= 5.0;
+    }
   }
-  return ok ? 0 : 1;
+  return ok && saw_batched ? 0 : 1;
 }

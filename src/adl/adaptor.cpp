@@ -145,10 +145,24 @@ const Adaptor& adaptor_solver() {
   return a;
 }
 
+const Adaptor& adaptor_batch() {
+  // The new thread-grouping axis over the batch dimension (ROADMAP
+  // item 5): one member grid per batch member, or the whole batch
+  // tiled into a single launch. The formal X is the structured array
+  // by convention, but the component acts on the program's batch
+  // layout, not on one matrix.
+  static const Adaptor a = parse_builtin(R"(
+    adaptor Adaptor_Batch(X):
+      | batch_grouping(per_member);
+      | batch_grouping(batch_tiled);
+  )");
+  return a;
+}
+
 const Adaptor* find_adaptor(std::string_view name) {
   for (const Adaptor* a :
        {&adaptor_transpose(), &adaptor_symmetry(), &adaptor_triangular(),
-        &adaptor_solver()}) {
+        &adaptor_solver(), &adaptor_batch()}) {
     if (a->name == name) return a;
   }
   return nullptr;

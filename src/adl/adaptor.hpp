@@ -49,6 +49,9 @@ const Adaptor& adaptor_transpose();
 const Adaptor& adaptor_symmetry();
 const Adaptor& adaptor_triangular();
 const Adaptor& adaptor_solver();
+/// Batched-family extension: the batch-dimension grouping axis
+/// (batch_grouping(per_member) | batch_grouping(batch_tiled)).
+const Adaptor& adaptor_batch();
 
 /// Look up a built-in by name (nullptr when unknown).
 const Adaptor* find_adaptor(std::string_view name);

@@ -13,9 +13,20 @@ const char* family_name(Family f) {
   return "?";
 }
 
+const char* batch_name(Batch b) {
+  switch (b) {
+    case Batch::kSingle: return "single";
+    case Batch::kBatched: return "batched";
+    case Batch::kStridedBatched: return "strided_batched";
+  }
+  return "?";
+}
+
 std::string Variant::name() const {
   std::string out = precision_prefix(precision);
   out += family_name(family);
+  if (batch == Batch::kBatched) out += "_BATCHED";
+  if (batch == Batch::kStridedBatched) out += "_STRIDED_BATCHED";
   out += '-';
   switch (family) {
     case Family::kGemm:
@@ -121,14 +132,65 @@ const std::vector<Variant>& extension_variants() {
   return variants;
 }
 
+const std::vector<Variant>& batched_variants() {
+  static const std::vector<Variant> variants = [] {
+    std::vector<Variant> v;
+    for (Batch b : {Batch::kBatched, Batch::kStridedBatched}) {
+      for (Trans ta : {Trans::kN, Trans::kT}) {
+        for (Trans tb : {Trans::kN, Trans::kT}) {
+          Variant g;
+          g.family = Family::kGemm;
+          g.trans_a = ta;
+          g.trans_b = tb;
+          g.batch = b;
+          v.push_back(g);
+        }
+      }
+    }
+    return with_both_precisions(v);
+  }();
+  return variants;
+}
+
+namespace {
+
+/// "GEMM_BATCHED_NN" (the CLI-safe all-underscore spelling) ->
+/// "GEMM_BATCHED-NN": rewrite the last underscore before the
+/// transpose suffix to the canonical dash. Only batched names have
+/// underscores, so plain names pass through unchanged.
+std::string canonical_batched_name(const std::string& name) {
+  const size_t last = name.rfind('_');
+  if (last == std::string::npos || name.find('-') != std::string::npos) {
+    return name;
+  }
+  std::string out = name;
+  out[last] = '-';
+  return out;
+}
+
+}  // namespace
+
 const Variant* find_variant(const std::string& name) {
   for (const Variant& v : all_variants()) {
+    if (v.name() == name) return &v;
+  }
+  for (const Variant& v : batched_variants()) {
     if (v.name() == name) return &v;
   }
   for (const Variant& v : extension_variants()) {
     if (v.name() == name) return &v;
   }
+  const std::string canonical = canonical_batched_name(name);
+  if (canonical != name) {
+    for (const Variant& v : batched_variants()) {
+      if (v.name() == canonical) return &v;
+    }
+  }
   return nullptr;
+}
+
+int64_t tuning_batch(const Variant& v) {
+  return v.batch == Batch::kSingle ? 1 : 256;
 }
 
 double nominal_flops(const Variant& v, int64_t m, int64_t n, int64_t k) {

@@ -28,7 +28,16 @@ enum class Trans { kN, kT };
 enum class Side { kLeft, kRight };
 enum class Uplo { kLower, kUpper };
 
+/// Batch axis: a single-call routine, a batched family (independent
+/// member problems addressed via per-member pointers), or a
+/// strided-batched family (members at a fixed element stride inside
+/// one allocation). The member semantics are identical; the axis
+/// changes grouping over the batch dimension, pricing, buffers, and
+/// the dispatch key.
+enum class Batch { kSingle, kBatched, kStridedBatched };
+
 const char* family_name(Family f);
+const char* batch_name(Batch b);
 
 /// Identity of one routine variant (e.g. TRSM-LL-N, DTRSM-LL-N).
 struct Variant {
@@ -43,9 +52,13 @@ struct Variant {
   Trans trans = Trans::kN;
   // Scalar precision of every operand and of the accumulation.
   Precision precision = Precision::kF32;
+  // Batch axis (GEMM only today): kSingle for the classic catalog.
+  Batch batch = Batch::kSingle;
 
   /// Paper-style name: "GEMM-NN", "SYMM-LL", "TRSM-LL-N", ... at f32;
-  /// "D"-prefixed ("DGEMM-NN") at f64.
+  /// "D"-prefixed ("DGEMM-NN") at f64. Batched families interleave the
+  /// batch kind before the shape suffix: "GEMM_BATCHED-NN",
+  /// "DGEMM_STRIDED_BATCHED-TT".
   std::string name() const;
 
   bool operator==(const Variant&) const = default;
@@ -66,14 +79,29 @@ const std::vector<Variant>& all_variants();
 /// precisions, like all_variants().
 const std::vector<Variant>& extension_variants();
 
+/// The batched GEMM families (ROADMAP item 5): GEMM_BATCHED and
+/// GEMM_STRIDED_BATCHED across the 4 transpose combinations, both
+/// precisions — 16 variants, f32 first like all_variants().
+const std::vector<Variant>& batched_variants();
+
 /// Look a variant up by its paper-style name — either precision
-/// ("GEMM-NN" or "DGEMM-NN"; searches the s/d family and the
-/// extensions); returns nullptr when the name is unknown.
+/// ("GEMM-NN" or "DGEMM-NN"; searches the s/d family, the batched
+/// families, and the extensions); returns nullptr when the name is
+/// unknown. The all-underscore CLI spelling of batched names
+/// ("GEMM_BATCHED_NN") is accepted as an alias of the canonical
+/// dash form ("GEMM_BATCHED-NN").
 const Variant* find_variant(const std::string& name);
+
+/// Nominal batch count a batched variant is tuned and benchmarked at
+/// (1 for kSingle). The runtime serves arbitrary counts; this is the
+/// representative point the search prices.
+int64_t tuning_batch(const Variant& v);
 
 /// Nominal useful FLOPs for problem size (m, n) with square structured
 /// matrices (GEMM uses k = m). Used to convert measured time to GFLOPS
 /// the way the paper does. Precision-independent: a flop is a flop.
+/// For batched variants this is the *per-member* count; callers
+/// multiply by the batch count (e.g. tuning_batch).
 double nominal_flops(const Variant& v, int64_t m, int64_t n, int64_t k);
 
 }  // namespace oa::blas3

@@ -289,6 +289,14 @@ Program make_source_program(const Variant& v) {
     case Family::kTrsm: build_trsm(v, p); break;
     case Family::kSyrk: build_syrk(v, p); break;
   }
+  // Batched families reuse the member loop nest unchanged: the arrays
+  // and kernels describe one batch member, and the batch dimension is
+  // an execution/pricing attribute (per_member until a batch_grouping
+  // component picks the layout).
+  if (v.batch != Batch::kSingle) {
+    p.batched = true;
+    p.batch_grouping = ir::BatchGrouping::kPerMember;
+  }
   return p;
 }
 

@@ -28,11 +28,20 @@ constexpr const char* kSimulateByVariantPrefix =
 }  // namespace
 
 ir::Env size_env(const Variant& v, int64_t n) {
+  ir::Env env;
   if (v.family == blas3::Family::kGemm ||
       v.family == blas3::Family::kSyrk) {
-    return {{"M", n}, {"N", n}, {"K", n}};
+    env = {{"M", n}, {"N", n}, {"K", n}};
+  } else {
+    env = {{"M", n}, {"N", n}};
   }
-  return {{"M", n}, {"N", n}};
+  if (v.batch != blas3::Batch::kSingle) {
+    // The batch count rides in the size environment so the simulator's
+    // batched pricing (RunOptions int param "BATCH") sees it; it is not
+    // a program int param and never reaches kernel bounds.
+    env["BATCH"] = blas3::tuning_batch(v);
+  }
+  return env;
 }
 
 std::map<std::string, bool> bools_for(const Candidate& c) {
@@ -98,9 +107,15 @@ Status execute_program(const gpusim::Simulator& sim,
   const int64_t m = b.rows();
   const int64_t n = b.cols();
   if (variant.family == blas3::Family::kGemm) {
+    // GEMM operand shapes depend on the transpose flags: A is MxK (or
+    // KxM), B is KxN (or NxK). Derive M/N from the flagged axes — B's
+    // rows are the reduction length for trans_b=N, not M.
     const int64_t k =
         variant.trans_a == blas3::Trans::kN ? a.cols() : a.rows();
-    opts.int_params = {{"M", m}, {"N", n}, {"K", k}};
+    opts.int_params = {
+        {"M", variant.trans_a == blas3::Trans::kN ? a.rows() : a.cols()},
+        {"N", variant.trans_b == blas3::Trans::kN ? b.cols() : b.rows()},
+        {"K", k}};
   } else if (variant.family == blas3::Family::kSyrk) {
     const int64_t k =
         variant.trans == blas3::Trans::kN ? a.cols() : a.rows();
@@ -111,15 +126,43 @@ Status execute_program(const gpusim::Simulator& sim,
     opts.int_params = {{"M", m}, {"N", n}};
   }
   opts.bool_params = bool_params;
+  const char* out_name = blas3::output_array(variant);
+  blas3::Matrix& out =
+      variant.family == blas3::Family::kTrsm ? b : *c;
+  // Reject a retargeted output shape before paying for the functional
+  // run — read_back would refuse the result anyway.
+  OA_RETURN_IF_ERROR(gpusim::check_read_back_shape(
+      program, opts.int_params, out_name, out));
   gpusim::GlobalBuffers buffers = gpusim::make_buffers(
       program, opts.int_params, {{"A", &a}, {"B", &b}, {"C", c}});
   OA_RETURN_IF_ERROR(
       sim.run_functional(program, opts, buffers).status());
-  const char* out_name = blas3::output_array(variant);
-  blas3::Matrix& out =
-      variant.family == blas3::Family::kTrsm ? b : *c;
   return gpusim::read_back(buffers, program, opts.int_params, out_name,
                            out);
+}
+
+Status execute_batched(const gpusim::Simulator& sim,
+                       const ir::Program& program, const Variant& variant,
+                       const std::vector<blas3::Matrix>& a,
+                       std::vector<blas3::Matrix>& b,
+                       std::vector<blas3::Matrix>* c,
+                       const std::map<std::string, bool>& bool_params) {
+  if (a.size() != b.size() || (c != nullptr && c->size() != a.size())) {
+    return invalid_argument("batched operands disagree on batch count");
+  }
+  if (a.empty()) {
+    return invalid_argument("batched execution needs at least one member");
+  }
+  // Loop-of-members through the interpreter: the semantic oracle the
+  // fused native batched path (exec::execute_batched) is arbitrated
+  // against. batch_grouping only relabels the launch layout, so the
+  // member program is the program itself.
+  for (size_t i = 0; i < a.size(); ++i) {
+    OA_RETURN_IF_ERROR(execute_program(
+        sim, program, variant, a[i], b[i],
+        c != nullptr ? &(*c)[i] : nullptr, bool_params));
+  }
+  return Status::ok();
 }
 
 uint64_t EvalConfig::fingerprint() const {
@@ -327,9 +370,12 @@ StatusOr<Evaluation> EvaluationEngine::verify_and_simulate(
   out.program = std::move(program);
   out.seconds = perf->seconds;
   out.counters = perf->counters;
-  out.gflops = perf->gflops(blas3::nominal_flops(
-      variant, config.target_size, config.target_size,
-      config.target_size));
+  // nominal_flops counts one member; batched variants are priced (and
+  // credited) for the whole tuning batch.
+  out.gflops = perf->gflops(
+      blas3::nominal_flops(variant, config.target_size, config.target_size,
+                           config.target_size) *
+      static_cast<double>(blas3::tuning_batch(variant)));
   return out;
 }
 

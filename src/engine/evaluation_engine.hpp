@@ -242,6 +242,19 @@ Status execute_program(const gpusim::Simulator& sim,
                        blas3::Matrix* c,
                        const std::map<std::string, bool>& bool_params);
 
+/// Batched functional execution as a loop of members through the
+/// interpreter — the semantic oracle for the fused native batched path
+/// (exec::execute_batched). Operand vectors carry one matrix per batch
+/// member and must agree on the batch count; `c` may be null for
+/// families that update `b` in place.
+Status execute_batched(const gpusim::Simulator& sim,
+                       const ir::Program& program,
+                       const blas3::Variant& variant,
+                       const std::vector<blas3::Matrix>& a,
+                       std::vector<blas3::Matrix>& b,
+                       std::vector<blas3::Matrix>* c,
+                       const std::map<std::string, bool>& bool_params);
+
 /// Runtime bool parameters implied by adaptor conditions ("blank(A)
 /// .zero = true" -> blank_zero = true).
 std::map<std::string, bool> bools_for(const composer::Candidate& c);

@@ -422,6 +422,73 @@ Status run_lowered(const ExecutedKernel& ek, const gpusim::DeviceModel& dev,
   return Status::ok();
 }
 
+namespace {
+
+/// Size bindings — identical to engine::execute_program so results are
+/// comparable bit-for-bit.
+ir::Env routine_size_env(const blas3::Variant& variant,
+                         const blas3::Matrix& a, const blas3::Matrix& b,
+                         const blas3::Matrix* c) {
+  const int64_t m = b.rows();
+  const int64_t n = b.cols();
+  if (variant.family == blas3::Family::kGemm) {
+    // GEMM operand shapes depend on the transpose flags: A is MxK (or
+    // KxM), B is KxN (or NxK). Derive M/N from the flagged axes — B's
+    // rows are the reduction length for trans_b=N, not M.
+    const int64_t k =
+        variant.trans_a == blas3::Trans::kN ? a.cols() : a.rows();
+    return {{"M", variant.trans_a == blas3::Trans::kN ? a.rows() : a.cols()},
+            {"N", variant.trans_b == blas3::Trans::kN ? b.cols() : b.rows()},
+            {"K", k}};
+  }
+  if (variant.family == blas3::Family::kSyrk) {
+    const int64_t k =
+        variant.trans == blas3::Trans::kN ? a.cols() : a.rows();
+    return {{"M", c != nullptr ? c->rows() : m}, {"N", n}, {"K", k}};
+  }
+  return {{"M", m}, {"N", n}};
+}
+
+/// Launchability gating mirrors Simulator::run_kernel: the native
+/// backend must refuse exactly what the simulator refuses.
+StatusOr<gpusim::CompiledKernel> compile_gated(
+    const gpusim::DeviceModel& device, const ir::Program& program,
+    const ir::Kernel& kernel, const ir::Env& int_params,
+    const std::map<std::string, bool>& bool_params) {
+  OA_ASSIGN_OR_RETURN(
+      gpusim::CompiledKernel ck,
+      gpusim::compile_kernel(program, kernel, int_params, bool_params));
+  const int64_t threads = ck.launch.threads_per_block();
+  if (threads > device.max_threads_per_block) {
+    return failed_precondition(
+        str_format("%lld threads/block exceeds the device limit",
+                   static_cast<long long>(threads)));
+  }
+  const int64_t reg_budget = std::min<int64_t>(
+      124, device.registers_per_sm / std::max<int64_t>(1, threads));
+  if (device.base_regs_per_thread + ck.regs_per_thread > reg_budget) {
+    for (gpusim::CArray& arr : ck.arrays) {
+      if (arr.space == ir::MemSpace::kRegister) arr.spilled = true;
+    }
+    ck.regs_per_thread = 0;
+  }
+  const int64_t regs =
+      (device.base_regs_per_thread + ck.regs_per_thread) * threads;
+  int64_t occ = device.max_blocks_per_sm;
+  if (regs > 0) occ = std::min(occ, device.registers_per_sm / regs);
+  if (ck.shared_bytes > 0) {
+    occ = std::min(occ, device.shared_mem_per_sm / ck.shared_bytes);
+  }
+  occ = std::min<int64_t>(occ, device.max_threads_per_sm / threads);
+  if (occ <= 0) {
+    return failed_precondition("kernel '" + kernel.name +
+                               "' does not fit on an SM");
+  }
+  return ck;
+}
+
+}  // namespace
+
 Status execute_program(const gpusim::DeviceModel& device,
                        const ir::Program& program,
                        const blas3::Variant& variant,
@@ -429,67 +496,166 @@ Status execute_program(const gpusim::DeviceModel& device,
                        blas3::Matrix* c,
                        const std::map<std::string, bool>& bool_params,
                        ExecCache& cache, const ExecOptions& options) {
-  // Size bindings — identical to engine::execute_program so results
-  // are comparable bit-for-bit.
-  ir::Env int_params;
-  const int64_t m = b.rows();
-  const int64_t n = b.cols();
-  if (variant.family == blas3::Family::kGemm) {
-    const int64_t k =
-        variant.trans_a == blas3::Trans::kN ? a.cols() : a.rows();
-    int_params = {{"M", m}, {"N", n}, {"K", k}};
-  } else if (variant.family == blas3::Family::kSyrk) {
-    const int64_t k =
-        variant.trans == blas3::Trans::kN ? a.cols() : a.rows();
-    int_params = {{"M", c != nullptr ? c->rows() : m}, {"N", n}, {"K", k}};
-  } else {
-    int_params = {{"M", m}, {"N", n}};
-  }
-
+  const ir::Env int_params = routine_size_env(variant, a, b, c);
+  const char* out_name = blas3::output_array(variant);
+  blas3::Matrix& out = variant.family == blas3::Family::kTrsm ? b : *c;
+  // Reject a retargeted output shape before compiling or running
+  // anything — read_back would refuse the result anyway.
+  OA_RETURN_IF_ERROR(
+      gpusim::check_read_back_shape(program, int_params, out_name, out));
   gpusim::GlobalBuffers buffers = gpusim::make_buffers(
       program, int_params, {{"A", &a}, {"B", &b}, {"C", c}});
 
   for (const ir::Kernel& kernel : program.kernels) {
     OA_ASSIGN_OR_RETURN(
         gpusim::CompiledKernel ck,
-        gpusim::compile_kernel(program, kernel, int_params, bool_params));
-    // Launchability gating mirrors Simulator::run_kernel: the native
-    // backend must refuse exactly what the simulator refuses.
-    const int64_t threads = ck.launch.threads_per_block();
-    if (threads > device.max_threads_per_block) {
-      return failed_precondition(
-          str_format("%lld threads/block exceeds the device limit",
-                     static_cast<long long>(threads)));
-    }
-    const int64_t reg_budget = std::min<int64_t>(
-        124, device.registers_per_sm / std::max<int64_t>(1, threads));
-    if (device.base_regs_per_thread + ck.regs_per_thread > reg_budget) {
-      for (gpusim::CArray& arr : ck.arrays) {
-        if (arr.space == ir::MemSpace::kRegister) arr.spilled = true;
-      }
-      ck.regs_per_thread = 0;
-    }
-    const int64_t regs =
-        (device.base_regs_per_thread + ck.regs_per_thread) * threads;
-    int64_t occ = device.max_blocks_per_sm;
-    if (regs > 0) occ = std::min(occ, device.registers_per_sm / regs);
-    if (ck.shared_bytes > 0) {
-      occ = std::min(occ, device.shared_mem_per_sm / ck.shared_bytes);
-    }
-    occ = std::min<int64_t>(occ, device.max_threads_per_sm / threads);
-    if (occ <= 0) {
-      return failed_precondition("kernel '" + kernel.name +
-                                 "' does not fit on an SM");
-    }
-
+        compile_gated(device, program, kernel, int_params, bool_params));
     OA_ASSIGN_OR_RETURN(std::shared_ptr<const ExecutedKernel> ek,
                         cache.get_or_compile(ck, options));
     OA_RETURN_IF_ERROR(run_lowered(*ek, device, buffers, &cache));
   }
 
-  const char* out_name = blas3::output_array(variant);
-  blas3::Matrix& out = variant.family == blas3::Family::kTrsm ? b : *c;
   return gpusim::read_back(buffers, program, int_params, out_name, out);
+}
+
+Status execute_batched(const gpusim::DeviceModel& device,
+                       const ir::Program& program,
+                       const blas3::Variant& variant,
+                       const std::vector<blas3::Matrix>& a,
+                       std::vector<blas3::Matrix>& b,
+                       std::vector<blas3::Matrix>* c,
+                       const std::map<std::string, bool>& bool_params,
+                       ExecCache& cache, const ExecOptions& options) {
+  if (a.size() != b.size() ||
+      (c != nullptr && c->size() != a.size())) {
+    return invalid_argument("batched operands disagree on batch count");
+  }
+  if (a.empty()) {
+    return invalid_argument("batched execution needs at least one member");
+  }
+  const int64_t count = static_cast<int64_t>(a.size());
+  for (size_t i = 1; i < a.size(); ++i) {
+    if (a[i].rows() != a[0].rows() || a[i].cols() != a[0].cols() ||
+        b[i].rows() != b[0].rows() || b[i].cols() != b[0].cols() ||
+        (c != nullptr && ((*c)[i].rows() != (*c)[0].rows() ||
+                          (*c)[i].cols() != (*c)[0].cols()))) {
+      return invalid_argument(
+          "strided-batched members must share one member shape");
+    }
+  }
+
+  const ir::Env int_params = routine_size_env(
+      variant, a[0], b[0], c != nullptr ? &(*c)[0] : nullptr);
+  OA_RETURN_IF_ERROR(gpusim::check_read_back_shape(
+      program, int_params, blas3::output_array(variant),
+      variant.family == blas3::Family::kTrsm ? b[0] : (*c)[0]));
+
+  // One strided allocation per global: member m lives at offset
+  // m * member_elems. Member data is staged through make_buffers so the
+  // leading-dimension copy rules match the single-member path exactly.
+  gpusim::GlobalBuffers big;
+  std::map<std::string, int64_t, std::less<>> member_elems;
+  for (const ir::ArrayDecl& d : program.globals) {
+    const int64_t elems = d.num_elements(int_params);
+    member_elems[d.name] = elems;
+    big.data.emplace(
+        d.name,
+        std::vector<double>(static_cast<size_t>(elems * count), 0.0));
+  }
+  for (int64_t m = 0; m < count; ++m) {
+    gpusim::GlobalBuffers one = gpusim::make_buffers(
+        program, int_params,
+        {{"A", &a[static_cast<size_t>(m)]},
+         {"B", &b[static_cast<size_t>(m)]},
+         {"C", c != nullptr ? &(*c)[static_cast<size_t>(m)] : nullptr}});
+    for (auto& [name, buf] : one.data) {
+      std::copy(buf.begin(), buf.end(),
+                big.data[name].begin() +
+                    static_cast<size_t>(m * member_elems[name]));
+    }
+  }
+
+  // Compile/gate each kernel once; the whole batch runs through that
+  // one lowered kernel with per-member buffer offsets — the fused
+  // launch the batch_tiled grouping prices.
+  for (const ir::Kernel& kernel : program.kernels) {
+    OA_ASSIGN_OR_RETURN(
+        gpusim::CompiledKernel ck,
+        compile_gated(device, program, kernel, int_params, bool_params));
+    OA_ASSIGN_OR_RETURN(std::shared_ptr<const ExecutedKernel> ek,
+                        cache.get_or_compile(ck, options));
+
+    const LoweredKernel& lk = ek->lowered;
+    std::vector<double*> base_ptrs(lk.arrays.size(), nullptr);
+    std::vector<int64_t> strides(lk.arrays.size(), 0);
+    for (size_t i = 0; i < lk.arrays.size(); ++i) {
+      const gpusim::CArray& arr = lk.arrays[i];
+      if (arr.space != ir::MemSpace::kGlobal) continue;
+      std::vector<double>* buf = big.find(arr.name);
+      const int64_t elems = member_elems[arr.name];
+      if (buf == nullptr ||
+          buf->size() < static_cast<size_t>(elems * count) ||
+          elems < arr.elements) {
+        return internal_error("global buffer '" + arr.name +
+                              "' missing or undersized");
+      }
+      base_ptrs[i] = buf->data();
+      strides[i] = elems;
+    }
+
+    const bool serial = lk.launch.serial_grid_y;
+    const int64_t num_waves = serial ? lk.launch.grid_y : 1;
+    const int64_t blocks_per_wave =
+        serial ? lk.launch.grid_x : lk.launch.num_blocks();
+    for (int64_t wave = 0; wave < num_waves; ++wave) {
+      std::mutex mu;
+      Status first_error = Status::ok();
+      ThreadPool::shared().parallel_for(
+          static_cast<size_t>(count * blocks_per_wave), [&](size_t idx) {
+            const int64_t member =
+                static_cast<int64_t>(idx) / blocks_per_wave;
+            const int64_t bidx =
+                static_cast<int64_t>(idx) % blocks_per_wave;
+            const int64_t by =
+                serial ? wave : bidx / lk.launch.grid_x;
+            const int64_t bx =
+                serial ? bidx : bidx % lk.launch.grid_x;
+            std::vector<double*> ptrs(base_ptrs.size(), nullptr);
+            for (size_t i = 0; i < base_ptrs.size(); ++i) {
+              if (base_ptrs[i] != nullptr) {
+                ptrs[i] = base_ptrs[i] + member * strides[i];
+              }
+            }
+            Status s = run_block(*ek, ptrs, by, bx);
+            if (!s.is_ok()) {
+              std::lock_guard<std::mutex> lock(mu);
+              if (first_error.is_ok()) first_error = s;
+            }
+          });
+      OA_RETURN_IF_ERROR(first_error);
+    }
+    cache.count_native_blocks(count * num_waves * blocks_per_wave);
+  }
+
+  // Read every member's output back through the single-member reader by
+  // aliasing its slice of the strided buffer.
+  const char* out_name = blas3::output_array(variant);
+  std::vector<blas3::Matrix>& out =
+      variant.family == blas3::Family::kTrsm ? b : *c;
+  const int64_t out_elems = member_elems[out_name];
+  std::vector<double>* out_buf = big.find(out_name);
+  for (int64_t m = 0; m < count; ++m) {
+    gpusim::GlobalBuffers view;
+    view.data.emplace(
+        out_name,
+        std::vector<double>(
+            out_buf->begin() + static_cast<size_t>(m * out_elems),
+            out_buf->begin() + static_cast<size_t>((m + 1) * out_elems)));
+    OA_RETURN_IF_ERROR(gpusim::read_back(view, program, int_params,
+                                         out_name,
+                                         out[static_cast<size_t>(m)]));
+  }
+  return Status::ok();
 }
 
 }  // namespace oa::exec

@@ -95,4 +95,20 @@ Status execute_program(const gpusim::DeviceModel& device,
                        const std::map<std::string, bool>& bool_params,
                        ExecCache& cache, const ExecOptions& options = {});
 
+/// Fused native batched execution: each kernel is compiled and gated
+/// once, every global gets one strided allocation (member m at offset
+/// m * member_elems), and the whole batch's blocks run through a single
+/// parallel wave — the launch layout the batch_tiled grouping prices.
+/// Semantically equivalent to calling execute_program per member
+/// (engine::execute_batched is the arbitration oracle); operand vectors
+/// carry one matrix per member and must share one member shape.
+Status execute_batched(const gpusim::DeviceModel& device,
+                       const ir::Program& program,
+                       const blas3::Variant& variant,
+                       const std::vector<blas3::Matrix>& a,
+                       std::vector<blas3::Matrix>& b,
+                       std::vector<blas3::Matrix>* c,
+                       const std::map<std::string, bool>& bool_params,
+                       ExecCache& cache, const ExecOptions& options = {});
+
 }  // namespace oa::exec

@@ -158,6 +158,21 @@ StatusOr<KernelStats> Simulator::run_kernel(const ir::Program& program,
   }
 
   // ---- Performance mode: sampled simulation -----------------------
+  // Batched pricing: the member kernel is sampled once and the batch
+  // dimension priced analytically on top — a per-member lane-affine
+  // decomposition, so the warp-analytic fast path keeps covering
+  // batched variants. The batch count is a *runtime* value carried by
+  // RunOptions ("BATCH", default 1), never baked into the member IR.
+  int64_t batch = 1;
+  if (program.batched) {
+    auto bit = options.int_params.find("BATCH");
+    if (bit != options.int_params.end()) {
+      batch = std::max<int64_t>(1, bit->second);
+    }
+  }
+  const bool batch_tiled =
+      program.batch_grouping == ir::BatchGrouping::kBatchTiled;
+
   // Detailed simulation of one block, with warp sampling.
   auto simulate_block = [&](int64_t by, int64_t bx) -> StatusOr<Counters> {
     BlockSim sim(ck, dev_, /*functional=*/false, nullptr,
@@ -246,9 +261,25 @@ StatusOr<KernelStats> Simulator::run_kernel(const ir::Program& program,
     for (size_t i = 0; i < ordered.size(); ++i) {
       stats.counters += per_class[i].scaled(ordered[i].count);
     }
-    stats.seconds = wave_time(stats.counters, blocks_per_wave,
-                              warps_per_block, occ) +
-                    dev_.launch_overhead_s;
+    const double member_time = wave_time(stats.counters, blocks_per_wave,
+                                         warps_per_block, occ);
+    if (batch > 1 && batch_tiled) {
+      // One fused launch carries batch x member blocks: wave
+      // quantization amortizes across members and the launch overhead
+      // is paid once.
+      stats.counters = stats.counters.scaled(batch);
+      stats.seconds = wave_time(stats.counters, blocks_per_wave * batch,
+                                warps_per_block, occ) +
+                      dev_.launch_overhead_s;
+    } else if (batch > 1) {
+      // Per-member grouping: one member grid (and one launch overhead)
+      // per batch member, back to back.
+      stats.counters = stats.counters.scaled(batch);
+      stats.seconds = (member_time + dev_.launch_overhead_s) *
+                      static_cast<double>(batch);
+    } else {
+      stats.seconds = member_time + dev_.launch_overhead_s;
+    }
     return stats;
   }
 
@@ -300,6 +331,19 @@ StatusOr<KernelStats> Simulator::run_kernel(const ir::Program& program,
     stats.seconds += wave_time(wave_counters[static_cast<size_t>(w)],
                                blocks_per_wave, warps_per_block, occ);
     stats.seconds += dev_.launch_overhead_s;
+  }
+  if (batch > 1) {
+    // Wave-serialized batched kernels (not reachable from the GEMM
+    // families today): members serialize either way; batch tiling only
+    // amortizes the per-wave launch overhead.
+    stats.counters = stats.counters.scaled(batch);
+    if (batch_tiled) {
+      const double oh =
+          static_cast<double>(num_waves) * dev_.launch_overhead_s;
+      stats.seconds = (stats.seconds - oh) * static_cast<double>(batch) + oh;
+    } else {
+      stats.seconds *= static_cast<double>(batch);
+    }
   }
   return stats;
 }
@@ -361,20 +405,31 @@ GlobalBuffers make_buffers(
   return buffers;
 }
 
+Status check_read_back_shape(const ir::Program& program,
+                             const ir::Env& int_params,
+                             const std::string& name,
+                             const blas3::Matrix& out) {
+  const ir::ArrayDecl* d = program.find_global(name);
+  if (d == nullptr) return not_found("no global array '" + name + "'");
+  if (out.rows() != d->num_rows(int_params) ||
+      out.cols() != d->num_cols(int_params)) {
+    return invalid_argument("read_back shape mismatch for '" + name + "'");
+  }
+  return Status::ok();
+}
+
 Status read_back(const GlobalBuffers& buffers, const ir::Program& program,
                  const ir::Env& int_params, const std::string& name,
                  blas3::Matrix& out) {
+  OA_RETURN_IF_ERROR(
+      check_read_back_shape(program, int_params, name, out));
   const ir::ArrayDecl* d = program.find_global(name);
-  if (d == nullptr) return not_found("no global array '" + name + "'");
   auto it = buffers.data.find(name);
   if (it == buffers.data.end()) {
     return not_found("no buffer for '" + name + "'");
   }
   const int64_t rows = d->num_rows(int_params);
   const int64_t cols = d->num_cols(int_params);
-  if (out.rows() != rows || out.cols() != cols) {
-    return invalid_argument("read_back shape mismatch for '" + name + "'");
-  }
   const int64_t ld = d->leading_dim(int_params);
   for (int64_t c = 0; c < cols; ++c) {
     for (int64_t r = 0; r < rows; ++r) {

@@ -100,6 +100,16 @@ GlobalBuffers make_buffers(
     const ir::Program& program, const ir::Env& int_params,
     const std::map<std::string, const blas3::Matrix*>& inputs);
 
+/// The shape agreement read_back will require, checkable *before*
+/// execution: the named global exists and its declared extent matches
+/// the destination matrix. Callers that would otherwise pay a full
+/// functional run only to fail read_back (a transform retargeted the
+/// output array's shape) reject up front with this instead.
+Status check_read_back_shape(const ir::Program& program,
+                             const ir::Env& int_params,
+                             const std::string& name,
+                             const blas3::Matrix& out);
+
 /// Copy a named buffer back into a Matrix (shape from the program's
 /// array declaration; must match the matrix).
 Status read_back(const GlobalBuffers& buffers, const ir::Program& program,

@@ -15,6 +15,15 @@ const char* mem_space_name(MemSpace space) {
   return "?";
 }
 
+const char* batch_grouping_name(BatchGrouping g) {
+  switch (g) {
+    case BatchGrouping::kNone: return "none";
+    case BatchGrouping::kPerMember: return "per_member";
+    case BatchGrouping::kBatchTiled: return "batch_tiled";
+  }
+  return "?";
+}
+
 Kernel& Kernel::operator=(const Kernel& o) {
   if (this == &o) return *this;
   name = o.name;

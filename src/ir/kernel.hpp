@@ -120,12 +120,30 @@ struct LaunchConfig {
 /// thread loop outside a block loop, data-dependent extents).
 StatusOr<LaunchConfig> launch_config(const Kernel& kernel, const Env& env);
 
+/// How a batched program distributes batch members over the grid
+/// (set by the batch_grouping component; kNone on single-call
+/// programs). The member kernels themselves are batch-oblivious —
+/// the grouping is an execution/pricing attribute, like the launch
+/// configuration.
+enum class BatchGrouping { kNone, kPerMember, kBatchTiled };
+const char* batch_grouping_name(BatchGrouping g);
+
 struct Program {
   std::string name;
   /// Scalar precision of every global array and every arithmetic
   /// operation. Flows into the simulator's element-size pricing
   /// (bytes per access, words per register/shared slot).
   Precision precision = Precision::kF32;
+  /// True for batched routine families: the program's kernels describe
+  /// ONE batch member; execution replicates the member grid over the
+  /// batch dimension (per the grouping below), and every global array
+  /// is allocated per member. The batch count is a runtime value
+  /// (gpusim::RunOptions int param "BATCH" for pricing; the batched
+  /// execute entry points take it explicitly).
+  bool batched = false;
+  /// Grid layout over the batch dimension (kPerMember when a batched
+  /// program has not had a batch_grouping component applied yet).
+  BatchGrouping batch_grouping = BatchGrouping::kNone;
   /// Integer size parameters (M, N, K) — bound at run time.
   std::vector<std::string> int_params;
   /// Scalar (float) parameters (alpha, beta).

@@ -140,6 +140,8 @@ uint64_t ArtifactEntry::content_hash(int format_version) const {
   // v1 predates the precision axis; hashing it would invalidate every
   // entry_hash line in legacy artifacts.
   if (format_version >= 2) fp.mix(std::string_view(precision_name(precision)));
+  // v3 predates the batch axis; v4+ entries seal the tuning batch.
+  if (format_version >= 4) fp.mix(tuned_batch);
   fp.mix(tuned_size)
       .mix(applied_mask)
       .mix(script_fingerprint)
@@ -220,6 +222,7 @@ ArtifactEntry make_entry(const Variant& v, const Evaluation& eval,
   e.gflops = eval.gflops;
   e.seconds = eval.seconds;
   e.tuned_size = tuned_size;
+  e.tuned_batch = blas3::tuning_batch(v);
   return e;
 }
 
@@ -239,6 +242,7 @@ std::string to_text(const Artifact& artifact) {
     os << "entry " << e.variant << "\n";
     os << "precision " << precision_name(e.precision) << "\n";
     os << "tuned_size " << e.tuned_size << "\n";
+    os << "batch " << e.tuned_batch << "\n";
     os << "params " << e.params.block_tile_y << " " << e.params.block_tile_x
        << " " << e.params.threads_y << " " << e.params.threads_x << " "
        << e.params.k_tile << " " << e.params.unroll << "\n";
@@ -311,6 +315,20 @@ StatusOr<Artifact> parse(std::string_view text) {
     }
     OA_ASSIGN_OR_RETURN(std::string ts, cur.take("tuned_size"));
     OA_ASSIGN_OR_RETURN(e.tuned_size, parse_int(ts, cur.lineno()));
+    if (version >= 4) {
+      OA_ASSIGN_OR_RETURN(std::string tb, cur.take("batch"));
+      OA_ASSIGN_OR_RETURN(e.tuned_batch, parse_int(tb, cur.lineno()));
+      if (e.tuned_batch < 1) {
+        return invalid_argument(str_format(
+            "artifact entry '%s' (line %zu): batch must be positive, "
+            "got %lld",
+            e.variant.c_str(), entry_line,
+            static_cast<long long>(e.tuned_batch)));
+      }
+    } else {
+      // v1-v3 predate the batch axis: every entry is a single call.
+      e.tuned_batch = 1;
+    }
 
     OA_ASSIGN_OR_RETURN(std::string params_text, cur.take("params"));
     const std::vector<std::string> fields =

@@ -11,7 +11,7 @@
 //
 // Format (docs/ARTIFACT.md): a line-oriented, human-readable text file.
 //
-//   oablas-artifact 3                  <- format version (header)
+//   oablas-artifact 4                  <- format version (header)
 //   device gtx285                      <- device preset name
 //   device_fp 8d4c...                  <- preset fingerprint (all fields)
 //   generator oagen                    <- build metadata (free-form)
@@ -20,6 +20,9 @@
 //   entry GEMM-NN
 //   precision f32                      <- element type (v2+; v1 entries
 //   tuned_size 512                        load as the legacy f32)
+//   batch 1                            <- tuning batch count (v4+; 1 for
+//                                         single variants, the batched
+//                                         families record theirs)
 //   params 64 16 64 1 16 4             <- bty btx ty tx kt unroll
 //   applied_mask 1f
 //   script_fp <hex>                    <- PR-1 fingerprints, verbatim
@@ -46,14 +49,16 @@
 // trailer reports truncation; an unknown header version or a foreign
 // device preset reports version/device mismatch.
 //
-// Compatibility: parse() reads versions 1 through 3. Version 1
+// Compatibility: parse() reads versions 1 through 4. Version 1
 // predates the precision axis — its entries have no `precision` line
 // and load as the legacy single precision (the paper's 24-variant
 // catalog is f32). Version 2 predates the native-execution sidecar —
-// its entries have no `exec` section and load with an empty one. Both
+// its entries have no `exec` section and load with an empty one.
+// Version 3 predates the batched families — its entries have no
+// `batch` line and load with a tuning batch of 1. All legacy versions
 // re-derive the content hash under their own version's field set so
 // old entry_hash lines still verify. save()/to_text() always write
-// version 3.
+// version 4.
 #pragma once
 
 #include <cstdint>
@@ -77,9 +82,9 @@ namespace oa::libgen {
 /// the grammar or to the meaning of a recorded field. load() reads the
 /// current version and the listed legacy versions; anything else is
 /// rejected outright (compatibility policy in docs/ARTIFACT.md).
-inline constexpr int kFormatVersion = 3;
+inline constexpr int kFormatVersion = 4;
 /// Oldest version parse() still reads (v1: no precision axis; v2: no
-/// native-execution sidecar).
+/// native-execution sidecar; v3: no batch axis).
 inline constexpr int kMinReadVersion = 1;
 
 /// Native-execution sidecar (v3+): one record per kernel of an entry's
@@ -111,6 +116,10 @@ struct ArtifactEntry {
   double gflops = 0.0;                  // at tuned_size
   double seconds = 0.0;                 // simulated kernel time
   int64_t tuned_size = 0;               // problem size the tuner used
+  /// Batch count the entry was tuned (and priced) at: 1 for single
+  /// variants, blas3::tuning_batch(v) for the batched families (v4+;
+  /// v1-v3 entries load with 1).
+  int64_t tuned_batch = 1;
   /// Native-exec sidecar (v3+), possibly empty: what the execution
   /// backend lowers this entry's kernels to at tuned_size.
   std::vector<ExecRecord> exec;

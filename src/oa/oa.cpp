@@ -33,6 +33,12 @@ std::vector<adl::Adaptor> OaFramework::adaptors_for(const Variant& v) {
       if (v.trans_b == Trans::kT) {
         out.push_back(adl::adaptor_transpose().bind("B"));
       }
+      // Batched families add the batch-dimension grouping axis: every
+      // member-schedule candidate exists with per_member and with
+      // batch_tiled grid layout, and the search prices both.
+      if (v.batch != blas3::Batch::kSingle) {
+        out.push_back(adl::adaptor_batch().bind("A"));
+      }
       break;
     case Family::kSymm:
       out.push_back(adl::adaptor_symmetry().bind("A"));
@@ -129,6 +135,8 @@ StatusOr<std::vector<composer::Candidate>> OaFramework::candidates_for(
   for (composer::Candidate& c : *result) {
     for (transforms::Invocation& inv : c.script.invocations) {
       if (!transforms::is_memory_component(inv.component)) continue;
+      // batch_grouping's argument is a layout mode, not an array.
+      if (inv.component == "batch_grouping") continue;
       if (!inv.args.empty() && source.find_global(inv.args[0]) == nullptr) {
         inv.args[0] = out_array;
       }
@@ -251,7 +259,8 @@ StatusOr<double> OaFramework::measure_gflops(
   opts.bool_params = tuner::bools_for(tuned.candidate);
   OA_ASSIGN_OR_RETURN(gpusim::RunResult result,
                       sim_.run_performance(tuned.program, opts));
-  return result.gflops(blas3::nominal_flops(v, n, n, n));
+  return result.gflops(blas3::nominal_flops(v, n, n, n) *
+                       static_cast<double>(blas3::tuning_batch(v)));
 }
 
 StatusOr<double> OaFramework::measure_baseline_gflops(
@@ -261,7 +270,8 @@ StatusOr<double> OaFramework::measure_baseline_gflops(
   opts.int_params = size_env(v, n);
   OA_ASSIGN_OR_RETURN(gpusim::RunResult result,
                       sim_.run_performance(program, opts));
-  return result.gflops(blas3::nominal_flops(v, n, n, n));
+  return result.gflops(blas3::nominal_flops(v, n, n, n) *
+                       static_cast<double>(blas3::tuning_batch(v)));
 }
 
 StatusOr<gpusim::Counters> OaFramework::profile(

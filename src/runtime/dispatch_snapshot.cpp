@@ -41,6 +41,10 @@ int variant_code(const Variant& v) {
       tr = v.trans == Trans::kT;
       break;
   }
+  // Only GEMM has batched family members today; the batch axis is
+  // canonicalized away everywhere else.
+  const int batch =
+      v.family == Family::kGemm ? static_cast<int>(v.batch) : 0;
   int code = static_cast<int>(v.family);
   code = code * 2 + ta;
   code = code * 2 + tb;
@@ -48,6 +52,7 @@ int variant_code(const Variant& v) {
   code = code * 2 + uplo;
   code = code * 2 + tr;
   code = code * 2 + (v.precision == Precision::kF64 ? 1 : 0);
+  code = code * 3 + batch;
   return code;
 }
 
@@ -69,6 +74,9 @@ std::shared_ptr<const BaselineTable> BaselineTable::build(
   };
   for (const Variant& v : blas3::all_variants()) add(v);
   for (const Variant& v : blas3::extension_variants()) add(v);
+  // Batched codes reuse the member GEMM schedule: cublas_like builds
+  // the member program, and the serving loop supplies the batch.
+  for (const Variant& v : blas3::batched_variants()) add(v);
   return table;
 }
 

@@ -42,8 +42,9 @@ namespace oa::runtime {
 /// distinct codes. Always in [0, kVariantCodes).
 int variant_code(const blas3::Variant& v);
 
-/// 5 families x 5 canonicalized flag bits x 2 precisions.
-inline constexpr int kVariantCodes = 5 * 32 * 2;
+/// 5 families x 5 canonicalized flag bits x 2 precisions x 3 batch
+/// modes (single / batched / strided-batched).
+inline constexpr int kVariantCodes = 5 * 32 * 2 * 3;
 
 /// Baseline (CUBLAS-like) programs for every catalog variant on one
 /// device, indexed by variant code. Immutable after build; shared by
@@ -129,7 +130,7 @@ class DispatchSnapshot {
  private:
   /// Per-variant-code serving plan: for every size bucket, the entry
   /// index that serves it (-1 = no tuned kernel) and whether that is
-  /// an exact bucket match. int16 keeps the 320-plan table compact; a
+  /// an exact bucket match. int16 keeps the 960-plan table compact; a
   /// library has at most a few hundred entries.
   struct Plan {
     std::array<int16_t, kBuckets> entry;

@@ -27,6 +27,17 @@ uint64_t next_snapshot_version() {
   static std::atomic<uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
+
+/// Stats key for the per-family request split: the routine family with
+/// its batch qualifier ("GEMM", "GEMM_BATCHED", "GEMM_STRIDED_BATCHED",
+/// "TRSM", ...). Precisions share a key — the split already exists on
+/// its own axis.
+std::string family_key(blas3::Family family, blas3::Batch batch) {
+  std::string key = blas3::family_name(family);
+  if (batch == blas3::Batch::kBatched) key += "_BATCHED";
+  if (batch == blas3::Batch::kStridedBatched) key += "_STRIDED_BATCHED";
+  return key;
+}
 }  // namespace
 
 const char* outcome_name(DispatchOutcome outcome) {
@@ -41,7 +52,7 @@ const char* outcome_name(DispatchOutcome outcome) {
 }
 
 std::string DispatchStats::to_string() const {
-  return str_format(
+  std::string out = str_format(
       "dispatch: %llu requests — %llu hits, %llu near-hits, %llu "
       "baseline fallbacks, %llu reference fallbacks, %llu shed, %llu "
       "recovered kernel errors, %llu failed; f32 %llu req / %llu tuned, "
@@ -64,6 +75,16 @@ std::string DispatchStats::to_string() const {
       static_cast<unsigned long long>(reloads),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(coalesced));
+  if (batched_requests > 0) {
+    out += str_format("; %llu batched calls (%llu members)",
+                      static_cast<unsigned long long>(batched_requests),
+                      static_cast<unsigned long long>(batched_members));
+  }
+  for (const auto& [family, count] : requests_by_family) {
+    out += str_format("\n  %-21s %llu requests", family.c_str(),
+                      static_cast<unsigned long long>(count));
+  }
+  return out;
 }
 
 LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
@@ -101,6 +122,20 @@ LibraryRuntime::LibraryRuntime(const gpusim::DeviceModel& device,
   ins_.reloads = &metrics_->counter("runtime.reloads");
   ins_.batches = &metrics_->counter("runtime.batches");
   ins_.coalesced = &metrics_->counter("runtime.coalesced");
+  ins_.batched_requests = &metrics_->counter("runtime.batched_requests");
+  ins_.batched_members = &metrics_->counter("runtime.batched_members");
+  for (int f = 0; f < 5; ++f) {
+    const auto family = static_cast<blas3::Family>(f);
+    for (int bm = 0; bm < 3; ++bm) {
+      // Batched families only exist for GEMM; other rows alias their
+      // single-mode counter so a stray Variant cannot mint a key.
+      const blas3::Batch batch = family == blas3::Family::kGemm
+                                     ? static_cast<blas3::Batch>(bm)
+                                     : blas3::Batch::kSingle;
+      ins_.family_requests[f][bm] = &metrics_->counter(
+          "runtime.requests.family." + family_key(family, batch));
+    }
+  }
   ins_.hit_us = &metrics_->histogram("runtime.dispatch_us.hit");
   ins_.near_hit_us = &metrics_->histogram("runtime.dispatch_us.near_hit");
   ins_.baseline_us =
@@ -249,6 +284,9 @@ LibraryRuntime::Dispatch LibraryRuntime::dispatch(const Variant& v,
 void LibraryRuntime::count_request(const Variant& v) const {
   ins_.requests->add();
   ins_.requests_by_prec[static_cast<int>(v.precision)]->add();
+  ins_.family_requests[static_cast<int>(v.family)]
+                      [static_cast<int>(v.batch)]
+      ->add();
 }
 
 Status LibraryRuntime::execute_dispatched(
@@ -425,8 +463,13 @@ StatusOr<DispatchOutcome> LibraryRuntime::serve(const Variant& v,
   StatusOr<DispatchOutcome> outcome = [&]() -> StatusOr<DispatchOutcome> {
     if (options_.coalesce) {
       const int64_t n = dispatch_size(v, a, b, c);
+      // Key axes: variant code | batch-count bucket | size bucket. The
+      // serve() path carries single-member calls (batch count 1 →
+      // bucket 0); the batch axis keeps the key scheme shared with
+      // batched traffic accounting.
       const uint64_t key =
-          (static_cast<uint64_t>(variant_code(v)) << 6) |
+          (static_cast<uint64_t>(variant_code(v)) << 12) |
+          (static_cast<uint64_t>(batch_bucket(1)) << 6) |
           static_cast<uint64_t>(size_bucket(n));
       return queue_->submit(key, v, a, b, c);
     }
@@ -435,6 +478,140 @@ StatusOr<DispatchOutcome> LibraryRuntime::serve(const Variant& v,
     return serve_with(snap, d, v, a, b, c, start_us);
   }();
 
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return outcome;
+}
+
+Status LibraryRuntime::execute_batched_dispatched(
+    const ir::Program& program, const Variant& v,
+    const std::vector<blas3::Matrix>& a, std::vector<blas3::Matrix>& b,
+    std::vector<blas3::Matrix>* c,
+    const std::map<std::string, bool>& bool_params) const {
+  if (options_.execution == ExecutionMode::kNative) {
+    Status native = exec::execute_batched(sim_.device(), program, v, a, b,
+                                          c, bool_params, exec_cache_);
+    if (native.is_ok()) {
+      ins_.native_serves->add();
+      return native;
+    }
+    // Failed native members may have written into the strided staging
+    // buffers but never into b/c (read-back happens only on success),
+    // so the interpreter loop retries cleanly.
+    ins_.native_fallbacks->add();
+    OA_LOG(kWarning) << "LibraryRuntime: native batched execution of "
+                     << v.name() << " failed (" << native.to_string()
+                     << "), retrying on the interpreter";
+  }
+  return engine::execute_batched(sim_, program, v, a, b, c, bool_params);
+}
+
+StatusOr<DispatchOutcome> LibraryRuntime::run_batched(
+    const Variant& v, const std::vector<blas3::Matrix>& a,
+    std::vector<blas3::Matrix>& b, std::vector<blas3::Matrix>* c) const {
+  const double start_us = obs::now_us();
+  count_request(v);
+  ins_.batched_requests->add();
+  ins_.batched_members->add(static_cast<uint64_t>(a.size()));
+
+  auto fail = [&](Status status) -> StatusOr<DispatchOutcome> {
+    ins_.failed_requests->add();
+    ins_.failed_us->record(obs::now_us() - start_us);
+    return status;
+  };
+  if (v.batch == blas3::Batch::kSingle) {
+    return fail(invalid_argument("run_batched needs a batched variant; " +
+                                 v.name() + " is single"));
+  }
+  if (a.empty() || a.size() != b.size() ||
+      (c != nullptr && c->size() != a.size())) {
+    return fail(
+        invalid_argument("batched operands disagree on batch count"));
+  }
+  if (c == nullptr) {
+    return fail(invalid_argument("batched " + v.name() +
+                                 " needs output matrices c"));
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].precision() != v.precision ||
+        b[i].precision() != v.precision ||
+        (*c)[i].precision() != v.precision) {
+      return fail(invalid_argument(
+          str_format("%s expects %s matrices", v.name().c_str(),
+                     precision_name(v.precision))));
+    }
+  }
+
+  auto settle = [&](obs::Histogram* h) {
+    const double us = obs::now_us() - start_us;
+    h->record(us);
+    ins_.serve_us->record(us);
+    admission_->on_complete();
+  };
+  uint64_t pending_errors = 0;
+
+  // One pin, one member-size dispatch for the whole batch; the batched
+  // variant has its own code, so tuned batched entries never collide
+  // with single-GEMM ones.
+  const DispatchSnapshot& snap = *pinned();
+  Dispatch d = dispatch_on(snap, v, dispatch_size(v, a[0], b[0], &(*c)[0]));
+
+  if (d.program != nullptr) {
+    Status served =
+        execute_batched_dispatched(*d.program, v, a, b, c, *d.bool_params);
+    if (served.is_ok()) {
+      if (d.outcome == DispatchOutcome::kHit) {
+        ins_.hits->add();
+        settle(ins_.hit_us);
+      } else {
+        ins_.near_hits->add();
+        settle(ins_.near_hit_us);
+      }
+      ins_.tuned_served_by_prec[static_cast<int>(v.precision)]->add();
+      return d.outcome;
+    }
+    ++pending_errors;
+    OA_LOG(kWarning) << "LibraryRuntime: tuned batched " << v.name()
+                     << " failed (" << served.to_string()
+                     << "), falling back";
+  }
+
+  if (options_.baseline_fallback) {
+    const ir::Program* base = snap.baseline(variant_code(v));
+    if (base != nullptr) {
+      Status served =
+          execute_batched_dispatched(*base, v, a, b, c, no_bool_params());
+      if (served.is_ok()) {
+        ins_.baseline_fallbacks->add();
+        ins_.recovered_errors->add(pending_errors);
+        settle(ins_.baseline_us);
+        return DispatchOutcome::kFallbackBaseline;
+      }
+      ++pending_errors;
+    }
+  }
+
+  for (size_t i = 0; i < a.size(); ++i) {
+    blas3::run_reference(v, a[i], b[i], &(*c)[i]);
+  }
+  ins_.reference_fallbacks->add();
+  ins_.recovered_errors->add(pending_errors);
+  settle(ins_.reference_us);
+  return DispatchOutcome::kFallbackReference;
+}
+
+StatusOr<DispatchOutcome> LibraryRuntime::serve_batched(
+    const Variant& v, const std::vector<blas3::Matrix>& a,
+    std::vector<blas3::Matrix>& b, std::vector<blas3::Matrix>* c) const {
+  // Admission sees one request per batched call (the batch is the unit
+  // of work the caller retries); no coalescing — it is already a batch.
+  const size_t depth = in_flight_.load(std::memory_order_relaxed);
+  if (!admission_->admit(depth)) {
+    ins_.shed->add();
+    ins_.shed_us->record(0.0);
+    return DispatchOutcome::kShed;
+  }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  StatusOr<DispatchOutcome> outcome = run_batched(v, a, b, c);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   return outcome;
 }
@@ -452,7 +629,7 @@ void LibraryRuntime::serve_batch(
   const DispatchSnapshot& snap = *pinned();
   Dispatch d;
   bool exact = false;
-  const int code = static_cast<int>(key >> 6);
+  const int code = static_cast<int>(key >> 12);
   const int bucket = static_cast<int>(key & 63);
   const DispatchSnapshot::Entry* entry = snap.lookup(code, bucket, &exact);
   if (entry != nullptr) {
@@ -525,6 +702,19 @@ DispatchStats LibraryRuntime::stats() const {
   s.reloads = ins_.reloads->value();
   s.batches = ins_.batches->value();
   s.coalesced = ins_.coalesced->value();
+  s.batched_requests = ins_.batched_requests->value();
+  s.batched_members = ins_.batched_members->value();
+  for (int f = 0; f < 5; ++f) {
+    const auto family = static_cast<blas3::Family>(f);
+    const int modes = family == blas3::Family::kGemm ? 3 : 1;
+    for (int bm = 0; bm < modes; ++bm) {
+      const uint64_t count = ins_.family_requests[f][bm]->value();
+      if (count > 0) {
+        s.requests_by_family[family_key(
+            family, static_cast<blas3::Batch>(bm))] = count;
+      }
+    }
+  }
   return s;
 }
 

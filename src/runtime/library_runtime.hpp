@@ -156,6 +156,13 @@ struct DispatchStats {
   /// in a batch behind a leader.
   uint64_t batches = 0;
   uint64_t coalesced = 0;
+  /// Batched-family trajectory (run_batched/serve_batched): batched
+  /// calls served and the total member count across them.
+  uint64_t batched_requests = 0;
+  uint64_t batched_members = 0;
+  /// Requests split by routine family key ("GEMM", "GEMM_BATCHED",
+  /// "DGEMM" shares "GEMM", ...); only keys with traffic appear.
+  std::map<std::string, uint64_t> requests_by_family;
 
   std::string to_string() const;
 };
@@ -247,6 +254,32 @@ class LibraryRuntime {
                                   const blas3::Matrix& a, blas3::Matrix& b,
                                   blas3::Matrix* c) const;
 
+  /// Serve one *batched* BLAS3 call directly (v.batch != kSingle):
+  /// operand vectors carry one matrix per batch member and must agree
+  /// on the batch count. Dispatch resolves on the member size under
+  /// the batched variant's own code; execution is native-first under
+  /// ExecutionMode::kNative (the fused exec::execute_batched), then
+  /// the interpreter loop-of-members, then the CPU reference loop.
+  /// Thread-safe; never coalesces, never sheds.
+  StatusOr<DispatchOutcome> run_batched(const blas3::Variant& v,
+                                        const std::vector<blas3::Matrix>& a,
+                                        std::vector<blas3::Matrix>& b,
+                                        std::vector<blas3::Matrix>* c) const;
+
+  /// run_batched behind admission control (DispatchOutcome::kShed when
+  /// the SLO is unattainable). Batched requests never enter the
+  /// coalescing queue — they already are a batch.
+  StatusOr<DispatchOutcome> serve_batched(
+      const blas3::Variant& v, const std::vector<blas3::Matrix>& a,
+      std::vector<blas3::Matrix>& b, std::vector<blas3::Matrix>* c) const;
+
+  /// Power-of-two bucket of a batch count (floor(log2(count))); the
+  /// third axis of the coalescing dispatch key next to the variant
+  /// code and the size bucket.
+  static int batch_bucket(int64_t count) {
+    return DispatchSnapshot::size_bucket(count);
+  }
+
   DispatchStats stats() const;
   void reset_stats();
 
@@ -301,6 +334,15 @@ class LibraryRuntime {
                             const std::map<std::string, bool>& bool_params)
       const;
 
+  /// Batched counterpart of execute_dispatched: fused native path
+  /// first under kNative, interpreter loop-of-members otherwise or on
+  /// native failure.
+  Status execute_batched_dispatched(
+      const ir::Program& program, const blas3::Variant& v,
+      const std::vector<blas3::Matrix>& a, std::vector<blas3::Matrix>& b,
+      std::vector<blas3::Matrix>* c,
+      const std::map<std::string, bool>& bool_params) const;
+
   /// ExecutionMode::kNative: compile + JIT every kernel of every
   /// snapshot entry into the exec cache so the first request after a
   /// (re)load doesn't pay compile latency.
@@ -343,6 +385,12 @@ class LibraryRuntime {
     obs::Counter* reloads;
     obs::Counter* batches;
     obs::Counter* coalesced;
+    obs::Counter* batched_requests;
+    obs::Counter* batched_members;
+    /// Per-family request counters ("runtime.requests.family.<KEY>"),
+    /// indexed by [family][batch mode]; non-GEMM rows alias their
+    /// batch-0 counter (no batched families outside GEMM).
+    obs::Counter* family_requests[5][3];
     obs::Histogram* hit_us;
     obs::Histogram* near_hit_us;
     obs::Histogram* baseline_us;

@@ -82,6 +82,12 @@ int usage() {
       "  --precision s|d|all                 restrict to single (s/f32) "
       "or double (d/f64) routines; library\n"
       "                                      modes default to all\n"
+      "  --variants A,B,...                  generate a comma-separated "
+      "list of routines (underscore\n"
+      "                                      spellings like "
+      "GEMM_BATCHED_NN accepted)\n"
+      "  --quick                             smoke-test search budget "
+      "(small tuning/verify sizes)\n"
       "  --show-candidates                   print the composer output "
       "and exit\n"
       "  --show-kernel                       print the generated kernel "
@@ -211,13 +217,13 @@ struct ObsExport {
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarning);
   std::string routine, device_name = "gtx285", script_path, adaptor_path;
-  std::string emit_lib, load_lib, metrics_out, trace_out;
+  std::string emit_lib, load_lib, metrics_out, trace_out, variants_arg;
   std::string precision_arg = "all";
   int64_t size = 1024, tuning_size = 512, jobs = 0;
   bool list = false, show_candidates = false, show_kernel = false,
        exhaustive = false, no_cache = false, engine_stats = false,
        no_fastpath = false, no_warm_start = false, seed_warm_start = false,
-       dump_scripts = false;
+       dump_scripts = false, quick = false, tuning_size_set = false;
   ServeFlags serve_flags;
 
   for (int i = 1; i < argc; ++i) {
@@ -262,6 +268,11 @@ int main(int argc, char** argv) {
       if (!next_int(1, &size)) return usage();
     } else if (arg == "--tuning-size") {
       if (!next_int(1, &tuning_size)) return usage();
+      tuning_size_set = true;
+    } else if (arg == "--variants") {
+      if (!next_str(&variants_arg)) return usage();
+    } else if (arg == "--quick") {
+      quick = true;
     } else if (arg == "--precision") {
       if (!next_str(&precision_arg)) return usage();
     } else if (arg == "--script") {
@@ -330,12 +341,43 @@ int main(int argc, char** argv) {
     for (const auto& v : blas3::all_variants()) {
       std::printf("  %s\n", v.name().c_str());
     }
+    std::printf("batched routines:\n");
+    for (const auto& v : blas3::batched_variants()) {
+      std::printf("  %s\n", v.name().c_str());
+    }
     return 0;
   }
-  // Library modes (--emit-lib / --load-lib / --dump-scripts) default to
-  // every routine unless --routine narrows them.
-  const bool library_mode =
-      !emit_lib.empty() || !load_lib.empty() || dump_scripts;
+
+  // --variants: an explicit multi-routine target list ("GEMM_BATCHED_NN"
+  // underscore spellings resolve through the find_variant alias).
+  std::vector<const blas3::Variant*> chosen;
+  if (!variants_arg.empty()) {
+    if (!routine.empty()) {
+      std::fprintf(stderr,
+                   "oagen: --routine and --variants are exclusive\n");
+      return usage();
+    }
+    std::stringstream names(variants_arg);
+    std::string name;
+    while (std::getline(names, name, ',')) {
+      if (name.empty()) continue;
+      const blas3::Variant* v = blas3::find_variant(name);
+      if (v == nullptr) {
+        std::printf("unknown routine '%s' (try --list)\n", name.c_str());
+        return 1;
+      }
+      chosen.push_back(v);
+    }
+    if (chosen.empty()) {
+      std::fprintf(stderr, "oagen: --variants names no routine\n");
+      return usage();
+    }
+  }
+
+  // Library modes (--emit-lib / --load-lib / --dump-scripts /
+  // --variants) default to every routine unless narrowed.
+  const bool library_mode = !emit_lib.empty() || !load_lib.empty() ||
+                            dump_scripts || !chosen.empty();
   if (routine.empty() && !library_mode) return usage();
   const blas3::Variant* variant = nullptr;
   if (!routine.empty()) {
@@ -364,6 +406,13 @@ int main(int argc, char** argv) {
 
   OaOptions options;
   options.tuning_size = tuning_size;
+  if (quick) {
+    // Smoke-test budget: small search size (unless --tuning-size was
+    // explicit) and a small verification grid. Matches the CI batched
+    // smoke lane, where wall-clock matters more than peak GFLOPS.
+    if (!tuning_size_set) options.tuning_size = 96;
+    options.verify_size = 48;
+  }
   options.exhaustive_search = exhaustive;
   options.jobs = static_cast<size_t>(jobs);
   options.engine_cache = !no_cache;
@@ -382,10 +431,17 @@ int main(int argc, char** argv) {
   OaFramework framework(*device, options);
 
   std::vector<const blas3::Variant*> targets;
-  if (variant != nullptr) {
+  if (!chosen.empty()) {
+    targets = chosen;
+  } else if (variant != nullptr) {
     targets.push_back(variant);
   } else {
     for (const blas3::Variant& v : blas3::all_variants()) {
+      if (all_precisions || v.precision == precision) targets.push_back(&v);
+    }
+    // Library generation covers the batched families too — the catalog
+    // an artifact serves is 64 routines, not 48 (docs/BATCHED.md).
+    for (const blas3::Variant& v : blas3::batched_variants()) {
       if (all_precisions || v.precision == precision) targets.push_back(&v);
     }
   }
@@ -421,7 +477,8 @@ int main(int argc, char** argv) {
   }
 
   // --- whole-library generation / warm service -----------------------
-  if (!emit_lib.empty() || (variant == nullptr && !load_lib.empty())) {
+  if (!emit_lib.empty() || !chosen.empty() ||
+      (variant == nullptr && !load_lib.empty())) {
     int failures = 0;
     for (const blas3::Variant* v : targets) {
       auto tuned = framework.generate(*v);

@@ -227,4 +227,21 @@ Status thread_grouping(ir::Program& program,
   return Status::ok();
 }
 
+Status batch_grouping(ir::Program& program, const std::string& mode,
+                      const TransformContext&) {
+  if (!program.batched) {
+    return failed_precondition(
+        "batch_grouping applies only to batched routine families");
+  }
+  if (mode == "per_member") {
+    program.batch_grouping = ir::BatchGrouping::kPerMember;
+    return Status::ok();
+  }
+  if (mode == "batch_tiled") {
+    program.batch_grouping = ir::BatchGrouping::kBatchTiled;
+    return Status::ok();
+  }
+  return invalid_argument("unknown batch grouping '" + mode + "'");
+}
+
 }  // namespace oa::transforms

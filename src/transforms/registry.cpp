@@ -81,7 +81,12 @@ std::string Invocation::to_string() const {
 }
 
 bool is_memory_component(const std::string& component) {
-  return component == "SM_alloc" || component == "reg_alloc";
+  // batch_grouping rides the allocator path like the allocation
+  // declarations: it is appended once per adaptor rule (no mixer
+  // interleaving — the batch layout is orthogonal to the member
+  // schedule) and applied after the polyhedral part.
+  return component == "SM_alloc" || component == "reg_alloc" ||
+         component == "batch_grouping";
 }
 
 bool must_be_first(const std::string& component) {
@@ -89,11 +94,11 @@ bool must_be_first(const std::string& component) {
 }
 
 bool is_known_component(const std::string& component) {
-  static constexpr std::array<const char*, 10> kNames = {
+  static constexpr std::array<const char*, 11> kNames = {
       "thread_grouping", "loop_tiling",        "loop_unroll",
       "SM_alloc",        "reg_alloc",          "GM_map",
       "format_iteration", "peel_triangular",   "padding_triangular",
-      "binding_triangular"};
+      "binding_triangular", "batch_grouping"};
   return std::any_of(kNames.begin(), kNames.end(),
                      [&](const char* n) { return component == n; });
 }
@@ -165,6 +170,10 @@ Status apply(ir::Program& program, const Invocation& inv,
     OA_RETURN_IF_ERROR(expect_args(inv, 2));
     return binding_triangular(program, inv.args[0],
                               std::atoi(inv.args[1].c_str()), ctx);
+  }
+  if (c == "batch_grouping") {
+    OA_RETURN_IF_ERROR(expect_args(inv, 1));
+    return batch_grouping(program, inv.args[0], ctx);
   }
   return invalid_argument("unknown optimization component '" + c + "'");
 }

@@ -127,4 +127,14 @@ Status padding_triangular(ir::Program& program, const std::string& array,
 Status binding_triangular(ir::Program& program, const std::string& array,
                           int thread, const TransformContext& ctx);
 
+/// Batched thread grouping over the batch dimension (ROADMAP item 5):
+/// batch_grouping(per_member) launches one member grid per batch
+/// member (serialized launches — cheap at tiny members, launch-bound
+/// at scale); batch_grouping(batch_tiled) tiles the whole batch into
+/// one launch (members share waves, one launch overhead).
+/// kFailedPrecondition on non-batched programs, so the composer's
+/// filter drops it everywhere outside the batched families.
+Status batch_grouping(ir::Program& program, const std::string& mode,
+                      const TransformContext& ctx);
+
 }  // namespace oa::transforms

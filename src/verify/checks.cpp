@@ -93,6 +93,85 @@ int64_t reduction_length(const FuzzCase& c) {
   return c.variant.side == blas3::Side::kLeft ? c.m : c.n;
 }
 
+/// Batch count the case executes at (1 for every single variant).
+int64_t case_batch(const FuzzCase& c) {
+  if (c.variant.batch == blas3::Batch::kSingle) return 1;
+  return std::max<int64_t>(c.batch, 1);
+}
+
+/// One operand set per batch member, prepared exactly like
+/// engine::verify_program (triangular blanking, TRSM conditioning) at
+/// the fuzzed rectangular shape. All members draw from one sequential
+/// rng stream, so member 0 of a batched case — and the single member of
+/// a batch-1 case — reproduces the byte-exact data the pre-batched
+/// checks used.
+struct CaseInputs {
+  std::vector<Matrix> a, b, c;
+};
+
+CaseInputs make_inputs(const FuzzCase& c, int64_t count) {
+  const bool gemm = c.variant.family == blas3::Family::kGemm;
+  const bool trsm = c.variant.family == blas3::Family::kTrsm;
+  const int64_t m = c.m;
+  const int64_t n = c.n;
+  const int64_t k = reduction_length(c);
+  const Precision p = c.variant.precision;
+  Rng rng(Fingerprint()
+              .mix(c.seed)
+              .mix(c.index)
+              .mix(std::string_view("oacheck.data"))
+              .digest());
+  CaseInputs in;
+  for (int64_t i = 0; i < count; ++i) {
+    Matrix a = gemm ? (c.variant.trans_a == blas3::Trans::kN
+                           ? Matrix(m, k, p)
+                           : Matrix(k, m, p))
+                    : Matrix(k, k, p);
+    Matrix b = gemm ? (c.variant.trans_b == blas3::Trans::kN
+                           ? Matrix(k, n, p)
+                           : Matrix(n, k, p))
+                    : Matrix(m, n, p);
+    Matrix out_c(m, n, p);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    if (c.variant.family == blas3::Family::kTrmm || trsm ||
+        c.variant.family == blas3::Family::kSymm) {
+      a.make_triangular(c.variant.uplo);
+    }
+    if (trsm) {
+      a.set_unit_diagonal();
+      a.scale_off_diagonal(1.0f / 16.0f);
+    }
+    in.a.push_back(std::move(a));
+    in.b.push_back(std::move(b));
+    in.c.push_back(std::move(out_c));
+  }
+  return in;
+}
+
+/// Largest per-member divergence between two operand-set results (the
+/// updated matrix is `b` for TRSM, `c` for every other family).
+double max_member_diff(const FuzzCase& c, const std::vector<Matrix>& got_b,
+                       const std::vector<Matrix>& got_c,
+                       const std::vector<Matrix>& want_b,
+                       const std::vector<Matrix>& want_c) {
+  const bool trsm = c.variant.family == blas3::Family::kTrsm;
+  double err = 0.0;
+  for (size_t i = 0; i < got_b.size(); ++i) {
+    err = std::max(err, blas3::max_abs_diff(trsm ? got_b[i] : got_c[i],
+                                            trsm ? want_b[i] : want_c[i]));
+  }
+  return err;
+}
+
+/// One process-wide compile cache shared by the native-first
+/// differential and native checks: a long campaign then also exercises
+/// the hot (cache-hit) path, not just first-compile.
+exec::ExecCache& shared_exec_cache() {
+  static exec::ExecCache cache;
+  return cache;
+}
+
 }  // namespace
 
 const char* verdict_name(Verdict v) {
@@ -104,9 +183,11 @@ const char* verdict_name(Verdict v) {
   return "?";
 }
 
-CheckResult check_case(const gpusim::Simulator& sim, const FuzzCase& c) {
+CheckResult check_case(const gpusim::Simulator& sim, const FuzzCase& c,
+                       const CheckOptions& options) {
   switch (c.kind) {
-    case CheckKind::kDifferential: return check_differential(sim, c);
+    case CheckKind::kDifferential:
+      return check_differential(sim, c, options);
     case CheckKind::kRoundTrip: return check_roundtrip(c);
     case CheckKind::kMutation: return check_mutation(c);
     case CheckKind::kFastPath: return check_fastpath(sim, c);
@@ -116,7 +197,8 @@ CheckResult check_case(const gpusim::Simulator& sim, const FuzzCase& c) {
 }
 
 CheckResult check_differential(const gpusim::Simulator& sim,
-                               const FuzzCase& c) {
+                               const FuzzCase& c,
+                               const CheckOptions& options) {
   ir::Program program = blas3::make_source_program(c.variant);
   auto mask = apply_like_engine(program, c);
   if (!mask.is_ok()) {
@@ -124,75 +206,102 @@ CheckResult check_differential(const gpusim::Simulator& sim,
             "apply/validate: " + sanitize(mask.status().to_string())};
   }
 
-  // Inputs at the fuzzed rectangular shape, prepared exactly like
-  // engine::verify_program (triangular blanking, TRSM conditioning) but
-  // with per-family rectangular dimensions instead of square n x n.
-  const bool gemm = c.variant.family == blas3::Family::kGemm;
-  const bool trsm = c.variant.family == blas3::Family::kTrsm;
-  const int64_t m = c.m;
-  const int64_t n = c.n;
   const int64_t k = reduction_length(c);
-  const Precision p = c.variant.precision;
-  Matrix a = gemm ? (c.variant.trans_a == blas3::Trans::kN
-                         ? Matrix(m, k, p)
-                         : Matrix(k, m, p))
-                  : Matrix(k, k, p);
-  Matrix b = gemm ? (c.variant.trans_b == blas3::Trans::kN
-                         ? Matrix(k, n, p)
-                         : Matrix(n, k, p))
-                  : Matrix(m, n, p);
-  Matrix out_c(m, n, p);
-  Rng rng(Fingerprint()
-              .mix(c.seed)
-              .mix(c.index)
-              .mix(std::string_view("oacheck.data"))
-              .digest());
-  a.fill_random(rng);
-  b.fill_random(rng);
-  if (c.variant.family == blas3::Family::kTrmm || trsm ||
-      c.variant.family == blas3::Family::kSymm) {
-    a.make_triangular(c.variant.uplo);
-  }
-  if (trsm) {
-    a.set_unit_diagonal();
-    a.scale_off_diagonal(1.0f / 16.0f);
-  }
+  const int64_t count = case_batch(c);
+  const CaseInputs in = make_inputs(c, count);
   const std::map<std::string, bool> bools = {{"blank_zero", true}};
 
-  Matrix ref_b = b;
-  Matrix ref_c = out_c;
-  Status run =
-      engine::execute_program(sim, program, c.variant, a, b, &out_c, bools);
+  // Candidate execution, native-first: the exec backend computes the
+  // answer; the interpreter is consulted only when lowering refuses the
+  // kernel (the runtime's fallback chain) or — below — to arbitrate a
+  // divergence. This is where the >=5x campaign wall-clock drop over
+  // interpreter-only differential runs comes from.
+  std::vector<Matrix> got_b = in.b;
+  std::vector<Matrix> got_c = in.c;
+  const char* backend = "interp";
+  Status run;
+  if (options.differential_native_first) {
+    run = exec::execute_batched(sim.device(), program, c.variant, in.a,
+                                got_b, &got_c, bools, shared_exec_cache());
+    backend = "native";
+  } else {
+    run = engine::execute_batched(sim, program, c.variant, in.a, got_b,
+                                  &got_c, bools);
+  }
+  if (!run.is_ok() && options.differential_native_first) {
+    got_b = in.b;
+    got_c = in.c;
+    run = engine::execute_batched(sim, program, c.variant, in.a, got_b,
+                                  &got_c, bools);
+    backend = "interp";
+  }
   if (!run.is_ok()) {
     return {Verdict::kRejected, "execute: " + sanitize(run.to_string())};
   }
-  blas3::run_reference(c.variant, a, ref_b, &ref_c);
-  const Matrix& got = trsm ? b : out_c;
-  const Matrix& want = trsm ? ref_b : ref_c;
-  const double err = blas3::max_abs_diff(got, want);
-  const double tol = blas3::accumulation_tolerance(k, p);
-  if (err <= tol) {
-    return {Verdict::kPass,
-            str_format("mask=%llx err<=tol",
-                       static_cast<unsigned long long>(*mask))};
+
+  // The oracle: a loop of per-member CPU references — for single
+  // variants that is plain blas3::run_reference. Computed only after
+  // the candidate actually executed; rejections skip it.
+  std::vector<Matrix> ref_b = in.b;
+  std::vector<Matrix> ref_c = in.c;
+  for (int64_t i = 0; i < count; ++i) {
+    blas3::run_reference(c.variant, in.a[static_cast<size_t>(i)],
+                         ref_b[static_cast<size_t>(i)],
+                         &ref_c[static_cast<size_t>(i)]);
   }
 
-  // Mismatch. Decide whether this is a composition the engine would
-  // have rejected anyway (its standard square verification also fails:
-  // expected degeneration) or a kernel the library would have shipped
-  // and then answered wrongly at this shape — the real finding.
+  const double tol = blas3::accumulation_tolerance(k, c.variant.precision);
+  double err = max_member_diff(c, got_b, got_c, ref_b, ref_c);
+  if (err <= tol) {
+    return {Verdict::kPass,
+            str_format("mask=%llx err<=tol (%s)",
+                       static_cast<unsigned long long>(*mask), backend)};
+  }
+
+  // Mismatch. Gate on the engine's cheap square-48 verification first:
+  // a composition the engine would have rejected anyway is an expected
+  // degeneration, with no need to pay full-shape interpreter
+  // arbitration for it. Only divergences on *shippable* compositions
+  // are arbitrated through the interpreter.
   Status square = engine::verify_program(sim, c.variant, program,
                                          /*n=*/48, bools);
   if (!square.is_ok()) {
     return {Verdict::kRejected,
             "engine rejects composition: " + sanitize(square.to_string())};
   }
+  // The library would have shipped this kernel. When the mismatch came
+  // from the native backend, an interpreter result inside tolerance
+  // pins the divergence on the backend — the library would have served
+  // this wrong native answer.
+  if (std::string_view(backend) == "native") {
+    std::vector<Matrix> interp_b = in.b;
+    std::vector<Matrix> interp_c = in.c;
+    Status interp = engine::execute_batched(sim, program, c.variant, in.a,
+                                            interp_b, &interp_c, bools);
+    if (interp.is_ok()) {
+      const double interp_err =
+          max_member_diff(c, interp_b, interp_c, ref_b, ref_c);
+      if (interp_err <= tol) {
+        return {Verdict::kFail,
+                str_format("native backend diverges err=%g tol=%g "
+                           "(interpreter err=%g agrees with reference) at "
+                           "m=%lld n=%lld k=%lld batch=%lld",
+                           err, tol, interp_err,
+                           static_cast<long long>(c.m),
+                           static_cast<long long>(c.n),
+                           static_cast<long long>(k),
+                           static_cast<long long>(count))};
+      }
+      err = std::min(err, interp_err);
+    }
+  }
   return {Verdict::kFail,
           str_format("numeric mismatch err=%g tol=%g at m=%lld n=%lld "
-                     "k=%lld (square-48 verification passes)",
-                     err, tol, static_cast<long long>(m),
-                     static_cast<long long>(n),
-                     static_cast<long long>(k))};
+                     "k=%lld batch=%lld (square-48 verification passes)",
+                     err, tol, static_cast<long long>(c.m),
+                     static_cast<long long>(c.n),
+                     static_cast<long long>(k),
+                     static_cast<long long>(count))};
 }
 
 CheckResult check_roundtrip(const FuzzCase& c) {
@@ -282,6 +391,11 @@ CheckResult check_fastpath(const gpusim::Simulator& sim, const FuzzCase& c) {
   opts.int_params = c.variant.family == blas3::Family::kGemm
                         ? ir::Env{{"M", c.m}, {"N", c.n}, {"K", c.k}}
                         : ir::Env{{"M", c.m}, {"N", c.n}};
+  if (c.variant.batch != blas3::Batch::kSingle) {
+    // Batched pricing multiplies counters by the batch count on both
+    // paths; the bit-identity contract must hold there too.
+    opts.int_params["BATCH"] = case_batch(c);
+  }
   opts.fastpath = true;
   auto fast = sim.run_performance(program, opts);
   opts.fastpath = false;
@@ -329,52 +443,32 @@ CheckResult check_native(const gpusim::Simulator& sim, const FuzzCase& c) {
   }
 
   // Same rectangular inputs as check_differential so a divergence here
-  // is attributable to the backend, never to data preparation.
-  const bool gemm = c.variant.family == blas3::Family::kGemm;
-  const bool trsm = c.variant.family == blas3::Family::kTrsm;
-  const int64_t m = c.m;
-  const int64_t n = c.n;
+  // is attributable to the backend, never to data preparation. Batched
+  // variants run the fused exec::execute_batched path against a loop of
+  // interpreter members — the semantic contract docs/BATCHED.md states.
   const int64_t k = reduction_length(c);
-  const Precision p = c.variant.precision;
-  Matrix a = gemm ? (c.variant.trans_a == blas3::Trans::kN
-                         ? Matrix(m, k, p)
-                         : Matrix(k, m, p))
-                  : Matrix(k, k, p);
-  Matrix b = gemm ? (c.variant.trans_b == blas3::Trans::kN
-                         ? Matrix(k, n, p)
-                         : Matrix(n, k, p))
-                  : Matrix(m, n, p);
-  Matrix out_c(m, n, p);
-  Rng rng(Fingerprint()
-              .mix(c.seed)
-              .mix(c.index)
-              .mix(std::string_view("oacheck.data"))
-              .digest());
-  a.fill_random(rng);
-  b.fill_random(rng);
-  if (c.variant.family == blas3::Family::kTrmm || trsm ||
-      c.variant.family == blas3::Family::kSymm) {
-    a.make_triangular(c.variant.uplo);
-  }
-  if (trsm) {
-    a.set_unit_diagonal();
-    a.scale_off_diagonal(1.0f / 16.0f);
-  }
+  const int64_t count = case_batch(c);
+  const CaseInputs in = make_inputs(c, count);
   const std::map<std::string, bool> bools = {{"blank_zero", true}};
+  const bool batched = c.variant.batch != blas3::Batch::kSingle;
 
-  Matrix interp_b = b;
-  Matrix interp_c = out_c;
-  Status interp = engine::execute_program(sim, program, c.variant, a,
-                                          interp_b, &interp_c, bools);
+  std::vector<Matrix> interp_b = in.b;
+  std::vector<Matrix> interp_c = in.c;
+  Status interp =
+      batched ? engine::execute_batched(sim, program, c.variant, in.a,
+                                        interp_b, &interp_c, bools)
+              : engine::execute_program(sim, program, c.variant, in.a[0],
+                                        interp_b[0], &interp_c[0], bools);
 
-  // One process-wide cache: a long campaign then also exercises the
-  // hot (cache-hit) path, not just first-compile.
-  static exec::ExecCache cache;
-  Matrix native_b = b;
-  Matrix native_c = out_c;
+  std::vector<Matrix> native_b = in.b;
+  std::vector<Matrix> native_c = in.c;
   Status native =
-      exec::execute_program(sim.device(), program, c.variant, a, native_b,
-                            &native_c, bools, cache);
+      batched ? exec::execute_batched(sim.device(), program, c.variant,
+                                      in.a, native_b, &native_c, bools,
+                                      shared_exec_cache())
+              : exec::execute_program(sim.device(), program, c.variant,
+                                      in.a[0], native_b[0], &native_c[0],
+                                      bools, shared_exec_cache());
 
   if (!interp.is_ok() && !native.is_ok()) {
     return {Verdict::kRejected,
@@ -396,25 +490,31 @@ CheckResult check_native(const gpusim::Simulator& sim, const FuzzCase& c) {
             "native execution failed: " + sanitize(native.to_string())};
   }
 
-  const Matrix& got_i = trsm ? interp_b : interp_c;
-  const Matrix& got_n = trsm ? native_b : native_c;
-  const double diff = blas3::max_abs_diff(got_i, got_n);
+  const double diff =
+      max_member_diff(c, native_b, native_c, interp_b, interp_c);
   if (diff == 0.0) {
     return {Verdict::kPass,
-            str_format("bit-identical (mask=%llx)",
-                       static_cast<unsigned long long>(*mask))};
+            str_format("bit-identical (mask=%llx%s)",
+                       static_cast<unsigned long long>(*mask),
+                       batched ? str_format(" batch=%lld",
+                                            static_cast<long long>(count))
+                                     .c_str()
+                               : "")};
   }
 
   // The backends order lane execution differently, so a kernel with a
   // benign race may legitimately diverge bit-wise. Tolerate that only
   // when BOTH backends stay within the reference tolerance.
-  Matrix ref_b = b;
-  Matrix ref_c = out_c;
-  blas3::run_reference(c.variant, a, ref_b, &ref_c);
-  const Matrix& want = trsm ? ref_b : ref_c;
-  const double tol = blas3::accumulation_tolerance(k, p);
-  const double err_i = blas3::max_abs_diff(got_i, want);
-  const double err_n = blas3::max_abs_diff(got_n, want);
+  std::vector<Matrix> ref_b = in.b;
+  std::vector<Matrix> ref_c = in.c;
+  for (int64_t i = 0; i < count; ++i) {
+    blas3::run_reference(c.variant, in.a[static_cast<size_t>(i)],
+                         ref_b[static_cast<size_t>(i)],
+                         &ref_c[static_cast<size_t>(i)]);
+  }
+  const double tol = blas3::accumulation_tolerance(k, c.variant.precision);
+  const double err_i = max_member_diff(c, interp_b, interp_c, ref_b, ref_c);
+  const double err_n = max_member_diff(c, native_b, native_c, ref_b, ref_c);
   if (err_i <= tol && err_n <= tol) {
     return {Verdict::kPass,
             str_format("diverge %g but both within tol=%g (racy kernel)",
@@ -432,9 +532,10 @@ CheckResult check_native(const gpusim::Simulator& sim, const FuzzCase& c) {
   }
   return {Verdict::kFail,
           str_format("native diverges diff=%g (interp err=%g native err=%g "
-                     "tol=%g) at m=%lld n=%lld k=%lld",
-                     diff, err_i, err_n, tol, static_cast<long long>(m),
-                     static_cast<long long>(n), static_cast<long long>(k))};
+                     "tol=%g) at m=%lld n=%lld k=%lld batch=%lld",
+                     diff, err_i, err_n, tol, static_cast<long long>(c.m),
+                     static_cast<long long>(c.n), static_cast<long long>(k),
+                     static_cast<long long>(count))};
 }
 
 }  // namespace oa::verify

@@ -128,6 +128,11 @@ std::string case_to_text(const FuzzCase& c) {
   out += str_format("variant %s\n", c.variant.name().c_str());
   out += str_format("sizes %lld %lld %lld\n", static_cast<long long>(c.m),
                     static_cast<long long>(c.n), static_cast<long long>(c.k));
+  // Optional batched axis: omitted for batch=1 so pre-batched corpus
+  // files stay byte-identical under a save/load cycle.
+  if (c.batch != 1) {
+    out += str_format("batch %lld\n", static_cast<long long>(c.batch));
+  }
   out += str_format(
       "params %lld %lld %lld %lld %lld %d\n",
       static_cast<long long>(c.params.block_tile_y),
@@ -212,6 +217,14 @@ StatusOr<FuzzCase> case_from_text(std::string_view text) {
       if (c.m < 1 || c.n < 1 || c.k < 1) {
         return invalid_argument(
             str_format("case line %zu: sizes must be positive", at));
+      }
+    } else if (key == "batch") {
+      std::string sb;
+      ss >> sb;
+      OA_ASSIGN_OR_RETURN(c.batch, parse_i64(sb));
+      if (c.batch < 1 || c.batch > 65536) {
+        return invalid_argument(
+            str_format("case line %zu: batch must be in [1, 65536]", at));
       }
     } else if (key == "params") {
       std::string f[6];

@@ -111,6 +111,9 @@ std::string FuzzCase::to_string() const {
       static_cast<long long>(k), script.invocations.size(),
       params.to_string().c_str(),
       static_cast<unsigned long long>(script.fingerprint()));
+  if (batch != 1) {
+    line += str_format(" batch=%lld", static_cast<long long>(batch));
+  }
   if (kind == CheckKind::kMutation) {
     line += str_format(" mutation=%s payload_bytes=%zu",
                        mutation_target_name(mutation_target), payload.size());
@@ -279,10 +282,15 @@ FuzzCase ScriptFuzzer::make_case(uint64_t index) const {
               .mix(std::string_view("oacheck.case"))
               .digest());
 
-  // The variant rotates with the index so any run of >= 48 consecutive
-  // cases covers the whole catalog — both precisions — deterministically.
+  // The variant rotates with the index so any run of >= 64 consecutive
+  // cases covers the whole catalog — both precisions, the batched
+  // families included — deterministically.
   const auto& variants = blas3::all_variants();
-  c.variant = variants[index % variants.size()];
+  const auto& batched = blas3::batched_variants();
+  const size_t rotation = variants.size() + batched.size();
+  const size_t slot = index % rotation;
+  c.variant = slot < variants.size() ? variants[slot]
+                                     : batched[slot - variants.size()];
 
   std::vector<CheckKind> kinds;
   if (options_.differential) kinds.push_back(CheckKind::kDifferential);
@@ -298,6 +306,12 @@ FuzzCase ScriptFuzzer::make_case(uint64_t index) const {
   c.m = fuzz_extent(rng);
   c.n = fuzz_extent(rng);
   c.k = fuzz_extent(rng);
+  if (c.variant.batch != blas3::Batch::kSingle) {
+    // Edge-heavy batch counts: 1 (degenerate), 2, primes, and a
+    // power of two. Kept small — every member runs functionally.
+    static const int64_t kBatches[] = {1, 2, 3, 5, 7, 16};
+    c.batch = kBatches[rng.next_below(std::size(kBatches))];
+  }
 
   if (c.kind == CheckKind::kMutation) {
     c.mutation_target = rng.next_below(2) == 0 ? MutationTarget::kScript
@@ -338,6 +352,7 @@ std::string synthetic_artifact_text(const FuzzCase& c) {
   e.gflops = 1.0 + static_cast<double>(c.index % 997) * 0.5;
   e.seconds = 1.0 / static_cast<double>(1 + c.index % 13);
   e.tuned_size = std::max<int64_t>(c.n, 1);
+  e.tuned_batch = blas3::tuning_batch(c.variant);
   art.entries.push_back(std::move(e));
   return libgen::to_text(art);
 }

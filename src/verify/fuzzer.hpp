@@ -58,6 +58,10 @@ struct FuzzCase {
   epod::Script script;              // fuzzed legal EPOD script
   transforms::TuningParams params;  // always passes params.check()
   int64_t m = 0, n = 0, k = 0;      // fuzzed problem extents
+  /// Batch count for the GEMM_BATCHED / GEMM_STRIDED_BATCHED families
+  /// (1 for every single variant). Drawn from an edge-heavy pool so
+  /// count=1 and prime counts are exercised, not just round numbers.
+  int64_t batch = 1;
 
   // Mutation cases only: the corrupted text handed to the parser.
   MutationTarget mutation_target = MutationTarget::kScript;

@@ -52,7 +52,8 @@ std::string Report::summary() const {
       "(expected degenerations), %zu FAIL; %zu/%zu variants covered",
       static_cast<unsigned long long>(seed), results.size(),
       count(Verdict::kPass), count(Verdict::kRejected), failed(),
-      variants_covered(), blas3::all_variants().size());
+      variants_covered(),
+      blas3::all_variants().size() + blas3::batched_variants().size());
   for (const auto& [kind, counts] : by_kind) {
     out += str_format("\n  %-12s %zu cases, %zu FAIL", kind.c_str(),
                       counts.first, counts.second);
@@ -75,7 +76,7 @@ Harness::Harness(const gpusim::DeviceModel& device, HarnessOptions options)
 CaseResult Harness::run_case(const FuzzCase& c) const {
   CaseResult r;
   r.fuzz = c;
-  CheckResult check = check_case(sim_, c);
+  CheckResult check = check_case(sim_, c, options_.check);
   r.verdict = check.verdict;
   r.detail = std::move(check.detail);
   return r;

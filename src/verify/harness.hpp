@@ -19,6 +19,8 @@ struct HarnessOptions {
   uint64_t seed = 1;
   uint64_t cases = 500;
   FuzzerOptions fuzzer;
+  /// Per-check knobs (native-first differential etc.).
+  CheckOptions check;
   /// Directory of checked-in *.case reproducers to run before the
   /// fuzzed stream (empty: skip).
   std::string corpus_dir;
@@ -44,7 +46,8 @@ struct Report {
   size_t count(Verdict v) const;
   size_t failed() const { return count(Verdict::kFail); }
   bool ok() const { return failed() == 0; }
-  /// Distinct variants exercised (acceptance: all 48, both precisions).
+  /// Distinct variants exercised (acceptance: all 64 — both
+  /// precisions, the batched families included).
   size_t variants_covered() const;
 
   /// One deterministic line per case: id, kind, variant, sizes, verdict

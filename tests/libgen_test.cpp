@@ -232,7 +232,7 @@ TEST(ArtifactCorruption, EditedScriptTextFailsTheFingerprintCheck) {
 
 TEST(ArtifactCorruption, UnsupportedVersionIsRejected) {
   std::string text = libgen::to_text(one_entry_artifact());
-  const size_t pos = text.find("oablas-artifact 3");
+  const size_t pos = text.find("oablas-artifact 4");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 17, "oablas-artifact 99");
   auto parsed = libgen::parse(text);
@@ -317,19 +317,24 @@ TEST(ArtifactCorruption, SeededByteMutationsNeverCrash) {
   EXPECT_GT(rejected, 280);
 }
 
-// -------------------------------------- v1/v2 -> v3 compatibility
+// ----------------------------------- v1/v2/v3 -> v4 compatibility
 
-/// Rewrite a freshly serialized (v3) artifact into the bytes an older
+/// Rewrite a freshly serialized (v4) artifact into the bytes an older
 /// writer would have produced: old header, the fields that version
 /// didn't know about removed (`precision` lines before v2, the `exec`
-/// sidecar before v3), and every entry_hash re-derived under the old
-/// field set.
+/// sidecar before v3, the `batch` line before v4), and every
+/// entry_hash re-derived under the old field set.
 std::string downgrade_to(const Artifact& artifact, int version) {
   std::string text = libgen::to_text(artifact);
-  size_t pos = text.find("oablas-artifact 3");
+  size_t pos = text.find("oablas-artifact 4");
   EXPECT_NE(pos, std::string::npos);
   text.replace(pos, 17,
                str_format("oablas-artifact %d", version));
+  if (version < 4) {
+    while ((pos = text.find("\nbatch ")) != std::string::npos) {
+      text.erase(pos, text.find('\n', pos + 1) - pos);
+    }
+  }
   // Strip the exec sidecar: the "exec N" count line plus its "| "
   // payload lines (the section sits between the script block and
   // entry_hash, so the run of "| " lines after it is all its own).
@@ -388,8 +393,9 @@ TEST(ArtifactCompat, ReserializingV1UpgradesToCurrent) {
   auto parsed = libgen::parse(downgrade_to_v1(one_entry_artifact()));
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   const std::string upgraded = libgen::to_text(*parsed);
-  EXPECT_NE(upgraded.find("oablas-artifact 3"), std::string::npos);
+  EXPECT_NE(upgraded.find("oablas-artifact 4"), std::string::npos);
   EXPECT_NE(upgraded.find("precision f32"), std::string::npos);
+  EXPECT_NE(upgraded.find("batch 1"), std::string::npos);
   auto again = libgen::parse(upgraded);
   ASSERT_TRUE(again.is_ok()) << again.status().to_string();
   EXPECT_EQ(libgen::to_text(*again), upgraded);
